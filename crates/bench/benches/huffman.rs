@@ -1,0 +1,39 @@
+//! Criterion: canonical Huffman over quantizer-like symbol distributions —
+//! the entropy stage of the SZ3 stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pqr_util::huffman;
+
+/// Quantizer-like distribution: sharply peaked around the centre code.
+fn symbols(n: usize, spread: u32) -> Vec<u32> {
+    let mut s = 0xfeed_beefu64;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let g = ((s >> 10) % u64::from(2 * spread + 1)) as i64 - i64::from(spread);
+            (32768 + g) as u32
+        })
+        .collect()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let n = 500_000;
+    let mut g = c.benchmark_group("huffman");
+    g.throughput(Throughput::Elements(n as u64));
+    for spread in [2u32, 64, 2048] {
+        let syms = symbols(n, spread);
+        g.bench_function(BenchmarkId::new("encode", spread), |b| {
+            b.iter(|| huffman::encode(&syms, 65536).unwrap())
+        });
+        let blob = huffman::encode(&syms, 65536).unwrap();
+        g.bench_function(BenchmarkId::new("decode", spread), |b| {
+            b.iter(|| huffman::decode(&blob).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_huffman);
+criterion_main!(benches);

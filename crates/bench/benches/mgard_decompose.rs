@@ -1,0 +1,60 @@
+//! Criterion: multilevel decompose/recompose, HB vs OB — the Fig. 3
+//! ablation's compute side (removing the L2 projection speeds refactoring,
+//! §V-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pqr_mgard::transform::{decompose, recompose};
+use pqr_mgard::Basis;
+
+fn field(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64) * 0.001).sin() * 5.0 + ((i as f64) * 0.013).cos())
+        .collect()
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let n = 500_000;
+    let data = field(n);
+    let mut g = c.benchmark_group("mgard_transform");
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    for (label, basis) in [("HB", Basis::Hierarchical), ("OB", Basis::Orthogonal)] {
+        g.bench_function(BenchmarkId::new("decompose", label), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| decompose(&mut v, &[n], basis),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let mut coeffs = data.clone();
+        decompose(&mut coeffs, &[n], basis);
+        g.bench_function(BenchmarkId::new("recompose", label), |b| {
+            b.iter_batched(
+                || coeffs.clone(),
+                |mut v| recompose(&mut v, &[n], basis),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_3d(c: &mut Criterion) {
+    let dims = [64usize, 64, 64];
+    let n: usize = dims.iter().product();
+    let data = field(n);
+    let mut g = c.benchmark_group("mgard_transform_3d");
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    for (label, basis) in [("HB", Basis::Hierarchical), ("OB", Basis::Orthogonal)] {
+        g.bench_function(BenchmarkId::new("decompose", label), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| decompose(&mut v, &dims, basis),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_3d);
+criterion_main!(benches);

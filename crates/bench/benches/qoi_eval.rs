@@ -1,0 +1,102 @@
+//! Criterion: bounded QoI evaluation — the per-point cost of the §IV
+//! estimator that Algorithm 2 pays on every scan, for each GE QoI, plus
+//! the √-estimator ablation (paper formula vs exact supremum) and the
+//! theorem-vs-interval estimator ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pqr_qoi::{ge, BoundConfig, Estimator, SqrtMode};
+
+fn bench_ge_qois(c: &mut Criterion) {
+    let x = [30.0, 40.0, 5.0, 101_325.0, 1.2];
+    let eps = [1e-3, 1e-3, 1e-3, 0.5, 1e-5];
+    let cfg = BoundConfig::default();
+    let mut g = c.benchmark_group("qoi_eval_bounded");
+    g.throughput(Throughput::Elements(1));
+    for (name, expr) in ge::all() {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| expr.eval_bounded(&x, &eps, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sqrt_mode_ablation(c: &mut Criterion) {
+    let expr = ge::v_total();
+    let x = [30.0, 40.0, 5.0, 0.0, 0.0];
+    let eps = [1e-3; 5];
+    let mut g = c.benchmark_group("sqrt_mode");
+    for (label, mode) in [("paper", SqrtMode::Paper), ("exact", SqrtMode::Exact)] {
+        let cfg = BoundConfig {
+            sqrt_mode: mode,
+            ..Default::default()
+        };
+        g.bench_function(label, |b| b.iter(|| expr.eval_bounded(&x, &eps, &cfg)));
+    }
+    g.finish();
+}
+
+fn bench_estimator_ablation(c: &mut Criterion) {
+    // per-point cost of the generic interval estimator vs the theorems,
+    // on the deepest GE composition (PT)
+    let expr = ge::pt();
+    let x = [30.0, 40.0, 5.0, 101_325.0, 1.2];
+    let eps = [1e-3, 1e-3, 1e-3, 0.5, 1e-5];
+    let mut g = c.benchmark_group("estimator");
+    for (label, est) in [
+        ("theorems", Estimator::Theorems),
+        ("interval", Estimator::Interval),
+    ] {
+        let cfg = BoundConfig {
+            estimator: est,
+            ..Default::default()
+        };
+        g.bench_function(label, |b| b.iter(|| expr.eval_bounded(&x, &eps, &cfg)));
+    }
+    g.finish();
+}
+
+fn bench_scan_like_loop(c: &mut Criterion) {
+    // the shape of Algorithm 2's inner loop: eval 6 QoIs over a point block
+    let qois = ge::all();
+    let cfg = BoundConfig::default();
+    let n = 10_000;
+    let points: Vec<[f64; 5]> = (0..n)
+        .map(|i| {
+            let t = i as f64 * 0.001;
+            [
+                30.0 + t.sin(),
+                40.0 + t.cos(),
+                5.0 + (2.0 * t).sin(),
+                101_325.0 * (1.0 + 0.01 * (3.0 * t).cos()),
+                1.2 + 0.01 * t.sin(),
+            ]
+        })
+        .collect();
+    let eps = [1e-3, 1e-3, 1e-3, 0.5, 1e-5];
+    let mut g = c.benchmark_group("scan_loop");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("six_qois_per_point", |b| {
+        b.iter(|| {
+            let mut worst = 0.0f64;
+            for p in &points {
+                for (_, q) in &qois {
+                    let est = q.eval_bounded(p, &eps, &cfg).bound;
+                    if est > worst {
+                        worst = est;
+                    }
+                }
+            }
+            worst
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ge_qois,
+    bench_sqrt_mode_ablation,
+    bench_estimator_ablation,
+    bench_scan_like_loop
+);
+criterion_main!(benches);

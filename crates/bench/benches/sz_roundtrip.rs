@@ -1,0 +1,51 @@
+//! Criterion: SZ3 stand-in compress/decompress throughput by predictor and
+//! error bound — the kernel behind PSZ3 / PSZ3-delta refactoring and every
+//! snapshot fetch (Table IV's cost driver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pqr_sz::{SzCompressor, SzConfig};
+
+fn field(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 / n as f64;
+            (x * 11.0).sin() * 3.0 + (x * 53.0).cos() * 0.4 + 2.0 * x
+        })
+        .collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let n = 200_000;
+    let data = field(n);
+    let mut g = c.benchmark_group("sz_compress");
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    for (label, cfg) in [
+        ("interp_cubic", SzConfig::default()),
+        ("interp_linear", SzConfig::interp_linear()),
+        ("lorenzo", SzConfig::lorenzo()),
+    ] {
+        let comp = SzCompressor::new(cfg);
+        g.bench_function(BenchmarkId::new(label, "eb=1e-6"), |b| {
+            b.iter(|| comp.compress(&data, &[n], 1e-6).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let n = 200_000;
+    let data = field(n);
+    let comp = SzCompressor::default();
+    let mut g = c.benchmark_group("sz_decompress");
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    for eb in [1e-3, 1e-9] {
+        let blob = comp.compress(&data, &[n], eb).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(format!("eb={eb:.0e}")), |b| {
+            b.iter(|| comp.decompress(&blob).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

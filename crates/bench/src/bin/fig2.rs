@@ -1,0 +1,39 @@
+//! Fig. 2 — primary-data rate-distortion of the progressive families.
+//!
+//! For each of the four GE fields (VelocityX, VelocityZ, Pressure, Density)
+//! and each representation (PSZ3, PSZ3-delta, PMGARD, PMGARD-HB), issue the
+//! paper's progressive request series ε'ᵢ = 0.1·2⁻ⁱ (i = 1..20) against a
+//! *persistent* reader (cumulative bytes — the progressive scenario that
+//! exposes PSZ3's snapshot redundancy and staircases) and print the
+//! resulting bitrate per requested relative error.
+
+use pqr_bench::{ge_small_dataset, paper_ladder, primary_bound_series, print_header};
+use pqr_progressive::refactored::{RefactoredField, Scheme};
+
+fn main() {
+    let ds = ge_small_dataset();
+    let fields = ["VelocityX", "VelocityZ", "Pressure", "Density"];
+    println!("# Fig. 2 — requested relative error vs bitrate (cumulative progressive requests)");
+    print_header(&["field", "scheme", "req_rel_eb", "bitrate"]);
+
+    for field_name in fields {
+        let fi = ds.field_index(field_name).expect("field");
+        let data = ds.field(fi);
+        let n = data.len();
+        for scheme in Scheme::all() {
+            let rf = RefactoredField::refactor_with_bounds(scheme, data, &[n], &paper_ladder())
+                .expect("refactor");
+            let range = rf.value_range();
+            let mut reader = rf.reader();
+            for &rel in &primary_bound_series() {
+                reader.refine_to(rel * range).expect("refine");
+                println!(
+                    "{field_name}\t{}\t{:.6e}\t{:.4}",
+                    scheme.name(),
+                    rel,
+                    pqr_util::stats::bitrate(reader.total_fetched(), n)
+                );
+            }
+        }
+    }
+}

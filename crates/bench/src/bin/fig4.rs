@@ -1,0 +1,44 @@
+//! Fig. 4 — QoI error control of PMGARD-HB on GE-small, all six QoIs.
+//!
+//! Progressive QoI tolerance sweep τ = 0.1·2⁻ⁱ (i = 0..19) with a
+//! persistent engine; per step prints bitrate, max *estimated* QoI error
+//! and max *actual* QoI error (both relative to the QoI range). The
+//! invariant on display: actual ≤ estimated ≤ requested, per §VI-B.
+//!
+//! Pass `--no-mask` to disable the zero-velocity outlier mask (§V-A
+//! ablation — √-type QoIs then become unboundable at wall nodes).
+
+use pqr_bench::{ge_small_dataset, print_header, qoi_sweep, qoi_tolerance_series};
+use pqr_progressive::engine::EngineConfig;
+use pqr_progressive::refactored::Scheme;
+
+fn main() {
+    let no_mask = std::env::args().any(|a| a == "--no-mask");
+    let ds = ge_small_dataset();
+    let archive = if no_mask {
+        ds.refactor_with_bounds(Scheme::PmgardHb, &pqr_bench::paper_ladder())
+            .expect("refactor")
+    } else {
+        pqr_bench::refactor_with_mask(&ds, Scheme::PmgardHb)
+    };
+
+    println!(
+        "# Fig. 4 — PMGARD-HB QoI error control on GE-small (mask: {})",
+        !no_mask
+    );
+    print_header(&["qoi", "req_tol", "bitrate", "est_rel", "actual_rel"]);
+
+    for (name, expr) in pqr_qoi::ge::all() {
+        let rows = qoi_sweep(
+            &ds,
+            &archive,
+            name,
+            &expr,
+            &qoi_tolerance_series(),
+            EngineConfig::default(),
+        );
+        for (tol, bitrate, est, actual) in rows {
+            println!("{name}\t{tol:.6e}\t{bitrate:.4}\t{est:.6e}\t{actual:.6e}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 5 — QoI error control of PMGARD-HB on NYX and Hurricane (VTOT).
+//!
+//! Same sweep as Fig. 4 but on the cosmology and climate stand-ins,
+//! demonstrating generality beyond the GE case study.
+
+use pqr_bench::{print_header, qoi_sweep, qoi_tolerance_series, scaled, to_dataset};
+use pqr_datagen::{hurricane, nyx};
+use pqr_progressive::engine::EngineConfig;
+use pqr_progressive::refactored::Scheme;
+use pqr_qoi::library::velocity_magnitude;
+
+fn main() {
+    println!("# Fig. 5 — PMGARD-HB VTOT error control on NYX and Hurricane");
+    print_header(&["dataset", "req_tol", "bitrate", "est_rel", "actual_rel"]);
+
+    let nyx_raw = nyx::generate(&nyx::NyxConfig {
+        n: scaled(64),
+        ..nyx::NyxConfig::small()
+    });
+    let hur_raw = hurricane::generate(&hurricane::HurricaneConfig {
+        dims: [scaled(25), scaled(120), scaled(120)],
+        ..hurricane::HurricaneConfig::small()
+    });
+
+    for (label, raw) in [("NYX", nyx_raw), ("Hurricane", hur_raw)] {
+        let ds = to_dataset(&raw);
+        let archive = ds
+            .refactor_with_bounds(Scheme::PmgardHb, &pqr_bench::paper_ladder())
+            .expect("refactor");
+        let rows = qoi_sweep(
+            &ds,
+            &archive,
+            "VTOT",
+            &velocity_magnitude(0, 3),
+            &qoi_tolerance_series(),
+            EngineConfig::default(),
+        );
+        for (tol, bitrate, est, actual) in rows {
+            println!("{label}\t{tol:.6e}\t{bitrate:.4}\t{est:.6e}\t{actual:.6e}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Fig. 7 — retrieval efficiency of the three progressive approaches on
+//! GE-small: bitrate under a *single* requested QoI error (fresh engine per
+//! request, the "generic case" of §VI-C), τ = 0.1·2⁻ⁱ, i = 0..19, for all
+//! six QoIs × {PSZ3, PSZ3-delta, PMGARD-HB}.
+
+use pqr_bench::{
+    ge_small_dataset, print_header, qoi_single_requests, qoi_tolerance_series, refactor_with_mask,
+};
+use pqr_progressive::refactored::Scheme;
+
+fn main() {
+    let ds = ge_small_dataset();
+    println!("# Fig. 7 — single-request retrieval efficiency on GE-small");
+    print_header(&["qoi", "scheme", "req_tol", "bitrate"]);
+
+    let schemes = [Scheme::Psz3, Scheme::Psz3Delta, Scheme::PmgardHb];
+    for scheme in schemes {
+        let archive = refactor_with_mask(&ds, scheme);
+        for (name, expr) in pqr_qoi::ge::all() {
+            let range = ds.qoi_range(&expr).expect("range");
+            for (tol, bitrate) in
+                qoi_single_requests(&archive, name, &expr, range, &qoi_tolerance_series())
+            {
+                println!("{name}\t{}\t{tol:.6e}\t{bitrate:.4}", scheme.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig. 8 — retrieval efficiency of the three progressive approaches on
+//! S3D: single-request bitrates for the four species-product QoIs.
+
+use pqr_bench::{print_header, qoi_single_requests, qoi_tolerance_series, scaled, to_dataset};
+use pqr_datagen::s3d::{self, FIELD_NAMES, PRODUCT_PAIRS};
+use pqr_progressive::refactored::Scheme;
+use pqr_qoi::library::species_product;
+
+fn main() {
+    let raw = s3d::generate(&s3d::S3dConfig {
+        dims: [scaled(120), scaled(34), scaled(20)],
+        ..s3d::S3dConfig::small()
+    });
+    let ds = to_dataset(&raw);
+    println!("# Fig. 8 — single-request retrieval efficiency on S3D");
+    print_header(&["qoi", "scheme", "req_tol", "bitrate"]);
+
+    for scheme in [Scheme::Psz3, Scheme::Psz3Delta, Scheme::PmgardHb] {
+        let archive = ds
+            .refactor_with_bounds(scheme, &pqr_bench::paper_ladder())
+            .expect("refactor");
+        for (a, b) in PRODUCT_PAIRS {
+            let name = format!("{}*{}", FIELD_NAMES[a], FIELD_NAMES[b]);
+            let expr = species_product(a, b);
+            let range = ds.qoi_range(&expr).expect("range");
+            for (tol, bitrate) in
+                qoi_single_requests(&archive, &name, &expr, range, &qoi_tolerance_series())
+            {
+                println!("{name}\t{}\t{tol:.6e}\t{bitrate:.4}", scheme.name());
+            }
+        }
+    }
+}

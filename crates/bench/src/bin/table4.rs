@@ -1,0 +1,43 @@
+//! Table IV — refactoring and retrieval wall time on GE-small.
+//!
+//! Refactoring time per scheme (PSZ3/PSZ3-delta pay the 18-snapshot
+//! ladder; PMGARD-HB pays one decomposition + bitplane pass), then VTOT
+//! retrieval time at τ = 1e-1 … 1e-5 (fresh engine per cell, as the paper's
+//! table is per-request).
+
+use pqr_bench::{ge_small_dataset, paper_ladder, refactor_with_mask};
+use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine};
+use pqr_progressive::refactored::Scheme;
+use pqr_qoi::library::velocity_magnitude;
+use pqr_util::timer::time_it;
+
+fn main() {
+    let ds = ge_small_dataset();
+    let expr = velocity_magnitude(0, 3);
+    let range = ds.qoi_range(&expr).expect("range");
+
+    println!("# Table IV — refactor and retrieval time (seconds), GE-small, VTOT");
+    println!("scheme\trefactor_s\t1e-1\t1e-2\t1e-3\t1e-4\t1e-5");
+
+    for scheme in [Scheme::PmgardHb, Scheme::Psz3, Scheme::Psz3Delta] {
+        // refactor timing includes the ladder for snapshot schemes
+        let (_, refactor_s) = time_it(|| {
+            ds.refactor_with_bounds(scheme, &paper_ladder())
+                .expect("refactor")
+        });
+        let archive = refactor_with_mask(&ds, scheme);
+        let mut cells = Vec::new();
+        for i in 1..=5 {
+            let tol = 10f64.powi(-i);
+            let spec = QoiSpec::with_range("VTOT", expr.clone(), tol, range);
+            let (_, secs) = time_it(|| {
+                let mut engine =
+                    RetrievalEngine::new(&archive, EngineConfig::default()).expect("engine");
+                let report = engine.retrieve(std::slice::from_ref(&spec)).expect("retrieve");
+                assert!(report.satisfied, "{} τ=1e-{i}", scheme.name());
+            });
+            cells.push(format!("{secs:.3}"));
+        }
+        println!("{}\t{refactor_s:.3}\t{}", scheme.name(), cells.join("\t"));
+    }
+}

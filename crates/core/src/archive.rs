@@ -1,0 +1,527 @@
+//! Archive + session: the ergonomic wrapper over the retrieval machinery.
+
+use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
+use pqr_progressive::field::{Dataset, RefactoredDataset};
+use pqr_progressive::refactored::{default_snapshot_bounds, Scheme};
+use pqr_qoi::QoiExpr;
+use pqr_util::error::{PqrError, Result};
+use std::collections::BTreeMap;
+
+/// Builder for [`Archive`]: fields + QoIs + representation choices.
+pub struct ArchiveBuilder {
+    dataset: Dataset,
+    scheme: Scheme,
+    rel_bounds: Vec<f64>,
+    qois: Vec<(String, QoiExpr)>,
+    mask_fields: Option<Vec<String>>,
+    engine: EngineConfig,
+}
+
+impl ArchiveBuilder {
+    /// Starts a builder for fields of the given shape.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dataset: Dataset::new(dims),
+            scheme: Scheme::default(),
+            rel_bounds: default_snapshot_bounds(),
+            qois: Vec::new(),
+            mask_fields: None,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// Adds a field. Panics on shape mismatch at [`ArchiveBuilder::build`].
+    pub fn field(mut self, name: &str, data: Vec<f64>) -> Self {
+        // defer errors to build() so the builder stays chainable
+        let _ = self.dataset.add_field(name, data);
+        self
+    }
+
+    /// Adds a single-precision field, widened to f64. The paper's §VI notes
+    /// the method "directly applies to single-precision floating-point
+    /// data"; widening is exact, so every guarantee downstream holds against
+    /// the f32 values bit-for-bit.
+    pub fn field_f32(self, name: &str, data: &[f32]) -> Self {
+        self.field(name, data.iter().map(|&v| f64::from(v)).collect())
+    }
+
+    /// Registers a QoI; its value range is computed at build time.
+    pub fn qoi(mut self, name: &str, expr: QoiExpr) -> Self {
+        self.qois.push((name.to_string(), expr));
+        self
+    }
+
+    /// Chooses the progressive representation (default: PMGARD-HB).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Overrides the snapshot bound ladder (snapshot schemes only).
+    pub fn snapshot_bounds(mut self, rel_bounds: &[f64]) -> Self {
+        self.rel_bounds = rel_bounds.to_vec();
+        self
+    }
+
+    /// Enables the zero-outlier mask over the named fields (§V-A).
+    pub fn mask(mut self, field_names: &[&str]) -> Self {
+        self.mask_fields = Some(field_names.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Overrides retrieval engine knobs for sessions on this archive.
+    pub fn engine_config(mut self, cfg: EngineConfig) -> Self {
+        self.engine = cfg;
+        self
+    }
+
+    /// Refactors everything and computes QoI metadata.
+    pub fn build(self) -> Result<Archive> {
+        let mut qoi_meta = BTreeMap::new();
+        for (name, expr) in &self.qois {
+            let range = self.dataset.qoi_range(expr)?;
+            qoi_meta.insert(name.clone(), (expr.clone(), range));
+        }
+        let mut refactored = self
+            .dataset
+            .refactor_with_bounds(self.scheme, &self.rel_bounds)?;
+        if let Some(names) = &self.mask_fields {
+            let idx: Vec<usize> = names
+                .iter()
+                .map(|n| {
+                    self.dataset.field_index(n).ok_or_else(|| {
+                        PqrError::InvalidRequest(format!("mask field '{n}' not found"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            refactored.set_mask(self.dataset.zero_mask(&idx))?;
+        }
+        Ok(Archive {
+            refactored,
+            qois: qoi_meta,
+            engine: self.engine,
+        })
+    }
+}
+
+/// A refactored archive with its QoI registry (Fig. 1's storage-side box).
+pub struct Archive {
+    refactored: RefactoredDataset,
+    qois: BTreeMap<String, (QoiExpr, f64)>,
+    engine: EngineConfig,
+}
+
+impl Archive {
+    /// The underlying refactored dataset.
+    pub fn refactored(&self) -> &RefactoredDataset {
+        &self.refactored
+    }
+
+    /// Registered QoI names.
+    pub fn qoi_names(&self) -> Vec<&str> {
+        self.qois.keys().map(String::as_str).collect()
+    }
+
+    /// The refactor-time value range of a registered QoI.
+    pub fn qoi_range(&self, name: &str) -> Option<f64> {
+        self.qois.get(name).map(|(_, r)| *r)
+    }
+
+    /// The expression of a registered QoI.
+    pub fn qoi_expr(&self, name: &str) -> Option<&QoiExpr> {
+        self.qois.get(name).map(|(e, _)| e)
+    }
+
+    /// Overrides the engine configuration used by future sessions — e.g. to
+    /// switch the error estimator on a deserialized archive (which always
+    /// restores with defaults).
+    pub fn set_engine_config(&mut self, cfg: EngineConfig) {
+        self.engine = cfg;
+    }
+
+    /// Opens a retrieval session (progressive across requests).
+    pub fn session(&self) -> Result<Session<'_>> {
+        Ok(Session {
+            engine: RetrievalEngine::new(&self.refactored, self.engine)?,
+            archive: self,
+        })
+    }
+
+    /// Reopens a session at a previously saved progress point (from
+    /// [`Session::save_progress`]): the replay is deterministic, so the
+    /// resumed session continues with identical reconstructions and byte
+    /// accounting.
+    pub fn resume_session(&self, progress: &[u8]) -> Result<Session<'_>> {
+        Ok(Session {
+            engine: RetrievalEngine::resume(&self.refactored, self.engine, progress)?,
+            archive: self,
+        })
+    }
+
+    /// Builds the [`QoiSpec`] for a registered QoI at a relative tolerance.
+    pub fn spec(&self, name: &str, tol_rel: f64) -> Result<QoiSpec> {
+        let (expr, range) = self
+            .qois
+            .get(name)
+            .ok_or_else(|| PqrError::InvalidRequest(format!("unknown QoI '{name}'")))?;
+        Ok(QoiSpec::with_range(name, expr.clone(), tol_rel, *range))
+    }
+
+    /// Serializes the whole archive — refactored fields, mask, and the QoI
+    /// registry (expressions + refactor-time ranges) — so a remote retrieval
+    /// process can reconstruct the exact estimator (Fig. 1's metadata path).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use pqr_util::byteio::ByteWriter;
+        let mut w = ByteWriter::new();
+        w.put_raw(b"PQRA");
+        w.put_bytes(&self.refactored.to_bytes());
+        w.put_u32(self.qois.len() as u32);
+        for (name, (expr, range)) in &self.qois {
+            w.put_bytes(name.as_bytes());
+            w.put_bytes(&pqr_qoi::serial::to_bytes(expr));
+            w.put_f64(*range);
+        }
+        w.finish()
+    }
+
+    /// Restores an archive from [`Archive::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        use pqr_util::byteio::ByteReader;
+        let mut r = ByteReader::new(bytes);
+        if r.get_raw(4)? != b"PQRA" {
+            return Err(PqrError::CorruptStream("bad archive magic".into()));
+        }
+        let refactored = RefactoredDataset::from_bytes(r.get_bytes()?)?;
+        let nq = r.get_u32()? as usize;
+        let mut qois = BTreeMap::new();
+        for _ in 0..nq {
+            let name = String::from_utf8(r.get_bytes()?.to_vec())
+                .map_err(|_| PqrError::CorruptStream("bad QoI name".into()))?;
+            let expr = pqr_qoi::serial::from_bytes(r.get_bytes()?)?;
+            let range = r.get_f64()?;
+            qois.insert(name, (expr, range));
+        }
+        Ok(Self {
+            refactored,
+            qois,
+            engine: EngineConfig::default(),
+        })
+    }
+}
+
+/// A progressive retrieval session: requests accumulate, bytes are fetched
+/// incrementally (§III-B's key property).
+pub struct Session<'a> {
+    engine: RetrievalEngine<'a>,
+    archive: &'a Archive,
+}
+
+impl<'a> Session<'a> {
+    /// Requests one registered QoI at a relative tolerance.
+    pub fn request(&mut self, name: &str, tol_rel: f64) -> Result<RetrievalReport> {
+        let spec = self.archive.spec(name, tol_rel)?;
+        self.engine.retrieve(&[spec])
+    }
+
+    /// Requests a registered QoI with the tolerance restricted to the
+    /// half-open linearized index range `lo..hi` (region of interest).
+    /// Points outside the region carry no error constraint, which typically
+    /// retrieves far fewer fragments than a whole-domain request.
+    pub fn request_region(
+        &mut self,
+        name: &str,
+        tol_rel: f64,
+        lo: usize,
+        hi: usize,
+    ) -> Result<RetrievalReport> {
+        let spec = self.archive.spec(name, tol_rel)?.restrict_to(lo, hi);
+        self.engine.retrieve(&[spec])
+    }
+
+    /// Requests several QoIs at once (`(name, tol_rel)` pairs).
+    pub fn request_many(&mut self, requests: &[(&str, f64)]) -> Result<RetrievalReport> {
+        let specs = requests
+            .iter()
+            .map(|(n, t)| self.archive.spec(n, *t))
+            .collect::<Result<Vec<_>>>()?;
+        self.engine.retrieve(&specs)
+    }
+
+    /// Current reconstruction of a field, by name.
+    pub fn reconstruction(&self, field_name: &str) -> Result<&[f64]> {
+        let i = self
+            .archive
+            .refactored
+            .field_index(field_name)
+            .ok_or_else(|| PqrError::InvalidRequest(format!("unknown field '{field_name}'")))?;
+        Ok(self.engine.reconstruction(i))
+    }
+
+    /// Resolution-progressive view of a field from the bytes already
+    /// fetched: drops the `drop_finest` finest multilevel levels and returns
+    /// `(coarse_data, coarse_dims)` — the subgrid of stride `2^drop_finest`.
+    /// Available on the PMGARD representations only (the paper's §II
+    /// "progression in both categories").
+    pub fn reconstruction_at_resolution(
+        &self,
+        field_name: &str,
+        drop_finest: usize,
+    ) -> Result<(Vec<f64>, Vec<usize>)> {
+        let i = self
+            .archive
+            .refactored
+            .field_index(field_name)
+            .ok_or_else(|| PqrError::InvalidRequest(format!("unknown field '{field_name}'")))?;
+        self.engine.reconstruction_at_resolution(i, drop_finest)
+    }
+
+    /// Derived values of a registered QoI on the current reconstruction.
+    pub fn qoi_values(&self, name: &str) -> Result<Vec<f64>> {
+        let expr = self
+            .archive
+            .qoi_expr(name)
+            .ok_or_else(|| PqrError::InvalidRequest(format!("unknown QoI '{name}'")))?;
+        Ok(self.engine.qoi_values(expr))
+    }
+
+    /// Cumulative fetched bytes.
+    pub fn total_fetched(&self) -> usize {
+        self.engine.total_fetched()
+    }
+
+    /// Achieved primary-data bound of a field, by name.
+    pub fn field_bound(&self, field_name: &str) -> Result<f64> {
+        let i = self
+            .archive
+            .refactored
+            .field_index(field_name)
+            .ok_or_else(|| PqrError::InvalidRequest(format!("unknown field '{field_name}'")))?;
+        Ok(self.engine.field_bound(i))
+    }
+
+    /// Access to the underlying engine for advanced use.
+    pub fn engine(&mut self) -> &mut RetrievalEngine<'a> {
+        &mut self.engine
+    }
+
+    /// Serializes the session's retrieval progress — restore against the
+    /// same archive with [`Archive::resume_session`] to continue fetching
+    /// incrementally after a process restart.
+    pub fn save_progress(&self) -> Vec<u8> {
+        self.engine.save_progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqr_qoi::library::velocity_magnitude;
+
+    fn build() -> Archive {
+        let n = 600;
+        let vx: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).sin() * 30.0 + 50.0).collect();
+        let vy: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).cos() * 15.0).collect();
+        ArchiveBuilder::new(&[n])
+            .field("Vx", vx)
+            .field("Vy", vy)
+            .qoi("V", velocity_magnitude(0, 2))
+            .qoi("Vx2", QoiExpr::var(0).pow(2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_query_metadata() {
+        let archive = build();
+        assert_eq!(archive.qoi_names(), vec!["V", "Vx2"]);
+        assert!(archive.qoi_range("V").unwrap() > 0.0);
+        assert!(archive.qoi_expr("Vx2").is_some());
+        assert!(archive.qoi_range("nope").is_none());
+    }
+
+    #[test]
+    fn session_requests_and_reads() {
+        let archive = build();
+        let mut s = archive.session().unwrap();
+        let r = s.request("V", 1e-3).unwrap();
+        assert!(r.satisfied);
+        assert_eq!(s.reconstruction("Vx").unwrap().len(), 600);
+        assert_eq!(s.qoi_values("V").unwrap().len(), 600);
+        assert!(s.field_bound("Vy").unwrap().is_finite());
+        assert!(s.total_fetched() > 0);
+    }
+
+    #[test]
+    fn request_many_and_incremental() {
+        let archive = build();
+        let mut s = archive.session().unwrap();
+        let r1 = s.request_many(&[("V", 1e-2), ("Vx2", 1e-2)]).unwrap();
+        assert!(r1.satisfied);
+        let t1 = s.total_fetched();
+        let r2 = s.request("V", 1e-5).unwrap();
+        assert!(r2.satisfied);
+        assert!(s.total_fetched() >= t1);
+    }
+
+    #[test]
+    fn sessions_survive_process_restarts() {
+        // archive persists to disk; a session saves its progress; a "new
+        // process" restores both and continues incrementally
+        let archive = build();
+        let archive_bytes = archive.to_bytes();
+        let progress = {
+            let mut s = archive.session().unwrap();
+            s.request("V", 1e-2).unwrap();
+            s.save_progress()
+        };
+
+        let restored = Archive::from_bytes(&archive_bytes).unwrap();
+        let mut resumed = restored.resume_session(&progress).unwrap();
+        let fetched_at_resume = resumed.total_fetched();
+        assert!(fetched_at_resume > 0);
+        let r = resumed.request("V", 1e-6).unwrap();
+        assert!(r.satisfied);
+        // only the increment was newly fetched
+        assert_eq!(r.total_fetched, resumed.total_fetched());
+        assert!(r.bytes_fetched < r.total_fetched);
+
+        // equivalent to a never-interrupted session
+        let mut uninterrupted = restored.session().unwrap();
+        uninterrupted.request("V", 1e-2).unwrap();
+        uninterrupted.request("V", 1e-6).unwrap();
+        assert_eq!(uninterrupted.total_fetched(), resumed.total_fetched());
+        assert_eq!(
+            uninterrupted.reconstruction("Vx").unwrap(),
+            resumed.reconstruction("Vx").unwrap()
+        );
+    }
+
+    #[test]
+    fn region_requests_through_the_facade() {
+        let archive = build();
+        let mut s = archive.session().unwrap();
+        let r = s.request_region("V", 1e-6, 100, 160).unwrap();
+        assert!(r.satisfied);
+        let regional_bytes = s.total_fetched();
+        // following up with the global request costs extra bytes
+        let g = s.request("V", 1e-6).unwrap();
+        assert!(g.satisfied);
+        assert!(s.total_fetched() >= regional_bytes);
+        // invalid regions error
+        assert!(s.request_region("V", 1e-3, 500, 700).is_err());
+    }
+
+    #[test]
+    fn resolution_progression_through_the_facade() {
+        let archive = build(); // PMGARD-HB default scheme
+        let mut s = archive.session().unwrap();
+        s.request("V", 1e-6).unwrap();
+        let full = s.reconstruction("Vx").unwrap().to_vec();
+        let (coarse, dims) = s.reconstruction_at_resolution("Vx", 2).unwrap();
+        assert_eq!(dims, vec![150]); // 600 / 2^2
+        assert_eq!(coarse.len(), 150);
+        // coarse samples sit close to the full reconstruction on the subgrid
+        for (k, &c) in coarse.iter().enumerate() {
+            let f = full[k * 4];
+            assert!((c - f).abs() < 3.0, "k={k}: coarse {c} vs full {f}");
+        }
+        // unknown field errors
+        assert!(s.reconstruction_at_resolution("nope", 1).is_err());
+    }
+
+    #[test]
+    fn resolution_progression_unsupported_for_snapshots() {
+        let n = 200;
+        let archive = ArchiveBuilder::new(&[n])
+            .field("u", (0..n).map(|i| i as f64).collect())
+            .qoi("u2", QoiExpr::var(0).pow(2))
+            .scheme(Scheme::Psz3)
+            .build()
+            .unwrap();
+        let mut s = archive.session().unwrap();
+        s.request("u2", 1e-3).unwrap();
+        assert!(matches!(
+            s.reconstruction_at_resolution("u", 1),
+            Err(PqrError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_names_are_errors() {
+        let archive = build();
+        let mut s = archive.session().unwrap();
+        assert!(s.request("missing", 1e-3).is_err());
+        assert!(s.reconstruction("missing").is_err());
+        assert!(s.qoi_values("missing").is_err());
+        assert!(s.field_bound("missing").is_err());
+    }
+
+    #[test]
+    fn builder_mask_unknown_field_is_error() {
+        let r = ArchiveBuilder::new(&[4])
+            .field("a", vec![0.0; 4])
+            .mask(&["nope"])
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn archive_serialization_carries_qoi_registry() {
+        let archive = build();
+        let bytes = archive.to_bytes();
+        let restored = Archive::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.qoi_names(), archive.qoi_names());
+        assert_eq!(restored.qoi_range("V"), archive.qoi_range("V"));
+        assert_eq!(
+            restored.qoi_expr("Vx2").unwrap(),
+            archive.qoi_expr("Vx2").unwrap()
+        );
+        // restored archive retrieves identically
+        let mut s1 = archive.session().unwrap();
+        let mut s2 = restored.session().unwrap();
+        let r1 = s1.request("V", 1e-4).unwrap();
+        let r2 = s2.request("V", 1e-4).unwrap();
+        assert_eq!(r1.total_fetched, r2.total_fetched);
+        assert_eq!(
+            s1.reconstruction("Vx").unwrap(),
+            s2.reconstruction("Vx").unwrap()
+        );
+        // corruption detected
+        assert!(Archive::from_bytes(&bytes[..40]).is_err());
+    }
+
+    #[test]
+    fn f32_fields_retrieve_with_full_guarantee() {
+        let n = 500;
+        let data32: Vec<f32> = (0..n).map(|i| (i as f32 * 0.02).sin() * 12.0 + 20.0).collect();
+        let archive = ArchiveBuilder::new(&[n])
+            .field_f32("u", &data32)
+            .qoi("u2", QoiExpr::var(0).pow(2))
+            .build()
+            .unwrap();
+        let mut s = archive.session().unwrap();
+        let r = s.request("u2", 1e-6).unwrap();
+        assert!(r.satisfied);
+        // the guarantee holds against the exact widened values
+        let truth: Vec<f64> = data32.iter().map(|&v| f64::from(v).powi(2)).collect();
+        let derived = s.qoi_values("u2").unwrap();
+        let worst = truth
+            .iter()
+            .zip(&derived)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= r.max_est_errors[0]);
+    }
+
+    #[test]
+    fn builder_bad_field_shape_is_swallowed_until_build() {
+        // mis-shaped fields are dropped by the builder chain; the dataset
+        // simply doesn't contain them
+        let archive = ArchiveBuilder::new(&[4])
+            .field("good", vec![1.0; 4])
+            .field("bad", vec![1.0; 5])
+            .build()
+            .unwrap();
+        assert_eq!(archive.refactored().num_fields(), 1);
+    }
+}

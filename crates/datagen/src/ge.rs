@@ -1,0 +1,283 @@
+//! GE CFD stand-in: turbomachinery-like flow on variable-length blocks.
+//!
+//! The real GE data is `nblocks × {variable}` with five fields (Vx, Vy, Vz,
+//! P, D) on unstructured meshes, linearized to 1-D (§III-A). This generator
+//! reproduces the properties the experiments rely on:
+//!
+//! * per-block variable lengths (the `{ }` in Table III);
+//! * a boundary-layer-shaped axial flow with swirl plus power-law
+//!   turbulence, so the fields are smooth-but-multiscale like real CFD;
+//! * **exact-zero velocity wall nodes** (a few percent of points) — the
+//!   outliers that make Theorem 2 estimates blow up and motivated the
+//!   paper's mask (§V-A);
+//! * ideal-gas-consistent P and D so `T = P/(D·R)` ≈ 300 K and every GE QoI
+//!   of Eq. (1)–(6) is well-defined and subsonic.
+
+use crate::spectral::SpectralField;
+use crate::RawDataset;
+use pqr_qoi::ge::R;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// GE generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GeConfig {
+    /// Number of independent blocks (paper: 200 small, 96 large).
+    pub blocks: usize,
+    /// Mean block length; actual lengths vary ±25%.
+    pub mean_block_len: usize,
+    /// Fraction of wall (exact zero velocity) nodes per block.
+    pub wall_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeConfig {
+    /// Laptop-scale GE-small: 200 blocks, ~17 k points each (≈27 MB/field).
+    pub fn small() -> Self {
+        Self {
+            blocks: 200,
+            mean_block_len: 3_400,
+            wall_fraction: 0.03,
+            seed: 0x6745_2301,
+        }
+    }
+
+    /// Paper-scale GE-small (137.96 MB over 5 double fields ⇒ ≈3.6 M points
+    /// total ⇒ ~18 k per block).
+    pub fn small_paper() -> Self {
+        Self {
+            blocks: 200,
+            mean_block_len: 18_000,
+            wall_fraction: 0.03,
+            seed: 0x6745_2301,
+        }
+    }
+
+    /// Laptop-scale GE-large: 96 blocks.
+    pub fn large() -> Self {
+        Self {
+            blocks: 96,
+            mean_block_len: 12_000,
+            wall_fraction: 0.03,
+            seed: 0x0bad_cafe,
+        }
+    }
+
+    /// Paper-scale GE-large (7.79 GB over 5 fields ⇒ ≈2.2 M points/block).
+    pub fn large_paper() -> Self {
+        Self {
+            blocks: 96,
+            mean_block_len: 2_180_000,
+            wall_fraction: 0.03,
+            seed: 0x0bad_cafe,
+        }
+    }
+
+    /// Same config scaled to a different mean block length.
+    pub fn with_block_len(mut self, len: usize) -> Self {
+        self.mean_block_len = len;
+        self
+    }
+}
+
+/// GE field names, in variable-index order (see `pqr_qoi::ge`).
+pub const FIELD_NAMES: [&str; 5] = ["VelocityX", "VelocityY", "VelocityZ", "Pressure", "Density"];
+
+/// Generates all blocks. Each block is an independent 1-D [`RawDataset`]
+/// with the five GE fields.
+pub fn generate(cfg: &GeConfig) -> Vec<RawDataset> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.blocks)
+        .map(|b| {
+            let scale = rng.gen_range(0.75..=1.25);
+            let len = ((cfg.mean_block_len as f64 * scale) as usize).max(16);
+            let seed = rng.gen::<u64>();
+            generate_block(b, len, cfg.wall_fraction, seed)
+        })
+        .collect()
+}
+
+/// Generates one block.
+fn generate_block(block_id: usize, len: usize, wall_fraction: f64, seed: u64) -> RawDataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ (block_id as u64).wrapping_mul(0x9e37_79b9));
+    // independent turbulence per component/field
+    let turb: Vec<SpectralField> = (0..6)
+        .map(|i| SpectralField::new(rng.gen::<u64>() ^ i, 48, 2.0, 64.0, 1.7))
+        .collect();
+    let u0 = rng.gen_range(60.0..100.0); // axial speed
+    let swirl = rng.gen_range(10.0..30.0);
+    let t0 = rng.gen_range(290.0..310.0); // stagnation-ish temperature
+    let p0 = 101_325.0 * rng.gen_range(0.9..1.1);
+
+    let mut vx = Vec::with_capacity(len);
+    let mut vy = Vec::with_capacity(len);
+    let mut vz = Vec::with_capacity(len);
+    let mut p = Vec::with_capacity(len);
+    let mut d = Vec::with_capacity(len);
+
+    // wall nodes cluster at the block ends (hub/casing after linearization)
+    let wall_band = ((len as f64 * wall_fraction / 2.0) as usize).max(1);
+    for i in 0..len {
+        let x = i as f64 / len as f64;
+        let is_wall = i < wall_band || i + wall_band >= len;
+        if is_wall {
+            vx.push(0.0);
+            vy.push(0.0);
+            vz.push(0.0);
+        } else {
+            // boundary layer: velocity rises from the walls
+            let dist = (i.min(len - 1 - i) as f64) / len as f64;
+            let bl = 1.0 - (-dist * 40.0).exp();
+            vx.push(bl * (u0 + 12.0 * turb[0].sample(x, 0.1, 0.2)));
+            vy.push(bl * (swirl * (x * 9.0).sin() + 8.0 * turb[1].sample(x, 0.3, 0.7)));
+            vz.push(bl * 6.0 * turb[2].sample(x, 0.9, 0.4));
+        }
+        // thermodynamics: smooth T field, P fluctuations, ideal-gas D
+        let t = t0 + 8.0 * turb[3].sample(x, 0.5, 0.5);
+        let pressure = p0 * (1.0 + 0.04 * turb[4].sample(x, 0.2, 0.8));
+        p.push(pressure);
+        d.push(pressure / (R * t) * (1.0 + 1e-4 * turb[5].sample(x, 0.6, 0.1)));
+    }
+
+    RawDataset {
+        dims: vec![len],
+        fields: vec![
+            (FIELD_NAMES[0].to_string(), vx),
+            (FIELD_NAMES[1].to_string(), vy),
+            (FIELD_NAMES[2].to_string(), vz),
+            (FIELD_NAMES[3].to_string(), p),
+            (FIELD_NAMES[4].to_string(), d),
+        ],
+    }
+}
+
+/// Concatenates blocks into one linearized 1-D dataset (how the paper feeds
+/// GE-small to the sequential experiments).
+pub fn concat(blocks: &[RawDataset]) -> RawDataset {
+    let total: usize = blocks.iter().map(|b| b.num_elements()).sum();
+    let mut fields: Vec<(String, Vec<f64>)> = FIELD_NAMES
+        .iter()
+        .map(|n| (n.to_string(), Vec::with_capacity(total)))
+        .collect();
+    for b in blocks {
+        for (i, name) in FIELD_NAMES.iter().enumerate() {
+            fields[i]
+                .1
+                .extend_from_slice(b.field(name).expect("GE block missing field"));
+        }
+    }
+    RawDataset {
+        dims: vec![total],
+        fields,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqr_qoi::ge;
+
+    fn tiny() -> GeConfig {
+        GeConfig {
+            blocks: 8,
+            mean_block_len: 400,
+            wall_fraction: 0.04,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn deterministic_and_block_count() {
+        let a = generate(&tiny());
+        let b = generate(&tiny());
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.dims, y.dims);
+            assert_eq!(x.fields[0].1, y.fields[0].1);
+        }
+    }
+
+    #[test]
+    fn block_lengths_vary() {
+        let blocks = generate(&tiny());
+        let lens: std::collections::BTreeSet<usize> =
+            blocks.iter().map(|b| b.num_elements()).collect();
+        assert!(lens.len() > 4, "lengths should vary: {lens:?}");
+    }
+
+    #[test]
+    fn wall_nodes_are_exact_zeros() {
+        let blocks = generate(&tiny());
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for b in blocks {
+            let vx = b.field("VelocityX").unwrap();
+            let vy = b.field("VelocityY").unwrap();
+            let vz = b.field("VelocityZ").unwrap();
+            for j in 0..vx.len() {
+                total += 1;
+                if vx[j] == 0.0 && vy[j] == 0.0 && vz[j] == 0.0 {
+                    zeros += 1;
+                }
+            }
+        }
+        let frac = zeros as f64 / total as f64;
+        assert!(
+            (0.005..0.10).contains(&frac),
+            "wall fraction {frac} out of range"
+        );
+    }
+
+    #[test]
+    fn thermodynamics_keep_qois_well_defined() {
+        let blocks = generate(&tiny());
+        let combined = concat(&blocks);
+        let p = combined.field("Pressure").unwrap();
+        let d = combined.field("Density").unwrap();
+        for j in 0..p.len() {
+            let t = p[j] / (d[j] * ge::R);
+            assert!(
+                (250.0..350.0).contains(&t),
+                "T = {t} K at {j} is unphysical"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_is_subsonic() {
+        let blocks = generate(&tiny());
+        let c = concat(&blocks);
+        let (vx, vy, vz) = (
+            c.field("VelocityX").unwrap(),
+            c.field("VelocityY").unwrap(),
+            c.field("VelocityZ").unwrap(),
+        );
+        let p = c.field("Pressure").unwrap();
+        let d = c.field("Density").unwrap();
+        for j in 0..vx.len() {
+            let vtot = (vx[j] * vx[j] + vy[j] * vy[j] + vz[j] * vz[j]).sqrt();
+            let t = p[j] / (d[j] * ge::R);
+            let sound = (ge::GAMMA * ge::R * t).sqrt();
+            assert!(vtot / sound < 1.0, "supersonic at {j}");
+        }
+    }
+
+    #[test]
+    fn concat_preserves_totals() {
+        let blocks = generate(&tiny());
+        let total: usize = blocks.iter().map(|b| b.num_elements()).sum();
+        let c = concat(&blocks);
+        assert_eq!(c.num_elements(), total);
+        assert_eq!(c.fields.len(), 5);
+        assert_eq!(c.dims, vec![total]);
+    }
+
+    #[test]
+    fn configs_have_paper_block_counts() {
+        assert_eq!(GeConfig::small().blocks, 200);
+        assert_eq!(GeConfig::large().blocks, 96);
+        assert_eq!(GeConfig::small_paper().blocks, 200);
+        assert_eq!(GeConfig::large_paper().blocks, 96);
+    }
+}

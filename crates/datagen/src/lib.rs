@@ -1,0 +1,58 @@
+//! # pqr-datagen — synthetic stand-ins for the paper's datasets
+//!
+//! The paper evaluates on five datasets (Table III): GE CFD (small/large,
+//! proprietary), Hurricane Isabel, NYX cosmology, and S3D combustion. None
+//! are redistributable here, so this crate generates seeded synthetic
+//! equivalents that exercise the same code paths and preserve the
+//! characteristics the experiments depend on:
+//!
+//! * **smooth multi-scale structure** (random-phase Fourier superposition
+//!   with power-law spectra) so compressors decorrelate the way they do on
+//!   real fields — rate-distortion *shape* is what the figures compare;
+//! * **domain structure per dataset**: variable-length blocks and exact-zero
+//!   wall nodes for GE (the outlier mask's reason to exist), vortex flow for
+//!   Hurricane, power-law velocity fields for NYX, flame fronts with
+//!   species in [0, ~0.3] for S3D;
+//! * **physical consistency** where QoIs need it: GE pressure/density obey
+//!   an ideal-gas relation so that `T = P/(D·R)` lands near 300 K, keeping
+//!   every Eq. (1)–(6) QoI well-defined (positive `T+S`, subsonic Mach).
+//!
+//! Every generator is deterministic in its seed; default sizes are scaled
+//! down from the paper's (laptop-friendly), with the paper-scale dimensions
+//! available via each config's `paper()` constructor.
+
+pub mod ge;
+pub mod hurricane;
+pub mod nyx;
+pub mod s3d;
+pub mod spectral;
+pub mod zones;
+
+/// A generated multi-field array (row-major fields of identical shape).
+#[derive(Debug, Clone)]
+pub struct RawDataset {
+    /// Array shape.
+    pub dims: Vec<usize>,
+    /// `(name, data)` pairs; every `data.len() == dims.iter().product()`.
+    pub fields: Vec<(String, Vec<f64>)>,
+}
+
+impl RawDataset {
+    /// Elements per field.
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Field data by name.
+    pub fn field(&self, name: &str) -> Option<&[f64]> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_slice())
+    }
+
+    /// Total raw size in bytes (f64 storage).
+    pub fn raw_bytes(&self) -> usize {
+        self.fields.len() * self.num_elements() * 8
+    }
+}

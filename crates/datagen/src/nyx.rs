@@ -1,0 +1,145 @@
+//! NYX cosmology stand-in: Gaussian random velocity fields.
+//!
+//! The real dataset (Table III: 512³, 3 velocity fields) comes from the NYX
+//! AMR cosmology code; baryon velocities are, to good approximation,
+//! Gaussian random fields with power-law spectra at these scales. The
+//! stand-in superposes random Fourier modes with a near-Kolmogorov slope
+//! and scales to NYX's native cm/s magnitudes (~10⁷), preserving exactly
+//! what the VTOT experiments exercise: smooth 3-D fields whose magnitude
+//! never sits exactly at zero (no mask needed, unlike GE).
+
+use crate::spectral::SpectralField;
+use crate::RawDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NYX generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NyxConfig {
+    /// Cubic grid extent per side (paper: 512).
+    pub n: usize,
+    /// RMS velocity scale in cm/s (NYX native units).
+    pub v_rms: f64,
+    /// Bulk-flow offset per component (keeps |V| away from exact zero).
+    pub bulk: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NyxConfig {
+    /// Laptop-scale default: 64³.
+    pub fn small() -> Self {
+        Self {
+            n: 64,
+            v_rms: 9.0e6,
+            bulk: 2.0e6,
+            seed: 0x0057_a9e5,
+        }
+    }
+
+    /// Paper-scale: 512³.
+    pub fn paper() -> Self {
+        Self {
+            n: 512,
+            ..Self::small()
+        }
+    }
+}
+
+/// Field names in variable-index order.
+pub const FIELD_NAMES: [&str; 3] = ["velocity_x", "velocity_y", "velocity_z"];
+
+/// Generates the three velocity fields.
+pub fn generate(cfg: &NyxConfig) -> RawDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dims = [cfg.n, cfg.n, cfg.n];
+    let fields = FIELD_NAMES
+        .iter()
+        .map(|name| {
+            let f = SpectralField::new(rng.gen(), 64, 1.0, 32.0, 1.67);
+            let bulk = cfg.bulk * rng.gen_range(-1.0..=1.0f64);
+            let mut data = f.sample_3d(&dims);
+            for v in &mut data {
+                *v = *v * cfg.v_rms + bulk;
+            }
+            (name.to_string(), data)
+        })
+        .collect();
+    RawDataset {
+        dims: dims.to_vec(),
+        fields,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NyxConfig {
+        NyxConfig {
+            n: 16,
+            v_rms: 9.0e6,
+            bulk: 2.0e6,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn shape_and_units() {
+        let ds = generate(&tiny());
+        assert_eq!(ds.dims, vec![16, 16, 16]);
+        assert_eq!(ds.fields.len(), 3);
+        let vx = ds.field("velocity_x").unwrap();
+        let max = vx.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(
+            (1.0e6..1.0e8).contains(&max),
+            "velocities should be ~1e7 cm/s, max |vx| = {max:e}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&tiny());
+        let b = generate(&tiny());
+        assert_eq!(a.fields[2].1, b.fields[2].1);
+    }
+
+    #[test]
+    fn components_are_decorrelated() {
+        let ds = generate(&tiny());
+        let x = ds.field("velocity_x").unwrap();
+        let y = ds.field("velocity_y").unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mx, my) = (mean(x), mean(y));
+        let cov: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(a, b)| (a - mx) * (b - my))
+            .sum::<f64>()
+            / x.len() as f64;
+        let sx = (x.iter().map(|a| (a - mx) * (a - mx)).sum::<f64>() / x.len() as f64).sqrt();
+        let sy = (y.iter().map(|b| (b - my) * (b - my)).sum::<f64>() / y.len() as f64).sqrt();
+        let corr = cov / (sx * sy);
+        assert!(corr.abs() < 0.5, "components too correlated: {corr}");
+    }
+
+    #[test]
+    fn no_exact_zero_velocity_magnitude() {
+        // unlike GE, NYX needs no outlier mask — check the premise
+        let ds = generate(&tiny());
+        let (x, y, z) = (
+            ds.field("velocity_x").unwrap(),
+            ds.field("velocity_y").unwrap(),
+            ds.field("velocity_z").unwrap(),
+        );
+        for j in 0..x.len() {
+            let m = (x[j] * x[j] + y[j] * y[j] + z[j] * z[j]).sqrt();
+            assert!(m > 0.0, "exact-zero magnitude at {j}");
+        }
+    }
+
+    #[test]
+    fn paper_dims() {
+        assert_eq!(NyxConfig::paper().n, 512);
+    }
+}

@@ -1,0 +1,200 @@
+//! S3D combustion stand-in: flame-front species fields.
+//!
+//! The real dataset (Table III: 1200×334×200, 8 species) is a direct
+//! numerical simulation of turbulent combustion; the paper's QoIs are molar
+//! concentration products `xᵢ·xⱼ` feeding reaction rates of progress (e.g.
+//! `x₁x₃` for `H + O₂ ⇌ O + OH`). The stand-in builds a wrinkled flame
+//! front: reactants (H₂, O₂) sigmoid **down** across the front, products
+//! (H₂O) sigmoid **up**, and radicals (H, O, OH, HO₂, H₂O₂) peak **at** the
+//! front — with turbulent wrinkling of the front surface. Values live in
+//! the small positive ranges typical of mass/molar fractions, which is what
+//! makes the product QoIs "easy to preserve" (§VI-B) relative to √-type
+//! QoIs.
+
+use crate::spectral::SpectralField;
+use crate::RawDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Species names in variable-index order: the paper's `x0..x7`.
+/// `x0=H2, x1=O2, x3=H, x4=O, x5=OH` are the ones named in §VI-A.
+pub const FIELD_NAMES: [&str; 8] = ["H2", "O2", "H2O", "H", "O", "OH", "HO2", "H2O2"];
+
+/// The four molar-concentration products evaluated in Fig. 6, as variable
+/// index pairs: `x1x3` (O₂·H), `x4x5` (O·OH), `x0x4` (H₂·O), `x3x5` (H·OH).
+pub const PRODUCT_PAIRS: [(usize, usize); 4] = [(1, 3), (4, 5), (0, 4), (3, 5)];
+
+/// S3D generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct S3dConfig {
+    /// Grid dims (paper: 1200×334×200).
+    pub dims: [usize; 3],
+    /// Flame-front thickness as a fraction of the x-extent.
+    pub front_thickness: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl S3dConfig {
+    /// Laptop-scale default: 120×34×20.
+    pub fn small() -> Self {
+        Self {
+            dims: [120, 34, 20],
+            front_thickness: 0.04,
+            seed: 0x53d0_53d0,
+        }
+    }
+
+    /// Paper-scale: 1200×334×200.
+    pub fn paper() -> Self {
+        Self {
+            dims: [1200, 334, 200],
+            ..Self::small()
+        }
+    }
+}
+
+/// Generates the eight species fields.
+pub fn generate(cfg: &S3dConfig) -> RawDataset {
+    let [n0, n1, n2] = cfg.dims;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // wrinkling of the front position over the (y, z) plane + mild noise
+    let wrinkle = SpectralField::new(rng.gen(), 32, 1.0, 12.0, 1.8);
+    let noise: Vec<SpectralField> = (0..8)
+        .map(|i| SpectralField::new(rng.gen::<u64>() ^ i, 24, 4.0, 40.0, 2.0))
+        .collect();
+
+    // per-species profile parameters: (unburnt level, burnt level, radical peak)
+    // reactants fall, products rise, radicals peak at the front
+    let profile: [(f64, f64, f64); 8] = [
+        (0.028, 0.002, 0.0),  // H2   reactant
+        (0.220, 0.020, 0.0),  // O2   reactant
+        (0.005, 0.240, 0.0),  // H2O  product
+        (0.0, 0.0005, 0.008), // H    radical
+        (0.0, 0.0008, 0.012), // O    radical
+        (0.0, 0.0030, 0.020), // OH   radical
+        (0.0, 0.0002, 0.004), // HO2  radical
+        (0.0, 0.0001, 0.002), // H2O2 radical
+    ];
+
+    let n = n0 * n1 * n2;
+    let fields = FIELD_NAMES
+        .iter()
+        .enumerate()
+        .map(|(sp, name)| {
+            let (unburnt, burnt, peak) = profile[sp];
+            let mut data = vec![0.0f64; n];
+            let thick = cfg.front_thickness;
+            let noise_f = &noise[sp];
+            let wrinkle_f = &wrinkle;
+            pqr_util::par::par_map_into(&mut data, |idx| {
+                let k = idx % n2;
+                let j = (idx / n2) % n1;
+                let i = idx / (n1 * n2);
+                let x = if n0 > 1 { i as f64 / (n0 - 1) as f64 } else { 0.0 };
+                let y = if n1 > 1 { j as f64 / (n1 - 1) as f64 } else { 0.0 };
+                let z = if n2 > 1 { k as f64 / (n2 - 1) as f64 } else { 0.0 };
+                // wrinkled front position across the x-axis
+                let front = 0.5 + 0.08 * wrinkle_f.sample(0.0, y, z);
+                let s = ((x - front) / thick).tanh() * 0.5 + 0.5; // 0 unburnt → 1 burnt
+                let gauss = (-((x - front) / thick) * ((x - front) / thick)).exp();
+                let base = unburnt + (burnt - unburnt) * s + peak * gauss;
+                // multiplicative turbulence, clamped non-negative
+                (base * (1.0 + 0.05 * noise_f.sample(x, y, z))).max(0.0)
+            });
+            (name.to_string(), data)
+        })
+        .collect();
+
+    RawDataset {
+        dims: cfg.dims.to_vec(),
+        fields,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> S3dConfig {
+        S3dConfig {
+            dims: [40, 12, 8],
+            front_thickness: 0.05,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn shape_and_names() {
+        let ds = generate(&tiny());
+        assert_eq!(ds.dims, vec![40, 12, 8]);
+        assert_eq!(ds.fields.len(), 8);
+        for name in FIELD_NAMES {
+            assert!(ds.field(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn species_fractions_physical() {
+        let ds = generate(&tiny());
+        for (name, data) in &ds.fields {
+            for (j, &v) in data.iter().enumerate() {
+                assert!(v >= 0.0, "{name}[{j}] negative: {v}");
+                assert!(v < 0.5, "{name}[{j}] too large: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn reactants_fall_products_rise_across_front() {
+        let cfg = tiny();
+        let ds = generate(&cfg);
+        let [n0, n1, n2] = cfg.dims;
+        let mid = (n1 / 2) * n2 + n2 / 2;
+        let at_x = |field: &[f64], i: usize| field[i * n1 * n2 + mid];
+        let o2 = ds.field("O2").unwrap();
+        let h2o = ds.field("H2O").unwrap();
+        assert!(at_x(o2, 2) > at_x(o2, n0 - 3) + 0.1, "O2 should burn away");
+        assert!(at_x(h2o, n0 - 3) > at_x(h2o, 2) + 0.1, "H2O should form");
+    }
+
+    #[test]
+    fn radicals_peak_at_the_front() {
+        let cfg = tiny();
+        let ds = generate(&cfg);
+        let [n0, n1, n2] = cfg.dims;
+        let mid = (n1 / 2) * n2 + n2 / 2;
+        let oh = ds.field("OH").unwrap();
+        let series: Vec<f64> = (0..n0).map(|i| oh[i * n1 * n2 + mid]).collect();
+        let peak_pos = series
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        // the wrinkled front sits near the middle of the x-extent
+        assert!(
+            (n0 / 4..3 * n0 / 4).contains(&peak_pos),
+            "OH peak at {peak_pos}/{n0}"
+        );
+    }
+
+    #[test]
+    fn product_pairs_are_in_range() {
+        for (a, b) in PRODUCT_PAIRS {
+            assert!(a < 8 && b < 8);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&tiny());
+        let b = generate(&tiny());
+        assert_eq!(a.fields[5].1, b.fields[5].1);
+    }
+
+    #[test]
+    fn paper_dims() {
+        assert_eq!(S3dConfig::paper().dims, [1200, 334, 200]);
+    }
+}

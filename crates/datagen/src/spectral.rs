@@ -1,0 +1,157 @@
+//! Random-phase Fourier superposition — the shared "smooth turbulent field"
+//! primitive behind every generator.
+//!
+//! A field is a sum of `M` sinusoidal modes with random directions, random
+//! phases, and amplitudes following a power law `|k|^{-slope}`. Slope ≈ 5/3
+//! gives Kolmogorov-like turbulence spectra; larger slopes give smoother
+//! fields. The result is normalised to zero mean, unit RMS, so callers scale
+//! and offset to physical units.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One sinusoidal mode.
+#[derive(Debug, Clone, Copy)]
+struct Mode {
+    k: [f64; 3],
+    amp: f64,
+    phase: f64,
+}
+
+/// A reusable spectral field sampler over the unit cube.
+#[derive(Debug, Clone)]
+pub struct SpectralField {
+    modes: Vec<Mode>,
+    norm: f64,
+}
+
+impl SpectralField {
+    /// Builds `num_modes` random modes with wavenumbers in
+    /// `[k_min, k_max]` (cycles per unit length) and amplitude
+    /// `∝ |k|^{-slope}`.
+    pub fn new(seed: u64, num_modes: usize, k_min: f64, k_max: f64, slope: f64) -> Self {
+        assert!(num_modes > 0, "need at least one mode");
+        assert!(k_min > 0.0 && k_max >= k_min, "bad wavenumber range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut modes = Vec::with_capacity(num_modes);
+        let mut sum_sq = 0.0f64;
+        for _ in 0..num_modes {
+            // log-uniform |k| covers the range evenly in octaves
+            let lk = rng.gen_range(k_min.ln()..=k_max.ln());
+            let kmag = lk.exp();
+            // random direction on the sphere
+            let z: f64 = rng.gen_range(-1.0..=1.0);
+            let az: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let r = (1.0 - z * z).sqrt();
+            let dir = [r * az.cos(), r * az.sin(), z];
+            let amp = kmag.powf(-slope);
+            sum_sq += 0.5 * amp * amp; // E[sin²] = 1/2
+            modes.push(Mode {
+                k: [
+                    dir[0] * kmag * std::f64::consts::TAU,
+                    dir[1] * kmag * std::f64::consts::TAU,
+                    dir[2] * kmag * std::f64::consts::TAU,
+                ],
+                amp,
+                phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            });
+        }
+        Self {
+            modes,
+            norm: 1.0 / sum_sq.sqrt(),
+        }
+    }
+
+    /// Samples the field at a point of the unit cube (zero mean, ~unit RMS).
+    #[inline]
+    pub fn sample(&self, x: f64, y: f64, z: f64) -> f64 {
+        let mut v = 0.0;
+        for m in &self.modes {
+            v += m.amp * (m.k[0] * x + m.k[1] * y + m.k[2] * z + m.phase).sin();
+        }
+        v * self.norm
+    }
+
+    /// Fills a 1-D array sampled along the x-axis of the unit cube.
+    pub fn sample_1d(&self, n: usize) -> Vec<f64> {
+        let step = if n > 1 { 1.0 / (n - 1) as f64 } else { 0.0 };
+        (0..n).map(|i| self.sample(i as f64 * step, 0.0, 0.0)).collect()
+    }
+
+    /// Fills a row-major 3-D array over the unit cube.
+    pub fn sample_3d(&self, dims: &[usize; 3]) -> Vec<f64> {
+        let [n0, n1, n2] = *dims;
+        let inv = |n: usize| if n > 1 { 1.0 / (n - 1) as f64 } else { 0.0 };
+        let (i0, i1, i2) = (inv(n0), inv(n1), inv(n2));
+        let mut out = vec![0.0f64; n0 * n1 * n2];
+        pqr_util::par::par_map_into(&mut out, |idx| {
+            let k = idx % n2;
+            let j = (idx / n2) % n1;
+            let i = idx / (n1 * n2);
+            self.sample(i as f64 * i0, j as f64 * i1, k as f64 * i2)
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = SpectralField::new(7, 32, 1.0, 32.0, 1.7).sample_1d(100);
+        let b = SpectralField::new(7, 32, 1.0, 32.0, 1.7).sample_1d(100);
+        assert_eq!(a, b);
+        let c = SpectralField::new(8, 32, 1.0, 32.0, 1.7).sample_1d(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn roughly_unit_rms() {
+        let v = SpectralField::new(42, 64, 1.0, 16.0, 1.5).sample_1d(20_000);
+        let rms = (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+        assert!(
+            (0.3..3.0).contains(&rms),
+            "rms {rms} far from unit normalisation"
+        );
+    }
+
+    #[test]
+    fn smoother_slope_compresses_better() {
+        // steeper spectrum ⇒ less fine-scale energy ⇒ smaller neighbour
+        // differences (proxy for compressibility)
+        let rough = SpectralField::new(1, 64, 1.0, 64.0, 1.0).sample_1d(4096);
+        let smooth = SpectralField::new(1, 64, 1.0, 64.0, 3.0).sample_1d(4096);
+        let tv = |v: &[f64]| {
+            v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
+                / (v.iter().map(|x| x.abs()).sum::<f64>() + 1e-12)
+        };
+        assert!(tv(&smooth) < tv(&rough));
+    }
+
+    #[test]
+    fn sample_3d_layout_matches_pointwise_sampling() {
+        let f = SpectralField::new(3, 16, 1.0, 8.0, 2.0);
+        let dims = [4usize, 5, 6];
+        let arr = f.sample_3d(&dims);
+        assert_eq!(arr.len(), 120);
+        // spot-check the row-major index math
+        let idx = 2 * 30 + 3 * 6 + 4;
+        let want = f.sample(2.0 / 3.0, 3.0 / 4.0, 4.0 / 5.0);
+        assert!((arr[idx] - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_dims() {
+        let f = SpectralField::new(9, 8, 1.0, 4.0, 2.0);
+        assert_eq!(f.sample_1d(1).len(), 1);
+        assert_eq!(f.sample_3d(&[1, 1, 1]).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mode")]
+    fn zero_modes_rejected() {
+        SpectralField::new(0, 0, 1.0, 2.0, 1.0);
+    }
+}

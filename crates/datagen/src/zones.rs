@@ -1,0 +1,175 @@
+//! Piecewise-regime ("zoned") synthetic fields.
+//!
+//! Region-of-interest experiments need data whose difficulty varies across
+//! the domain: a tolerance scoped to a quiet zone should cost less than one
+//! covering a violent zone, and by how much depends on the amplitude ratio.
+//! This generator produces a 1-D field partitioned into contiguous zones,
+//! each a sinusoid mixture at its own amplitude, so the per-zone difficulty
+//! is controlled exactly. Used by ablation 2c and the RoI tests.
+
+use crate::RawDataset;
+
+/// One contiguous zone of a [`generate`]d field.
+#[derive(Debug, Clone, Copy)]
+pub struct Zone {
+    /// Fraction of the domain this zone occupies (fractions are normalized
+    /// over all zones).
+    pub weight: f64,
+    /// Peak amplitude of the zone's signal.
+    pub amplitude: f64,
+    /// Base spatial frequency (cycles across the zone).
+    pub frequency: f64,
+}
+
+/// Configuration for the zoned generator.
+#[derive(Debug, Clone)]
+pub struct ZonesConfig {
+    /// Number of samples.
+    pub n: usize,
+    /// The zones, left to right.
+    pub zones: Vec<Zone>,
+    /// RNG seed (phases).
+    pub seed: u64,
+}
+
+impl ZonesConfig {
+    /// The two-zone field of ablation 2c: a quiet half (amplitude 1) and a
+    /// violent half (amplitude 100).
+    pub fn quiet_violent(n: usize) -> Self {
+        Self {
+            n,
+            zones: vec![
+                Zone {
+                    weight: 1.0,
+                    amplitude: 1.0,
+                    frequency: 31.0,
+                },
+                Zone {
+                    weight: 1.0,
+                    amplitude: 100.0,
+                    frequency: 27.0,
+                },
+            ],
+            seed: 0x2e0e5,
+        }
+    }
+}
+
+/// Generates the zoned field as a single-field dataset (`"u"`).
+///
+/// Returns the dataset together with the half-open index range of every
+/// zone, so callers can build region-restricted requests without
+/// re-deriving the layout.
+pub fn generate(cfg: &ZonesConfig) -> (RawDataset, Vec<(usize, usize)>) {
+    assert!(!cfg.zones.is_empty(), "need at least one zone");
+    let total_w: f64 = cfg.zones.iter().map(|z| z.weight).sum();
+    let mut data = Vec::with_capacity(cfg.n);
+    let mut ranges = Vec::with_capacity(cfg.zones.len());
+    let mut s = cfg.seed | 1;
+    let mut rand01 = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s as f64 / u64::MAX as f64
+    };
+    let mut start = 0usize;
+    for (zi, z) in cfg.zones.iter().enumerate() {
+        let end = if zi + 1 == cfg.zones.len() {
+            cfg.n
+        } else {
+            start + ((cfg.n as f64) * z.weight / total_w) as usize
+        };
+        let len = end - start;
+        let (p1, p2) = (rand01() * std::f64::consts::TAU, rand01() * std::f64::consts::TAU);
+        for j in 0..len {
+            let x = j as f64 / len.max(1) as f64;
+            // two harmonics keep the zone non-trivial for the predictors
+            let v = z.amplitude
+                * (0.8 * (x * z.frequency * std::f64::consts::TAU + p1).sin()
+                    + 0.2 * (x * z.frequency * 3.7 * std::f64::consts::TAU + p2).sin());
+            data.push(v);
+        }
+        ranges.push((start, end));
+        start = end;
+    }
+    (
+        RawDataset {
+            dims: vec![cfg.n],
+            fields: vec![("u".to_string(), data)],
+        },
+        ranges,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zones_cover_the_domain_exactly() {
+        let (ds, ranges) = generate(&ZonesConfig::quiet_violent(10_001));
+        assert_eq!(ds.num_elements(), 10_001);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 10_001);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "zones must tile contiguously");
+        }
+    }
+
+    #[test]
+    fn amplitudes_respected_per_zone() {
+        let (ds, ranges) = generate(&ZonesConfig::quiet_violent(20_000));
+        let u = ds.field("u").unwrap();
+        let max_in = |(a, b): (usize, usize)| u[a..b].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let quiet = max_in(ranges[0]);
+        let violent = max_in(ranges[1]);
+        assert!(quiet <= 1.0 + 1e-9, "quiet zone peak {quiet}");
+        assert!(violent > 50.0, "violent zone peak {violent}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = ZonesConfig::quiet_violent(500);
+        let (a, _) = generate(&cfg);
+        let (b, _) = generate(&cfg);
+        assert_eq!(a.field("u").unwrap(), b.field("u").unwrap());
+        let (c, _) = generate(&ZonesConfig {
+            seed: 99,
+            ..cfg.clone()
+        });
+        assert_ne!(a.field("u").unwrap(), c.field("u").unwrap());
+    }
+
+    #[test]
+    fn uneven_weights() {
+        let cfg = ZonesConfig {
+            n: 1000,
+            zones: vec![
+                Zone {
+                    weight: 3.0,
+                    amplitude: 1.0,
+                    frequency: 5.0,
+                },
+                Zone {
+                    weight: 1.0,
+                    amplitude: 2.0,
+                    frequency: 5.0,
+                },
+            ],
+            seed: 7,
+        };
+        let (_, ranges) = generate(&cfg);
+        assert_eq!(ranges[0], (0, 750));
+        assert_eq!(ranges[1], (750, 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one zone")]
+    fn empty_zones_panic() {
+        generate(&ZonesConfig {
+            n: 10,
+            zones: vec![],
+            seed: 1,
+        });
+    }
+}

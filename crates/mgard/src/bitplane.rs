@@ -1,0 +1,342 @@
+//! Per-level bitplane encoding of multilevel coefficients.
+//!
+//! Coefficients of one level are normalised by the level exponent
+//! `E = floor(log2(max|c|)) + 1` to fixed point with [`PLANES`] fractional
+//! bits, then emitted most-significant plane first. Each plane is an
+//! independently fetchable segment consisting of the plane's magnitude bits
+//! (RLE-compressed — high planes of smooth-field coefficients are almost all
+//! zero) followed by the sign bits of the coefficients that *became
+//! significant* in this plane (embedded sign coding: signs cost nothing
+//! until a coefficient matters).
+//!
+//! After receiving `k` planes, every coefficient of the level satisfies
+//! `|c − ĉ| ≤ 2^{E−k} + 2^{E−PLANES+1}` — truncation plus the fixed-point
+//! rounding/clamping slack. Receiving all planes is near-lossless
+//! (relative ~1e-18), matching PMGARD's "archive at nearly full accuracy".
+
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::error::{PqrError, Result};
+use pqr_util::rle::{decode_bits_auto, encode_bits_auto};
+
+/// Number of bitplanes kept per level (fixed-point fractional bits).
+pub const PLANES: u32 = 60;
+
+/// Encodes one level's coefficients; holds the per-plane segments.
+#[derive(Debug, Clone)]
+pub struct EncodedLevel {
+    /// Level exponent: all |c| < 2^exponent. `None` for an all-zero level
+    /// (no planes stored at all).
+    pub exponent: Option<i32>,
+    /// Number of coefficients.
+    pub count: usize,
+    /// Per-plane segment bytes, MSB plane first (`PLANES` entries, empty if
+    /// the level is all-zero).
+    pub planes: Vec<Vec<u8>>,
+}
+
+/// Truncation error bound after receiving `k` of the level's planes.
+///
+/// `exponent = None` (all-zero level) needs no data: the error is 0.
+pub fn truncation_error(exponent: Option<i32>, k: u32) -> f64 {
+    match exponent {
+        None => 0.0,
+        Some(e) => exp2(e - k as i32) + exp2(e - PLANES as i32 + 1),
+    }
+}
+
+/// `2^e` for possibly large-negative `e` without going through powi's
+/// domain checks.
+#[inline]
+fn exp2(e: i32) -> f64 {
+    (e as f64).exp2()
+}
+
+/// Encodes a level's coefficients into per-plane segments.
+pub fn encode_level(coeffs: &[f64]) -> EncodedLevel {
+    let count = coeffs.len();
+    let max_abs = coeffs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+    if max_abs == 0.0 || count == 0 {
+        return EncodedLevel {
+            exponent: None,
+            count,
+            planes: Vec::new(),
+        };
+    }
+    // E such that |c| < 2^E for all c (strict: frac < 1).
+    let mut e = max_abs.log2().floor() as i32 + 1;
+    if max_abs * exp2(-e) >= 1.0 {
+        e += 1; // log2 float slack
+    }
+
+    // Fixed-point magnitudes m ∈ [0, 2^PLANES) and signs.
+    let scale = exp2(PLANES as i32 - e);
+    let max_m = (1u64 << PLANES) - 1;
+    let ms: Vec<u64> = coeffs
+        .iter()
+        .map(|c| {
+            let m = (c.abs() * scale).round() as u64;
+            m.min(max_m)
+        })
+        .collect();
+    let negs: Vec<bool> = coeffs.iter().map(|c| *c < 0.0).collect();
+
+    let mut planes = Vec::with_capacity(PLANES as usize);
+    let mut significant = vec![false; count];
+    for p in 0..PLANES {
+        let shift = PLANES - 1 - p;
+        let mut bits = Vec::with_capacity(count);
+        let mut signs = Vec::new();
+        for j in 0..count {
+            let bit = (ms[j] >> shift) & 1 == 1;
+            bits.push(bit);
+            if bit && !significant[j] {
+                significant[j] = true;
+                signs.push(negs[j]);
+            }
+        }
+        // u32 length prefixes: plane segments are numerous, keep them lean
+        let bit_blob = encode_bits_auto(&bits);
+        let sign_blob = encode_bits_auto(&signs);
+        let mut w = ByteWriter::with_capacity(bit_blob.len() + sign_blob.len() + 8);
+        w.put_u32(bit_blob.len() as u32);
+        w.put_raw(&bit_blob);
+        w.put_u32(sign_blob.len() as u32);
+        w.put_raw(&sign_blob);
+        planes.push(w.finish());
+    }
+    EncodedLevel {
+        exponent: Some(e),
+        count,
+        planes,
+    }
+}
+
+/// Incremental decoder: feed planes in order, read out coefficient values.
+#[derive(Debug, Clone)]
+pub struct LevelDecoder {
+    exponent: Option<i32>,
+    count: usize,
+    /// Accumulated magnitudes (fixed point).
+    ms: Vec<u64>,
+    /// Sign of each coefficient (valid once significant).
+    negs: Vec<bool>,
+    significant: Vec<bool>,
+    planes_read: u32,
+}
+
+impl LevelDecoder {
+    /// Creates a decoder for a level with the given exponent and size.
+    pub fn new(exponent: Option<i32>, count: usize) -> Self {
+        Self {
+            exponent,
+            count,
+            ms: vec![0; count],
+            negs: vec![false; count],
+            significant: vec![false; count],
+            planes_read: 0,
+        }
+    }
+
+    /// Number of planes consumed so far.
+    pub fn planes_read(&self) -> u32 {
+        self.planes_read
+    }
+
+    /// Current per-coefficient truncation error bound.
+    pub fn error_bound(&self) -> f64 {
+        truncation_error(self.exponent, self.planes_read)
+    }
+
+    /// Consumes the next plane segment (must be fed strictly in order).
+    pub fn push_plane(&mut self, segment: &[u8]) -> Result<()> {
+        let Some(_) = self.exponent else {
+            return Err(PqrError::InvalidRequest(
+                "all-zero level has no planes".into(),
+            ));
+        };
+        if self.planes_read >= PLANES {
+            return Err(PqrError::InvalidRequest("level already complete".into()));
+        }
+        let mut r = ByteReader::new(segment);
+        let bit_len = r.get_u32()? as usize;
+        let bit_blob = r.get_raw(bit_len)?;
+        let sign_len = r.get_u32()? as usize;
+        let sign_blob = r.get_raw(sign_len)?;
+        let bits = decode_bits_auto(bit_blob, self.count)?;
+        let shift = PLANES - 1 - self.planes_read;
+        // how many first-significances this plane introduces
+        // (indexing three parallel per-coefficient arrays by j)
+        let mut newly = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..self.count {
+            if bits[j] {
+                self.ms[j] |= 1u64 << shift;
+                if !self.significant[j] {
+                    self.significant[j] = true;
+                    newly.push(j);
+                }
+            }
+        }
+        let signs = decode_bits_auto(sign_blob, newly.len())?;
+        for (&sign, &j) in signs.iter().zip(&newly) {
+            self.negs[j] = sign;
+        }
+        self.planes_read += 1;
+        Ok(())
+    }
+
+    /// Reconstructs coefficient `j` from the planes received so far.
+    #[inline]
+    pub fn coefficient(&self, j: usize) -> f64 {
+        let Some(e) = self.exponent else {
+            return 0.0;
+        };
+        let v = self.ms[j] as f64 * exp2(e - PLANES as i32);
+        if self.negs[j] {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// All coefficients at current precision.
+    pub fn coefficients(&self) -> Vec<f64> {
+        (0..self.count).map(|j| self.coefficient(j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coeffs(n: usize, scale: f64) -> Vec<f64> {
+        let mut s = 0x5a5a5a5au64;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s as f64 / u64::MAX as f64) * 2.0 - 1.0) * scale
+            })
+            .collect()
+    }
+
+    fn decode_k(enc: &EncodedLevel, k: u32) -> LevelDecoder {
+        let mut d = LevelDecoder::new(enc.exponent, enc.count);
+        for p in 0..k as usize {
+            d.push_plane(&enc.planes[p]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn truncation_error_honoured_at_every_depth() {
+        let coeffs = sample_coeffs(500, 3.7);
+        let enc = encode_level(&coeffs);
+        for k in [1u32, 2, 5, 10, 20, 40, PLANES] {
+            let d = decode_k(&enc, k);
+            let bound = d.error_bound();
+            for (j, &c) in coeffs.iter().enumerate() {
+                let err = (d.coefficient(j) - c).abs();
+                assert!(err <= bound, "k={k} j={j}: err {err} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_depth_is_near_lossless() {
+        let coeffs = sample_coeffs(200, 1e3);
+        let enc = encode_level(&coeffs);
+        let d = decode_k(&enc, PLANES);
+        for (j, &c) in coeffs.iter().enumerate() {
+            let rel = (d.coefficient(j) - c).abs() / c.abs().max(1e-300);
+            assert!(rel < 1e-15, "j={j}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn error_decreases_monotonically_with_planes() {
+        let coeffs = sample_coeffs(300, 2.0);
+        let enc = encode_level(&coeffs);
+        let mut prev = f64::INFINITY;
+        for k in 1..=PLANES {
+            let b = truncation_error(enc.exponent, k);
+            assert!(b < prev, "k={k}: {b} !< {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn signs_recovered_correctly() {
+        let coeffs = vec![1.0, -1.0, 0.5, -0.25, 0.0, -0.75];
+        let enc = encode_level(&coeffs);
+        let d = decode_k(&enc, PLANES);
+        for (j, &c) in coeffs.iter().enumerate() {
+            assert_eq!(
+                d.coefficient(j) < 0.0,
+                c < 0.0 && c != 0.0,
+                "sign mismatch at {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_level_costs_nothing() {
+        let enc = encode_level(&[0.0; 100]);
+        assert_eq!(enc.exponent, None);
+        assert!(enc.planes.is_empty());
+        assert_eq!(truncation_error(None, 0), 0.0);
+        let d = LevelDecoder::new(None, 100);
+        assert_eq!(d.coefficient(7), 0.0);
+        assert_eq!(d.error_bound(), 0.0);
+    }
+
+    #[test]
+    fn empty_level() {
+        let enc = encode_level(&[]);
+        assert_eq!(enc.count, 0);
+        assert_eq!(enc.exponent, None);
+    }
+
+    #[test]
+    fn high_planes_of_small_coefficients_are_tiny() {
+        // coefficients ≪ 2^E ⇒ top planes all-zero ⇒ RLE collapses them
+        let mut coeffs = sample_coeffs(10_000, 1e-6);
+        coeffs[0] = 1.0; // forces a large exponent
+        let enc = encode_level(&coeffs);
+        let top: usize = enc.planes[..10].iter().map(|p| p.len()).sum();
+        assert!(top < 400, "top-10 planes take {top} B");
+    }
+
+    #[test]
+    fn exponent_strictly_dominates_magnitudes() {
+        for scale in [1e-12, 1.0, 1e12, 0.99999999, 4.000001] {
+            let coeffs = vec![scale, -scale / 2.0];
+            let enc = encode_level(&coeffs);
+            let e = enc.exponent.unwrap();
+            assert!(scale < exp2(e), "scale {scale} !< 2^{e}");
+            assert!(scale >= exp2(e - 2), "exponent {e} too large for {scale}");
+        }
+    }
+
+    #[test]
+    fn push_past_end_is_error() {
+        let enc = encode_level(&[1.0]);
+        let mut d = decode_k(&enc, PLANES);
+        assert!(d.push_plane(&enc.planes[0]).is_err());
+    }
+
+    #[test]
+    fn zero_level_rejects_planes() {
+        let mut d = LevelDecoder::new(None, 5);
+        assert!(d.push_plane(&[]).is_err());
+    }
+
+    #[test]
+    fn corrupt_plane_detected() {
+        let coeffs = sample_coeffs(64, 1.0);
+        let enc = encode_level(&coeffs);
+        let mut d = LevelDecoder::new(enc.exponent, enc.count);
+        assert!(d.push_plane(&enc.planes[0][..2]).is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! Progressive retrieval: greedy bitplane fetching under an L∞ target.
+//!
+//! The reader tracks, per level, how many planes it has fetched and the
+//! resulting coefficient truncation bound; the guaranteed reconstruction
+//! bound is the basis-specific model of [`crate::error_est`]. A refinement
+//! request fetches one plane at a time from the level whose *current error
+//! contribution* is largest — the schedule that decreases the modeled bound
+//! fastest per fetched plane (coarse levels hold few coefficients, so their
+//! planes are cheap and fetched deep; exactly how PMGARD behaves).
+
+use crate::bitplane::LevelDecoder;
+use crate::error_est::{level_weight, recon_bound};
+use crate::hierarchy::level_strides;
+use crate::refactor::MgardStream;
+use crate::transform::{recompose, scatter_level, Basis};
+use pqr_util::error::Result;
+
+/// Progressive reader over an [`MgardStream`].
+///
+/// Created via [`MgardStream::reader`]. Byte accounting starts at the
+/// stream's metadata size (a remote retrieval always moves the metadata).
+#[derive(Debug, Clone)]
+pub struct MgardReader<'a> {
+    stream: &'a MgardStream,
+    decoders: Vec<LevelDecoder>,
+    fetched: usize,
+}
+
+impl<'a> MgardReader<'a> {
+    pub(crate) fn new(stream: &'a MgardStream) -> Self {
+        let decoders = stream
+            .levels
+            .iter()
+            .map(|l| LevelDecoder::new(l.exponent, l.count))
+            .collect();
+        Self {
+            stream,
+            decoders,
+            fetched: stream.metadata_bytes(),
+        }
+    }
+
+    /// The guaranteed L∞ bound of [`MgardReader::reconstruct`] at the
+    /// current fetch state (the basis-specific model — this is what the QoI
+    /// machinery consumes as the primary-data ε).
+    pub fn guaranteed_bound(&self) -> f64 {
+        let errs: Vec<f64> = self.decoders.iter().map(|d| d.error_bound()).collect();
+        recon_bound(self.stream.basis, &self.stream.dims, &errs)
+    }
+
+    /// Total bytes this reader has "moved" (metadata + fetched planes).
+    pub fn total_fetched(&self) -> usize {
+        self.fetched
+    }
+
+    /// True when every plane of every level has been fetched.
+    pub fn fully_fetched(&self) -> bool {
+        self.decoders
+            .iter()
+            .zip(&self.stream.levels)
+            .all(|(d, l)| (d.planes_read() as usize) >= l.planes.len())
+    }
+
+    /// Fetches planes (greedy, largest-contribution level first) until the
+    /// guaranteed bound is ≤ `eb` or the stream is exhausted. Returns the
+    /// number of newly fetched bytes.
+    ///
+    /// The request may end with `guaranteed_bound() > eb` only if the stream
+    /// is fully fetched (near-lossless floor) — Definition 1's "or a
+    /// full-fidelity representation is retrieved".
+    pub fn refine_to(&mut self, eb: f64) -> Result<usize> {
+        let mut newly = 0usize;
+        while self.guaranteed_bound() > eb {
+            let Some(l) = self.pick_level() else {
+                break; // exhausted
+            };
+            let plane_idx = self.decoders[l].planes_read() as usize;
+            let seg = &self.stream.levels[l].planes[plane_idx];
+            self.decoders[l].push_plane(seg)?;
+            newly += seg.len();
+            self.fetched += seg.len();
+        }
+        Ok(newly)
+    }
+
+    /// Planes consumed so far, per level — the reader's resumable progress
+    /// marker.
+    pub fn planes_read(&self) -> Vec<u32> {
+        self.decoders.iter().map(|d| d.planes_read()).collect()
+    }
+
+    /// Restores a reader to a previously recorded per-level plane state by
+    /// replaying the stored segments (deterministic: same stream + same
+    /// counts ⇒ identical reconstruction and byte accounting). Must be
+    /// called on a fresh reader.
+    pub fn restore(&mut self, planes_per_level: &[u32]) -> Result<usize> {
+        if planes_per_level.len() != self.decoders.len() {
+            return Err(pqr_util::error::PqrError::InvalidRequest(format!(
+                "progress has {} levels, stream has {}",
+                planes_per_level.len(),
+                self.decoders.len()
+            )));
+        }
+        let mut newly = 0usize;
+        for (l, &k) in planes_per_level.iter().enumerate() {
+            if k as usize > self.stream.levels[l].planes.len() {
+                return Err(pqr_util::error::PqrError::InvalidRequest(format!(
+                    "progress wants {k} planes of level {l}, stream has {}",
+                    self.stream.levels[l].planes.len()
+                )));
+            }
+            while self.decoders[l].planes_read() < k {
+                let idx = self.decoders[l].planes_read() as usize;
+                let seg = &self.stream.levels[l].planes[idx];
+                self.decoders[l].push_plane(seg)?;
+                newly += seg.len();
+                self.fetched += seg.len();
+            }
+        }
+        Ok(newly)
+    }
+
+    /// Fetches `k` more planes round-robin-greedily regardless of a target —
+    /// used by benches exploring fixed-budget retrieval.
+    pub fn fetch_planes(&mut self, k: usize) -> Result<usize> {
+        let mut newly = 0usize;
+        for _ in 0..k {
+            let Some(l) = self.pick_level() else { break };
+            let plane_idx = self.decoders[l].planes_read() as usize;
+            let seg = &self.stream.levels[l].planes[plane_idx];
+            self.decoders[l].push_plane(seg)?;
+            newly += seg.len();
+            self.fetched += seg.len();
+        }
+        Ok(newly)
+    }
+
+    /// The level whose next plane removes the most modeled error, or `None`
+    /// when every level is exhausted.
+    fn pick_level(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (l, d) in self.decoders.iter().enumerate() {
+            if (d.planes_read() as usize) >= self.stream.levels[l].planes.len() {
+                continue;
+            }
+            let contribution = level_weight(self.stream.basis, &self.stream.dims, l)
+                * d.error_bound();
+            match best {
+                Some((_, c)) if c >= contribution => {}
+                _ => best = Some((l, contribution)),
+            }
+        }
+        best.map(|(l, _)| l)
+    }
+
+    /// Recomposes the data representation from the planes fetched so far.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let n: usize = self.stream.dims.iter().product();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut v = vec![0.0f64; n];
+        v[0] = self.stream.root;
+        for (l, &s) in level_strides(&self.stream.dims).iter().enumerate() {
+            scatter_level(&mut v, &self.stream.dims, s, &self.decoders[l].coefficients());
+        }
+        recompose(&mut v, &self.stream.dims, self.stream.basis);
+        v
+    }
+
+    /// Progression in **resolution** (the other PMGARD axis, §II): drops the
+    /// `drop_finest` finest levels entirely and reconstructs on the coarse
+    /// subgrid of stride `2^drop_finest` (coordinates that are multiples of
+    /// the stride). Returns `(coarse_data, coarse_dims)`.
+    ///
+    /// The returned values are the multilevel reconstruction restricted to
+    /// the coarse grid — downsampling in the hierarchy, not in index space —
+    /// so a precision-progressive reader can later upgrade the same bytes
+    /// to full resolution (the PMGARD "both progressions" property).
+    pub fn reconstruct_at_resolution(&self, drop_finest: usize) -> (Vec<f64>, Vec<usize>) {
+        let dims = &self.stream.dims;
+        let n: usize = dims.iter().product();
+        if n == 0 {
+            return (Vec::new(), dims.clone());
+        }
+        let levels = level_strides(dims);
+        let drop = drop_finest.min(levels.len());
+        // full-resolution scatter, but with the dropped levels' coefficients
+        // left at zero (their fine nodes become pure interpolation)
+        let mut v = vec![0.0f64; n];
+        v[0] = self.stream.root;
+        for (l, &s) in levels.iter().enumerate() {
+            if l >= drop {
+                scatter_level(&mut v, dims, s, &self.decoders[l].coefficients());
+            }
+        }
+        recompose(&mut v, dims, self.stream.basis);
+        // sample the coarse subgrid
+        let stride = 1usize << drop;
+        let coarse_dims: Vec<usize> = dims.iter().map(|&d| d.div_ceil(stride)).collect();
+        let full_strides = crate::hierarchy::strides(dims);
+        let mut out = Vec::with_capacity(coarse_dims.iter().product());
+        let mut coord = vec![0usize; dims.len()];
+        'outer: loop {
+            let idx: usize = coord
+                .iter()
+                .zip(&full_strides)
+                .map(|(c, k)| c * stride * k)
+                .sum();
+            out.push(v[idx]);
+            let mut a = dims.len();
+            loop {
+                if a == 0 {
+                    break 'outer;
+                }
+                a -= 1;
+                coord[a] += 1;
+                if coord[a] < coarse_dims[a] {
+                    break;
+                }
+                coord[a] = 0;
+            }
+        }
+        (out, coarse_dims)
+    }
+
+    /// The basis of the underlying stream.
+    pub fn basis(&self) -> Basis {
+        self.stream.basis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refactor::MgardRefactorer;
+    use pqr_util::stats::max_abs_diff;
+
+    fn field(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                (x * 9.0).sin() * 4.0 + (x * 31.0).cos() + 6.0 * x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn refine_meets_requested_bounds_and_real_error_below_guarantee() {
+        let data = field(2000);
+        for basis in [Basis::Hierarchical, Basis::Orthogonal] {
+            let stream = MgardRefactorer::new(basis).refactor(&data, &[2000]).unwrap();
+            let mut reader = stream.reader();
+            for eb in [1e-1, 1e-3, 1e-5, 1e-8] {
+                reader.refine_to(eb).unwrap();
+                assert!(
+                    reader.guaranteed_bound() <= eb,
+                    "{basis:?} eb={eb}: bound {}",
+                    reader.guaranteed_bound()
+                );
+                let recon = reader.reconstruct();
+                let real = max_abs_diff(&data, &recon);
+                assert!(
+                    real <= reader.guaranteed_bound(),
+                    "{basis:?} eb={eb}: real {real} > guarantee {}",
+                    reader.guaranteed_bound()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn progressive_fetching_is_incremental() {
+        let data = field(4096);
+        let stream = MgardRefactorer::default().refactor(&data, &[4096]).unwrap();
+        let mut reader = stream.reader();
+        let b1 = reader.refine_to(1e-2).unwrap();
+        let t1 = reader.total_fetched();
+        let b2 = reader.refine_to(1e-6).unwrap();
+        let t2 = reader.total_fetched();
+        assert!(b1 > 0 && b2 > 0);
+        assert_eq!(t2, t1 + b2, "byte accounting must be cumulative");
+        // re-requesting an already-satisfied bound fetches nothing
+        assert_eq!(reader.refine_to(1e-4).unwrap(), 0);
+    }
+
+    #[test]
+    fn hb_fetches_fewer_bytes_than_ob_for_same_target() {
+        // The headline claim behind PMGARD-HB (Fig. 3): the tight estimator
+        // stops earlier for the same guaranteed tolerance.
+        let data = field(4096);
+        let hb = MgardRefactorer::new(Basis::Hierarchical)
+            .refactor(&data, &[4096])
+            .unwrap();
+        let ob = MgardRefactorer::new(Basis::Orthogonal)
+            .refactor(&data, &[4096])
+            .unwrap();
+        let mut rh = hb.reader();
+        let mut ro = ob.reader();
+        rh.refine_to(1e-5).unwrap();
+        ro.refine_to(1e-5).unwrap();
+        assert!(
+            rh.total_fetched() < ro.total_fetched(),
+            "HB {} !< OB {}",
+            rh.total_fetched(),
+            ro.total_fetched()
+        );
+    }
+
+    #[test]
+    fn ob_real_error_far_below_estimate() {
+        // the over-retrieval gap of Fig. 3
+        let data = field(4096);
+        let stream = MgardRefactorer::new(Basis::Orthogonal)
+            .refactor(&data, &[4096])
+            .unwrap();
+        let mut reader = stream.reader();
+        reader.refine_to(1e-4).unwrap();
+        let real = max_abs_diff(&data, &reader.reconstruct());
+        let est = reader.guaranteed_bound();
+        assert!(real < est / 5.0, "real {real} vs est {est}: gap too small");
+    }
+
+    #[test]
+    fn exhausting_the_stream_reaches_near_lossless() {
+        let data = field(600);
+        let stream = MgardRefactorer::default().refactor(&data, &[600]).unwrap();
+        let mut reader = stream.reader();
+        reader.refine_to(0.0).unwrap(); // impossible target → fetch everything
+        assert!(reader.fully_fetched());
+        let real = max_abs_diff(&data, &reader.reconstruct());
+        let range = 12.0;
+        assert!(real < 1e-14 * range, "residual {real}");
+    }
+
+    #[test]
+    fn initial_state_counts_metadata_only() {
+        let data = field(128);
+        let stream = MgardRefactorer::default().refactor(&data, &[128]).unwrap();
+        let reader = stream.reader();
+        assert_eq!(reader.total_fetched(), stream.metadata_bytes());
+        assert!(reader.guaranteed_bound().is_finite());
+    }
+
+    #[test]
+    fn fetch_planes_budget_mode() {
+        let data = field(1024);
+        let stream = MgardRefactorer::default().refactor(&data, &[1024]).unwrap();
+        let mut reader = stream.reader();
+        let before = reader.guaranteed_bound();
+        reader.fetch_planes(5).unwrap();
+        assert!(reader.guaranteed_bound() < before);
+    }
+
+    #[test]
+    fn multidimensional_retrieval() {
+        let data = field(32 * 20);
+        let stream = MgardRefactorer::new(Basis::Hierarchical)
+            .refactor(&data, &[32, 20])
+            .unwrap();
+        let mut reader = stream.reader();
+        reader.refine_to(1e-4).unwrap();
+        let recon = reader.reconstruct();
+        let real = max_abs_diff(&data, &recon);
+        assert!(real <= reader.guaranteed_bound());
+        assert!(reader.guaranteed_bound() <= 1e-4);
+    }
+
+    #[test]
+    fn resolution_progression_samples_coarse_grid() {
+        let data = field(257);
+        let stream = MgardRefactorer::default().refactor(&data, &[257]).unwrap();
+        let mut reader = stream.reader();
+        reader.refine_to(1e-10).unwrap();
+
+        // drop 0 levels = full resolution
+        let (full, dims0) = reader.reconstruct_at_resolution(0);
+        assert_eq!(dims0, vec![257]);
+        assert_eq!(full.len(), 257);
+        assert!(max_abs_diff(&data, &full) <= reader.guaranteed_bound());
+
+        // drop 3 levels = stride-8 subgrid; values close to the original at
+        // those grid points (smooth field ⇒ dropped fine coefficients are
+        // small)
+        let (coarse, dims3) = reader.reconstruct_at_resolution(3);
+        assert_eq!(dims3, vec![33]);
+        assert_eq!(coarse.len(), 33);
+        let sampled: Vec<f64> = (0..257).step_by(8).map(|i| data[i]).collect();
+        let err = max_abs_diff(&sampled, &coarse);
+        let range = 12.0;
+        assert!(err < 0.05 * range, "coarse error {err}");
+    }
+
+    #[test]
+    fn resolution_progression_2d_dims() {
+        let data = field(20 * 13);
+        let stream = MgardRefactorer::default().refactor(&data, &[20, 13]).unwrap();
+        let mut reader = stream.reader();
+        reader.refine_to(1e-8).unwrap();
+        let (coarse, dims) = reader.reconstruct_at_resolution(1);
+        assert_eq!(dims, vec![10, 7]);
+        assert_eq!(coarse.len(), 70);
+        // spot-check the (2, 4) coarse point == full recon at (4, 8)
+        let full = reader.reconstruct();
+        let c = coarse[2 * 7 + 4];
+        let f = full[4 * 13 + 8];
+        assert!((c - f).abs() < 0.2, "coarse {c} vs full {f}");
+    }
+
+    #[test]
+    fn dropping_all_levels_leaves_root_interpolation() {
+        let data = field(64);
+        let stream = MgardRefactorer::default().refactor(&data, &[64]).unwrap();
+        let reader = stream.reader();
+        let (coarse, dims) = reader.reconstruct_at_resolution(99);
+        assert_eq!(dims, vec![1]);
+        assert_eq!(coarse.len(), 1);
+    }
+
+    #[test]
+    fn bitrate_decreases_smoothly_with_looser_bounds() {
+        // PMGARD's linear-ish rate curve (no snapshot staircases): fetched
+        // bytes should strictly grow as bounds tighten, with many distinct
+        // sizes (not two or three plateaus).
+        let data = field(8192);
+        let stream = MgardRefactorer::default().refactor(&data, &[8192]).unwrap();
+        let mut sizes = Vec::new();
+        for i in 1..=20 {
+            let eb = 0.1 * (2.0f64).powi(-i);
+            let mut reader = stream.reader();
+            reader.refine_to(eb).unwrap();
+            sizes.push(reader.total_fetched());
+        }
+        let distinct: std::collections::BTreeSet<_> = sizes.iter().collect();
+        assert!(distinct.len() >= 12, "only {} distinct sizes", distinct.len());
+        for w in sizes.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+}

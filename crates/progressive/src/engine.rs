@@ -1,0 +1,921 @@
+//! QoI-preserved data retrieval — Algorithms 2, 3 and 4 of the paper.
+//!
+//! The engine owns one progressive reader per field and iterates:
+//!
+//! 1. **Refine** every involved field to its currently requested
+//!    primary-data bound (`progressive_construct`, Alg. 2 line 10).
+//! 2. **Estimate** the QoI error at every point from the reconstructed
+//!    values and the *achieved* bounds, using the §IV calculus
+//!    (Alg. 2 lines 13–24); record the max and its location.
+//! 3. If some tolerance is exceeded, **tighten** the bounds of the involved
+//!    fields by the factor `c` until the estimate *at the worst point*
+//!    passes (Alg. 4 / `reassign_eb`), then go to 1.
+//!
+//! The initial bounds come from `assign_eb` (Alg. 3): each field starts at
+//! `range · min(1, min τ_rel over the QoIs that read it)`.
+//!
+//! Masked points (§V-A) are certified exact zeros on the masked fields:
+//! the estimator pins `x = 0, ε = 0` there, which is what keeps √-type QoIs
+//! boundable (see [`crate::mask`]).
+//!
+//! Termination: every tightening divides at least one requested bound by
+//! `c > 1`; readers are exhausted after finitely many fetches, and once
+//! every involved reader is exhausted with tolerances still unmet the
+//! engine returns `satisfied = false` ("full-fidelity representation has
+//! been retrieved", Alg. 2's other exit).
+
+// The point-scan loops index several parallel arrays (recons, eps, x) by
+// the same point/field index; iterator zips would obscure the correspondence
+// with the paper's pseudocode.
+#![allow(clippy::needless_range_loop)]
+
+use crate::field::{Dataset, RefactoredDataset};
+use crate::refactored::FieldReader;
+use pqr_qoi::{BoundConfig, QoiExpr};
+use pqr_util::error::{PqrError, Result};
+use pqr_util::par::par_chunk_reduce;
+
+/// A requested QoI with its tolerance.
+#[derive(Debug, Clone)]
+pub struct QoiSpec {
+    /// Display name (used in reports and the figure harnesses).
+    pub name: String,
+    /// The derivable QoI expression over the dataset's field indices.
+    pub expr: QoiExpr,
+    /// Relative tolerance τ (fraction of the QoI value range).
+    pub tol_rel: f64,
+    /// QoI value range (refactor-time metadata; 0 ⇒ treat τ as absolute).
+    pub range: f64,
+    /// Optional half-open index range the tolerance applies to (region of
+    /// interest). `None` = the whole domain. Fragments remain global — the
+    /// representations stream whole-field segments — but the *error-control
+    /// scope* shrinks to the region, so fewer segments satisfy the request.
+    pub region: Option<(usize, usize)>,
+}
+
+impl QoiSpec {
+    /// Builds a spec with a relative tolerance, computing the QoI range from
+    /// the original dataset (archive side — Fig. 1's refactor-time metadata).
+    pub fn relative(name: &str, expr: QoiExpr, tol_rel: f64, ds: &Dataset) -> Result<Self> {
+        let range = ds.qoi_range(&expr)?;
+        Ok(Self {
+            name: name.to_string(),
+            expr,
+            tol_rel,
+            range,
+            region: None,
+        })
+    }
+
+    /// Builds a spec from a known QoI range (retrieval side, range comes
+    /// from stored metadata).
+    pub fn with_range(name: &str, expr: QoiExpr, tol_rel: f64, range: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            expr,
+            tol_rel,
+            range,
+            region: None,
+        }
+    }
+
+    /// Builds a spec with an absolute tolerance.
+    pub fn absolute(name: &str, expr: QoiExpr, tol_abs: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            expr,
+            tol_rel: tol_abs,
+            range: 0.0,
+            region: None,
+        }
+    }
+
+    /// Restricts the tolerance to the half-open linearized index range
+    /// `lo..hi` — region-of-interest error control (an extension in the
+    /// direction of the paper's related work on RoI-preserving compression).
+    /// Points outside the region carry no error constraint from this spec.
+    pub fn restrict_to(mut self, lo: usize, hi: usize) -> Self {
+        self.region = Some((lo, hi));
+        self
+    }
+
+    /// The absolute tolerance this spec demands.
+    pub fn tol_abs(&self) -> f64 {
+        if self.range > 0.0 {
+            self.tol_rel * self.range
+        } else {
+            self.tol_rel
+        }
+    }
+
+    /// A copy with a different relative tolerance (for progressive request
+    /// series).
+    pub fn at_tolerance(&self, tol_rel: f64) -> Self {
+        Self {
+            tol_rel,
+            ..self.clone()
+        }
+    }
+}
+
+/// Engine knobs. Defaults mirror the paper's implementation choices.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Bound-reduction factor `c` of Algorithm 4 (paper: 1.5).
+    pub reduction_factor: f64,
+    /// Cap on outer refine→estimate iterations.
+    pub max_iterations: usize,
+    /// Cap on per-QoI tightenings inside one reassign (guards the
+    /// `∞`-estimate spiral that the mask is designed to prevent).
+    pub max_tightenings: usize,
+    /// QoI bound evaluation options (√ estimator variant, float guard).
+    pub bound_config: BoundConfig,
+    /// Parallelise the per-point QoI scans. Disable when the caller already
+    /// parallelises at a coarser granularity (e.g. the per-block transfer
+    /// pipeline) — nested thread pools oversubscribe and distort timings.
+    pub parallel_scan: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            reduction_factor: 1.5,
+            max_iterations: 64,
+            max_tightenings: 512,
+            bound_config: BoundConfig::default(),
+            parallel_scan: true,
+        }
+    }
+}
+
+/// Outcome of a [`RetrievalEngine::retrieve`] call.
+#[derive(Debug, Clone)]
+pub struct RetrievalReport {
+    /// Whether every QoI tolerance was met (estimated error ≤ tolerance).
+    pub satisfied: bool,
+    /// Outer iterations used.
+    pub iterations: usize,
+    /// Bytes newly fetched by this call.
+    pub bytes_fetched: usize,
+    /// Cumulative bytes fetched by the engine (including metadata).
+    pub total_fetched: usize,
+    /// Max estimated QoI error per spec, after the final refinement.
+    pub max_est_errors: Vec<f64>,
+    /// Achieved primary-data L∞ bound per field.
+    pub field_bounds: Vec<f64>,
+    /// Bitrate: cumulative fetched bits per element over all fields.
+    pub bitrate: f64,
+}
+
+/// The QoI-preserving progressive retrieval engine (Fig. 1's retrieval box).
+pub struct RetrievalEngine<'a> {
+    archive: &'a RefactoredDataset,
+    readers: Vec<FieldReader<'a>>,
+    cfg: EngineConfig,
+}
+
+impl<'a> RetrievalEngine<'a> {
+    /// Opens readers on every field of the archive.
+    pub fn new(archive: &'a RefactoredDataset, cfg: EngineConfig) -> Result<Self> {
+        if cfg.reduction_factor <= 1.0 {
+            return Err(PqrError::InvalidRequest(format!(
+                "reduction factor must exceed 1, got {}",
+                cfg.reduction_factor
+            )));
+        }
+        let readers = (0..archive.num_fields())
+            .map(|i| archive.field(i).reader())
+            .collect();
+        Ok(Self {
+            archive,
+            readers,
+            cfg,
+        })
+    }
+
+    /// Creates an engine restored to a previously saved progress blob
+    /// (from [`RetrievalEngine::save_progress`]) by deterministically
+    /// replaying the recorded fetches. The resumed engine continues exactly
+    /// where the saved one stopped: same reconstructions, same guaranteed
+    /// bounds, same cumulative byte accounting — retrieval sessions survive
+    /// process restarts (Fig. 1's long-lived retrieval side).
+    pub fn resume(
+        archive: &'a RefactoredDataset,
+        cfg: EngineConfig,
+        progress: &[u8],
+    ) -> Result<Self> {
+        let mut engine = Self::new(archive, cfg)?;
+        let mut r = pqr_util::byteio::ByteReader::new(progress);
+        if r.get_raw(4)? != b"PQRP" {
+            return Err(PqrError::CorruptStream("bad progress magic".into()));
+        }
+        let nv = r.get_u32()? as usize;
+        if nv != archive.num_fields() {
+            return Err(PqrError::ShapeMismatch(format!(
+                "progress has {nv} fields, archive has {}",
+                archive.num_fields()
+            )));
+        }
+        for i in 0..nv {
+            let p = crate::refactored::ReaderProgress::read(&mut r)?;
+            engine.readers[i] = archive.field(i).reader_resumed(&p)?;
+        }
+        if r.remaining() != 0 {
+            return Err(PqrError::CorruptStream("trailing progress bytes".into()));
+        }
+        Ok(engine)
+    }
+
+    /// Serializes the engine's retrieval progress (per-field fetch markers)
+    /// for [`RetrievalEngine::resume`]. Small — a few bytes per field — and
+    /// independent of the data size.
+    pub fn save_progress(&self) -> Vec<u8> {
+        let mut w = pqr_util::byteio::ByteWriter::new();
+        w.put_raw(b"PQRP");
+        w.put_u32(self.readers.len() as u32);
+        for r in &self.readers {
+            r.progress().write(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Current reconstruction of field `i`.
+    pub fn reconstruction(&self, i: usize) -> &[f64] {
+        self.readers[i].data()
+    }
+
+    /// Resolution-progressive reconstruction of field `i` from the bytes
+    /// fetched so far: drops the `drop_finest` finest multilevel levels and
+    /// returns the coarse subgrid (PMGARD's second progression axis, §II).
+    /// Errors for representations without a resolution hierarchy.
+    pub fn reconstruction_at_resolution(
+        &self,
+        i: usize,
+        drop_finest: usize,
+    ) -> Result<(Vec<f64>, Vec<usize>)> {
+        self.readers[i].reconstruct_at_resolution(drop_finest)
+    }
+
+    /// Achieved primary-data bound of field `i`.
+    pub fn field_bound(&self, i: usize) -> f64 {
+        self.readers[i].guaranteed_bound()
+    }
+
+    /// Cumulative fetched bytes (metadata + fragments + mask).
+    pub fn total_fetched(&self) -> usize {
+        let mask_bytes = self.archive.mask().map_or(0, |m| m.storage_bytes());
+        self.readers.iter().map(|r| r.total_fetched()).sum::<usize>() + mask_bytes
+    }
+
+    /// Runs Algorithm 2 until every spec's tolerance is met or the archive
+    /// is exhausted. Engines persist across calls, so issuing progressively
+    /// tighter requests retrieves incrementally (§III-B).
+    pub fn retrieve(&mut self, qois: &[QoiSpec]) -> Result<RetrievalReport> {
+        let nv = self.archive.num_fields();
+        for q in qois {
+            if q.expr.arity() > nv {
+                return Err(PqrError::ShapeMismatch(format!(
+                    "QoI '{}' reads variable {} but archive has {nv} fields",
+                    q.name,
+                    q.expr.arity() - 1
+                )));
+            }
+            // NaN-safe positivity check (NaN fails the comparison)
+            let tol = q.tol_abs();
+            if !(tol.is_finite() && tol > 0.0) {
+                return Err(PqrError::InvalidRequest(format!(
+                    "QoI '{}' has non-positive tolerance",
+                    q.name
+                )));
+            }
+            if let Some((lo, hi)) = q.region {
+                let ne = self.archive.num_elements();
+                if lo > hi || hi > ne {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "QoI '{}' region {lo}..{hi} out of bounds (0..{ne})",
+                        q.name
+                    )));
+                }
+            }
+        }
+        let fetched_before = self.total_fetched();
+        let involved: Vec<Vec<usize>> = qois
+            .iter()
+            .map(|q| q.expr.variables().into_iter().collect())
+            .collect();
+
+        // Algorithm 3: initial bound assignment.
+        let mut requested: Vec<f64> = (0..nv)
+            .map(|j| {
+                let mut rel = f64::INFINITY;
+                for (q, vars) in qois.iter().zip(&involved) {
+                    if vars.contains(&j) {
+                        rel = rel.min(q.tol_rel.min(1.0));
+                    }
+                }
+                if rel.is_finite() {
+                    rel * self.archive.field(j).value_range()
+                } else {
+                    f64::INFINITY // field unused by any QoI: never fetched
+                }
+            })
+            .collect();
+        // never loosen bounds below what previous calls already achieved
+        for j in 0..nv {
+            requested[j] = requested[j].min(self.readers[j].guaranteed_bound());
+        }
+
+        let tol_abs: Vec<f64> = qois.iter().map(|q| q.tol_abs()).collect();
+        let mut iterations = 0usize;
+        let mut max_est = vec![f64::INFINITY; qois.len()];
+        loop {
+            iterations += 1;
+            // Alg. 2 line 10: progressive_construct each involved field.
+            for j in 0..nv {
+                if requested[j].is_finite() {
+                    self.readers[j].refine_to(requested[j])?;
+                }
+            }
+            // Alg. 2 lines 13–24: estimate QoI errors everywhere.
+            let achieved: Vec<f64> = (0..nv).map(|j| self.readers[j].guaranteed_bound()).collect();
+            let scans = self.scan_qois(qois, &achieved);
+            let mut all_met = true;
+            for (k, &(est, _)) in scans.iter().enumerate() {
+                max_est[k] = est;
+                if est > tol_abs[k] {
+                    all_met = false;
+                }
+            }
+            if all_met || iterations >= self.cfg.max_iterations {
+                return Ok(self.report(all_met, iterations, fetched_before, max_est, achieved));
+            }
+
+            // Algorithm 4: tighten bounds at the worst point per QoI.
+            let mut progress = false;
+            for (k, &(est, argmax)) in scans.iter().enumerate() {
+                if est <= tol_abs[k] {
+                    continue;
+                }
+                let mut eps_local = achieved.clone();
+                let mut tightenings = 0usize;
+                while self.point_estimate(&qois[k].expr, argmax, &eps_local) > tol_abs[k]
+                    && tightenings < self.cfg.max_tightenings
+                {
+                    for &i in &involved[k] {
+                        eps_local[i] /= self.cfg.reduction_factor;
+                    }
+                    tightenings += 1;
+                }
+                for &i in &involved[k] {
+                    if eps_local[i] < requested[i] {
+                        requested[i] = eps_local[i];
+                        if !self.readers[i].exhausted() {
+                            progress = true;
+                        }
+                    }
+                }
+            }
+            if !progress {
+                // exhausted representations and still unmet — Alg. 2's
+                // "full fidelity retrieved" exit
+                let achieved: Vec<f64> =
+                    (0..nv).map(|j| self.readers[j].guaranteed_bound()).collect();
+                return Ok(self.report(false, iterations, fetched_before, max_est, achieved));
+            }
+        }
+    }
+
+    /// Max estimated error and its location for each QoI, under the current
+    /// reconstructions and the given per-field bounds.
+    pub fn scan_qois(&self, qois: &[QoiSpec], eps: &[f64]) -> Vec<(f64, usize)> {
+        let ne = self.archive.num_elements();
+        let nv = self.archive.num_fields();
+        if ne == 0 {
+            return vec![(0.0, 0); qois.len()];
+        }
+        let recons: Vec<&[f64]> = self.readers.iter().map(|r| r.data()).collect();
+        let mask = self.archive.mask();
+        let cfg = &self.cfg.bound_config;
+
+        let chunk_scan = |start: usize, end: usize| {
+            let mut local = vec![(0.0f64, 0usize); qois.len()];
+            let mut x = vec![0.0f64; nv];
+            let mut eps_pt = eps.to_vec();
+            for j in start..end {
+                let masked = mask.is_some_and(|m| m.is_masked(j));
+                for i in 0..nv {
+                    x[i] = recons[i][j];
+                    eps_pt[i] = eps[i];
+                }
+                if masked {
+                    // certified exact zeros on the masked fields
+                    for &i in mask.unwrap().fields() {
+                        x[i] = 0.0;
+                        eps_pt[i] = 0.0;
+                    }
+                }
+                for (k, q) in qois.iter().enumerate() {
+                    if let Some((lo, hi)) = q.region {
+                        if j < lo || j >= hi {
+                            continue; // outside this spec's region of interest
+                        }
+                    }
+                    let est = q.expr.eval_bounded(&x, &eps_pt, cfg).bound;
+                    if est > local[k].0 {
+                        local[k] = (est, j);
+                    }
+                }
+            }
+            local
+        };
+        if !self.cfg.parallel_scan {
+            return chunk_scan(0, ne);
+        }
+        par_chunk_reduce(
+            ne,
+            vec![(0.0f64, 0usize); qois.len()],
+            chunk_scan,
+            |mut a, b| {
+                for (sa, sb) in a.iter_mut().zip(b) {
+                    if sb.0 > sa.0 {
+                        *sa = sb;
+                    }
+                }
+                a
+            },
+        )
+    }
+
+    /// QoI error estimate at a single point under hypothetical bounds —
+    /// the `estimate_error` of Algorithm 4.
+    pub fn point_estimate(&self, expr: &QoiExpr, j: usize, eps: &[f64]) -> f64 {
+        let nv = self.archive.num_fields();
+        let mut x = vec![0.0f64; nv];
+        let mut eps_pt = eps.to_vec();
+        for i in 0..nv {
+            x[i] = self.readers[i].data()[j];
+        }
+        if let Some(m) = self.archive.mask() {
+            if m.is_masked(j) {
+                for &i in m.fields() {
+                    x[i] = 0.0;
+                    eps_pt[i] = 0.0;
+                }
+            }
+        }
+        expr.eval_bounded(&x, &eps_pt, &self.cfg.bound_config).bound
+    }
+
+    /// Evaluates a QoI on the current reconstruction (what the analysis
+    /// task would consume), with the mask overlay applied.
+    pub fn qoi_values(&self, expr: &QoiExpr) -> Vec<f64> {
+        let ne = self.archive.num_elements();
+        let nv = self.archive.num_fields();
+        let mask = self.archive.mask();
+        let mut out = Vec::with_capacity(ne);
+        let mut x = vec![0.0f64; nv];
+        for j in 0..ne {
+            for i in 0..nv {
+                x[i] = self.readers[i].data()[j];
+            }
+            if let Some(m) = mask {
+                if m.is_masked(j) {
+                    for &i in m.fields() {
+                        x[i] = 0.0;
+                    }
+                }
+            }
+            out.push(expr.eval(&x));
+        }
+        out
+    }
+
+    fn report(
+        &self,
+        satisfied: bool,
+        iterations: usize,
+        fetched_before: usize,
+        max_est_errors: Vec<f64>,
+        field_bounds: Vec<f64>,
+    ) -> RetrievalReport {
+        let total = self.total_fetched();
+        let elements = self.archive.num_elements() * self.archive.num_fields();
+        RetrievalReport {
+            satisfied,
+            iterations,
+            bytes_fetched: total - fetched_before,
+            total_fetched: total,
+            max_est_errors,
+            field_bounds,
+            bitrate: pqr_util::stats::bitrate(total, elements),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refactored::Scheme;
+    use pqr_qoi::library::{species_product, velocity_magnitude};
+    use pqr_util::stats;
+
+    /// A 3-field velocity dataset with some exact-zero "wall" points.
+    fn velocity_dataset(n: usize, with_walls: bool) -> Dataset {
+        let mut ds = Dataset::new(&[n]);
+        for c in 0..3usize {
+            let f: Vec<f64> = (0..n)
+                .map(|i| {
+                    if with_walls && i % 97 == 0 {
+                        0.0
+                    } else {
+                        ((i + c * 41) as f64 * 0.013).sin() * 30.0 + 40.0
+                    }
+                })
+                .collect();
+            ds.add_field(["Vx", "Vy", "Vz"][c], f).unwrap();
+        }
+        ds
+    }
+
+    fn engine_for(
+        archive: &RefactoredDataset,
+    ) -> RetrievalEngine<'_> {
+        RetrievalEngine::new(archive, EngineConfig::default()).unwrap()
+    }
+
+    /// The headline guarantee: estimated ≥ actual, estimated ≤ tolerance.
+    fn assert_guarantee(
+        ds: &Dataset,
+        engine: &RetrievalEngine<'_>,
+        spec: &QoiSpec,
+        report_est: f64,
+    ) {
+        let truth = ds.qoi_values(&spec.expr);
+        let approx = engine.qoi_values(&spec.expr);
+        let actual = stats::max_abs_diff(&truth, &approx);
+        assert!(
+            actual <= report_est,
+            "{}: actual {actual} > estimated {report_est}",
+            spec.name
+        );
+        assert!(
+            report_est <= spec.tol_abs(),
+            "{}: estimated {report_est} > tolerance {}",
+            spec.name,
+            spec.tol_abs()
+        );
+    }
+
+    #[test]
+    fn vtot_tolerance_met_across_schemes() {
+        let ds = velocity_dataset(2000, false);
+        for scheme in Scheme::extended() {
+            let archive = ds
+                .refactor_with_bounds(scheme, &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
+                .unwrap();
+            let mut engine = engine_for(&archive);
+            let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-4, &ds).unwrap();
+            let report = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
+            assert!(report.satisfied, "{}: not satisfied", scheme.name());
+            assert_guarantee(&ds, &engine, &spec, report.max_est_errors[0]);
+        }
+    }
+
+    #[test]
+    fn zero_walls_need_the_mask() {
+        let ds = velocity_dataset(1500, true);
+        let archive_no_mask = ds.refactor(Scheme::PmgardHb).unwrap();
+        let mut archive_masked = archive_no_mask.clone();
+        archive_masked
+            .set_mask(ds.zero_mask(&[0, 1, 2]))
+            .unwrap();
+
+        let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-3, &ds).unwrap();
+
+        // with the mask: satisfied
+        let mut engine = engine_for(&archive_masked);
+        let report = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
+        assert!(report.satisfied, "masked retrieval should satisfy");
+        assert_guarantee(&ds, &engine, &spec, report.max_est_errors[0]);
+
+        // without the mask: paper-mode √ estimate is unboundable at the
+        // exact-zero walls, so the engine must exhaust and report failure
+        let mut eng2 = RetrievalEngine::new(
+            &archive_no_mask,
+            EngineConfig {
+                max_iterations: 8,
+                max_tightenings: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r2 = eng2.retrieve(std::slice::from_ref(&spec)).unwrap();
+        assert!(!r2.satisfied, "unmasked zeros should be unboundable");
+        // masked run must also be cheaper than the futile unmasked one
+        assert!(engine.total_fetched() < eng2.total_fetched());
+    }
+
+    #[test]
+    fn multivariate_product_qoi() {
+        let n = 1200;
+        let mut ds = Dataset::new(&[n]);
+        ds.add_field(
+            "H2",
+            (0..n).map(|i| 0.1 + 0.05 * (i as f64 * 0.01).sin()).collect(),
+        )
+        .unwrap();
+        ds.add_field(
+            "O2",
+            (0..n).map(|i| 0.2 + 0.1 * (i as f64 * 0.017).cos()).collect(),
+        )
+        .unwrap();
+        let archive = ds.refactor(Scheme::Psz3Delta).unwrap();
+        let mut engine = engine_for(&archive);
+        let spec = QoiSpec::relative("x0*x1", species_product(0, 1), 1e-5, &ds).unwrap();
+        let report = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
+        assert!(report.satisfied);
+        assert_guarantee(&ds, &engine, &spec, report.max_est_errors[0]);
+    }
+
+    #[test]
+    fn saved_progress_resumes_identically_across_schemes() {
+        let ds = velocity_dataset(1500, false);
+        let vtot = velocity_magnitude(0, 3);
+        for scheme in Scheme::extended() {
+            let archive = ds
+                .refactor_with_bounds(scheme, &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
+                .unwrap();
+            // session 1: loose request, then save
+            let mut e1 = engine_for(&archive);
+            let spec = QoiSpec::relative("VTOT", vtot.clone(), 1e-2, &ds).unwrap();
+            e1.retrieve(std::slice::from_ref(&spec)).unwrap();
+            let blob = e1.save_progress();
+
+            // session 2: resume, verify state equality, continue tighter
+            let mut e2 = RetrievalEngine::resume(&archive, EngineConfig::default(), &blob)
+                .unwrap();
+            for i in 0..3 {
+                assert_eq!(
+                    e1.reconstruction(i),
+                    e2.reconstruction(i),
+                    "{} field {i}: reconstruction drifted",
+                    scheme.name()
+                );
+                assert_eq!(e1.field_bound(i), e2.field_bound(i), "{}", scheme.name());
+            }
+            assert_eq!(e1.total_fetched(), e2.total_fetched(), "{}", scheme.name());
+
+            let tight = spec.at_tolerance(1e-5);
+            let r1 = e1.retrieve(std::slice::from_ref(&tight)).unwrap();
+            let r2 = e2.retrieve(std::slice::from_ref(&tight)).unwrap();
+            assert!(r1.satisfied && r2.satisfied, "{}", scheme.name());
+            assert_eq!(r1.total_fetched, r2.total_fetched, "{}", scheme.name());
+            assert_eq!(
+                e1.reconstruction(0),
+                e2.reconstruction(0),
+                "{}: post-resume divergence",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_or_corrupt_progress() {
+        let ds = velocity_dataset(300, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let mut engine = engine_for(&archive);
+        let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-2, &ds).unwrap();
+        engine.retrieve(&[spec]).unwrap();
+        let blob = engine.save_progress();
+
+        // corrupt magic
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert!(RetrievalEngine::resume(&archive, EngineConfig::default(), &bad).is_err());
+        // truncation
+        assert!(
+            RetrievalEngine::resume(&archive, EngineConfig::default(), &blob[..blob.len() / 2])
+                .is_err()
+        );
+        // wrong scheme: progress from PMGARD against a PSZ3 archive
+        let other = ds.refactor_with_bounds(Scheme::Psz3, &[1e-1, 1e-2]).unwrap();
+        assert!(RetrievalEngine::resume(&other, EngineConfig::default(), &blob).is_err());
+    }
+
+    #[test]
+    fn region_restricted_spec_costs_less_and_holds_inside() {
+        let ds = velocity_dataset(4000, false);
+        let vtot = velocity_magnitude(0, 3);
+        let range = ds.qoi_range(&vtot).unwrap();
+
+        // global request
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let mut global = engine_for(&archive);
+        let g = global
+            .retrieve(&[QoiSpec::with_range("VTOT", vtot.clone(), 1e-6, range)])
+            .unwrap();
+        assert!(g.satisfied);
+
+        // same tolerance, but only over a 5% window
+        let archive2 = ds.refactor(Scheme::PmgardHb).unwrap();
+        let mut regional = engine_for(&archive2);
+        let spec = QoiSpec::with_range("VTOT", vtot.clone(), 1e-6, range).restrict_to(1000, 1200);
+        let r = regional.retrieve(std::slice::from_ref(&spec)).unwrap();
+        assert!(r.satisfied);
+        assert!(
+            r.total_fetched <= g.total_fetched,
+            "regional {} > global {}",
+            r.total_fetched,
+            g.total_fetched
+        );
+
+        // the guarantee holds inside the region
+        let truth = ds.qoi_values(&vtot);
+        let derived = regional.qoi_values(&vtot);
+        let worst_in = (1000..1200)
+            .map(|j| (truth[j] - derived[j]).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst_in <= r.max_est_errors[0]);
+        assert!(r.max_est_errors[0] <= spec.tol_abs());
+    }
+
+    #[test]
+    fn region_validation() {
+        let ds = velocity_dataset(100, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let mut engine = engine_for(&archive);
+        let vtot = velocity_magnitude(0, 3);
+        let range = ds.qoi_range(&vtot).unwrap();
+        // out of bounds
+        let bad = QoiSpec::with_range("v", vtot.clone(), 1e-3, range).restrict_to(0, 101);
+        assert!(engine.retrieve(&[bad]).is_err());
+        // inverted
+        let bad = QoiSpec::with_range("v", vtot.clone(), 1e-3, range).restrict_to(50, 10);
+        assert!(engine.retrieve(&[bad]).is_err());
+        // empty region is trivially satisfied with zero estimate
+        let empty = QoiSpec::with_range("v", vtot, 1e-9, range).restrict_to(10, 10);
+        let r = engine.retrieve(&[empty]).unwrap();
+        assert!(r.satisfied);
+        assert_eq!(r.max_est_errors[0], 0.0);
+    }
+
+    #[test]
+    fn multiple_qois_all_respected() {
+        let ds = velocity_dataset(1000, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let mut engine = engine_for(&archive);
+        let specs = vec![
+            QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-4, &ds).unwrap(),
+            QoiSpec::relative("Vx2", QoiExpr::var(0).pow(2), 1e-5, &ds).unwrap(),
+            QoiSpec::relative("VxVy", species_product(0, 1), 1e-3, &ds).unwrap(),
+        ];
+        let report = engine.retrieve(&specs).unwrap();
+        assert!(report.satisfied);
+        for (k, spec) in specs.iter().enumerate() {
+            assert_guarantee(&ds, &engine, spec, report.max_est_errors[k]);
+        }
+    }
+
+    #[test]
+    fn progressive_series_is_incremental() {
+        let ds = velocity_dataset(3000, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let mut engine = engine_for(&archive);
+        let base = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1.0, &ds).unwrap();
+        let mut last_bytes = 0usize;
+        for i in 1..=6 {
+            let spec = base.at_tolerance(10f64.powi(-i));
+            let report = engine.retrieve(&[spec]).unwrap();
+            assert!(report.satisfied, "τ=1e-{i}");
+            assert!(
+                report.total_fetched >= last_bytes,
+                "cumulative bytes must not shrink"
+            );
+            last_bytes = report.total_fetched;
+        }
+    }
+
+    #[test]
+    fn uninvolved_fields_are_not_fetched() {
+        let n = 800;
+        let mut ds = Dataset::new(&[n]);
+        ds.add_field("used", (0..n).map(|i| (i as f64 * 0.02).sin()).collect())
+            .unwrap();
+        ds.add_field("unused", (0..n).map(|i| (i as f64 * 0.03).cos()).collect())
+            .unwrap();
+        let archive = ds.refactor(Scheme::Psz3).unwrap();
+        let mut engine = engine_for(&archive);
+        let spec = QoiSpec::relative("sq", QoiExpr::var(0).pow(2), 1e-4, &ds).unwrap();
+        engine.retrieve(&[spec]).unwrap();
+        // the unused field's reader fetched nothing (snapshot schemes start
+        // at 0 fetched bytes)
+        assert_eq!(engine.readers[1].total_fetched(), 0);
+        assert!(engine.readers[0].total_fetched() > 0);
+    }
+
+    #[test]
+    fn tighter_tolerance_fetches_more() {
+        let ds = velocity_dataset(2000, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let spec_loose = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-2, &ds).unwrap();
+        let spec_tight = spec_loose.at_tolerance(1e-6);
+
+        let mut e1 = engine_for(&archive);
+        let r1 = e1.retrieve(&[spec_loose]).unwrap();
+        let mut e2 = engine_for(&archive);
+        let r2 = e2.retrieve(&[spec_tight]).unwrap();
+        assert!(r1.satisfied && r2.satisfied);
+        assert!(
+            r2.total_fetched > r1.total_fetched,
+            "tight {} !> loose {}",
+            r2.total_fetched,
+            r1.total_fetched
+        );
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        let ds = velocity_dataset(100, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        // bad reduction factor
+        assert!(RetrievalEngine::new(
+            &archive,
+            EngineConfig {
+                reduction_factor: 1.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        // arity overflow
+        let mut engine = engine_for(&archive);
+        let bad = QoiSpec::absolute("bad", QoiExpr::var(9), 1e-3);
+        assert!(engine.retrieve(&[bad]).is_err());
+        // non-positive tolerance
+        let bad2 = QoiSpec::absolute("bad2", QoiExpr::var(0), 0.0);
+        assert!(engine.retrieve(&[bad2]).is_err());
+    }
+
+    #[test]
+    fn sequential_scan_equals_parallel_scan() {
+        let ds = velocity_dataset(6000, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-4, &ds).unwrap();
+        let run = |parallel_scan: bool| {
+            let cfg = EngineConfig {
+                parallel_scan,
+                ..Default::default()
+            };
+            let mut engine = RetrievalEngine::new(&archive, cfg).unwrap();
+            let r = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
+            (r.total_fetched, r.max_est_errors[0].to_bits())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn absolute_tolerance_spec() {
+        let ds = velocity_dataset(400, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let spec = QoiSpec::absolute("Vx", QoiExpr::var(0), 0.5);
+        assert_eq!(spec.tol_abs(), 0.5);
+        let mut engine = engine_for(&archive);
+        let r = engine.retrieve(&[spec]).unwrap();
+        assert!(r.satisfied);
+        let real = stats::max_abs_diff(ds.field(0), engine.reconstruction(0));
+        assert!(real <= 0.5);
+    }
+
+    #[test]
+    fn shared_fields_across_qois_use_tightest_initial_bound() {
+        // Algorithm 3: a field read by two QoIs starts at the tighter of the
+        // two relative tolerances
+        let ds = velocity_dataset(800, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let loose = QoiSpec::relative("a", QoiExpr::var(0).pow(2), 1e-1, &ds).unwrap();
+        let tight = QoiSpec::relative("b", QoiExpr::var(0).abs(), 1e-6, &ds).unwrap();
+        let mut engine = engine_for(&archive);
+        let r = engine.retrieve(&[loose, tight]).unwrap();
+        assert!(r.satisfied);
+        // the achieved bound on field 0 must satisfy the tight QoI: since
+        // |x| is 1-Lipschitz, ε₀ ≤ 1e-6·range(|Vx|)
+        let range = stats::value_range(&ds.qoi_values(&QoiExpr::var(0).abs()));
+        assert!(r.field_bounds[0] <= 1e-6 * range * 1.001);
+    }
+
+    #[test]
+    fn report_accounting_sane() {
+        let ds = velocity_dataset(500, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let mut engine = engine_for(&archive);
+        let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-3, &ds).unwrap();
+        let report = engine.retrieve(&[spec]).unwrap();
+        assert!(report.satisfied);
+        assert!(report.iterations >= 1);
+        assert_eq!(report.total_fetched, engine.total_fetched());
+        assert!(report.bitrate > 0.0);
+        assert_eq!(report.field_bounds.len(), 3);
+        // bitrate consistent with bytes: bits = bytes*8 / (ne*nv)
+        let expect = report.total_fetched as f64 * 8.0 / (500.0 * 3.0);
+        assert!((report.bitrate - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,455 @@
+//! Named multi-field datasets and their refactored archives.
+//!
+//! A [`Dataset`] holds the original fields (archive-side only); refactoring
+//! produces a [`RefactoredDataset`] carrying, per field, the progressive
+//! fragments plus the metadata the retrieval side needs: field value ranges
+//! (for relative primary-data bounds, Algorithm 3) and — computed once at
+//! refactor time, when the original data is still available — the value
+//! ranges of registered QoIs (for relative QoI tolerances, §III-C).
+
+use crate::mask::ZeroMask;
+use crate::refactored::{default_snapshot_bounds, RefactoredField, Scheme};
+use pqr_qoi::QoiExpr;
+use pqr_util::error::{PqrError, Result};
+use pqr_util::stats;
+
+/// A dataset of equally-shaped named fields (the archive side's view).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    dims: Vec<usize>,
+    names: Vec<String>,
+    fields: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// An empty dataset of the given shape.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+            names: Vec::new(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a field; its length must match the dataset shape.
+    pub fn add_field(&mut self, name: &str, data: Vec<f64>) -> Result<usize> {
+        let n: usize = self.dims.iter().product();
+        if data.len() != n {
+            return Err(PqrError::ShapeMismatch(format!(
+                "field '{name}' has {} elements, dataset shape {:?} = {n}",
+                data.len(),
+                self.dims
+            )));
+        }
+        self.names.push(name.to_string());
+        self.fields.push(data);
+        Ok(self.fields.len() - 1)
+    }
+
+    /// Shape shared by every field.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of fields (`nv` in the paper's notation).
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Elements per field (`ne`).
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Field index by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Field data by index.
+    pub fn field(&self, i: usize) -> &[f64] {
+        &self.fields[i]
+    }
+
+    /// Field name by index.
+    pub fn field_name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Evaluates a QoI over the whole dataset (archive side: original data
+    /// is available) and returns its value range — the denominator of the
+    /// paper's relative QoI error metric.
+    pub fn qoi_range(&self, qoi: &QoiExpr) -> Result<f64> {
+        let arity = qoi.arity();
+        if arity > self.num_fields() {
+            return Err(PqrError::ShapeMismatch(format!(
+                "QoI reads variable {} but dataset has {} fields",
+                arity - 1,
+                self.num_fields()
+            )));
+        }
+        let ne = self.num_elements();
+        if ne == 0 {
+            return Ok(0.0);
+        }
+        // one full-domain evaluation per registered QoI at archive-build
+        // time — worth the parallel min/max reduction on large volumes
+        let (lo, hi) = pqr_util::par::par_chunk_reduce(
+            ne,
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |start, end| {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut x = vec![0.0f64; self.num_fields()];
+                for j in start..end {
+                    for (i, f) in self.fields.iter().enumerate() {
+                        x[i] = f[j];
+                    }
+                    let v = qoi.eval(&x);
+                    if v.is_finite() {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                (lo, hi)
+            },
+            |a, b| (a.0.min(b.0), a.1.max(b.1)),
+        );
+        if lo > hi {
+            return Ok(0.0);
+        }
+        Ok(hi - lo)
+    }
+
+    /// True QoI values over the dataset (evaluation on original data) —
+    /// used by the harnesses to measure *actual* QoI errors.
+    pub fn qoi_values(&self, qoi: &QoiExpr) -> Vec<f64> {
+        let ne = self.num_elements();
+        let mut out = Vec::with_capacity(ne);
+        let mut x = vec![0.0f64; self.num_fields()];
+        for j in 0..ne {
+            for (i, f) in self.fields.iter().enumerate() {
+                x[i] = f[j];
+            }
+            out.push(qoi.eval(&x));
+        }
+        out
+    }
+
+    /// Builds the zero-outlier mask over the given fields (§V-A): a point is
+    /// masked when *all* listed fields are exactly zero there.
+    pub fn zero_mask(&self, field_indices: &[usize]) -> ZeroMask {
+        let ne = self.num_elements();
+        let mut bits = vec![false; ne];
+        for (j, slot) in bits.iter_mut().enumerate() {
+            *slot = !field_indices.is_empty()
+                && field_indices.iter().all(|&i| self.fields[i][j] == 0.0);
+        }
+        ZeroMask::new(field_indices.to_vec(), bits)
+    }
+
+    /// Refactors every field under `scheme` with the default snapshot-bound
+    /// ladder.
+    pub fn refactor(&self, scheme: Scheme) -> Result<RefactoredDataset> {
+        self.refactor_with_bounds(scheme, &default_snapshot_bounds())
+    }
+
+    /// Refactors with an explicit relative-bound ladder (Algorithm 1).
+    ///
+    /// Fields are independent, so they refactor in parallel — Algorithm 1's
+    /// loop is embarrassingly parallel and refactoring dominates archive-side
+    /// cost (Table IV). Dynamic dispatch handles the uneven per-field cost of
+    /// snapshot schemes (18 compressions per field).
+    pub fn refactor_with_bounds(
+        &self,
+        scheme: Scheme,
+        rel_bounds: &[f64],
+    ) -> Result<RefactoredDataset> {
+        let workers = pqr_util::par::worker_count().min(self.fields.len());
+        let fields = pqr_util::par::par_dynamic(self.fields.len(), workers, |i| {
+            RefactoredField::refactor_with_bounds(scheme, &self.fields[i], &self.dims, rel_bounds)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
+        Ok(RefactoredDataset {
+            dims: self.dims.clone(),
+            names: self.names.clone(),
+            fields,
+            mask: None,
+        })
+    }
+}
+
+/// A refactored multi-field archive: what the storage system holds and what
+/// the retrieval engine reads from.
+#[derive(Debug, Clone)]
+pub struct RefactoredDataset {
+    dims: Vec<usize>,
+    names: Vec<String>,
+    fields: Vec<RefactoredField>,
+    mask: Option<ZeroMask>,
+}
+
+impl RefactoredDataset {
+    /// Shape shared by every field.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Elements per field.
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The refactored field at `i`.
+    pub fn field(&self, i: usize) -> &RefactoredField {
+        &self.fields[i]
+    }
+
+    /// Field name at `i`.
+    pub fn field_name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Field index by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Attaches the zero-outlier mask (built archive-side from the original
+    /// data via [`Dataset::zero_mask`]).
+    pub fn set_mask(&mut self, mask: ZeroMask) -> Result<()> {
+        if mask.len() != self.num_elements() {
+            return Err(PqrError::ShapeMismatch(format!(
+                "mask covers {} points, dataset has {}",
+                mask.len(),
+                self.num_elements()
+            )));
+        }
+        self.mask = Some(mask);
+        Ok(())
+    }
+
+    /// The attached mask, if any.
+    pub fn mask(&self) -> Option<&ZeroMask> {
+        self.mask.as_ref()
+    }
+
+    /// Total archived bytes across fields (the "original" transfer baseline
+    /// is `num_fields · num_elements · 8` instead).
+    pub fn total_bytes(&self) -> usize {
+        self.fields.iter().map(|f| f.total_bytes()).sum()
+    }
+
+    /// Raw (uncompressed f64) size of the dataset in bytes.
+    pub fn raw_bytes(&self) -> usize {
+        self.num_fields() * self.num_elements() * 8
+    }
+
+    /// Serializes the whole archive (fields, names, mask).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use pqr_util::byteio::ByteWriter;
+        let mut w = ByteWriter::new();
+        w.put_raw(b"PQRD");
+        w.put_u8(self.dims.len() as u8);
+        for &d in &self.dims {
+            w.put_u64(d as u64);
+        }
+        w.put_u32(self.fields.len() as u32);
+        for (name, field) in self.names.iter().zip(&self.fields) {
+            w.put_bytes(name.as_bytes());
+            w.put_bytes(&field.to_bytes());
+        }
+        match &self.mask {
+            Some(m) => {
+                w.put_u8(1);
+                w.put_bytes(&m.to_bytes());
+            }
+            None => w.put_u8(0),
+        }
+        w.finish()
+    }
+
+    /// Deserializes an archive from [`RefactoredDataset::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        use pqr_util::byteio::ByteReader;
+        let mut r = ByteReader::new(bytes);
+        if r.get_raw(4)? != b"PQRD" {
+            return Err(PqrError::CorruptStream("bad dataset magic".into()));
+        }
+        let nd = r.get_u8()? as usize;
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            dims.push(r.get_u64()? as usize);
+        }
+        let nf = r.get_u32()? as usize;
+        let mut names = Vec::with_capacity(nf);
+        let mut fields = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            let name = String::from_utf8(r.get_bytes()?.to_vec())
+                .map_err(|_| PqrError::CorruptStream("bad field name".into()))?;
+            let field = RefactoredField::from_bytes(r.get_bytes()?)?;
+            if field.dims() != dims.as_slice() {
+                return Err(PqrError::ShapeMismatch(format!(
+                    "field '{name}' shape {:?} != dataset {:?}",
+                    field.dims(),
+                    dims
+                )));
+            }
+            names.push(name);
+            fields.push(field);
+        }
+        let mask = if r.get_u8()? == 1 {
+            Some(ZeroMask::from_bytes(r.get_bytes()?)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            dims,
+            names,
+            fields,
+            mask,
+        })
+    }
+}
+
+/// Convenience: relative L∞ error of a reconstruction against reference
+/// values, using the reference range (the paper's distortion metric).
+pub fn relative_qoi_error(reference: &[f64], approx: &[f64]) -> f64 {
+    stats::rel_linf(reference, approx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqr_qoi::library::velocity_magnitude;
+
+    fn small_dataset() -> Dataset {
+        let n = 200;
+        let mut ds = Dataset::new(&[n]);
+        for c in 0..3usize {
+            let f: Vec<f64> = (0..n)
+                .map(|i| ((i + c * 31) as f64 * 0.05).sin() + 1.5)
+                .collect();
+            ds.add_field(["Vx", "Vy", "Vz"][c], f).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn parallel_refactor_is_deterministic() {
+        // the per-field parallel loop must be bit-identical to whatever a
+        // serial pass would produce — archives are content-addressed in
+        // practice and any nondeterminism would break dedup and the tests
+        // comparing reader byte counts
+        let ds = small_dataset();
+        for scheme in [Scheme::Psz3Delta, Scheme::PmgardHb, Scheme::Pzfp] {
+            let a = ds.refactor_with_bounds(scheme, &[1e-1, 1e-3]).unwrap();
+            let b = ds.refactor_with_bounds(scheme, &[1e-1, 1e-3]).unwrap();
+            for i in 0..ds.num_fields() {
+                assert_eq!(
+                    a.field(i).to_bytes(),
+                    b.field(i).to_bytes(),
+                    "{} field {i}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_field_validates_shape() {
+        let mut ds = Dataset::new(&[10]);
+        assert!(ds.add_field("bad", vec![0.0; 7]).is_err());
+        assert_eq!(ds.add_field("ok", vec![0.0; 10]).unwrap(), 0);
+        assert_eq!(ds.num_fields(), 1);
+        assert_eq!(ds.field_index("ok"), Some(0));
+        assert_eq!(ds.field_index("nope"), None);
+    }
+
+    #[test]
+    fn qoi_range_matches_direct_computation() {
+        let ds = small_dataset();
+        let q = velocity_magnitude(0, 3);
+        let vals = ds.qoi_values(&q);
+        let direct = stats::value_range(&vals);
+        assert!((ds.qoi_range(&q).unwrap() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qoi_range_rejects_arity_overflow() {
+        let ds = small_dataset();
+        let q = velocity_magnitude(0, 5); // needs 5 fields, dataset has 3
+        assert!(ds.qoi_range(&q).is_err());
+    }
+
+    #[test]
+    fn zero_mask_flags_all_zero_points() {
+        let mut ds = Dataset::new(&[4]);
+        ds.add_field("a", vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        ds.add_field("b", vec![0.0, 0.0, 2.0, 0.0]).unwrap();
+        let m = ds.zero_mask(&[0, 1]);
+        assert!(m.is_masked(0));
+        assert!(!m.is_masked(1));
+        assert!(!m.is_masked(2));
+        assert!(m.is_masked(3));
+        assert_eq!(m.masked_count(), 2);
+    }
+
+    #[test]
+    fn refactor_preserves_names_and_shapes() {
+        let ds = small_dataset();
+        let rd = ds
+            .refactor_with_bounds(Scheme::PmgardHb, &[1e-1, 1e-2])
+            .unwrap();
+        assert_eq!(rd.num_fields(), 3);
+        assert_eq!(rd.field_name(2), "Vz");
+        assert_eq!(rd.field_index("Vy"), Some(1));
+        assert_eq!(rd.dims(), &[200]);
+        assert!(rd.total_bytes() > 0);
+        assert_eq!(rd.raw_bytes(), 3 * 200 * 8);
+    }
+
+    #[test]
+    fn mask_shape_validated() {
+        let ds = small_dataset();
+        let mut rd = ds
+            .refactor_with_bounds(Scheme::PmgardHb, &[1e-1])
+            .unwrap();
+        let bad = ZeroMask::new(vec![0], vec![false; 3]);
+        assert!(rd.set_mask(bad).is_err());
+        let good = ds.zero_mask(&[0, 1, 2]);
+        assert!(rd.set_mask(good).is_ok());
+        assert!(rd.mask().is_some());
+    }
+
+    #[test]
+    fn empty_dataset_qoi_range_zero() {
+        let ds = Dataset::new(&[0]);
+        let q = QoiExpr::var(0);
+        // arity 1 > 0 fields → error, not a panic
+        assert!(ds.qoi_range(&q).is_err());
+    }
+
+    #[test]
+    fn refactored_dataset_serialization_roundtrip() {
+        let ds = small_dataset();
+        let mut rd = ds
+            .refactor_with_bounds(Scheme::Psz3Delta, &[1e-1, 1e-3])
+            .unwrap();
+        rd.set_mask(ds.zero_mask(&[0, 1, 2])).unwrap();
+        let bytes = rd.to_bytes();
+        let back = RefactoredDataset::from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_fields(), 3);
+        assert_eq!(back.field_name(1), "Vy");
+        assert_eq!(back.dims(), rd.dims());
+        assert_eq!(back.total_bytes(), rd.total_bytes());
+        assert!(back.mask().is_some());
+        assert!(RefactoredDataset::from_bytes(&bytes[..30]).is_err());
+    }
+}

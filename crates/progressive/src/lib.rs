@@ -1,0 +1,62 @@
+//! # pqr-progressive — progressive representations + QoI-preserving retrieval
+//!
+//! This crate is the paper's primary contribution: a generic framework that
+//! retrieves *just enough* progressive data to guarantee user-prescribed
+//! error tolerances on derivable quantities of interest (§III, §V).
+//!
+//! ## Pieces
+//!
+//! * [`field`] — named fields and multi-field datasets with refactor-time
+//!   metadata (value ranges, QoI ranges).
+//! * [`refactored`] — the three §V-B progressive representations behind one
+//!   interface:
+//!   [`Scheme::Psz3`] (multi-snapshot error-bounded compression),
+//!   [`Scheme::Psz3Delta`] (residual/delta compression),
+//!   [`Scheme::PmgardHb`] / [`Scheme::PmgardOb`] (multilevel + bitplanes),
+//!   plus the [`Scheme::Pzfp`] extension (ZFP-style block transform +
+//!   negabinary bitplanes — the paper's other progressive-precision family).
+//! * [`mask`] — the zero-outlier bitmap of §V-A that keeps near-zero points
+//!   from blowing up √-type QoI estimates.
+//! * [`engine`] — Algorithms 2–4: iterative QoI-preserved retrieval with a
+//!   primary-data error-bound assigner and a QoI error estimator.
+//!
+//! ## Flow (mirrors Fig. 1)
+//!
+//! ```
+//! use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine};
+//! use pqr_progressive::field::Dataset;
+//! use pqr_progressive::refactored::Scheme;
+//! use pqr_qoi::library::velocity_magnitude;
+//!
+//! // archive side: refactor three velocity fields
+//! let n = 512;
+//! let fields: Vec<Vec<f64>> = (0..3)
+//!     .map(|c| (0..n).map(|i| ((i + c * 37) as f64 * 0.01).sin() + 1.5).collect())
+//!     .collect();
+//! let names = ["Vx", "Vy", "Vz"];
+//! let mut ds = Dataset::new(&[n]);
+//! for (name, f) in names.iter().zip(&fields) {
+//!     ds.add_field(name, f.clone()).unwrap();
+//! }
+//! let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+//!
+//! // retrieval side: VTOT within 1e-4 of truth, guaranteed
+//! let qoi = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-4, &ds).unwrap();
+//! let mut engine = RetrievalEngine::new(&archive, EngineConfig::default()).unwrap();
+//! let report = engine.retrieve(&[qoi]).unwrap();
+//! assert!(report.satisfied);
+//!
+//! // the guarantee: estimated ≥ actual error, estimated ≤ tolerance
+//! let recon = engine.reconstruction(0);
+//! assert_eq!(recon.len(), n);
+//! ```
+
+pub mod engine;
+pub mod field;
+pub mod mask;
+pub mod refactored;
+
+pub use engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
+pub use field::{Dataset, RefactoredDataset};
+pub use mask::ZeroMask;
+pub use refactored::{FieldReader, ReaderProgress, RefactoredField, Scheme};

@@ -1,0 +1,975 @@
+//! The three progressive representations of §V-B behind one interface.
+//!
+//! | variant | paper name | mechanics |
+//! |---|---|---|
+//! | [`Scheme::Psz3`] | PSZ3 | independent SZ3 snapshots at pre-set bounds; a request fetches the smallest adequate snapshot *in full* (cross-snapshot redundancy → stair-case rate curves) |
+//! | [`Scheme::Psz3Delta`] | PSZ3-delta | snapshot *i* compresses the residual left by snapshots 1..i−1; a request fetches the prefix 1..k (no redundancy) |
+//! | [`Scheme::PmgardHb`] | PMGARD-HB | multilevel hierarchical-basis decomposition + bitplanes (the paper's optimised representation) |
+//! | [`Scheme::PmgardOb`] | PMGARD | same with MGARD's orthogonal basis (L2 projection) — kept for the Fig. 3 comparison |
+//! | [`Scheme::Pzfp`] | (extension) | ZFP-style block transform + negabinary bitplanes — the paper's other progressive-precision family (its ref. \[4\]), exercised by the ablation benches |
+//!
+//! Every variant satisfies Definition 1: refactor once into fragments,
+//! reconstruct from a prefix of fragments under a guaranteed L∞ bound, and
+//! recompose incrementally as more fragments arrive.
+
+use pqr_mgard::{Basis, MgardRefactorer, MgardReader, MgardStream};
+use pqr_sz::{SzCompressor, SzConfig};
+use pqr_zfp::{ZfpReader, ZfpRefactorer, ZfpStream};
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::error::{PqrError, Result};
+use pqr_util::stats;
+
+/// Which progressive representation to refactor into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// Multi-snapshot error-bounded compression (PSZ3).
+    Psz3,
+    /// Residual/delta compression (PSZ3-delta).
+    Psz3Delta,
+    /// Multilevel + bitplanes, hierarchical basis (PMGARD-HB) — the paper's
+    /// recommended representation.
+    #[default]
+    PmgardHb,
+    /// Multilevel + bitplanes, orthogonal basis (PMGARD).
+    PmgardOb,
+    /// ZFP-style block transform + negabinary bitplanes. An extension beyond
+    /// the paper's three evaluated schemes: the paper's related work names
+    /// ZFP as the other progressive-precision family, and this variant lets
+    /// the benches compare it under the same QoI engine.
+    Pzfp,
+}
+
+impl Scheme {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Psz3 => "PSZ3",
+            Scheme::Psz3Delta => "PSZ3-delta",
+            Scheme::PmgardHb => "PMGARD-HB",
+            Scheme::PmgardOb => "PMGARD",
+            Scheme::Pzfp => "PZFP",
+        }
+    }
+
+    /// The paper's schemes, in the order its figures list them. The PZFP
+    /// extension is deliberately excluded so the figure harnesses reproduce
+    /// exactly the paper's curves; use [`Scheme::extended`] to include it.
+    pub fn all() -> [Scheme; 4] {
+        [
+            Scheme::Psz3,
+            Scheme::Psz3Delta,
+            Scheme::PmgardOb,
+            Scheme::PmgardHb,
+        ]
+    }
+
+    /// Every representation in the workspace, paper schemes first.
+    pub fn extended() -> [Scheme; 5] {
+        [
+            Scheme::Psz3,
+            Scheme::Psz3Delta,
+            Scheme::PmgardOb,
+            Scheme::PmgardHb,
+            Scheme::Pzfp,
+        ]
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            Scheme::Psz3 => 0,
+            Scheme::Psz3Delta => 1,
+            Scheme::PmgardHb => 2,
+            Scheme::PmgardOb => 3,
+            Scheme::Pzfp => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(Scheme::Psz3),
+            1 => Some(Scheme::Psz3Delta),
+            2 => Some(Scheme::PmgardHb),
+            3 => Some(Scheme::PmgardOb),
+            4 => Some(Scheme::Pzfp),
+            _ => None,
+        }
+    }
+}
+
+/// The default pre-set relative error bounds for snapshot-based schemes:
+/// `10^-1 … 10^-18` (§VI-C uses 18 because S3D needs high precision).
+pub fn default_snapshot_bounds() -> Vec<f64> {
+    (1..=18).map(|i| 10f64.powi(-i)).collect()
+}
+
+/// One stored snapshot of a snapshot-based scheme.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Absolute L∞ bound this snapshot guarantees (cumulatively, for delta).
+    pub eb_abs: f64,
+    /// Compressed payload.
+    pub blob: Vec<u8>,
+}
+
+/// A refactored progressive field (archive-side artifact).
+#[derive(Debug, Clone)]
+pub struct RefactoredField {
+    pub(crate) scheme: Scheme,
+    pub(crate) dims: Vec<usize>,
+    /// `max − min` of the original data (drives relative bounds).
+    pub(crate) range: f64,
+    /// `max |x|` of the original data (initial zero-vector error bound).
+    pub(crate) max_abs: f64,
+    pub(crate) body: Body,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Body {
+    Snapshots(Vec<Snapshot>),
+    Mgard(MgardStream),
+    Zfp(ZfpStream),
+}
+
+impl RefactoredField {
+    /// Refactors `data` under the chosen scheme with the default snapshot
+    /// bound ladder.
+    pub fn refactor(scheme: Scheme, data: &[f64], dims: &[usize]) -> Result<Self> {
+        Self::refactor_with_bounds(scheme, data, dims, &default_snapshot_bounds())
+    }
+
+    /// Refactors with an explicit relative-bound ladder (snapshot schemes
+    /// only; ignored by the PMGARD variants, which are ladder-free).
+    pub fn refactor_with_bounds(
+        scheme: Scheme,
+        data: &[f64],
+        dims: &[usize],
+        rel_bounds: &[f64],
+    ) -> Result<Self> {
+        let n: usize = dims.iter().product();
+        if n != data.len() {
+            return Err(PqrError::ShapeMismatch(format!(
+                "dims {:?} = {n} elements, data has {}",
+                dims,
+                data.len()
+            )));
+        }
+        let range = stats::value_range(data);
+        let (lo, hi) = stats::min_max(data);
+        let max_abs = lo.abs().max(hi.abs());
+        // Degenerate (constant/empty) data still needs a usable ladder.
+        let scale = if range > 0.0 { range } else { 1.0 };
+
+        let body = match scheme {
+            Scheme::Psz3 => {
+                let sz = SzCompressor::new(SzConfig::default());
+                let mut snaps = Vec::with_capacity(rel_bounds.len());
+                for &rb in rel_bounds {
+                    let eb = rb * scale;
+                    snaps.push(Snapshot {
+                        eb_abs: eb,
+                        blob: sz.compress(data, dims, eb)?,
+                    });
+                }
+                Body::Snapshots(snaps)
+            }
+            Scheme::Psz3Delta => {
+                let sz = SzCompressor::new(SzConfig::default());
+                let mut snaps = Vec::with_capacity(rel_bounds.len());
+                let mut residual = data.to_vec();
+                for &rb in rel_bounds {
+                    let eb = rb * scale;
+                    let blob = sz.compress(&residual, dims, eb)?;
+                    let (recon, _) = sz.decompress(&blob)?;
+                    for (r, d) in residual.iter_mut().zip(&recon) {
+                        *r -= d;
+                    }
+                    snaps.push(Snapshot { eb_abs: eb, blob });
+                }
+                Body::Snapshots(snaps)
+            }
+            Scheme::PmgardHb => {
+                Body::Mgard(MgardRefactorer::new(Basis::Hierarchical).refactor(data, dims)?)
+            }
+            Scheme::PmgardOb => {
+                Body::Mgard(MgardRefactorer::new(Basis::Orthogonal).refactor(data, dims)?)
+            }
+            Scheme::Pzfp => Body::Zfp(ZfpRefactorer::new().refactor(data, dims)?),
+        };
+        Ok(Self {
+            scheme,
+            dims: dims.to_vec(),
+            range,
+            max_abs,
+            body,
+        })
+    }
+
+    /// The representation this field was refactored into.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Array shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True for zero-element fields.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `max − min` of the original data.
+    pub fn value_range(&self) -> f64 {
+        self.range
+    }
+
+    /// `max |x|` of the original data.
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// Total archived bytes.
+    pub fn total_bytes(&self) -> usize {
+        match &self.body {
+            Body::Snapshots(s) => s.iter().map(|x| x.blob.len()).sum(),
+            Body::Mgard(m) => m.total_bytes(),
+            Body::Zfp(z) => z.total_bytes(),
+        }
+    }
+
+    /// Opens a progressive reader at zero fetched fragments.
+    pub fn reader(&self) -> FieldReader<'_> {
+        let n = self.len();
+        match &self.body {
+            Body::Snapshots(snaps) => FieldReader {
+                field: self,
+                recon: vec![0.0; n],
+                bound: self.max_abs,
+                fetched: 0,
+                state: ReaderState::Snapshots {
+                    snaps,
+                    next: 0,
+                    delta: self.scheme == Scheme::Psz3Delta,
+                },
+            },
+            Body::Mgard(stream) => {
+                let reader = stream.reader();
+                let fetched = reader.total_fetched();
+                let bound = reader.guaranteed_bound();
+                // the metadata (always fetched) carries the root value, so
+                // the zero-plane reconstruction is already meaningful
+                let recon = reader.reconstruct();
+                FieldReader {
+                    field: self,
+                    recon,
+                    bound,
+                    fetched,
+                    state: ReaderState::Mgard(reader),
+                }
+            }
+            Body::Zfp(stream) => {
+                let reader = stream.reader();
+                let fetched = reader.total_fetched();
+                // the zfp bound model can exceed max|x| before any plane
+                // arrives; the zero-vector bound is the better of the two
+                let bound = reader.guaranteed_bound().min(self.max_abs);
+                FieldReader {
+                    field: self,
+                    recon: vec![0.0; n],
+                    bound,
+                    fetched,
+                    state: ReaderState::Zfp(reader),
+                }
+            }
+        }
+    }
+
+    /// Opens a reader restored to a previously saved [`ReaderProgress`]
+    /// (from [`FieldReader::progress`]) by deterministically replaying the
+    /// recorded fetches against this archive. The resumed reader's
+    /// reconstruction, guaranteed bound and cumulative byte accounting match
+    /// the original reader's state exactly.
+    pub fn reader_resumed(&self, progress: &ReaderProgress) -> Result<FieldReader<'_>> {
+        let mut reader = self.reader();
+        match (&mut reader.state, progress) {
+            (
+                ReaderState::Snapshots { snaps, next, delta },
+                ReaderProgress::Snapshots {
+                    next: want,
+                    fetched,
+                },
+            ) => {
+                let want = *want as usize;
+                if want > snaps.len() {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "progress wants snapshot {want}, archive has {}",
+                        snaps.len()
+                    )));
+                }
+                let sz = SzCompressor::new(SzConfig::default());
+                if *delta {
+                    for s in &snaps[..want] {
+                        let (part, _) = sz.decompress(&s.blob)?;
+                        for (acc, p) in reader.recon.iter_mut().zip(&part) {
+                            *acc += p;
+                        }
+                        reader.bound = s.eb_abs;
+                    }
+                } else if want > 0 {
+                    let s = &snaps[want - 1];
+                    let (recon, _) = sz.decompress(&s.blob)?;
+                    reader.recon = recon;
+                    reader.bound = s.eb_abs;
+                }
+                *next = want;
+                reader.fetched = *fetched as usize;
+            }
+            (ReaderState::Mgard(m), ReaderProgress::Mgard { planes }) => {
+                m.restore(planes)?;
+                reader.recon = m.reconstruct();
+                reader.bound = m.guaranteed_bound();
+                reader.fetched = m.total_fetched();
+            }
+            (ReaderState::Zfp(z), ReaderProgress::Zfp { planes }) => {
+                z.fetch_planes(*planes as usize)?;
+                if z.planes_read() != *planes {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "progress wants {planes} planes, archive has {}",
+                        z.planes_read()
+                    )));
+                }
+                // mirror refine_to: adopt the zfp reconstruction only once
+                // its guarantee beats the zero-vector bound
+                let zb = z.guaranteed_bound();
+                if zb <= reader.bound {
+                    reader.recon = z.reconstruct();
+                    reader.bound = zb;
+                }
+                reader.fetched = z.total_fetched();
+            }
+            _ => {
+                return Err(PqrError::InvalidRequest(format!(
+                    "progress marker does not match scheme {}",
+                    self.scheme.name()
+                )))
+            }
+        }
+        Ok(reader)
+    }
+
+    /// Serializes the archive artifact.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_raw(b"PQRF");
+        w.put_u8(self.scheme.tag());
+        w.put_u8(self.dims.len() as u8);
+        for &d in &self.dims {
+            w.put_u64(d as u64);
+        }
+        w.put_f64(self.range);
+        w.put_f64(self.max_abs);
+        match &self.body {
+            Body::Snapshots(snaps) => {
+                w.put_u32(snaps.len() as u32);
+                for s in snaps {
+                    w.put_f64(s.eb_abs);
+                    w.put_bytes(&s.blob);
+                }
+            }
+            Body::Mgard(m) => {
+                w.put_u32(u32::MAX); // sentinel: mgard body
+                w.put_bytes(&m.to_bytes());
+            }
+            Body::Zfp(z) => {
+                w.put_u32(u32::MAX - 1); // sentinel: zfp body
+                w.put_bytes(&z.to_bytes());
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes an archive artifact.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_raw(4)? != b"PQRF" {
+            return Err(PqrError::CorruptStream("bad field magic".into()));
+        }
+        let scheme = Scheme::from_tag(r.get_u8()?)
+            .ok_or_else(|| PqrError::CorruptStream("unknown scheme".into()))?;
+        let nd = r.get_u8()? as usize;
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            dims.push(r.get_u64()? as usize);
+        }
+        let range = r.get_f64()?;
+        let max_abs = r.get_f64()?;
+        let marker = r.get_u32()?;
+        let body = if marker == u32::MAX {
+            Body::Mgard(MgardStream::from_bytes(r.get_bytes()?)?)
+        } else if marker == u32::MAX - 1 {
+            Body::Zfp(ZfpStream::from_bytes(r.get_bytes()?)?)
+        } else {
+            if marker > 4096 {
+                return Err(PqrError::CorruptStream(format!("{marker} snapshots")));
+            }
+            let mut snaps = Vec::with_capacity(marker as usize);
+            for _ in 0..marker {
+                let eb_abs = r.get_f64()?;
+                let blob = r.get_bytes()?.to_vec();
+                snaps.push(Snapshot { eb_abs, blob });
+            }
+            Body::Snapshots(snaps)
+        };
+        Ok(Self {
+            scheme,
+            dims,
+            range,
+            max_abs,
+            body,
+        })
+    }
+
+    /// Sizes of the individually fetchable fragments, in storage order — the
+    /// transfer simulator uses this to model per-segment movement.
+    pub fn fragment_sizes(&self) -> Vec<usize> {
+        match &self.body {
+            Body::Snapshots(s) => s.iter().map(|x| x.blob.len()).collect(),
+            Body::Mgard(m) => {
+                let mut v = vec![m.metadata_bytes()];
+                v.extend(m.segment_sizes());
+                v
+            }
+            Body::Zfp(z) => {
+                let mut v = vec![z.metadata_bytes()];
+                v.extend(z.segment_sizes());
+                v
+            }
+        }
+    }
+}
+
+/// Resumable progress marker of a [`FieldReader`] — everything needed to
+/// reconstruct the reader's exact state against the same archive in another
+/// process (Fig. 1's retrieval side is long-lived; sessions outlive
+/// processes). Replay is deterministic, so restoring reproduces both the
+/// reconstruction and the cumulative byte accounting bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReaderProgress {
+    /// Snapshot schemes: index one past the last fetched snapshot, plus the
+    /// session's cumulative fetched bytes (not derivable from the index —
+    /// plain PSZ3 may have re-fetched several snapshots on the way).
+    Snapshots {
+        /// One past the last fetched snapshot index.
+        next: u32,
+        /// Cumulative fetched bytes at save time.
+        fetched: u64,
+    },
+    /// PMGARD schemes: planes consumed per level.
+    Mgard {
+        /// Fetched plane count per multilevel level.
+        planes: Vec<u32>,
+    },
+    /// PZFP: global planes consumed.
+    Zfp {
+        /// Fetched plane count.
+        planes: u32,
+    },
+}
+
+impl ReaderProgress {
+    /// Serializes the marker.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            ReaderProgress::Snapshots { next, fetched } => {
+                w.put_u8(0);
+                w.put_u32(*next);
+                w.put_u64(*fetched);
+            }
+            ReaderProgress::Mgard { planes } => {
+                w.put_u8(1);
+                w.put_u32(planes.len() as u32);
+                for &p in planes {
+                    w.put_u32(p);
+                }
+            }
+            ReaderProgress::Zfp { planes } => {
+                w.put_u8(2);
+                w.put_u32(*planes);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a marker written by [`ReaderProgress::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let p = Self::read(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(PqrError::CorruptStream("trailing progress bytes".into()));
+        }
+        Ok(p)
+    }
+
+    pub(crate) fn read(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => ReaderProgress::Snapshots {
+                next: r.get_u32()?,
+                fetched: r.get_u64()?,
+            },
+            1 => {
+                let n = r.get_u32()? as usize;
+                if n > 64 {
+                    return Err(PqrError::CorruptStream(format!("{n} levels in progress")));
+                }
+                let mut planes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    planes.push(r.get_u32()?);
+                }
+                ReaderProgress::Mgard { planes }
+            }
+            2 => ReaderProgress::Zfp {
+                planes: r.get_u32()?,
+            },
+            t => {
+                return Err(PqrError::CorruptStream(format!(
+                    "unknown progress tag {t}"
+                )))
+            }
+        })
+    }
+
+    pub(crate) fn write(&self, w: &mut ByteWriter) {
+        w.put_raw(&self.to_bytes());
+    }
+}
+
+/// Progressive reader over a [`RefactoredField`].
+///
+/// Maintains the current reconstruction, the guaranteed L∞ bound, and the
+/// cumulative number of fetched bytes (what a remote retrieval would move).
+#[derive(Debug)]
+pub struct FieldReader<'a> {
+    field: &'a RefactoredField,
+    recon: Vec<f64>,
+    bound: f64,
+    fetched: usize,
+    state: ReaderState<'a>,
+}
+
+#[derive(Debug)]
+enum ReaderState<'a> {
+    Snapshots {
+        snaps: &'a [Snapshot],
+        /// Next snapshot index to fetch (all below are fetched).
+        next: usize,
+        /// Delta mode: reconstruction accumulates; plain mode: replaces.
+        delta: bool,
+    },
+    Mgard(MgardReader<'a>),
+    Zfp(ZfpReader<'a>),
+}
+
+impl FieldReader<'_> {
+    /// Current reconstruction (zeros before any fetch — Algorithm 2 line 2).
+    pub fn data(&self) -> &[f64] {
+        &self.recon
+    }
+
+    /// Guaranteed L∞ bound of [`FieldReader::data`] versus the original.
+    pub fn guaranteed_bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Cumulative fetched bytes.
+    pub fn total_fetched(&self) -> usize {
+        self.fetched
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &RefactoredField {
+        self.field
+    }
+
+    /// The reader's resumable progress marker (see [`ReaderProgress`]).
+    pub fn progress(&self) -> ReaderProgress {
+        match &self.state {
+            ReaderState::Snapshots { next, .. } => ReaderProgress::Snapshots {
+                next: *next as u32,
+                fetched: self.fetched as u64,
+            },
+            ReaderState::Mgard(m) => ReaderProgress::Mgard {
+                planes: m.planes_read(),
+            },
+            ReaderState::Zfp(z) => ReaderProgress::Zfp {
+                planes: z.planes_read(),
+            },
+        }
+    }
+
+    /// True when no further refinement is possible.
+    pub fn exhausted(&self) -> bool {
+        match &self.state {
+            ReaderState::Snapshots { snaps, next, .. } => *next >= snaps.len(),
+            ReaderState::Mgard(r) => r.fully_fetched(),
+            ReaderState::Zfp(r) => r.fully_fetched(),
+        }
+    }
+
+    /// Progression in **resolution** (the second PMGARD axis, §II): drops
+    /// the `drop_finest` finest levels and reconstructs the coarse subgrid
+    /// from the bytes already fetched. Returns `(coarse_data, coarse_dims)`.
+    ///
+    /// Only multilevel representations carry a resolution hierarchy;
+    /// snapshot- and block-transform-based schemes return
+    /// [`PqrError::Unsupported`].
+    pub fn reconstruct_at_resolution(&self, drop_finest: usize) -> Result<(Vec<f64>, Vec<usize>)> {
+        match &self.state {
+            ReaderState::Mgard(reader) => Ok(reader.reconstruct_at_resolution(drop_finest)),
+            ReaderState::Snapshots { .. } => Err(PqrError::Unsupported(format!(
+                "{} has no resolution hierarchy",
+                self.field.scheme.name()
+            ))),
+            ReaderState::Zfp(_) => Err(PqrError::Unsupported(
+                "PZFP has no resolution hierarchy".into(),
+            )),
+        }
+    }
+
+    /// Fetches fragments until the guaranteed bound is ≤ `eb` (absolute) or
+    /// the representation is exhausted. Returns newly fetched bytes.
+    pub fn refine_to(&mut self, eb: f64) -> Result<usize> {
+        if eb < 0.0 || eb.is_nan() {
+            return Err(PqrError::InvalidRequest(format!("bad error bound {eb}")));
+        }
+        if self.bound <= eb {
+            return Ok(0);
+        }
+        let mut newly = 0usize;
+        match &mut self.state {
+            ReaderState::Snapshots { snaps, next, delta } => {
+                let sz = SzCompressor::new(SzConfig::default());
+                // target: smallest index with eb_abs ≤ eb (ladder is sorted
+                // descending); if none, the last (floor).
+                let target = match snaps.iter().position(|s| s.eb_abs <= eb) {
+                    Some(i) => i,
+                    None => snaps.len().saturating_sub(1),
+                };
+                if *delta {
+                    // fetch the prefix ..=target that is still missing
+                    while *next <= target && *next < snaps.len() {
+                        let s = &snaps[*next];
+                        newly += s.blob.len();
+                        let (part, _) = sz.decompress(&s.blob)?;
+                        for (acc, p) in self.recon.iter_mut().zip(&part) {
+                            *acc += p;
+                        }
+                        self.bound = s.eb_abs;
+                        *next += 1;
+                    }
+                } else if target >= *next {
+                    // plain PSZ3 re-fetches the full adequate snapshot —
+                    // the cross-snapshot redundancy of §V-B
+                    let s = &snaps[target];
+                    newly += s.blob.len();
+                    let (recon, _) = sz.decompress(&s.blob)?;
+                    self.recon = recon;
+                    self.bound = s.eb_abs;
+                    *next = target + 1;
+                }
+            }
+            ReaderState::Mgard(reader) => {
+                newly = reader.refine_to(eb)?;
+                if newly > 0 {
+                    self.recon = reader.reconstruct();
+                }
+                self.bound = reader.guaranteed_bound().min(self.bound);
+            }
+            ReaderState::Zfp(reader) => {
+                newly = reader.refine_to(eb)?;
+                // The zfp bound model is conservative: for the first few
+                // planes it can exceed the zero-vector bound max|x| this
+                // reader starts from. Only adopt the zfp reconstruction
+                // once its guarantee beats the current one; the fetched
+                // planes are retained in the reader either way.
+                let zb = reader.guaranteed_bound();
+                if zb <= self.bound {
+                    self.recon = reader.reconstruct();
+                    self.bound = zb;
+                }
+            }
+        }
+        self.fetched += newly;
+        Ok(newly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqr_util::stats::max_abs_diff;
+
+    fn field_data(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                (x * 7.0).sin() * 3.0 + (x * 23.0).cos() * 0.4 + x
+            })
+            .collect()
+    }
+
+    fn bounds_short() -> Vec<f64> {
+        (1..=8).map(|i| 10f64.powi(-i)).collect()
+    }
+
+    #[test]
+    fn every_scheme_meets_requested_bounds() {
+        let data = field_data(3000);
+        let range = stats::value_range(&data);
+        for scheme in Scheme::extended() {
+            let rf =
+                RefactoredField::refactor_with_bounds(scheme, &data, &[3000], &bounds_short())
+                    .unwrap();
+            let mut reader = rf.reader();
+            for rel in [1e-1, 1e-3, 1e-6] {
+                let eb = rel * range;
+                reader.refine_to(eb).unwrap();
+                assert!(
+                    reader.guaranteed_bound() <= eb,
+                    "{}: bound {} > {eb}",
+                    scheme.name(),
+                    reader.guaranteed_bound()
+                );
+                let real = max_abs_diff(&data, reader.data());
+                assert!(
+                    real <= reader.guaranteed_bound(),
+                    "{}: real {real} > guarantee {}",
+                    scheme.name(),
+                    reader.guaranteed_bound()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_accounting_is_cumulative_and_monotone() {
+        let data = field_data(4000);
+        let range = stats::value_range(&data);
+        for scheme in Scheme::extended() {
+            let rf =
+                RefactoredField::refactor_with_bounds(scheme, &data, &[4000], &bounds_short())
+                    .unwrap();
+            let mut reader = rf.reader();
+            let mut last = reader.total_fetched();
+            for rel in [1e-1, 1e-2, 1e-4, 1e-6] {
+                reader.refine_to(rel * range).unwrap();
+                assert!(reader.total_fetched() >= last, "{}", scheme.name());
+                last = reader.total_fetched();
+            }
+        }
+    }
+
+    #[test]
+    fn psz3_refetches_full_snapshots_but_delta_does_not() {
+        // the §V-B redundancy argument: under a progressive request series
+        // PSZ3 moves more bytes than PSZ3-delta
+        let data = field_data(20_000);
+        let range = stats::value_range(&data);
+        let psz3 =
+            RefactoredField::refactor_with_bounds(Scheme::Psz3, &data, &[20_000], &bounds_short())
+                .unwrap();
+        let delta = RefactoredField::refactor_with_bounds(
+            Scheme::Psz3Delta,
+            &data,
+            &[20_000],
+            &bounds_short(),
+        )
+        .unwrap();
+        let mut rp = psz3.reader();
+        let mut rd = delta.reader();
+        for i in 1..=7 {
+            let eb = 10f64.powi(-i) * range;
+            rp.refine_to(eb).unwrap();
+            rd.refine_to(eb).unwrap();
+        }
+        assert!(
+            rp.total_fetched() > rd.total_fetched(),
+            "PSZ3 {} !> delta {}",
+            rp.total_fetched(),
+            rd.total_fetched()
+        );
+    }
+
+    #[test]
+    fn single_request_psz3_fetches_one_snapshot() {
+        let data = field_data(5000);
+        let range = stats::value_range(&data);
+        let rf =
+            RefactoredField::refactor_with_bounds(Scheme::Psz3, &data, &[5000], &bounds_short())
+                .unwrap();
+        let mut reader = rf.reader();
+        reader.refine_to(1e-4 * range).unwrap();
+        // exactly the 1e-4 snapshot's bytes
+        if let Body::Snapshots(snaps) = &rf.body {
+            assert_eq!(reader.total_fetched(), snaps[3].blob.len());
+        } else {
+            panic!("wrong body");
+        }
+    }
+
+    #[test]
+    fn initial_state_is_zero_vector_with_max_abs_bound() {
+        let data = field_data(100);
+        for scheme in [Scheme::Psz3, Scheme::Psz3Delta] {
+            let rf =
+                RefactoredField::refactor_with_bounds(scheme, &data, &[100], &bounds_short())
+                    .unwrap();
+            let reader = rf.reader();
+            assert!(reader.data().iter().all(|&v| v == 0.0));
+            assert_eq!(reader.guaranteed_bound(), rf.max_abs());
+            let real = max_abs_diff(&data, reader.data());
+            assert!(real <= reader.guaranteed_bound());
+        }
+    }
+
+    #[test]
+    fn snapshot_floor_reported_when_ladder_exhausted() {
+        let data = field_data(500);
+        let range = stats::value_range(&data);
+        let rf =
+            RefactoredField::refactor_with_bounds(Scheme::Psz3, &data, &[500], &bounds_short())
+                .unwrap();
+        let mut reader = rf.reader();
+        // request beyond the ladder floor (1e-8 rel)
+        reader.refine_to(1e-15 * range).unwrap();
+        assert!(reader.exhausted());
+        // bound floors at the last ladder step, NOT at the request
+        assert!(reader.guaranteed_bound() <= 1e-8 * range * 1.001);
+        assert!(reader.guaranteed_bound() > 1e-15 * range);
+    }
+
+    #[test]
+    fn serialization_roundtrip_all_schemes() {
+        let data = field_data(800);
+        for scheme in Scheme::extended() {
+            let rf =
+                RefactoredField::refactor_with_bounds(scheme, &data, &[800], &bounds_short())
+                    .unwrap();
+            let bytes = rf.to_bytes();
+            let rf2 = RefactoredField::from_bytes(&bytes).unwrap();
+            assert_eq!(rf2.scheme(), scheme);
+            assert_eq!(rf2.dims(), rf.dims());
+            assert_eq!(rf2.value_range(), rf.value_range());
+            assert_eq!(rf2.total_bytes(), rf.total_bytes());
+            // readers behave identically
+            let range = rf.value_range();
+            let mut a = rf.reader();
+            let mut b = rf2.reader();
+            a.refine_to(1e-4 * range).unwrap();
+            b.refine_to(1e-4 * range).unwrap();
+            assert_eq!(a.data(), b.data());
+            assert_eq!(a.total_fetched(), b.total_fetched());
+        }
+    }
+
+    #[test]
+    fn constant_field_handled() {
+        let data = vec![5.0; 300];
+        for scheme in Scheme::extended() {
+            let rf =
+                RefactoredField::refactor_with_bounds(scheme, &data, &[300], &bounds_short())
+                    .unwrap();
+            let mut reader = rf.reader();
+            reader.refine_to(1e-6).unwrap();
+            let real = max_abs_diff(&data, reader.data());
+            assert!(real <= 1e-6, "{}: {real}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn scheme_names_match_paper() {
+        assert_eq!(Scheme::Psz3.name(), "PSZ3");
+        assert_eq!(Scheme::Psz3Delta.name(), "PSZ3-delta");
+        assert_eq!(Scheme::PmgardHb.name(), "PMGARD-HB");
+        assert_eq!(Scheme::PmgardOb.name(), "PMGARD");
+        assert_eq!(Scheme::Pzfp.name(), "PZFP");
+    }
+
+    #[test]
+    fn extended_adds_pzfp_after_paper_schemes() {
+        let ext = Scheme::extended();
+        assert_eq!(&ext[..4], &Scheme::all());
+        assert_eq!(ext[4], Scheme::Pzfp);
+    }
+
+    #[test]
+    fn pzfp_meets_requested_bounds() {
+        let data = field_data(3000);
+        let range = stats::value_range(&data);
+        let rf = RefactoredField::refactor(Scheme::Pzfp, &data, &[3000]).unwrap();
+        let mut reader = rf.reader();
+        for rel in [1e-1, 1e-3, 1e-6, 1e-9] {
+            let eb = rel * range;
+            reader.refine_to(eb).unwrap();
+            assert!(reader.guaranteed_bound() <= eb, "rel={rel}");
+            let real = max_abs_diff(&data, reader.data());
+            assert!(real <= reader.guaranteed_bound(), "rel={rel}: {real}");
+        }
+    }
+
+    #[test]
+    fn pzfp_initial_state_is_sound_zero_vector() {
+        let data = field_data(200);
+        let rf = RefactoredField::refactor(Scheme::Pzfp, &data, &[200]).unwrap();
+        let reader = rf.reader();
+        assert!(reader.data().iter().all(|&v| v == 0.0));
+        let real = max_abs_diff(&data, reader.data());
+        assert!(real <= reader.guaranteed_bound());
+        assert!(reader.guaranteed_bound() <= rf.max_abs());
+    }
+
+    #[test]
+    fn pzfp_serialization_roundtrip() {
+        let data = field_data(900);
+        let rf = RefactoredField::refactor(Scheme::Pzfp, &data, &[900]).unwrap();
+        let rf2 = RefactoredField::from_bytes(&rf.to_bytes()).unwrap();
+        assert_eq!(rf2.scheme(), Scheme::Pzfp);
+        let range = rf.value_range();
+        let mut a = rf.reader();
+        let mut b = rf2.reader();
+        a.refine_to(1e-5 * range).unwrap();
+        b.refine_to(1e-5 * range).unwrap();
+        assert_eq!(a.data(), b.data());
+        assert_eq!(a.total_fetched(), b.total_fetched());
+    }
+
+    #[test]
+    fn pzfp_bound_never_regresses_while_refining() {
+        // the conservative early-plane model must never push the reported
+        // bound above the zero-vector bound the reader starts from
+        let data = field_data(2048);
+        let range = stats::value_range(&data);
+        let rf = RefactoredField::refactor(Scheme::Pzfp, &data, &[2048]).unwrap();
+        let mut reader = rf.reader();
+        let mut prev = reader.guaranteed_bound();
+        for i in 1..=25 {
+            let eb = 0.5 * (2.0f64).powi(-i) * range;
+            reader.refine_to(eb).unwrap();
+            assert!(reader.guaranteed_bound() <= prev, "i={i}");
+            let real = max_abs_diff(&data, reader.data());
+            assert!(real <= reader.guaranteed_bound(), "i={i}");
+            prev = reader.guaranteed_bound();
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(RefactoredField::refactor(Scheme::Psz3, &[1.0], &[2]).is_err());
+    }
+}

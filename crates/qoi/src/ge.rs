@@ -1,0 +1,223 @@
+//! The six GE CFD quantities of interest, Eq. (1)–(6) of the paper.
+//!
+//! The GE simulation produces five fields per mesh node; this module fixes
+//! their variable indices once for the whole workspace:
+//!
+//! | index | field |
+//! |---|---|
+//! | 0 | `Vx` |
+//! | 1 | `Vy` |
+//! | 2 | `Vz` |
+//! | 3 | `P` (pressure) |
+//! | 4 | `D` (density) |
+//!
+//! Each builder returns a [`QoiExpr`] decomposed into the Table II basis
+//! exactly as §III-A / §IV-D describe — e.g. `PT` uses
+//! `(1 + γ/2·Mach²)^3.5 = √((…)⁷)` so that the non-integer power is covered
+//! by Theorem 1 ∘ Theorem 2.
+
+use crate::expr::QoiExpr;
+
+/// Specific gas constant used by the GE case study \[J/(kg·K)\].
+pub const R: f64 = 287.1;
+/// Heat-capacity ratio γ.
+pub const GAMMA: f64 = 1.4;
+/// Total-pressure exponent `mi` (= γ/(γ−1) = 3.5).
+pub const MI: f64 = 3.5;
+/// Reference dynamic viscosity μr \[Pa·s\].
+pub const MU_R: f64 = 1.716e-5;
+/// Reference temperature Tr \[K\].
+pub const T_R: f64 = 273.15;
+/// Sutherland constant S \[K\].
+pub const S: f64 = 110.4;
+
+/// Variable index of `Vx`.
+pub const VX: usize = 0;
+/// Variable index of `Vy`.
+pub const VY: usize = 1;
+/// Variable index of `Vz`.
+pub const VZ: usize = 2;
+/// Variable index of `P`.
+pub const P: usize = 3;
+/// Variable index of `D`.
+pub const D: usize = 4;
+
+/// Number of GE fields.
+pub const NV: usize = 5;
+
+/// Eq. (1) — total velocity `Vtotal = √(Vx² + Vy² + Vz²)`.
+///
+/// Decomposition (§IV-D): `f₁∘g₁∘f₂` with `f₂(x)=x²`, `g₁` the 3-term sum,
+/// `f₁=√`.
+pub fn v_total() -> QoiExpr {
+    QoiExpr::sum(vec![
+        (1.0, QoiExpr::var(VX).pow(2)),
+        (1.0, QoiExpr::var(VY).pow(2)),
+        (1.0, QoiExpr::var(VZ).pow(2)),
+    ])
+    .sqrt()
+}
+
+/// Eq. (2) — temperature `T = P/(D·R)`.
+///
+/// `D·R` is a scalar multiple (Theorem 8), then Theorem 6 division.
+pub fn temperature() -> QoiExpr {
+    QoiExpr::var(P).div(QoiExpr::var(D).scale(R))
+}
+
+/// Eq. (3) — speed of sound `C = √(γ·R·T)`.
+pub fn speed_of_sound() -> QoiExpr {
+    temperature().scale(GAMMA * R).sqrt()
+}
+
+/// Eq. (4) — Mach number `Mach = Vtotal / C`.
+pub fn mach() -> QoiExpr {
+    v_total().div(speed_of_sound())
+}
+
+/// Eq. (5) — total pressure `PT = P·(1 + γ/2·Mach²)^mi` with `mi = 3.5`.
+///
+/// The non-integer power is decomposed as `u^3.5 = √(u⁷)` (composition of
+/// Theorem 1 and Theorem 2), with `u = 1 + γ/2·Mach²` a polynomial of Mach.
+pub fn pt() -> QoiExpr {
+    let u = mach().poly(&[1.0, 0.0, GAMMA / 2.0]);
+    QoiExpr::var(P).mul(u.pow(7).sqrt())
+}
+
+/// Eq. (6) — Sutherland viscosity
+/// `μ = μr·(T/Tr)^1.5·(Tr+S)/(T+S)`.
+///
+/// `(T/Tr)^1.5 = √((T/Tr)³)` (Thm 1 ∘ Thm 2); `(Tr+S)/(T+S)` is a scaled
+/// radical (Thm 3 + Thm 8).
+pub fn mu() -> QoiExpr {
+    let t_over_tr_15 = temperature().scale(1.0 / T_R).pow(3).sqrt();
+    let sutherland = temperature().radical(S).scale(T_R + S);
+    t_over_tr_15.mul(sutherland).scale(MU_R)
+}
+
+/// All six GE QoIs in paper order, with their display names.
+pub fn all() -> Vec<(&'static str, QoiExpr)> {
+    vec![
+        ("VTOT", v_total()),
+        ("T", temperature()),
+        ("C", speed_of_sound()),
+        ("Mach", mach()),
+        ("PT", pt()),
+        ("mu", mu()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::BoundConfig;
+
+    /// A physically plausible GE state: |V|=50 m/s-ish, sea-level P and D.
+    fn state() -> [f64; 5] {
+        [30.0, 40.0, 0.0, 101_325.0, 1.204]
+    }
+
+    /// Reference implementations straight from Eq. (1)–(6).
+    fn reference(x: &[f64]) -> [f64; 6] {
+        let vtot = (x[0] * x[0] + x[1] * x[1] + x[2] * x[2]).sqrt();
+        let t = x[3] / (x[4] * R);
+        let c = (GAMMA * R * t).sqrt();
+        let mach = vtot / c;
+        let pt = x[3] * (1.0 + GAMMA / 2.0 * mach * mach).powf(MI);
+        let mu = MU_R * (t / T_R).powf(1.5) * (T_R + S) / (t + S);
+        [vtot, t, c, mach, pt, mu]
+    }
+
+    #[test]
+    fn builders_match_reference_formulas() {
+        let x = state();
+        let want = reference(&x);
+        for (i, (name, q)) in all().into_iter().enumerate() {
+            let got = q.eval(&x);
+            assert!(
+                (got - want[i]).abs() <= 1e-9 * want[i].abs().max(1.0),
+                "{name}: got {got}, want {}",
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn vtotal_345_is_5ish() {
+        let q = v_total();
+        assert!((q.eval(&[3.0, 4.0, 0.0, 0.0, 0.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_bounds_dominate_sampled_perturbations() {
+        let x = state();
+        let eps = [0.05, 0.05, 0.05, 20.0, 1e-3];
+        let cfg = BoundConfig::default();
+        let mut rng_state = 0x12345678u64;
+        let mut next = move || {
+            // xorshift — deterministic pseudo-random in [-1, 1]
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for (name, q) in all() {
+            let out = q.eval_bounded(&x, &eps, &cfg);
+            let f0 = q.eval(&x);
+            assert!(out.bound.is_finite(), "{name}: unbounded at sane state");
+            for _ in 0..2000 {
+                let xp: Vec<f64> = (0..5).map(|i| x[i] + eps[i] * next()).collect();
+                let err = (q.eval(&xp) - f0).abs();
+                assert!(
+                    err <= out.bound,
+                    "{name}: error {err} exceeds bound {}",
+                    out.bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pt_uses_sqrt_of_seventh_power() {
+        // The PT tree must contain a Pow{n:7} under a Sqrt — the paper's
+        // decomposition of the 3.5 exponent.
+        let s = format!("{}", pt());
+        assert!(s.contains("^7"), "PT decomposition changed: {s}");
+        assert!(s.contains("sqrt"), "PT decomposition changed: {s}");
+    }
+
+    #[test]
+    fn variables_involved_per_qoi() {
+        use std::collections::BTreeSet;
+        let vars = |q: &QoiExpr| q.variables();
+        assert_eq!(vars(&v_total()), BTreeSet::from([VX, VY, VZ]));
+        assert_eq!(vars(&temperature()), BTreeSet::from([P, D]));
+        assert_eq!(vars(&speed_of_sound()), BTreeSet::from([P, D]));
+        assert_eq!(vars(&mach()), BTreeSet::from([VX, VY, VZ, P, D]));
+        assert_eq!(vars(&pt()), BTreeSet::from([VX, VY, VZ, P, D]));
+        assert_eq!(vars(&mu()), BTreeSet::from([P, D]));
+    }
+
+    #[test]
+    fn tighter_eps_gives_tighter_qoi_bounds() {
+        let x = state();
+        let cfg = BoundConfig::default();
+        for (name, q) in all() {
+            let loose = q.eval_bounded(&x, &[0.1, 0.1, 0.1, 50.0, 1e-2], &cfg);
+            let tight = q.eval_bounded(&x, &[1e-4, 1e-4, 1e-4, 0.05, 1e-5], &cfg);
+            assert!(
+                tight.bound < loose.bound,
+                "{name}: tightening eps did not tighten bound"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_velocity_vtot_is_unboundable_in_paper_mode() {
+        // This is exactly why the paper introduces the outlier mask (§V-A).
+        let x = [0.0, 0.0, 0.0, 101_325.0, 1.2];
+        let eps = [1e-6, 1e-6, 1e-6, 1.0, 1e-4];
+        let out = v_total().eval_bounded(&x, &eps, &BoundConfig::default());
+        assert!(out.bound.is_infinite());
+    }
+}

@@ -1,0 +1,405 @@
+//! Interval-arithmetic QoI error estimation — the generic alternative to
+//! the paper's theorem-based bounds, kept for ablation.
+//!
+//! The paper derives a dedicated error-bound formula per basis function
+//! (§IV). A natural question for any such design is: *what would a generic
+//! range analysis buy instead?* This module answers it. Every admissible
+//! true input lies in the box `[xᵢ−εᵢ, xᵢ+εᵢ]`; propagating that box through
+//! the expression with outward-rounded interval arithmetic yields an
+//! enclosure `[lo, hi] ⊇ f(box)`, and `max(hi − f(x), f(x) − lo)` is a
+//! guaranteed QoI error bound — the same soundness contract as the theorem
+//! estimator, obtained without any per-function derivation.
+//!
+//! The trade-offs the ablation benches quantify:
+//!
+//! * Interval arithmetic suffers the **dependency problem**: `x·x` over
+//!   `[−1, 1]` encloses `[−1, 1]` instead of `[0, 1]`, so repeated
+//!   variables (e.g. `Mach²` inside PT) widen faster than the paper's
+//!   composition, which anchors each subterm at its reconstructed value.
+//! * Conversely, intervals stay **finite where the paper's formulas blow
+//!   up** (√ at 0 without the mask, Theorem 2), behaving like the exact-
+//!   supremum mode.
+//!
+//! Select it per evaluation via [`BoundConfig::estimator`](crate::bounds::BoundConfig::estimator); the retrieval
+//! engine then runs unchanged.
+//!
+//! ```
+//! use pqr_qoi::{interval_bound, QoiExpr};
+//!
+//! // √(x² + y²) at the origin: the paper's Theorem 2 is unboundable here
+//! // (hence the zero mask); the interval enclosure stays finite.
+//! let vtot = (QoiExpr::var(0).pow(2) + QoiExpr::var(1).pow(2)).sqrt();
+//! let b = interval_bound(&vtot, &[0.0, 0.0], &[1e-4, 1e-4]);
+//! assert!(b.is_finite() && b < 2e-4);
+//! ```
+
+use crate::bounds::INFLATE;
+use crate::expr::QoiExpr;
+
+/// A closed interval `[lo, hi]`, possibly unbounded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower end (may be `-∞`).
+    pub lo: f64,
+    /// Upper end (may be `+∞`).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`; panics in debug if `lo > hi` or either end is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        debug_assert!(!lo.is_nan() && !hi.is_nan());
+        debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The whole real line — the "unboundable" element. Every operation on
+    /// it stays unbounded, mirroring the theorem estimator's `∞` bound.
+    pub fn unbounded() -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// True if this is (semi-)unbounded.
+    pub fn is_unbounded(&self) -> bool {
+        self.lo.is_infinite() || self.hi.is_infinite()
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True if `0 ∈ [lo, hi]`.
+    pub fn contains_zero(&self) -> bool {
+        self.lo <= 0.0 && self.hi >= 0.0
+    }
+
+    /// Outward rounding guard: IEEE ops on the endpoints can round inward
+    /// by an ulp, so every derived interval is nudged outward by the same
+    /// relative slack the theorem estimator uses ([`INFLATE`]).
+    fn widen(self) -> Self {
+        if self.is_unbounded() {
+            return self;
+        }
+        let pad = |v: f64| v.abs() * INFLATE + f64::MIN_POSITIVE;
+        Self {
+            lo: self.lo - pad(self.lo),
+            hi: self.hi + pad(self.hi),
+        }
+    }
+
+    /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // by-value combinator set, like QoiExpr's
+    pub fn add(self, rhs: Self) -> Self {
+        Self::new(self.lo + rhs.lo, self.hi + rhs.hi).widen()
+    }
+
+    /// `k · self`.
+    pub fn scale(self, k: f64) -> Self {
+        let (a, b) = (k * self.lo, k * self.hi);
+        Self::new(a.min(b), a.max(b)).widen()
+    }
+
+    /// `self · rhs` (four-corner rule).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Self) -> Self {
+        if self.is_unbounded() || rhs.is_unbounded() {
+            return Self::unbounded();
+        }
+        let c = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let lo = c.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self::new(lo, hi).widen()
+    }
+
+    /// `1 / self`; unbounded if the interval reaches a pole.
+    pub fn recip(self) -> Self {
+        if self.contains_zero() || self.is_unbounded() {
+            return Self::unbounded();
+        }
+        Self::new(1.0 / self.hi, 1.0 / self.lo).widen()
+    }
+
+    /// `self / rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: Self) -> Self {
+        self.mul(rhs.recip())
+    }
+
+    /// `selfⁿ` (dependency-aware: far tighter than n-fold `mul`).
+    pub fn pow(self, n: u32) -> Self {
+        if n == 0 {
+            return Self::point(1.0);
+        }
+        if self.is_unbounded() {
+            return Self::unbounded();
+        }
+        let (pl, ph) = (self.lo.powi(n as i32), self.hi.powi(n as i32));
+        let iv = if n % 2 == 1 {
+            Self::new(pl, ph) // odd powers are monotone
+        } else if self.contains_zero() {
+            Self::new(0.0, pl.max(ph))
+        } else {
+            Self::new(pl.min(ph), pl.max(ph))
+        };
+        iv.widen()
+    }
+
+    /// `√self`; unbounded when the whole interval is negative (the QoI is
+    /// undefined there), clipped at 0 on the left otherwise — the same
+    /// convention as the exact-supremum √ estimator.
+    pub fn sqrt(self) -> Self {
+        if self.hi < 0.0 || self.is_unbounded() {
+            return Self::unbounded();
+        }
+        Self::new(self.lo.max(0.0).sqrt(), self.hi.sqrt()).widen()
+    }
+
+    /// `|self|`.
+    pub fn abs(self) -> Self {
+        if self.is_unbounded() {
+            return Self::unbounded();
+        }
+        let iv = if self.contains_zero() {
+            Self::new(0.0, self.lo.abs().max(self.hi.abs()))
+        } else {
+            let (a, b) = (self.lo.abs(), self.hi.abs());
+            Self::new(a.min(b), a.max(b))
+        };
+        iv.widen()
+    }
+
+    /// `ln(self)`; unbounded when the interval reaches 0.
+    pub fn ln(self) -> Self {
+        if self.lo <= 0.0 || self.is_unbounded() {
+            return Self::unbounded();
+        }
+        Self::new(self.lo.ln(), self.hi.ln()).widen()
+    }
+
+    /// `exp(self)`.
+    pub fn exp(self) -> Self {
+        if self.is_unbounded() {
+            return Self::unbounded();
+        }
+        Self::new(self.lo.exp(), self.hi.exp()).widen()
+    }
+}
+
+/// Encloses the range of `expr` over the box `[xᵢ−εᵢ, xᵢ+εᵢ]`.
+pub fn eval_interval(expr: &QoiExpr, x: &[f64], eps: &[f64]) -> Interval {
+    match expr {
+        QoiExpr::Var(i) => Interval::new(x[*i] - eps[*i], x[*i] + eps[*i]),
+        QoiExpr::Const(c) => Interval::point(*c),
+        QoiExpr::Pow { n, arg } => eval_interval(arg, x, eps).pow(*n),
+        QoiExpr::Poly { coeffs, arg } => {
+            let base = eval_interval(arg, x, eps);
+            let mut acc = Interval::point(0.0);
+            for (i, &a) in coeffs.iter().enumerate() {
+                if a != 0.0 {
+                    acc = acc.add(base.pow(i as u32).scale(a));
+                }
+            }
+            acc
+        }
+        QoiExpr::Sqrt(arg) => eval_interval(arg, x, eps).sqrt(),
+        QoiExpr::Radical { c, arg } => eval_interval(arg, x, eps)
+            .add(Interval::point(*c))
+            .recip(),
+        QoiExpr::Sum(terms) => {
+            let mut acc = Interval::point(0.0);
+            for (a, e) in terms {
+                acc = acc.add(eval_interval(e, x, eps).scale(*a));
+            }
+            acc
+        }
+        QoiExpr::Mul(l, r) => eval_interval(l, x, eps).mul(eval_interval(r, x, eps)),
+        QoiExpr::Div(l, r) => eval_interval(l, x, eps).div(eval_interval(r, x, eps)),
+        QoiExpr::Abs(arg) => eval_interval(arg, x, eps).abs(),
+        QoiExpr::Ln(arg) => eval_interval(arg, x, eps).ln(),
+        QoiExpr::Exp(arg) => eval_interval(arg, x, eps).exp(),
+    }
+}
+
+/// The interval-derived QoI error bound:
+/// `sup |f(x') − f(x)| ≤ max(hi − f(x), f(x) − lo)` since `f(x') ∈ [lo, hi]`.
+///
+/// Returns `∞` when the enclosure is unbounded or the reconstructed value
+/// itself is not finite (e.g. √ of a negative reconstruction).
+pub fn interval_bound(expr: &QoiExpr, x: &[f64], eps: &[f64]) -> f64 {
+    let value = expr.eval(x);
+    if !value.is_finite() {
+        return f64::INFINITY;
+    }
+    let enc = eval_interval(expr, x, eps);
+    if enc.is_unbounded() {
+        return f64::INFINITY;
+    }
+    (enc.hi - value).max(value - enc.lo).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{BoundConfig, SqrtMode};
+    use crate::ge;
+
+    fn sample_worst(expr: &QoiExpr, x: &[f64], eps: &[f64], steps: usize) -> f64 {
+        // dense corner+grid sampling of the admissible box (≤ 3 vars)
+        let fx = expr.eval(x);
+        let nv = x.len();
+        let mut worst = 0.0f64;
+        let mut idx = vec![0usize; nv];
+        loop {
+            let xp: Vec<f64> = (0..nv)
+                .map(|v| x[v] - eps[v] + 2.0 * eps[v] * idx[v] as f64 / steps as f64)
+                .collect();
+            let e = (expr.eval(&xp) - fx).abs();
+            if e.is_finite() && e > worst {
+                worst = e;
+            }
+            let mut a = nv;
+            loop {
+                if a == 0 {
+                    return worst;
+                }
+                a -= 1;
+                idx[a] += 1;
+                if idx[a] <= steps {
+                    break;
+                }
+                idx[a] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn interval_bound_dominates_sampled_error_vtot() {
+        let vtot = crate::library::velocity_magnitude(0, 3);
+        let x = [3.0, -4.0, 1.5];
+        let eps = [0.1, 0.2, 0.05];
+        let b = interval_bound(&vtot, &x, &eps);
+        let w = sample_worst(&vtot, &x, &eps, 20);
+        assert!(w <= b, "{w} > {b}");
+    }
+
+    #[test]
+    fn interval_bound_dominates_on_all_ge_qois() {
+        // Vx, Vy, Vz, P, D at a physically plausible point
+        let x = [30.0, -12.0, 5.0, 101_325.0, 1.2];
+        let eps = [0.5, 0.5, 0.5, 50.0, 0.001];
+        for (name, expr) in ge::all() {
+            let b = interval_bound(&expr, &x, &eps);
+            let w = sample_worst(&expr, &x, &eps, 6);
+            assert!(w <= b, "{name}: sampled {w} > interval bound {b}");
+        }
+    }
+
+    #[test]
+    fn interval_stays_finite_at_sqrt_zero() {
+        // where the paper's Theorem 2 blows up, intervals behave like the
+        // exact-supremum mode
+        let vtot = crate::library::velocity_magnitude(0, 3);
+        let x = [0.0, 0.0, 0.0];
+        let eps = [1e-4, 1e-4, 1e-4];
+        let b = interval_bound(&vtot, &x, &eps);
+        assert!(b.is_finite());
+        let paper = vtot.eval_bounded(&x, &eps, &BoundConfig::default());
+        assert!(paper.bound.is_infinite(), "paper mode must blow up here");
+    }
+
+    #[test]
+    fn dependency_problem_shows_in_enclosures() {
+        // x² with x ∈ [−1, 1] has true range [0, 1]. The dependency-aware
+        // pow() recovers it; the four-corner Mul(x, x) cannot know both
+        // factors are the same variable and admits a spurious negative lobe.
+        // (The *anchored* error bounds can still coincide when the upper
+        // side dominates — which is exactly why the ablation reports both.)
+        let x = [0.0];
+        let eps = [1.0];
+        let via_pow = eval_interval(&QoiExpr::var(0).pow(2), &x, &eps);
+        let via_mul = eval_interval(&QoiExpr::var(0).mul(QoiExpr::var(0)), &x, &eps);
+        assert!(via_pow.lo >= -1e-10, "pow admits no negative lobe");
+        assert!(via_mul.lo <= -1.0 + 1e-10, "mul suffers dependency");
+        assert!(via_mul.width() > via_pow.width() * 1.9);
+    }
+
+    #[test]
+    fn division_by_straddling_interval_is_unboundable() {
+        let q = QoiExpr::var(0).div(QoiExpr::var(1));
+        assert!(interval_bound(&q, &[1.0, 0.5], &[0.0, 1.0]).is_infinite());
+        assert!(interval_bound(&q, &[1.0, 2.0], &[0.0, 0.5]).is_finite());
+    }
+
+    #[test]
+    fn exact_inputs_give_zero_width() {
+        let pt = ge::pt();
+        let x = [30.0, -12.0, 5.0, 101_325.0, 1.2];
+        let eps = [0.0; 5];
+        let b = interval_bound(&pt, &x, &eps);
+        // widening adds only float slack
+        assert!(b < 1e-6, "zero-eps interval bound {b}");
+    }
+
+    #[test]
+    fn ln_exp_intervals() {
+        let le = QoiExpr::var(0).ln();
+        assert!(interval_bound(&le, &[1.0, 0.0], &[2.0, 0.0]).is_infinite());
+        let b = interval_bound(&le, &[10.0, 0.0], &[1.0, 0.0]);
+        let w = sample_worst(&le, &[10.0, 0.0], &[1.0, 0.0], 50);
+        assert!(w <= b && b.is_finite());
+
+        let ee = QoiExpr::var(0).exp();
+        let b = interval_bound(&ee, &[2.0, 0.0], &[0.5, 0.0]);
+        let w = sample_worst(&ee, &[2.0, 0.0], &[0.5, 0.0], 50);
+        assert!(w <= b && b.is_finite());
+    }
+
+    #[test]
+    fn estimator_mode_flows_through_eval_bounded() {
+        let vtot = crate::library::velocity_magnitude(0, 3);
+        let x = [3.0, 4.0, 0.0];
+        let eps = [0.01, 0.01, 0.01];
+        let theorem = vtot.eval_bounded(&x, &eps, &BoundConfig::default());
+        let cfg = BoundConfig {
+            estimator: crate::bounds::Estimator::Interval,
+            ..Default::default()
+        };
+        let interval = vtot.eval_bounded(&x, &eps, &cfg);
+        assert_eq!(theorem.value, interval.value);
+        assert!(interval.bound.is_finite());
+        // both are sound; neither dominates universally — just sanity-check
+        // they are in the same decade here
+        assert!(interval.bound < theorem.bound * 10.0 + 1.0);
+    }
+
+    #[test]
+    fn exact_sqrt_and_interval_agree_at_zero() {
+        let e = QoiExpr::var(0).sqrt();
+        let x = [0.0];
+        let eps = [1e-6];
+        let exact = e.eval_bounded(
+            &x,
+            &eps,
+            &BoundConfig {
+                sqrt_mode: SqrtMode::Exact,
+                ..Default::default()
+            },
+        );
+        let iv = interval_bound(&e, &x, &eps);
+        assert!((exact.bound - iv).abs() < 1e-12, "{} vs {iv}", exact.bound);
+    }
+}

@@ -1,0 +1,233 @@
+//! Ready-made QoIs beyond the GE set, demonstrating the genericity the paper
+//! claims in §IV-D: total velocity reappears in climatology/cosmology, molar
+//! concentration products drive combustion rates-of-progress, and common
+//! physical quantities (kinetic energy, momentum, dynamic pressure) fall out
+//! of the same basis.
+
+use crate::expr::QoiExpr;
+
+/// Total velocity magnitude over `n` velocity components starting at
+/// variable `first` — the NYX / Hurricane "VTOT" QoI.
+pub fn velocity_magnitude(first: usize, n: usize) -> QoiExpr {
+    QoiExpr::sum(
+        (0..n)
+            .map(|i| (1.0, QoiExpr::var(first + i).pow(2)))
+            .collect(),
+    )
+    .sqrt()
+}
+
+/// Molar-concentration product `x_i · x_j` — the S3D combustion QoI
+/// (intermediate of a reaction's rate of progress).
+pub fn species_product(i: usize, j: usize) -> QoiExpr {
+    QoiExpr::var(i).mul(QoiExpr::var(j))
+}
+
+/// Product of an arbitrary set of species `Π x_k`, built by iterating the
+/// multiplication theorem through the composite property (Theorem 5 + 9).
+pub fn species_product_many(vars: &[usize]) -> QoiExpr {
+    assert!(!vars.is_empty(), "empty product");
+    let mut it = vars.iter();
+    let mut acc = QoiExpr::var(*it.next().unwrap());
+    for &v in it {
+        acc = acc.mul(QoiExpr::var(v));
+    }
+    acc
+}
+
+/// Kinetic energy density `½·ρ·(Σ vᵢ²)` with density at `rho` and `n`
+/// velocity components starting at `first`.
+pub fn kinetic_energy(rho: usize, first: usize, n: usize) -> QoiExpr {
+    QoiExpr::sum(
+        (0..n)
+            .map(|i| (1.0, QoiExpr::var(first + i).pow(2)))
+            .collect(),
+    )
+    .mul(QoiExpr::var(rho))
+    .scale(0.5)
+}
+
+/// Momentum component `ρ·vᵢ`.
+pub fn momentum(rho: usize, v: usize) -> QoiExpr {
+    QoiExpr::var(rho).mul(QoiExpr::var(v))
+}
+
+/// Dynamic pressure `½·ρ·V²` (no square root — pure polynomial/multiplicative).
+pub fn dynamic_pressure(rho: usize, first: usize, n: usize) -> QoiExpr {
+    kinetic_energy(rho, first, n)
+}
+
+/// Specific volume `1/ρ` — a radical with `c = 0`.
+pub fn specific_volume(rho: usize) -> QoiExpr {
+    QoiExpr::var(rho).radical(0.0)
+}
+
+/// Enthalpy-like linear combination `cp·T + Σ vᵢ²/2` given a temperature
+/// variable and velocities — shows mixed linear/quadratic composition.
+pub fn stagnation_enthalpy(t: usize, cp: f64, first: usize, n: usize) -> QoiExpr {
+    let mut terms = vec![(cp, QoiExpr::var(t))];
+    terms.extend((0..n).map(|i| (0.5, QoiExpr::var(first + i).pow(2))));
+    QoiExpr::sum(terms)
+}
+
+/// Arrhenius rate constant `k(T) = A · e^{−Ea/T}` with temperature at
+/// variable `t` (`Ea` folded in kelvin). Uses the ln/exp extension
+/// operators — the reaction-kinetics QoI the paper's S3D products feed
+/// into but Table II alone cannot express.
+pub fn arrhenius(t: usize, pre_exponential: f64, activation_temp: f64) -> QoiExpr {
+    QoiExpr::var(t)
+        .radical(0.0) // 1/T (Theorem 3)
+        .scale(-activation_temp)
+        .exp()
+        .scale(pre_exponential)
+}
+
+/// Rate of progress of a reversible reaction
+/// `q = k_f(T)·Π x_i − k_r(T)·Π x_j` (forward/reverse Arrhenius constants
+/// times the reactant/product molar-concentration products). Variable
+/// indices list the species on each side; `t` is the temperature field.
+///
+/// This is the full S3D quantity whose *intermediates* (the products) the
+/// paper evaluates in Fig. 6 — composing it end to end exercises every
+/// composite rule at once: Σ (Thm 4/7), Π (Thm 5+9), 1/T (Thm 3) and the
+/// exp extension.
+#[allow(clippy::too_many_arguments)] // mirrors the kinetics (A, Ea) per direction
+pub fn rate_of_progress(
+    t: usize,
+    reactants: &[usize],
+    products: &[usize],
+    a_fwd: f64,
+    ea_fwd: f64,
+    a_rev: f64,
+    ea_rev: f64,
+) -> QoiExpr {
+    let fwd = arrhenius(t, a_fwd, ea_fwd).mul(species_product_many(reactants));
+    let rev = arrhenius(t, a_rev, ea_rev).mul(species_product_many(products));
+    fwd - rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::BoundConfig;
+
+    #[test]
+    fn velocity_magnitude_matches_euclidean_norm() {
+        let q = velocity_magnitude(0, 3);
+        assert!((q.eval(&[2.0, 3.0, 6.0]) - 7.0).abs() < 1e-12);
+        assert_eq!(q.arity(), 3);
+    }
+
+    #[test]
+    fn velocity_magnitude_offset_indices() {
+        let q = velocity_magnitude(2, 2);
+        assert!((q.eval(&[9.0, 9.0, 3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn species_product_bound_is_theorem5() {
+        let q = species_product(0, 1);
+        let out = q.eval_bounded(&[2.0, 3.0], &[0.1, 0.2], &BoundConfig::default());
+        let expect = 2.0 * 0.2 + 3.0 * 0.1 + 0.1 * 0.2;
+        assert!((out.bound - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn many_way_product_matches_direct_product() {
+        let q = species_product_many(&[0, 1, 2, 3]);
+        let x = [1.5, 2.0, 0.5, 4.0];
+        assert!((q.eval(&x) - 6.0).abs() < 1e-12);
+        // bound dominates sampled corners
+        let eps = [0.01; 4];
+        let out = q.eval_bounded(&x, &eps, &BoundConfig::default());
+        let f0 = q.eval(&x);
+        for corner in 0..16 {
+            let xp: Vec<f64> = (0..4)
+                .map(|i| x[i] + if corner >> i & 1 == 1 { 0.01 } else { -0.01 })
+                .collect();
+            assert!((q.eval(&xp) - f0).abs() <= out.bound);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty product")]
+    fn empty_product_panics() {
+        species_product_many(&[]);
+    }
+
+    #[test]
+    fn kinetic_energy_and_momentum() {
+        let ke = kinetic_energy(2, 0, 2);
+        assert_eq!(ke.eval(&[3.0, 4.0, 2.0]), 25.0);
+        let m = momentum(1, 0);
+        assert_eq!(m.eval(&[3.0, 2.0]), 6.0);
+    }
+
+    #[test]
+    fn specific_volume_precondition() {
+        let q = specific_volume(0);
+        let ok = q.eval_bounded(&[1.2], &[0.1], &BoundConfig::default());
+        assert!(ok.bound.is_finite());
+        let bad = q.eval_bounded(&[0.05], &[0.1], &BoundConfig::default());
+        assert!(bad.bound.is_infinite()); // ε ≥ |ρ| — could straddle the pole
+    }
+
+    #[test]
+    fn stagnation_enthalpy_shape() {
+        let q = stagnation_enthalpy(0, 1004.5, 1, 3);
+        let x = [300.0, 10.0, 20.0, 5.0];
+        let want = 1004.5 * 300.0 + 0.5 * (100.0 + 400.0 + 25.0);
+        assert!((q.eval(&x) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrhenius_matches_direct_formula() {
+        let k = arrhenius(0, 2.5e3, 8000.0);
+        for t in [900.0f64, 1500.0, 2100.0] {
+            let want = 2.5e3 * (-8000.0 / t).exp();
+            let got = k.eval(&[t]);
+            assert!((got - want).abs() < 1e-9 * want, "T={t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn arrhenius_bound_dominates_sampled_error() {
+        let k = arrhenius(0, 1.0, 5000.0);
+        let (t, eps) = (1200.0, 5.0);
+        let out = k.eval_bounded(&[t], &[eps], &BoundConfig::default());
+        assert!(out.bound.is_finite());
+        let f0 = k.eval(&[t]);
+        for s in 0..=200 {
+            let tp = t - eps + 2.0 * eps * s as f64 / 200.0;
+            assert!((k.eval(&[tp]) - f0).abs() <= out.bound);
+        }
+    }
+
+    #[test]
+    fn rate_of_progress_composes_and_bounds() {
+        // H + O2 <-> O + OH over vars [T, H, O2, O, OH]
+        let q = rate_of_progress(0, &[1, 2], &[3, 4], 3.5e3, 8000.0, 1.2e3, 4000.0);
+        let x = [1500.0, 0.02, 0.15, 0.01, 0.03];
+        let kf = 3.5e3 * (-8000.0f64 / 1500.0).exp();
+        let kr = 1.2e3 * (-4000.0f64 / 1500.0).exp();
+        let want = kf * 0.02 * 0.15 - kr * 0.01 * 0.03;
+        assert!((q.eval(&x) - want).abs() < 1e-9 * want.abs());
+
+        // guaranteed bound dominates a corner sweep of the admissible box
+        let eps = [2.0, 1e-4, 1e-4, 1e-4, 1e-4];
+        let out = q.eval_bounded(&x, &eps, &BoundConfig::default());
+        assert!(out.bound.is_finite());
+        let f0 = q.eval(&x);
+        for corner in 0..32u32 {
+            let xp: Vec<f64> = (0..5)
+                .map(|i| x[i] + if corner >> i & 1 == 1 { eps[i] } else { -eps[i] })
+                .collect();
+            assert!(
+                (q.eval(&xp) - f0).abs() <= out.bound,
+                "corner {corner}: {} > {}",
+                (q.eval(&xp) - f0).abs(),
+                out.bound
+            );
+        }
+    }
+}

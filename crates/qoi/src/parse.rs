@@ -1,0 +1,437 @@
+//! A small text grammar for derivable QoIs.
+//!
+//! Lets tools and config files express QoIs without writing Rust — the CLI
+//! and examples use it. Grammar (precedence low→high):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := factor (('*' | '/') factor)*
+//! factor  := unary ('^' integer)?
+//! unary   := '-' unary | atom
+//! atom    := number | var | call | '(' expr ')' | '|' expr '|'
+//! var     := 'x' integer            (variable index, e.g. x0, x3)
+//! call    := ('sqrt' | 'abs' | 'ln' | 'exp') '(' expr ')'
+//!          | 'radical' '(' expr ',' number ')'      // 1/(expr + c)
+//!          | 'poly' '(' expr (',' number)+ ')'      // Σ cᵢ·exprⁱ
+//! ```
+//!
+//! Non-integer powers must be decomposed the way the paper does (e.g. write
+//! `sqrt((...)^7)` for `(...)^3.5`) — the parser rejects fractional
+//! exponents with a pointer to that rule.
+//!
+//! ```
+//! use pqr_qoi::parse::parse;
+//! let vtot = parse("sqrt(x0^2 + x1^2 + x2^2)").unwrap();
+//! assert_eq!(vtot.eval(&[3.0, 4.0, 12.0]), 13.0);
+//! ```
+
+use crate::expr::QoiExpr;
+use pqr_util::error::{PqrError, Result};
+
+/// Parses a QoI expression from text.
+pub fn parse(input: &str) -> Result<QoiExpr> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(err(format!(
+            "unexpected trailing input at token {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(expr)
+}
+
+fn err(msg: String) -> PqrError {
+    PqrError::InvalidRequest(format!("QoI parse error: {msg}"))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Var(usize),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    LParen,
+    RParen,
+    Comma,
+    Pipe,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '^' => {
+                out.push(Tok::Caret);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '|' => {
+                out.push(Tok::Pipe);
+                i += 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && i > start
+                            && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                let v = s
+                    .parse::<f64>()
+                    .map_err(|_| err(format!("bad number '{s}'")))?;
+                out.push(Tok::Num(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                // variable: x<digits>
+                if let Some(rest) = s.strip_prefix('x') {
+                    if !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()) {
+                        out.push(Tok::Var(rest.parse().unwrap()));
+                        continue;
+                    }
+                }
+                out.push(Tok::Ident(s));
+            }
+            other => return Err(err(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| err("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<()> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(err(format!("expected {want:?}, got {got:?}")))
+        }
+    }
+
+    fn expr(&mut self) -> Result<QoiExpr> {
+        let mut terms = vec![(1.0, self.term()?)];
+        while let Some(t) = self.peek() {
+            let sign = match t {
+                Tok::Plus => 1.0,
+                Tok::Minus => -1.0,
+                _ => break,
+            };
+            self.pos += 1;
+            terms.push((sign, self.term()?));
+        }
+        if terms.len() == 1 && terms[0].0 == 1.0 {
+            Ok(terms.pop().unwrap().1)
+        } else {
+            Ok(QoiExpr::Sum(terms))
+        }
+    }
+
+    fn term(&mut self) -> Result<QoiExpr> {
+        let mut acc = self.factor()?;
+        while let Some(t) = self.peek() {
+            match t {
+                Tok::Star => {
+                    self.pos += 1;
+                    let rhs = self.factor()?;
+                    // constant folding keeps scalar multiples as Thm-8 scales
+                    acc = match (constant_of(&acc), constant_of(&rhs)) {
+                        (Some(a), _) => rhs.scale(a),
+                        (_, Some(b)) => acc.scale(b),
+                        _ => acc.mul(rhs),
+                    };
+                }
+                Tok::Slash => {
+                    self.pos += 1;
+                    let rhs = self.factor()?;
+                    acc = match constant_of(&rhs) {
+                        Some(b) if b != 0.0 => acc.scale(1.0 / b),
+                        _ => acc.div(rhs),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<QoiExpr> {
+        let base = self.unary()?;
+        if let Some(Tok::Caret) = self.peek() {
+            self.pos += 1;
+            match self.next()? {
+                Tok::Num(v) => {
+                    if v.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&v) {
+                        return Err(err(format!(
+                            "exponent {v} is not a non-negative integer; decompose \
+                             fractional powers the paper's way, e.g. (u)^3.5 = sqrt((u)^7)"
+                        )));
+                    }
+                    Ok(base.pow(v as u32))
+                }
+                t => Err(err(format!("expected integer exponent, got {t:?}"))),
+            }
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn unary(&mut self) -> Result<QoiExpr> {
+        if let Some(Tok::Minus) = self.peek() {
+            self.pos += 1;
+            return Ok(self.unary()?.scale(-1.0));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<QoiExpr> {
+        match self.next()? {
+            Tok::Num(v) => Ok(QoiExpr::constant(v)),
+            Tok::Var(i) => Ok(QoiExpr::var(i)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Pipe => {
+                let e = self.expr()?;
+                self.expect(&Tok::Pipe)?;
+                Ok(e.abs())
+            }
+            Tok::Ident(name) => self.call(&name),
+            t => Err(err(format!("unexpected token {t:?}"))),
+        }
+    }
+
+    fn call(&mut self, name: &str) -> Result<QoiExpr> {
+        self.expect(&Tok::LParen)?;
+        match name {
+            "sqrt" => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e.sqrt())
+            }
+            "abs" => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e.abs())
+            }
+            "ln" => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e.ln())
+            }
+            "exp" => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e.exp())
+            }
+            "radical" => {
+                let e = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let c = match self.next()? {
+                    Tok::Num(v) => v,
+                    Tok::Minus => match self.next()? {
+                        Tok::Num(v) => -v,
+                        t => return Err(err(format!("expected number, got {t:?}"))),
+                    },
+                    t => return Err(err(format!("expected number, got {t:?}"))),
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(e.radical(c))
+            }
+            "poly" => {
+                let e = self.expr()?;
+                let mut coeffs = Vec::new();
+                loop {
+                    match self.next()? {
+                        Tok::Comma => {
+                            let mut sign = 1.0;
+                            let mut t = self.next()?;
+                            if t == Tok::Minus {
+                                sign = -1.0;
+                                t = self.next()?;
+                            }
+                            match t {
+                                Tok::Num(v) => coeffs.push(sign * v),
+                                other => {
+                                    return Err(err(format!("expected number, got {other:?}")))
+                                }
+                            }
+                        }
+                        Tok::RParen => break,
+                        t => return Err(err(format!("expected ',' or ')', got {t:?}"))),
+                    }
+                }
+                if coeffs.is_empty() {
+                    return Err(err("poly() needs at least one coefficient".into()));
+                }
+                Ok(e.poly(&coeffs))
+            }
+            other => Err(err(format!("unknown function '{other}'"))),
+        }
+    }
+}
+
+fn constant_of(e: &QoiExpr) -> Option<f64> {
+    match e {
+        QoiExpr::Const(c) => Some(*c),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vtot() {
+        let e = parse("sqrt(x0^2 + x1^2 + x2^2)").unwrap();
+        assert_eq!(e.eval(&[3.0, 4.0, 12.0]), 13.0);
+        assert_eq!(e.arity(), 3);
+    }
+
+    #[test]
+    fn parses_temperature_like_quotient() {
+        let e = parse("x3 / (287.1 * x4)").unwrap();
+        let t = e.eval(&[0.0, 0.0, 0.0, 101325.0, 1.2]);
+        assert!((t - 101325.0 / (287.1 * 1.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_multiplication_folds_to_scale() {
+        // 2 * x0 must be a Theorem-8 scale (Sum), not a two-sided product —
+        // the scale bound is tighter
+        let e = parse("2 * x0").unwrap();
+        assert!(matches!(e, QoiExpr::Sum(_)), "got {e:?}");
+        let e2 = parse("x0 / 4").unwrap();
+        assert!(matches!(e2, QoiExpr::Sum(_)), "got {e2:?}");
+    }
+
+    #[test]
+    fn radical_and_poly_calls() {
+        let e = parse("radical(x0, 110.4)").unwrap();
+        assert!((e.eval(&[300.0]) - 1.0 / 410.4).abs() < 1e-12);
+        let p = parse("poly(x0, 1, 0, 0.7)").unwrap();
+        assert!((p.eval(&[2.0]) - (1.0 + 0.7 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_value_both_syntaxes() {
+        assert_eq!(parse("|x0|").unwrap().eval(&[-3.0]), 3.0);
+        assert_eq!(parse("abs(x0)").unwrap().eval(&[-3.0]), 3.0);
+    }
+
+    #[test]
+    fn unary_minus_and_precedence() {
+        let e = parse("-x0 + x1 * x2^2").unwrap();
+        assert_eq!(e.eval(&[1.0, 2.0, 3.0]), -1.0 + 2.0 * 9.0);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let e = parse("1.716e-5 * x0").unwrap();
+        assert!((e.eval(&[2.0]) - 3.432e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fractional_exponent_rejected_with_guidance() {
+        let e = parse("x0^3.5");
+        assert!(e.is_err());
+        let msg = format!("{}", e.unwrap_err());
+        assert!(msg.contains("sqrt"), "error should point to the √ trick");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in ["", "x0 +", "sqrt(x0", "foo(x0)", "x0 @ x1", "(x0))", "poly(x0)"] {
+            assert!(parse(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_serialization() {
+        let e = parse("sqrt(x0^2 + x1^2) / poly(x2, 1, 0, 0.2)").unwrap();
+        let back = crate::serial::from_bytes(&crate::serial::to_bytes(&e)).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn parsed_bound_matches_builder_bound() {
+        let parsed = parse("sqrt(x0^2 + x1^2 + x2^2)").unwrap();
+        let built = crate::library::velocity_magnitude(0, 3);
+        let x = [3.0, 4.0, 12.0];
+        let eps = [1e-3; 3];
+        let cfg = crate::bounds::BoundConfig::default();
+        let a = parsed.eval_bounded(&x, &eps, &cfg);
+        let b = built.eval_bounded(&x, &eps, &cfg);
+        assert_eq!(a.value, b.value);
+        assert!((a.bound - b.bound).abs() <= 1e-15 * a.bound.max(1e-300));
+    }
+}

@@ -1,0 +1,255 @@
+//! Binary serialization of QoI expressions.
+//!
+//! The archive must carry its QoI registry (names, expressions, value
+//! ranges) so that the retrieval side — a different process, possibly a
+//! different machine (Fig. 1) — can reconstruct the exact estimator that
+//! the refactor side registered. Expressions serialize to a compact
+//! tagged pre-order byte stream.
+
+use crate::expr::QoiExpr;
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::error::{PqrError, Result};
+
+const TAG_VAR: u8 = 0;
+const TAG_CONST: u8 = 1;
+const TAG_POW: u8 = 2;
+const TAG_POLY: u8 = 3;
+const TAG_SQRT: u8 = 4;
+const TAG_RADICAL: u8 = 5;
+const TAG_SUM: u8 = 6;
+const TAG_MUL: u8 = 7;
+const TAG_DIV: u8 = 8;
+const TAG_ABS: u8 = 9;
+const TAG_LN: u8 = 10;
+const TAG_EXP: u8 = 11;
+
+/// Maximum accepted nesting depth when decoding (stack-safety guard for
+/// hostile streams).
+pub const MAX_DEPTH: usize = 256;
+
+/// Serializes an expression to bytes.
+pub fn to_bytes(expr: &QoiExpr) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(expr.node_count() * 10);
+    write_expr(&mut w, expr);
+    w.finish()
+}
+
+fn write_expr(w: &mut ByteWriter, expr: &QoiExpr) {
+    match expr {
+        QoiExpr::Var(i) => {
+            w.put_u8(TAG_VAR);
+            w.put_u32(*i as u32);
+        }
+        QoiExpr::Const(c) => {
+            w.put_u8(TAG_CONST);
+            w.put_f64(*c);
+        }
+        QoiExpr::Pow { n, arg } => {
+            w.put_u8(TAG_POW);
+            w.put_u32(*n);
+            write_expr(w, arg);
+        }
+        QoiExpr::Poly { coeffs, arg } => {
+            w.put_u8(TAG_POLY);
+            w.put_f64_slice(coeffs);
+            write_expr(w, arg);
+        }
+        QoiExpr::Sqrt(arg) => {
+            w.put_u8(TAG_SQRT);
+            write_expr(w, arg);
+        }
+        QoiExpr::Radical { c, arg } => {
+            w.put_u8(TAG_RADICAL);
+            w.put_f64(*c);
+            write_expr(w, arg);
+        }
+        QoiExpr::Sum(terms) => {
+            w.put_u8(TAG_SUM);
+            w.put_u32(terms.len() as u32);
+            for (a, e) in terms {
+                w.put_f64(*a);
+                write_expr(w, e);
+            }
+        }
+        QoiExpr::Mul(l, r) => {
+            w.put_u8(TAG_MUL);
+            write_expr(w, l);
+            write_expr(w, r);
+        }
+        QoiExpr::Div(l, r) => {
+            w.put_u8(TAG_DIV);
+            write_expr(w, l);
+            write_expr(w, r);
+        }
+        QoiExpr::Abs(arg) => {
+            w.put_u8(TAG_ABS);
+            write_expr(w, arg);
+        }
+        QoiExpr::Ln(arg) => {
+            w.put_u8(TAG_LN);
+            write_expr(w, arg);
+        }
+        QoiExpr::Exp(arg) => {
+            w.put_u8(TAG_EXP);
+            write_expr(w, arg);
+        }
+    }
+}
+
+/// Deserializes an expression from [`to_bytes`] output.
+pub fn from_bytes(bytes: &[u8]) -> Result<QoiExpr> {
+    let mut r = ByteReader::new(bytes);
+    let expr = read_expr(&mut r, 0)?;
+    if r.remaining() != 0 {
+        return Err(PqrError::CorruptStream(format!(
+            "{} trailing bytes after expression",
+            r.remaining()
+        )));
+    }
+    Ok(expr)
+}
+
+fn read_expr(r: &mut ByteReader<'_>, depth: usize) -> Result<QoiExpr> {
+    if depth > MAX_DEPTH {
+        return Err(PqrError::CorruptStream("expression too deep".into()));
+    }
+    let tag = r.get_u8()?;
+    Ok(match tag {
+        TAG_VAR => QoiExpr::Var(r.get_u32()? as usize),
+        TAG_CONST => QoiExpr::Const(r.get_f64()?),
+        TAG_POW => {
+            let n = r.get_u32()?;
+            QoiExpr::Pow {
+                n,
+                arg: Box::new(read_expr(r, depth + 1)?),
+            }
+        }
+        TAG_POLY => {
+            let coeffs = r.get_f64_vec()?;
+            QoiExpr::Poly {
+                coeffs,
+                arg: Box::new(read_expr(r, depth + 1)?),
+            }
+        }
+        TAG_SQRT => QoiExpr::Sqrt(Box::new(read_expr(r, depth + 1)?)),
+        TAG_RADICAL => {
+            let c = r.get_f64()?;
+            QoiExpr::Radical {
+                c,
+                arg: Box::new(read_expr(r, depth + 1)?),
+            }
+        }
+        TAG_SUM => {
+            let n = r.get_u32()? as usize;
+            if n > bytes_remaining_guard(r) {
+                return Err(PqrError::CorruptStream("sum arity too large".into()));
+            }
+            let mut terms = Vec::with_capacity(n);
+            for _ in 0..n {
+                let a = r.get_f64()?;
+                terms.push((a, read_expr(r, depth + 1)?));
+            }
+            QoiExpr::Sum(terms)
+        }
+        TAG_MUL => QoiExpr::Mul(
+            Box::new(read_expr(r, depth + 1)?),
+            Box::new(read_expr(r, depth + 1)?),
+        ),
+        TAG_DIV => QoiExpr::Div(
+            Box::new(read_expr(r, depth + 1)?),
+            Box::new(read_expr(r, depth + 1)?),
+        ),
+        TAG_ABS => QoiExpr::Abs(Box::new(read_expr(r, depth + 1)?)),
+        TAG_LN => QoiExpr::Ln(Box::new(read_expr(r, depth + 1)?)),
+        TAG_EXP => QoiExpr::Exp(Box::new(read_expr(r, depth + 1)?)),
+        t => {
+            return Err(PqrError::CorruptStream(format!(
+                "unknown expression tag {t}"
+            )))
+        }
+    })
+}
+
+/// Upper bound on plausible element counts given remaining bytes (every
+/// term needs at least 9 bytes: weight + tag).
+fn bytes_remaining_guard(r: &ByteReader<'_>) -> usize {
+    r.remaining() / 9 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ge;
+
+    #[test]
+    fn roundtrip_all_ge_qois() {
+        for (name, expr) in ge::all() {
+            let bytes = to_bytes(&expr);
+            let back = from_bytes(&bytes).unwrap();
+            assert_eq!(expr, back, "{name} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_node_kind() {
+        let expr = QoiExpr::var(0)
+            .poly(&[1.0, 2.0, 0.25])
+            .sqrt()
+            .radical(3.5)
+            .mul(QoiExpr::var(1).pow(3))
+            .div(QoiExpr::sum(vec![
+                (2.0, QoiExpr::var(2)),
+                (-1.0, QoiExpr::constant(7.0)),
+            ]))
+            .abs();
+        let back = from_bytes(&to_bytes(&expr)).unwrap();
+        assert_eq!(expr, back);
+        // behaviour equivalence, not just structural
+        let x = [1.3, 0.7, 2.1];
+        assert_eq!(expr.eval(&x), back.eval(&x));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = to_bytes(&QoiExpr::var(0));
+        bytes.push(0);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = to_bytes(&ge::pt());
+        for cut in [1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(from_bytes(&[42]).is_err());
+    }
+
+    #[test]
+    fn hostile_depth_rejected() {
+        // a chain of MAX_DEPTH+2 sqrt tags with no leaf
+        let mut bytes = vec![TAG_SQRT; MAX_DEPTH + 2];
+        bytes.push(TAG_VAR);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_sum_arity_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_SUM);
+        w.put_u32(u32::MAX);
+        assert!(from_bytes(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn compactness() {
+        // PT is the deepest GE QoI; its serialization should still be small
+        let bytes = to_bytes(&ge::pt());
+        assert!(bytes.len() < 400, "PT serializes to {} bytes", bytes.len());
+    }
+}

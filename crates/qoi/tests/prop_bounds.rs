@@ -1,0 +1,207 @@
+//! Property-based tests of THE invariant of the paper (§IV): for any
+//! derivable QoI `f`, reconstructed input `x`, bounds `ε`, and any true
+//! input `x'` with `|x'ᵢ − xᵢ| ≤ εᵢ`:
+//!
+//! ```text
+//!   |f(x') − f(x)| ≤ f.eval_bounded(x, ε).bound
+//! ```
+//!
+//! Expression trees, inputs, bounds and perturbations are all generated
+//! randomly; both √-estimator modes are exercised.
+
+use proptest::prelude::*;
+use pqr_qoi::{BoundConfig, QoiExpr, SqrtMode};
+
+const NVARS: usize = 4;
+
+/// Random derivable QoI expression over `NVARS` variables, with bounded
+/// depth so evaluation stays fast and bounds stay finite often enough.
+fn arb_expr(depth: u32) -> impl Strategy<Value = QoiExpr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(QoiExpr::var),
+        (-3.0..3.0f64).prop_map(QoiExpr::constant),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            // power (small n: higher powers explode the magnitudes)
+            (inner.clone(), 1u32..4).prop_map(|(e, n)| e.pow(n)),
+            // polynomial with small coefficients
+            (inner.clone(), proptest::collection::vec(-2.0..2.0f64, 1..4))
+                .prop_map(|(e, c)| e.poly(&c)),
+            // sqrt of a square keeps the argument non-negative
+            inner.clone().prop_map(|e| e.pow(2).sqrt()),
+            // radical shifted away from the pole
+            (inner.clone(), 4.0..9.0f64).prop_map(|(e, c)| e.pow(2).radical(c)),
+            // weighted sum
+            (inner.clone(), inner.clone(), -2.0..2.0f64, -2.0..2.0f64)
+                .prop_map(|(a, b, wa, wb)| QoiExpr::sum(vec![(wa, a), (wb, b)])),
+            // product
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            // quotient with a denominator kept away from zero
+            (inner.clone(), inner.clone(), 3.0..8.0f64)
+                .prop_map(|(a, b, c)| a.div(QoiExpr::sum(vec![
+                    (1.0, b.pow(2)),
+                    (1.0, QoiExpr::constant(c))
+                ]))),
+            // absolute value
+            inner.clone().prop_map(|e| e.abs()),
+            // ln of a strictly positive argument (pole kept out of reach)
+            (inner.clone(), 4.0..9.0f64)
+                .prop_map(|(e, c)| (e.pow(2) + QoiExpr::constant(c)).ln()),
+            // exp with a damped argument so magnitudes stay tame
+            inner.prop_map(|e| e.scale(0.05).exp()),
+        ]
+    })
+}
+
+/// Random QoI trees evaluated through the interval estimator must satisfy
+/// the identical domination invariant — the machinery differs, the
+/// guarantee must not.
+fn interval_cfg() -> BoundConfig {
+    BoundConfig {
+        estimator: pqr_qoi::Estimator::Interval,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bound_dominates_true_error(
+        expr in arb_expr(3),
+        x in proptest::collection::vec(-2.0..2.0f64, NVARS),
+        eps in proptest::collection::vec(0.0..0.1f64, NVARS),
+        // perturbation direction per variable in [-1, 1]
+        dirs in proptest::collection::vec(proptest::collection::vec(-1.0..1.0f64, NVARS), 16),
+        exact_sqrt in proptest::bool::ANY,
+    ) {
+        let cfg = BoundConfig {
+            sqrt_mode: if exact_sqrt { SqrtMode::Exact } else { SqrtMode::Paper },
+            ..Default::default()
+        };
+        let out = expr.eval_bounded(&x, &eps, &cfg);
+        prop_assume!(out.value.is_finite());
+        if !out.bound.is_finite() {
+            // ∞ = "cannot bound here"; trivially sound
+            return Ok(());
+        }
+        let f0 = expr.eval(&x);
+        for dir in &dirs {
+            let xp: Vec<f64> = (0..NVARS)
+                .map(|i| (x[i] + eps[i] * dir[i]).clamp(x[i] - eps[i], x[i] + eps[i]))
+                .collect();
+            let fp = expr.eval(&xp);
+            if !fp.is_finite() || !f0.is_finite() {
+                continue;
+            }
+            let err = (fp - f0).abs();
+            prop_assert!(
+                err <= out.bound,
+                "expr {expr}: err {err} > bound {} at x={x:?} eps={eps:?}",
+                out.bound
+            );
+        }
+    }
+
+    #[test]
+    fn interval_bound_dominates_true_error(
+        expr in arb_expr(3),
+        x in proptest::collection::vec(-2.0..2.0f64, NVARS),
+        eps in proptest::collection::vec(0.0..0.1f64, NVARS),
+        dirs in proptest::collection::vec(proptest::collection::vec(-1.0..1.0f64, NVARS), 16),
+    ) {
+        let out = expr.eval_bounded(&x, &eps, &interval_cfg());
+        prop_assume!(out.value.is_finite());
+        if !out.bound.is_finite() {
+            return Ok(());
+        }
+        let f0 = expr.eval(&x);
+        for dir in &dirs {
+            let xp: Vec<f64> = (0..NVARS)
+                .map(|i| (x[i] + eps[i] * dir[i]).clamp(x[i] - eps[i], x[i] + eps[i]))
+                .collect();
+            let fp = expr.eval(&xp);
+            if !fp.is_finite() || !f0.is_finite() {
+                continue;
+            }
+            let err = (fp - f0).abs();
+            prop_assert!(
+                err <= out.bound,
+                "expr {expr}: interval err {err} > bound {} at x={x:?} eps={eps:?}",
+                out.bound
+            );
+        }
+    }
+
+    #[test]
+    fn zero_eps_zero_bound(
+        expr in arb_expr(3),
+        x in proptest::collection::vec(-2.0..2.0f64, NVARS),
+    ) {
+        let cfg = BoundConfig::default();
+        let out = expr.eval_bounded(&x, &[0.0; NVARS], &cfg);
+        prop_assume!(out.value.is_finite() && out.bound.is_finite());
+        // with exact inputs the bound collapses to (near) zero
+        prop_assert!(
+            out.bound <= 1e-9 * out.value.abs().max(1.0),
+            "expr {expr}: zero-eps bound {}",
+            out.bound
+        );
+    }
+
+    #[test]
+    fn bound_monotone_in_eps(
+        expr in arb_expr(3),
+        x in proptest::collection::vec(-2.0..2.0f64, NVARS),
+        eps in proptest::collection::vec(1e-6..0.05f64, NVARS),
+    ) {
+        let cfg = BoundConfig::default();
+        let loose = expr.eval_bounded(&x, &eps, &cfg);
+        let tight_eps: Vec<f64> = eps.iter().map(|e| e / 4.0).collect();
+        let tight = expr.eval_bounded(&x, &tight_eps, &cfg);
+        prop_assume!(loose.bound.is_finite());
+        prop_assert!(
+            tight.bound <= loose.bound * (1.0 + 1e-9),
+            "expr {expr}: tighter eps gave looser bound ({} vs {})",
+            tight.bound,
+            loose.bound
+        );
+    }
+
+    #[test]
+    fn eval_bounded_value_equals_eval(
+        expr in arb_expr(3),
+        x in proptest::collection::vec(-2.0..2.0f64, NVARS),
+        eps in proptest::collection::vec(0.0..0.1f64, NVARS),
+    ) {
+        let out = expr.eval_bounded(&x, &eps, &BoundConfig::default());
+        let direct = expr.eval(&x);
+        if direct.is_finite() {
+            prop_assert!(
+                (out.value - direct).abs() <= 1e-12 * direct.abs().max(1.0),
+                "value mismatch: {} vs {direct}",
+                out.value
+            );
+        }
+    }
+
+    #[test]
+    fn variables_is_consistent_with_eval_sensitivity(
+        expr in arb_expr(2),
+        x in proptest::collection::vec(0.5..1.5f64, NVARS),
+    ) {
+        // perturbing a variable NOT in variables() never changes the value
+        let vars = expr.variables();
+        let f0 = expr.eval(&x);
+        prop_assume!(f0.is_finite());
+        for i in 0..NVARS {
+            if vars.contains(&i) {
+                continue;
+            }
+            let mut xp = x.clone();
+            xp[i] += 0.37;
+            prop_assert_eq!(expr.eval(&xp), f0);
+        }
+    }
+}

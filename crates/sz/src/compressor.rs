@@ -1,0 +1,360 @@
+//! The full compression pipeline: predict → quantize → Huffman → zero-RLE.
+
+use crate::config::{Predictor, SzConfig};
+use crate::predictor::traverse;
+use crate::quantizer::{Quantized, Quantizer, ESCAPE};
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::error::{PqrError, Result};
+use pqr_util::{huffman, rle};
+
+/// Magic bytes identifying a pqr-sz blob.
+const MAGIC: &[u8; 4] = b"PQSZ";
+/// Format version.
+const VERSION: u8 = 1;
+
+/// Error-bounded lossy compressor (SZ3 stand-in).
+///
+/// The compressor is stateless and cheap to clone; all per-call state lives
+/// on the stack. See the crate docs for the pipeline description and the
+/// guarantee: `max |xᵢ − x̂ᵢ| ≤ eb` for every point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SzCompressor {
+    cfg: SzConfig,
+}
+
+impl SzCompressor {
+    /// Creates a compressor with the given configuration.
+    pub fn new(cfg: SzConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SzConfig {
+        &self.cfg
+    }
+
+    /// Compresses `data` (row-major, shape `dims`) under the absolute error
+    /// bound `eb`. Returns a self-describing blob.
+    pub fn compress(&self, data: &[f64], dims: &[usize], eb: f64) -> Result<Vec<u8>> {
+        let n: usize = dims.iter().product();
+        if n != data.len() {
+            return Err(PqrError::ShapeMismatch(format!(
+                "dims {:?} = {n} elements, data has {}",
+                dims,
+                data.len()
+            )));
+        }
+        // NaN-safe positivity check (NaN fails the comparison)
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(PqrError::InvalidRequest(format!(
+                "error bound must be positive and finite, got {eb}"
+            )));
+        }
+
+        let quant = Quantizer::new(eb, self.cfg.quant_radius);
+        let mut symbols: Vec<u32> = Vec::with_capacity(n);
+        let mut escapes: Vec<f64> = Vec::new();
+        let mut recon = vec![0.0f64; n];
+        traverse(self.cfg.predictor, dims, &mut recon, |idx, pred| {
+            match quant.quantize(data[idx], pred) {
+                Quantized::Code { symbol, recon } => {
+                    symbols.push(symbol);
+                    recon
+                }
+                Quantized::Escape => {
+                    symbols.push(ESCAPE);
+                    escapes.push(data[idx]);
+                    data[idx]
+                }
+            }
+        });
+
+        let huff = huffman::encode(&symbols, quant.alphabet())?;
+        let packed = rle::encode_bytes(&huff);
+
+        let mut w = ByteWriter::with_capacity(packed.len() + escapes.len() * 8 + 64);
+        w.put_raw(MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(self.cfg.predictor.tag());
+        w.put_u32(self.cfg.quant_radius);
+        w.put_f64(eb);
+        w.put_u8(dims.len() as u8);
+        for &d in dims {
+            w.put_u64(d as u64);
+        }
+        w.put_bytes(&packed);
+        w.put_f64_slice(&escapes);
+        Ok(w.finish())
+    }
+
+    /// Decompresses a blob from [`SzCompressor::compress`]; returns the
+    /// reconstruction and its shape. Works regardless of the predictor this
+    /// instance was configured with (the blob is self-describing).
+    pub fn decompress(&self, blob: &[u8]) -> Result<(Vec<f64>, Vec<usize>)> {
+        let mut r = ByteReader::new(blob);
+        if r.get_raw(4)? != MAGIC {
+            return Err(PqrError::CorruptStream("bad magic".into()));
+        }
+        let version = r.get_u8()?;
+        if version != VERSION {
+            return Err(PqrError::CorruptStream(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let predictor = Predictor::from_tag(r.get_u8()?)
+            .ok_or_else(|| PqrError::CorruptStream("unknown predictor tag".into()))?;
+        let radius = r.get_u32()?;
+        let eb = r.get_f64()?;
+        if !(eb.is_finite() && eb > 0.0) || radius < 2 {
+            return Err(PqrError::CorruptStream("invalid header".into()));
+        }
+        let nd = r.get_u8()? as usize;
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            dims.push(r.get_u64()? as usize);
+        }
+        let n: usize = dims.iter().product();
+        let packed = r.get_bytes()?;
+        let escapes = r.get_f64_vec()?;
+
+        let huff = rle::decode_bytes(packed)?;
+        let symbols = huffman::decode(&huff)?;
+        if symbols.len() != n {
+            return Err(PqrError::CorruptStream(format!(
+                "symbol count {} != element count {n}",
+                symbols.len()
+            )));
+        }
+
+        let quant = Quantizer::new(eb, radius);
+        let mut recon = vec![0.0f64; n];
+        let mut sym_it = symbols.iter();
+        let mut esc_it = escapes.iter();
+        let mut short = false;
+        traverse(predictor, &dims, &mut recon, |_, pred| {
+            let Some(&s) = sym_it.next() else {
+                short = true;
+                return 0.0;
+            };
+            if s == ESCAPE {
+                match esc_it.next() {
+                    Some(&v) => v,
+                    None => {
+                        short = true;
+                        0.0
+                    }
+                }
+            } else {
+                quant.reconstruct(s, pred)
+            }
+        });
+        if short {
+            return Err(PqrError::CorruptStream("escape list truncated".into()));
+        }
+        Ok((recon, dims))
+    }
+
+    /// Convenience: compressed size in bytes for `data` under `eb`.
+    pub fn compressed_size(&self, data: &[f64], dims: &[usize], eb: f64) -> Result<usize> {
+        Ok(self.compress(data, dims, eb)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqr_util::stats::max_abs_diff;
+
+    fn smooth_1d(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                (x * 12.0).sin() + 0.3 * (x * 40.0).cos() + 2.0 * x
+            })
+            .collect()
+    }
+
+    fn smooth_3d(d: [usize; 3]) -> (Vec<f64>, Vec<usize>) {
+        let mut v = Vec::with_capacity(d[0] * d[1] * d[2]);
+        for i in 0..d[0] {
+            for j in 0..d[1] {
+                for k in 0..d[2] {
+                    let (x, y, z) = (
+                        i as f64 / d[0] as f64,
+                        j as f64 / d[1] as f64,
+                        k as f64 / d[2] as f64,
+                    );
+                    v.push((3.0 * x).sin() * (2.0 * y).cos() + z * z);
+                }
+            }
+        }
+        (v, d.to_vec())
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound_1d() {
+        let data = smooth_1d(5000);
+        for eb in [1e-1, 1e-3, 1e-6, 1e-10] {
+            for cfg in [
+                SzConfig::default(),
+                SzConfig::lorenzo(),
+                SzConfig::interp_linear(),
+            ] {
+                let c = SzCompressor::new(cfg);
+                let blob = c.compress(&data, &[5000], eb).unwrap();
+                let (recon, dims) = c.decompress(&blob).unwrap();
+                assert_eq!(dims, vec![5000]);
+                let err = max_abs_diff(&data, &recon);
+                assert!(err <= eb, "{cfg:?} eb={eb}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound_3d() {
+        let (data, dims) = smooth_3d([20, 24, 17]);
+        for eb in [1e-2, 1e-5] {
+            for cfg in [SzConfig::default(), SzConfig::lorenzo()] {
+                let c = SzCompressor::new(cfg);
+                let blob = c.compress(&data, &dims, eb).unwrap();
+                let (recon, rdims) = c.decompress(&blob).unwrap();
+                assert_eq!(rdims, dims);
+                assert!(max_abs_diff(&data, &recon) <= eb);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_eb_larger_blob() {
+        let data = smooth_1d(20_000);
+        let c = SzCompressor::default();
+        let mut last = 0usize;
+        for eb in [1e-1, 1e-3, 1e-5, 1e-7, 1e-9] {
+            let size = c.compressed_size(&data, &[20_000], eb).unwrap();
+            assert!(size > last, "eb={eb}: {size} !> {last}");
+            last = size;
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let data = smooth_1d(100_000);
+        let c = SzCompressor::default();
+        let blob = c.compress(&data, &[100_000], 1e-4).unwrap();
+        let ratio = (100_000.0 * 8.0) / blob.len() as f64;
+        assert!(ratio > 8.0, "ratio {ratio} too low for smooth data");
+    }
+
+    #[test]
+    fn random_noise_still_bounded() {
+        // xorshift noise — incompressible but the bound must still hold
+        let mut s = 42u64;
+        let data: Vec<f64> = (0..4096)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64) * 200.0 - 100.0
+            })
+            .collect();
+        let c = SzCompressor::default();
+        let blob = c.compress(&data, &[4096], 1e-2).unwrap();
+        let (recon, _) = c.decompress(&blob).unwrap();
+        assert!(max_abs_diff(&data, &recon) <= 1e-2);
+    }
+
+    #[test]
+    fn constant_field_is_tiny() {
+        let data = vec![3.25; 50_000];
+        let c = SzCompressor::default();
+        let blob = c.compress(&data, &[50_000], 1e-8).unwrap();
+        assert!(blob.len() < 2500, "constant field blob {} B", blob.len());
+        let (recon, _) = c.decompress(&blob).unwrap();
+        assert!(max_abs_diff(&data, &recon) <= 1e-8);
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let mut data = smooth_1d(100);
+        data[10] = f64::NAN;
+        data[50] = f64::INFINITY;
+        data[70] = -1e300;
+        let c = SzCompressor::default();
+        let blob = c.compress(&data, &[100], 1e-3).unwrap();
+        let (recon, _) = c.decompress(&blob).unwrap();
+        assert!(recon[10].is_nan());
+        assert!(recon[50].is_infinite() && recon[50] > 0.0);
+        for (i, (&a, &b)) in data.iter().zip(&recon).enumerate() {
+            if a.is_finite() {
+                assert!((a - b).abs() <= 1e-3, "idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let c = SzCompressor::default();
+        assert!(matches!(
+            c.compress(&[1.0, 2.0], &[3], 1e-3),
+            Err(PqrError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_eb_rejected() {
+        let c = SzCompressor::default();
+        for eb in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(c.compress(&[1.0], &[1], eb).is_err(), "eb={eb}");
+        }
+    }
+
+    #[test]
+    fn corrupt_blob_rejected() {
+        let data = smooth_1d(256);
+        let c = SzCompressor::default();
+        let blob = c.compress(&data, &[256], 1e-3).unwrap();
+        assert!(c.decompress(&blob[..10]).is_err());
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert!(c.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        let c = SzCompressor::default();
+        let blob = c.compress(&[], &[0], 1e-3).unwrap();
+        let (recon, dims) = c.decompress(&blob).unwrap();
+        assert!(recon.is_empty());
+        assert_eq!(dims, vec![0]);
+    }
+
+    #[test]
+    fn decompress_ignores_local_config() {
+        // blob self-describes its predictor: decompress with a differently
+        // configured instance must still work
+        let data = smooth_1d(1000);
+        let blob = SzCompressor::new(SzConfig::lorenzo())
+            .compress(&data, &[1000], 1e-4)
+            .unwrap();
+        let (recon, _) = SzCompressor::new(SzConfig::default())
+            .decompress(&blob)
+            .unwrap();
+        assert!(max_abs_diff(&data, &recon) <= 1e-4);
+    }
+
+    #[test]
+    fn interp_beats_lorenzo_on_smooth_data() {
+        // the design rationale for defaulting to interpolation (ablation)
+        let data = smooth_1d(50_000);
+        let interp = SzCompressor::default()
+            .compressed_size(&data, &[50_000], 1e-5)
+            .unwrap();
+        let lorenzo = SzCompressor::new(SzConfig::lorenzo())
+            .compressed_size(&data, &[50_000], 1e-5)
+            .unwrap();
+        assert!(
+            interp < lorenzo,
+            "interp {interp} B should beat lorenzo {lorenzo} B"
+        );
+    }
+}

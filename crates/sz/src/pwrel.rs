@@ -1,0 +1,278 @@
+//! Point-wise **relative** error bounds via the logarithmic transformation.
+//!
+//! The paper credits SZ3's tight L∞ control to the transformation scheme of
+//! its reference \[33\] (Liang et al., CLUSTER'18): a point-wise relative
+//! bound `|x̂ᵢ − xᵢ| ≤ ρ·|xᵢ|` on strictly signed data is equivalent to an
+//! *absolute* bound on the logarithm, because
+//!
+//! ```text
+//! |ln|x̂| − ln|x|| ≤ ln(1+ρ)   ⇒   |x̂ − x| ≤ ρ·|x|
+//! ```
+//!
+//! (the exponential of a `±ln(1+ρ)` perturbation multiplies the magnitude
+//! by a factor in `[1/(1+ρ), 1+ρ]`, and `1 − 1/(1+ρ) ≤ ρ`). So the pipeline
+//! is: take logs of the magnitudes, compress with the ordinary
+//! absolute-bound compressor at `eb = ln(1+ρ)`, and carry a sign bitmap.
+//! Zeros and non-finite values have no logarithm — they are escape-coded
+//! exactly (position + bits), which also matches how real datasets use
+//! pw-rel bounds (zeros must stay exact zeros).
+//!
+//! Point-wise relative bounds complement the QoI machinery: they are the
+//! natural request for fields spanning many decades (S3D species), where a
+//! single absolute ε either destroys the small values or wastes bits on the
+//! large ones.
+
+use crate::compressor::SzCompressor;
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::error::{PqrError, Result};
+use pqr_util::rle;
+
+/// Magic bytes identifying a pw-rel blob.
+const MAGIC: &[u8; 4] = b"PQSR";
+
+impl SzCompressor {
+    /// Compresses under the point-wise relative bound
+    /// `|x̂ᵢ − xᵢ| ≤ rel·|xᵢ|`; zeros and non-finite values are stored
+    /// exactly. `rel` must be positive and finite.
+    pub fn compress_pw_rel(&self, data: &[f64], dims: &[usize], rel: f64) -> Result<Vec<u8>> {
+        let n: usize = dims.iter().product();
+        if n != data.len() {
+            return Err(PqrError::ShapeMismatch(format!(
+                "dims {dims:?} = {n} elements, data has {}",
+                data.len()
+            )));
+        }
+        if !(rel.is_finite() && rel > 0.0) {
+            return Err(PqrError::InvalidRequest(format!(
+                "relative bound must be positive and finite, got {rel}"
+            )));
+        }
+
+        // magnitude logs, with exact escapes where the log is undefined
+        let mut logs = Vec::with_capacity(n);
+        let mut signs = Vec::with_capacity(n);
+        let mut escape_idx: Vec<u64> = Vec::new();
+        let mut escape_val: Vec<f64> = Vec::new();
+        let mut filler = 0.0f64; // last valid log keeps the predictor sane
+        for (i, &x) in data.iter().enumerate() {
+            signs.push(x.is_sign_negative());
+            if x == 0.0 || !x.is_finite() {
+                escape_idx.push(i as u64);
+                escape_val.push(x);
+                logs.push(filler);
+            } else {
+                let l = x.abs().ln();
+                filler = l;
+                logs.push(l);
+            }
+        }
+
+        // The quantizer's log-domain bound is tight, and exp/ln round-trips
+        // cost ~1 ulp each — shave the bound so "≤ ρ·|x|" survives f64
+        // round-off deterministically rather than by luck.
+        let eb_log = rel.ln_1p() * (1.0 - 1e-12);
+        let inner = self.compress(&logs, dims, eb_log)?;
+        let sign_blob = rle::encode_bits_auto(&signs);
+
+        let mut w = ByteWriter::with_capacity(inner.len() + sign_blob.len() + 64);
+        w.put_raw(MAGIC);
+        w.put_f64(rel);
+        w.put_bytes(&inner);
+        w.put_bytes(&sign_blob);
+        w.put_u64_slice(&escape_idx);
+        w.put_f64_slice(&escape_val);
+        Ok(w.finish())
+    }
+
+    /// Decompresses a blob from [`SzCompressor::compress_pw_rel`]; returns
+    /// the reconstruction, its shape, and the relative bound it guarantees.
+    pub fn decompress_pw_rel(&self, blob: &[u8]) -> Result<(Vec<f64>, Vec<usize>, f64)> {
+        let mut r = ByteReader::new(blob);
+        if r.get_raw(4)? != MAGIC {
+            return Err(PqrError::CorruptStream("bad pw-rel magic".into()));
+        }
+        let rel = r.get_f64()?;
+        if !(rel.is_finite() && rel > 0.0) {
+            return Err(PqrError::CorruptStream("invalid relative bound".into()));
+        }
+        let inner = r.get_bytes()?;
+        let sign_blob = r.get_bytes()?;
+        let escape_idx = r.get_u64_vec()?;
+        let escape_val = r.get_f64_vec()?;
+        if escape_idx.len() != escape_val.len() {
+            return Err(PqrError::CorruptStream("escape table mismatch".into()));
+        }
+
+        let (logs, dims) = self.decompress(inner)?;
+        let n = logs.len();
+        let signs = rle::decode_bits_auto(sign_blob, n)?;
+        let mut out: Vec<f64> = logs
+            .iter()
+            .zip(&signs)
+            .map(|(&l, &neg)| {
+                let m = l.exp();
+                if neg {
+                    -m
+                } else {
+                    m
+                }
+            })
+            .collect();
+        for (&i, &v) in escape_idx.iter().zip(&escape_val) {
+            let i = i as usize;
+            if i >= n {
+                return Err(PqrError::CorruptStream(format!(
+                    "escape index {i} out of range {n}"
+                )));
+            }
+            out[i] = v;
+        }
+        Ok((out, dims, rel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SzConfig;
+
+    /// Worst point-wise relative error over the non-exceptional points.
+    fn worst_rel(orig: &[f64], recon: &[f64]) -> f64 {
+        orig.iter()
+            .zip(recon)
+            .filter(|(o, _)| **o != 0.0 && o.is_finite())
+            .map(|(o, r)| (o - r).abs() / o.abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn decades_field(n: usize) -> Vec<f64> {
+        // spans ~12 decades with both signs — the pw-rel use case
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                let mag = 10f64.powf(-6.0 + 12.0 * x);
+                mag * (x * 37.0).sin().signum() * (1.0 + 0.2 * (x * 91.0).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pw_rel_bound_holds_across_decades() {
+        let data = decades_field(8000);
+        let c = SzCompressor::default();
+        for rel in [1e-1, 1e-3, 1e-6] {
+            let blob = c.compress_pw_rel(&data, &[8000], rel).unwrap();
+            let (recon, dims, got_rel) = c.decompress_pw_rel(&blob).unwrap();
+            assert_eq!(dims, vec![8000]);
+            assert_eq!(got_rel, rel);
+            let w = worst_rel(&data, &recon);
+            assert!(w <= rel, "rel={rel}: worst {w}");
+        }
+    }
+
+    #[test]
+    fn zeros_and_nonfinite_exact() {
+        let mut data = decades_field(500);
+        data[3] = 0.0;
+        data[77] = -0.0;
+        data[100] = f64::NAN;
+        data[200] = f64::NEG_INFINITY;
+        let c = SzCompressor::default();
+        let blob = c.compress_pw_rel(&data, &[500], 1e-2).unwrap();
+        let (recon, _, _) = c.decompress_pw_rel(&blob).unwrap();
+        assert_eq!(recon[3], 0.0);
+        assert_eq!(recon[77], 0.0);
+        assert!(recon[100].is_nan());
+        assert!(recon[200] == f64::NEG_INFINITY);
+        assert!(worst_rel(&data, &recon) <= 1e-2);
+    }
+
+    #[test]
+    fn signs_preserved_exactly() {
+        let data = decades_field(2000);
+        let c = SzCompressor::default();
+        let blob = c.compress_pw_rel(&data, &[2000], 0.5).unwrap();
+        let (recon, _, _) = c.decompress_pw_rel(&blob).unwrap();
+        for (i, (&o, &r)) in data.iter().zip(&recon).enumerate() {
+            if o != 0.0 {
+                assert_eq!(o.is_sign_negative(), r.is_sign_negative(), "idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pw_rel_beats_absolute_on_wide_dynamic_range() {
+        // the motivating comparison: to protect the smallest magnitudes, an
+        // absolute bound must be tiny everywhere and pays for it in bits
+        let data = decades_field(20_000);
+        let rel = 1e-3;
+        let c = SzCompressor::default();
+        let pw = c.compress_pw_rel(&data, &[20_000], rel).unwrap().len();
+        let smallest = data
+            .iter()
+            .filter(|v| **v != 0.0)
+            .map(|v| v.abs())
+            .fold(f64::INFINITY, f64::min);
+        let abs = c.compress(&data, &[20_000], rel * smallest).unwrap().len();
+        assert!(
+            (pw as f64) < 0.7 * abs as f64,
+            "pw-rel {pw} B should be well under absolute {abs} B"
+        );
+    }
+
+    #[test]
+    fn works_with_every_predictor() {
+        let data = decades_field(3000);
+        for cfg in [
+            SzConfig::default(),
+            SzConfig::lorenzo(),
+            SzConfig::interp_linear(),
+        ] {
+            let c = SzCompressor::new(cfg);
+            let blob = c.compress_pw_rel(&data, &[3000], 1e-4).unwrap();
+            let (recon, _, _) = c.decompress_pw_rel(&blob).unwrap();
+            assert!(worst_rel(&data, &recon) <= 1e-4, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn multidimensional_pw_rel() {
+        let data = decades_field(30 * 40);
+        let c = SzCompressor::default();
+        let blob = c.compress_pw_rel(&data, &[30, 40], 1e-5).unwrap();
+        let (recon, dims, _) = c.decompress_pw_rel(&blob).unwrap();
+        assert_eq!(dims, vec![30, 40]);
+        assert!(worst_rel(&data, &recon) <= 1e-5);
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        let c = SzCompressor::default();
+        for rel in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(c.compress_pw_rel(&[1.0], &[1], rel).is_err());
+        }
+        assert!(c.compress_pw_rel(&[1.0, 2.0], &[3], 0.1).is_err());
+    }
+
+    #[test]
+    fn corrupt_blobs_rejected() {
+        let data = decades_field(100);
+        let c = SzCompressor::default();
+        let blob = c.compress_pw_rel(&data, &[100], 1e-3).unwrap();
+        assert!(c.decompress_pw_rel(&blob[..8]).is_err());
+        let mut bad = blob.clone();
+        bad[1] = b'X';
+        assert!(c.decompress_pw_rel(&bad).is_err());
+        // an absolute-bound blob is not a pw-rel blob
+        let abs_blob = c.compress(&data, &[100], 1e-3).unwrap();
+        assert!(c.decompress_pw_rel(&abs_blob).is_err());
+    }
+
+    #[test]
+    fn all_zero_field() {
+        let c = SzCompressor::default();
+        let blob = c.compress_pw_rel(&[0.0; 300], &[300], 1e-3).unwrap();
+        let (recon, _, _) = c.decompress_pw_rel(&blob).unwrap();
+        assert!(recon.iter().all(|&v| v == 0.0));
+    }
+}

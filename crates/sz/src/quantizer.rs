@@ -1,0 +1,166 @@
+//! Linear-scaling quantization with an escape code (SZ-style).
+//!
+//! A residual `r = value − prediction` is mapped to the integer code
+//! `round(r / 2eb)`; reconstruction is `prediction + 2eb·code`, which is
+//! within `eb` of the original **by construction** — the quantizer verifies
+//! this (guarding against float pathologies near huge magnitudes) and falls
+//! back to escape-coding the exact value otherwise. Symbol 0 is the escape;
+//! code `c` is stored as symbol `c + radius`.
+
+/// Escape symbol: the point is stored losslessly out-of-band.
+pub const ESCAPE: u32 = 0;
+
+/// SZ-style residual quantizer.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    /// Absolute error bound (> 0).
+    eb: f64,
+    /// Code radius; valid codes are `-(radius-1) ..= radius-1`.
+    radius: i64,
+}
+
+/// Outcome of quantizing one value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Quantized {
+    /// Predictable: `symbol` to entropy-code, `recon` to feed back into the
+    /// predictor.
+    Code { symbol: u32, recon: f64 },
+    /// Unpredictable: store the exact value out-of-band.
+    Escape,
+}
+
+impl Quantizer {
+    /// Creates a quantizer for error bound `eb > 0` with the given radius.
+    pub fn new(eb: f64, radius: u32) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
+        assert!(radius >= 2, "radius must be at least 2");
+        Self {
+            eb,
+            radius: i64::from(radius),
+        }
+    }
+
+    /// Alphabet size for the entropy coder (`2·radius`).
+    pub fn alphabet(&self) -> u32 {
+        (self.radius * 2) as u32
+    }
+
+    /// Quantizes `value` against `prediction`.
+    #[inline]
+    pub fn quantize(&self, value: f64, prediction: f64) -> Quantized {
+        let diff = value - prediction;
+        if !diff.is_finite() {
+            return Quantized::Escape;
+        }
+        let code = (diff / (2.0 * self.eb)).round();
+        if code.abs() >= (self.radius - 1) as f64 {
+            return Quantized::Escape;
+        }
+        let code = code as i64;
+        let recon = prediction + 2.0 * self.eb * code as f64;
+        // Verify the bound actually holds in floating point (it can fail for
+        // values around 1e15·eb where 2eb·code rounds badly).
+        if (recon - value).abs() > self.eb {
+            return Quantized::Escape;
+        }
+        Quantized::Code {
+            symbol: (code + self.radius) as u32,
+            recon,
+        }
+    }
+
+    /// Reconstructs from an entropy-decoded symbol (must not be [`ESCAPE`]).
+    #[inline]
+    pub fn reconstruct(&self, symbol: u32, prediction: f64) -> f64 {
+        debug_assert_ne!(symbol, ESCAPE);
+        let code = i64::from(symbol) - self.radius;
+        prediction + 2.0 * self.eb * code as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_reconstruct_respects_bound() {
+        let q = Quantizer::new(1e-3, 32768);
+        for &(v, p) in &[
+            (1.0, 0.9),
+            (-5.0, -4.9987),
+            (0.0, 0.0),
+            (2.65625, 3.0),
+            (1e-9, -1e-9),
+        ] {
+            match q.quantize(v, p) {
+                Quantized::Code { symbol, recon } => {
+                    assert!((recon - v).abs() <= 1e-3, "v={v} recon={recon}");
+                    assert_eq!(q.reconstruct(symbol, p), recon);
+                }
+                Quantized::Escape => panic!("should be predictable: v={v} p={p}"),
+            }
+        }
+    }
+
+    #[test]
+    fn large_residual_escapes() {
+        let q = Quantizer::new(1e-6, 256);
+        assert_eq!(q.quantize(1.0, 0.0), Quantized::Escape);
+    }
+
+    #[test]
+    fn nan_and_inf_escape() {
+        let q = Quantizer::new(1e-3, 32768);
+        assert_eq!(q.quantize(f64::NAN, 0.0), Quantized::Escape);
+        assert_eq!(q.quantize(f64::INFINITY, 0.0), Quantized::Escape);
+        assert_eq!(q.quantize(0.0, f64::NAN), Quantized::Escape);
+    }
+
+    #[test]
+    fn symbol_zero_is_reserved_for_escape() {
+        let q = Quantizer::new(0.5, 4);
+        // most negative admissible code is -(radius-1)+1? codes with
+        // |code| >= radius-1 escape, so min code = -(radius-2) = -2,
+        // symbol = -2 + 4 = 2 > 0. Symbol 0 can never be produced.
+        for v in [-3.0f64, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0] {
+            if let Quantized::Code { symbol, .. } = q.quantize(v, 0.0) {
+                assert_ne!(symbol, ESCAPE);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_prediction_gives_centre_symbol() {
+        let q = Quantizer::new(1e-2, 32768);
+        match q.quantize(7.5, 7.5) {
+            Quantized::Code { symbol, recon } => {
+                assert_eq!(symbol, 32768); // code 0
+                assert_eq!(recon, 7.5);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn huge_magnitude_floating_point_guard() {
+        // At 1e18 with eb=1e-3, 2eb·code cannot represent the residual:
+        // quantizer must detect the violated bound and escape.
+        let q = Quantizer::new(1e-3, 32768);
+        let v = 1e18 + 0.5;
+        match q.quantize(v, 1e18) {
+            Quantized::Code { recon, .. } => assert!((recon - v).abs() <= 1e-3),
+            Quantized::Escape => {} // acceptable — bound preserved by escape
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound must be positive")]
+    fn zero_eb_rejected() {
+        Quantizer::new(0.0, 16);
+    }
+
+    #[test]
+    fn alphabet_is_twice_radius() {
+        assert_eq!(Quantizer::new(1.0, 100).alphabet(), 200);
+    }
+}

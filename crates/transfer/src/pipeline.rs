@@ -1,0 +1,388 @@
+//! The 96-worker block retrieval pipeline of §VI-D.
+//!
+//! Each worker claims a block, runs the QoI-preserving retrieval engine on
+//! it (deciding how many fragment bytes that block needs for the requested
+//! tolerance), and the fetched bytes ride the shared simulated pipe. The
+//! result decomposes total time exactly as Fig. 9 does:
+//!
+//! ```text
+//! total = retrieval (real, wall-clock, parallel) + transfer (simulated)
+//! ```
+
+use crate::network::NetworkModel;
+use crate::store::RemoteStore;
+use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine};
+use pqr_util::error::Result;
+use pqr_util::par::par_dynamic;
+use pqr_util::timer::Stopwatch;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Worker count (paper: 96, one per block).
+    pub workers: usize,
+    /// The simulated pipe.
+    pub network: NetworkModel,
+    /// Retrieval engine knobs.
+    pub engine: EngineConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 96,
+            network: NetworkModel::globus_mcc_to_anvil(),
+            engine: EngineConfig {
+                // blocks are the parallel unit — nested scan threads would
+                // oversubscribe and distort per-block timings
+                parallel_scan: false,
+                ..EngineConfig::default()
+            },
+        }
+    }
+}
+
+/// Per-block outcome.
+#[derive(Debug, Clone, Default)]
+pub struct BlockResult {
+    /// Bytes this block's retrieval fetched.
+    pub bytes: usize,
+    /// Whether every QoI tolerance was met.
+    pub satisfied: bool,
+    /// Max estimated QoI error (first spec).
+    pub max_est_error: f64,
+    /// Engine iterations used.
+    pub iterations: usize,
+    /// Measured compute seconds for this block's retrieval.
+    pub secs: f64,
+}
+
+/// Whole-pipeline outcome (one Fig. 9 data point).
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Per-block outcomes.
+    pub blocks: Vec<BlockResult>,
+    /// Total fetched bytes across blocks.
+    pub total_bytes: usize,
+    /// Measured wall-clock retrieval time (parallel section), seconds.
+    pub retrieval_secs: f64,
+    /// Simulated wire time for the fetched bytes, seconds.
+    pub transfer_secs: f64,
+}
+
+impl PipelineResult {
+    /// Total end-to-end time (the paper's "data transfer time") using the
+    /// *measured* parallel section on this machine.
+    pub fn total_secs(&self) -> f64 {
+        self.retrieval_secs + self.transfer_secs
+    }
+
+    /// Retrieval makespan on a machine with `workers` real cores, scheduled
+    /// LPT (longest block first) from the measured per-block times.
+    ///
+    /// The paper runs 96 blocks on 96 physical cores; a laptop runs them
+    /// oversubscribed, so the measured wall time overstates the paper's
+    /// setup by ~(96 / local cores). This reconstruction is what Fig. 9
+    /// should be compared against.
+    pub fn makespan_secs(&self, workers: usize) -> f64 {
+        let workers = workers.max(1);
+        let mut times: Vec<f64> = self.blocks.iter().map(|b| b.secs).collect();
+        times.sort_by(|a, b| b.total_cmp(a));
+        let mut loads = vec![0.0f64; workers];
+        for t in times {
+            // assign to the least-loaded worker
+            let (idx, _) = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty loads");
+            loads[idx] += t;
+        }
+        loads.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// End-to-end time with the retrieval makespan reconstructed for
+    /// `workers` physical cores (the Fig. 9 configuration).
+    pub fn total_secs_at(&self, workers: usize) -> f64 {
+        self.makespan_secs(workers) + self.transfer_secs
+    }
+
+    /// True when every block met its tolerances.
+    pub fn all_satisfied(&self) -> bool {
+        self.blocks.iter().all(|b| b.satisfied)
+    }
+}
+
+/// Runs the QoI-preserving retrieval on every block of the store and
+/// charges the fetched bytes to the simulated network.
+///
+/// `specs_for_block` produces the QoI requests for a given block index
+/// (ranges differ per block, so specs are per-block).
+pub fn run_pipeline(
+    store: &RemoteStore,
+    cfg: &PipelineConfig,
+    specs_for_block: impl Fn(usize) -> Vec<QoiSpec> + Sync,
+) -> Result<PipelineResult> {
+    let nblocks = store.num_blocks();
+    // Run at most one thread per physical core: oversubscribing (96 logical
+    // workers on a laptop) would contaminate the per-block wall times that
+    // makespan_secs() reconstructs from. Fetched bytes are independent of
+    // the worker count.
+    let threads = cfg.workers.min(pqr_util::par::worker_count());
+    let sw = Stopwatch::started();
+    let blocks: Vec<BlockResult> = par_dynamic(nblocks, threads, |i| {
+        let t0 = std::time::Instant::now();
+        let block = store.block(i).expect("block index in range");
+        let specs = specs_for_block(i);
+        let mut engine = match RetrievalEngine::new(block, cfg.engine) {
+            Ok(e) => e,
+            Err(_) => return BlockResult::default(),
+        };
+        match engine.retrieve(&specs) {
+            Ok(report) => {
+                store.record_fetch(report.total_fetched);
+                BlockResult {
+                    bytes: report.total_fetched,
+                    satisfied: report.satisfied,
+                    max_est_error: report.max_est_errors.first().copied().unwrap_or(0.0),
+                    iterations: report.iterations,
+                    secs: t0.elapsed().as_secs_f64(),
+                }
+            }
+            Err(_) => BlockResult::default(),
+        }
+    });
+    let retrieval_secs = sw.secs();
+    let total_bytes: usize = blocks.iter().map(|b| b.bytes).sum();
+    let transfer_secs = cfg.network.transfer_secs(total_bytes, nblocks);
+    Ok(PipelineResult {
+        blocks,
+        total_bytes,
+        retrieval_secs,
+        transfer_secs,
+    })
+}
+
+/// The Fig. 9 baseline: moving the raw (uncompressed) involved fields.
+pub fn baseline_transfer_secs(store: &RemoteStore, cfg: &PipelineConfig, fields: usize) -> f64 {
+    let total_fields: usize = store
+        .block(0)
+        .map(|b| b.num_fields())
+        .unwrap_or(1)
+        .max(1);
+    let bytes = store.raw_bytes() * fields / total_fields;
+    cfg.network.transfer_secs(bytes, store.num_blocks())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqr_datagen::ge::{self, GeConfig};
+    use pqr_progressive::field::Dataset;
+    use pqr_progressive::refactored::Scheme;
+    use pqr_qoi::library::velocity_magnitude;
+
+    /// Builds a small GE-large-like store: per-block refactored velocity
+    /// fields plus per-block VTOT ranges.
+    fn build_store(blocks: usize, scheme: Scheme) -> (RemoteStore, Vec<f64>) {
+        build_store_sized(blocks, scheme, 500)
+    }
+
+    fn build_store_sized(
+        blocks: usize,
+        scheme: Scheme,
+        mean_block_len: usize,
+    ) -> (RemoteStore, Vec<f64>) {
+        let cfg = GeConfig {
+            blocks,
+            mean_block_len,
+            wall_fraction: 0.02,
+            seed: 1234,
+        };
+        let raw = ge::generate(&cfg);
+        let mut ranges = Vec::with_capacity(blocks);
+        let refactored: Vec<_> = raw
+            .iter()
+            .map(|b| {
+                let mut ds = Dataset::new(&b.dims);
+                for name in ["VelocityX", "VelocityY", "VelocityZ"] {
+                    ds.add_field(name, b.field(name).unwrap().to_vec()).unwrap();
+                }
+                ranges.push(ds.qoi_range(&velocity_magnitude(0, 3)).unwrap());
+                let mut rd = ds
+                    .refactor_with_bounds(scheme, &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6])
+                    .unwrap();
+                rd.set_mask(ds.zero_mask(&[0, 1, 2])).unwrap();
+                rd
+            })
+            .collect();
+        (RemoteStore::new(refactored), ranges)
+    }
+
+    #[test]
+    fn pipeline_meets_tolerances_and_counts_bytes() {
+        let (store, ranges) = build_store(8, Scheme::PmgardHb);
+        let cfg = PipelineConfig {
+            workers: 4,
+            ..Default::default()
+        };
+        let result = run_pipeline(&store, &cfg, |i| {
+            vec![QoiSpec::with_range(
+                "VTOT",
+                velocity_magnitude(0, 3),
+                1e-3,
+                ranges[i],
+            )]
+        })
+        .unwrap();
+        assert!(result.all_satisfied());
+        assert_eq!(result.blocks.len(), 8);
+        assert_eq!(result.total_bytes, store.counters().bytes);
+        assert!(result.transfer_secs > 0.0);
+        assert!(result.total_secs() >= result.transfer_secs);
+    }
+
+    #[test]
+    fn tighter_tolerance_more_bytes_more_time() {
+        let (store, ranges) = build_store(6, Scheme::PmgardHb);
+        let cfg = PipelineConfig {
+            workers: 3,
+            ..Default::default()
+        };
+        let loose = run_pipeline(&store, &cfg, |i| {
+            vec![QoiSpec::with_range(
+                "VTOT",
+                velocity_magnitude(0, 3),
+                1e-1,
+                ranges[i],
+            )]
+        })
+        .unwrap();
+        store.reset_counters();
+        let tight = run_pipeline(&store, &cfg, |i| {
+            vec![QoiSpec::with_range(
+                "VTOT",
+                velocity_magnitude(0, 3),
+                1e-5,
+                ranges[i],
+            )]
+        })
+        .unwrap();
+        assert!(tight.total_bytes > loose.total_bytes);
+        assert!(tight.transfer_secs > loose.transfer_secs);
+    }
+
+    #[test]
+    fn progressive_beats_baseline_at_tolerable_error() {
+        // the paper's headline: 2.02× at τ = 1e-5 on 2.2M-point blocks. At
+        // test scale, fixed per-plane metadata is a visible fraction, so the
+        // blocks here are bigger than the other tests' and the assertion is
+        // a plain byte/time win (the 2× factor is exercised by the fig9
+        // harness at realistic sizes).
+        let (store, ranges) = build_store_sized(6, Scheme::PmgardHb, 4000);
+        let cfg = PipelineConfig {
+            workers: 4,
+            network: crate::NetworkModel::wan_slow(),
+            ..Default::default()
+        };
+        let result = run_pipeline(&store, &cfg, |i| {
+            vec![QoiSpec::with_range(
+                "VTOT",
+                velocity_magnitude(0, 3),
+                1e-5,
+                ranges[i],
+            )]
+        })
+        .unwrap();
+        assert!(result.all_satisfied());
+        let raw = store.raw_bytes();
+        assert!(
+            result.total_bytes < raw,
+            "progressive {} B !< raw {} B",
+            result.total_bytes,
+            raw
+        );
+        let baseline = baseline_transfer_secs(&store, &cfg, 3);
+        assert!(
+            result.transfer_secs < baseline,
+            "progressive {} s !< baseline {} s",
+            result.transfer_secs,
+            baseline
+        );
+    }
+
+    #[test]
+    fn makespan_reconstruction_sane() {
+        let (store, ranges) = build_store(8, Scheme::PmgardHb);
+        let cfg = PipelineConfig {
+            workers: 2,
+            ..Default::default()
+        };
+        let result = run_pipeline(&store, &cfg, |i| {
+            vec![QoiSpec::with_range(
+                "VTOT",
+                velocity_magnitude(0, 3),
+                1e-3,
+                ranges[i],
+            )]
+        })
+        .unwrap();
+        let sum: f64 = result.blocks.iter().map(|b| b.secs).sum();
+        let max: f64 = result.blocks.iter().map(|b| b.secs).fold(0.0, f64::max);
+        // one worker per block → makespan = slowest block
+        let m96 = result.makespan_secs(96);
+        assert!((m96 - max).abs() < 1e-12);
+        // single worker → makespan = total work
+        let m1 = result.makespan_secs(1);
+        assert!((m1 - sum).abs() < 1e-9);
+        // more workers never slower
+        assert!(result.makespan_secs(4) <= m1 + 1e-12);
+        assert!(result.total_secs_at(96) <= result.total_secs() + 1e-9);
+    }
+
+    #[test]
+    fn pipeline_works_over_pzfp_blocks() {
+        // the representation extension slots into the distributed path too
+        let (store, ranges) = build_store(6, Scheme::Pzfp);
+        let cfg = PipelineConfig {
+            workers: 3,
+            ..Default::default()
+        };
+        let result = run_pipeline(&store, &cfg, |i| {
+            vec![QoiSpec::with_range(
+                "VTOT",
+                velocity_magnitude(0, 3),
+                1e-3,
+                ranges[i],
+            )]
+        })
+        .unwrap();
+        assert!(result.all_satisfied());
+        assert_eq!(result.total_bytes, store.counters().bytes);
+        // still far below moving the raw blocks
+        assert!(result.total_bytes < store.raw_bytes() / 2);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_bytes() {
+        let (store, ranges) = build_store(6, Scheme::Psz3Delta);
+        let run = |workers| {
+            store.reset_counters();
+            let cfg = PipelineConfig {
+                workers,
+                ..Default::default()
+            };
+            run_pipeline(&store, &cfg, |i| {
+                vec![QoiSpec::with_range(
+                    "VTOT",
+                    velocity_magnitude(0, 3),
+                    1e-4,
+                    ranges[i],
+                )]
+            })
+            .unwrap()
+            .total_bytes
+        };
+        assert_eq!(run(1), run(6));
+    }
+}

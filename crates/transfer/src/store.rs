@@ -1,0 +1,131 @@
+//! Remote store: serialized refactored blocks + fetch accounting.
+//!
+//! Models the storage side of Fig. 1: refactored data rests in a (remote)
+//! store; retrievals fetch fragments and the store tallies the bytes and
+//! request counts that the network model will charge for.
+
+use parking_lot::Mutex;
+use pqr_progressive::RefactoredDataset;
+use pqr_util::error::{PqrError, Result};
+
+/// A remote store holding refactored blocks (archive side of Fig. 1).
+pub struct RemoteStore {
+    blocks: Vec<RefactoredDataset>,
+    counters: Mutex<FetchCounters>,
+}
+
+/// Tallied fetch activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchCounters {
+    /// Total bytes handed out.
+    pub bytes: usize,
+    /// Number of fetch requests served.
+    pub requests: usize,
+}
+
+impl RemoteStore {
+    /// Builds a store over refactored blocks.
+    pub fn new(blocks: Vec<RefactoredDataset>) -> Self {
+        Self {
+            blocks,
+            counters: Mutex::new(FetchCounters::default()),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Read-only access to a block's refactored representation.
+    pub fn block(&self, i: usize) -> Result<&RefactoredDataset> {
+        self.blocks
+            .get(i)
+            .ok_or_else(|| PqrError::InvalidRequest(format!("block {i} out of range")))
+    }
+
+    /// Records a fetch of `bytes` (one request). Called by the pipeline when
+    /// a block's retrieval pulls fragments.
+    pub fn record_fetch(&self, bytes: usize) {
+        let mut c = self.counters.lock();
+        c.bytes += bytes;
+        c.requests += 1;
+    }
+
+    /// Current tallies.
+    pub fn counters(&self) -> FetchCounters {
+        *self.counters.lock()
+    }
+
+    /// Resets tallies (between experiment arms).
+    pub fn reset_counters(&self) {
+        *self.counters.lock() = FetchCounters::default();
+    }
+
+    /// Total archived bytes across blocks.
+    pub fn archived_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.total_bytes()).sum()
+    }
+
+    /// Raw (uncompressed) bytes across blocks — the Fig. 9 baseline payload.
+    pub fn raw_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.raw_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqr_progressive::field::Dataset;
+    use pqr_progressive::refactored::Scheme;
+
+    fn store_with_blocks(n: usize) -> RemoteStore {
+        let blocks = (0..n)
+            .map(|b| {
+                let mut ds = Dataset::new(&[128]);
+                ds.add_field(
+                    "f",
+                    (0..128).map(|i| ((i + b * 7) as f64 * 0.1).sin()).collect(),
+                )
+                .unwrap();
+                ds.refactor_with_bounds(Scheme::PmgardHb, &[1e-1]).unwrap()
+            })
+            .collect();
+        RemoteStore::new(blocks)
+    }
+
+    #[test]
+    fn block_access_and_bounds() {
+        let store = store_with_blocks(3);
+        assert_eq!(store.num_blocks(), 3);
+        assert!(store.block(2).is_ok());
+        assert!(store.block(3).is_err());
+    }
+
+    #[test]
+    fn counters_accumulate_thread_safely() {
+        let store = store_with_blocks(1);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = &store;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        store.record_fetch(10);
+                    }
+                });
+            }
+        });
+        let c = store.counters();
+        assert_eq!(c.bytes, 8000);
+        assert_eq!(c.requests, 800);
+        store.reset_counters();
+        assert_eq!(store.counters(), FetchCounters::default());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let store = store_with_blocks(4);
+        assert_eq!(store.raw_bytes(), 4 * 128 * 8);
+        assert!(store.archived_bytes() > 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! MSB-first bit-level I/O.
+//!
+//! Used by the bitplane encoder (`pqr-mgard`) and the Huffman coder. Bits are
+//! packed most-significant-bit first within each byte, which keeps the
+//! encoded planes byte-aligned per plane and makes the streams easy to
+//! inspect in tests.
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Current partial byte (bits already placed at the top).
+    cur: u8,
+    /// Number of valid bits in `cur` (0..8).
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with space reserved for `bits` bits.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bits / 8 + 1),
+            cur: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        self.cur = (self.cur << 1) | u8::from(bit);
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.buf.push(self.cur);
+            self.cur = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends the low `n` bits of `v`, most-significant first. `n <= 64`.
+    #[inline]
+    pub fn put_bits(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.put_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Flushes the partial byte (zero-padded) and returns the byte stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.cur <<= 8 - self.nbits;
+            self.buf.push(self.cur);
+        }
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next bit index (absolute, from the start of `buf`).
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice. Reading past the end yields zeros; use
+    /// [`BitReader::remaining_bits`] to detect truncation where it matters.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Reads one bit; returns `false` past the end of the stream.
+    #[inline]
+    pub fn get_bit(&mut self) -> bool {
+        let byte = self.pos / 8;
+        if byte >= self.buf.len() {
+            self.pos += 1;
+            return false;
+        }
+        let shift = 7 - (self.pos % 8) as u32;
+        self.pos += 1;
+        (self.buf[byte] >> shift) & 1 == 1
+    }
+
+    /// Reads `n` bits MSB-first into the low bits of the result. `n <= 64`.
+    #[inline]
+    pub fn get_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.get_bit());
+        }
+        v
+    }
+
+    /// Number of bits left before the physical end of the buffer.
+    pub fn remaining_bits(&self) -> usize {
+        (self.buf.len() * 8).saturating_sub(self.pos)
+    }
+
+    /// Absolute bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        assert_eq!(w.len_bits(), 9);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit(), b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_multi_bit_values() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0xdead_beef, 32);
+        w.put_bits(1, 1);
+        w.put_bits(u64::MAX, 64);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(4), 0b1011);
+        assert_eq!(r.get_bits(32), 0xdead_beef);
+        assert_eq!(r.get_bits(1), 1);
+        assert_eq!(r.get_bits(64), u64::MAX);
+    }
+
+    #[test]
+    fn reading_past_end_returns_zeros() {
+        let bytes = BitWriter::new().finish();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert!(!r.get_bit());
+        assert_eq!(r.get_bits(16), 0);
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xff, 0);
+        assert_eq!(w.len_bits(), 0);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn position_tracks_reads() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xabcd, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.get_bits(5);
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining_bits(), 11);
+    }
+}

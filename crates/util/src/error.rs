@@ -1,0 +1,66 @@
+//! Shared error type for the PQR workspace.
+
+use std::fmt;
+
+/// Errors surfaced by PQR components.
+///
+/// The library is deliberately conservative: any malformed stream, impossible
+/// request, or violated precondition is reported as an error instead of a
+/// panic so that retrieval pipelines embedded in services degrade gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PqrError {
+    /// A serialized segment/stream was truncated or corrupt.
+    CorruptStream(String),
+    /// A request that can never be satisfied (e.g. negative tolerance).
+    InvalidRequest(String),
+    /// A precondition of an error-bound theorem was violated and cannot be
+    /// recovered by further refinement (e.g. division by an exactly-zero
+    /// field value outside the outlier mask).
+    UnboundableQoi(String),
+    /// Mismatched shapes between fields, masks or QoI variable counts.
+    ShapeMismatch(String),
+    /// Feature not supported by the chosen progressive representation.
+    Unsupported(String),
+}
+
+impl fmt::Display for PqrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PqrError::CorruptStream(m) => write!(f, "corrupt stream: {m}"),
+            PqrError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            PqrError::UnboundableQoi(m) => write!(f, "unboundable QoI: {m}"),
+            PqrError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            PqrError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PqrError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, PqrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_all_variants() {
+        let cases = [
+            (PqrError::CorruptStream("x".into()), "corrupt stream: x"),
+            (PqrError::InvalidRequest("y".into()), "invalid request: y"),
+            (PqrError::UnboundableQoi("z".into()), "unboundable QoI: z"),
+            (PqrError::ShapeMismatch("s".into()), "shape mismatch: s"),
+            (PqrError::Unsupported("u".into()), "unsupported: u"),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PqrError>();
+    }
+}

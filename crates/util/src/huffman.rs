@@ -1,0 +1,410 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! This is the entropy stage of the SZ3 stand-in (`pqr-sz`): quantization
+//! codes are Huffman-coded exactly as in SZ/SZ3. The implementation is
+//! canonical-code based so only the code lengths need to be serialized.
+//!
+//! Code lengths are capped at [`MAX_CODE_LEN`] by flattening the tree with
+//! the classic depth-limited reassignment; for the symbol distributions the
+//! quantizer produces (sharply peaked around the zero code) this never costs
+//! measurable rate.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::byteio::{ByteReader, ByteWriter};
+use crate::error::{PqrError, Result};
+use std::collections::BinaryHeap;
+
+/// Maximum admitted code length (bits). 32 keeps decode tables small and
+/// lets codes fit in a `u32`.
+pub const MAX_CODE_LEN: u32 = 32;
+
+/// A built Huffman code book: per-symbol code length and canonical code.
+#[derive(Debug, Clone)]
+pub struct CodeBook {
+    /// Code length per symbol (0 = symbol absent).
+    pub lengths: Vec<u32>,
+    /// Canonical code per symbol, MSB-aligned within `lengths[i]` bits.
+    pub codes: Vec<u32>,
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapNode {
+    weight: u64,
+    idx: usize,
+}
+
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for min-heap behaviour. Tie-break
+        // on index for determinism.
+        other
+            .weight
+            .cmp(&self.weight)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes code lengths with a Huffman tree over symbol frequencies.
+fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let n = freqs.len();
+    let present: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u32; n];
+    match present.len() {
+        0 => return lengths,
+        1 => {
+            lengths[present[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Internal tree: nodes 0..m are leaves (present symbols), then internals.
+    let m = present.len();
+    let mut weight = Vec::with_capacity(2 * m);
+    let mut parent = vec![usize::MAX; 2 * m];
+    let mut heap = BinaryHeap::with_capacity(m);
+    for (leaf, &sym) in present.iter().enumerate() {
+        weight.push(freqs[sym]);
+        heap.push(HeapNode {
+            weight: freqs[sym],
+            idx: leaf,
+        });
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        let node = weight.len();
+        weight.push(a.weight + b.weight);
+        parent[a.idx] = node;
+        parent[b.idx] = node;
+        heap.push(HeapNode {
+            weight: a.weight + b.weight,
+            idx: node,
+        });
+    }
+
+    // Depth of each leaf = chain length to the root.
+    for (leaf, &sym) in present.iter().enumerate() {
+        let mut d = 0u32;
+        let mut cur = leaf;
+        while parent[cur] != usize::MAX {
+            cur = parent[cur];
+            d += 1;
+        }
+        lengths[sym] = d;
+    }
+
+    limit_lengths(&mut lengths, MAX_CODE_LEN);
+    lengths
+}
+
+/// Enforces a maximum code length while keeping the Kraft sum ≤ 1.
+fn limit_lengths(lengths: &mut [u32], max_len: u32) {
+    if lengths.iter().all(|&l| l <= max_len) {
+        return;
+    }
+    // Clamp, then repair the Kraft inequality by deepening the shallowest
+    // repairable codes (standard length-limited fixup).
+    let mut kraft: f64 = 0.0;
+    for l in lengths.iter_mut() {
+        if *l > max_len {
+            *l = max_len;
+        }
+        if *l > 0 {
+            kraft += (0.5f64).powi(*l as i32);
+        }
+    }
+    while kraft > 1.0 + 1e-12 {
+        // Find the longest code shorter than max_len and lengthen it.
+        let mut best: Option<usize> = None;
+        for (i, &l) in lengths.iter().enumerate() {
+            if l > 0 && l < max_len {
+                let better = match best {
+                    None => true,
+                    Some(b) => lengths[b] < l,
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        let Some(i) = best else { break };
+        kraft -= (0.5f64).powi(lengths[i] as i32);
+        lengths[i] += 1;
+        kraft += (0.5f64).powi(lengths[i] as i32);
+    }
+}
+
+/// Assigns canonical codes from lengths: symbols sorted by (length, symbol).
+fn canonical_codes(lengths: &[u32]) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    order.sort_by_key(|&i| (lengths[i], i));
+    let mut codes = vec![0u32; lengths.len()];
+    let mut code = 0u32;
+    let mut prev_len = 0u32;
+    for &sym in &order {
+        let len = lengths[sym];
+        code <<= len - prev_len;
+        codes[sym] = code;
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+impl CodeBook {
+    /// Builds a canonical code book from symbol frequencies.
+    pub fn from_freqs(freqs: &[u64]) -> Self {
+        let lengths = code_lengths(freqs);
+        let codes = canonical_codes(&lengths);
+        Self { lengths, codes }
+    }
+
+    /// Rebuilds the code book from serialized lengths.
+    pub fn from_lengths(lengths: Vec<u32>) -> Self {
+        let codes = canonical_codes(&lengths);
+        Self { lengths, codes }
+    }
+}
+
+/// Encodes `symbols` (values `< alphabet`) into a self-describing byte blob.
+///
+/// Layout: `alphabet:u32`, `count:u64`, run-length-coded lengths, padded
+/// bitstream. Returns an error if any symbol is out of range.
+pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>> {
+    let mut freqs = vec![0u64; alphabet as usize];
+    for &s in symbols {
+        let i = s as usize;
+        if i >= freqs.len() {
+            return Err(PqrError::InvalidRequest(format!(
+                "symbol {s} out of alphabet {alphabet}"
+            )));
+        }
+        freqs[i] += 1;
+    }
+    let book = CodeBook::from_freqs(&freqs);
+
+    let mut w = ByteWriter::new();
+    w.put_u32(alphabet);
+    w.put_u64(symbols.len() as u64);
+
+    // Serialize lengths with a tiny run-length scheme: (len:u8, run:u32)*.
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for &l in &book.lengths {
+        match runs.last_mut() {
+            Some((ll, r)) if *ll == l && *r < u32::MAX => *r += 1,
+            _ => runs.push((l, 1)),
+        }
+    }
+    w.put_u32(runs.len() as u32);
+    for (l, r) in &runs {
+        w.put_u8(*l as u8);
+        w.put_u32(*r);
+    }
+
+    let mut bits = BitWriter::with_capacity_bits(symbols.len() * 4);
+    for &s in symbols {
+        let len = book.lengths[s as usize];
+        debug_assert!(len > 0, "encoding absent symbol");
+        bits.put_bits(u64::from(book.codes[s as usize]), len);
+    }
+    w.put_bytes(&bits.finish());
+    Ok(w.finish())
+}
+
+/// Largest alphabet [`decode`] will accept. Quantizer alphabets in this
+/// workspace are `2·radius` (≤ ~2²⁰); a larger claim in a stream header is
+/// corruption, and rejecting it keeps hostile headers from forcing
+/// multi-gigabyte length-table allocations.
+pub const MAX_ALPHABET: usize = 1 << 24;
+
+/// Decodes a blob produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
+    let mut r = ByteReader::new(bytes);
+    let alphabet = r.get_u32()? as usize;
+    let count = r.get_u64()? as usize;
+    let nruns = r.get_u32()? as usize;
+    if alphabet > MAX_ALPHABET {
+        return Err(PqrError::CorruptStream(format!(
+            "claimed alphabet {alphabet} exceeds limit"
+        )));
+    }
+    let mut lengths = Vec::with_capacity(alphabet.min(1 << 16));
+    for _ in 0..nruns {
+        let l = u32::from(r.get_u8()?);
+        let run = r.get_u32()? as usize;
+        if l > MAX_CODE_LEN {
+            return Err(PqrError::CorruptStream(format!("code length {l}")));
+        }
+        if run > alphabet - lengths.len() {
+            return Err(PqrError::CorruptStream(
+                "length table exceeds alphabet".into(),
+            ));
+        }
+        lengths.resize(lengths.len() + run, l);
+    }
+    if lengths.len() != alphabet {
+        return Err(PqrError::CorruptStream(format!(
+            "length table covers {} of {alphabet} symbols",
+            lengths.len()
+        )));
+    }
+    let book = CodeBook::from_lengths(lengths);
+    let payload = r.get_bytes()?;
+
+    // Canonical decoding via first-code tables per length.
+    let max_len = book.lengths.iter().copied().max().unwrap_or(0);
+    if max_len == 0 {
+        return if count == 0 {
+            Ok(Vec::new())
+        } else {
+            Err(PqrError::CorruptStream("no codes but nonzero count".into()))
+        };
+    }
+    // symbols sorted by (length, symbol); first_code/first_index per length.
+    let mut order: Vec<usize> = (0..book.lengths.len())
+        .filter(|&i| book.lengths[i] > 0)
+        .collect();
+    order.sort_by_key(|&i| (book.lengths[i], i));
+    let mut first_code = vec![0u64; (max_len + 2) as usize];
+    let mut first_idx = vec![0usize; (max_len + 2) as usize];
+    {
+        let mut code = 0u64;
+        let mut i = 0usize;
+        for len in 1..=max_len {
+            code <<= 1;
+            first_code[len as usize] = code;
+            first_idx[len as usize] = i;
+            while i < order.len() && book.lengths[order[i]] == len {
+                code += 1;
+                i += 1;
+            }
+        }
+    }
+    // count of codes at each length, for bounds checks
+    let mut count_at = vec![0usize; (max_len + 2) as usize];
+    for &s in &order {
+        count_at[book.lengths[s] as usize] += 1;
+    }
+
+    // Every symbol consumes at least one payload bit, so a count beyond the
+    // payload's bit length can only come from a corrupt header.
+    if count > payload.len().saturating_mul(8) {
+        return Err(PqrError::CorruptStream(format!(
+            "claimed symbol count {count} exceeds payload"
+        )));
+    }
+    let mut bits = BitReader::new(payload);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut code = 0u64;
+        let mut len = 0u32;
+        loop {
+            if bits.remaining_bits() == 0 && len > 0 {
+                return Err(PqrError::CorruptStream("huffman payload truncated".into()));
+            }
+            code = (code << 1) | u64::from(bits.get_bit());
+            len += 1;
+            if len > max_len {
+                return Err(PqrError::CorruptStream("invalid huffman code".into()));
+            }
+            let fc = first_code[len as usize];
+            let cnt = count_at[len as usize];
+            if cnt > 0 && code >= fc && code < fc + cnt as u64 {
+                let idx = first_idx[len as usize] + (code - fc) as usize;
+                out.push(order[idx] as u32);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let syms = vec![0u32, 1, 1, 2, 2, 2, 2, 3];
+        let blob = encode(&syms, 4).unwrap();
+        assert_eq!(decode(&blob).unwrap(), syms);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol_stream() {
+        let syms = vec![5u32; 1000];
+        let blob = encode(&syms, 8).unwrap();
+        assert_eq!(decode(&blob).unwrap(), syms);
+        // Single-symbol stream costs ~1 bit/symbol + header.
+        assert!(blob.len() < 1000 / 8 + 64);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let blob = encode(&[], 16).unwrap();
+        assert!(decode(&blob).unwrap().is_empty());
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 95% zeros — entropy ≈ 0.29 bits/symbol.
+        let mut syms = vec![0u32; 9500];
+        syms.extend(std::iter::repeat_n(1u32, 300));
+        syms.extend(std::iter::repeat_n(2u32, 200));
+        let blob = encode(&syms, 65536).unwrap();
+        assert_eq!(decode(&blob).unwrap(), syms);
+        assert!(blob.len() < 10_000 / 4, "blob {} too large", blob.len());
+    }
+
+    #[test]
+    fn out_of_range_symbol_rejected() {
+        assert!(encode(&[4], 4).is_err());
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let syms: Vec<u32> = (0..64).map(|i| i % 7).collect();
+        let blob = encode(&syms, 7).unwrap();
+        let truncated = &blob[..blob.len() - 2];
+        assert!(decode(truncated).is_err());
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs = vec![10, 3, 0, 7, 1, 1, 25, 0, 2];
+        let book = CodeBook::from_freqs(&freqs);
+        let present: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+        for &a in &present {
+            for &b in &present {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (book.lengths[a], book.lengths[b]);
+                if la <= lb {
+                    let prefix = book.codes[b] >> (lb - la);
+                    assert_ne!(prefix, book.codes[a], "code {a} is prefix of {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (1..200u64).collect();
+        let book = CodeBook::from_freqs(&freqs);
+        let kraft: f64 = book
+            .lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| (0.5f64).powi(l as i32))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Chunked parallel map/reduce on scoped threads.
+//!
+//! The retrieval engine scans every data point for every QoI each iteration
+//! (Algorithm 2, lines 14–24); these helpers parallelise such embarrassingly
+//! parallel scans without pulling in rayon (not on the approved dependency
+//! list). Work is split into contiguous chunks, one logical chunk per worker,
+//! so per-point state stays cache-friendly. `std::thread::scope` guarantees
+//! workers only borrow — no `Arc`, no data races (if it compiles, it's safe).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use: `PQR_THREADS` env override, else the
+/// available parallelism, else 1.
+pub fn worker_count() -> usize {
+    if let Ok(s) = std::env::var("PQR_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Minimum element count below which parallel dispatch is not worth the
+/// thread spawn cost for pointwise scans.
+const PAR_THRESHOLD: usize = 4096;
+
+/// Applies `f` to each index chunk `[start, end)` of `0..len` in parallel and
+/// reduces the per-chunk results with `reduce`.
+pub fn par_chunk_reduce<R, F, G>(len: usize, identity: R, f: F, reduce: G) -> R
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+    G: Fn(R, R) -> R,
+{
+    let workers = worker_count().min(len.max(1));
+    if workers <= 1 || len < PAR_THRESHOLD {
+        return reduce(identity, f(0, len));
+    }
+    let chunk = len.div_ceil(workers);
+    let mut results: Vec<R> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            handles.push(s.spawn(move || f(start, end)));
+        }
+        for h in handles {
+            results.push(h.join().expect("pqr worker panicked"));
+        }
+    });
+    let mut acc = identity;
+    for r in results {
+        acc = reduce(acc, r);
+    }
+    acc
+}
+
+/// Fills `out[i] = f(i)` in parallel over contiguous chunks.
+pub fn par_map_into<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let len = out.len();
+    let workers = worker_count().min(len.max(1));
+    if workers <= 1 || len < PAR_THRESHOLD {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut base = 0usize;
+        let f = &f;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let start = base;
+            s.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = f(start + off);
+                }
+            });
+            rest = tail;
+            base += take;
+        }
+    });
+}
+
+/// A dynamic index dispenser for irregular per-item costs (used by the
+/// 96-block transfer pipeline where block sizes vary).
+pub struct IndexDispenser {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl IndexDispenser {
+    /// Dispenser over `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            len,
+        }
+    }
+
+    /// Next unclaimed index, or `None` when exhausted.
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.len).then_some(i)
+    }
+}
+
+/// Runs `work(i)` for every `i` in `0..len` on `workers` threads with dynamic
+/// load balancing; results come back indexed by `i`.
+pub fn par_dynamic<T, F>(len: usize, workers: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(len.max(1));
+    if workers <= 1 {
+        return (0..len).map(&work).collect();
+    }
+    let dispenser = IndexDispenser::new(len);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let dispenser = &dispenser;
+            let collected = &collected;
+            let work = &work;
+            s.spawn(move || {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                while let Some(i) = dispenser.claim() {
+                    local.push((i, work(i)));
+                }
+                collected
+                    .lock()
+                    .expect("collector poisoned")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("collector poisoned");
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), len);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_reduce_sums_correctly() {
+        let data: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+        let total = par_chunk_reduce(
+            data.len(),
+            0.0f64,
+            |s, e| data[s..e].iter().sum::<f64>(),
+            |a, b| a + b,
+        );
+        let expect: f64 = data.iter().sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn chunk_reduce_small_input_sequential_path() {
+        let v = par_chunk_reduce(10, 0usize, |s, e| e - s, |a, b| a + b);
+        assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn chunk_reduce_max() {
+        let data: Vec<f64> = (0..50_000).map(|i| ((i * 37) % 1000) as f64).collect();
+        let m = par_chunk_reduce(
+            data.len(),
+            f64::NEG_INFINITY,
+            |s, e| data[s..e].iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            f64::max,
+        );
+        assert_eq!(m, 999.0);
+    }
+
+    #[test]
+    fn map_into_matches_sequential() {
+        let mut par = vec![0u64; 100_000];
+        par_map_into(&mut par, |i| (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        for (i, &v) in par.iter().enumerate() {
+            assert_eq!(v, (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        }
+    }
+
+    #[test]
+    fn dispenser_claims_each_index_once() {
+        let d = IndexDispenser::new(1000);
+        let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let d = &d;
+                let counts = &counts;
+                s.spawn(move || {
+                    while let Some(i) = d.claim() {
+                        counts[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_dynamic_preserves_order() {
+        let out = par_dynamic(500, 8, |i| i * i);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_dynamic_zero_len() {
+        let out: Vec<usize> = par_dynamic(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_dynamic_single_worker_matches() {
+        let a = par_dynamic(100, 1, |i| i + 1);
+        let b = par_dynamic(100, 7, |i| i + 1);
+        assert_eq!(a, b);
+    }
+}

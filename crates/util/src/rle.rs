@@ -1,0 +1,369 @@
+//! Zero-run run-length coding.
+//!
+//! Two codecs live here:
+//!
+//! * [`encode_bytes`]/[`decode_bytes`] — a byte-oriented zero-run codec used
+//!   as the lossless backend of the SZ3 stand-in (standing in for zstd: the
+//!   Huffman stage already removed entropy, long zero runs are what's left).
+//! * [`encode_bits`]/[`decode_bits`] — a bit-oriented Elias-gamma run codec
+//!   used on bitplanes, where high planes of smooth-field coefficients are
+//!   overwhelmingly zero.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::byteio::{ByteReader, ByteWriter};
+use crate::error::{PqrError, Result};
+
+/// Run trigger: after this many identical literal bytes, a varint with the
+/// remaining run length follows. Classic "packed RLE" — no escape byte, so
+/// any byte value (0x00 and 0xFF runs from Huffman streams alike) collapses.
+const RUN_TRIGGER: usize = 3;
+
+/// Compresses runs of any repeated byte: a run of `b × N` (N ≥ 3) is coded
+/// as `b b b varint(N−3)`. Shorter repeats pass through verbatim.
+pub fn encode_bytes(input: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(input.len() / 2 + 16);
+    w.put_u64(input.len() as u64);
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        let mut run = 1usize;
+        while i + run < input.len() && input[i + run] == b {
+            run += 1;
+        }
+        if run >= RUN_TRIGGER {
+            for _ in 0..RUN_TRIGGER {
+                w.put_u8(b);
+            }
+            put_varint(&mut w, (run - RUN_TRIGGER) as u64);
+        } else {
+            for _ in 0..run {
+                w.put_u8(b);
+            }
+        }
+        i += run;
+    }
+    w.finish()
+}
+
+/// Largest decoded size [`decode_bytes`] will accept from a stream's length
+/// header. Every blob in this workspace is a per-variable entropy stream and
+/// stays far below this; a larger claim is treated as corruption so hostile
+/// headers cannot trigger exabyte allocations.
+pub const MAX_DECODED_BYTES: usize = 1 << 31;
+
+/// Decompresses a blob from [`encode_bytes`].
+pub fn decode_bytes(input: &[u8]) -> Result<Vec<u8>> {
+    let mut r = ByteReader::new(input);
+    let n = r.get_u64()? as usize;
+    if n > MAX_DECODED_BYTES {
+        return Err(PqrError::CorruptStream(format!(
+            "claimed decoded size {n} exceeds limit"
+        )));
+    }
+    // Capacity hint only: bounded by the input size so a corrupt header that
+    // passes the limit check still cannot force a large pre-allocation.
+    let mut out = Vec::with_capacity(n.min(r.remaining().saturating_mul(4) + 64));
+    let mut repeat = 0usize; // consecutive identical bytes seen so far
+    let mut last: u16 = 256; // impossible byte value
+    while out.len() < n {
+        let b = r.get_u8()?;
+        out.push(b);
+        if u16::from(b) == last {
+            repeat += 1;
+        } else {
+            last = u16::from(b);
+            repeat = 1;
+        }
+        if repeat == RUN_TRIGGER {
+            let extra = get_varint(&mut r)? as usize;
+            if extra > n - out.len() {
+                return Err(PqrError::CorruptStream("byte run overflows output".into()));
+            }
+            out.try_reserve(extra).map_err(|_| {
+                PqrError::CorruptStream(format!("cannot allocate run of {extra} bytes"))
+            })?;
+            out.resize(out.len() + extra, b);
+            repeat = 0;
+            last = 256;
+        }
+    }
+    Ok(out)
+}
+
+fn put_varint(w: &mut ByteWriter, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.put_u8(b);
+            break;
+        }
+        w.put_u8(b | 0x80);
+    }
+}
+
+fn get_varint(r: &mut ByteReader<'_>) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = r.get_u8()?;
+        if shift >= 64 {
+            return Err(PqrError::CorruptStream("varint too long".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a bit vector as alternating zero/one run lengths in Elias-gamma.
+///
+/// The stream starts with the first bit value, then gamma-coded run lengths.
+/// Ideal for sparse bitplanes (mostly-zero planes shrink dramatically); for
+/// dense planes the caller should fall back to raw packing — see
+/// [`encode_bits_auto`].
+pub fn encode_bits(bits: &[bool]) -> Vec<u8> {
+    let mut w = BitWriter::with_capacity_bits(bits.len() / 4 + 64);
+    if bits.is_empty() {
+        return w.finish();
+    }
+    w.put_bit(bits[0]);
+    let mut run_val = bits[0];
+    let mut run_len = 0u64;
+    for &b in bits {
+        if b == run_val {
+            run_len += 1;
+        } else {
+            put_gamma(&mut w, run_len);
+            run_val = b;
+            run_len = 1;
+        }
+    }
+    put_gamma(&mut w, run_len);
+    w.finish()
+}
+
+/// Decodes `n` bits from an [`encode_bits`] stream.
+pub fn decode_bits(bytes: &[u8], n: usize) -> Result<Vec<bool>> {
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return Ok(out);
+    }
+    let mut r = BitReader::new(bytes);
+    let mut val = r.get_bit();
+    while out.len() < n {
+        if r.remaining_bits() == 0 {
+            return Err(PqrError::CorruptStream("bit-run stream truncated".into()));
+        }
+        let run = get_gamma(&mut r)? as usize;
+        if run == 0 || out.len() + run > n {
+            return Err(PqrError::CorruptStream("bad bit-run length".into()));
+        }
+        out.resize(out.len() + run, val);
+        val = !val;
+    }
+    Ok(out)
+}
+
+/// Mode byte for [`encode_bits_auto`]: raw bit packing.
+const MODE_RAW: u8 = 0;
+/// Mode byte for [`encode_bits_auto`]: gamma run-length coding.
+const MODE_RLE: u8 = 1;
+
+/// Exact size in bits of the gamma code for `v ≥ 1`.
+#[inline]
+fn gamma_bits(v: u64) -> u64 {
+    let n = u64::from(64 - v.leading_zeros());
+    2 * n - 1
+}
+
+/// Encodes bits with whichever of {raw packing, run-length} is smaller.
+/// The first byte is the mode tag. The run-length size is computed exactly
+/// with a cheap counting pass first, so dense planes never pay for a gamma
+/// encoding that would be thrown away (bitplane encoding is the refactor
+/// hot path).
+pub fn encode_bits_auto(bits: &[bool]) -> Vec<u8> {
+    let raw_len = bits.len().div_ceil(8);
+    let rle_smaller = if bits.is_empty() {
+        false
+    } else {
+        // exact RLE size: 1 bit for the initial value + Σ gamma(run)
+        let mut rle_bits = 1u64;
+        let mut run_val = bits[0];
+        let mut run_len = 0u64;
+        for &b in bits {
+            if b == run_val {
+                run_len += 1;
+            } else {
+                rle_bits += gamma_bits(run_len);
+                run_val = b;
+                run_len = 1;
+            }
+            if rle_bits > 8 * raw_len as u64 {
+                break; // already worse than raw
+            }
+        }
+        rle_bits += gamma_bits(run_len.max(1));
+        rle_bits.div_ceil(8) < raw_len as u64
+    };
+    if rle_smaller {
+        let rle = encode_bits(bits);
+        let mut out = Vec::with_capacity(rle.len() + 1);
+        out.push(MODE_RLE);
+        out.extend_from_slice(&rle);
+        out
+    } else {
+        let mut w = BitWriter::with_capacity_bits(bits.len());
+        for &b in bits {
+            w.put_bit(b);
+        }
+        let mut out = Vec::with_capacity(raw_len + 1);
+        out.push(MODE_RAW);
+        out.extend_from_slice(&w.finish());
+        out
+    }
+}
+
+/// Decodes `n` bits from an [`encode_bits_auto`] stream.
+pub fn decode_bits_auto(bytes: &[u8], n: usize) -> Result<Vec<bool>> {
+    if bytes.is_empty() {
+        return if n == 0 {
+            Ok(Vec::new())
+        } else {
+            Err(PqrError::CorruptStream("empty auto-bit stream".into()))
+        };
+    }
+    match bytes[0] {
+        MODE_RLE => decode_bits(&bytes[1..], n),
+        MODE_RAW => {
+            if (bytes.len() - 1) * 8 < n {
+                return Err(PqrError::CorruptStream("raw bit stream truncated".into()));
+            }
+            let mut r = BitReader::new(&bytes[1..]);
+            Ok((0..n).map(|_| r.get_bit()).collect())
+        }
+        m => Err(PqrError::CorruptStream(format!("unknown bit mode {m}"))),
+    }
+}
+
+fn put_gamma(w: &mut BitWriter, v: u64) {
+    debug_assert!(v >= 1);
+    let nbits = 64 - v.leading_zeros();
+    for _ in 0..nbits - 1 {
+        w.put_bit(false);
+    }
+    w.put_bits(v, nbits);
+}
+
+fn get_gamma(r: &mut BitReader<'_>) -> Result<u64> {
+    let mut zeros = 0u32;
+    while !r.get_bit() {
+        zeros += 1;
+        if zeros > 64 {
+            return Err(PqrError::CorruptStream("gamma code too long".into()));
+        }
+        if r.remaining_bits() == 0 {
+            return Err(PqrError::CorruptStream("gamma code truncated".into()));
+        }
+    }
+    let rest = r.get_bits(zeros);
+    Ok((1u64 << zeros) | rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip_mixed() {
+        let mut data = vec![1u8, 2, 3];
+        data.extend(vec![0u8; 1000]);
+        data.extend(vec![9u8, 0, 0, 7]);
+        let enc = encode_bytes(&data);
+        assert!(enc.len() < data.len() / 4);
+        assert_eq!(decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_roundtrip_ff_runs() {
+        // all-ones Huffman bitstreams produce 0xFF runs — must collapse too
+        let data = vec![0xffu8; 10_000];
+        let enc = encode_bytes(&data);
+        assert!(enc.len() < 32, "enc len {}", enc.len());
+        assert_eq!(decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_roundtrip_no_zeros() {
+        let data: Vec<u8> = (1..=255).cycle().take(4096).collect();
+        let enc = encode_bytes(&data);
+        assert_eq!(decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_roundtrip_runs_at_trigger_boundaries() {
+        for run in 1..=10usize {
+            let mut data = vec![7u8; run];
+            data.push(8);
+            data.extend(vec![9u8; run]);
+            let enc = encode_bytes(&data);
+            assert_eq!(decode_bytes(&enc).unwrap(), data, "run={run}");
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_empty() {
+        let enc = encode_bytes(&[]);
+        assert!(decode_bytes(&enc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bit_roundtrip_sparse() {
+        let mut bits = vec![false; 10_000];
+        for i in (0..10_000).step_by(997) {
+            bits[i] = true;
+        }
+        let enc = encode_bits(&bits);
+        assert!(enc.len() < 10_000 / 8 / 4, "enc len {}", enc.len());
+        assert_eq!(decode_bits(&enc, bits.len()).unwrap(), bits);
+    }
+
+    #[test]
+    fn bit_roundtrip_dense_via_auto() {
+        let bits: Vec<bool> = (0..4096).map(|i| i % 2 == 0).collect();
+        let enc = encode_bits_auto(&bits);
+        // Alternating bits defeat RLE; auto must pick raw (≤ n/8 + 1 + slack).
+        assert!(enc.len() <= 4096 / 8 + 2);
+        assert_eq!(decode_bits_auto(&enc, bits.len()).unwrap(), bits);
+    }
+
+    #[test]
+    fn bit_roundtrip_all_ones() {
+        let bits = vec![true; 777];
+        let enc = encode_bits_auto(&bits);
+        assert!(enc.len() < 16);
+        assert_eq!(decode_bits_auto(&enc, 777).unwrap(), bits);
+    }
+
+    #[test]
+    fn truncated_bit_stream_is_error() {
+        let bits = vec![true; 100];
+        let enc = encode_bits(&bits);
+        assert!(decode_bits(&enc, 200).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        let mut w = ByteWriter::new();
+        for v in [0u64, 1, 127, 128, 16_383, u64::MAX] {
+            put_varint(&mut w, v);
+        }
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        for v in [0u64, 1, 127, 128, 16_383, u64::MAX] {
+            assert_eq!(get_varint(&mut r).unwrap(), v);
+        }
+    }
+}

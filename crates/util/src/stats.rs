@@ -1,0 +1,151 @@
+//! Error metrics, value ranges, and bitrate accounting.
+//!
+//! These implement the paper's quality-assessment conventions (§III-C):
+//! distortion is the maximal absolute error divided by the value range
+//! ("relative L∞ error"), and bitrate is retrieved bytes × 8 / element count.
+
+/// Maximum absolute pointwise difference between two equal-length slices.
+///
+/// Panics if the slices differ in length (that is a programming error, not a
+/// data error).
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// `(min, max)` of a slice; `(0, 0)` for an empty slice.
+pub fn min_max(data: &[f64]) -> (f64, f64) {
+    if data.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in data {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    (lo, hi)
+}
+
+/// Value range `max − min`; 0 for constant or empty data.
+pub fn value_range(data: &[f64]) -> f64 {
+    let (lo, hi) = min_max(data);
+    hi - lo
+}
+
+/// Relative L∞ error: `max |aᵢ−bᵢ| / range(a)`. If the reference range is 0
+/// the absolute error is returned (matches how the paper's tools degrade).
+pub fn rel_linf(reference: &[f64], approx: &[f64]) -> f64 {
+    let e = max_abs_diff(reference, approx);
+    let r = value_range(reference);
+    if r > 0.0 {
+        e / r
+    } else {
+        e
+    }
+}
+
+/// Root-mean-square error.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (s / a.len() as f64).sqrt()
+}
+
+/// Peak signal-to-noise ratio in dB, using the reference value range as peak.
+pub fn psnr(reference: &[f64], approx: &[f64]) -> f64 {
+    let r = value_range(reference);
+    let e = rmse(reference, approx);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * (r / e).log10()
+}
+
+/// Bitrate in bits per element for `bytes` retrieved over `elements` points.
+pub fn bitrate(bytes: usize, elements: usize) -> f64 {
+    if elements == 0 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / elements as f64
+}
+
+/// Compression ratio relative to `f64` storage.
+pub fn compression_ratio_f64(bytes: usize, elements: usize) -> f64 {
+    if bytes == 0 {
+        return f64::INFINITY;
+    }
+    (elements * 8) as f64 / bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0, 3.0], &[1.5, 2.0, 1.0]), 2.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn min_max_and_range() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), (-1.0, 3.0));
+        assert_eq!(value_range(&[3.0, -1.0, 2.0]), 4.0);
+        assert_eq!(value_range(&[5.0; 10]), 0.0);
+        assert_eq!(value_range(&[]), 0.0);
+    }
+
+    #[test]
+    fn rel_linf_normalises_by_range() {
+        let reference = [0.0, 10.0];
+        let approx = [1.0, 10.0];
+        assert!((rel_linf(&reference, &approx) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rel_linf_constant_reference_falls_back_to_absolute() {
+        let reference = [2.0, 2.0];
+        let approx = [2.5, 2.0];
+        assert_eq!(rel_linf(&reference, &approx), 0.5);
+    }
+
+    #[test]
+    fn psnr_of_exact_reconstruction_is_infinite() {
+        let x = [1.0, 2.0, 3.0];
+        assert!(psnr(&x, &x).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let reference: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let small: Vec<f64> = reference.iter().map(|x| x + 0.01).collect();
+        let large: Vec<f64> = reference.iter().map(|x| x + 1.0).collect();
+        assert!(psnr(&reference, &small) > psnr(&reference, &large));
+    }
+
+    #[test]
+    fn bitrate_and_ratio() {
+        assert_eq!(bitrate(100, 100), 8.0);
+        assert_eq!(bitrate(0, 0), 0.0);
+        assert_eq!(compression_ratio_f64(80, 100), 10.0);
+        assert!(compression_ratio_f64(0, 100).is_infinite());
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((rmse(&a, &b) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+}

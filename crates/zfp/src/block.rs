@@ -1,0 +1,208 @@
+//! Partitioning of 1/2/3-D arrays into 4^d blocks.
+//!
+//! Like ZFP, the codec operates on fixed 4×…×4 blocks so that the
+//! decorrelating transform and the bitplane coder see a bounded, cache-sized
+//! working set. Arrays whose dimensions are not multiples of 4 are padded by
+//! replicating the last valid sample along each axis (clamp-to-edge), which
+//! keeps padded lanes as smooth as the data and therefore cheap to code; the
+//! scatter pass simply skips them on reconstruction.
+
+/// Block side length along every axis.
+pub const SIDE: usize = 4;
+
+/// Geometry of the block grid covering an array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockGrid {
+    /// Array shape (1–3 dims).
+    pub dims: Vec<usize>,
+    /// Number of blocks along each axis (`ceil(dim / 4)`).
+    pub blocks: Vec<usize>,
+}
+
+impl BlockGrid {
+    /// Builds the grid for an array shape.
+    ///
+    /// # Panics
+    /// If `dims` is empty or longer than 3 (the workspace supports 1–3-D
+    /// Cartesian grids, like the rest of the PQR substrates).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= 3,
+            "block grids support 1-3 dims, got {dims:?}"
+        );
+        Self {
+            dims: dims.to_vec(),
+            blocks: dims.iter().map(|&d| d.div_ceil(SIDE)).collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.iter().product()
+    }
+
+    /// Samples per block (`4^ndims`).
+    pub fn block_len(&self) -> usize {
+        SIDE.pow(self.ndims() as u32)
+    }
+
+    /// Number of array elements.
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides of the array.
+    fn strides(&self) -> [usize; 3] {
+        let mut s = [0usize; 3];
+        let nd = self.ndims();
+        let mut acc = 1usize;
+        for a in (0..nd).rev() {
+            s[a] = acc;
+            acc *= self.dims[a];
+        }
+        s
+    }
+
+    /// Block coordinates of block index `b` (row-major over `self.blocks`).
+    fn block_coord(&self, b: usize) -> [usize; 3] {
+        let nd = self.ndims();
+        let mut c = [0usize; 3];
+        let mut rem = b;
+        for a in (0..nd).rev() {
+            c[a] = rem % self.blocks[a];
+            rem /= self.blocks[a];
+        }
+        c
+    }
+
+    /// Copies block `b` out of `data` into `out` (length [`block_len`]),
+    /// replicating edge samples into padded lanes.
+    ///
+    /// [`block_len`]: BlockGrid::block_len
+    pub fn gather(&self, data: &[f64], b: usize, out: &mut [f64]) {
+        debug_assert_eq!(data.len(), self.num_elements());
+        debug_assert_eq!(out.len(), self.block_len());
+        let nd = self.ndims();
+        let strides = self.strides();
+        let bc = self.block_coord(b);
+        // local (i,j,k) within the block, row-major over `nd` axes of SIDE
+        for (local, slot) in out.iter_mut().enumerate() {
+            let mut rem = local;
+            let mut idx = 0usize;
+            for a in (0..nd).rev() {
+                let l = rem % SIDE;
+                rem /= SIDE;
+                // clamp-to-edge padding
+                let g = (bc[a] * SIDE + l).min(self.dims[a] - 1);
+                idx += g * strides[a];
+            }
+            *slot = data[idx];
+        }
+    }
+
+    /// Writes block `b` from `vals` back into `data`, skipping padded lanes.
+    pub fn scatter(&self, data: &mut [f64], b: usize, vals: &[f64]) {
+        debug_assert_eq!(data.len(), self.num_elements());
+        debug_assert_eq!(vals.len(), self.block_len());
+        let nd = self.ndims();
+        let strides = self.strides();
+        let bc = self.block_coord(b);
+        for (local, &v) in vals.iter().enumerate() {
+            let mut rem = local;
+            let mut idx = 0usize;
+            let mut padded = false;
+            for a in (0..nd).rev() {
+                let l = rem % SIDE;
+                rem /= SIDE;
+                let g = bc[a] * SIDE + l;
+                if g >= self.dims[a] {
+                    padded = true;
+                    break;
+                }
+                idx += g * strides[a];
+            }
+            if !padded {
+                data[idx] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = BlockGrid::new(&[9]);
+        assert_eq!(g.blocks, vec![3]);
+        assert_eq!(g.block_len(), 4);
+        let g = BlockGrid::new(&[8, 5]);
+        assert_eq!(g.blocks, vec![2, 2]);
+        assert_eq!(g.block_len(), 16);
+        let g = BlockGrid::new(&[4, 4, 4]);
+        assert_eq!(g.num_blocks(), 1);
+        assert_eq!(g.block_len(), 64);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_exact_multiple() {
+        let g = BlockGrid::new(&[8, 4]);
+        let data: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let mut out = vec![0.0; g.num_elements()];
+        let mut blk = vec![0.0; g.block_len()];
+        for b in 0..g.num_blocks() {
+            g.gather(&data, b, &mut blk);
+            g.scatter(&mut out, b, &blk);
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_with_padding() {
+        for dims in [vec![7], vec![5, 6], vec![3, 5, 2]] {
+            let g = BlockGrid::new(&dims);
+            let n = g.num_elements();
+            let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let mut out = vec![f64::NAN; n];
+            let mut blk = vec![0.0; g.block_len()];
+            for b in 0..g.num_blocks() {
+                g.gather(&data, b, &mut blk);
+                g.scatter(&mut out, b, &blk);
+            }
+            assert_eq!(out, data, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn padding_replicates_edge_values() {
+        // 1-D length 5: second block is [data[4], data[4], data[4], data[4]]
+        let g = BlockGrid::new(&[5]);
+        let data = vec![1.0, 2.0, 3.0, 4.0, 9.0];
+        let mut blk = vec![0.0; 4];
+        g.gather(&data, 1, &mut blk);
+        assert_eq!(blk, vec![9.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn block_order_is_row_major() {
+        let g = BlockGrid::new(&[4, 8]);
+        let data: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let mut blk = vec![0.0; 16];
+        // block 1 covers columns 4..8 of all 4 rows
+        g.gather(&data, 1, &mut blk);
+        assert_eq!(blk[0], 4.0);
+        assert_eq!(blk[4], 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-3 dims")]
+    fn four_dims_rejected() {
+        BlockGrid::new(&[2, 2, 2, 2]);
+    }
+}

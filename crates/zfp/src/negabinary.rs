@@ -1,0 +1,120 @@
+//! Negabinary (base −2) coefficient mapping.
+//!
+//! Bitplane coding wants unsigned digits whose truncation error is bounded
+//! by the weight of the first dropped digit. Two's complement fails this
+//! (dropping low bits of a negative number can flip its magnitude wildly
+//! relative to the retained sign bit convention), and sign-magnitude needs
+//! the separate sign-plane machinery the MGARD coder carries. Negabinary —
+//! ZFP's choice — encodes sign into the digits themselves: truncating the
+//! low `j` digits perturbs the value by strictly less than `2^j`, no sign
+//! bookkeeping required.
+//!
+//! The maps below are the standard O(1) bit tricks: with
+//! `MASK = 0xAAAA…AAAA` (all odd-position bits),
+//! `encode(x) = (x + MASK) ^ MASK` and `decode(u) = (u ^ MASK) − MASK`,
+//! exact inverses over the full 64-bit range (wrapping arithmetic).
+
+/// Alternating-bit constant: bits at odd positions set.
+const MASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// Maps a signed coefficient to its negabinary digit word.
+#[inline]
+pub fn encode(x: i64) -> u64 {
+    (x as u64).wrapping_add(MASK) ^ MASK
+}
+
+/// Inverse of [`encode`].
+#[inline]
+pub fn decode(u: u64) -> i64 {
+    (u ^ MASK).wrapping_sub(MASK) as i64
+}
+
+/// Number of negabinary digits needed to represent every `x` with
+/// `|x| ≤ 2^m`: one digit of headroom over binary covers the widest case.
+///
+/// Used to size the per-block plane count; a generous bound is free because
+/// all-zero high planes collapse to a few RLE bytes.
+#[inline]
+pub fn digits_for_magnitude_bits(m: u32) -> u32 {
+    m + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_values() {
+        for x in -1000i64..=1000 {
+            assert_eq!(decode(encode(x)), x);
+        }
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        for x in [i64::MIN, i64::MAX, 0, 1, -1, 1 << 55, -(1 << 55)] {
+            assert_eq!(decode(encode(x)), x);
+        }
+    }
+
+    #[test]
+    fn known_digit_patterns() {
+        // −1 in negabinary is "11" (−2 + 1); −2 is "10"; 2 is "110".
+        assert_eq!(encode(0), 0);
+        assert_eq!(encode(1), 1);
+        assert_eq!(encode(-1), 0b11);
+        assert_eq!(encode(-2), 0b10);
+        assert_eq!(encode(2), 0b110);
+        assert_eq!(encode(3), 0b111);
+    }
+
+    #[test]
+    fn digit_count_bound_holds() {
+        // every |x| ≤ 2^m must fit in digits_for_magnitude_bits(m) digits
+        for m in 0..=55u32 {
+            let digits = digits_for_magnitude_bits(m);
+            let lim = 1i64 << m;
+            for x in [lim, -lim, lim - 1, -(lim - 1), lim / 2 + 1, -(lim / 2) - 1] {
+                let u = encode(x);
+                assert!(
+                    u < (1u128 << digits) as u64 || digits >= 64,
+                    "m={m} x={x}: u={u:#x} needs more than {digits} digits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_error_below_dropped_weight() {
+        // dropping the low j digits moves the value by < 2^j
+        let xs = [12345i64, -98765, 1 << 40, -(1 << 40) + 777, -3, 2];
+        for &x in &xs {
+            let u = encode(x);
+            for j in 0..60u32 {
+                let trunc = u & !((1u64 << j) - 1);
+                let err = (decode(trunc) - x).abs();
+                assert!(err < (1i64 << j), "x={x} j={j}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_error_property_dense() {
+        // exhaustive over a window plus pseudo-random 64-bit-ish values
+        let mut s = 0x1357_9bdfu64;
+        let mut vals: Vec<i64> = (-300..=300).collect();
+        for _ in 0..500 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            vals.push((s as i64) >> 8);
+        }
+        for &x in &vals {
+            let u = encode(x);
+            for j in [1u32, 4, 17, 33, 52] {
+                let err = (decode(u & !((1u64 << j) - 1)) - x).unsigned_abs();
+                assert!(err < (1u64 << j), "x={x} j={j}");
+            }
+        }
+    }
+}

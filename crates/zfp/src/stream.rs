@@ -1,0 +1,894 @@
+//! Progressive ZFP-style streams: refactoring, storage, and retrieval.
+//!
+//! ## Refactoring
+//!
+//! Each 4^d block is aligned to a per-block exponent `e_b` (the smallest
+//! integer with `max|x| ≤ 2^{e_b}`), quantized to [`Q`]-bit fixed point,
+//! decorrelated with the reversible transform of [`crate::transform`], and
+//! mapped to negabinary digits. Digits are then regrouped into **global
+//! absolute bitplanes**: plane `p` carries, for every block, the digit whose
+//! absolute weight is `2^{A_max − p}` (blocks whose magnitude is small join
+//! late and leave early — the per-block-exponent adaptivity that makes ZFP
+//! effective on data with spatially varying scale). Each plane is one
+//! independently fetchable segment, RLE-compressed.
+//!
+//! ## Error model
+//!
+//! After fetching `k` planes, every dropped digit of every block weighs at
+//! most `2^{A_max − k}`, so each coefficient is off by strictly less than
+//! `ε = 2^{A_max − k + 1}` (negabinary truncation, see
+//! [`crate::negabinary`]). The inverse transform amplifies this by at most
+//! [`recon_error_factor`], and fixed-point rounding adds at most
+//! `0.5 · 2^{max_e − Q}`:
+//!
+//! ```text
+//! L∞ ≤ recon_error_factor(d) · 2^{A_max + 1 − k}  +  0.75 · 2^{max_e − Q}
+//! ```
+//!
+//! (the floor-term constant is 0.75 rather than 0.5 to absorb the f64
+//! round-off of casting large partially-reconstructed integers; once every
+//! plane is fetched the coefficients are *exact* integers and the bound
+//! collapses to the pure rounding floor `0.5 · 2^{max_e − Q}` — roughly
+//! `2^{-53}` relative, the same near-lossless floor as the PMGARD coder).
+
+use crate::block::BlockGrid;
+use crate::negabinary;
+use crate::transform::{self, recon_error_factor};
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::error::{PqrError, Result};
+use pqr_util::rle;
+
+/// Fixed-point fraction bits. 52 keeps `|q| ≤ 2^52 < 2^53`, so the scaled
+/// values and their rounding are exact in `f64`.
+pub const Q: i32 = 52;
+
+/// Hard cap on the number of stored planes. Uncapped, a field whose blocks
+/// span `Δe` binades needs `COEFF_BITS + Δe` planes; pathological dynamic
+/// range (one block ~1e300, one ~1e-300) would explode that, so we stop at
+/// 160 and fold the never-streamed tail into the error floor.
+pub const MAX_TOTAL_PLANES: u32 = 160;
+
+/// Exponent floor for block alignment: magnitudes below `2^-900` quantize
+/// against this exponent instead of their own, keeping the fixed-point
+/// scale factor `2^{Q − e}` finite. The rounding bound `0.5·2^{e−Q}` only
+/// shrinks when `e` is clamped upward, so correctness is unaffected.
+const MIN_EXPONENT: i32 = -900;
+
+/// Sentinel for an all-zero block: stores nothing, reconstructs exactly.
+const EMPTY: i32 = i32::MIN;
+
+/// `2^e` without powi domain checks.
+#[inline]
+fn exp2(e: i32) -> f64 {
+    f64::from(e).exp2()
+}
+
+/// A refactored ZFP-style progressive stream (archive-side artifact).
+#[derive(Debug, Clone)]
+pub struct ZfpStream {
+    dims: Vec<usize>,
+    /// Per-block alignment exponents ([`EMPTY`] for all-zero blocks).
+    exponents: Vec<i32>,
+    /// Largest exponent over non-empty blocks (meaningless if none).
+    max_e: i32,
+    /// Absolute weight exponent of plane 0 (`2^{a_max}`).
+    a_max: i32,
+    /// Negabinary digits per block coefficient.
+    coeff_bits: u32,
+    /// Whether [`MAX_TOTAL_PLANES`] truncated the plane ladder.
+    capped: bool,
+    /// Plane segments, most significant absolute plane first.
+    planes: Vec<Vec<u8>>,
+}
+
+/// Refactors arrays into [`ZfpStream`]s.
+///
+/// Stateless today; a struct so configuration (alternative transforms,
+/// plane caps) can land without an API break.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZfpRefactorer;
+
+impl ZfpRefactorer {
+    /// Creates a refactorer with default settings.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Refactors `data` (shape `dims`, 1–3-D row-major) into a progressive
+    /// stream. Rejects non-finite values: a NaN/Inf cannot be bounded by any
+    /// L∞ ladder and would poison every block statistic downstream.
+    pub fn refactor(&self, data: &[f64], dims: &[usize]) -> Result<ZfpStream> {
+        if dims.is_empty() || dims.len() > 3 {
+            return Err(PqrError::ShapeMismatch(format!(
+                "zfp supports 1-3 dims, got {dims:?}"
+            )));
+        }
+        let n: usize = dims.iter().product();
+        if n != data.len() {
+            return Err(PqrError::ShapeMismatch(format!(
+                "dims {dims:?} = {n} elements, data has {}",
+                data.len()
+            )));
+        }
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(PqrError::InvalidRequest(
+                "zfp refactor requires finite data".into(),
+            ));
+        }
+        let grid = BlockGrid::new(dims);
+        let nd = grid.ndims();
+        let blen = grid.block_len();
+        let nblocks = grid.num_blocks();
+        let coeff_bits = negabinary::digits_for_magnitude_bits(Q as u32 + transform::growth_bits(nd));
+
+        // Pass 1: per-block fixed point + transform + negabinary.
+        let mut exponents = vec![EMPTY; nblocks];
+        let mut words = vec![0u64; nblocks * blen];
+        let mut fblk = vec![0.0f64; blen];
+        let mut iblk = vec![0i64; blen];
+        let mut max_e = i32::MIN;
+        let mut min_e = i32::MAX;
+        for b in 0..nblocks {
+            grid.gather(data, b, &mut fblk);
+            let m = fblk.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+            if m == 0.0 {
+                continue;
+            }
+            let e = alignment_exponent(m);
+            exponents[b] = e;
+            max_e = max_e.max(e);
+            min_e = min_e.min(e);
+            let scale = exp2(Q - e);
+            for (q, &x) in iblk.iter_mut().zip(fblk.iter()) {
+                *q = (x * scale).round() as i64;
+                debug_assert!(q.unsigned_abs() <= 1u64 << Q);
+            }
+            transform::forward(&mut iblk, nd);
+            for (w, &c) in words[b * blen..].iter_mut().zip(iblk.iter()) {
+                debug_assert!(c.unsigned_abs() < 1u64 << (coeff_bits - 1));
+                *w = negabinary::encode(c);
+            }
+        }
+
+        if max_e == i32::MIN {
+            // all-zero field: nothing to stream, error identically 0
+            return Ok(ZfpStream {
+                dims: dims.to_vec(),
+                exponents,
+                max_e: 0,
+                a_max: 0,
+                coeff_bits,
+                capped: false,
+                planes: Vec::new(),
+            });
+        }
+
+        let a_max = coeff_bits as i32 - 1 + max_e - Q;
+        let uncapped = coeff_bits + (max_e - min_e) as u32;
+        let p_total = uncapped.min(MAX_TOTAL_PLANES);
+        let capped = uncapped > MAX_TOTAL_PLANES;
+
+        // Pass 2: regroup digits into global absolute planes.
+        let mut planes = Vec::with_capacity(p_total as usize);
+        let mut bits: Vec<bool> = Vec::new();
+        for p in 0..p_total {
+            bits.clear();
+            let a_p = a_max - p as i32;
+            for (b, &e) in exponents.iter().enumerate() {
+                let Some(j) = digit_index(a_p, e, coeff_bits) else {
+                    continue;
+                };
+                for &w in &words[b * blen..(b + 1) * blen] {
+                    bits.push((w >> j) & 1 == 1);
+                }
+            }
+            planes.push(rle::encode_bits_auto(&bits));
+        }
+
+        Ok(ZfpStream {
+            dims: dims.to_vec(),
+            exponents,
+            max_e,
+            a_max,
+            coeff_bits,
+            capped,
+            planes,
+        })
+    }
+}
+
+/// Smallest `e` with `m ≤ 2^e`, floored at [`MIN_EXPONENT`].
+fn alignment_exponent(m: f64) -> i32 {
+    debug_assert!(m > 0.0 && m.is_finite());
+    let mut e = m.log2().ceil() as i32;
+    // log2 float slack: enforce the invariant exactly
+    while m > exp2(e) {
+        e += 1;
+    }
+    while e > MIN_EXPONENT && m <= exp2(e - 1) {
+        e -= 1;
+    }
+    e.max(MIN_EXPONENT)
+}
+
+/// Maps a block exponent to its compact i16 wire form. Exponents of f64
+/// data live in `[MIN_EXPONENT, ~1025]`, comfortably inside i16; the
+/// [`EMPTY`] sentinel maps to `i16::MIN`.
+#[inline]
+fn exponent_to_i16(e: i32) -> i16 {
+    if e == EMPTY {
+        i16::MIN
+    } else {
+        debug_assert!((MIN_EXPONENT..=1100).contains(&e));
+        e as i16
+    }
+}
+
+/// Inverse of [`exponent_to_i16`].
+#[inline]
+fn exponent_from_i16(v: i16) -> i32 {
+    if v == i16::MIN {
+        EMPTY
+    } else {
+        i32::from(v)
+    }
+}
+
+/// The digit index of block-exponent `e` holding absolute weight `2^{a}`,
+/// or `None` if the block has no such digit ([`EMPTY`] blocks never do).
+#[inline]
+fn digit_index(a: i32, e: i32, coeff_bits: u32) -> Option<u32> {
+    if e == EMPTY {
+        return None;
+    }
+    let j = a - (e - Q);
+    (0..coeff_bits as i32).contains(&j).then_some(j as u32)
+}
+
+impl ZfpStream {
+    /// Array shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of stored plane segments.
+    pub fn num_planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Sizes of the individually fetchable plane segments, in fetch order.
+    pub fn segment_sizes(&self) -> Vec<usize> {
+        self.planes.iter().map(Vec::len).collect()
+    }
+
+    /// Serialized metadata size: everything a reader must hold before the
+    /// first plane arrives (header + per-block exponents).
+    pub fn metadata_bytes(&self) -> usize {
+        self.to_bytes().len() - self.planes.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Total archived bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Opens a progressive reader at zero fetched planes.
+    pub fn reader(&self) -> ZfpReader<'_> {
+        let grid = BlockGrid::new(&self.dims);
+        let words = vec![0u64; grid.num_blocks() * grid.block_len()];
+        ZfpReader {
+            stream: self,
+            grid,
+            words,
+            planes_read: 0,
+            fetched: self.metadata_bytes(),
+        }
+    }
+
+    /// The guaranteed L∞ bound after `k` fetched planes — the model the
+    /// retrieval engine consumes as the primary-data ε.
+    pub fn bound_after(&self, k: u32) -> f64 {
+        if self.planes.is_empty() {
+            return 0.0; // all-zero field
+        }
+        let rounding = 0.5 * exp2(self.max_e - Q);
+        if !self.capped && k >= self.planes.len() as u32 {
+            // every digit fetched ⇒ integer-exact coefficients
+            return rounding * (1.0 + 1e-12);
+        }
+        let nd = self.dims.len();
+        let trunc = recon_error_factor(nd) * exp2(self.a_max + 1 - k.min(self.planes.len() as u32) as i32);
+        (trunc + 1.5 * rounding) * (1.0 + 1e-12)
+    }
+
+    /// Serializes the stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_raw(b"PQRZ");
+        w.put_u8(self.dims.len() as u8);
+        for &d in &self.dims {
+            w.put_u64(d as u64);
+        }
+        w.put_i64(i64::from(self.max_e));
+        w.put_i64(i64::from(self.a_max));
+        w.put_u32(self.coeff_bits);
+        w.put_u8(u8::from(self.capped));
+        // Exponents as delta-coded i16: neighbouring blocks of smooth data
+        // share exponents, so the delta stream is mostly zero bytes and the
+        // byte-RLE collapses the table to a few bytes per long run — the
+        // per-block metadata tax matters for 1-D data (one block per 4
+        // samples).
+        let mut eb = Vec::with_capacity(self.exponents.len() * 2);
+        let mut prev = 0i16;
+        for &e in &self.exponents {
+            let cur = exponent_to_i16(e);
+            eb.extend_from_slice(&cur.wrapping_sub(prev).to_le_bytes());
+            prev = cur;
+        }
+        w.put_bytes(&rle::encode_bytes(&eb));
+        w.put_u32(self.planes.len() as u32);
+        for p in &self.planes {
+            w.put_bytes(p);
+        }
+        w.finish()
+    }
+
+    /// Deserializes a stream, validating structural invariants.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_raw(4)? != b"PQRZ" {
+            return Err(PqrError::CorruptStream("bad zfp magic".into()));
+        }
+        let nd = r.get_u8()? as usize;
+        if !(1..=3).contains(&nd) {
+            return Err(PqrError::CorruptStream(format!("zfp ndims {nd}")));
+        }
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            dims.push(r.get_u64()? as usize);
+        }
+        let max_e = i32::try_from(r.get_i64()?)
+            .map_err(|_| PqrError::CorruptStream("max_e out of range".into()))?;
+        let a_max = i32::try_from(r.get_i64()?)
+            .map_err(|_| PqrError::CorruptStream("a_max out of range".into()))?;
+        let coeff_bits = r.get_u32()?;
+        if coeff_bits == 0 || coeff_bits > 64 {
+            return Err(PqrError::CorruptStream(format!("coeff_bits {coeff_bits}")));
+        }
+        let capped = r.get_u8()? != 0;
+        let grid = BlockGrid::new(&dims);
+        let eb = rle::decode_bytes(r.get_bytes()?)?;
+        if eb.len() != grid.num_blocks() * 2 {
+            return Err(PqrError::CorruptStream(format!(
+                "exponent table {} B for {} blocks",
+                eb.len(),
+                grid.num_blocks()
+            )));
+        }
+        let mut prev = 0i16;
+        let exponents: Vec<i32> = eb
+            .chunks_exact(2)
+            .map(|c| {
+                let d = i16::from_le_bytes(c.try_into().unwrap());
+                prev = prev.wrapping_add(d);
+                exponent_from_i16(prev)
+            })
+            .collect();
+        let np = r.get_u32()?;
+        if np > MAX_TOTAL_PLANES {
+            return Err(PqrError::CorruptStream(format!("{np} planes")));
+        }
+        let mut planes = Vec::with_capacity(np as usize);
+        for _ in 0..np {
+            planes.push(r.get_bytes()?.to_vec());
+        }
+        Ok(Self {
+            dims,
+            exponents,
+            max_e,
+            a_max,
+            coeff_bits,
+            capped,
+            planes,
+        })
+    }
+}
+
+/// Progressive reader over a [`ZfpStream`].
+///
+/// Byte accounting starts at the stream's metadata size (a remote retrieval
+/// always moves the header and exponent table first).
+#[derive(Debug, Clone)]
+pub struct ZfpReader<'a> {
+    stream: &'a ZfpStream,
+    grid: BlockGrid,
+    /// Accumulated negabinary digit words, `num_blocks × block_len`.
+    words: Vec<u64>,
+    planes_read: u32,
+    fetched: usize,
+}
+
+impl ZfpReader<'_> {
+    /// Guaranteed L∞ bound of [`ZfpReader::reconstruct`] at the current
+    /// fetch state.
+    pub fn guaranteed_bound(&self) -> f64 {
+        self.stream.bound_after(self.planes_read)
+    }
+
+    /// Total bytes this reader has "moved" (metadata + fetched planes).
+    pub fn total_fetched(&self) -> usize {
+        self.fetched
+    }
+
+    /// True when every stored plane has been fetched.
+    pub fn fully_fetched(&self) -> bool {
+        self.planes_read as usize >= self.stream.planes.len()
+    }
+
+    /// Planes consumed so far — the reader's resumable progress marker
+    /// (restore with [`ZfpReader::fetch_planes`] on a fresh reader).
+    pub fn planes_read(&self) -> u32 {
+        self.planes_read
+    }
+
+    /// Fetches planes in order until the guaranteed bound is ≤ `eb` or the
+    /// stream is exhausted. Returns newly fetched bytes.
+    pub fn refine_to(&mut self, eb: f64) -> Result<usize> {
+        if eb < 0.0 || eb.is_nan() {
+            return Err(PqrError::InvalidRequest(format!("bad error bound {eb}")));
+        }
+        let mut newly = 0;
+        while self.guaranteed_bound() > eb && !self.fully_fetched() {
+            newly += self.push_next_plane()?;
+        }
+        Ok(newly)
+    }
+
+    /// Fetches `k` more planes regardless of a target — fixed-budget mode.
+    pub fn fetch_planes(&mut self, k: usize) -> Result<usize> {
+        let mut newly = 0;
+        for _ in 0..k {
+            if self.fully_fetched() {
+                break;
+            }
+            newly += self.push_next_plane()?;
+        }
+        Ok(newly)
+    }
+
+    fn push_next_plane(&mut self) -> Result<usize> {
+        let p = self.planes_read;
+        let seg = &self.stream.planes[p as usize];
+        let a_p = self.stream.a_max - p as i32;
+        let blen = self.grid.block_len();
+        // which blocks participate, in order, and their digit index
+        let mut participants = Vec::new();
+        for (b, &e) in self.stream.exponents.iter().enumerate() {
+            if let Some(j) = digit_index(a_p, e, self.stream.coeff_bits) {
+                participants.push((b, j));
+            }
+        }
+        let bits = rle::decode_bits_auto(seg, participants.len() * blen)?;
+        for (pi, &(b, j)) in participants.iter().enumerate() {
+            let base = b * blen;
+            for (s, &bit) in bits[pi * blen..(pi + 1) * blen].iter().enumerate() {
+                if bit {
+                    self.words[base + s] |= 1u64 << j;
+                }
+            }
+        }
+        self.planes_read += 1;
+        self.fetched += seg.len();
+        Ok(seg.len())
+    }
+
+    /// Reconstructs the data representation from the planes fetched so far.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.grid.num_elements()];
+        for b in 0..self.stream.exponents.len() {
+            self.reconstruct_block_into(b, &mut out);
+        }
+        out
+    }
+
+    /// Decodes one block into `out` (full-array buffer). All-zero blocks
+    /// are skipped — `out` is expected to be zero there already.
+    fn reconstruct_block_into(&self, b: usize, out: &mut [f64]) {
+        let e = self.stream.exponents[b];
+        if e == EMPTY {
+            return;
+        }
+        let blen = self.grid.block_len();
+        let nd = self.grid.ndims();
+        let mut iblk = vec![0i64; blen];
+        for (c, &w) in iblk.iter_mut().zip(&self.words[b * blen..(b + 1) * blen]) {
+            *c = negabinary::decode(w);
+        }
+        transform::inverse(&mut iblk, nd);
+        let scale = exp2(e - Q);
+        let fblk: Vec<f64> = iblk.iter().map(|&q| q as f64 * scale).collect();
+        self.grid.scatter(out, b, &fblk);
+    }
+
+    /// Reconstructs only the axis-aligned region `lo[a]..hi[a]` (half-open
+    /// per axis), returning it as a dense row-major array of shape
+    /// `hi[a] − lo[a]`.
+    ///
+    /// This is the ZFP-signature **random access** property: only the 4^d
+    /// blocks intersecting the region are decoded, so the compute cost
+    /// scales with the region, not the array. The precision (and therefore
+    /// the error bound, [`ZfpReader::guaranteed_bound`]) is whatever the
+    /// fetched planes provide — region decoding composes with progressive
+    /// precision.
+    ///
+    /// ```
+    /// use pqr_zfp::ZfpRefactorer;
+    /// let data: Vec<f64> = (0..400).map(|i| (i as f64 * 0.1).sin()).collect();
+    /// let stream = ZfpRefactorer::new().refactor(&data, &[20, 20]).unwrap();
+    /// let mut reader = stream.reader();
+    /// reader.refine_to(1e-6).unwrap();
+    /// let window = reader.reconstruct_region(&[5, 5], &[9, 15]).unwrap();
+    /// assert_eq!(window.len(), 4 * 10);
+    /// assert!((window[0] - data[5 * 20 + 5]).abs() <= reader.guaranteed_bound());
+    /// ```
+    pub fn reconstruct_region(&self, lo: &[usize], hi: &[usize]) -> Result<Vec<f64>> {
+        let dims = self.stream.dims.clone();
+        if lo.len() != dims.len() || hi.len() != dims.len() {
+            return Err(PqrError::ShapeMismatch(format!(
+                "region rank {} vs array rank {}",
+                lo.len(),
+                dims.len()
+            )));
+        }
+        for a in 0..dims.len() {
+            if lo[a] > hi[a] || hi[a] > dims[a] {
+                return Err(PqrError::InvalidRequest(format!(
+                    "region {}..{} out of bounds for axis {a} (dim {})",
+                    lo[a], hi[a], dims[a]
+                )));
+            }
+        }
+        // Decode the intersecting blocks into a scratch full-array buffer,
+        // then copy the window out. The scratch is O(array) in memory but
+        // only the touched blocks cost compute; a production variant would
+        // scatter straight into the window.
+        let mut scratch = vec![0.0f64; self.grid.num_elements()];
+        let nd = dims.len();
+        let mut bc_lo = vec![0usize; nd];
+        let mut bc_hi = vec![0usize; nd];
+        for a in 0..nd {
+            bc_lo[a] = lo[a] / crate::block::SIDE;
+            bc_hi[a] = hi[a].div_ceil(crate::block::SIDE).max(bc_lo[a] + 1);
+        }
+        // iterate block coordinates in the window
+        let mut bc = bc_lo.clone();
+        'blocks: loop {
+            // row-major block index
+            let mut b = 0usize;
+            for (&nblocks, &c) in self.grid.blocks.iter().zip(&bc) {
+                b = b * nblocks + c;
+            }
+            self.reconstruct_block_into(b, &mut scratch);
+            let mut a = nd;
+            loop {
+                if a == 0 {
+                    break 'blocks;
+                }
+                a -= 1;
+                bc[a] += 1;
+                if bc[a] < bc_hi[a].min(self.grid.blocks[a]) {
+                    break;
+                }
+                bc[a] = bc_lo[a];
+            }
+        }
+        // copy the window
+        let window: Vec<usize> = (0..nd).map(|a| hi[a] - lo[a]).collect();
+        let wn: usize = window.iter().product();
+        let mut out = Vec::with_capacity(wn);
+        let mut strides = vec![1usize; nd];
+        for a in (0..nd.saturating_sub(1)).rev() {
+            strides[a] = strides[a + 1] * dims[a + 1];
+        }
+        let mut coord = vec![0usize; nd];
+        if wn > 0 {
+            'copy: loop {
+                let idx: usize = (0..nd).map(|a| (lo[a] + coord[a]) * strides[a]).sum();
+                out.push(scratch[idx]);
+                let mut a = nd;
+                loop {
+                    if a == 0 {
+                        break 'copy;
+                    }
+                    a -= 1;
+                    coord[a] += 1;
+                    if coord[a] < window[a] {
+                        break;
+                    }
+                    coord[a] = 0;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqr_util::stats::max_abs_diff;
+
+    fn field(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                (x * 11.0).sin() * 2.5 + (x * 41.0).cos() * 0.3 - 1.7 * x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn alignment_exponent_invariants() {
+        for m in [1e-12, 0.5, 1.0, 1.0000001, 3.7, 4.0, 1e12, 2.2e-308] {
+            let e = alignment_exponent(m);
+            assert!(m <= exp2(e), "m={m} e={e}");
+            assert!(
+                e == MIN_EXPONENT || m > exp2(e - 1),
+                "m={m}: e={e} not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn refine_meets_bounds_and_real_error_below_guarantee() {
+        let data = field(3000);
+        let stream = ZfpRefactorer::new().refactor(&data, &[3000]).unwrap();
+        let mut reader = stream.reader();
+        for eb in [1e-1, 1e-3, 1e-6, 1e-10] {
+            reader.refine_to(eb).unwrap();
+            assert!(reader.guaranteed_bound() <= eb, "eb={eb}");
+            let real = max_abs_diff(&data, &reader.reconstruct());
+            assert!(
+                real <= reader.guaranteed_bound(),
+                "eb={eb}: real {real} > guarantee {}",
+                reader.guaranteed_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn full_fetch_reaches_rounding_floor() {
+        let data = field(500);
+        let stream = ZfpRefactorer::new().refactor(&data, &[500]).unwrap();
+        let mut reader = stream.reader();
+        reader.refine_to(0.0).unwrap();
+        assert!(reader.fully_fetched());
+        let real = max_abs_diff(&data, &reader.reconstruct());
+        assert!(real <= reader.guaranteed_bound());
+        assert!(real < 1e-14, "residual {real}");
+    }
+
+    #[test]
+    fn multidimensional_roundtrip() {
+        for dims in [vec![40, 25], vec![9, 10, 11]] {
+            let n: usize = dims.iter().product();
+            let data = field(n);
+            let stream = ZfpRefactorer::new().refactor(&data, &dims).unwrap();
+            let mut reader = stream.reader();
+            reader.refine_to(1e-6).unwrap();
+            let real = max_abs_diff(&data, &reader.reconstruct());
+            assert!(real <= reader.guaranteed_bound(), "dims {dims:?}");
+            assert!(reader.guaranteed_bound() <= 1e-6, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn byte_accounting_cumulative() {
+        let data = field(4000);
+        let stream = ZfpRefactorer::new().refactor(&data, &[4000]).unwrap();
+        let mut reader = stream.reader();
+        assert_eq!(reader.total_fetched(), stream.metadata_bytes());
+        let b1 = reader.refine_to(1e-2).unwrap();
+        let t1 = reader.total_fetched();
+        let b2 = reader.refine_to(1e-8).unwrap();
+        assert!(b1 > 0 && b2 > 0);
+        assert_eq!(reader.total_fetched(), t1 + b2);
+        assert_eq!(reader.refine_to(1e-5).unwrap(), 0, "already satisfied");
+    }
+
+    #[test]
+    fn bitrate_grows_smoothly_not_staircase() {
+        let data = field(8192);
+        let stream = ZfpRefactorer::new().refactor(&data, &[8192]).unwrap();
+        let mut sizes = Vec::new();
+        for i in 1..=20 {
+            let eb = 0.1 * (2.0f64).powi(-i);
+            let mut reader = stream.reader();
+            reader.refine_to(eb).unwrap();
+            sizes.push(reader.total_fetched());
+        }
+        let distinct: std::collections::BTreeSet<_> = sizes.iter().collect();
+        assert!(distinct.len() >= 12, "only {} distinct sizes", distinct.len());
+        for w in sizes.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn all_zero_field_is_free() {
+        let stream = ZfpRefactorer::new().refactor(&[0.0; 256], &[256]).unwrap();
+        assert_eq!(stream.num_planes(), 0);
+        let mut reader = stream.reader();
+        assert_eq!(reader.guaranteed_bound(), 0.0);
+        reader.refine_to(0.0).unwrap();
+        assert!(reader.reconstruct().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mixed_scale_blocks_join_planes_late() {
+        // one large block, the rest tiny: early planes should be almost
+        // free because only the large block participates
+        let mut data = vec![1e-6; 4096];
+        for v in data.iter_mut().take(4) {
+            *v = 1000.0;
+        }
+        let stream = ZfpRefactorer::new().refactor(&data, &[4096]).unwrap();
+        let sizes = stream.segment_sizes();
+        let early: usize = sizes[..10].iter().sum();
+        let late: usize = sizes[sizes.len() - 10..].iter().sum();
+        assert!(early * 4 < late, "early {early} B vs late {late} B");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let data = field(777);
+        let stream = ZfpRefactorer::new().refactor(&data, &[777]).unwrap();
+        let bytes = stream.to_bytes();
+        let stream2 = ZfpStream::from_bytes(&bytes).unwrap();
+        let mut a = stream.reader();
+        let mut b = stream2.reader();
+        a.refine_to(1e-7).unwrap();
+        b.refine_to(1e-7).unwrap();
+        assert_eq!(a.reconstruct(), b.reconstruct());
+        assert_eq!(a.total_fetched(), b.total_fetched());
+    }
+
+    #[test]
+    fn corrupt_streams_rejected_not_panicking() {
+        let data = field(64);
+        let stream = ZfpRefactorer::new().refactor(&data, &[64]).unwrap();
+        let bytes = stream.to_bytes();
+        assert!(ZfpStream::from_bytes(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(ZfpStream::from_bytes(&bad).is_err());
+        for cut in [5usize, 20, bytes.len() / 2] {
+            let _ = ZfpStream::from_bytes(&bytes[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn non_finite_data_rejected() {
+        assert!(ZfpRefactorer::new()
+            .refactor(&[1.0, f64::NAN], &[2])
+            .is_err());
+        assert!(ZfpRefactorer::new()
+            .refactor(&[f64::INFINITY; 4], &[4])
+            .is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(ZfpRefactorer::new().refactor(&[1.0; 5], &[6]).is_err());
+        assert!(ZfpRefactorer::new().refactor(&[1.0; 16], &[2, 2, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn bound_decreases_monotonically() {
+        let data = field(1000);
+        let stream = ZfpRefactorer::new().refactor(&data, &[1000]).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 0..=stream.num_planes() as u32 {
+            let b = stream.bound_after(k);
+            assert!(b <= prev, "k={k}: {b} > {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn region_reconstruction_matches_full_window() {
+        for dims in [vec![100usize], vec![23, 17], vec![9, 10, 11]] {
+            let n: usize = dims.iter().product();
+            let data = field(n);
+            let stream = ZfpRefactorer::new().refactor(&data, &dims).unwrap();
+            let mut reader = stream.reader();
+            reader.refine_to(1e-8).unwrap();
+            let full = reader.reconstruct();
+            // a window strictly inside the array, not block-aligned
+            let lo: Vec<usize> = dims.iter().map(|&d| (d / 3).min(d - 1)).collect();
+            let hi: Vec<usize> = dims.iter().map(|&d| (2 * d / 3).max(d / 3 + 1)).collect();
+            let region = reader.reconstruct_region(&lo, &hi).unwrap();
+            // compare against the window of the full reconstruction
+            let nd = dims.len();
+            let mut strides = vec![1usize; nd];
+            for a in (0..nd.saturating_sub(1)).rev() {
+                strides[a] = strides[a + 1] * dims[a + 1];
+            }
+            let window: Vec<usize> = (0..nd).map(|a| hi[a] - lo[a]).collect();
+            let wn: usize = window.iter().product();
+            assert_eq!(region.len(), wn, "dims {dims:?}");
+            let mut coord = vec![0usize; nd];
+            for r in &region {
+                let idx: usize = (0..nd).map(|a| (lo[a] + coord[a]) * strides[a]).sum();
+                assert_eq!(*r, full[idx], "dims {dims:?} coord {coord:?}");
+                let mut a = nd;
+                loop {
+                    if a == 0 {
+                        break;
+                    }
+                    a -= 1;
+                    coord[a] += 1;
+                    if coord[a] < window[a] {
+                        break;
+                    }
+                    coord[a] = 0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_error_honours_the_global_bound() {
+        let dims = vec![30usize, 40];
+        let data = field(1200);
+        let stream = ZfpRefactorer::new().refactor(&data, &dims).unwrap();
+        let mut reader = stream.reader();
+        reader.refine_to(1e-5).unwrap();
+        let region = reader.reconstruct_region(&[5, 10], &[25, 30]).unwrap();
+        let mut worst = 0.0f64;
+        let mut k = 0;
+        for i in 5..25 {
+            for j in 10..30 {
+                worst = worst.max((region[k] - data[i * 40 + j]).abs());
+                k += 1;
+            }
+        }
+        assert!(worst <= reader.guaranteed_bound());
+    }
+
+    #[test]
+    fn region_edge_cases() {
+        let data = field(64);
+        let stream = ZfpRefactorer::new().refactor(&data, &[64]).unwrap();
+        let reader = stream.reader();
+        // empty window
+        assert_eq!(reader.reconstruct_region(&[5], &[5]).unwrap().len(), 0);
+        // full window at zero planes = all zeros
+        let w = reader.reconstruct_region(&[0], &[64]).unwrap();
+        assert_eq!(w.len(), 64);
+        // bad requests
+        assert!(reader.reconstruct_region(&[5], &[3]).is_err());
+        assert!(reader.reconstruct_region(&[0], &[65]).is_err());
+        assert!(reader.reconstruct_region(&[0, 0], &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn real_error_below_guarantee_at_every_plane_depth() {
+        let data = field(600);
+        let stream = ZfpRefactorer::new().refactor(&data, &[600]).unwrap();
+        let mut reader = stream.reader();
+        loop {
+            let real = max_abs_diff(&data, &reader.reconstruct());
+            assert!(
+                real <= reader.guaranteed_bound(),
+                "k={}: real {real} > bound {}",
+                reader.planes_read,
+                reader.guaranteed_bound()
+            );
+            if reader.fully_fetched() {
+                break;
+            }
+            reader.fetch_planes(1).unwrap();
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! `pqr` — command-line front end for the progressive QoI retrieval library.
+//!
+//! Workflows:
+//!
+//! ```sh
+//! # archive raw little-endian f64 field files into a progressive archive
+//! pqr refactor --out data.pqr --scheme pmgard-hb \
+//!     --field Vx:vx.f64 --field Vy:vy.f64 --field Vz:vz.f64 \
+//!     --qoi 'VTOT=sqrt(x0^2+x1^2+x2^2)' --mask Vx,Vy,Vz
+//!
+//! # inspect an archive
+//! pqr info data.pqr
+//!
+//! # retrieve a QoI at a relative tolerance; writes the derived values
+//! pqr retrieve data.pqr --qoi VTOT --tol 1e-5 --out vtot.f64
+//! ```
+//!
+//! Fields are raw little-endian `f64` streams (the exchange format of most
+//! scientific tooling); QoI expressions use the `pqr_qoi::parse` grammar
+//! with `x<i>` referring to the i-th `--field` in order.
+
+use pqr::prelude::*;
+use pqr::qoi::parse::parse;
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("refactor") => cmd_refactor(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("retrieve") => cmd_retrieve(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(PqrError::InvalidRequest(format!(
+            "unknown command '{other}' (try `pqr help`)"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pqr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "pqr — error-controlled progressive retrieval under derivable QoIs
+
+USAGE:
+  pqr refactor --out <archive> [--scheme S] [--mask f1,f2,..]
+               (--field NAME:PATH)... (--qoi 'NAME=EXPR')...
+  pqr info <archive>
+  pqr retrieve <archive> --qoi NAME --tol REL [--estimator E]
+               [--resume PROGRESS] [--save-progress PROGRESS]
+               [--out PATH] [--field NAME --out-field PATH]
+
+ESTIMATORS: paper (default) | exact-sqrt | interval
+PROGRESS:   a small progress file; --resume continues a previous retrieval
+            incrementally, --save-progress records where this one stopped
+
+SCHEMES: psz3 | psz3-delta | pmgard | pmgard-hb (default) | pzfp
+FIELDS:  raw little-endian f64 files (.f32 extension reads/writes single precision)
+EXPRS:   pqr_qoi::parse grammar; x0, x1, … index the --field list"
+    );
+}
+
+/// Pulls `--flag value` pairs and repeated flags out of an arg list.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, flag: &str) -> Option<&'a str> {
+        self.args
+            .windows(2)
+            .find(|w| w[0] == flag)
+            .map(|w| w[1].as_str())
+    }
+
+    fn get_all(&self, flag: &str) -> Vec<&'a str> {
+        self.args
+            .windows(2)
+            .filter(|w| w[0] == flag)
+            .map(|w| w[1].as_str())
+            .collect()
+    }
+
+    fn positional(&self) -> Option<&'a str> {
+        // first token that is not a flag or a flag's value
+        let mut i = 0;
+        while i < self.args.len() {
+            if self.args[i].starts_with("--") {
+                i += 2;
+            } else {
+                return Some(self.args[i].as_str());
+            }
+        }
+        None
+    }
+}
+
+/// Reads a raw little-endian float file. A `.f32` extension selects
+/// single precision (widened to f64 — the paper's §VI notes the method
+/// "directly applies to single-precision floating-point data"); anything
+/// else is read as f64.
+fn read_float_file(path: &str) -> Result<Vec<f64>> {
+    let bytes = fs::read(path)
+        .map_err(|e| PqrError::InvalidRequest(format!("cannot read '{path}': {e}")))?;
+    if path.ends_with(".f32") {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(PqrError::CorruptStream(format!(
+                "'{path}' is not a multiple of 4 bytes"
+            )));
+        }
+        return Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f64::from(f32::from_le_bytes(c.try_into().unwrap())))
+            .collect());
+    }
+    if !bytes.len().is_multiple_of(8) {
+        return Err(PqrError::CorruptStream(format!(
+            "'{path}' is not a multiple of 8 bytes"
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Writes a raw little-endian float file; a `.f32` extension narrows to
+/// single precision.
+fn write_float_file(path: &str, data: &[f64]) -> Result<()> {
+    let bytes = if path.ends_with(".f32") {
+        let mut b = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            b.extend_from_slice(&(*v as f32).to_le_bytes());
+        }
+        b
+    } else {
+        let mut b = Vec::with_capacity(data.len() * 8);
+        for v in data {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b
+    };
+    fs::write(path, bytes)
+        .map_err(|e| PqrError::InvalidRequest(format!("cannot write '{path}': {e}")))
+}
+
+fn parse_scheme(s: &str) -> Result<Scheme> {
+    match s {
+        "psz3" => Ok(Scheme::Psz3),
+        "psz3-delta" => Ok(Scheme::Psz3Delta),
+        "pmgard" => Ok(Scheme::PmgardOb),
+        "pmgard-hb" => Ok(Scheme::PmgardHb),
+        "pzfp" => Ok(Scheme::Pzfp),
+        other => Err(PqrError::InvalidRequest(format!("unknown scheme '{other}'"))),
+    }
+}
+
+fn cmd_refactor(args: &[String]) -> Result<()> {
+    let flags = Flags { args };
+    let out = flags
+        .get("--out")
+        .ok_or_else(|| PqrError::InvalidRequest("refactor needs --out".into()))?;
+    let scheme = parse_scheme(flags.get("--scheme").unwrap_or("pmgard-hb"))?;
+
+    // fields: NAME:PATH, all must agree in length
+    let field_specs = flags.get_all("--field");
+    if field_specs.is_empty() {
+        return Err(PqrError::InvalidRequest("need at least one --field".into()));
+    }
+    let mut fields = Vec::new();
+    for spec in &field_specs {
+        let (name, path) = spec.split_once(':').ok_or_else(|| {
+            PqrError::InvalidRequest(format!("--field wants NAME:PATH, got '{spec}'"))
+        })?;
+        fields.push((name.to_string(), read_float_file(path)?));
+    }
+    let n = fields[0].1.len();
+    let mut builder = ArchiveBuilder::new(&[n]).scheme(scheme);
+    for (name, data) in &fields {
+        builder = builder.field(name, data.clone());
+    }
+
+    for spec in flags.get_all("--qoi") {
+        let (name, text) = spec.split_once('=').ok_or_else(|| {
+            PqrError::InvalidRequest(format!("--qoi wants NAME=EXPR, got '{spec}'"))
+        })?;
+        builder = builder.qoi(name, parse(text)?);
+    }
+    if let Some(mask_fields) = flags.get("--mask") {
+        let names: Vec<&str> = mask_fields.split(',').collect();
+        builder = builder.mask(&names);
+    }
+    let archive = builder.build()?;
+    let bytes = archive.to_bytes();
+    fs::write(out, &bytes)
+        .map_err(|e| PqrError::InvalidRequest(format!("cannot write '{out}': {e}")))?;
+    eprintln!(
+        "archived {} fields × {} points → {} ({} B, raw {} B)",
+        field_specs.len(),
+        n,
+        out,
+        bytes.len(),
+        archive.refactored().raw_bytes()
+    );
+    Ok(())
+}
+
+fn load_archive(flags: &Flags<'_>) -> Result<Archive> {
+    let path = flags
+        .positional()
+        .ok_or_else(|| PqrError::InvalidRequest("missing archive path".into()))?;
+    let bytes = fs::read(path)
+        .map_err(|e| PqrError::InvalidRequest(format!("cannot read '{path}': {e}")))?;
+    Archive::from_bytes(&bytes)
+}
+
+fn cmd_info(args: &[String]) -> Result<()> {
+    let flags = Flags { args };
+    let archive = load_archive(&flags)?;
+    let rd = archive.refactored();
+    println!("shape: {:?}", rd.dims());
+    println!("fields ({}):", rd.num_fields());
+    for i in 0..rd.num_fields() {
+        let f = rd.field(i);
+        println!(
+            "  {:<16} {:<12} range {:.6e}  archived {} B",
+            rd.field_name(i),
+            f.scheme().name(),
+            f.value_range(),
+            f.total_bytes()
+        );
+    }
+    println!("mask: {}", rd.mask().map_or("none".to_string(), |m| format!(
+        "{} of {} points",
+        m.masked_count(),
+        m.len()
+    )));
+    println!("qois ({}):", archive.qoi_names().len());
+    for name in archive.qoi_names() {
+        println!(
+            "  {:<16} range {:.6e}  {}",
+            name,
+            archive.qoi_range(name).unwrap_or(0.0),
+            archive.qoi_expr(name).unwrap()
+        );
+    }
+    println!(
+        "archived {} B, raw {} B ({:.2}x)",
+        rd.total_bytes(),
+        rd.raw_bytes(),
+        rd.raw_bytes() as f64 / rd.total_bytes() as f64
+    );
+    Ok(())
+}
+
+fn parse_estimator(s: &str) -> Result<BoundConfig> {
+    match s {
+        "paper" => Ok(BoundConfig::default()),
+        "exact-sqrt" => Ok(BoundConfig {
+            sqrt_mode: SqrtMode::Exact,
+            ..Default::default()
+        }),
+        "interval" => Ok(BoundConfig {
+            estimator: Estimator::Interval,
+            ..Default::default()
+        }),
+        other => Err(PqrError::InvalidRequest(format!(
+            "unknown estimator '{other}' (paper | exact-sqrt | interval)"
+        ))),
+    }
+}
+
+fn cmd_retrieve(args: &[String]) -> Result<()> {
+    let flags = Flags { args };
+    let mut archive = load_archive(&flags)?;
+    let qoi = flags
+        .get("--qoi")
+        .ok_or_else(|| PqrError::InvalidRequest("retrieve needs --qoi NAME".into()))?;
+    let tol: f64 = flags
+        .get("--tol")
+        .ok_or_else(|| PqrError::InvalidRequest("retrieve needs --tol REL".into()))?
+        .parse()
+        .map_err(|_| PqrError::InvalidRequest("bad --tol".into()))?;
+    if let Some(est) = flags.get("--estimator") {
+        archive.set_engine_config(EngineConfig {
+            bound_config: parse_estimator(est)?,
+            ..Default::default()
+        });
+    }
+
+    let mut session = match flags.get("--resume") {
+        Some(path) => {
+            let progress = fs::read(path)
+                .map_err(|e| PqrError::InvalidRequest(format!("cannot read '{path}': {e}")))?;
+            archive.resume_session(&progress)?
+        }
+        None => archive.session()?,
+    };
+    let report = session.request(qoi, tol)?;
+    eprintln!(
+        "satisfied: {}  fetched {} B ({} new)  bitrate {:.3}  est err {:.3e} (tolerance {:.3e})",
+        report.satisfied,
+        report.total_fetched,
+        report.bytes_fetched,
+        report.bitrate,
+        report.max_est_errors[0],
+        tol * archive.qoi_range(qoi).unwrap_or(1.0)
+    );
+    if let Some(path) = flags.get("--save-progress") {
+        fs::write(path, session.save_progress())
+            .map_err(|e| PqrError::InvalidRequest(format!("cannot write '{path}': {e}")))?;
+        eprintln!("saved retrieval progress → {path}");
+    }
+    if !report.satisfied {
+        return Err(PqrError::UnboundableQoi(format!(
+            "representation exhausted before '{qoi}' reached {tol:.1e}"
+        )));
+    }
+    if let Some(out) = flags.get("--out") {
+        write_float_file(out, &session.qoi_values(qoi)?)?;
+        eprintln!("wrote derived QoI values → {out}");
+    }
+    if let (Some(field), Some(path)) = (flags.get("--field"), flags.get("--out-field")) {
+        write_float_file(path, session.reconstruction(field)?)?;
+        eprintln!("wrote reconstructed field '{field}' → {path}");
+    }
+    Ok(())
+}

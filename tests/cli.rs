@@ -1,0 +1,393 @@
+//! End-to-end CLI test: refactor → info → retrieve through the `pqr`
+//! binary, with byte-exact file I/O verification of the guarantee.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_f64(path: &PathBuf, data: &[f64]) {
+    let mut bytes = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).unwrap();
+}
+
+fn read_f64(path: &PathBuf) -> Vec<f64> {
+    std::fs::read(path)
+        .unwrap()
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn pqr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pqr"))
+}
+
+#[test]
+fn refactor_info_retrieve_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("pqr-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let n = 4000;
+    let vx: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin() * 30.0 + 50.0).collect();
+    let vy: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).cos() * 20.0 + 40.0).collect();
+    write_f64(&dir.join("vx.f64"), &vx);
+    write_f64(&dir.join("vy.f64"), &vy);
+
+    // refactor
+    let archive = dir.join("data.pqr");
+    let out = pqr()
+        .args([
+            "refactor",
+            "--out",
+            archive.to_str().unwrap(),
+            "--scheme",
+            "psz3-delta",
+            "--field",
+            &format!("Vx:{}", dir.join("vx.f64").display()),
+            "--field",
+            &format!("Vy:{}", dir.join("vy.f64").display()),
+            "--qoi",
+            "V2=x0^2 + x1^2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(archive.exists());
+
+    // info
+    let out = pqr().args(["info", archive.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Vx"), "info output: {text}");
+    assert!(text.contains("V2"), "info output: {text}");
+    assert!(text.contains("PSZ3-delta"), "info output: {text}");
+
+    // retrieve
+    let derived = dir.join("v2.f64");
+    let recon = dir.join("vx_recon.f64");
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "V2",
+            "--tol",
+            "1e-6",
+            "--out",
+            derived.to_str().unwrap(),
+            "--field",
+            "Vx",
+            "--out-field",
+            recon.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // verify the guarantee on the written files
+    let got = read_f64(&derived);
+    assert_eq!(got.len(), n);
+    let truth: Vec<f64> = vx.iter().zip(&vy).map(|(a, b)| a * a + b * b).collect();
+    let range = truth.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - truth.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst = truth
+        .iter()
+        .zip(&got)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(worst <= 1e-6 * range, "QoI error {worst} > {}", 1e-6 * range);
+
+    let vx_recon = read_f64(&recon);
+    assert_eq!(vx_recon.len(), n);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pzfp_scheme_and_estimator_flags() {
+    let dir = std::env::temp_dir().join(format!("pqr-cli-pzfp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let n = 3000;
+    let t: Vec<f64> = (0..n).map(|i| 280.0 + 30.0 * (i as f64 * 0.004).sin()).collect();
+    write_f64(&dir.join("t.f64"), &t);
+
+    let archive = dir.join("t.pqr");
+    let out = pqr()
+        .args([
+            "refactor",
+            "--out",
+            archive.to_str().unwrap(),
+            "--scheme",
+            "pzfp",
+            "--field",
+            &format!("T:{}", dir.join("t.f64").display()),
+            "--qoi",
+            "lnT=ln(x0)",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let info = pqr().args(["info", archive.to_str().unwrap()]).output().unwrap();
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("PZFP"), "info output: {text}");
+    assert!(text.contains("lnT"), "info output: {text}");
+
+    // retrieve with each estimator; all must satisfy the same tolerance
+    for est in ["paper", "exact-sqrt", "interval"] {
+        let derived = dir.join(format!("lnT-{est}.f64"));
+        let out = pqr()
+            .args([
+                "retrieve",
+                archive.to_str().unwrap(),
+                "--qoi",
+                "lnT",
+                "--tol",
+                "1e-6",
+                "--estimator",
+                est,
+                "--out",
+                derived.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "estimator {est}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let got = read_f64(&derived);
+        let truth: Vec<f64> = t.iter().map(|v| v.ln()).collect();
+        let range = truth.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - truth.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = truth
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= 1e-6 * range, "estimator {est}: error {worst}");
+    }
+
+    // unknown estimator is a clean failure
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "lnT",
+            "--tol",
+            "1e-3",
+            "--estimator",
+            "oracle",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retrieval_resumes_across_invocations() {
+    let dir = std::env::temp_dir().join(format!("pqr-cli-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let n = 6000;
+    let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.006).sin() * 40.0 + 5.0).collect();
+    write_f64(&dir.join("u.f64"), &u);
+    let archive = dir.join("u.pqr");
+    let out = pqr()
+        .args([
+            "refactor",
+            "--out",
+            archive.to_str().unwrap(),
+            "--field",
+            &format!("u:{}", dir.join("u.f64").display()),
+            "--qoi",
+            "u2=x0^2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // invocation 1: loose tolerance, save progress
+    let progress = dir.join("u.progress");
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "u2",
+            "--tol",
+            "1e-2",
+            "--save-progress",
+            progress.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(progress.exists());
+
+    // invocation 2: resume, tighter tolerance — only the increment is new
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "u2",
+            "--tol",
+            "1e-6",
+            "--resume",
+            progress.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("new)"), "log: {log}");
+
+    // resuming with a corrupt progress file fails cleanly
+    std::fs::write(&progress, b"garbage").unwrap();
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "u2",
+            "--tol",
+            "1e-3",
+            "--resume",
+            progress.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn f32_files_read_and_write_by_extension() {
+    let dir = std::env::temp_dir().join(format!("pqr-cli-f32-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let n = 2000;
+    let data: Vec<f64> = (0..n)
+        .map(|i| f64::from((i as f32 * 0.01).sin() * 12.5 + 20.0))
+        .collect();
+    // write as f32
+    let mut bytes = Vec::with_capacity(n * 4);
+    for v in &data {
+        bytes.extend_from_slice(&(*v as f32).to_le_bytes());
+    }
+    std::fs::write(dir.join("u.f32"), bytes).unwrap();
+
+    let archive = dir.join("u.pqr");
+    let out = pqr()
+        .args([
+            "refactor",
+            "--out",
+            archive.to_str().unwrap(),
+            "--field",
+            &format!("u:{}", dir.join("u.f32").display()),
+            "--qoi",
+            "u2=x0^2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // retrieve back out as f32
+    let derived = dir.join("u2.f32");
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "u2",
+            "--tol",
+            "1e-5",
+            "--out",
+            derived.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let got: Vec<f64> = std::fs::read(&derived)
+        .unwrap()
+        .chunks_exact(4)
+        .map(|c| f64::from(f32::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    assert_eq!(got.len(), n);
+    let truth: Vec<f64> = data.iter().map(|v| v * v).collect();
+    let range = truth.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - truth.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst = truth
+        .iter()
+        .zip(&got)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    // tolerance + the f32 narrowing of the *output* file
+    assert!(worst <= 1e-5 * range + range * 1e-6, "error {worst}");
+
+    // mis-sized f32 file is a clean error
+    std::fs::write(dir.join("bad.f32"), [1u8, 2, 3]).unwrap();
+    let out = pqr()
+        .args([
+            "refactor",
+            "--out",
+            dir.join("bad.pqr").to_str().unwrap(),
+            "--field",
+            &format!("b:{}", dir.join("bad.f32").display()),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_nonsense() {
+    // unknown command
+    let out = pqr().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    // refactor without fields
+    let out = pqr().args(["refactor", "--out", "/tmp/x.pqr"]).output().unwrap();
+    assert!(!out.status.success());
+    // retrieve from a missing archive
+    let out = pqr()
+        .args(["retrieve", "/nonexistent.pqr", "--qoi", "x", "--tol", "1e-3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // bad QoI expression
+    let out = pqr()
+        .args([
+            "refactor",
+            "--out",
+            "/tmp/bad.pqr",
+            "--field",
+            "f:/dev/null",
+            "--qoi",
+            "bad=x0^3.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("sqrt"), "fractional-power hint missing: {err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = pqr().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("refactor"));
+    assert!(text.contains("retrieve"));
+}
