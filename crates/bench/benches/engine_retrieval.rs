@@ -29,7 +29,10 @@ fn bench_retrieve(c: &mut Criterion) {
     g.sample_size(10);
     for scheme in [Scheme::PmgardHb, Scheme::Psz3Delta] {
         let archive = ds
-            .refactor_with_bounds(scheme, &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
+            .refactor_with_bounds(
+                scheme,
+                &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>(),
+            )
             .unwrap();
         for tol in [1e-2, 1e-5] {
             g.bench_function(

@@ -61,13 +61,16 @@ fn bench_retrieve(c: &mut Criterion) {
     g.throughput(Throughput::Bytes((n * 8) as u64));
     g.sample_size(20);
     for eb in [1e-2, 1e-6, 1e-10] {
-        g.bench_function(BenchmarkId::new("refine_reconstruct", format!("{eb:.0e}")), |b| {
-            b.iter(|| {
-                let mut r = stream.reader();
-                r.refine_to(eb).unwrap();
-                r.reconstruct()
-            })
-        });
+        g.bench_function(
+            BenchmarkId::new("refine_reconstruct", format!("{eb:.0e}")),
+            |b| {
+                b.iter(|| {
+                    let mut r = stream.reader();
+                    r.refine_to(eb).unwrap();
+                    r.reconstruct()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -14,7 +14,9 @@ fn main() {
     let ds = ge_small_dataset();
     let fields = ["VelocityX", "VelocityZ", "Pressure", "Density"];
     println!("# Fig. 3 — requested vs estimated vs real error, OB vs HB");
-    print_header(&["field", "basis", "req_rel", "bitrate", "est_rel", "real_rel"]);
+    print_header(&[
+        "field", "basis", "req_rel", "bitrate", "est_rel", "real_rel",
+    ]);
 
     for field_name in fields {
         let fi = ds.field_index(field_name).expect("field");

@@ -64,7 +64,10 @@ fn main() {
         };
         let baseline = baseline_transfer_secs(&store, &cfg, 3);
         if scheme == Scheme::PmgardHb {
-            println!("raw-baseline\t-\t{}\t0.000\t{baseline:.3}\t{baseline:.3}\t1.00", store.raw_bytes());
+            println!(
+                "raw-baseline\t-\t{}\t0.000\t{baseline:.3}\t{baseline:.3}\t1.00",
+                store.raw_bytes()
+            );
         }
         for i in 1..=5 {
             let tol = 10f64.powi(-i);

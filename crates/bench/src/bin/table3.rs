@@ -18,7 +18,9 @@ fn main() {
     );
     println!("dataset\tdims\tnv\ttype\tsize_MB\tpaper_size\tqois");
 
-    let ge_small = ge::concat(&ge::generate(&GeConfig::small().with_block_len(scaled(3_400))));
+    let ge_small = ge::concat(&ge::generate(
+        &GeConfig::small().with_block_len(scaled(3_400)),
+    ));
     println!(
         "GE-small\t200x{{}} ({} pts)\t5\tdouble\t{:.2}\t137.96 MB\tEq.(1)-(6)",
         ge_small.num_elements(),

@@ -33,7 +33,9 @@ fn main() {
             let (_, secs) = time_it(|| {
                 let mut engine =
                     RetrievalEngine::new(&archive, EngineConfig::default()).expect("engine");
-                let report = engine.retrieve(std::slice::from_ref(&spec)).expect("retrieve");
+                let report = engine
+                    .retrieve(std::slice::from_ref(&spec))
+                    .expect("retrieve");
                 assert!(report.satisfied, "{} τ=1e-{i}", scheme.name());
             });
             cells.push(format!("{secs:.3}"));

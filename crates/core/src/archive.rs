@@ -319,7 +319,9 @@ mod tests {
 
     fn build() -> Archive {
         let n = 600;
-        let vx: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).sin() * 30.0 + 50.0).collect();
+        let vx: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.02).sin() * 30.0 + 50.0)
+            .collect();
         let vy: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).cos() * 15.0).collect();
         ArchiveBuilder::new(&[n])
             .field("Vx", vx)
@@ -493,7 +495,9 @@ mod tests {
     #[test]
     fn f32_fields_retrieve_with_full_guarantee() {
         let n = 500;
-        let data32: Vec<f32> = (0..n).map(|i| (i as f32 * 0.02).sin() * 12.0 + 20.0).collect();
+        let data32: Vec<f32> = (0..n)
+            .map(|i| (i as f32 * 0.02).sin() * 12.0 + 20.0)
+            .collect();
         let archive = ArchiveBuilder::new(&[n])
             .field_f32("u", &data32)
             .qoi("u2", QoiExpr::var(0).pow(2))

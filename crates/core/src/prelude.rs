@@ -15,14 +15,14 @@ pub use pqr_progressive::refactored::{RefactoredField, Scheme};
 
 pub use pqr_qoi::ge::{self as ge_qoi};
 pub use pqr_qoi::library::{
-    arrhenius, kinetic_energy, momentum, rate_of_progress, species_product,
-    species_product_many, velocity_magnitude,
+    arrhenius, kinetic_energy, momentum, rate_of_progress, species_product, species_product_many,
+    velocity_magnitude,
 };
 pub use pqr_qoi::{BoundConfig, Bounded, Estimator, QoiExpr, SqrtMode};
 
 pub use pqr_mgard::{Basis, MgardRefactorer, MgardStream};
-pub use pqr_zfp::{ZfpRefactorer, ZfpStream};
 pub use pqr_sz::{Predictor, SzCompressor, SzConfig};
+pub use pqr_zfp::{ZfpRefactorer, ZfpStream};
 
 pub use pqr_transfer::{run_pipeline, NetworkModel, PipelineConfig, RemoteStore};
 

@@ -67,9 +67,21 @@ pub fn generate(cfg: &HurricaneConfig) -> RawDataset {
             let i = idx % nx;
             let j = (idx / nx) % ny;
             let k = idx / (nx * ny);
-            let z = if nz > 1 { k as f64 / (nz - 1) as f64 } else { 0.0 };
-            let x = if nx > 1 { i as f64 / (nx - 1) as f64 } else { 0.0 };
-            let y = if ny > 1 { j as f64 / (ny - 1) as f64 } else { 0.0 };
+            let z = if nz > 1 {
+                k as f64 / (nz - 1) as f64
+            } else {
+                0.0
+            };
+            let x = if nx > 1 {
+                i as f64 / (nx - 1) as f64
+            } else {
+                0.0
+            };
+            let y = if ny > 1 {
+                j as f64 / (ny - 1) as f64
+            } else {
+                0.0
+            };
             // eye centre drifts with height
             let cx = 0.5 + drift * (z - 0.5);
             let cy = 0.5 - drift * (z - 0.5);

@@ -91,9 +91,21 @@ pub fn generate(cfg: &S3dConfig) -> RawDataset {
                 let k = idx % n2;
                 let j = (idx / n2) % n1;
                 let i = idx / (n1 * n2);
-                let x = if n0 > 1 { i as f64 / (n0 - 1) as f64 } else { 0.0 };
-                let y = if n1 > 1 { j as f64 / (n1 - 1) as f64 } else { 0.0 };
-                let z = if n2 > 1 { k as f64 / (n2 - 1) as f64 } else { 0.0 };
+                let x = if n0 > 1 {
+                    i as f64 / (n0 - 1) as f64
+                } else {
+                    0.0
+                };
+                let y = if n1 > 1 {
+                    j as f64 / (n1 - 1) as f64
+                } else {
+                    0.0
+                };
+                let z = if n2 > 1 {
+                    k as f64 / (n2 - 1) as f64
+                } else {
+                    0.0
+                };
                 // wrinkled front position across the x-axis
                 let front = 0.5 + 0.08 * wrinkle_f.sample(0.0, y, z);
                 let s = ((x - front) / thick).tanh() * 0.5 + 0.5; // 0 unburnt → 1 burnt

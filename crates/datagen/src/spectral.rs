@@ -75,7 +75,9 @@ impl SpectralField {
     /// Fills a 1-D array sampled along the x-axis of the unit cube.
     pub fn sample_1d(&self, n: usize) -> Vec<f64> {
         let step = if n > 1 { 1.0 / (n - 1) as f64 } else { 0.0 };
-        (0..n).map(|i| self.sample(i as f64 * step, 0.0, 0.0)).collect()
+        (0..n)
+            .map(|i| self.sample(i as f64 * step, 0.0, 0.0))
+            .collect()
     }
 
     /// Fills a row-major 3-D array over the unit cube.

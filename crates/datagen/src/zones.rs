@@ -80,7 +80,10 @@ pub fn generate(cfg: &ZonesConfig) -> (RawDataset, Vec<(usize, usize)>) {
             start + ((cfg.n as f64) * z.weight / total_w) as usize
         };
         let len = end - start;
-        let (p1, p2) = (rand01() * std::f64::consts::TAU, rand01() * std::f64::consts::TAU);
+        let (p1, p2) = (
+            rand01() * std::f64::consts::TAU,
+            rand01() * std::f64::consts::TAU,
+        );
         for j in 0..len {
             let x = j as f64 / len.max(1) as f64;
             // two harmonics keep the zone non-trivial for the predictors

@@ -227,11 +227,7 @@ mod tests {
                 for axis in 0..dims.len() {
                     for_each_point(&dims, axis, s, PointSet::Fine, |_, _| n += 1);
                 }
-                assert_eq!(
-                    n,
-                    level_coefficient_count(&dims, s),
-                    "dims {dims:?} s={s}"
-                );
+                assert_eq!(n, level_coefficient_count(&dims, s), "dims {dims:?} s={s}");
             }
         }
     }

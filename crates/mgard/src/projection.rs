@@ -90,7 +90,11 @@ mod tests {
         let n = w.len();
         let mut out = vec![0.0; n];
         for i in 0..n {
-            let diag = if i == 0 || i == n - 1 { 1.0 / 3.0 } else { 2.0 / 3.0 };
+            let diag = if i == 0 || i == n - 1 {
+                1.0 / 3.0
+            } else {
+                2.0 / 3.0
+            };
             out[i] = diag * w[i];
             if i > 0 {
                 out[i] += w[i - 1] / 6.0;

@@ -1,7 +1,7 @@
 //! Refactoring: decompose → per-level bitplane segments + metadata.
 
 use crate::bitplane::{encode_level, EncodedLevel, PLANES};
-use crate::hierarchy::level_strides;
+use crate::hierarchy::{level_coefficient_count, level_strides};
 use crate::retrieve::MgardReader;
 use crate::transform::{decompose, gather_level, Basis};
 use pqr_util::byteio::{ByteReader, ByteWriter};
@@ -184,14 +184,32 @@ impl MgardStream {
         for _ in 0..nd {
             dims.push(r.get_u64()? as usize);
         }
+        pqr_util::byteio::check_dims(&dims)?;
         let root = r.get_f64()?;
+        // The level structure is fully determined by the shape: the reader
+        // indexes `decoders[l]` per stride and `scatter_level` trusts each
+        // level's exact coefficient count, so a stream that disagrees with
+        // `level_strides(dims)` would panic downstream — reject it here.
+        let expected = level_strides(&dims);
         let nlevels = r.get_u32()? as usize;
+        if nlevels != expected.len() {
+            return Err(PqrError::CorruptStream(format!(
+                "{nlevels} levels for dims {dims:?} (shape implies {})",
+                expected.len()
+            )));
+        }
         let mut levels = Vec::with_capacity(nlevels);
-        for _ in 0..nlevels {
+        for &stride in &expected {
             let has_exp = r.get_u8()? != 0;
             let e = r.get_u32()? as i32;
             let exponent = has_exp.then_some(e);
             let count = r.get_u64()? as usize;
+            let want = level_coefficient_count(&dims, stride);
+            if count != want {
+                return Err(PqrError::CorruptStream(format!(
+                    "level stride {stride} declares {count} coefficients, shape implies {want}"
+                )));
+            }
             let nplanes = r.get_u32()? as usize;
             if nplanes > PLANES as usize {
                 return Err(PqrError::CorruptStream(format!(
@@ -291,6 +309,51 @@ mod tests {
         let bytes = s.to_bytes();
         let s2 = MgardStream::from_bytes(&bytes).unwrap();
         assert_eq!(s2.dims(), &[0]);
+        // the degenerate stream must also be readable, not just parseable
+        assert!(s2.reader().reconstruct().is_empty());
+    }
+
+    /// Builds stream bytes for dims `[16]` with the given level headers
+    /// (`(count, nplanes)` per level, no plane payloads).
+    fn crafted_stream(level_counts: &[(u64, u32)]) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_raw(MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(Basis::Hierarchical.tag());
+        w.put_u8(1); // nd
+        w.put_u64(16); // dim
+        w.put_f64(0.0); // root
+        w.put_u32(level_counts.len() as u32);
+        for &(count, nplanes) in level_counts {
+            w.put_u8(1); // has exponent
+            w.put_u32(0); // exponent
+            w.put_u64(count);
+            w.put_u32(nplanes);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn hostile_level_structure_rejected() {
+        // The reader's decoders allocate `count` slots and `scatter_level`
+        // trusts the exact per-level counts, so streams whose declared
+        // structure disagrees with the shape must fail at parse time —
+        // accepting them would turn `reader()`/`reconstruct()` into an
+        // abort or an index panic.
+
+        // u64::MAX coefficients in a single level (allocation bomb)
+        assert!(MgardStream::from_bytes(&crafted_stream(&[(u64::MAX, 0)])).is_err());
+        // too few levels for the shape ([16] implies strides 1,2,4,8)
+        assert!(MgardStream::from_bytes(&crafted_stream(&[(5, 0)])).is_err());
+        // right level count, one wrong coefficient count (true: 8,4,2,1)
+        assert!(
+            MgardStream::from_bytes(&crafted_stream(&[(8, 0), (5, 0), (2, 0), (1, 0)])).is_err()
+        );
+        // the structurally correct headers parse fine
+        let ok = MgardStream::from_bytes(&crafted_stream(&[(8, 0), (4, 0), (2, 0), (1, 0)]));
+        assert!(ok.is_ok(), "{ok:?}");
+        // ...and the parsed stream is readable without panicking
+        assert_eq!(ok.unwrap().reader().reconstruct().len(), 16);
     }
 
     #[test]

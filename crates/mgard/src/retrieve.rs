@@ -143,8 +143,8 @@ impl<'a> MgardReader<'a> {
             if (d.planes_read() as usize) >= self.stream.levels[l].planes.len() {
                 continue;
             }
-            let contribution = level_weight(self.stream.basis, &self.stream.dims, l)
-                * d.error_bound();
+            let contribution =
+                level_weight(self.stream.basis, &self.stream.dims, l) * d.error_bound();
             match best {
                 Some((_, c)) if c >= contribution => {}
                 _ => best = Some((l, contribution)),
@@ -162,7 +162,12 @@ impl<'a> MgardReader<'a> {
         let mut v = vec![0.0f64; n];
         v[0] = self.stream.root;
         for (l, &s) in level_strides(&self.stream.dims).iter().enumerate() {
-            scatter_level(&mut v, &self.stream.dims, s, &self.decoders[l].coefficients());
+            scatter_level(
+                &mut v,
+                &self.stream.dims,
+                s,
+                &self.decoders[l].coefficients(),
+            );
         }
         recompose(&mut v, &self.stream.dims, self.stream.basis);
         v
@@ -249,7 +254,9 @@ mod tests {
     fn refine_meets_requested_bounds_and_real_error_below_guarantee() {
         let data = field(2000);
         for basis in [Basis::Hierarchical, Basis::Orthogonal] {
-            let stream = MgardRefactorer::new(basis).refactor(&data, &[2000]).unwrap();
+            let stream = MgardRefactorer::new(basis)
+                .refactor(&data, &[2000])
+                .unwrap();
             let mut reader = stream.reader();
             for eb in [1e-1, 1e-3, 1e-5, 1e-8] {
                 reader.refine_to(eb).unwrap();
@@ -394,7 +401,9 @@ mod tests {
     #[test]
     fn resolution_progression_2d_dims() {
         let data = field(20 * 13);
-        let stream = MgardRefactorer::default().refactor(&data, &[20, 13]).unwrap();
+        let stream = MgardRefactorer::default()
+            .refactor(&data, &[20, 13])
+            .unwrap();
         let mut reader = stream.reader();
         reader.refine_to(1e-8).unwrap();
         let (coarse, dims) = reader.reconstruct_at_resolution(1);
@@ -432,7 +441,11 @@ mod tests {
             sizes.push(reader.total_fetched());
         }
         let distinct: std::collections::BTreeSet<_> = sizes.iter().collect();
-        assert!(distinct.len() >= 12, "only {} distinct sizes", distinct.len());
+        assert!(
+            distinct.len() >= 12,
+            "only {} distinct sizes",
+            distinct.len()
+        );
         for w in sizes.windows(2) {
             assert!(w[1] >= w[0]);
         }

@@ -126,7 +126,11 @@ fn apply_correction(
     let stride = st[axis];
     // coarse positions: 0, 2s, …; fine positions: s, 3s, …
     let n_coarse = (dim - 1) / (2 * s) + 1;
-    let n_fine = if s >= dim { 0 } else { (dim - 1 - s) / (2 * s) + 1 };
+    let n_fine = if s >= dim {
+        0
+    } else {
+        (dim - 1 - s) / (2 * s) + 1
+    };
     if n_fine == 0 {
         return;
     }

@@ -2,9 +2,9 @@
 //! reader: exact invertibility on arbitrary shapes, and the guaranteed
 //! bound dominating the real reconstruction error at arbitrary fetch depth.
 
-use proptest::prelude::*;
 use pqr_mgard::transform::{decompose, recompose};
 use pqr_mgard::{Basis, MgardRefactorer};
+use proptest::prelude::*;
 
 fn arb_basis() -> impl Strategy<Value = Basis> {
     prop_oneof![Just(Basis::Hierarchical), Just(Basis::Orthogonal)]

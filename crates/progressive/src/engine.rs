@@ -264,7 +264,11 @@ impl<'a> RetrievalEngine<'a> {
     /// Cumulative fetched bytes (metadata + fragments + mask).
     pub fn total_fetched(&self) -> usize {
         let mask_bytes = self.archive.mask().map_or(0, |m| m.storage_bytes());
-        self.readers.iter().map(|r| r.total_fetched()).sum::<usize>() + mask_bytes
+        self.readers
+            .iter()
+            .map(|r| r.total_fetched())
+            .sum::<usize>()
+            + mask_bytes
     }
 
     /// Runs Algorithm 2 until every spec's tolerance is met or the archive
@@ -337,7 +341,9 @@ impl<'a> RetrievalEngine<'a> {
                 }
             }
             // Alg. 2 lines 13–24: estimate QoI errors everywhere.
-            let achieved: Vec<f64> = (0..nv).map(|j| self.readers[j].guaranteed_bound()).collect();
+            let achieved: Vec<f64> = (0..nv)
+                .map(|j| self.readers[j].guaranteed_bound())
+                .collect();
             let scans = self.scan_qois(qois, &achieved);
             let mut all_met = true;
             for (k, &(est, _)) in scans.iter().enumerate() {
@@ -378,8 +384,9 @@ impl<'a> RetrievalEngine<'a> {
             if !progress {
                 // exhausted representations and still unmet — Alg. 2's
                 // "full fidelity retrieved" exit
-                let achieved: Vec<f64> =
-                    (0..nv).map(|j| self.readers[j].guaranteed_bound()).collect();
+                let achieved: Vec<f64> = (0..nv)
+                    .map(|j| self.readers[j].guaranteed_bound())
+                    .collect();
                 return Ok(self.report(false, iterations, fetched_before, max_est, achieved));
             }
         }
@@ -537,9 +544,7 @@ mod tests {
         ds
     }
 
-    fn engine_for(
-        archive: &RefactoredDataset,
-    ) -> RetrievalEngine<'_> {
+    fn engine_for(archive: &RefactoredDataset) -> RetrievalEngine<'_> {
         RetrievalEngine::new(archive, EngineConfig::default()).unwrap()
     }
 
@@ -571,7 +576,10 @@ mod tests {
         let ds = velocity_dataset(2000, false);
         for scheme in Scheme::extended() {
             let archive = ds
-                .refactor_with_bounds(scheme, &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
+                .refactor_with_bounds(
+                    scheme,
+                    &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>(),
+                )
                 .unwrap();
             let mut engine = engine_for(&archive);
             let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-4, &ds).unwrap();
@@ -586,9 +594,7 @@ mod tests {
         let ds = velocity_dataset(1500, true);
         let archive_no_mask = ds.refactor(Scheme::PmgardHb).unwrap();
         let mut archive_masked = archive_no_mask.clone();
-        archive_masked
-            .set_mask(ds.zero_mask(&[0, 1, 2]))
-            .unwrap();
+        archive_masked.set_mask(ds.zero_mask(&[0, 1, 2])).unwrap();
 
         let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-3, &ds).unwrap();
 
@@ -621,12 +627,16 @@ mod tests {
         let mut ds = Dataset::new(&[n]);
         ds.add_field(
             "H2",
-            (0..n).map(|i| 0.1 + 0.05 * (i as f64 * 0.01).sin()).collect(),
+            (0..n)
+                .map(|i| 0.1 + 0.05 * (i as f64 * 0.01).sin())
+                .collect(),
         )
         .unwrap();
         ds.add_field(
             "O2",
-            (0..n).map(|i| 0.2 + 0.1 * (i as f64 * 0.017).cos()).collect(),
+            (0..n)
+                .map(|i| 0.2 + 0.1 * (i as f64 * 0.017).cos())
+                .collect(),
         )
         .unwrap();
         let archive = ds.refactor(Scheme::Psz3Delta).unwrap();
@@ -643,7 +653,10 @@ mod tests {
         let vtot = velocity_magnitude(0, 3);
         for scheme in Scheme::extended() {
             let archive = ds
-                .refactor_with_bounds(scheme, &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
+                .refactor_with_bounds(
+                    scheme,
+                    &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>(),
+                )
                 .unwrap();
             // session 1: loose request, then save
             let mut e1 = engine_for(&archive);
@@ -652,8 +665,7 @@ mod tests {
             let blob = e1.save_progress();
 
             // session 2: resume, verify state equality, continue tighter
-            let mut e2 = RetrievalEngine::resume(&archive, EngineConfig::default(), &blob)
-                .unwrap();
+            let mut e2 = RetrievalEngine::resume(&archive, EngineConfig::default(), &blob).unwrap();
             for i in 0..3 {
                 assert_eq!(
                     e1.reconstruction(i),
@@ -693,12 +705,16 @@ mod tests {
         bad[0] = b'X';
         assert!(RetrievalEngine::resume(&archive, EngineConfig::default(), &bad).is_err());
         // truncation
-        assert!(
-            RetrievalEngine::resume(&archive, EngineConfig::default(), &blob[..blob.len() / 2])
-                .is_err()
-        );
+        assert!(RetrievalEngine::resume(
+            &archive,
+            EngineConfig::default(),
+            &blob[..blob.len() / 2]
+        )
+        .is_err());
         // wrong scheme: progress from PMGARD against a PSZ3 archive
-        let other = ds.refactor_with_bounds(Scheme::Psz3, &[1e-1, 1e-2]).unwrap();
+        let other = ds
+            .refactor_with_bounds(Scheme::Psz3, &[1e-1, 1e-2])
+            .unwrap();
         assert!(RetrievalEngine::resume(&other, EngineConfig::default(), &blob).is_err());
     }
 

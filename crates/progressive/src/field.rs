@@ -287,7 +287,12 @@ impl RefactoredDataset {
         for _ in 0..nd {
             dims.push(r.get_u64()? as usize);
         }
+        pqr_util::byteio::check_dims(&dims)?;
+        // Each field entry carries two u64 length prefixes at minimum, so a
+        // count the remaining bytes cannot back is corruption, not a reason
+        // to preallocate gigabytes.
         let nf = r.get_u32()? as usize;
+        let nf = r.check_count(nf, 16)?;
         let mut names = Vec::with_capacity(nf);
         let mut fields = Vec::with_capacity(nf);
         for _ in 0..nf {
@@ -418,9 +423,7 @@ mod tests {
     #[test]
     fn mask_shape_validated() {
         let ds = small_dataset();
-        let mut rd = ds
-            .refactor_with_bounds(Scheme::PmgardHb, &[1e-1])
-            .unwrap();
+        let mut rd = ds.refactor_with_bounds(Scheme::PmgardHb, &[1e-1]).unwrap();
         let bad = ZeroMask::new(vec![0], vec![false; 3]);
         assert!(rd.set_mask(bad).is_err());
         let good = ds.zero_mask(&[0, 1, 2]);

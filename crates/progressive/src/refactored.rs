@@ -12,12 +12,12 @@
 //! reconstruct from a prefix of fragments under a guaranteed L∞ bound, and
 //! recompose incrementally as more fragments arrive.
 
-use pqr_mgard::{Basis, MgardRefactorer, MgardReader, MgardStream};
+use pqr_mgard::{Basis, MgardReader, MgardRefactorer, MgardStream};
 use pqr_sz::{SzCompressor, SzConfig};
-use pqr_zfp::{ZfpReader, ZfpRefactorer, ZfpStream};
 use pqr_util::byteio::{ByteReader, ByteWriter};
 use pqr_util::error::{PqrError, Result};
 use pqr_util::stats;
+use pqr_zfp::{ZfpReader, ZfpRefactorer, ZfpStream};
 
 /// Which progressive representation to refactor into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -407,6 +407,7 @@ impl RefactoredField {
         for _ in 0..nd {
             dims.push(r.get_u64()? as usize);
         }
+        pqr_util::byteio::check_dims(&dims)?;
         let range = r.get_f64()?;
         let max_abs = r.get_f64()?;
         let marker = r.get_u32()?;
@@ -537,11 +538,7 @@ impl ReaderProgress {
             2 => ReaderProgress::Zfp {
                 planes: r.get_u32()?,
             },
-            t => {
-                return Err(PqrError::CorruptStream(format!(
-                    "unknown progress tag {t}"
-                )))
-            }
+            t => return Err(PqrError::CorruptStream(format!("unknown progress tag {t}"))),
         })
     }
 
@@ -733,9 +730,8 @@ mod tests {
         let data = field_data(3000);
         let range = stats::value_range(&data);
         for scheme in Scheme::extended() {
-            let rf =
-                RefactoredField::refactor_with_bounds(scheme, &data, &[3000], &bounds_short())
-                    .unwrap();
+            let rf = RefactoredField::refactor_with_bounds(scheme, &data, &[3000], &bounds_short())
+                .unwrap();
             let mut reader = rf.reader();
             for rel in [1e-1, 1e-3, 1e-6] {
                 let eb = rel * range;
@@ -762,9 +758,8 @@ mod tests {
         let data = field_data(4000);
         let range = stats::value_range(&data);
         for scheme in Scheme::extended() {
-            let rf =
-                RefactoredField::refactor_with_bounds(scheme, &data, &[4000], &bounds_short())
-                    .unwrap();
+            let rf = RefactoredField::refactor_with_bounds(scheme, &data, &[4000], &bounds_short())
+                .unwrap();
             let mut reader = rf.reader();
             let mut last = reader.total_fetched();
             for rel in [1e-1, 1e-2, 1e-4, 1e-6] {
@@ -827,9 +822,8 @@ mod tests {
     fn initial_state_is_zero_vector_with_max_abs_bound() {
         let data = field_data(100);
         for scheme in [Scheme::Psz3, Scheme::Psz3Delta] {
-            let rf =
-                RefactoredField::refactor_with_bounds(scheme, &data, &[100], &bounds_short())
-                    .unwrap();
+            let rf = RefactoredField::refactor_with_bounds(scheme, &data, &[100], &bounds_short())
+                .unwrap();
             let reader = rf.reader();
             assert!(reader.data().iter().all(|&v| v == 0.0));
             assert_eq!(reader.guaranteed_bound(), rf.max_abs());
@@ -858,9 +852,8 @@ mod tests {
     fn serialization_roundtrip_all_schemes() {
         let data = field_data(800);
         for scheme in Scheme::extended() {
-            let rf =
-                RefactoredField::refactor_with_bounds(scheme, &data, &[800], &bounds_short())
-                    .unwrap();
+            let rf = RefactoredField::refactor_with_bounds(scheme, &data, &[800], &bounds_short())
+                .unwrap();
             let bytes = rf.to_bytes();
             let rf2 = RefactoredField::from_bytes(&bytes).unwrap();
             assert_eq!(rf2.scheme(), scheme);
@@ -882,9 +875,8 @@ mod tests {
     fn constant_field_handled() {
         let data = vec![5.0; 300];
         for scheme in Scheme::extended() {
-            let rf =
-                RefactoredField::refactor_with_bounds(scheme, &data, &[300], &bounds_short())
-                    .unwrap();
+            let rf = RefactoredField::refactor_with_bounds(scheme, &data, &[300], &bounds_short())
+                .unwrap();
             let mut reader = rf.reader();
             reader.refine_to(1e-6).unwrap();
             let real = max_abs_diff(&data, reader.data());

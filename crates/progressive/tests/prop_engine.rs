@@ -3,13 +3,13 @@
 //! reports `satisfied`, the actual QoI error is within the estimate and the
 //! estimate is within the tolerance.
 
-use proptest::prelude::*;
 use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine};
 use pqr_progressive::field::Dataset;
 use pqr_progressive::refactored::Scheme;
 use pqr_qoi::library::{species_product, velocity_magnitude};
 use pqr_qoi::QoiExpr;
 use pqr_util::stats;
+use proptest::prelude::*;
 
 fn arb_scheme() -> impl Strategy<Value = Scheme> {
     prop_oneof![
@@ -30,9 +30,7 @@ fn make_dataset(n: usize, seed: u64, offset: f64) -> Dataset {
                 s ^= s << 13;
                 s ^= s >> 7;
                 s ^= s << 17;
-                (s as f64 / u64::MAX as f64 - 0.5) * 4.0
-                    + ((i as f64) * 0.07).sin() * 10.0
-                    + offset
+                (s as f64 / u64::MAX as f64 - 0.5) * 4.0 + ((i as f64) * 0.07).sin() * 10.0 + offset
             })
             .collect();
         ds.add_field(name, field).unwrap();
@@ -45,7 +43,11 @@ fn arb_qoi() -> impl Strategy<Value = QoiExpr> {
         Just(velocity_magnitude(0, 3)),
         Just(species_product(0, 1)),
         Just(QoiExpr::var(2).pow(2)),
-        Just(QoiExpr::var(0).pow(2).add(QoiExpr::var(1).mul(QoiExpr::var(2)))),
+        Just(
+            QoiExpr::var(0)
+                .pow(2)
+                .add(QoiExpr::var(1).mul(QoiExpr::var(2)))
+        ),
         Just(QoiExpr::var(0).abs().add(QoiExpr::var(1).abs())),
     ]
 }

@@ -216,9 +216,7 @@ pub fn eval_interval(expr: &QoiExpr, x: &[f64], eps: &[f64]) -> Interval {
             acc
         }
         QoiExpr::Sqrt(arg) => eval_interval(arg, x, eps).sqrt(),
-        QoiExpr::Radical { c, arg } => eval_interval(arg, x, eps)
-            .add(Interval::point(*c))
-            .recip(),
+        QoiExpr::Radical { c, arg } => eval_interval(arg, x, eps).add(Interval::point(*c)).recip(),
         QoiExpr::Sum(terms) => {
             let mut acc = Interval::point(0.0);
             for (a, e) in terms {

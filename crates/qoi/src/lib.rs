@@ -70,6 +70,6 @@ pub mod parse;
 pub mod serial;
 
 pub use bounds::{BoundConfig, Estimator, SqrtMode};
-pub use interval::{eval_interval, interval_bound, Interval};
 pub use expr::{Bounded, QoiExpr};
+pub use interval::{eval_interval, interval_bound, Interval};
 pub use parse::parse;

@@ -220,7 +220,13 @@ mod tests {
         let f0 = q.eval(&x);
         for corner in 0..32u32 {
             let xp: Vec<f64> = (0..5)
-                .map(|i| x[i] + if corner >> i & 1 == 1 { eps[i] } else { -eps[i] })
+                .map(|i| {
+                    x[i] + if corner >> i & 1 == 1 {
+                        eps[i]
+                    } else {
+                        -eps[i]
+                    }
+                })
                 .collect();
             assert!(
                 (q.eval(&xp) - f0).abs() <= out.bound,

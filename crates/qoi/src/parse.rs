@@ -410,7 +410,9 @@ mod tests {
 
     #[test]
     fn malformed_inputs_rejected() {
-        for bad in ["", "x0 +", "sqrt(x0", "foo(x0)", "x0 @ x1", "(x0))", "poly(x0)"] {
+        for bad in [
+            "", "x0 +", "sqrt(x0", "foo(x0)", "x0 @ x1", "(x0))", "poly(x0)",
+        ] {
             assert!(parse(bad).is_err(), "'{bad}' should not parse");
         }
     }

@@ -9,8 +9,8 @@
 //! Expression trees, inputs, bounds and perturbations are all generated
 //! randomly; both √-estimator modes are exercised.
 
-use proptest::prelude::*;
 use pqr_qoi::{BoundConfig, QoiExpr, SqrtMode};
+use proptest::prelude::*;
 
 const NVARS: usize = 4;
 
@@ -38,16 +38,13 @@ fn arb_expr(depth: u32) -> impl Strategy<Value = QoiExpr> {
             // product
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
             // quotient with a denominator kept away from zero
-            (inner.clone(), inner.clone(), 3.0..8.0f64)
-                .prop_map(|(a, b, c)| a.div(QoiExpr::sum(vec![
-                    (1.0, b.pow(2)),
-                    (1.0, QoiExpr::constant(c))
-                ]))),
+            (inner.clone(), inner.clone(), 3.0..8.0f64).prop_map(|(a, b, c)| a.div(QoiExpr::sum(
+                vec![(1.0, b.pow(2)), (1.0, QoiExpr::constant(c))]
+            ))),
             // absolute value
             inner.clone().prop_map(|e| e.abs()),
             // ln of a strictly positive argument (pole kept out of reach)
-            (inner.clone(), 4.0..9.0f64)
-                .prop_map(|(e, c)| (e.pow(2) + QoiExpr::constant(c)).ln()),
+            (inner.clone(), 4.0..9.0f64).prop_map(|(e, c)| (e.pow(2) + QoiExpr::constant(c)).ln()),
             // exp with a damped argument so magnitudes stay tame
             inner.prop_map(|e| e.scale(0.05).exp()),
         ]

@@ -55,8 +55,11 @@ impl SzCompressor {
         let mut symbols: Vec<u32> = Vec::with_capacity(n);
         let mut escapes: Vec<f64> = Vec::new();
         let mut recon = vec![0.0f64; n];
-        traverse(self.cfg.predictor, dims, &mut recon, |idx, pred| {
-            match quant.quantize(data[idx], pred) {
+        traverse(
+            self.cfg.predictor,
+            dims,
+            &mut recon,
+            |idx, pred| match quant.quantize(data[idx], pred) {
                 Quantized::Code { symbol, recon } => {
                     symbols.push(symbol);
                     recon
@@ -66,8 +69,8 @@ impl SzCompressor {
                     escapes.push(data[idx]);
                     data[idx]
                 }
-            }
-        });
+            },
+        );
 
         let huff = huffman::encode(&symbols, quant.alphabet())?;
         let packed = rle::encode_bytes(&huff);

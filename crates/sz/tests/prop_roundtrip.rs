@@ -2,8 +2,8 @@
 //! shape, any positive error bound — reconstruction stays within `eb`
 //! pointwise and the blob decodes to the exact same thing every time.
 
-use proptest::prelude::*;
 use pqr_sz::{SzCompressor, SzConfig};
+use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SzConfig> {
     prop_oneof![

@@ -165,11 +165,7 @@ pub fn run_pipeline(
 
 /// The Fig. 9 baseline: moving the raw (uncompressed) involved fields.
 pub fn baseline_transfer_secs(store: &RemoteStore, cfg: &PipelineConfig, fields: usize) -> f64 {
-    let total_fields: usize = store
-        .block(0)
-        .map(|b| b.num_fields())
-        .unwrap_or(1)
-        .max(1);
+    let total_fields: usize = store.block(0).map(|b| b.num_fields()).unwrap_or(1).max(1);
     let bytes = store.raw_bytes() * fields / total_fields;
     cfg.network.transfer_secs(bytes, store.num_blocks())
 }

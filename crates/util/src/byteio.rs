@@ -197,6 +197,22 @@ impl<'a> ByteReader<'a> {
         Ok(v)
     }
 
+    /// Validates an element count read from the stream against the bytes
+    /// that could plausibly back it: each element must occupy at least
+    /// `min_entry_bytes` of the remaining input. Deserializers call this
+    /// before `Vec::with_capacity(n)` so a hostile header cannot drive a
+    /// multi-gigabyte preallocation.
+    pub fn check_count(&self, n: usize, min_entry_bytes: usize) -> Result<usize> {
+        debug_assert!(min_entry_bytes > 0);
+        if n > self.remaining() / min_entry_bytes {
+            return Err(PqrError::CorruptStream(format!(
+                "count {n} implies at least {min_entry_bytes} B each but only {} B remain",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -207,6 +223,29 @@ impl<'a> ByteReader<'a> {
         self.pos
     }
 }
+
+/// Validates an array shape read from an untrusted stream and returns its
+/// element count (counting zero extents as 1, so degenerate empty shapes
+/// stay representable). Rejects shapes whose product overflows or exceeds
+/// the [`MAX_ELEMENTS`] policy ceiling, so hostile dims cannot panic
+/// element-count arithmetic. Deserializers share this so the plausibility
+/// rule cannot drift between codecs.
+///
+/// This is a *policy* bound, not a full defense: readers eagerly allocate
+/// O(elements) state, so a well-formed stream declaring a huge (but
+/// accepted) shape still costs memory proportional to that shape — the
+/// ceiling caps the damage at "large", not "absurd".
+pub fn check_dims(dims: &[usize]) -> Result<usize> {
+    dims.iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d.max(1)))
+        .filter(|&n| n <= MAX_ELEMENTS)
+        .ok_or_else(|| PqrError::CorruptStream(format!("implausible dims {dims:?}")))
+}
+
+/// Largest element count [`check_dims`] accepts: 2^33 ≈ 8.6 G elements
+/// (a 64 GiB raw `f64` field) — comfortably above the paper's largest
+/// dataset (GE-large, ≈1 G points) with room for growth.
+pub const MAX_ELEMENTS: usize = 1 << 33;
 
 #[cfg(test)]
 mod tests {

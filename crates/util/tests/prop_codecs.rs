@@ -1,9 +1,9 @@
 //! Property-based tests for the lossless codecs: any input, exact
 //! roundtrips, no panics on hostile streams.
 
-use proptest::prelude::*;
 use pqr_util::bitio::{BitReader, BitWriter};
 use pqr_util::{huffman, rle};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -119,7 +119,8 @@ impl ZfpRefactorer {
         let nd = grid.ndims();
         let blen = grid.block_len();
         let nblocks = grid.num_blocks();
-        let coeff_bits = negabinary::digits_for_magnitude_bits(Q as u32 + transform::growth_bits(nd));
+        let coeff_bits =
+            negabinary::digits_for_magnitude_bits(Q as u32 + transform::growth_bits(nd));
 
         // Pass 1: per-block fixed point + transform + negabinary.
         let mut exponents = vec![EMPTY; nblocks];
@@ -297,7 +298,8 @@ impl ZfpStream {
             return rounding * (1.0 + 1e-12);
         }
         let nd = self.dims.len();
-        let trunc = recon_error_factor(nd) * exp2(self.a_max + 1 - k.min(self.planes.len() as u32) as i32);
+        let trunc =
+            recon_error_factor(nd) * exp2(self.a_max + 1 - k.min(self.planes.len() as u32) as i32);
         (trunc + 1.5 * rounding) * (1.0 + 1e-12)
     }
 
@@ -356,6 +358,10 @@ impl ZfpStream {
             return Err(PqrError::CorruptStream(format!("coeff_bits {coeff_bits}")));
         }
         let capped = r.get_u8()? != 0;
+        // Hostile dims must not overflow the block/element products (the
+        // exponent-table length check below bounds the real size, but only
+        // if `num_blocks * 2` itself cannot panic first).
+        pqr_util::byteio::check_dims(&dims)?;
         let grid = BlockGrid::new(&dims);
         let eb = rle::decode_bytes(r.get_bytes()?)?;
         if eb.len() != grid.num_blocks() * 2 {
@@ -708,7 +714,11 @@ mod tests {
             sizes.push(reader.total_fetched());
         }
         let distinct: std::collections::BTreeSet<_> = sizes.iter().collect();
-        assert!(distinct.len() >= 12, "only {} distinct sizes", distinct.len());
+        assert!(
+            distinct.len() >= 12,
+            "only {} distinct sizes",
+            distinct.len()
+        );
         for w in sizes.windows(2) {
             assert!(w[1] >= w[0]);
         }
@@ -780,7 +790,9 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         assert!(ZfpRefactorer::new().refactor(&[1.0; 5], &[6]).is_err());
-        assert!(ZfpRefactorer::new().refactor(&[1.0; 16], &[2, 2, 2, 2]).is_err());
+        assert!(ZfpRefactorer::new()
+            .refactor(&[1.0; 16], &[2, 2, 2, 2])
+            .is_err());
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! dominate the real error for arbitrary data, shapes and fetch depths, and
 //! every structural codec must roundtrip or fail cleanly.
 
-use proptest::prelude::*;
-use pqr_zfp::{transform, ZfpRefactorer, ZfpStream};
 use pqr_util::stats::max_abs_diff;
+use pqr_zfp::{transform, ZfpRefactorer, ZfpStream};
+use proptest::prelude::*;
 
 /// Arbitrary finite f64 fields with wildly mixed scales.
 fn field_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -86,7 +86,10 @@ fn main() -> Result<()> {
             let derived = session.qoi_values(name)?;
             let actual = stats::max_abs_diff(&truth, &derived);
             let range = stats::value_range(&truth);
-            println!("  {name}: actual relative error {:.3e} ≤ 1e-5", actual / range);
+            println!(
+                "  {name}: actual relative error {:.3e} ≤ 1e-5",
+                actual / range
+            );
             assert!(actual / range <= 1e-5);
         }
     }

@@ -25,7 +25,10 @@ fn main() -> Result<()> {
     // QoIs straight from text — x0 = rho, x1 = T
     let qois = [
         ("ideal_gas_p", "287.1 * x0 * x1"),
-        ("sutherland", "1.716e-5 * sqrt((x1 / 273.15)^3) * 383.55 / (x1 + 110.4)"),
+        (
+            "sutherland",
+            "1.716e-5 * sqrt((x1 / 273.15)^3) * 383.55 / (x1 + 110.4)",
+        ),
         ("buoyancy", "9.81 * (1.2 - x0) / 1.2"),
     ];
 
@@ -40,7 +43,10 @@ fn main() -> Result<()> {
     let archive = builder.scheme(Scheme::PmgardHb).build()?;
 
     let mut session = archive.session()?;
-    println!("\n{:>12} {:>10} {:>12} {:>12}", "qoi", "tol", "bytes", "est err");
+    println!(
+        "\n{:>12} {:>10} {:>12} {:>12}",
+        "qoi", "tol", "bytes", "est err"
+    );
     for (name, _) in qois {
         let r = session.request(name, 1e-5)?;
         assert!(r.satisfied);

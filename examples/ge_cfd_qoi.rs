@@ -66,7 +66,10 @@ fn main() -> Result<()> {
     );
 
     // Verify the guarantee against ground truth for every QoI.
-    println!("\n{:>6} {:>14} {:>14} {:>12}", "QoI", "actual rel", "estimated rel", "tolerance");
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>12}",
+        "QoI", "actual rel", "estimated rel", "tolerance"
+    );
     for (i, (name, _)) in all.iter().enumerate() {
         let expr = archive.qoi_expr(name).unwrap();
         let range = archive.qoi_range(name).unwrap();
@@ -83,7 +86,10 @@ fn main() -> Result<()> {
         let derived = session.qoi_values(name)?;
         let actual = stats::max_abs_diff(&truth, &derived) / range;
         let est = r.max_est_errors[i] / range;
-        println!("{:>6} {:>14.3e} {:>14.3e} {:>12.0e}", name, actual, est, all[i].1);
+        println!(
+            "{:>6} {:>14.3e} {:>14.3e} {:>12.0e}",
+            name, actual, est, all[i].1
+        );
         assert!(actual <= est + 1e-15, "{name}: guarantee violated");
     }
     println!("\nall QoI errors within their guarantees ✓");

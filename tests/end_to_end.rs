@@ -96,13 +96,8 @@ fn s3d_products() {
     let ds = to_dataset(&raw);
     let archive = ds.refactor(Scheme::PmgardHb).unwrap();
     for (a, b) in s3d::PRODUCT_PAIRS {
-        let spec = QoiSpec::relative(
-            &format!("x{a}x{b}"),
-            species_product(a, b),
-            1e-6,
-            &ds,
-        )
-        .unwrap();
+        let spec =
+            QoiSpec::relative(&format!("x{a}x{b}"), species_product(a, b), 1e-6, &ds).unwrap();
         assert_guarantee(&ds, &archive, &spec);
     }
 }

@@ -38,7 +38,11 @@ fn pzfp_archive_serves_extension_qois() {
     let report = session.request("rate", 1e-5).unwrap();
     assert!(report.satisfied);
 
-    let truth: Vec<f64> = t.iter().zip(&c).map(|(&a, &b)| rate.eval(&[a, b])).collect();
+    let truth: Vec<f64> = t
+        .iter()
+        .zip(&c)
+        .map(|(&a, &b)| rate.eval(&[a, b]))
+        .collect();
     let derived = session.qoi_values("rate").unwrap();
     let actual = stats::max_abs_diff(&truth, &derived);
     assert!(actual <= report.max_est_errors[0]);
@@ -56,7 +60,10 @@ fn pzfp_archive_roundtrips_through_serialization() {
         .unwrap();
     let restored = Archive::from_bytes(&archive.to_bytes()).unwrap();
     // ln/exp expressions survive the registry serialization
-    assert_eq!(restored.qoi_expr("lnT").unwrap(), archive.qoi_expr("lnT").unwrap());
+    assert_eq!(
+        restored.qoi_expr("lnT").unwrap(),
+        archive.qoi_expr("lnT").unwrap()
+    );
     let mut a = archive.session().unwrap();
     let mut b = restored.session().unwrap();
     let ra = a.request("lnT", 1e-6).unwrap();

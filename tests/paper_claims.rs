@@ -127,7 +127,10 @@ fn mask_vs_exact_sqrt_ablation() {
     cfg.max_tightenings = 512;
     let mut engine2 = RetrievalEngine::new(&archive, cfg).unwrap();
     let r2 = engine2.retrieve(std::slice::from_ref(&spec)).unwrap();
-    assert!(r2.satisfied, "exact √ estimator should succeed without mask");
+    assert!(
+        r2.satisfied,
+        "exact √ estimator should succeed without mask"
+    );
     let truth = ds.qoi_values(&spec.expr);
     let derived = engine2.qoi_values(&spec.expr);
     assert!(stats::max_abs_diff(&truth, &derived) <= r2.max_est_errors[0]);
@@ -160,7 +163,8 @@ fn fig9_wire_speedup_exceeds_two() {
     let ds = ge_dataset(20_000, 2);
     let mut vds = Dataset::new(ds.dims());
     for i in 0..3 {
-        vds.add_field(ds.field_name(i), ds.field(i).to_vec()).unwrap();
+        vds.add_field(ds.field_name(i), ds.field(i).to_vec())
+            .unwrap();
     }
     let mut archive = vds.refactor(Scheme::PmgardHb).unwrap();
     archive.set_mask(vds.zero_mask(&[0, 1, 2])).unwrap();
@@ -196,7 +200,8 @@ fn fig9_bytes_win() {
     // velocity fields only (the paper's 3-variable transfer subset)
     let mut vds = Dataset::new(ds.dims());
     for i in 0..3 {
-        vds.add_field(ds.field_name(i), ds.field(i).to_vec()).unwrap();
+        vds.add_field(ds.field_name(i), ds.field(i).to_vec())
+            .unwrap();
     }
     let mut archive = vds.refactor(Scheme::PmgardHb).unwrap();
     archive.set_mask(vds.zero_mask(&[0, 1, 2])).unwrap();

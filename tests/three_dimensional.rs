@@ -62,7 +62,10 @@ fn hurricane_engine_guarantee_through_3d_pipeline() {
     }
     for scheme in [Scheme::PmgardHb, Scheme::Psz3Delta] {
         let archive = ds
-            .refactor_with_bounds(scheme, &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
+            .refactor_with_bounds(
+                scheme,
+                &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>(),
+            )
             .unwrap();
         let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-4, &ds).unwrap();
         let mut engine = RetrievalEngine::new(&archive, EngineConfig::default()).unwrap();
@@ -90,7 +93,9 @@ fn nyx_kinetic_energy_multifield_3d() {
         ds.add_field(name, data.clone()).unwrap();
     }
     let n = ds.num_elements();
-    let rho: Vec<f64> = (0..n).map(|i| 1.0 + 0.3 * ((i as f64) * 0.01).sin()).collect();
+    let rho: Vec<f64> = (0..n)
+        .map(|i| 1.0 + 0.3 * ((i as f64) * 0.01).sin())
+        .collect();
     ds.add_field("density", rho).unwrap();
 
     let ke = kinetic_energy(3, 0, 3);
