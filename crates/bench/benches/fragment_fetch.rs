@@ -1,0 +1,98 @@
+//! Criterion: fragment access through each storage backend — resident
+//! dataset, serialized in-memory container, file-backed byte-range reads,
+//! and a cached remote store (cold vs warm) — so the LRU cache's effect is
+//! measurable against the raw backend costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine};
+use pqr_progressive::field::Dataset;
+use pqr_progressive::fragstore::{
+    CachedSource, FileSource, FragmentCache, FragmentSource, InMemorySource,
+};
+use pqr_progressive::refactored::Scheme;
+use pqr_qoi::library::velocity_magnitude;
+use pqr_transfer::RemoteStore;
+use std::sync::Arc;
+
+fn dataset(n: usize) -> Dataset {
+    let mut ds = Dataset::new(&[n]);
+    for c in 0..3usize {
+        ds.add_field(
+            ["Vx", "Vy", "Vz"][c],
+            (0..n)
+                .map(|i| ((i + c * 41) as f64 * 0.006).sin() * 25.0 + 40.0)
+                .collect(),
+        )
+        .unwrap();
+    }
+    ds
+}
+
+/// One full loose-tolerance retrieval through `source` — the unit of work
+/// whose fragment-fetch cost the backends differ in.
+fn retrieve_once(source: &dyn FragmentSource, spec: &QoiSpec) -> usize {
+    let mut engine = RetrievalEngine::from_source(source, EngineConfig::default()).unwrap();
+    let report = engine.retrieve(std::slice::from_ref(spec)).unwrap();
+    assert!(report.satisfied);
+    report.total_fetched
+}
+
+fn bench_fragment_fetch(c: &mut Criterion) {
+    let ds = dataset(30_000);
+    let expr = velocity_magnitude(0, 3);
+    let range = ds.qoi_range(&expr).unwrap();
+    let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+    let spec = QoiSpec::with_range("VTOT", expr, 1e-3, range);
+
+    let bytes = archive.to_bytes();
+    let dir = std::env::temp_dir().join("pqr_fragment_fetch_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("bench_{}.pqrx", std::process::id()));
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mem = InMemorySource::new(bytes).unwrap();
+    let file = FileSource::open(&path).unwrap();
+    let store = RemoteStore::new(vec![archive.clone()]).with_cache(64 << 20);
+
+    let mut g = c.benchmark_group("fragment_fetch");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("backend", "resident"), |b| {
+        b.iter(|| retrieve_once(&archive, &spec))
+    });
+    g.bench_function(BenchmarkId::new("backend", "in_memory"), |b| {
+        b.iter(|| retrieve_once(&mem, &spec))
+    });
+    g.bench_function(BenchmarkId::new("backend", "file"), |b| {
+        b.iter(|| retrieve_once(&file, &spec))
+    });
+    // cold: a fresh cache per retrieval — every fetch misses
+    g.bench_function(BenchmarkId::new("backend", "file_cached_cold"), |b| {
+        b.iter(|| {
+            let cold = CachedSource::new(
+                FileSource::open(&path).unwrap(),
+                Arc::new(FragmentCache::new(64 << 20)),
+            );
+            retrieve_once(&cold, &spec)
+        })
+    });
+    // warm: one shared cache across retrievals — steady-state all hits
+    let warm = CachedSource::new(
+        FileSource::open(&path).unwrap(),
+        Arc::new(FragmentCache::new(64 << 20)),
+    );
+    retrieve_once(&warm, &spec);
+    g.bench_function(BenchmarkId::new("backend", "file_cached_warm"), |b| {
+        b.iter(|| retrieve_once(&warm, &spec))
+    });
+    // remote store with its cache warmed by the first pass
+    let remote = store.block_source(0).unwrap();
+    retrieve_once(&remote, &spec);
+    g.bench_function(BenchmarkId::new("backend", "remote_cached_warm"), |b| {
+        b.iter(|| retrieve_once(&remote, &spec))
+    });
+    g.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_fragment_fetch);
+criterion_main!(benches);

@@ -1,11 +1,24 @@
 //! Archive + session: the ergonomic wrapper over the retrieval machinery.
+//!
+//! An [`Archive`] comes in two flavours sharing one retrieval code path:
+//!
+//! * **resident** — built by [`ArchiveBuilder`] or fully materialised by
+//!   [`Archive::from_bytes`]; the refactored fragments live in memory.
+//! * **lazy** — opened from a file with [`Archive::open`]; only the
+//!   manifest (shape, directories, QoI registry, mask) is read up front,
+//!   and every session fetches fragment byte ranges on demand. A loose
+//!   tolerance therefore reads only a fraction of the archive from disk.
 
 use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
 use pqr_progressive::field::{Dataset, RefactoredDataset};
+use pqr_progressive::fragstore::{
+    FileSource, FragmentSource, InMemorySource, Manifest, SourceStats,
+};
 use pqr_progressive::refactored::{default_snapshot_bounds, Scheme};
 use pqr_qoi::QoiExpr;
 use pqr_util::error::{PqrError, Result};
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// Builder for [`Archive`]: fields + QoIs + representation choices.
 pub struct ArchiveBuilder {
@@ -97,24 +110,63 @@ impl ArchiveBuilder {
             refactored.set_mask(self.dataset.zero_mask(&idx))?;
         }
         Ok(Archive {
-            refactored,
+            store: ArchiveStore::Resident(refactored),
             qois: qoi_meta,
             engine: self.engine,
         })
     }
 }
 
+/// Where an archive's fragment bytes live.
+enum ArchiveStore {
+    /// Fully materialised in memory (builder-built or deserialized).
+    Resident(RefactoredDataset),
+    /// Served on demand from a fragment source (lazily opened file).
+    Lazy(Box<dyn FragmentSource>),
+}
+
 /// A refactored archive with its QoI registry (Fig. 1's storage-side box).
 pub struct Archive {
-    refactored: RefactoredDataset,
+    store: ArchiveStore,
     qois: BTreeMap<String, (QoiExpr, f64)>,
     engine: EngineConfig,
 }
 
 impl Archive {
-    /// The underlying refactored dataset.
+    /// The fragment source every session of this archive fetches through.
+    pub fn source(&self) -> &dyn FragmentSource {
+        match &self.store {
+            ArchiveStore::Resident(rd) => rd,
+            ArchiveStore::Lazy(src) => src.as_ref(),
+        }
+    }
+
+    /// The archive manifest: shape, per-field schemes/ranges/directories,
+    /// mask presence — available without fetching any payload fragment.
+    pub fn manifest(&self) -> Result<Manifest> {
+        self.source().manifest()
+    }
+
+    /// Cumulative fetch tallies of the underlying source (zeros for
+    /// resident archives, which do not track memory copies).
+    pub fn source_stats(&self) -> SourceStats {
+        self.source().stats()
+    }
+
+    /// The underlying refactored dataset of a *resident* archive.
+    ///
+    /// # Panics
+    ///
+    /// Panics for lazily opened archives ([`Archive::open`]), whose
+    /// fragments intentionally stay on storage — use [`Archive::manifest`]
+    /// for metadata or a [`Session`] to retrieve data.
     pub fn refactored(&self) -> &RefactoredDataset {
-        &self.refactored
+        match &self.store {
+            ArchiveStore::Resident(rd) => rd,
+            ArchiveStore::Lazy(_) => {
+                panic!("lazily opened archive holds no resident dataset; use manifest()/session()")
+            }
+        }
     }
 
     /// Registered QoI names.
@@ -139,10 +191,11 @@ impl Archive {
         self.engine = cfg;
     }
 
-    /// Opens a retrieval session (progressive across requests).
+    /// Opens a retrieval session (progressive across requests). Sessions on
+    /// lazily opened archives fetch fragment byte ranges on demand.
     pub fn session(&self) -> Result<Session<'_>> {
         Ok(Session {
-            engine: RetrievalEngine::new(&self.refactored, self.engine)?,
+            engine: RetrievalEngine::from_source(self.source(), self.engine)?,
             archive: self,
         })
     }
@@ -153,7 +206,7 @@ impl Archive {
     /// accounting.
     pub fn resume_session(&self, progress: &[u8]) -> Result<Session<'_>> {
         Ok(Session {
-            engine: RetrievalEngine::resume(&self.refactored, self.engine, progress)?,
+            engine: RetrievalEngine::resume_from_source(self.source(), self.engine, progress)?,
             archive: self,
         })
     }
@@ -167,46 +220,117 @@ impl Archive {
         Ok(QoiSpec::with_range(name, expr.clone(), tol_rel, *range))
     }
 
-    /// Serializes the whole archive — refactored fields, mask, and the QoI
-    /// registry (expressions + refactor-time ranges) — so a remote retrieval
-    /// process can reconstruct the exact estimator (Fig. 1's metadata path).
+    /// Serializes the whole archive into the fragment-addressed container
+    /// format: refactored fields, mask, and the QoI registry (expressions +
+    /// refactor-time ranges) ride the manifest, so a lazily opened archive
+    /// reconstructs the exact estimator without touching a payload fragment
+    /// (Fig. 1's metadata path).
+    ///
+    /// Lazily opened archives are materialised first (every fragment is
+    /// fetched), which defeats their purpose — serialize resident archives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a *lazy* archive's backing source fails mid-materialise
+    /// (e.g. the file was truncated after open) — use [`Archive::save`],
+    /// whose fallible path reports such errors instead.
     pub fn to_bytes(&self) -> Vec<u8> {
-        use pqr_util::byteio::ByteWriter;
-        let mut w = ByteWriter::new();
-        w.put_raw(b"PQRA");
-        w.put_bytes(&self.refactored.to_bytes());
-        w.put_u32(self.qois.len() as u32);
-        for (name, (expr, range)) in &self.qois {
-            w.put_bytes(name.as_bytes());
-            w.put_bytes(&pqr_qoi::serial::to_bytes(expr));
-            w.put_f64(*range);
-        }
-        w.finish()
+        self.serialize()
+            .expect("lazy archive source failed mid-materialise")
     }
 
-    /// Restores an archive from [`Archive::to_bytes`].
+    fn serialize(&self) -> Result<Vec<u8>> {
+        let registry = registry_to_bytes(&self.qois);
+        Ok(match &self.store {
+            ArchiveStore::Resident(rd) => rd.to_bytes_with_meta(&registry),
+            ArchiveStore::Lazy(src) => {
+                RefactoredDataset::from_source(src.as_ref())?.to_bytes_with_meta(&registry)
+            }
+        })
+    }
+
+    /// Writes the archive to a file (see [`Archive::to_bytes`]); reopen it
+    /// lazily with [`Archive::open`]. Unlike [`Archive::to_bytes`], a lazy
+    /// archive whose source fails mid-materialise returns the error.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path.as_ref(), self.serialize()?).map_err(|e| {
+            PqrError::InvalidRequest(format!("cannot write '{}': {e}", path.as_ref().display()))
+        })
+    }
+
+    /// Restores (fully materialises) an archive from [`Archive::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        use pqr_util::byteio::ByteReader;
-        let mut r = ByteReader::new(bytes);
-        if r.get_raw(4)? != b"PQRA" {
-            return Err(PqrError::CorruptStream("bad archive magic".into()));
-        }
-        let refactored = RefactoredDataset::from_bytes(r.get_bytes()?)?;
-        let nq = r.get_u32()? as usize;
-        let mut qois = BTreeMap::new();
-        for _ in 0..nq {
-            let name = String::from_utf8(r.get_bytes()?.to_vec())
-                .map_err(|_| PqrError::CorruptStream("bad QoI name".into()))?;
-            let expr = pqr_qoi::serial::from_bytes(r.get_bytes()?)?;
-            let range = r.get_f64()?;
-            qois.insert(name, (expr, range));
-        }
+        let src = InMemorySource::new(bytes.to_vec())?;
+        let qois = registry_from_bytes(&src.manifest()?.app_meta)?;
         Ok(Self {
-            refactored,
+            store: ArchiveStore::Resident(RefactoredDataset::from_source(&src)?),
             qois,
             engine: EngineConfig::default(),
         })
     }
+
+    /// Opens an archive file **lazily**: reads only the manifest (and the
+    /// QoI registry embedded in it); sessions then fetch fragment byte
+    /// ranges on demand, so a loose-tolerance retrieval reads far fewer
+    /// disk bytes than the archive holds.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::from_fragment_source(FileSource::open(path)?)
+    }
+
+    /// Wraps an arbitrary fragment source (file, remote adapter, cached
+    /// stack) as a lazy archive, reading the QoI registry from its
+    /// manifest.
+    pub fn from_fragment_source(source: impl FragmentSource + 'static) -> Result<Self> {
+        let qois = registry_from_bytes(&source.manifest()?.app_meta)?;
+        Ok(Self {
+            store: ArchiveStore::Lazy(Box::new(source)),
+            qois,
+            engine: EngineConfig::default(),
+        })
+    }
+}
+
+/// Magic guarding the QoI registry blob inside the container manifest.
+const REGISTRY_MAGIC: &[u8; 4] = b"PQRA";
+
+fn registry_to_bytes(qois: &BTreeMap<String, (QoiExpr, f64)>) -> Vec<u8> {
+    use pqr_util::byteio::ByteWriter;
+    let mut w = ByteWriter::new();
+    w.put_raw(REGISTRY_MAGIC);
+    w.put_u32(qois.len() as u32);
+    for (name, (expr, range)) in qois {
+        w.put_bytes(name.as_bytes());
+        w.put_bytes(&pqr_qoi::serial::to_bytes(expr));
+        w.put_f64(*range);
+    }
+    w.finish()
+}
+
+fn registry_from_bytes(bytes: &[u8]) -> Result<BTreeMap<String, (QoiExpr, f64)>> {
+    // archives written without a registry (bare `RefactoredDataset`
+    // containers) simply expose no named QoIs
+    if bytes.is_empty() {
+        return Ok(BTreeMap::new());
+    }
+    use pqr_util::byteio::ByteReader;
+    let mut r = ByteReader::new(bytes);
+    if r.get_raw(4)? != REGISTRY_MAGIC {
+        return Err(PqrError::CorruptStream("bad QoI registry magic".into()));
+    }
+    let nq = r.get_u32()? as usize;
+    let nq = r.check_count(nq, 8 + 8 + 8)?;
+    let mut qois = BTreeMap::new();
+    for _ in 0..nq {
+        let name = String::from_utf8(r.get_bytes()?.to_vec())
+            .map_err(|_| PqrError::CorruptStream("bad QoI name".into()))?;
+        let expr = pqr_qoi::serial::from_bytes(r.get_bytes()?)?;
+        let range = r.get_f64()?;
+        qois.insert(name, (expr, range));
+    }
+    if r.remaining() != 0 {
+        return Err(PqrError::CorruptStream("trailing registry bytes".into()));
+    }
+    Ok(qois)
 }
 
 /// A progressive retrieval session: requests accumulate, bytes are fetched
@@ -250,8 +374,8 @@ impl<'a> Session<'a> {
     /// Current reconstruction of a field, by name.
     pub fn reconstruction(&self, field_name: &str) -> Result<&[f64]> {
         let i = self
-            .archive
-            .refactored
+            .engine
+            .manifest()
             .field_index(field_name)
             .ok_or_else(|| PqrError::InvalidRequest(format!("unknown field '{field_name}'")))?;
         Ok(self.engine.reconstruction(i))
@@ -268,8 +392,8 @@ impl<'a> Session<'a> {
         drop_finest: usize,
     ) -> Result<(Vec<f64>, Vec<usize>)> {
         let i = self
-            .archive
-            .refactored
+            .engine
+            .manifest()
             .field_index(field_name)
             .ok_or_else(|| PqrError::InvalidRequest(format!("unknown field '{field_name}'")))?;
         self.engine.reconstruction_at_resolution(i, drop_finest)
@@ -292,8 +416,8 @@ impl<'a> Session<'a> {
     /// Achieved primary-data bound of a field, by name.
     pub fn field_bound(&self, field_name: &str) -> Result<f64> {
         let i = self
-            .archive
-            .refactored
+            .engine
+            .manifest()
             .field_index(field_name)
             .ok_or_else(|| PqrError::InvalidRequest(format!("unknown field '{field_name}'")))?;
         Ok(self.engine.field_bound(i))
@@ -515,6 +639,59 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         assert!(worst <= r.max_est_errors[0]);
+    }
+
+    #[test]
+    fn lazy_open_matches_resident_and_reads_partially() {
+        let archive = build();
+        let dir = std::env::temp_dir().join("pqr_core_lazy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("archive.pqrx");
+        archive.save(&path).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len();
+
+        let lazy = Archive::open(&path).unwrap();
+        assert_eq!(lazy.qoi_names(), archive.qoi_names());
+        assert_eq!(lazy.qoi_range("V"), archive.qoi_range("V"));
+        let manifest = lazy.manifest().unwrap();
+        assert_eq!(manifest.num_fields(), 2);
+
+        // a loose request through the lazy archive behaves identically to
+        // the resident one...
+        let mut ls = lazy.session().unwrap();
+        let mut rs = archive.session().unwrap();
+        let lr = ls.request("V", 1e-2).unwrap();
+        let rr = rs.request("V", 1e-2).unwrap();
+        assert!(lr.satisfied && rr.satisfied);
+        assert_eq!(lr.total_fetched, rr.total_fetched);
+        assert_eq!(
+            ls.reconstruction("Vx").unwrap(),
+            rs.reconstruction("Vx").unwrap()
+        );
+
+        // ...while reading strictly fewer disk bytes than the archive holds
+        let stats = lazy.source_stats();
+        assert!(stats.fetches > 0);
+        assert!(
+            stats.fetched_bytes < file_len,
+            "lazy session read {} of {} file bytes",
+            stats.fetched_bytes,
+            file_len
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "lazily opened archive")]
+    fn refactored_panics_on_lazy_archives() {
+        let archive = build();
+        let dir = std::env::temp_dir().join("pqr_core_lazy_panic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("archive.pqrx");
+        archive.save(&path).unwrap();
+        let lazy = Archive::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let _ = lazy.refactored();
     }
 
     #[test]

@@ -10,6 +10,10 @@ pub use crate::archive::{Archive, ArchiveBuilder, Session};
 
 pub use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
 pub use pqr_progressive::field::{Dataset, RefactoredDataset};
+pub use pqr_progressive::fragstore::{
+    CachedSource, FileSource, FragmentCache, FragmentId, FragmentSource, InMemorySource, Manifest,
+    SourceStats,
+};
 pub use pqr_progressive::mask::ZeroMask;
 pub use pqr_progressive::refactored::{RefactoredField, Scheme};
 

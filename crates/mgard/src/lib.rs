@@ -50,6 +50,6 @@ pub mod refactor;
 pub mod retrieve;
 pub mod transform;
 
-pub use refactor::{MgardRefactorer, MgardStream};
-pub use retrieve::MgardReader;
+pub use refactor::{LevelMeta, MgardMeta, MgardRefactorer, MgardStream};
+pub use retrieve::{MgardCursor, MgardReader};
 pub use transform::Basis;

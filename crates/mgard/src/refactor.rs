@@ -83,6 +83,170 @@ pub struct MgardStream {
     pub(crate) levels: Vec<EncodedLevel>,
 }
 
+/// Everything a decoder must hold *before* any plane payload arrives:
+/// basis, shape, root value, and the per-level structure (exponent,
+/// coefficient count, number of stored planes). This is the stream minus
+/// its plane payloads — the unit a fragment-addressed store serves as the
+/// field's metadata fragment, and what [`crate::retrieve::MgardCursor`]
+/// decodes against while plane bytes are pushed in from elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MgardMeta {
+    pub(crate) basis: Basis,
+    pub(crate) dims: Vec<usize>,
+    pub(crate) root: f64,
+    pub(crate) levels: Vec<LevelMeta>,
+}
+
+/// Per-level decode structure (see [`MgardMeta`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelMeta {
+    /// Level exponent (`None` for an all-zero level with no planes).
+    pub exponent: Option<i32>,
+    /// Coefficient count (fully determined by the shape; revalidated on
+    /// parse).
+    pub count: usize,
+    /// Number of stored plane segments.
+    pub num_planes: u32,
+}
+
+/// Magic bytes identifying a serialized [`MgardMeta`].
+const META_MAGIC: &[u8; 4] = b"PQMM";
+
+impl MgardMeta {
+    /// The decomposition basis.
+    pub fn basis(&self) -> Basis {
+        self.basis
+    }
+
+    /// Array shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of multilevel levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The root (coarsest) node value.
+    pub fn root(&self) -> f64 {
+        self.root
+    }
+
+    /// Per-level decode structure, finest level first.
+    pub fn levels(&self) -> &[LevelMeta] {
+        &self.levels
+    }
+
+    /// Per-level plane counts, finest level first.
+    pub fn planes_per_level(&self) -> Vec<u32> {
+        self.levels.iter().map(|l| l.num_planes).collect()
+    }
+
+    /// Total stored plane segments across levels.
+    pub fn total_planes(&self) -> usize {
+        self.levels.iter().map(|l| l.num_planes as usize).sum()
+    }
+
+    /// Serializes the metadata (the field's always-fetched fragment).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_raw(META_MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(self.basis.tag());
+        w.put_u8(self.dims.len() as u8);
+        for &d in &self.dims {
+            w.put_u64(d as u64);
+        }
+        w.put_f64(self.root);
+        w.put_u32(self.levels.len() as u32);
+        for lvl in &self.levels {
+            match lvl.exponent {
+                Some(e) => {
+                    w.put_u8(1);
+                    w.put_u32(e as u32);
+                }
+                None => {
+                    w.put_u8(0);
+                    w.put_u32(0);
+                }
+            }
+            w.put_u64(lvl.count as u64);
+            w.put_u32(lvl.num_planes);
+        }
+        w.finish()
+    }
+
+    /// Deserializes metadata, enforcing the same structural invariants as
+    /// [`MgardStream::from_bytes`]: the level structure must match what the
+    /// shape implies, or downstream decoding would panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_raw(4)? != META_MAGIC {
+            return Err(PqrError::CorruptStream("bad mgard meta magic".into()));
+        }
+        if r.get_u8()? != VERSION {
+            return Err(PqrError::CorruptStream("unsupported mgard meta".into()));
+        }
+        let basis = Basis::from_tag(r.get_u8()?)
+            .ok_or_else(|| PqrError::CorruptStream("unknown basis".into()))?;
+        let nd = r.get_u8()? as usize;
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            dims.push(r.get_u64()? as usize);
+        }
+        pqr_util::byteio::check_dims(&dims)?;
+        let root = r.get_f64()?;
+        let expected = level_strides(&dims);
+        let nlevels = r.get_u32()? as usize;
+        if nlevels != expected.len() {
+            return Err(PqrError::CorruptStream(format!(
+                "{nlevels} levels for dims {dims:?} (shape implies {})",
+                expected.len()
+            )));
+        }
+        let nlevels = r.check_count(nlevels, 17)?;
+        let mut levels = Vec::with_capacity(nlevels);
+        for &stride in &expected {
+            let has_exp = r.get_u8()? != 0;
+            let e = r.get_u32()? as i32;
+            let exponent = has_exp.then_some(e);
+            let count = r.get_u64()? as usize;
+            let want = level_coefficient_count(&dims, stride);
+            if count != want {
+                return Err(PqrError::CorruptStream(format!(
+                    "level stride {stride} declares {count} coefficients, shape implies {want}"
+                )));
+            }
+            let num_planes = r.get_u32()?;
+            if num_planes > PLANES {
+                return Err(PqrError::CorruptStream(format!(
+                    "plane count {num_planes} exceeds {PLANES}"
+                )));
+            }
+            if exponent.is_none() && num_planes != 0 {
+                return Err(PqrError::CorruptStream(
+                    "all-zero level declares planes".into(),
+                ));
+            }
+            levels.push(LevelMeta {
+                exponent,
+                count,
+                num_planes,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(PqrError::CorruptStream("trailing mgard meta bytes".into()));
+        }
+        Ok(Self {
+            basis,
+            dims,
+            root,
+            levels,
+        })
+    }
+}
+
 impl MgardStream {
     /// The decomposition basis of this stream.
     pub fn basis(&self) -> Basis {
@@ -104,6 +268,52 @@ impl MgardStream {
         MgardReader::new(self)
     }
 
+    /// The stream's metadata — everything except the plane payloads.
+    pub fn meta(&self) -> MgardMeta {
+        MgardMeta {
+            basis: self.basis,
+            dims: self.dims.clone(),
+            root: self.root,
+            levels: self
+                .levels
+                .iter()
+                .map(|l| LevelMeta {
+                    exponent: l.exponent,
+                    count: l.count,
+                    num_planes: l.planes.len() as u32,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reassembles a stream from metadata plus the plane payloads in
+    /// storage order (level-major, MSB plane first within a level) — the
+    /// inverse of splitting a stream into fragments.
+    pub fn from_parts(meta: MgardMeta, mut planes: Vec<Vec<u8>>) -> Result<Self> {
+        if planes.len() != meta.total_planes() {
+            return Err(PqrError::CorruptStream(format!(
+                "{} plane payloads for metadata declaring {}",
+                planes.len(),
+                meta.total_planes()
+            )));
+        }
+        let mut levels = Vec::with_capacity(meta.levels.len());
+        let mut rest = planes.drain(..);
+        for lm in &meta.levels {
+            levels.push(EncodedLevel {
+                exponent: lm.exponent,
+                count: lm.count,
+                planes: rest.by_ref().take(lm.num_planes as usize).collect(),
+            });
+        }
+        Ok(Self {
+            basis: meta.basis,
+            dims: meta.dims,
+            root: meta.root,
+            levels,
+        })
+    }
+
     /// Metadata bytes a retrieval must always move: header, shape, root,
     /// per-level exponents/counts and the per-plane size table.
     pub fn metadata_bytes(&self) -> usize {
@@ -123,6 +333,27 @@ impl MgardStream {
             .iter()
             .flat_map(|l| l.planes.iter().map(Vec::len))
             .collect()
+    }
+
+    /// The plane payloads in storage order (level-major, MSB plane first
+    /// within a level) — the order [`MgardStream::from_parts`] reassembles.
+    pub fn plane_payloads(&self) -> impl Iterator<Item = &[u8]> {
+        self.levels
+            .iter()
+            .flat_map(|l| l.planes.iter().map(Vec::as_slice))
+    }
+
+    /// The `flat`-th plane payload in storage order (the
+    /// [`MgardStream::plane_payloads`] order), addressed in O(levels).
+    pub fn plane(&self, flat: usize) -> Option<&[u8]> {
+        let mut k = flat;
+        for l in &self.levels {
+            if k < l.planes.len() {
+                return Some(&l.planes[k]);
+            }
+            k -= l.planes.len();
+        }
+        None
     }
 
     /// Total archived size (metadata + all plane payloads).

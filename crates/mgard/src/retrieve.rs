@@ -11,165 +11,113 @@
 use crate::bitplane::LevelDecoder;
 use crate::error_est::{level_weight, recon_bound};
 use crate::hierarchy::level_strides;
-use crate::refactor::MgardStream;
+use crate::refactor::{MgardMeta, MgardStream};
 use crate::transform::{recompose, scatter_level, Basis};
 use pqr_util::error::Result;
 
-/// Progressive reader over an [`MgardStream`].
+/// Push-based progressive decoder over [`MgardMeta`].
 ///
-/// Created via [`MgardStream::reader`]. Byte accounting starts at the
-/// stream's metadata size (a remote retrieval always moves the metadata).
+/// A cursor holds only the stream's *metadata* plus decode state — it never
+/// sees where the plane payloads live. The owner asks [`MgardCursor::
+/// next_plane`] which `(level, plane)` the greedy schedule wants, fetches
+/// those bytes from wherever the stream is stored (memory, a file range, a
+/// remote store), and pushes them in with [`MgardCursor::push_plane`]. The
+/// borrowing [`MgardReader`] and the fragment-addressed sources in
+/// `pqr-progressive` both drive the same cursor, so the refinement schedule
+/// and the error model cannot drift between local and remote paths.
 #[derive(Debug, Clone)]
-pub struct MgardReader<'a> {
-    stream: &'a MgardStream,
+pub struct MgardCursor {
+    meta: MgardMeta,
     decoders: Vec<LevelDecoder>,
-    fetched: usize,
 }
 
-impl<'a> MgardReader<'a> {
-    pub(crate) fn new(stream: &'a MgardStream) -> Self {
-        let decoders = stream
-            .levels
+impl MgardCursor {
+    /// Creates a cursor at zero consumed planes.
+    pub fn new(meta: MgardMeta) -> Self {
+        let decoders = meta
+            .levels()
             .iter()
             .map(|l| LevelDecoder::new(l.exponent, l.count))
             .collect();
-        Self {
-            stream,
-            decoders,
-            fetched: stream.metadata_bytes(),
-        }
+        Self { meta, decoders }
     }
 
-    /// The guaranteed L∞ bound of [`MgardReader::reconstruct`] at the
-    /// current fetch state (the basis-specific model — this is what the QoI
-    /// machinery consumes as the primary-data ε).
+    /// The metadata this cursor decodes against.
+    pub fn meta(&self) -> &MgardMeta {
+        &self.meta
+    }
+
+    /// The guaranteed L∞ bound of [`MgardCursor::reconstruct`] at the
+    /// current state (the basis-specific model — what the QoI machinery
+    /// consumes as the primary-data ε).
     pub fn guaranteed_bound(&self) -> f64 {
         let errs: Vec<f64> = self.decoders.iter().map(|d| d.error_bound()).collect();
-        recon_bound(self.stream.basis, &self.stream.dims, &errs)
+        recon_bound(self.meta.basis(), self.meta.dims(), &errs)
     }
 
-    /// Total bytes this reader has "moved" (metadata + fetched planes).
-    pub fn total_fetched(&self) -> usize {
-        self.fetched
-    }
-
-    /// True when every plane of every level has been fetched.
+    /// True when every plane of every level has been consumed.
     pub fn fully_fetched(&self) -> bool {
         self.decoders
             .iter()
-            .zip(&self.stream.levels)
-            .all(|(d, l)| (d.planes_read() as usize) >= l.planes.len())
+            .zip(self.meta.levels())
+            .all(|(d, l)| d.planes_read() >= l.num_planes)
     }
 
-    /// Fetches planes (greedy, largest-contribution level first) until the
-    /// guaranteed bound is ≤ `eb` or the stream is exhausted. Returns the
-    /// number of newly fetched bytes.
-    ///
-    /// The request may end with `guaranteed_bound() > eb` only if the stream
-    /// is fully fetched (near-lossless floor) — Definition 1's "or a
-    /// full-fidelity representation is retrieved".
-    pub fn refine_to(&mut self, eb: f64) -> Result<usize> {
-        let mut newly = 0usize;
-        while self.guaranteed_bound() > eb {
-            let Some(l) = self.pick_level() else {
-                break; // exhausted
-            };
-            let plane_idx = self.decoders[l].planes_read() as usize;
-            let seg = &self.stream.levels[l].planes[plane_idx];
-            self.decoders[l].push_plane(seg)?;
-            newly += seg.len();
-            self.fetched += seg.len();
-        }
-        Ok(newly)
-    }
-
-    /// Planes consumed so far, per level — the reader's resumable progress
-    /// marker.
+    /// Planes consumed so far, per level — the resumable progress marker.
     pub fn planes_read(&self) -> Vec<u32> {
         self.decoders.iter().map(|d| d.planes_read()).collect()
     }
 
-    /// Restores a reader to a previously recorded per-level plane state by
-    /// replaying the stored segments (deterministic: same stream + same
-    /// counts ⇒ identical reconstruction and byte accounting). Must be
-    /// called on a fresh reader.
-    pub fn restore(&mut self, planes_per_level: &[u32]) -> Result<usize> {
-        if planes_per_level.len() != self.decoders.len() {
-            return Err(pqr_util::error::PqrError::InvalidRequest(format!(
-                "progress has {} levels, stream has {}",
-                planes_per_level.len(),
-                self.decoders.len()
-            )));
-        }
-        let mut newly = 0usize;
-        for (l, &k) in planes_per_level.iter().enumerate() {
-            if k as usize > self.stream.levels[l].planes.len() {
-                return Err(pqr_util::error::PqrError::InvalidRequest(format!(
-                    "progress wants {k} planes of level {l}, stream has {}",
-                    self.stream.levels[l].planes.len()
-                )));
-            }
-            while self.decoders[l].planes_read() < k {
-                let idx = self.decoders[l].planes_read() as usize;
-                let seg = &self.stream.levels[l].planes[idx];
-                self.decoders[l].push_plane(seg)?;
-                newly += seg.len();
-                self.fetched += seg.len();
-            }
-        }
-        Ok(newly)
-    }
-
-    /// Fetches `k` more planes round-robin-greedily regardless of a target —
-    /// used by benches exploring fixed-budget retrieval.
-    pub fn fetch_planes(&mut self, k: usize) -> Result<usize> {
-        let mut newly = 0usize;
-        for _ in 0..k {
-            let Some(l) = self.pick_level() else { break };
-            let plane_idx = self.decoders[l].planes_read() as usize;
-            let seg = &self.stream.levels[l].planes[plane_idx];
-            self.decoders[l].push_plane(seg)?;
-            newly += seg.len();
-            self.fetched += seg.len();
-        }
-        Ok(newly)
-    }
-
-    /// The level whose next plane removes the most modeled error, or `None`
-    /// when every level is exhausted.
-    fn pick_level(&self) -> Option<usize> {
+    /// The `(level, plane_index)` the greedy schedule wants next — the
+    /// level whose next plane removes the most modeled error — or `None`
+    /// when every level is exhausted. Pure planning: the cursor state only
+    /// advances when the owner pushes the plane's bytes.
+    pub fn next_plane(&self) -> Option<(usize, usize)> {
         let mut best: Option<(usize, f64)> = None;
         for (l, d) in self.decoders.iter().enumerate() {
-            if (d.planes_read() as usize) >= self.stream.levels[l].planes.len() {
+            if d.planes_read() >= self.meta.levels()[l].num_planes {
                 continue;
             }
             let contribution =
-                level_weight(self.stream.basis, &self.stream.dims, l) * d.error_bound();
+                level_weight(self.meta.basis(), self.meta.dims(), l) * d.error_bound();
             match best {
                 Some((_, c)) if c >= contribution => {}
                 _ => best = Some((l, contribution)),
             }
         }
-        best.map(|(l, _)| l)
+        best.map(|(l, _)| (l, self.decoders[l].planes_read() as usize))
     }
 
-    /// Recomposes the data representation from the planes fetched so far.
+    /// Consumes the next plane of `level` (planes must arrive in MSB-first
+    /// order per level; the plane index is implicit in the decode state).
+    pub fn push_plane(&mut self, level: usize, bytes: &[u8]) -> Result<()> {
+        let Some(lm) = self.meta.levels().get(level) else {
+            return Err(pqr_util::error::PqrError::InvalidRequest(format!(
+                "level {level} out of range ({} levels)",
+                self.meta.num_levels()
+            )));
+        };
+        if self.decoders[level].planes_read() >= lm.num_planes {
+            return Err(pqr_util::error::PqrError::InvalidRequest(format!(
+                "level {level} already fully fetched"
+            )));
+        }
+        self.decoders[level].push_plane(bytes)
+    }
+
+    /// Recomposes the data representation from the planes consumed so far.
     pub fn reconstruct(&self) -> Vec<f64> {
-        let n: usize = self.stream.dims.iter().product();
+        let dims = self.meta.dims();
+        let n: usize = dims.iter().product();
         if n == 0 {
             return Vec::new();
         }
         let mut v = vec![0.0f64; n];
-        v[0] = self.stream.root;
-        for (l, &s) in level_strides(&self.stream.dims).iter().enumerate() {
-            scatter_level(
-                &mut v,
-                &self.stream.dims,
-                s,
-                &self.decoders[l].coefficients(),
-            );
+        v[0] = self.meta.root();
+        for (l, &s) in level_strides(dims).iter().enumerate() {
+            scatter_level(&mut v, dims, s, &self.decoders[l].coefficients());
         }
-        recompose(&mut v, &self.stream.dims, self.stream.basis);
+        recompose(&mut v, dims, self.meta.basis());
         v
     }
 
@@ -183,23 +131,23 @@ impl<'a> MgardReader<'a> {
     /// so a precision-progressive reader can later upgrade the same bytes
     /// to full resolution (the PMGARD "both progressions" property).
     pub fn reconstruct_at_resolution(&self, drop_finest: usize) -> (Vec<f64>, Vec<usize>) {
-        let dims = &self.stream.dims;
+        let dims = self.meta.dims();
         let n: usize = dims.iter().product();
         if n == 0 {
-            return (Vec::new(), dims.clone());
+            return (Vec::new(), dims.to_vec());
         }
         let levels = level_strides(dims);
         let drop = drop_finest.min(levels.len());
         // full-resolution scatter, but with the dropped levels' coefficients
         // left at zero (their fine nodes become pure interpolation)
         let mut v = vec![0.0f64; n];
-        v[0] = self.stream.root;
+        v[0] = self.meta.root();
         for (l, &s) in levels.iter().enumerate() {
             if l >= drop {
                 scatter_level(&mut v, dims, s, &self.decoders[l].coefficients());
             }
         }
-        recompose(&mut v, dims, self.stream.basis);
+        recompose(&mut v, dims, self.meta.basis());
         // sample the coarse subgrid
         let stride = 1usize << drop;
         let coarse_dims: Vec<usize> = dims.iter().map(|&d| d.div_ceil(stride)).collect();
@@ -231,7 +179,141 @@ impl<'a> MgardReader<'a> {
 
     /// The basis of the underlying stream.
     pub fn basis(&self) -> Basis {
-        self.stream.basis
+        self.meta.basis()
+    }
+}
+
+/// Progressive reader over an [`MgardStream`]: an [`MgardCursor`] whose
+/// plane fetches are served from the borrowed, fully resident stream.
+///
+/// Created via [`MgardStream::reader`]. Byte accounting starts at the
+/// stream's metadata size (a remote retrieval always moves the metadata).
+#[derive(Debug, Clone)]
+pub struct MgardReader<'a> {
+    stream: &'a MgardStream,
+    cursor: MgardCursor,
+    fetched: usize,
+}
+
+impl<'a> MgardReader<'a> {
+    pub(crate) fn new(stream: &'a MgardStream) -> Self {
+        Self {
+            stream,
+            cursor: MgardCursor::new(stream.meta()),
+            fetched: stream.metadata_bytes(),
+        }
+    }
+
+    /// The guaranteed L∞ bound of [`MgardReader::reconstruct`] at the
+    /// current fetch state (the basis-specific model — this is what the QoI
+    /// machinery consumes as the primary-data ε).
+    pub fn guaranteed_bound(&self) -> f64 {
+        self.cursor.guaranteed_bound()
+    }
+
+    /// Total bytes this reader has "moved" (metadata + fetched planes).
+    pub fn total_fetched(&self) -> usize {
+        self.fetched
+    }
+
+    /// True when every plane of every level has been fetched.
+    pub fn fully_fetched(&self) -> bool {
+        self.cursor.fully_fetched()
+    }
+
+    /// Serves the cursor's next wanted plane from the resident stream.
+    /// Returns the plane's byte size, or `None` when exhausted.
+    fn fetch_next(&mut self) -> Result<Option<usize>> {
+        let Some((l, p)) = self.cursor.next_plane() else {
+            return Ok(None);
+        };
+        let seg = &self.stream.levels[l].planes[p];
+        self.cursor.push_plane(l, seg)?;
+        self.fetched += seg.len();
+        Ok(Some(seg.len()))
+    }
+
+    /// Fetches planes (greedy, largest-contribution level first) until the
+    /// guaranteed bound is ≤ `eb` or the stream is exhausted. Returns the
+    /// number of newly fetched bytes.
+    ///
+    /// The request may end with `guaranteed_bound() > eb` only if the stream
+    /// is fully fetched (near-lossless floor) — Definition 1's "or a
+    /// full-fidelity representation is retrieved".
+    pub fn refine_to(&mut self, eb: f64) -> Result<usize> {
+        let mut newly = 0usize;
+        while self.cursor.guaranteed_bound() > eb {
+            match self.fetch_next()? {
+                Some(n) => newly += n,
+                None => break, // exhausted
+            }
+        }
+        Ok(newly)
+    }
+
+    /// Planes consumed so far, per level — the reader's resumable progress
+    /// marker.
+    pub fn planes_read(&self) -> Vec<u32> {
+        self.cursor.planes_read()
+    }
+
+    /// Restores a reader to a previously recorded per-level plane state by
+    /// replaying the stored segments (deterministic: same stream + same
+    /// counts ⇒ identical reconstruction and byte accounting). Must be
+    /// called on a fresh reader.
+    pub fn restore(&mut self, planes_per_level: &[u32]) -> Result<usize> {
+        if planes_per_level.len() != self.stream.levels.len() {
+            return Err(pqr_util::error::PqrError::InvalidRequest(format!(
+                "progress has {} levels, stream has {}",
+                planes_per_level.len(),
+                self.stream.levels.len()
+            )));
+        }
+        let mut newly = 0usize;
+        for (l, &k) in planes_per_level.iter().enumerate() {
+            if k as usize > self.stream.levels[l].planes.len() {
+                return Err(pqr_util::error::PqrError::InvalidRequest(format!(
+                    "progress wants {k} planes of level {l}, stream has {}",
+                    self.stream.levels[l].planes.len()
+                )));
+            }
+            for idx in self.cursor.planes_read()[l] as usize..k as usize {
+                let seg = &self.stream.levels[l].planes[idx];
+                self.cursor.push_plane(l, seg)?;
+                newly += seg.len();
+                self.fetched += seg.len();
+            }
+        }
+        Ok(newly)
+    }
+
+    /// Fetches `k` more planes round-robin-greedily regardless of a target —
+    /// used by benches exploring fixed-budget retrieval.
+    pub fn fetch_planes(&mut self, k: usize) -> Result<usize> {
+        let mut newly = 0usize;
+        for _ in 0..k {
+            match self.fetch_next()? {
+                Some(n) => newly += n,
+                None => break,
+            }
+        }
+        Ok(newly)
+    }
+
+    /// Recomposes the data representation from the planes fetched so far.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        self.cursor.reconstruct()
+    }
+
+    /// Progression in **resolution** — see
+    /// [`MgardCursor::reconstruct_at_resolution`].
+    pub fn reconstruct_at_resolution(&self, drop_finest: usize) -> (Vec<f64>, Vec<usize>) {
+        self.cursor.reconstruct_at_resolution(drop_finest)
+    }
+
+    /// The basis of the underlying stream.
+    pub fn basis(&self) -> Basis {
+        self.cursor.basis()
     }
 }
 

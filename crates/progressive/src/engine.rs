@@ -30,6 +30,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::field::{Dataset, RefactoredDataset};
+use crate::fragstore::{FragmentSource, Manifest};
 use crate::refactored::FieldReader;
 use pqr_qoi::{BoundConfig, QoiExpr};
 use pqr_util::error::{PqrError, Result};
@@ -168,29 +169,64 @@ pub struct RetrievalReport {
 }
 
 /// The QoI-preserving progressive retrieval engine (Fig. 1's retrieval box).
+///
+/// Every byte the engine moves is pulled through a
+/// [`FragmentSource`] — a resident [`RefactoredDataset`], a serialized
+/// in-memory archive, a lazily opened file, or a (simulated) remote store
+/// all drive the identical refinement code path.
 pub struct RetrievalEngine<'a> {
-    archive: &'a RefactoredDataset,
+    source: &'a dyn FragmentSource,
+    manifest: Manifest,
     readers: Vec<FieldReader<'a>>,
     cfg: EngineConfig,
 }
 
 impl<'a> RetrievalEngine<'a> {
-    /// Opens readers on every field of the archive.
+    /// Opens readers on every field of a resident archive (sugar for
+    /// [`RetrievalEngine::from_source`] — the dataset serves its own
+    /// fragments).
     pub fn new(archive: &'a RefactoredDataset, cfg: EngineConfig) -> Result<Self> {
+        Self::from_source(archive, cfg)
+    }
+
+    /// Opens readers on every field of the archive behind `source`,
+    /// fetching only the manifest and the per-field metadata fragments.
+    pub fn from_source(source: &'a dyn FragmentSource, cfg: EngineConfig) -> Result<Self> {
         if cfg.reduction_factor <= 1.0 {
             return Err(PqrError::InvalidRequest(format!(
                 "reduction factor must exceed 1, got {}",
                 cfg.reduction_factor
             )));
         }
-        let readers = (0..archive.num_fields())
-            .map(|i| archive.field(i).reader())
-            .collect();
+        let manifest = source.manifest()?;
+        if let Some(mask) = &manifest.mask {
+            if mask.len() != manifest.num_elements() {
+                return Err(PqrError::ShapeMismatch(format!(
+                    "mask covers {} points, archive has {}",
+                    mask.len(),
+                    manifest.num_elements()
+                )));
+            }
+        }
+        let readers = (0..manifest.num_fields())
+            .map(|i| FieldReader::open(source, &manifest, i))
+            .collect::<Result<Vec<_>>>()?;
         Ok(Self {
-            archive,
+            source,
+            manifest,
             readers,
             cfg,
         })
+    }
+
+    /// The fragment source this engine fetches through.
+    pub fn source(&self) -> &'a dyn FragmentSource {
+        self.source
+    }
+
+    /// The archive manifest the engine retrieves against.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
     }
 
     /// Creates an engine restored to a previously saved progress blob
@@ -204,21 +240,30 @@ impl<'a> RetrievalEngine<'a> {
         cfg: EngineConfig,
         progress: &[u8],
     ) -> Result<Self> {
-        let mut engine = Self::new(archive, cfg)?;
+        Self::resume_from_source(archive, cfg, progress)
+    }
+
+    /// [`RetrievalEngine::resume`] over an arbitrary fragment source.
+    pub fn resume_from_source(
+        source: &'a dyn FragmentSource,
+        cfg: EngineConfig,
+        progress: &[u8],
+    ) -> Result<Self> {
+        let mut engine = Self::from_source(source, cfg)?;
         let mut r = pqr_util::byteio::ByteReader::new(progress);
         if r.get_raw(4)? != b"PQRP" {
             return Err(PqrError::CorruptStream("bad progress magic".into()));
         }
         let nv = r.get_u32()? as usize;
-        if nv != archive.num_fields() {
+        if nv != engine.manifest.num_fields() {
             return Err(PqrError::ShapeMismatch(format!(
                 "progress has {nv} fields, archive has {}",
-                archive.num_fields()
+                engine.manifest.num_fields()
             )));
         }
         for i in 0..nv {
             let p = crate::refactored::ReaderProgress::read(&mut r)?;
-            engine.readers[i] = archive.field(i).reader_resumed(&p)?;
+            engine.readers[i].restore(&p)?;
         }
         if r.remaining() != 0 {
             return Err(PqrError::CorruptStream("trailing progress bytes".into()));
@@ -244,6 +289,12 @@ impl<'a> RetrievalEngine<'a> {
         self.readers[i].data()
     }
 
+    /// The resumable progress marker of field `i`'s reader (the per-field
+    /// unit [`RetrievalEngine::save_progress`] concatenates).
+    pub fn reader_progress(&self, i: usize) -> crate::refactored::ReaderProgress {
+        self.readers[i].progress()
+    }
+
     /// Resolution-progressive reconstruction of field `i` from the bytes
     /// fetched so far: drops the `drop_finest` finest multilevel levels and
     /// returns the coarse subgrid (PMGARD's second progression axis, §II).
@@ -263,7 +314,7 @@ impl<'a> RetrievalEngine<'a> {
 
     /// Cumulative fetched bytes (metadata + fragments + mask).
     pub fn total_fetched(&self) -> usize {
-        let mask_bytes = self.archive.mask().map_or(0, |m| m.storage_bytes());
+        let mask_bytes = self.manifest.mask.as_ref().map_or(0, |m| m.storage_bytes());
         self.readers
             .iter()
             .map(|r| r.total_fetched())
@@ -275,7 +326,7 @@ impl<'a> RetrievalEngine<'a> {
     /// is exhausted. Engines persist across calls, so issuing progressively
     /// tighter requests retrieves incrementally (§III-B).
     pub fn retrieve(&mut self, qois: &[QoiSpec]) -> Result<RetrievalReport> {
-        let nv = self.archive.num_fields();
+        let nv = self.manifest.num_fields();
         for q in qois {
             if q.expr.arity() > nv {
                 return Err(PqrError::ShapeMismatch(format!(
@@ -293,7 +344,7 @@ impl<'a> RetrievalEngine<'a> {
                 )));
             }
             if let Some((lo, hi)) = q.region {
-                let ne = self.archive.num_elements();
+                let ne = self.manifest.num_elements();
                 if lo > hi || hi > ne {
                     return Err(PqrError::InvalidRequest(format!(
                         "QoI '{}' region {lo}..{hi} out of bounds (0..{ne})",
@@ -318,7 +369,7 @@ impl<'a> RetrievalEngine<'a> {
                     }
                 }
                 if rel.is_finite() {
-                    rel * self.archive.field(j).value_range()
+                    rel * self.manifest.fields[j].range
                 } else {
                     f64::INFINITY // field unused by any QoI: never fetched
                 }
@@ -395,13 +446,13 @@ impl<'a> RetrievalEngine<'a> {
     /// Max estimated error and its location for each QoI, under the current
     /// reconstructions and the given per-field bounds.
     pub fn scan_qois(&self, qois: &[QoiSpec], eps: &[f64]) -> Vec<(f64, usize)> {
-        let ne = self.archive.num_elements();
-        let nv = self.archive.num_fields();
+        let ne = self.manifest.num_elements();
+        let nv = self.manifest.num_fields();
         if ne == 0 {
             return vec![(0.0, 0); qois.len()];
         }
         let recons: Vec<&[f64]> = self.readers.iter().map(|r| r.data()).collect();
-        let mask = self.archive.mask();
+        let mask = self.manifest.mask.as_ref();
         let cfg = &self.cfg.bound_config;
 
         let chunk_scan = |start: usize, end: usize| {
@@ -456,13 +507,13 @@ impl<'a> RetrievalEngine<'a> {
     /// QoI error estimate at a single point under hypothetical bounds —
     /// the `estimate_error` of Algorithm 4.
     pub fn point_estimate(&self, expr: &QoiExpr, j: usize, eps: &[f64]) -> f64 {
-        let nv = self.archive.num_fields();
+        let nv = self.manifest.num_fields();
         let mut x = vec![0.0f64; nv];
         let mut eps_pt = eps.to_vec();
         for i in 0..nv {
             x[i] = self.readers[i].data()[j];
         }
-        if let Some(m) = self.archive.mask() {
+        if let Some(m) = self.manifest.mask.as_ref() {
             if m.is_masked(j) {
                 for &i in m.fields() {
                     x[i] = 0.0;
@@ -476,9 +527,9 @@ impl<'a> RetrievalEngine<'a> {
     /// Evaluates a QoI on the current reconstruction (what the analysis
     /// task would consume), with the mask overlay applied.
     pub fn qoi_values(&self, expr: &QoiExpr) -> Vec<f64> {
-        let ne = self.archive.num_elements();
-        let nv = self.archive.num_fields();
-        let mask = self.archive.mask();
+        let ne = self.manifest.num_elements();
+        let nv = self.manifest.num_fields();
+        let mask = self.manifest.mask.as_ref();
         let mut out = Vec::with_capacity(ne);
         let mut x = vec![0.0f64; nv];
         for j in 0..ne {
@@ -506,7 +557,7 @@ impl<'a> RetrievalEngine<'a> {
         field_bounds: Vec<f64>,
     ) -> RetrievalReport {
         let total = self.total_fetched();
-        let elements = self.archive.num_elements() * self.archive.num_fields();
+        let elements = self.manifest.num_elements() * self.manifest.num_fields();
         RetrievalReport {
             satisfied,
             iterations,

@@ -251,75 +251,90 @@ impl RefactoredDataset {
         self.num_fields() * self.num_elements() * 8
     }
 
-    /// Serializes the whole archive (fields, names, mask).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        use pqr_util::byteio::ByteWriter;
-        let mut w = ByteWriter::new();
-        w.put_raw(b"PQRD");
-        w.put_u8(self.dims.len() as u8);
-        for &d in &self.dims {
-            w.put_u64(d as u64);
-        }
-        w.put_u32(self.fields.len() as u32);
-        for (name, field) in self.names.iter().zip(&self.fields) {
-            w.put_bytes(name.as_bytes());
-            w.put_bytes(&field.to_bytes());
-        }
-        match &self.mask {
-            Some(m) => {
-                w.put_u8(1);
-                w.put_bytes(&m.to_bytes());
-            }
-            None => w.put_u8(0),
-        }
-        w.finish()
+    /// The `(name, field)` pairs the fragment-store helpers consume.
+    fn field_pairs(&self) -> Vec<(&str, &RefactoredField)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.fields.iter())
+            .collect()
     }
 
-    /// Deserializes an archive from [`RefactoredDataset::to_bytes`].
+    /// Serializes the whole archive (fields, names, mask) into the
+    /// fragment-addressed container format (see [`crate::fragstore`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_with_meta(&[])
+    }
+
+    /// Like [`RefactoredDataset::to_bytes`], embedding an opaque
+    /// application-metadata blob in the manifest (e.g. `pqr-core`'s QoI
+    /// registry) so lazily opened archives can read it without touching a
+    /// single payload fragment.
+    pub fn to_bytes_with_meta(&self, app_meta: &[u8]) -> Vec<u8> {
+        crate::fragstore::write_container(
+            &self.dims,
+            &self.field_pairs(),
+            self.mask.as_ref(),
+            app_meta,
+        )
+    }
+
+    /// Deserializes (fully materialises) an archive from
+    /// [`RefactoredDataset::to_bytes`]. Retrieval paths that only need a
+    /// *part* of the archive should open a
+    /// [`crate::fragstore::FragmentSource`] instead.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        use pqr_util::byteio::ByteReader;
-        let mut r = ByteReader::new(bytes);
-        if r.get_raw(4)? != b"PQRD" {
-            return Err(PqrError::CorruptStream("bad dataset magic".into()));
+        let src = crate::fragstore::InMemorySource::new(bytes.to_vec())?;
+        Self::from_source(&src)
+    }
+
+    /// Fully materialises an archive by fetching every fragment of every
+    /// field through `source`.
+    pub fn from_source(source: &dyn crate::fragstore::FragmentSource) -> Result<Self> {
+        let manifest = source.manifest()?;
+        let mut names = Vec::with_capacity(manifest.num_fields());
+        let mut fields = Vec::with_capacity(manifest.num_fields());
+        for (i, entry) in manifest.fields.iter().enumerate() {
+            names.push(entry.name.clone());
+            fields.push(crate::fragstore::load_field(source, &manifest, i)?);
         }
-        let nd = r.get_u8()? as usize;
-        let mut dims = Vec::with_capacity(nd);
-        for _ in 0..nd {
-            dims.push(r.get_u64()? as usize);
-        }
-        pqr_util::byteio::check_dims(&dims)?;
-        // Each field entry carries two u64 length prefixes at minimum, so a
-        // count the remaining bytes cannot back is corruption, not a reason
-        // to preallocate gigabytes.
-        let nf = r.get_u32()? as usize;
-        let nf = r.check_count(nf, 16)?;
-        let mut names = Vec::with_capacity(nf);
-        let mut fields = Vec::with_capacity(nf);
-        for _ in 0..nf {
-            let name = String::from_utf8(r.get_bytes()?.to_vec())
-                .map_err(|_| PqrError::CorruptStream("bad field name".into()))?;
-            let field = RefactoredField::from_bytes(r.get_bytes()?)?;
-            if field.dims() != dims.as_slice() {
+        if let Some(mask) = &manifest.mask {
+            if mask.len() != manifest.num_elements() {
                 return Err(PqrError::ShapeMismatch(format!(
-                    "field '{name}' shape {:?} != dataset {:?}",
-                    field.dims(),
-                    dims
+                    "mask covers {} points, dataset has {}",
+                    mask.len(),
+                    manifest.num_elements()
                 )));
             }
-            names.push(name);
-            fields.push(field);
         }
-        let mask = if r.get_u8()? == 1 {
-            Some(ZeroMask::from_bytes(r.get_bytes()?)?)
-        } else {
-            None
-        };
         Ok(Self {
-            dims,
+            dims: manifest.dims,
             names,
             fields,
-            mask,
+            mask: manifest.mask,
         })
+    }
+}
+
+impl crate::fragstore::FragmentSource for RefactoredDataset {
+    fn manifest(&self) -> Result<crate::fragstore::Manifest> {
+        Ok(crate::fragstore::build_manifest(
+            &self.dims,
+            &self.field_pairs(),
+            self.mask.as_ref(),
+            &[],
+            0,
+        ))
+    }
+
+    fn fetch(&self, id: crate::fragstore::FragmentId) -> Result<std::sync::Arc<Vec<u8>>> {
+        let field = self
+            .fields
+            .get(id.field as usize)
+            .ok_or_else(|| PqrError::InvalidRequest(format!("field {} out of range", id.field)))?;
+        Ok(std::sync::Arc::new(crate::fragstore::fetch_field_payload(
+            field, id.index,
+        )?))
     }
 }
 

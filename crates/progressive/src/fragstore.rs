@@ -1,0 +1,1025 @@
+//! Fragment-addressed storage: where the bytes of a progressive archive
+//! actually live.
+//!
+//! The paper's premise is that a retrieval moves *only the fragments a
+//! derived QoI bound needs* — so the storage layer must be able to hand out
+//! individual fragments without materialising the whole archive. This
+//! module decouples the progressive representations from their bytes:
+//!
+//! * A **fragment** is one independently fetchable unit, addressed by
+//!   [`FragmentId`] `(field, index)`. Index `0` is the field's metadata
+//!   fragment for the multilevel/transform schemes (PMGARD level headers,
+//!   ZFP exponent table); the remaining indices are the per-(level,
+//!   bitplane) segments in storage order. Snapshot schemes have no metadata
+//!   fragment — every fragment is one snapshot blob, and its error bound
+//!   rides in the directory ([`FragmentInfo::eb_abs`]).
+//! * A [`Manifest`] is the archive's always-resident header: shape, field
+//!   names/schemes/ranges, the per-field fragment *directory* (offset,
+//!   length, bound), the zero-outlier mask, and an opaque application
+//!   metadata blob (`pqr-core` stores its QoI registry there).
+//! * A [`FragmentSource`] serves fragments by id. Three backends share the
+//!   one retrieval code path: resident datasets
+//!   ([`RefactoredDataset`](crate::field::RefactoredDataset) /
+//!   [`RefactoredField`] implement the trait directly), a serialized
+//!   in-memory archive ([`InMemorySource`]), and a file opened lazily with
+//!   byte-range reads ([`FileSource`]). [`CachedSource`] wraps any of them
+//!   (typically a remote or disk source) with a shared LRU fragment cache.
+//!
+//! ## Serialized container
+//!
+//! ```text
+//! "PQRX" u8:version  u64:manifest_len  manifest  fragment payloads...
+//! ```
+//!
+//! The manifest stores absolute payload offsets, so a reader can fetch any
+//! fragment with one range read and never has to scan the payload region.
+//! Parsing validates the directory hostile-stream-hard: counts are checked
+//! against the bytes that could back them, offsets must be in bounds,
+//! ascending and non-overlapping — a corrupt or malicious directory fails
+//! at parse time, not as an allocation bomb or an out-of-range read later.
+
+use crate::mask::ZeroMask;
+use crate::refactored::{Body, RefactoredField, Scheme, Snapshot};
+use pqr_mgard::{MgardMeta, MgardStream};
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::cache::LruCache;
+use pqr_util::error::{PqrError, Result};
+use pqr_zfp::{ZfpMeta, ZfpStream};
+use std::borrow::Cow;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Container magic.
+const MAGIC: &[u8; 4] = b"PQRX";
+/// Container format version.
+const VERSION: u8 = 1;
+/// Bytes before the manifest: magic + version + manifest length.
+const PREAMBLE: usize = 4 + 1 + 8;
+
+/// Address of one fragment: which field, which fragment of that field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragmentId {
+    /// Field index within the archive.
+    pub field: u32,
+    /// Fragment index within the field (see module docs for the layout).
+    pub index: u32,
+}
+
+/// One directory entry: where a fragment's bytes live and what it is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentInfo {
+    /// Absolute byte offset of the payload within the container.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// For snapshot-scheme fragments: the absolute L∞ bound this snapshot
+    /// guarantees (cumulative for delta). `0.0` for metadata/plane
+    /// fragments, whose bounds come from the decode model instead.
+    pub eb_abs: f64,
+}
+
+/// Per-field manifest entry: identity, refactor-time metadata, directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldEntry {
+    /// Field name.
+    pub name: String,
+    /// Progressive representation of this field.
+    pub scheme: Scheme,
+    /// `max − min` of the original data (drives relative bounds).
+    pub range: f64,
+    /// `max |x|` of the original data (initial zero-vector error bound).
+    pub max_abs: f64,
+    /// The fragment directory, in storage order.
+    pub fragments: Vec<FragmentInfo>,
+}
+
+impl FieldEntry {
+    /// Total payload bytes across this field's fragments.
+    pub fn total_bytes(&self) -> usize {
+        self.fragments.iter().map(|f| f.len as usize).sum()
+    }
+}
+
+/// The archive's always-resident header: everything a retrieval session
+/// must hold before fetching a single payload fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Shape shared by every field.
+    pub dims: Vec<usize>,
+    /// Per-field entries, in field-index order.
+    pub fields: Vec<FieldEntry>,
+    /// The zero-outlier mask (§V-A), if attached.
+    pub mask: Option<ZeroMask>,
+    /// Opaque application metadata (e.g. `pqr-core`'s QoI registry).
+    pub app_meta: Vec<u8>,
+}
+
+impl Manifest {
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Elements per field.
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Total payload bytes across all fields (the archived size minus the
+    /// manifest itself).
+    pub fn total_payload_bytes(&self) -> usize {
+        self.fields.iter().map(FieldEntry::total_bytes).sum()
+    }
+
+    /// Raw (uncompressed f64) size of the dataset the archive refactors.
+    pub fn raw_bytes(&self) -> usize {
+        self.num_fields() * self.num_elements() * 8
+    }
+
+    /// Field index by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The directory entry for `id`, or a corrupt-request error.
+    pub fn fragment(&self, id: FragmentId) -> Result<&FragmentInfo> {
+        self.fields
+            .get(id.field as usize)
+            .and_then(|f| f.fragments.get(id.index as usize))
+            .ok_or_else(|| {
+                PqrError::InvalidRequest(format!(
+                    "fragment ({}, {}) not in directory",
+                    id.field, id.index
+                ))
+            })
+    }
+}
+
+/// Cumulative fetch tallies of a [`FragmentSource`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Fragment fetches served (including cache hits).
+    pub fetches: u64,
+    /// Payload bytes handed out (including cache hits).
+    pub fetched_bytes: u64,
+    /// Fetches served from a cache without touching the backend.
+    pub cache_hits: u64,
+    /// Fetches that had to go to the backend.
+    pub cache_misses: u64,
+}
+
+/// Serves progressive fragments by id — the seam between the retrieval
+/// engine and wherever the archive's bytes live.
+///
+/// Every retrieval path (resident, serialized in memory, file-backed,
+/// simulated-remote) pulls bytes through this trait, so partial retrieval
+/// is partial *in bytes read*, not just in bytes counted.
+pub trait FragmentSource: Send + Sync {
+    /// The archive's manifest (owned: sources may synthesise it on demand).
+    fn manifest(&self) -> Result<Manifest>;
+
+    /// Fetches one fragment's payload. The returned buffer length must
+    /// equal the directory-declared length.
+    fn fetch(&self, id: FragmentId) -> Result<Arc<Vec<u8>>>;
+
+    /// Cumulative fetch tallies. Sources that do not track (e.g. resident
+    /// datasets, where a "fetch" is a memory copy) report zeros.
+    fn stats(&self) -> SourceStats {
+        SourceStats::default()
+    }
+}
+
+impl<S: FragmentSource + ?Sized> FragmentSource for &S {
+    fn manifest(&self) -> Result<Manifest> {
+        (**self).manifest()
+    }
+    fn fetch(&self, id: FragmentId) -> Result<Arc<Vec<u8>>> {
+        (**self).fetch(id)
+    }
+    fn stats(&self) -> SourceStats {
+        (**self).stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Splitting a resident field into fragments
+// ---------------------------------------------------------------------------
+
+/// The payloads of one field in fragment-index order, each with its
+/// directory bound (`eb_abs`; `0.0` for non-snapshot fragments). Metadata
+/// fragments are serialized on the fly; plane/blob payloads are borrowed.
+pub(crate) fn field_payloads(field: &RefactoredField) -> Vec<(f64, Cow<'_, [u8]>)> {
+    match &field.body {
+        Body::Snapshots(snaps) => snaps
+            .iter()
+            .map(|s| (s.eb_abs, Cow::from(s.blob.as_slice())))
+            .collect(),
+        Body::Mgard(m) => {
+            let mut v = vec![(0.0, Cow::from(m.meta().to_bytes()))];
+            v.extend(m.plane_payloads().map(|p| (0.0, Cow::from(p))));
+            v
+        }
+        Body::Zfp(z) => {
+            let mut v = vec![(0.0, Cow::from(z.meta().to_bytes()))];
+            v.extend(z.plane_payloads().map(|p| (0.0, Cow::from(p))));
+            v
+        }
+    }
+}
+
+/// One fragment's payload from a resident field, without materialising the
+/// whole payload list — the per-fetch path of the resident sources (the
+/// metadata fragment is serialized on demand; plane/blob fetches are a
+/// single indexed copy).
+pub(crate) fn fetch_field_payload(field: &RefactoredField, index: u32) -> Result<Vec<u8>> {
+    let idx = index as usize;
+    let missing = || PqrError::InvalidRequest(format!("fragment {index} out of range"));
+    match &field.body {
+        Body::Snapshots(snaps) => snaps.get(idx).map(|s| s.blob.clone()).ok_or_else(missing),
+        Body::Mgard(m) => {
+            if idx == 0 {
+                Ok(m.meta().to_bytes())
+            } else {
+                m.plane(idx - 1).map(<[u8]>::to_vec).ok_or_else(missing)
+            }
+        }
+        Body::Zfp(z) => {
+            if idx == 0 {
+                Ok(z.meta().to_bytes())
+            } else {
+                z.plane(idx - 1).map(<[u8]>::to_vec).ok_or_else(missing)
+            }
+        }
+    }
+}
+
+/// Builds a field's directory entry with offsets starting at `*offset`
+/// (advanced past the field's payloads).
+fn entry_for(name: &str, field: &RefactoredField, offset: &mut u64) -> FieldEntry {
+    let fragments = field_payloads(field)
+        .iter()
+        .map(|(eb, payload)| {
+            let info = FragmentInfo {
+                offset: *offset,
+                len: payload.len() as u64,
+                eb_abs: *eb,
+            };
+            *offset += payload.len() as u64;
+            info
+        })
+        .collect();
+    FieldEntry {
+        name: name.to_string(),
+        scheme: field.scheme,
+        range: field.range,
+        max_abs: field.max_abs,
+        fragments,
+    }
+}
+
+/// Builds the manifest of a resident collection, with payload offsets laid
+/// out as [`write_container`] would place them starting at `payload_start`.
+pub(crate) fn build_manifest(
+    dims: &[usize],
+    fields: &[(&str, &RefactoredField)],
+    mask: Option<&ZeroMask>,
+    app_meta: &[u8],
+    payload_start: u64,
+) -> Manifest {
+    let mut offset = payload_start;
+    Manifest {
+        dims: dims.to_vec(),
+        fields: fields
+            .iter()
+            .map(|(name, f)| entry_for(name, f, &mut offset))
+            .collect(),
+        mask: mask.cloned(),
+        app_meta: app_meta.to_vec(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialized container
+// ---------------------------------------------------------------------------
+
+fn manifest_to_bytes(m: &Manifest) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(m.dims.len() as u8);
+    for &d in &m.dims {
+        w.put_u64(d as u64);
+    }
+    w.put_u32(m.fields.len() as u32);
+    for f in &m.fields {
+        w.put_bytes(f.name.as_bytes());
+        w.put_u8(f.scheme.tag());
+        w.put_f64(f.range);
+        w.put_f64(f.max_abs);
+        w.put_u32(f.fragments.len() as u32);
+        for frag in &f.fragments {
+            w.put_u64(frag.offset);
+            w.put_u64(frag.len);
+            w.put_f64(frag.eb_abs);
+        }
+    }
+    match &m.mask {
+        Some(mask) => {
+            w.put_u8(1);
+            w.put_bytes(&mask.to_bytes());
+        }
+        None => w.put_u8(0),
+    }
+    w.put_bytes(&m.app_meta);
+    w.finish()
+}
+
+/// Parses and validates a manifest blob. `payload_start` is where the
+/// payload region begins and `total_len` the container's total size — the
+/// directory must describe in-bounds, ascending, non-overlapping ranges.
+fn manifest_from_bytes(bytes: &[u8], payload_start: u64, total_len: u64) -> Result<Manifest> {
+    let mut r = ByteReader::new(bytes);
+    let nd = r.get_u8()? as usize;
+    let mut dims = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        dims.push(r.get_u64()? as usize);
+    }
+    pqr_util::byteio::check_dims(&dims)?;
+    // each field entry needs at least a name length, a scheme tag, two
+    // f64s and a fragment count
+    let nf = r.get_u32()? as usize;
+    let nf = r.check_count(nf, 8 + 1 + 8 + 8 + 4)?;
+    let mut fields = Vec::with_capacity(nf);
+    let mut cursor = payload_start; // end of the previous fragment
+    for _ in 0..nf {
+        let name = String::from_utf8(r.get_bytes()?.to_vec())
+            .map_err(|_| PqrError::CorruptStream("bad field name".into()))?;
+        let scheme = Scheme::from_tag(r.get_u8()?)
+            .ok_or_else(|| PqrError::CorruptStream("unknown scheme".into()))?;
+        let range = r.get_f64()?;
+        let max_abs = r.get_f64()?;
+        let nfrag = r.get_u32()? as usize;
+        let nfrag = r.check_count(nfrag, 8 + 8 + 8)?;
+        let mut fragments = Vec::with_capacity(nfrag);
+        for _ in 0..nfrag {
+            let offset = r.get_u64()?;
+            let len = r.get_u64()?;
+            let eb_abs = r.get_f64()?;
+            // in bounds, after the previous fragment (ascending implies
+            // non-overlapping), and no arithmetic overflow on a hostile
+            // offset/len pair
+            let end = offset
+                .checked_add(len)
+                .filter(|&e| offset >= cursor && e <= total_len)
+                .ok_or_else(|| {
+                    PqrError::CorruptStream(format!(
+                        "fragment range {offset}+{len} escapes container \
+                         (payload region {cursor}..{total_len})"
+                    ))
+                })?;
+            cursor = end;
+            fragments.push(FragmentInfo {
+                offset,
+                len,
+                eb_abs,
+            });
+        }
+        fields.push(FieldEntry {
+            name,
+            scheme,
+            range,
+            max_abs,
+            fragments,
+        });
+    }
+    let mask = if r.get_u8()? == 1 {
+        Some(ZeroMask::from_bytes(r.get_bytes()?)?)
+    } else {
+        None
+    };
+    let app_meta = r.get_bytes()?.to_vec();
+    if r.remaining() != 0 {
+        return Err(PqrError::CorruptStream("trailing manifest bytes".into()));
+    }
+    Ok(Manifest {
+        dims,
+        fields,
+        mask,
+        app_meta,
+    })
+}
+
+/// Serializes fields into the fragment-addressed container format.
+pub(crate) fn write_container(
+    dims: &[usize],
+    fields: &[(&str, &RefactoredField)],
+    mask: Option<&ZeroMask>,
+    app_meta: &[u8],
+) -> Vec<u8> {
+    // Offsets are fixed-width, so the manifest's size is independent of
+    // their values: measure with zero offsets, then lay out for real.
+    let probe = manifest_to_bytes(&build_manifest(dims, fields, mask, app_meta, 0));
+    let payload_start = (PREAMBLE + probe.len()) as u64;
+    let manifest = build_manifest(dims, fields, mask, app_meta, payload_start);
+    let mbytes = manifest_to_bytes(&manifest);
+    debug_assert_eq!(mbytes.len(), probe.len());
+
+    let total = payload_start as usize + manifest.total_payload_bytes();
+    let mut w = ByteWriter::with_capacity(total);
+    w.put_raw(MAGIC);
+    w.put_u8(VERSION);
+    w.put_u64(mbytes.len() as u64);
+    w.put_raw(&mbytes);
+    for (_, field) in fields {
+        for (_, payload) in field_payloads(field) {
+            w.put_raw(&payload);
+        }
+    }
+    debug_assert_eq!(w.len(), total);
+    w.finish()
+}
+
+/// Reads the container preamble, returning `(manifest_bytes_range,
+/// payload_start)` after validating magic/version and the manifest length.
+fn read_preamble(head: &[u8], total_len: u64) -> Result<(usize, u64)> {
+    let mut r = ByteReader::new(head);
+    if r.get_raw(4)? != MAGIC {
+        return Err(PqrError::CorruptStream("bad container magic".into()));
+    }
+    if r.get_u8()? != VERSION {
+        return Err(PqrError::CorruptStream("unsupported container".into()));
+    }
+    let mlen = r.get_u64()?;
+    let payload_start = (PREAMBLE as u64)
+        .checked_add(mlen)
+        .filter(|&p| p <= total_len)
+        .ok_or_else(|| PqrError::CorruptStream(format!("manifest length {mlen} escapes file")))?;
+    Ok((mlen as usize, payload_start))
+}
+
+/// Rebuilds one resident [`RefactoredField`] by fetching every fragment of
+/// field `i` through `source` — the materialising path (deserialization,
+/// debugging); retrieval paths should refine through readers instead.
+pub(crate) fn load_field(
+    source: &dyn FragmentSource,
+    manifest: &Manifest,
+    i: usize,
+) -> Result<RefactoredField> {
+    let entry = &manifest.fields[i];
+    let field = i as u32;
+    let nfrag = entry.fragments.len();
+    let fetch = |index: usize| {
+        source.fetch(FragmentId {
+            field,
+            index: index as u32,
+        })
+    };
+    let body = match entry.scheme {
+        Scheme::Psz3 | Scheme::Psz3Delta => {
+            let mut snaps = Vec::with_capacity(nfrag);
+            for (k, info) in entry.fragments.iter().enumerate() {
+                snaps.push(Snapshot {
+                    eb_abs: info.eb_abs,
+                    blob: fetch(k)?.to_vec(),
+                });
+            }
+            Body::Snapshots(snaps)
+        }
+        Scheme::PmgardHb | Scheme::PmgardOb => {
+            if nfrag == 0 {
+                return Err(PqrError::CorruptStream("mgard field without meta".into()));
+            }
+            let meta = MgardMeta::from_bytes(&fetch(0)?)?;
+            check_meta_dims(&entry.name, meta.dims(), &manifest.dims)?;
+            let planes: Vec<Vec<u8>> = (1..nfrag)
+                .map(|k| fetch(k).map(|b| b.to_vec()))
+                .collect::<Result<_>>()?;
+            Body::Mgard(MgardStream::from_parts(meta, planes)?)
+        }
+        Scheme::Pzfp => {
+            if nfrag == 0 {
+                return Err(PqrError::CorruptStream("zfp field without meta".into()));
+            }
+            let meta = ZfpMeta::from_bytes(&fetch(0)?)?;
+            check_meta_dims(&entry.name, meta.dims(), &manifest.dims)?;
+            let planes: Vec<Vec<u8>> = (1..nfrag)
+                .map(|k| fetch(k).map(|b| b.to_vec()))
+                .collect::<Result<_>>()?;
+            Body::Zfp(ZfpStream::from_parts(meta, planes)?)
+        }
+    };
+    Ok(RefactoredField {
+        scheme: entry.scheme,
+        dims: manifest.dims.clone(),
+        range: entry.range,
+        max_abs: entry.max_abs,
+        body,
+    })
+}
+
+/// A field's embedded metadata must agree with the manifest shape —
+/// readers trust the manifest's element count for their buffers.
+fn check_meta_dims(name: &str, meta_dims: &[usize], manifest_dims: &[usize]) -> Result<()> {
+    if meta_dims != manifest_dims {
+        return Err(PqrError::ShapeMismatch(format!(
+            "field '{name}' metadata shape {meta_dims:?} disagrees with manifest {manifest_dims:?}"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    fetches: AtomicU64,
+    fetched_bytes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl AtomicStats {
+    fn record(&self, bytes: usize, hit: bool) {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.fetched_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> SourceStats {
+        SourceStats {
+            fetches: self.fetches.load(Ordering::Relaxed),
+            fetched_bytes: self.fetched_bytes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A serialized fragment-addressed archive held fully in memory. Fetches
+/// are slice copies; counters still track them, so tests and benches can
+/// compare byte movement across backends.
+#[derive(Debug)]
+pub struct InMemorySource {
+    bytes: Vec<u8>,
+    manifest: Manifest,
+    stats: AtomicStats,
+}
+
+impl InMemorySource {
+    /// Parses a serialized container (from [`RefactoredDataset::to_bytes`]
+    /// or a file read into memory).
+    ///
+    /// [`RefactoredDataset::to_bytes`]: crate::field::RefactoredDataset::to_bytes
+    pub fn new(bytes: Vec<u8>) -> Result<Self> {
+        let total = bytes.len() as u64;
+        if bytes.len() < PREAMBLE {
+            return Err(PqrError::CorruptStream("container too short".into()));
+        }
+        let (mlen, payload_start) = read_preamble(&bytes[..PREAMBLE], total)?;
+        let mbytes = bytes
+            .get(PREAMBLE..PREAMBLE + mlen)
+            .ok_or_else(|| PqrError::CorruptStream("truncated manifest".into()))?;
+        let manifest = manifest_from_bytes(mbytes, payload_start, total)?;
+        Ok(Self {
+            bytes,
+            manifest,
+            stats: AtomicStats::default(),
+        })
+    }
+
+    /// Total container size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+impl FragmentSource for InMemorySource {
+    fn manifest(&self) -> Result<Manifest> {
+        Ok(self.manifest.clone())
+    }
+
+    fn fetch(&self, id: FragmentId) -> Result<Arc<Vec<u8>>> {
+        let info = self.manifest.fragment(id)?;
+        // parse-time validation guarantees the range is in bounds
+        let payload = self.bytes[info.offset as usize..(info.offset + info.len) as usize].to_vec();
+        self.stats.record(payload.len(), false);
+        Ok(Arc::new(payload))
+    }
+
+    fn stats(&self) -> SourceStats {
+        self.stats.snapshot()
+    }
+}
+
+/// A fragment source over an archive file, opened lazily: only the
+/// preamble and manifest are read at open; every fragment fetch is one
+/// `seek + read_exact` of the directory-declared byte range. The file is
+/// never loaded whole — this is what makes partial retrieval partial in
+/// *disk bytes read*.
+#[derive(Debug)]
+pub struct FileSource {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+    manifest: Manifest,
+    header_bytes: usize,
+    stats: AtomicStats,
+}
+
+fn io_err(path: &Path, op: &str, e: std::io::Error) -> PqrError {
+    PqrError::InvalidRequest(format!("{op} '{}': {e}", path.display()))
+}
+
+impl FileSource {
+    /// Opens an archive file, reading and validating only the manifest.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::File::open(&path).map_err(|e| io_err(&path, "cannot open", e))?;
+        let total = file
+            .metadata()
+            .map_err(|e| io_err(&path, "cannot stat", e))?
+            .len();
+        let mut head = [0u8; PREAMBLE];
+        file.read_exact(&mut head)
+            .map_err(|e| io_err(&path, "cannot read preamble of", e))?;
+        let (mlen, payload_start) = read_preamble(&head, total)?;
+        let mut mbytes = vec![0u8; mlen];
+        file.read_exact(&mut mbytes)
+            .map_err(|e| io_err(&path, "cannot read manifest of", e))?;
+        let manifest = manifest_from_bytes(&mbytes, payload_start, total)?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            manifest,
+            header_bytes: PREAMBLE + mlen,
+            stats: AtomicStats::default(),
+        })
+    }
+
+    /// The archive file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes read at open time (preamble + manifest).
+    pub fn header_bytes(&self) -> usize {
+        self.header_bytes
+    }
+
+    /// Total disk bytes this source has read: the always-read header plus
+    /// every fetched fragment range.
+    pub fn disk_bytes_read(&self) -> u64 {
+        self.header_bytes as u64 + self.stats.snapshot().fetched_bytes
+    }
+}
+
+impl FragmentSource for FileSource {
+    fn manifest(&self) -> Result<Manifest> {
+        Ok(self.manifest.clone())
+    }
+
+    fn fetch(&self, id: FragmentId) -> Result<Arc<Vec<u8>>> {
+        let info = self.manifest.fragment(id)?;
+        let mut payload = vec![0u8; info.len as usize];
+        {
+            let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            f.seek(SeekFrom::Start(info.offset))
+                .map_err(|e| io_err(&self.path, "cannot seek", e))?;
+            f.read_exact(&mut payload)
+                .map_err(|e| io_err(&self.path, "cannot read fragment from", e))?;
+        }
+        self.stats.record(payload.len(), false);
+        Ok(Arc::new(payload))
+    }
+
+    fn stats(&self) -> SourceStats {
+        self.stats.snapshot()
+    }
+}
+
+/// Key type of the shared fragment cache: a per-source salt plus the
+/// fragment address, so several archives can share one [`LruCache`].
+pub type FragmentCacheKey = (u64, u32, u32);
+
+/// The LRU fragment cache shared between [`CachedSource`]s.
+pub type FragmentCache = LruCache<FragmentCacheKey>;
+
+/// Distinguishes sources sharing one cache.
+static NEXT_SALT: AtomicU64 = AtomicU64::new(0);
+
+/// Wraps a backend with a (shareable) LRU fragment cache: repeated fetches
+/// of the same fragment are served locally and tallied as cache hits.
+#[derive(Debug)]
+pub struct CachedSource<S> {
+    inner: S,
+    cache: Arc<FragmentCache>,
+    salt: u64,
+    stats: AtomicStats,
+}
+
+impl<S: FragmentSource> CachedSource<S> {
+    /// Wraps `inner` with `cache` (shareable across sources).
+    pub fn new(inner: S, cache: Arc<FragmentCache>) -> Self {
+        Self {
+            inner,
+            cache,
+            salt: NEXT_SALT.fetch_add(1, Ordering::Relaxed),
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &Arc<FragmentCache> {
+        &self.cache
+    }
+}
+
+impl<S: FragmentSource> FragmentSource for CachedSource<S> {
+    fn manifest(&self) -> Result<Manifest> {
+        self.inner.manifest()
+    }
+
+    fn fetch(&self, id: FragmentId) -> Result<Arc<Vec<u8>>> {
+        let key = (self.salt, id.field, id.index);
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.record(hit.len(), true);
+            return Ok(hit);
+        }
+        let payload = self.inner.fetch(id)?;
+        self.cache.insert(key, Arc::clone(&payload));
+        self.stats.record(payload.len(), false);
+        Ok(payload)
+    }
+
+    fn stats(&self) -> SourceStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Dataset;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new(&[n]);
+        for (c, name) in ["u", "v"].iter().enumerate() {
+            ds.add_field(
+                name,
+                (0..n)
+                    .map(|i| ((i + c * 17) as f64 * 0.02).sin() * 5.0)
+                    .collect(),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    fn archive_bytes(scheme: Scheme) -> Vec<u8> {
+        dataset(400)
+            .refactor_with_bounds(scheme, &[1e-1, 1e-3, 1e-5])
+            .unwrap()
+            .to_bytes()
+    }
+
+    #[test]
+    fn container_roundtrips_across_schemes() {
+        for scheme in Scheme::extended() {
+            let bytes = archive_bytes(scheme);
+            let src = InMemorySource::new(bytes).unwrap();
+            let m = src.manifest().unwrap();
+            assert_eq!(m.num_fields(), 2, "{}", scheme.name());
+            assert_eq!(m.dims, vec![400]);
+            for (i, f) in m.fields.iter().enumerate() {
+                assert_eq!(f.scheme, scheme);
+                assert!(!f.fragments.is_empty());
+                let rebuilt = load_field(&src, &m, i).unwrap();
+                assert_eq!(rebuilt.scheme(), scheme);
+                assert_eq!(rebuilt.dims(), &[400]);
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_returns_directory_declared_lengths() {
+        let src = InMemorySource::new(archive_bytes(Scheme::PmgardHb)).unwrap();
+        let m = src.manifest().unwrap();
+        for (fi, f) in m.fields.iter().enumerate() {
+            for (ki, info) in f.fragments.iter().enumerate() {
+                let payload = src
+                    .fetch(FragmentId {
+                        field: fi as u32,
+                        index: ki as u32,
+                    })
+                    .unwrap();
+                assert_eq!(payload.len() as u64, info.len);
+            }
+        }
+        let s = src.stats();
+        assert!(s.fetches > 0);
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn out_of_directory_fetch_is_an_error() {
+        let src = InMemorySource::new(archive_bytes(Scheme::Psz3)).unwrap();
+        assert!(src.fetch(FragmentId { field: 9, index: 0 }).is_err());
+        assert!(src
+            .fetch(FragmentId {
+                field: 0,
+                index: 999,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn truncated_containers_fail_cleanly() {
+        let bytes = archive_bytes(Scheme::Psz3Delta);
+        for cut in [0, 3, PREAMBLE - 1, PREAMBLE + 4, bytes.len() / 2] {
+            assert!(
+                InMemorySource::new(bytes[..cut].to_vec()).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        // cutting payloads (but not the manifest) must fail the directory
+        // bound check at parse time, not at fetch time
+        let head_only = bytes[..bytes.len() - 10].to_vec();
+        assert!(InMemorySource::new(head_only).is_err());
+    }
+
+    /// Crafts a minimal container whose single field's directory is
+    /// attacker-controlled.
+    fn crafted(fragments: &[(u64, u64)]) -> Vec<u8> {
+        let mut m = ByteWriter::new();
+        m.put_u8(1); // nd
+        m.put_u64(4); // dim
+        m.put_u32(1); // one field
+        m.put_bytes(b"f");
+        m.put_u8(0); // Psz3
+        m.put_f64(1.0);
+        m.put_f64(1.0);
+        m.put_u32(fragments.len() as u32);
+        for &(offset, len) in fragments {
+            m.put_u64(offset);
+            m.put_u64(len);
+            m.put_f64(0.1);
+        }
+        m.put_u8(0); // no mask
+        m.put_bytes(&[]); // app meta
+        let mbytes = m.finish();
+        let mut w = ByteWriter::new();
+        w.put_raw(MAGIC);
+        w.put_u8(VERSION);
+        w.put_u64(mbytes.len() as u64);
+        w.put_raw(&mbytes);
+        w.put_raw(&[0xAB; 64]); // payload region
+        w.finish()
+    }
+
+    /// Payload-region start of a crafted container with `n` fragments (the
+    /// manifest grows with the directory, so it depends on `n`).
+    fn crafted_payload_start(n: usize) -> u64 {
+        crafted(&vec![(0, 0); n]).len() as u64 - 64
+    }
+
+    #[test]
+    fn hostile_directories_rejected_at_parse_time() {
+        let ps1 = crafted_payload_start(1);
+        let ps2 = crafted_payload_start(2);
+        // a well-formed directory parses
+        assert!(InMemorySource::new(crafted(&[(ps2, 10), (ps2 + 10, 20)])).is_ok());
+        // overlapping ranges
+        assert!(InMemorySource::new(crafted(&[(ps2, 10), (ps2 + 5, 10)])).is_err());
+        // descending offsets
+        assert!(InMemorySource::new(crafted(&[(ps2 + 30, 10), (ps2, 10)])).is_err());
+        // range escaping the container
+        assert!(InMemorySource::new(crafted(&[(ps1, 65)])).is_err());
+        // offset before the payload region (inside the manifest)
+        assert!(InMemorySource::new(crafted(&[(0, 8)])).is_err());
+        // offset+len overflowing u64
+        assert!(InMemorySource::new(crafted(&[(u64::MAX - 3, 10)])).is_err());
+        // absurd fragment count that the remaining bytes cannot back
+        let mut bomb = crafted(&[(ps1, 10)]);
+        // fragment-count field sits right after dims+field header; craft via
+        // direct byte surgery is brittle — instead check the count guard
+        // through a directory that *claims* more fragments than fit
+        let claim_pos = {
+            // find the u32 fragment count (value 1) preceding the first
+            // fragment's offset bytes
+            let needle = 1u32.to_le_bytes();
+            let mut pos = None;
+            for i in (0..bomb.len() - 4).rev() {
+                if bomb[i..i + 4] == needle && i > PREAMBLE {
+                    pos = Some(i);
+                    break;
+                }
+            }
+            pos.unwrap()
+        };
+        bomb[claim_pos..claim_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(InMemorySource::new(bomb).is_err());
+    }
+
+    #[test]
+    fn zero_snapshot_field_is_exhausted_not_a_panic() {
+        // a container declaring a snapshot field with an empty directory is
+        // legal (ladder-less archive); refinement must degrade to "born
+        // exhausted at the zero-vector bound", not index an empty ladder
+        let src = InMemorySource::new(crafted(&[])).unwrap();
+        let manifest = src.manifest().unwrap();
+        let mut reader = crate::refactored::FieldReader::open(&src, &manifest, 0).unwrap();
+        assert!(reader.exhausted());
+        reader.refine_to(1e-9).unwrap();
+        assert_eq!(reader.total_fetched(), 0);
+        assert_eq!(reader.guaranteed_bound(), 1.0); // the crafted max_abs
+    }
+
+    #[test]
+    fn meta_dims_disagreeing_with_manifest_rejected() {
+        // a two-field archive whose manifests we cross-wire: field 0's
+        // metadata fragment describes the right dims, so loading succeeds;
+        // but a manifest lying about the shape must fail load_field
+        let bytes = archive_bytes(Scheme::PmgardHb);
+        let src = InMemorySource::new(bytes).unwrap();
+        let mut m = src.manifest().unwrap();
+        assert!(load_field(&src, &m, 0).is_ok());
+        m.dims = vec![999];
+        assert!(load_field(&src, &m, 0).is_err());
+    }
+
+    #[test]
+    fn cached_source_hits_on_refetch() {
+        let src = InMemorySource::new(archive_bytes(Scheme::PmgardHb)).unwrap();
+        let cache = Arc::new(FragmentCache::new(1 << 20));
+        let cached = CachedSource::new(src, Arc::clone(&cache));
+        let id = FragmentId { field: 0, index: 1 };
+        let a = cached.fetch(id).unwrap();
+        let b = cached.fetch(id).unwrap();
+        assert_eq!(a, b);
+        let s = cached.stats();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 1);
+        // the inner source was only touched once
+        assert_eq!(cached.inner().stats().fetches, 1);
+    }
+
+    #[test]
+    fn shared_cache_does_not_leak_across_sources() {
+        let cache = Arc::new(FragmentCache::new(1 << 20));
+        let a = CachedSource::new(
+            InMemorySource::new(archive_bytes(Scheme::PmgardHb)).unwrap(),
+            Arc::clone(&cache),
+        );
+        let b = CachedSource::new(
+            InMemorySource::new(archive_bytes(Scheme::Psz3)).unwrap(),
+            Arc::clone(&cache),
+        );
+        let id = FragmentId { field: 0, index: 0 };
+        let pa = a.fetch(id).unwrap();
+        let pb = b.fetch(id).unwrap();
+        // same address, different archives: the salt keeps them apart
+        assert_ne!(pa, pb);
+        assert_eq!(b.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn file_source_reads_only_requested_ranges() {
+        let bytes = archive_bytes(Scheme::PmgardHb);
+        let total = bytes.len() as u64;
+        let dir = std::env::temp_dir().join("pqr_fragstore_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.pqrx");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let src = FileSource::open(&path).unwrap();
+        assert!(
+            src.disk_bytes_read() < total,
+            "open must not slurp the file"
+        );
+        let payload = src.fetch(FragmentId { field: 0, index: 0 }).unwrap();
+        let info = *src
+            .manifest()
+            .unwrap()
+            .fragment(FragmentId { field: 0, index: 0 })
+            .unwrap();
+        assert_eq!(payload.len() as u64, info.len);
+        assert_eq!(src.disk_bytes_read(), src.header_bytes() as u64 + info.len);
+        // the fetched range matches the in-memory container byte for byte
+        assert_eq!(
+            payload.as_slice(),
+            &bytes[info.offset as usize..(info.offset + info.len) as usize]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

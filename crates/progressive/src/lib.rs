@@ -17,6 +17,11 @@
 //!   negabinary bitplanes — the paper's other progressive-precision family).
 //! * [`mask`] — the zero-outlier bitmap of §V-A that keeps near-zero points
 //!   from blowing up √-type QoI estimates.
+//! * [`fragstore`] — fragment-addressed storage: archives serialize as a
+//!   manifest + directory + independently addressable fragments, and every
+//!   retrieval path pulls bytes through the [`fragstore::FragmentSource`]
+//!   trait (resident, in-memory, file-backed byte ranges, LRU-cached), so
+//!   partial retrieval is partial in bytes *read*, not just bytes counted.
 //! * [`engine`] — Algorithms 2–4: iterative QoI-preserved retrieval with a
 //!   primary-data error-bound assigner and a QoI error estimator.
 //!
@@ -53,10 +58,15 @@
 
 pub mod engine;
 pub mod field;
+pub mod fragstore;
 pub mod mask;
 pub mod refactored;
 
 pub use engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
 pub use field::{Dataset, RefactoredDataset};
+pub use fragstore::{
+    CachedSource, FileSource, FragmentCache, FragmentId, FragmentSource, InMemorySource, Manifest,
+    SourceStats,
+};
 pub use mask::ZeroMask;
 pub use refactored::{FieldReader, ReaderProgress, RefactoredField, Scheme};

@@ -12,12 +12,14 @@
 //! reconstruct from a prefix of fragments under a guaranteed L∞ bound, and
 //! recompose incrementally as more fragments arrive.
 
-use pqr_mgard::{Basis, MgardReader, MgardRefactorer, MgardStream};
+use crate::fragstore::{self, FragmentId, FragmentInfo, FragmentSource, Manifest};
+use pqr_mgard::{Basis, MgardCursor, MgardMeta, MgardRefactorer, MgardStream};
 use pqr_sz::{SzCompressor, SzConfig};
 use pqr_util::byteio::{ByteReader, ByteWriter};
 use pqr_util::error::{PqrError, Result};
 use pqr_util::stats;
-use pqr_zfp::{ZfpReader, ZfpRefactorer, ZfpStream};
+use pqr_zfp::{ZfpCursor, ZfpMeta, ZfpRefactorer, ZfpStream};
+use std::sync::Arc;
 
 /// Which progressive representation to refactor into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,7 +76,7 @@ impl Scheme {
         ]
     }
 
-    fn tag(self) -> u8 {
+    pub(crate) fn tag(self) -> u8 {
         match self {
             Scheme::Psz3 => 0,
             Scheme::Psz3Delta => 1,
@@ -84,7 +86,7 @@ impl Scheme {
         }
     }
 
-    fn from_tag(t: u8) -> Option<Self> {
+    pub(crate) fn from_tag(t: u8) -> Option<Self> {
         match t {
             0 => Some(Scheme::Psz3),
             1 => Some(Scheme::Psz3Delta),
@@ -243,51 +245,13 @@ impl RefactoredField {
         }
     }
 
-    /// Opens a progressive reader at zero fetched fragments.
+    /// Opens a progressive reader at zero fetched fragments, served from
+    /// this resident field (which is itself a [`FragmentSource`]) — the
+    /// same code path file-backed and remote readers go through.
     pub fn reader(&self) -> FieldReader<'_> {
-        let n = self.len();
-        match &self.body {
-            Body::Snapshots(snaps) => FieldReader {
-                field: self,
-                recon: vec![0.0; n],
-                bound: self.max_abs,
-                fetched: 0,
-                state: ReaderState::Snapshots {
-                    snaps,
-                    next: 0,
-                    delta: self.scheme == Scheme::Psz3Delta,
-                },
-            },
-            Body::Mgard(stream) => {
-                let reader = stream.reader();
-                let fetched = reader.total_fetched();
-                let bound = reader.guaranteed_bound();
-                // the metadata (always fetched) carries the root value, so
-                // the zero-plane reconstruction is already meaningful
-                let recon = reader.reconstruct();
-                FieldReader {
-                    field: self,
-                    recon,
-                    bound,
-                    fetched,
-                    state: ReaderState::Mgard(reader),
-                }
-            }
-            Body::Zfp(stream) => {
-                let reader = stream.reader();
-                let fetched = reader.total_fetched();
-                // the zfp bound model can exceed max|x| before any plane
-                // arrives; the zero-vector bound is the better of the two
-                let bound = reader.guaranteed_bound().min(self.max_abs);
-                FieldReader {
-                    field: self,
-                    recon: vec![0.0; n],
-                    bound,
-                    fetched,
-                    state: ReaderState::Zfp(reader),
-                }
-            }
-        }
+        let manifest = fragstore::build_manifest(&self.dims, &[("", self)], None, &[], 0);
+        FieldReader::open(self, &manifest, 0)
+            .expect("resident field serves its own fragments consistently")
     }
 
     /// Opens a reader restored to a previously saved [`ReaderProgress`]
@@ -297,143 +261,29 @@ impl RefactoredField {
     /// the original reader's state exactly.
     pub fn reader_resumed(&self, progress: &ReaderProgress) -> Result<FieldReader<'_>> {
         let mut reader = self.reader();
-        match (&mut reader.state, progress) {
-            (
-                ReaderState::Snapshots { snaps, next, delta },
-                ReaderProgress::Snapshots {
-                    next: want,
-                    fetched,
-                },
-            ) => {
-                let want = *want as usize;
-                if want > snaps.len() {
-                    return Err(PqrError::InvalidRequest(format!(
-                        "progress wants snapshot {want}, archive has {}",
-                        snaps.len()
-                    )));
-                }
-                let sz = SzCompressor::new(SzConfig::default());
-                if *delta {
-                    for s in &snaps[..want] {
-                        let (part, _) = sz.decompress(&s.blob)?;
-                        for (acc, p) in reader.recon.iter_mut().zip(&part) {
-                            *acc += p;
-                        }
-                        reader.bound = s.eb_abs;
-                    }
-                } else if want > 0 {
-                    let s = &snaps[want - 1];
-                    let (recon, _) = sz.decompress(&s.blob)?;
-                    reader.recon = recon;
-                    reader.bound = s.eb_abs;
-                }
-                *next = want;
-                reader.fetched = *fetched as usize;
-            }
-            (ReaderState::Mgard(m), ReaderProgress::Mgard { planes }) => {
-                m.restore(planes)?;
-                reader.recon = m.reconstruct();
-                reader.bound = m.guaranteed_bound();
-                reader.fetched = m.total_fetched();
-            }
-            (ReaderState::Zfp(z), ReaderProgress::Zfp { planes }) => {
-                z.fetch_planes(*planes as usize)?;
-                if z.planes_read() != *planes {
-                    return Err(PqrError::InvalidRequest(format!(
-                        "progress wants {planes} planes, archive has {}",
-                        z.planes_read()
-                    )));
-                }
-                // mirror refine_to: adopt the zfp reconstruction only once
-                // its guarantee beats the zero-vector bound
-                let zb = z.guaranteed_bound();
-                if zb <= reader.bound {
-                    reader.recon = z.reconstruct();
-                    reader.bound = zb;
-                }
-                reader.fetched = z.total_fetched();
-            }
-            _ => {
-                return Err(PqrError::InvalidRequest(format!(
-                    "progress marker does not match scheme {}",
-                    self.scheme.name()
-                )))
-            }
-        }
+        reader.restore(progress)?;
         Ok(reader)
     }
 
-    /// Serializes the archive artifact.
+    /// Serializes the archive artifact into the fragment-addressed
+    /// container format (a single-field archive — see [`crate::fragstore`]
+    /// for the layout).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = ByteWriter::new();
-        w.put_raw(b"PQRF");
-        w.put_u8(self.scheme.tag());
-        w.put_u8(self.dims.len() as u8);
-        for &d in &self.dims {
-            w.put_u64(d as u64);
-        }
-        w.put_f64(self.range);
-        w.put_f64(self.max_abs);
-        match &self.body {
-            Body::Snapshots(snaps) => {
-                w.put_u32(snaps.len() as u32);
-                for s in snaps {
-                    w.put_f64(s.eb_abs);
-                    w.put_bytes(&s.blob);
-                }
-            }
-            Body::Mgard(m) => {
-                w.put_u32(u32::MAX); // sentinel: mgard body
-                w.put_bytes(&m.to_bytes());
-            }
-            Body::Zfp(z) => {
-                w.put_u32(u32::MAX - 1); // sentinel: zfp body
-                w.put_bytes(&z.to_bytes());
-            }
-        }
-        w.finish()
+        fragstore::write_container(&self.dims, &[("", self)], None, &[])
     }
 
-    /// Deserializes an archive artifact.
+    /// Deserializes (fully materialises) a single-field archive written by
+    /// [`RefactoredField::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let mut r = ByteReader::new(bytes);
-        if r.get_raw(4)? != b"PQRF" {
-            return Err(PqrError::CorruptStream("bad field magic".into()));
+        let src = fragstore::InMemorySource::new(bytes.to_vec())?;
+        let manifest = src.manifest()?;
+        if manifest.num_fields() != 1 {
+            return Err(PqrError::CorruptStream(format!(
+                "expected a single-field archive, found {} fields",
+                manifest.num_fields()
+            )));
         }
-        let scheme = Scheme::from_tag(r.get_u8()?)
-            .ok_or_else(|| PqrError::CorruptStream("unknown scheme".into()))?;
-        let nd = r.get_u8()? as usize;
-        let mut dims = Vec::with_capacity(nd);
-        for _ in 0..nd {
-            dims.push(r.get_u64()? as usize);
-        }
-        pqr_util::byteio::check_dims(&dims)?;
-        let range = r.get_f64()?;
-        let max_abs = r.get_f64()?;
-        let marker = r.get_u32()?;
-        let body = if marker == u32::MAX {
-            Body::Mgard(MgardStream::from_bytes(r.get_bytes()?)?)
-        } else if marker == u32::MAX - 1 {
-            Body::Zfp(ZfpStream::from_bytes(r.get_bytes()?)?)
-        } else {
-            if marker > 4096 {
-                return Err(PqrError::CorruptStream(format!("{marker} snapshots")));
-            }
-            let mut snaps = Vec::with_capacity(marker as usize);
-            for _ in 0..marker {
-                let eb_abs = r.get_f64()?;
-                let blob = r.get_bytes()?.to_vec();
-                snaps.push(Snapshot { eb_abs, blob });
-            }
-            Body::Snapshots(snaps)
-        };
-        Ok(Self {
-            scheme,
-            dims,
-            range,
-            max_abs,
-            body,
-        })
+        fragstore::load_field(&src, &manifest, 0)
     }
 
     /// Sizes of the individually fetchable fragments, in storage order — the
@@ -547,33 +397,160 @@ impl ReaderProgress {
     }
 }
 
-/// Progressive reader over a [`RefactoredField`].
+/// Progressive reader over one field of a fragment-addressed archive.
 ///
 /// Maintains the current reconstruction, the guaranteed L∞ bound, and the
-/// cumulative number of fetched bytes (what a remote retrieval would move).
-#[derive(Debug)]
+/// cumulative number of fetched bytes. Every byte enters through the
+/// [`FragmentSource`] the reader was opened on — a resident dataset, a
+/// serialized buffer, a file read by ranges, or a (simulated) remote store
+/// all drive this same code path.
 pub struct FieldReader<'a> {
-    field: &'a RefactoredField,
+    source: &'a dyn FragmentSource,
+    field: u32,
+    scheme: Scheme,
+    /// The field's fragment directory (from the manifest).
+    frags: Vec<FragmentInfo>,
     recon: Vec<f64>,
     bound: f64,
     fetched: usize,
-    state: ReaderState<'a>,
+    state: ReaderState,
 }
 
 #[derive(Debug)]
-enum ReaderState<'a> {
+enum ReaderState {
     Snapshots {
-        snaps: &'a [Snapshot],
         /// Next snapshot index to fetch (all below are fetched).
         next: usize,
         /// Delta mode: reconstruction accumulates; plain mode: replaces.
         delta: bool,
     },
-    Mgard(MgardReader<'a>),
-    Zfp(ZfpReader<'a>),
+    Mgard {
+        cursor: MgardCursor,
+        /// Fragment index of each level's first plane (index 0 is the
+        /// metadata fragment).
+        level_base: Vec<u32>,
+    },
+    Zfp(ZfpCursor),
 }
 
-impl FieldReader<'_> {
+impl<'a> FieldReader<'a> {
+    /// Opens a reader on field `field` of `manifest`, fetching the field's
+    /// metadata fragment (multilevel/transform schemes) through `source`.
+    pub fn open(source: &'a dyn FragmentSource, manifest: &Manifest, field: usize) -> Result<Self> {
+        let entry = manifest.fields.get(field).ok_or_else(|| {
+            PqrError::InvalidRequest(format!(
+                "field {field} out of range ({} fields)",
+                manifest.num_fields()
+            ))
+        })?;
+        let n = manifest.num_elements();
+        let frags = entry.fragments.clone();
+        let fid = field as u32;
+        let fetch_meta = || {
+            if frags.is_empty() {
+                return Err(PqrError::CorruptStream(format!(
+                    "{} field without a metadata fragment",
+                    entry.scheme.name()
+                )));
+            }
+            source.fetch(FragmentId {
+                field: fid,
+                index: 0,
+            })
+        };
+        let (state, recon, bound, fetched) = match entry.scheme {
+            Scheme::Psz3 | Scheme::Psz3Delta => (
+                ReaderState::Snapshots {
+                    next: 0,
+                    delta: entry.scheme == Scheme::Psz3Delta,
+                },
+                vec![0.0; n],
+                entry.max_abs,
+                0,
+            ),
+            Scheme::PmgardHb | Scheme::PmgardOb => {
+                let meta_bytes = fetch_meta()?;
+                let meta = MgardMeta::from_bytes(&meta_bytes)?;
+                if meta.dims() != manifest.dims {
+                    return Err(PqrError::ShapeMismatch(format!(
+                        "field metadata shape {:?} != archive {:?}",
+                        meta.dims(),
+                        manifest.dims
+                    )));
+                }
+                if frags.len() != 1 + meta.total_planes() {
+                    return Err(PqrError::CorruptStream(format!(
+                        "directory has {} fragments, metadata implies {}",
+                        frags.len(),
+                        1 + meta.total_planes()
+                    )));
+                }
+                let mut level_base = Vec::with_capacity(meta.num_levels());
+                let mut base = 1u32;
+                for lm in meta.levels() {
+                    level_base.push(base);
+                    base += lm.num_planes;
+                }
+                let cursor = MgardCursor::new(meta);
+                let bound = cursor.guaranteed_bound();
+                // the metadata (always fetched) carries the root value, so
+                // the zero-plane reconstruction is already meaningful
+                let recon = cursor.reconstruct();
+                let fetched = meta_bytes.len();
+                (
+                    ReaderState::Mgard { cursor, level_base },
+                    recon,
+                    bound,
+                    fetched,
+                )
+            }
+            Scheme::Pzfp => {
+                let meta_bytes = fetch_meta()?;
+                let meta = ZfpMeta::from_bytes(&meta_bytes)?;
+                if meta.dims() != manifest.dims {
+                    return Err(PqrError::ShapeMismatch(format!(
+                        "field metadata shape {:?} != archive {:?}",
+                        meta.dims(),
+                        manifest.dims
+                    )));
+                }
+                if frags.len() != 1 + meta.num_planes() as usize {
+                    return Err(PqrError::CorruptStream(format!(
+                        "directory has {} fragments, metadata implies {}",
+                        frags.len(),
+                        1 + meta.num_planes()
+                    )));
+                }
+                let cursor = ZfpCursor::new(meta);
+                // the zfp bound model can exceed max|x| before any plane
+                // arrives; the zero-vector bound is the better of the two
+                let bound = cursor.guaranteed_bound().min(entry.max_abs);
+                let fetched = meta_bytes.len();
+                (ReaderState::Zfp(cursor), vec![0.0; n], bound, fetched)
+            }
+        };
+        Ok(Self {
+            source,
+            field: fid,
+            scheme: entry.scheme,
+            frags,
+            recon,
+            bound,
+            fetched,
+            state,
+        })
+    }
+
+    /// Fetches payload fragment `index` of this field, accounting its bytes.
+    fn fetch(&mut self, index: u32) -> Result<Arc<Vec<u8>>> {
+        let payload = self.source.fetch(FragmentId {
+            field: self.field,
+            index,
+        })?;
+        self.fetched += payload.len();
+        Ok(payload)
+    }
+
     /// Current reconstruction (zeros before any fetch — Algorithm 2 line 2).
     pub fn data(&self) -> &[f64] {
         &self.recon
@@ -589,9 +566,9 @@ impl FieldReader<'_> {
         self.fetched
     }
 
-    /// The underlying field.
-    pub fn field(&self) -> &RefactoredField {
-        self.field
+    /// The representation this reader refines.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
     }
 
     /// The reader's resumable progress marker (see [`ReaderProgress`]).
@@ -601,8 +578,8 @@ impl FieldReader<'_> {
                 next: *next as u32,
                 fetched: self.fetched as u64,
             },
-            ReaderState::Mgard(m) => ReaderProgress::Mgard {
-                planes: m.planes_read(),
+            ReaderState::Mgard { cursor, .. } => ReaderProgress::Mgard {
+                planes: cursor.planes_read(),
             },
             ReaderState::Zfp(z) => ReaderProgress::Zfp {
                 planes: z.planes_read(),
@@ -613,9 +590,9 @@ impl FieldReader<'_> {
     /// True when no further refinement is possible.
     pub fn exhausted(&self) -> bool {
         match &self.state {
-            ReaderState::Snapshots { snaps, next, .. } => *next >= snaps.len(),
-            ReaderState::Mgard(r) => r.fully_fetched(),
-            ReaderState::Zfp(r) => r.fully_fetched(),
+            ReaderState::Snapshots { next, .. } => *next >= self.frags.len(),
+            ReaderState::Mgard { cursor, .. } => cursor.fully_fetched(),
+            ReaderState::Zfp(z) => z.fully_fetched(),
         }
     }
 
@@ -628,10 +605,10 @@ impl FieldReader<'_> {
     /// [`PqrError::Unsupported`].
     pub fn reconstruct_at_resolution(&self, drop_finest: usize) -> Result<(Vec<f64>, Vec<usize>)> {
         match &self.state {
-            ReaderState::Mgard(reader) => Ok(reader.reconstruct_at_resolution(drop_finest)),
+            ReaderState::Mgard { cursor, .. } => Ok(cursor.reconstruct_at_resolution(drop_finest)),
             ReaderState::Snapshots { .. } => Err(PqrError::Unsupported(format!(
                 "{} has no resolution hierarchy",
-                self.field.scheme.name()
+                self.scheme.name()
             ))),
             ReaderState::Zfp(_) => Err(PqrError::Unsupported(
                 "PZFP has no resolution hierarchy".into(),
@@ -648,62 +625,223 @@ impl FieldReader<'_> {
         if self.bound <= eb {
             return Ok(0);
         }
-        let mut newly = 0usize;
-        match &mut self.state {
-            ReaderState::Snapshots { snaps, next, delta } => {
+        let before = self.fetched;
+        // the state is moved out so `self.fetch` can borrow mutably; every
+        // arm puts it back
+        let mut state = std::mem::replace(
+            &mut self.state,
+            ReaderState::Snapshots {
+                next: 0,
+                delta: false,
+            },
+        );
+        let result = self.refine_state(&mut state, eb);
+        self.state = state;
+        result?;
+        Ok(self.fetched - before)
+    }
+
+    fn refine_state(&mut self, state: &mut ReaderState, eb: f64) -> Result<()> {
+        match state {
+            ReaderState::Snapshots { next, delta } => {
+                // a ladder-less (zero-snapshot) field is born exhausted: the
+                // zero-vector reconstruction at the max|x| bound is all it
+                // can ever offer
+                if self.frags.is_empty() {
+                    return Ok(());
+                }
                 let sz = SzCompressor::new(SzConfig::default());
                 // target: smallest index with eb_abs ≤ eb (ladder is sorted
                 // descending); if none, the last (floor).
-                let target = match snaps.iter().position(|s| s.eb_abs <= eb) {
+                let target = match self.frags.iter().position(|s| s.eb_abs <= eb) {
                     Some(i) => i,
-                    None => snaps.len().saturating_sub(1),
+                    None => self.frags.len() - 1,
                 };
                 if *delta {
                     // fetch the prefix ..=target that is still missing
-                    while *next <= target && *next < snaps.len() {
-                        let s = &snaps[*next];
-                        newly += s.blob.len();
-                        let (part, _) = sz.decompress(&s.blob)?;
+                    while *next <= target && *next < self.frags.len() {
+                        let eb_abs = self.frags[*next].eb_abs;
+                        let blob = self.fetch(*next as u32)?;
+                        let (part, _) = sz.decompress(&blob)?;
                         for (acc, p) in self.recon.iter_mut().zip(&part) {
                             *acc += p;
                         }
-                        self.bound = s.eb_abs;
+                        self.bound = eb_abs;
                         *next += 1;
                     }
                 } else if target >= *next {
                     // plain PSZ3 re-fetches the full adequate snapshot —
                     // the cross-snapshot redundancy of §V-B
-                    let s = &snaps[target];
-                    newly += s.blob.len();
-                    let (recon, _) = sz.decompress(&s.blob)?;
+                    let eb_abs = self.frags[target].eb_abs;
+                    let blob = self.fetch(target as u32)?;
+                    let (recon, _) = sz.decompress(&blob)?;
                     self.recon = recon;
-                    self.bound = s.eb_abs;
+                    self.bound = eb_abs;
                     *next = target + 1;
                 }
             }
-            ReaderState::Mgard(reader) => {
-                newly = reader.refine_to(eb)?;
-                if newly > 0 {
-                    self.recon = reader.reconstruct();
+            ReaderState::Mgard { cursor, level_base } => {
+                let mut pushed = false;
+                while cursor.guaranteed_bound() > eb {
+                    let Some((l, p)) = cursor.next_plane() else {
+                        break; // exhausted
+                    };
+                    let bytes = self.fetch(level_base[l] + p as u32)?;
+                    cursor.push_plane(l, &bytes)?;
+                    pushed = true;
                 }
-                self.bound = reader.guaranteed_bound().min(self.bound);
+                if pushed {
+                    self.recon = cursor.reconstruct();
+                }
+                self.bound = cursor.guaranteed_bound().min(self.bound);
             }
-            ReaderState::Zfp(reader) => {
-                newly = reader.refine_to(eb)?;
+            ReaderState::Zfp(cursor) => {
+                while cursor.guaranteed_bound() > eb && !cursor.fully_fetched() {
+                    let bytes = self.fetch(1 + cursor.planes_read())?;
+                    cursor.push_plane(&bytes)?;
+                }
                 // The zfp bound model is conservative: for the first few
                 // planes it can exceed the zero-vector bound max|x| this
                 // reader starts from. Only adopt the zfp reconstruction
                 // once its guarantee beats the current one; the fetched
-                // planes are retained in the reader either way.
-                let zb = reader.guaranteed_bound();
+                // planes are retained in the cursor either way.
+                let zb = cursor.guaranteed_bound();
                 if zb <= self.bound {
-                    self.recon = reader.reconstruct();
+                    self.recon = cursor.reconstruct();
                     self.bound = zb;
                 }
             }
         }
-        self.fetched += newly;
-        Ok(newly)
+        Ok(())
+    }
+
+    /// Restores a *fresh* reader to a previously saved [`ReaderProgress`]
+    /// by deterministically replaying the recorded fetches through the
+    /// reader's fragment source.
+    pub fn restore(&mut self, progress: &ReaderProgress) -> Result<()> {
+        let mut state = std::mem::replace(
+            &mut self.state,
+            ReaderState::Snapshots {
+                next: 0,
+                delta: false,
+            },
+        );
+        let result = self.restore_state(&mut state, progress);
+        self.state = state;
+        result
+    }
+
+    fn restore_state(&mut self, state: &mut ReaderState, progress: &ReaderProgress) -> Result<()> {
+        match (state, progress) {
+            (
+                ReaderState::Snapshots { next, delta },
+                ReaderProgress::Snapshots {
+                    next: want,
+                    fetched,
+                },
+            ) => {
+                let want = *want as usize;
+                if want > self.frags.len() {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "progress wants snapshot {want}, archive has {}",
+                        self.frags.len()
+                    )));
+                }
+                let sz = SzCompressor::new(SzConfig::default());
+                if *delta {
+                    for i in 0..want {
+                        let eb_abs = self.frags[i].eb_abs;
+                        let blob = self.fetch(i as u32)?;
+                        let (part, _) = sz.decompress(&blob)?;
+                        for (acc, p) in self.recon.iter_mut().zip(&part) {
+                            *acc += p;
+                        }
+                        self.bound = eb_abs;
+                    }
+                } else if want > 0 {
+                    let eb_abs = self.frags[want - 1].eb_abs;
+                    let blob = self.fetch((want - 1) as u32)?;
+                    let (recon, _) = sz.decompress(&blob)?;
+                    self.recon = recon;
+                    self.bound = eb_abs;
+                }
+                *next = want;
+                // not derivable from the index: plain PSZ3 may have
+                // re-fetched several snapshots on the way
+                self.fetched = *fetched as usize;
+            }
+            (ReaderState::Mgard { cursor, level_base }, ReaderProgress::Mgard { planes }) => {
+                if planes.len() != cursor.meta().num_levels() {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "progress has {} levels, stream has {}",
+                        planes.len(),
+                        cursor.meta().num_levels()
+                    )));
+                }
+                for (l, &k) in planes.iter().enumerate() {
+                    if k > cursor.meta().levels()[l].num_planes {
+                        return Err(PqrError::InvalidRequest(format!(
+                            "progress wants {k} planes of level {l}, stream has {}",
+                            cursor.meta().levels()[l].num_planes
+                        )));
+                    }
+                    for p in 0..k {
+                        let bytes = self.fetch(level_base[l] + p)?;
+                        cursor.push_plane(l, &bytes)?;
+                    }
+                }
+                self.recon = cursor.reconstruct();
+                self.bound = cursor.guaranteed_bound();
+            }
+            (ReaderState::Zfp(cursor), ReaderProgress::Zfp { planes }) => {
+                if *planes > cursor.meta().num_planes() {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "progress wants {planes} planes, archive has {}",
+                        cursor.meta().num_planes()
+                    )));
+                }
+                for p in 0..*planes {
+                    let bytes = self.fetch(1 + p)?;
+                    cursor.push_plane(&bytes)?;
+                }
+                // mirror refine_to: adopt the zfp reconstruction only once
+                // its guarantee beats the zero-vector bound
+                let zb = cursor.guaranteed_bound();
+                if zb <= self.bound {
+                    self.recon = cursor.reconstruct();
+                    self.bound = zb;
+                }
+            }
+            _ => {
+                return Err(PqrError::InvalidRequest(format!(
+                    "progress marker does not match scheme {}",
+                    self.scheme.name()
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FragmentSource for RefactoredField {
+    fn manifest(&self) -> Result<Manifest> {
+        Ok(fragstore::build_manifest(
+            &self.dims,
+            &[("", self)],
+            None,
+            &[],
+            0,
+        ))
+    }
+
+    fn fetch(&self, id: FragmentId) -> Result<Arc<Vec<u8>>> {
+        if id.field != 0 {
+            return Err(PqrError::InvalidRequest(format!(
+                "single-field source has no field {}",
+                id.field
+            )));
+        }
+        Ok(Arc::new(fragstore::fetch_field_payload(self, id.index)?))
     }
 }
 

@@ -25,4 +25,4 @@ pub mod store;
 
 pub use network::NetworkModel;
 pub use pipeline::{run_pipeline, BlockResult, PipelineConfig, PipelineResult};
-pub use store::RemoteStore;
+pub use store::{FetchCounters, RemoteBlockSource, RemoteStore};

@@ -1,26 +1,52 @@
-//! Remote store: serialized refactored blocks + fetch accounting.
+//! Remote store: refactored blocks served fragment-by-fragment + fetch
+//! accounting.
 //!
 //! Models the storage side of Fig. 1: refactored data rests in a (remote)
-//! store; retrievals fetch fragments and the store tallies the bytes and
-//! request counts that the network model will charge for.
+//! store; retrievals open a [`FragmentSource`] per block
+//! ([`RemoteStore::block_source`]) and pull exactly the fragments the QoI
+//! engine asks for. The store tallies the bytes and request counts the
+//! network model will charge for — and, when a fragment cache is attached
+//! ([`RemoteStore::with_cache`]), distinguishes cache hits (served locally,
+//! free on the wire) from network fetches.
 
 use parking_lot::Mutex;
+use pqr_progressive::fragstore::{
+    FragmentCache, FragmentId, FragmentSource, Manifest, SourceStats,
+};
 use pqr_progressive::RefactoredDataset;
 use pqr_util::error::{PqrError, Result};
+use std::sync::Arc;
 
 /// A remote store holding refactored blocks (archive side of Fig. 1).
 pub struct RemoteStore {
     blocks: Vec<RefactoredDataset>,
     counters: Mutex<FetchCounters>,
+    cache: Option<Arc<FragmentCache>>,
 }
 
 /// Tallied fetch activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FetchCounters {
-    /// Total bytes handed out.
+    /// Bytes moved over the (simulated) network.
     pub bytes: usize,
-    /// Number of fetch requests served.
+    /// Network fetch requests served by the store.
     pub requests: usize,
+    /// Fetches served from the local fragment cache instead of the network.
+    pub hits: usize,
+    /// Bytes those cache hits would otherwise have moved.
+    pub hit_bytes: usize,
+}
+
+impl FetchCounters {
+    /// Fetches served from the cache without touching the network.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Fetches that went over the network (every request the store served).
+    pub fn misses(&self) -> usize {
+        self.requests
+    }
 }
 
 impl RemoteStore {
@@ -29,7 +55,21 @@ impl RemoteStore {
         Self {
             blocks,
             counters: Mutex::new(FetchCounters::default()),
+            cache: None,
         }
+    }
+
+    /// Attaches a retrieval-side LRU fragment cache with the given byte
+    /// budget: repeated fetches of the same fragment are served locally and
+    /// tallied as hits instead of network requests.
+    pub fn with_cache(mut self, cap_bytes: usize) -> Self {
+        self.cache = Some(Arc::new(FragmentCache::new(cap_bytes)));
+        self
+    }
+
+    /// The attached fragment cache, if any.
+    pub fn cache(&self) -> Option<&Arc<FragmentCache>> {
+        self.cache.as_ref()
     }
 
     /// Number of blocks.
@@ -44,12 +84,32 @@ impl RemoteStore {
             .ok_or_else(|| PqrError::InvalidRequest(format!("block {i} out of range")))
     }
 
-    /// Records a fetch of `bytes` (one request). Called by the pipeline when
-    /// a block's retrieval pulls fragments.
+    /// Opens the fragment source for block `i` — the handle a retrieval
+    /// engine refines through. Fetches count against the store's network
+    /// tallies; the attached cache (if any) intercepts repeats.
+    pub fn block_source(&self, i: usize) -> Result<RemoteBlockSource<'_>> {
+        if i >= self.blocks.len() {
+            return Err(PqrError::InvalidRequest(format!("block {i} out of range")));
+        }
+        Ok(RemoteBlockSource {
+            store: self,
+            block: i,
+        })
+    }
+
+    /// Records a network fetch of `bytes` (one request).
     pub fn record_fetch(&self, bytes: usize) {
         let mut c = self.counters.lock();
         c.bytes += bytes;
         c.requests += 1;
+    }
+
+    /// Records a fetch served by the local cache (`bytes` stayed off the
+    /// wire).
+    pub fn record_hit(&self, bytes: usize) {
+        let mut c = self.counters.lock();
+        c.hits += 1;
+        c.hit_bytes += bytes;
     }
 
     /// Current tallies.
@@ -73,11 +133,62 @@ impl RemoteStore {
     }
 }
 
+/// The [`FragmentSource`] view of one stored block: every fetch either hits
+/// the store's cache (tallied as a hit) or moves bytes over the simulated
+/// network (tallied as a request). Retrieval engines refine through this —
+/// the same code path as local and file-backed archives.
+pub struct RemoteBlockSource<'a> {
+    store: &'a RemoteStore,
+    block: usize,
+}
+
+impl RemoteBlockSource<'_> {
+    /// The block index this source serves.
+    pub fn block_index(&self) -> usize {
+        self.block
+    }
+}
+
+impl FragmentSource for RemoteBlockSource<'_> {
+    fn manifest(&self) -> Result<Manifest> {
+        self.store.blocks[self.block].manifest()
+    }
+
+    fn fetch(&self, id: FragmentId) -> Result<Arc<Vec<u8>>> {
+        let key = (self.block as u64, id.field, id.index);
+        if let Some(cache) = &self.store.cache {
+            if let Some(hit) = cache.get(&key) {
+                self.store.record_hit(hit.len());
+                return Ok(hit);
+            }
+        }
+        let payload = self.store.blocks[self.block].fetch(id)?;
+        self.store.record_fetch(payload.len());
+        if let Some(cache) = &self.store.cache {
+            cache.insert(key, Arc::clone(&payload));
+        }
+        Ok(payload)
+    }
+
+    fn stats(&self) -> SourceStats {
+        // store-wide view (blocks share the store's tallies)
+        let c = self.store.counters();
+        SourceStats {
+            fetches: (c.requests + c.hits) as u64,
+            fetched_bytes: (c.bytes + c.hit_bytes) as u64,
+            cache_hits: c.hits as u64,
+            cache_misses: c.requests as u64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine};
     use pqr_progressive::field::Dataset;
     use pqr_progressive::refactored::Scheme;
+    use pqr_qoi::QoiExpr;
 
     fn store_with_blocks(n: usize) -> RemoteStore {
         let blocks = (0..n)
@@ -100,6 +211,8 @@ mod tests {
         assert_eq!(store.num_blocks(), 3);
         assert!(store.block(2).is_ok());
         assert!(store.block(3).is_err());
+        assert!(store.block_source(2).is_ok());
+        assert!(store.block_source(3).is_err());
     }
 
     #[test]
@@ -118,6 +231,8 @@ mod tests {
         let c = store.counters();
         assert_eq!(c.bytes, 8000);
         assert_eq!(c.requests, 800);
+        assert_eq!(c.misses(), 800);
+        assert_eq!(c.hits(), 0);
         store.reset_counters();
         assert_eq!(store.counters(), FetchCounters::default());
     }
@@ -127,5 +242,45 @@ mod tests {
         let store = store_with_blocks(4);
         assert_eq!(store.raw_bytes(), 4 * 128 * 8);
         assert!(store.archived_bytes() > 0);
+    }
+
+    #[test]
+    fn uncached_fetches_all_go_to_the_network() {
+        let store = store_with_blocks(2);
+        let src = store.block_source(0).unwrap();
+        let mut engine = RetrievalEngine::from_source(&src, EngineConfig::default()).unwrap();
+        engine
+            .retrieve(&[QoiSpec::absolute("f", QoiExpr::var(0), 1e-4)])
+            .unwrap();
+        let c = store.counters();
+        assert!(c.requests > 0);
+        assert!(c.bytes > 0);
+        assert_eq!(c.hits(), 0);
+        // the engine's byte accounting equals the store's network bytes
+        // (no mask attached, so every counted byte went through the wire)
+        assert_eq!(engine.total_fetched(), c.bytes);
+    }
+
+    #[test]
+    fn cached_store_serves_repeats_locally() {
+        let store = store_with_blocks(1).with_cache(1 << 20);
+        let spec = QoiSpec::absolute("f", QoiExpr::var(0), 1e-4);
+
+        let src = store.block_source(0).unwrap();
+        let mut e1 = RetrievalEngine::from_source(&src, EngineConfig::default()).unwrap();
+        e1.retrieve(std::slice::from_ref(&spec)).unwrap();
+        let after_first = store.counters();
+        assert_eq!(after_first.hits(), 0, "cold cache cannot hit");
+
+        // a second session over the same block re-fetches the same
+        // fragments: all hits, zero new network bytes
+        let mut e2 = RetrievalEngine::from_source(&src, EngineConfig::default()).unwrap();
+        e2.retrieve(std::slice::from_ref(&spec)).unwrap();
+        let after_second = store.counters();
+        assert_eq!(after_second.bytes, after_first.bytes);
+        assert_eq!(after_second.misses(), after_first.misses());
+        assert!(after_second.hits() > 0);
+        assert_eq!(e1.total_fetched(), e2.total_fetched());
+        assert_eq!(e1.reconstruction(0), e2.reconstruction(0));
     }
 }

@@ -6,6 +6,8 @@
 //! * [`bitio`] — MSB-first bit-level reader/writer used by the bitplane and
 //!   Huffman coders.
 //! * [`byteio`] — little-endian byte cursors for segment (de)serialisation.
+//! * [`cache`] — byte-budgeted LRU cache shared by the fragment-storage
+//!   backends (hit/miss accounting for the transfer experiments).
 //! * [`huffman`] — canonical Huffman coding over integer symbols (the entropy
 //!   stage of the SZ3 stand-in).
 //! * [`rle`] — zero-run run-length coding (the lossless backend standing in
@@ -18,6 +20,7 @@
 
 pub mod bitio;
 pub mod byteio;
+pub mod cache;
 pub mod error;
 pub mod huffman;
 pub mod par;

@@ -44,4 +44,4 @@ pub mod negabinary;
 pub mod stream;
 pub mod transform;
 
-pub use stream::{ZfpReader, ZfpRefactorer, ZfpStream, MAX_TOTAL_PLANES, Q};
+pub use stream::{ZfpCursor, ZfpMeta, ZfpReader, ZfpRefactorer, ZfpStream, MAX_TOTAL_PLANES, Q};

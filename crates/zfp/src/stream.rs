@@ -246,10 +246,208 @@ fn digit_index(a: i32, e: i32, coeff_bits: u32) -> Option<u32> {
     (0..coeff_bits as i32).contains(&j).then_some(j as u32)
 }
 
+/// Everything a decoder must hold *before* any plane payload arrives:
+/// shape, per-block exponents, the plane-ladder geometry and the stored
+/// plane count. This is the stream minus its plane payloads — the unit a
+/// fragment-addressed store serves as the field's metadata fragment, and
+/// what [`ZfpCursor`] decodes against while plane bytes are pushed in from
+/// elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZfpMeta {
+    dims: Vec<usize>,
+    exponents: Vec<i32>,
+    max_e: i32,
+    a_max: i32,
+    coeff_bits: u32,
+    capped: bool,
+    num_planes: u32,
+}
+
+/// The shared error model: guaranteed L∞ bound after `k` fetched planes.
+fn bound_after_impl(
+    nd: usize,
+    num_planes: u32,
+    capped: bool,
+    max_e: i32,
+    a_max: i32,
+    k: u32,
+) -> f64 {
+    if num_planes == 0 {
+        return 0.0; // all-zero field
+    }
+    let rounding = 0.5 * exp2(max_e - Q);
+    if !capped && k >= num_planes {
+        // every digit fetched ⇒ integer-exact coefficients
+        return rounding * (1.0 + 1e-12);
+    }
+    let trunc = recon_error_factor(nd) * exp2(a_max + 1 - k.min(num_planes) as i32);
+    (trunc + 1.5 * rounding) * (1.0 + 1e-12)
+}
+
+impl ZfpMeta {
+    /// Array shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of stored plane segments.
+    pub fn num_planes(&self) -> u32 {
+        self.num_planes
+    }
+
+    /// The guaranteed L∞ bound after `k` fetched planes.
+    pub fn bound_after(&self, k: u32) -> f64 {
+        bound_after_impl(
+            self.dims.len(),
+            self.num_planes,
+            self.capped,
+            self.max_e,
+            self.a_max,
+            k,
+        )
+    }
+
+    /// Serializes the metadata (the field's always-fetched fragment).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_raw(b"PQZM");
+        w.put_u8(self.dims.len() as u8);
+        for &d in &self.dims {
+            w.put_u64(d as u64);
+        }
+        w.put_i64(i64::from(self.max_e));
+        w.put_i64(i64::from(self.a_max));
+        w.put_u32(self.coeff_bits);
+        w.put_u8(u8::from(self.capped));
+        w.put_bytes(&encode_exponent_table(&self.exponents));
+        w.put_u32(self.num_planes);
+        w.finish()
+    }
+
+    /// Deserializes metadata, enforcing the same structural invariants as
+    /// [`ZfpStream::from_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_raw(4)? != b"PQZM" {
+            return Err(PqrError::CorruptStream("bad zfp meta magic".into()));
+        }
+        let (dims, max_e, a_max, coeff_bits, capped, exponents) = read_header(&mut r)?;
+        let num_planes = r.get_u32()?;
+        if num_planes > MAX_TOTAL_PLANES {
+            return Err(PqrError::CorruptStream(format!("{num_planes} planes")));
+        }
+        if r.remaining() != 0 {
+            return Err(PqrError::CorruptStream("trailing zfp meta bytes".into()));
+        }
+        Ok(Self {
+            dims,
+            exponents,
+            max_e,
+            a_max,
+            coeff_bits,
+            capped,
+            num_planes,
+        })
+    }
+}
+
+/// Delta-codes + RLE-compresses the per-block exponent table (see
+/// [`ZfpStream::to_bytes`] for why the deltas compress well).
+fn encode_exponent_table(exponents: &[i32]) -> Vec<u8> {
+    let mut eb = Vec::with_capacity(exponents.len() * 2);
+    let mut prev = 0i16;
+    for &e in exponents {
+        let cur = exponent_to_i16(e);
+        eb.extend_from_slice(&cur.wrapping_sub(prev).to_le_bytes());
+        prev = cur;
+    }
+    rle::encode_bytes(&eb)
+}
+
+/// Reads the shared zfp header body (everything between the magic and the
+/// plane section), validating dims and the exponent table length.
+type HeaderParts = (Vec<usize>, i32, i32, u32, bool, Vec<i32>);
+fn read_header(r: &mut ByteReader<'_>) -> Result<HeaderParts> {
+    let nd = r.get_u8()? as usize;
+    if !(1..=3).contains(&nd) {
+        return Err(PqrError::CorruptStream(format!("zfp ndims {nd}")));
+    }
+    let mut dims = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        dims.push(r.get_u64()? as usize);
+    }
+    let max_e = i32::try_from(r.get_i64()?)
+        .map_err(|_| PqrError::CorruptStream("max_e out of range".into()))?;
+    let a_max = i32::try_from(r.get_i64()?)
+        .map_err(|_| PqrError::CorruptStream("a_max out of range".into()))?;
+    let coeff_bits = r.get_u32()?;
+    if coeff_bits == 0 || coeff_bits > 64 {
+        return Err(PqrError::CorruptStream(format!("coeff_bits {coeff_bits}")));
+    }
+    let capped = r.get_u8()? != 0;
+    // Hostile dims must not overflow the block/element products (the
+    // exponent-table length check below bounds the real size, but only
+    // if `num_blocks * 2` itself cannot panic first).
+    pqr_util::byteio::check_dims(&dims)?;
+    let grid = BlockGrid::new(&dims);
+    let eb = rle::decode_bytes(r.get_bytes()?)?;
+    if eb.len() != grid.num_blocks() * 2 {
+        return Err(PqrError::CorruptStream(format!(
+            "exponent table {} B for {} blocks",
+            eb.len(),
+            grid.num_blocks()
+        )));
+    }
+    let mut prev = 0i16;
+    let exponents: Vec<i32> = eb
+        .chunks_exact(2)
+        .map(|c| {
+            let d = i16::from_le_bytes(c.try_into().unwrap());
+            prev = prev.wrapping_add(d);
+            exponent_from_i16(prev)
+        })
+        .collect();
+    Ok((dims, max_e, a_max, coeff_bits, capped, exponents))
+}
+
 impl ZfpStream {
     /// Array shape.
     pub fn dims(&self) -> &[usize] {
         &self.dims
+    }
+
+    /// The stream's metadata — everything except the plane payloads.
+    pub fn meta(&self) -> ZfpMeta {
+        ZfpMeta {
+            dims: self.dims.clone(),
+            exponents: self.exponents.clone(),
+            max_e: self.max_e,
+            a_max: self.a_max,
+            coeff_bits: self.coeff_bits,
+            capped: self.capped,
+            num_planes: self.planes.len() as u32,
+        }
+    }
+
+    /// Reassembles a stream from metadata plus the plane payloads in fetch
+    /// order — the inverse of splitting a stream into fragments.
+    pub fn from_parts(meta: ZfpMeta, planes: Vec<Vec<u8>>) -> Result<Self> {
+        if planes.len() != meta.num_planes as usize {
+            return Err(PqrError::CorruptStream(format!(
+                "{} plane payloads for metadata declaring {}",
+                planes.len(),
+                meta.num_planes
+            )));
+        }
+        Ok(Self {
+            dims: meta.dims,
+            exponents: meta.exponents,
+            max_e: meta.max_e,
+            a_max: meta.a_max,
+            coeff_bits: meta.coeff_bits,
+            capped: meta.capped,
+            planes,
+        })
     }
 
     /// Number of stored plane segments.
@@ -260,6 +458,17 @@ impl ZfpStream {
     /// Sizes of the individually fetchable plane segments, in fetch order.
     pub fn segment_sizes(&self) -> Vec<usize> {
         self.planes.iter().map(Vec::len).collect()
+    }
+
+    /// The plane payloads in fetch order — the order
+    /// [`ZfpStream::from_parts`] reassembles.
+    pub fn plane_payloads(&self) -> impl Iterator<Item = &[u8]> {
+        self.planes.iter().map(Vec::as_slice)
+    }
+
+    /// The `i`-th plane payload in fetch order, addressed in O(1).
+    pub fn plane(&self, i: usize) -> Option<&[u8]> {
+        self.planes.get(i).map(Vec::as_slice)
     }
 
     /// Serialized metadata size: everything a reader must hold before the
@@ -275,13 +484,9 @@ impl ZfpStream {
 
     /// Opens a progressive reader at zero fetched planes.
     pub fn reader(&self) -> ZfpReader<'_> {
-        let grid = BlockGrid::new(&self.dims);
-        let words = vec![0u64; grid.num_blocks() * grid.block_len()];
         ZfpReader {
             stream: self,
-            grid,
-            words,
-            planes_read: 0,
+            cursor: ZfpCursor::new(self.meta()),
             fetched: self.metadata_bytes(),
         }
     }
@@ -289,18 +494,14 @@ impl ZfpStream {
     /// The guaranteed L∞ bound after `k` fetched planes — the model the
     /// retrieval engine consumes as the primary-data ε.
     pub fn bound_after(&self, k: u32) -> f64 {
-        if self.planes.is_empty() {
-            return 0.0; // all-zero field
-        }
-        let rounding = 0.5 * exp2(self.max_e - Q);
-        if !self.capped && k >= self.planes.len() as u32 {
-            // every digit fetched ⇒ integer-exact coefficients
-            return rounding * (1.0 + 1e-12);
-        }
-        let nd = self.dims.len();
-        let trunc =
-            recon_error_factor(nd) * exp2(self.a_max + 1 - k.min(self.planes.len() as u32) as i32);
-        (trunc + 1.5 * rounding) * (1.0 + 1e-12)
+        bound_after_impl(
+            self.dims.len(),
+            self.planes.len() as u32,
+            self.capped,
+            self.max_e,
+            self.a_max,
+            k,
+        )
     }
 
     /// Serializes the stream.
@@ -320,14 +521,7 @@ impl ZfpStream {
         // byte-RLE collapses the table to a few bytes per long run — the
         // per-block metadata tax matters for 1-D data (one block per 4
         // samples).
-        let mut eb = Vec::with_capacity(self.exponents.len() * 2);
-        let mut prev = 0i16;
-        for &e in &self.exponents {
-            let cur = exponent_to_i16(e);
-            eb.extend_from_slice(&cur.wrapping_sub(prev).to_le_bytes());
-            prev = cur;
-        }
-        w.put_bytes(&rle::encode_bytes(&eb));
+        w.put_bytes(&encode_exponent_table(&self.exponents));
         w.put_u32(self.planes.len() as u32);
         for p in &self.planes {
             w.put_bytes(p);
@@ -341,45 +535,7 @@ impl ZfpStream {
         if r.get_raw(4)? != b"PQRZ" {
             return Err(PqrError::CorruptStream("bad zfp magic".into()));
         }
-        let nd = r.get_u8()? as usize;
-        if !(1..=3).contains(&nd) {
-            return Err(PqrError::CorruptStream(format!("zfp ndims {nd}")));
-        }
-        let mut dims = Vec::with_capacity(nd);
-        for _ in 0..nd {
-            dims.push(r.get_u64()? as usize);
-        }
-        let max_e = i32::try_from(r.get_i64()?)
-            .map_err(|_| PqrError::CorruptStream("max_e out of range".into()))?;
-        let a_max = i32::try_from(r.get_i64()?)
-            .map_err(|_| PqrError::CorruptStream("a_max out of range".into()))?;
-        let coeff_bits = r.get_u32()?;
-        if coeff_bits == 0 || coeff_bits > 64 {
-            return Err(PqrError::CorruptStream(format!("coeff_bits {coeff_bits}")));
-        }
-        let capped = r.get_u8()? != 0;
-        // Hostile dims must not overflow the block/element products (the
-        // exponent-table length check below bounds the real size, but only
-        // if `num_blocks * 2` itself cannot panic first).
-        pqr_util::byteio::check_dims(&dims)?;
-        let grid = BlockGrid::new(&dims);
-        let eb = rle::decode_bytes(r.get_bytes()?)?;
-        if eb.len() != grid.num_blocks() * 2 {
-            return Err(PqrError::CorruptStream(format!(
-                "exponent table {} B for {} blocks",
-                eb.len(),
-                grid.num_blocks()
-            )));
-        }
-        let mut prev = 0i16;
-        let exponents: Vec<i32> = eb
-            .chunks_exact(2)
-            .map(|c| {
-                let d = i16::from_le_bytes(c.try_into().unwrap());
-                prev = prev.wrapping_add(d);
-                exponent_from_i16(prev)
-            })
-            .collect();
+        let (dims, max_e, a_max, coeff_bits, capped, exponents) = read_header(&mut r)?;
         let np = r.get_u32()?;
         if np > MAX_TOTAL_PLANES {
             return Err(PqrError::CorruptStream(format!("{np} planes")));
@@ -400,17 +556,127 @@ impl ZfpStream {
     }
 }
 
-/// Progressive reader over a [`ZfpStream`].
+/// Push-based progressive decoder over [`ZfpMeta`].
+///
+/// A cursor holds only the stream's *metadata* plus accumulated digit
+/// words — it never sees where the plane payloads live. Planes are strictly
+/// ordered (most significant absolute plane first), so the owner fetches
+/// plane `planes_read()` from wherever the stream is stored and pushes its
+/// bytes in with [`ZfpCursor::push_plane`]. The borrowing [`ZfpReader`]
+/// and the fragment-addressed sources in `pqr-progressive` both drive the
+/// same cursor, so the error model cannot drift between local and remote
+/// paths.
+#[derive(Debug, Clone)]
+pub struct ZfpCursor {
+    meta: ZfpMeta,
+    grid: BlockGrid,
+    /// Accumulated negabinary digit words, `num_blocks × block_len`.
+    words: Vec<u64>,
+    planes_read: u32,
+}
+
+impl ZfpCursor {
+    /// Creates a cursor at zero consumed planes.
+    pub fn new(meta: ZfpMeta) -> Self {
+        let grid = BlockGrid::new(&meta.dims);
+        let words = vec![0u64; grid.num_blocks() * grid.block_len()];
+        Self {
+            meta,
+            grid,
+            words,
+            planes_read: 0,
+        }
+    }
+
+    /// The metadata this cursor decodes against.
+    pub fn meta(&self) -> &ZfpMeta {
+        &self.meta
+    }
+
+    /// Guaranteed L∞ bound of [`ZfpCursor::reconstruct`] at the current
+    /// state.
+    pub fn guaranteed_bound(&self) -> f64 {
+        self.meta.bound_after(self.planes_read)
+    }
+
+    /// True when every stored plane has been consumed.
+    pub fn fully_fetched(&self) -> bool {
+        self.planes_read >= self.meta.num_planes
+    }
+
+    /// Planes consumed so far — also the index of the next wanted plane.
+    pub fn planes_read(&self) -> u32 {
+        self.planes_read
+    }
+
+    /// Consumes the next plane's bytes (planes must arrive in order; the
+    /// plane index is implicit in the decode state).
+    pub fn push_plane(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.fully_fetched() {
+            return Err(PqrError::InvalidRequest(
+                "zfp stream already fully fetched".into(),
+            ));
+        }
+        let a_p = self.meta.a_max - self.planes_read as i32;
+        let blen = self.grid.block_len();
+        // which blocks participate, in order, and their digit index
+        let mut participants = Vec::new();
+        for (b, &e) in self.meta.exponents.iter().enumerate() {
+            if let Some(j) = digit_index(a_p, e, self.meta.coeff_bits) {
+                participants.push((b, j));
+            }
+        }
+        let bits = rle::decode_bits_auto(bytes, participants.len() * blen)?;
+        for (pi, &(b, j)) in participants.iter().enumerate() {
+            let base = b * blen;
+            for (s, &bit) in bits[pi * blen..(pi + 1) * blen].iter().enumerate() {
+                if bit {
+                    self.words[base + s] |= 1u64 << j;
+                }
+            }
+        }
+        self.planes_read += 1;
+        Ok(())
+    }
+
+    /// Reconstructs the data representation from the planes consumed so far.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.grid.num_elements()];
+        for b in 0..self.meta.exponents.len() {
+            self.reconstruct_block_into(b, &mut out);
+        }
+        out
+    }
+
+    /// Decodes one block into `out` (full-array buffer). All-zero blocks
+    /// are skipped — `out` is expected to be zero there already.
+    fn reconstruct_block_into(&self, b: usize, out: &mut [f64]) {
+        let e = self.meta.exponents[b];
+        if e == EMPTY {
+            return;
+        }
+        let blen = self.grid.block_len();
+        let nd = self.grid.ndims();
+        let mut iblk = vec![0i64; blen];
+        for (c, &w) in iblk.iter_mut().zip(&self.words[b * blen..(b + 1) * blen]) {
+            *c = negabinary::decode(w);
+        }
+        transform::inverse(&mut iblk, nd);
+        let scale = exp2(e - Q);
+        let fblk: Vec<f64> = iblk.iter().map(|&q| q as f64 * scale).collect();
+        self.grid.scatter(out, b, &fblk);
+    }
+}
+
+/// Progressive reader over a [`ZfpStream`]: a [`ZfpCursor`] whose plane
+/// fetches are served from the borrowed, fully resident stream.
 ///
 /// Byte accounting starts at the stream's metadata size (a remote retrieval
 /// always moves the header and exponent table first).
 #[derive(Debug, Clone)]
 pub struct ZfpReader<'a> {
     stream: &'a ZfpStream,
-    grid: BlockGrid,
-    /// Accumulated negabinary digit words, `num_blocks × block_len`.
-    words: Vec<u64>,
-    planes_read: u32,
+    cursor: ZfpCursor,
     fetched: usize,
 }
 
@@ -418,7 +684,7 @@ impl ZfpReader<'_> {
     /// Guaranteed L∞ bound of [`ZfpReader::reconstruct`] at the current
     /// fetch state.
     pub fn guaranteed_bound(&self) -> f64 {
-        self.stream.bound_after(self.planes_read)
+        self.cursor.guaranteed_bound()
     }
 
     /// Total bytes this reader has "moved" (metadata + fetched planes).
@@ -428,13 +694,13 @@ impl ZfpReader<'_> {
 
     /// True when every stored plane has been fetched.
     pub fn fully_fetched(&self) -> bool {
-        self.planes_read as usize >= self.stream.planes.len()
+        self.cursor.fully_fetched()
     }
 
     /// Planes consumed so far — the reader's resumable progress marker
     /// (restore with [`ZfpReader::fetch_planes`] on a fresh reader).
     pub fn planes_read(&self) -> u32 {
-        self.planes_read
+        self.cursor.planes_read()
     }
 
     /// Fetches planes in order until the guaranteed bound is ≤ `eb` or the
@@ -463,57 +729,15 @@ impl ZfpReader<'_> {
     }
 
     fn push_next_plane(&mut self) -> Result<usize> {
-        let p = self.planes_read;
-        let seg = &self.stream.planes[p as usize];
-        let a_p = self.stream.a_max - p as i32;
-        let blen = self.grid.block_len();
-        // which blocks participate, in order, and their digit index
-        let mut participants = Vec::new();
-        for (b, &e) in self.stream.exponents.iter().enumerate() {
-            if let Some(j) = digit_index(a_p, e, self.stream.coeff_bits) {
-                participants.push((b, j));
-            }
-        }
-        let bits = rle::decode_bits_auto(seg, participants.len() * blen)?;
-        for (pi, &(b, j)) in participants.iter().enumerate() {
-            let base = b * blen;
-            for (s, &bit) in bits[pi * blen..(pi + 1) * blen].iter().enumerate() {
-                if bit {
-                    self.words[base + s] |= 1u64 << j;
-                }
-            }
-        }
-        self.planes_read += 1;
+        let seg = &self.stream.planes[self.cursor.planes_read() as usize];
+        self.cursor.push_plane(seg)?;
         self.fetched += seg.len();
         Ok(seg.len())
     }
 
     /// Reconstructs the data representation from the planes fetched so far.
     pub fn reconstruct(&self) -> Vec<f64> {
-        let mut out = vec![0.0f64; self.grid.num_elements()];
-        for b in 0..self.stream.exponents.len() {
-            self.reconstruct_block_into(b, &mut out);
-        }
-        out
-    }
-
-    /// Decodes one block into `out` (full-array buffer). All-zero blocks
-    /// are skipped — `out` is expected to be zero there already.
-    fn reconstruct_block_into(&self, b: usize, out: &mut [f64]) {
-        let e = self.stream.exponents[b];
-        if e == EMPTY {
-            return;
-        }
-        let blen = self.grid.block_len();
-        let nd = self.grid.ndims();
-        let mut iblk = vec![0i64; blen];
-        for (c, &w) in iblk.iter_mut().zip(&self.words[b * blen..(b + 1) * blen]) {
-            *c = negabinary::decode(w);
-        }
-        transform::inverse(&mut iblk, nd);
-        let scale = exp2(e - Q);
-        let fblk: Vec<f64> = iblk.iter().map(|&q| q as f64 * scale).collect();
-        self.grid.scatter(out, b, &fblk);
+        self.cursor.reconstruct()
     }
 
     /// Reconstructs only the axis-aligned region `lo[a]..hi[a]` (half-open
@@ -538,7 +762,15 @@ impl ZfpReader<'_> {
     /// assert!((window[0] - data[5 * 20 + 5]).abs() <= reader.guaranteed_bound());
     /// ```
     pub fn reconstruct_region(&self, lo: &[usize], hi: &[usize]) -> Result<Vec<f64>> {
-        let dims = self.stream.dims.clone();
+        self.cursor.reconstruct_region(lo, hi)
+    }
+}
+
+impl ZfpCursor {
+    /// Region decode at the current precision — see
+    /// [`ZfpReader::reconstruct_region`] for the semantics.
+    pub fn reconstruct_region(&self, lo: &[usize], hi: &[usize]) -> Result<Vec<f64>> {
+        let dims = self.meta.dims.clone();
         if lo.len() != dims.len() || hi.len() != dims.len() {
             return Err(PqrError::ShapeMismatch(format!(
                 "region rank {} vs array rank {}",
@@ -894,7 +1126,7 @@ mod tests {
             assert!(
                 real <= reader.guaranteed_bound(),
                 "k={}: real {real} > bound {}",
-                reader.planes_read,
+                reader.planes_read(),
                 reader.guaranteed_bound()
             );
             if reader.fully_fetched() {

@@ -216,38 +216,47 @@ fn cmd_refactor(args: &[String]) -> Result<()> {
     Ok(())
 }
 
-fn load_archive(flags: &Flags<'_>) -> Result<Archive> {
+/// Opens an archive **lazily**: only the manifest is read here; retrieval
+/// fetches fragment byte ranges on demand. Returns the archive and its
+/// on-disk size (for the partial-read report).
+fn load_archive(flags: &Flags<'_>) -> Result<(Archive, u64)> {
     let path = flags
         .positional()
         .ok_or_else(|| PqrError::InvalidRequest("missing archive path".into()))?;
-    let bytes = fs::read(path)
-        .map_err(|e| PqrError::InvalidRequest(format!("cannot read '{path}': {e}")))?;
-    Archive::from_bytes(&bytes)
+    let size = fs::metadata(path)
+        .map_err(|e| PqrError::InvalidRequest(format!("cannot stat '{path}': {e}")))?
+        .len();
+    Ok((Archive::open(path)?, size))
 }
 
 fn cmd_info(args: &[String]) -> Result<()> {
     let flags = Flags { args };
-    let archive = load_archive(&flags)?;
-    let rd = archive.refactored();
-    println!("shape: {:?}", rd.dims());
-    println!("fields ({}):", rd.num_fields());
-    for i in 0..rd.num_fields() {
-        let f = rd.field(i);
+    let (archive, file_size) = load_archive(&flags)?;
+    // everything `info` prints comes from the manifest — no payload
+    // fragment is touched
+    let manifest = archive.manifest()?;
+    println!("shape: {:?}", manifest.dims);
+    println!("fields ({}):", manifest.num_fields());
+    for f in &manifest.fields {
         println!(
-            "  {:<16} {:<12} range {:.6e}  archived {} B",
-            rd.field_name(i),
-            f.scheme().name(),
-            f.value_range(),
+            "  {:<16} {:<12} range {:.6e}  {} fragments, {} B",
+            f.name,
+            f.scheme.name(),
+            f.range,
+            f.fragments.len(),
             f.total_bytes()
         );
     }
     println!(
         "mask: {}",
-        rd.mask().map_or("none".to_string(), |m| format!(
-            "{} of {} points",
-            m.masked_count(),
-            m.len()
-        ))
+        manifest
+            .mask
+            .as_ref()
+            .map_or("none".to_string(), |m| format!(
+                "{} of {} points",
+                m.masked_count(),
+                m.len()
+            ))
     );
     println!("qois ({}):", archive.qoi_names().len());
     for name in archive.qoi_names() {
@@ -259,10 +268,11 @@ fn cmd_info(args: &[String]) -> Result<()> {
         );
     }
     println!(
-        "archived {} B, raw {} B ({:.2}x)",
-        rd.total_bytes(),
-        rd.raw_bytes(),
-        rd.raw_bytes() as f64 / rd.total_bytes() as f64
+        "archived {} B ({} B payload), raw {} B ({:.2}x)",
+        file_size,
+        manifest.total_payload_bytes(),
+        manifest.raw_bytes(),
+        manifest.raw_bytes() as f64 / file_size.max(1) as f64
     );
     Ok(())
 }
@@ -286,7 +296,7 @@ fn parse_estimator(s: &str) -> Result<BoundConfig> {
 
 fn cmd_retrieve(args: &[String]) -> Result<()> {
     let flags = Flags { args };
-    let mut archive = load_archive(&flags)?;
+    let (mut archive, file_size) = load_archive(&flags)?;
     let qoi = flags
         .get("--qoi")
         .ok_or_else(|| PqrError::InvalidRequest("retrieve needs --qoi NAME".into()))?;
@@ -319,6 +329,14 @@ fn cmd_retrieve(args: &[String]) -> Result<()> {
         report.bitrate,
         report.max_est_errors[0],
         tol * archive.qoi_range(qoi).unwrap_or(1.0)
+    );
+    let stats = archive.source_stats();
+    eprintln!(
+        "disk: {} fragment reads, {} B of the {} B archive ({:.1}%)",
+        stats.fetches,
+        stats.fetched_bytes,
+        file_size,
+        100.0 * stats.fetched_bytes as f64 / file_size.max(1) as f64
     );
     if let Some(path) = flags.get("--save-progress") {
         fs::write(path, session.save_progress())
