@@ -9,11 +9,13 @@
 //!   and every session fetches fragment byte ranges on demand. A loose
 //!   tolerance therefore reads only a fraction of the archive from disk.
 
+use crate::request::{RequestTarget, RetrievalRequest, ToleranceMode};
 use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
 use pqr_progressive::field::{Dataset, RefactoredDataset};
 use pqr_progressive::fragstore::{
     FileSource, FragmentSource, InMemorySource, Manifest, SourceStats,
 };
+use pqr_progressive::plan::{PlanExecutor, PlanReport, RetrievalPlan};
 use pqr_progressive::refactored::{default_snapshot_bounds, Scheme};
 use pqr_qoi::QoiExpr;
 use pqr_util::error::{PqrError, Result};
@@ -342,9 +344,70 @@ pub struct Session<'a> {
 
 impl<'a> Session<'a> {
     /// Requests one registered QoI at a relative tolerance.
+    ///
+    /// This is the **convenience form** of the plan/execute API: it
+    /// resolves a single-target plan and runs the batched executor, so it
+    /// shares the one fetch code path with [`Session::execute`]. Reach for
+    /// [`RetrievalRequest`] when an analysis derives several QoIs from the
+    /// same fields — shared fields are then fetched once instead of per
+    /// request — or when you need per-target reports, absolute tolerances
+    /// in a batch, or a byte budget.
     pub fn request(&mut self, name: &str, tol_rel: f64) -> Result<RetrievalReport> {
         let spec = self.archive.spec(name, tol_rel)?;
         self.engine.retrieve(&[spec])
+    }
+
+    /// Resolves a multi-target [`RetrievalRequest`] against the archive's
+    /// QoI registry and the session's current progress, without fetching:
+    /// which fields each target derives from, the Algorithm-3 refinement
+    /// fronts, and the deduplicated source-ordered fragment schedule (two
+    /// targets touching one field schedule its fragments once).
+    pub fn plan(&self, request: &RetrievalRequest) -> Result<RetrievalPlan> {
+        let specs = self.resolve_targets(request)?;
+        RetrievalPlan::resolve(&self.engine, specs, request.budget())
+    }
+
+    /// Plans and executes a multi-target request: each refinement round's
+    /// fragment schedule rides one batched
+    /// [`FragmentSource::read_many`] call (coalesced range reads on files,
+    /// one round-trip per batch on remote stores), the §IV error bounds
+    /// are re-evaluated after every round, and each target stops refining
+    /// as soon as its tolerance certifies. Returns the per-target
+    /// [`PlanReport`] with shared-fragment savings and read-op counts.
+    pub fn execute(&mut self, request: &RetrievalRequest) -> Result<PlanReport> {
+        let specs = self.resolve_targets(request)?;
+        let plan = RetrievalPlan::resolve(&self.engine, specs, request.budget())?;
+        PlanExecutor::new(&mut self.engine).execute(&plan)
+    }
+
+    /// Resolves request targets into engine specs via the QoI registry.
+    fn resolve_targets(&self, request: &RetrievalRequest) -> Result<Vec<QoiSpec>> {
+        if request.is_empty() {
+            return Err(PqrError::InvalidRequest(
+                "retrieval request has no targets".into(),
+            ));
+        }
+        request
+            .targets()
+            .iter()
+            .map(|t| self.resolve_target(t))
+            .collect()
+    }
+
+    fn resolve_target(&self, target: &RequestTarget) -> Result<QoiSpec> {
+        let mut spec = match target.mode {
+            ToleranceMode::Relative => self.archive.spec(&target.name, target.tolerance)?,
+            ToleranceMode::Absolute => {
+                let expr = self.archive.qoi_expr(&target.name).ok_or_else(|| {
+                    PqrError::InvalidRequest(format!("unknown QoI '{}'", target.name))
+                })?;
+                QoiSpec::absolute(&target.name, expr.clone(), target.tolerance)
+            }
+        };
+        if let Some((lo, hi)) = target.region {
+            spec = spec.restrict_to(lo, hi);
+        }
+        Ok(spec)
     }
 
     /// Requests a registered QoI with the tolerance restricted to the
@@ -362,7 +425,10 @@ impl<'a> Session<'a> {
         self.engine.retrieve(&[spec])
     }
 
-    /// Requests several QoIs at once (`(name, tol_rel)` pairs).
+    /// Requests several QoIs at once (`(name, tol_rel)` pairs) and returns
+    /// the aggregate legacy report. Sugar over the plan path — use
+    /// [`Session::execute`] with a [`RetrievalRequest`] for the per-target
+    /// report, absolute tolerances, regions, or a byte budget.
     pub fn request_many(&mut self, requests: &[(&str, f64)]) -> Result<RetrievalReport> {
         let specs = requests
             .iter()
@@ -692,6 +758,104 @@ mod tests {
         let lazy = Archive::open(&path).unwrap();
         std::fs::remove_file(&path).ok();
         let _ = lazy.refactored();
+    }
+
+    #[test]
+    fn execute_multi_target_certifies_each_and_saves_shared_bytes() {
+        let archive = build();
+        let mut s = archive.session().unwrap();
+        let request = RetrievalRequest::new().qoi("V", 1e-3).qoi("Vx2", 1e-4);
+        let plan = s.plan(&request).unwrap();
+        // both targets read Vx (field 0); V also reads Vy
+        assert_eq!(plan.shared_fields(), vec![0]);
+        assert!(!plan.schedule().is_empty());
+        assert!(plan.scheduled_bytes() > 0);
+
+        let report = s.execute(&request).unwrap();
+        assert!(report.satisfied);
+        assert_eq!(report.targets.len(), 2);
+        for t in &report.targets {
+            assert!(t.satisfied);
+            assert!(t.max_est_error <= t.tol_abs);
+            assert!(t.bytes > 0);
+        }
+        assert_eq!(report.targets[0].name, "V");
+        assert_eq!(report.targets[1].fields, vec![0]);
+        // the shared field's bytes are attributed to both targets but
+        // fetched once
+        assert!(report.shared_bytes_saved > 0);
+        assert!(!report.budget_exhausted);
+        // aggregate view matches the legacy report shape
+        let legacy = report.as_legacy();
+        assert_eq!(legacy.total_fetched, s.total_fetched());
+        assert_eq!(legacy.max_est_errors.len(), 2);
+    }
+
+    #[test]
+    fn execute_matches_legacy_single_target_request() {
+        let archive = build();
+        let mut a = archive.session().unwrap();
+        let mut b = archive.session().unwrap();
+        let legacy = a.request("V", 1e-4).unwrap();
+        let plan = b.execute(&RetrievalRequest::new().qoi("V", 1e-4)).unwrap();
+        assert_eq!(legacy.satisfied, plan.satisfied);
+        assert_eq!(legacy.total_fetched, plan.total_fetched);
+        assert_eq!(legacy.max_est_errors[0], plan.targets[0].max_est_error);
+        assert_eq!(
+            a.reconstruction("Vx").unwrap(),
+            b.reconstruction("Vx").unwrap()
+        );
+    }
+
+    #[test]
+    fn execute_absolute_and_region_targets() {
+        let archive = build();
+        let mut s = archive.session().unwrap();
+        let report = s
+            .execute(
+                &RetrievalRequest::new()
+                    .qoi_abs("Vx2", 50.0)
+                    .qoi("V", 1e-5)
+                    .region(100, 200),
+            )
+            .unwrap();
+        assert!(report.satisfied);
+        assert!(report.targets[0].max_est_error <= 50.0);
+    }
+
+    #[test]
+    fn byte_budget_stops_execution_short() {
+        let archive = build();
+        // a budget of 1 byte: round 1 runs, then execution must stop with
+        // the (tight) tolerance unmet rather than refining to completion
+        let mut s = archive.session().unwrap();
+        let unbounded = s.execute(&RetrievalRequest::new().qoi("V", 1e-9)).unwrap();
+        let mut s2 = archive.session().unwrap();
+        let capped = s2
+            .execute(&RetrievalRequest::new().qoi("V", 1e-9).byte_budget(1))
+            .unwrap();
+        if unbounded.iterations > 1 {
+            assert!(capped.budget_exhausted);
+            assert!(!capped.satisfied);
+            assert!(capped.total_fetched < unbounded.total_fetched);
+        }
+    }
+
+    #[test]
+    fn empty_and_unknown_requests_are_errors() {
+        let archive = build();
+        let mut s = archive.session().unwrap();
+        assert!(s.execute(&RetrievalRequest::new()).is_err());
+        assert!(s
+            .execute(&RetrievalRequest::new().qoi("missing", 1e-3))
+            .is_err());
+        assert!(s
+            .execute(&RetrievalRequest::new().qoi_abs("missing", 1.0))
+            .is_err());
+        // bad region surfaces at plan time
+        assert!(s
+            .plan(&RetrievalRequest::new().qoi("V", 1e-3).region(500, 700))
+            .is_err());
     }
 
     #[test]

@@ -20,10 +20,16 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! // 2. retrieval side: open a session, request a QoI tolerance
+//! // 2. retrieval side: open a session and execute a (possibly
+//! //    multi-target) retrieval request — targets sharing fields schedule
+//! //    those fields' fragments once; `session.request("V", 1e-4)` is the
+//! //    single-target convenience form of the same pipeline
 //! let mut session = archive.session().unwrap();
-//! let report = session.request("V", 1e-4).unwrap();
+//! let report = session
+//!     .execute(&RetrievalRequest::new().qoi("V", 1e-4))
+//!     .unwrap();
 //! assert!(report.satisfied);
+//! assert!(report.targets[0].max_est_error <= report.targets[0].tol_abs);
 //!
 //! // 3. consume: reconstructed fields and derived QoI values, both within
 //! //    the guaranteed bounds
@@ -38,5 +44,7 @@
 
 pub mod archive;
 pub mod prelude;
+pub mod request;
 
 pub use archive::{Archive, ArchiveBuilder, Session};
+pub use request::{RequestTarget, RetrievalRequest, ToleranceMode};

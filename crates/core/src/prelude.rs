@@ -7,14 +7,16 @@
 //! ```
 
 pub use crate::archive::{Archive, ArchiveBuilder, Session};
+pub use crate::request::{RequestTarget, RetrievalRequest, ToleranceMode};
 
 pub use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
 pub use pqr_progressive::field::{Dataset, RefactoredDataset};
 pub use pqr_progressive::fragstore::{
-    CachedSource, FileSource, FragmentCache, FragmentId, FragmentSource, InMemorySource, Manifest,
-    SourceStats,
+    CachedSource, FileSource, FragmentCache, FragmentId, FragmentSource, FragmentStage,
+    InMemorySource, Manifest, SourceStats,
 };
 pub use pqr_progressive::mask::ZeroMask;
+pub use pqr_progressive::plan::{PlanExecutor, PlanReport, RetrievalPlan, TargetReport};
 pub use pqr_progressive::refactored::{RefactoredField, Scheme};
 
 pub use pqr_qoi::ge::{self as ge_qoi};
@@ -28,7 +30,7 @@ pub use pqr_mgard::{Basis, MgardRefactorer, MgardStream};
 pub use pqr_sz::{Predictor, SzCompressor, SzConfig};
 pub use pqr_zfp::{ZfpRefactorer, ZfpStream};
 
-pub use pqr_transfer::{run_pipeline, NetworkModel, PipelineConfig, RemoteStore};
+pub use pqr_transfer::{run_pipeline, FetchCounters, NetworkModel, PipelineConfig, RemoteStore};
 
 pub use pqr_util::error::{PqrError, Result};
 pub use pqr_util::stats;

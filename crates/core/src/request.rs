@@ -1,0 +1,161 @@
+//! Multi-target retrieval requests: the builder side of the plan/execute
+//! API.
+//!
+//! A [`RetrievalRequest`] names one *or many* registered QoIs with
+//! per-target tolerances (relative by default, absolute on demand),
+//! optional per-target regions of interest, and an optional overall byte
+//! budget. [`Session::execute`](crate::Session::execute) resolves it
+//! against the archive's QoI registry into a
+//! [`RetrievalPlan`](pqr_progressive::plan::RetrievalPlan) — targets that
+//! derive from the same fields schedule those fields' fragments **once**
+//! — and drives the batched executor.
+//!
+//! ```
+//! use pqr_core::prelude::*;
+//!
+//! let n = 600;
+//! let vx: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).sin() * 30.0).collect();
+//! let vy: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).cos() * 15.0).collect();
+//! let archive = ArchiveBuilder::new(&[n])
+//!     .field("Vx", vx)
+//!     .field("Vy", vy)
+//!     .qoi("V", velocity_magnitude(0, 2))
+//!     .qoi("Vx2", QoiExpr::var(0).pow(2))
+//!     .build()
+//!     .unwrap();
+//! let mut session = archive.session().unwrap();
+//! let report = session
+//!     .execute(&RetrievalRequest::new().qoi("V", 1e-4).qoi("Vx2", 1e-3))
+//!     .unwrap();
+//! assert!(report.satisfied);
+//! assert_eq!(report.targets.len(), 2);
+//! ```
+
+/// How a target's tolerance is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToleranceMode {
+    /// Tolerance is a fraction of the QoI's refactor-time value range
+    /// (the paper's relative QoI error metric).
+    Relative,
+    /// Tolerance is an absolute ceiling on the QoI error.
+    Absolute,
+}
+
+/// One `(QoI, tolerance)` target of a [`RetrievalRequest`].
+#[derive(Debug, Clone)]
+pub struct RequestTarget {
+    /// Registered QoI name (resolved against the archive's registry).
+    pub name: String,
+    /// The tolerance, interpreted per [`RequestTarget::mode`].
+    pub tolerance: f64,
+    /// Relative or absolute tolerance.
+    pub mode: ToleranceMode,
+    /// Optional half-open linearized index range the tolerance applies to.
+    pub region: Option<(usize, usize)>,
+}
+
+/// A batched multi-QoI retrieval request (builder).
+///
+/// Targets accumulate in order; [`RetrievalRequest::region`] and the
+/// tolerance-mode helpers apply to the most recently added target, so a
+/// request reads top-to-bottom like the analysis it describes.
+#[derive(Debug, Clone, Default)]
+pub struct RetrievalRequest {
+    targets: Vec<RequestTarget>,
+    byte_budget: Option<usize>,
+}
+
+impl RetrievalRequest {
+    /// An empty request (invalid to execute until a target is added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a target at a **relative** tolerance (fraction of the QoI's
+    /// value range — the paper's τ).
+    pub fn qoi(mut self, name: &str, tol_rel: f64) -> Self {
+        self.targets.push(RequestTarget {
+            name: name.to_string(),
+            tolerance: tol_rel,
+            mode: ToleranceMode::Relative,
+            region: None,
+        });
+        self
+    }
+
+    /// Adds a target at an **absolute** tolerance.
+    pub fn qoi_abs(mut self, name: &str, tol_abs: f64) -> Self {
+        self.targets.push(RequestTarget {
+            name: name.to_string(),
+            tolerance: tol_abs,
+            mode: ToleranceMode::Absolute,
+            region: None,
+        });
+        self
+    }
+
+    /// Restricts the most recently added target to the half-open
+    /// linearized index range `lo..hi` (region of interest). No-op on an
+    /// empty request.
+    pub fn region(mut self, lo: usize, hi: usize) -> Self {
+        if let Some(t) = self.targets.last_mut() {
+            t.region = Some((lo, hi));
+        }
+        self
+    }
+
+    /// Caps the bytes this request may newly fetch. The cap is
+    /// round-granular: execution stops scheduling further refinement
+    /// rounds once exceeded and reports the still-unmet targets as
+    /// unsatisfied (`budget_exhausted` set on the report).
+    pub fn byte_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = Some(bytes);
+        self
+    }
+
+    /// The accumulated targets, in request order.
+    pub fn targets(&self) -> &[RequestTarget] {
+        &self.targets
+    }
+
+    /// The byte budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.byte_budget
+    }
+
+    /// True when no target has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_targets_in_order() {
+        let r = RetrievalRequest::new()
+            .qoi("a", 1e-3)
+            .qoi_abs("b", 0.5)
+            .region(10, 20)
+            .qoi("c", 1e-6)
+            .byte_budget(4096);
+        assert_eq!(r.targets().len(), 3);
+        assert_eq!(r.targets()[0].name, "a");
+        assert_eq!(r.targets()[0].mode, ToleranceMode::Relative);
+        assert_eq!(r.targets()[0].region, None);
+        assert_eq!(r.targets()[1].mode, ToleranceMode::Absolute);
+        assert_eq!(r.targets()[1].region, Some((10, 20)));
+        assert_eq!(r.targets()[2].region, None);
+        assert_eq!(r.budget(), Some(4096));
+        assert!(!r.is_empty());
+        assert!(RetrievalRequest::new().is_empty());
+    }
+
+    #[test]
+    fn region_on_empty_request_is_a_noop() {
+        let r = RetrievalRequest::new().region(0, 10);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property test of the plan/execute API's contract (`prop_plan_equivalence`):
+//! for random archives, schemes, QoI mixes and tolerances, a multi-QoI
+//! [`RetrievalRequest`] must certify the **same per-target outcomes** as
+//! the legacy path — each target satisfied exactly when an independent
+//! `Session::request` at the same tolerance satisfies, with the certified
+//! bound within the same tolerance — while reading **no more** than the
+//! legacy total bytes, across the in-memory, file-backed and cached
+//! backends.
+
+use pqr_core::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Psz3),
+        Just(Scheme::Psz3Delta),
+        Just(Scheme::PmgardHb),
+        Just(Scheme::PmgardOb),
+        Just(Scheme::Pzfp),
+    ]
+}
+
+/// Target mixes that all derive from field 0 (and some from field 1), so
+/// a batched plan always has a shared field to dedup.
+fn arb_targets() -> impl Strategy<Value = Vec<&'static str>> {
+    prop_oneof![
+        Just(vec!["V", "Vx2"]),
+        Just(vec!["V", "Vx2", "VxVy"]),
+        Just(vec!["Vx2", "VxVy"]),
+        Just(vec!["V", "VxVy", "Vx2"]),
+    ]
+}
+
+fn build_archive_bytes(n: usize, seed: u64, scheme: Scheme) -> Vec<u8> {
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut field = |phase: f64| -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64 - 0.5) * 2.0 + ((i as f64) * phase).sin() * 9.0 + 20.0
+            })
+            .collect()
+    };
+    ArchiveBuilder::new(&[n])
+        .field("Vx", field(0.013))
+        .field("Vy", field(0.029))
+        .qoi("V", velocity_magnitude(0, 2))
+        .qoi("Vx2", QoiExpr::var(0).pow(2))
+        .qoi("VxVy", species_product(0, 1))
+        .scheme(scheme)
+        .snapshot_bounds(&(1..=8).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
+        .build()
+        .unwrap()
+        .to_bytes()
+}
+
+fn temp_archive(bytes: &[u8], tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pqr_prop_plan");
+    std::fs::create_dir_all(&dir).unwrap();
+    let unique = format!(
+        "{tag}_{}_{}.pqrx",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    );
+    let path = dir.join(unique);
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+/// The three lazily-served backends under test, rebuilt per use so every
+/// arm starts cold.
+fn open_backend(bytes: &[u8], path: &std::path::Path, which: usize) -> Archive {
+    match which {
+        0 => Archive::from_fragment_source(InMemorySource::new(bytes.to_vec()).unwrap()).unwrap(),
+        1 => Archive::open(path).unwrap(),
+        _ => {
+            let cache = Arc::new(FragmentCache::new(8 << 20));
+            Archive::from_fragment_source(CachedSource::new(FileSource::open(path).unwrap(), cache))
+                .unwrap()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(18))]
+
+    #[test]
+    fn prop_plan_equivalence(
+        n in 128usize..512,
+        seed in 0u64..1000,
+        scheme in arb_scheme(),
+        targets in arb_targets(),
+        tol_exp in -5..-1i32,
+        backend in 0usize..3,
+    ) {
+        let bytes = build_archive_bytes(n, seed, scheme);
+        let path = temp_archive(&bytes, scheme.name());
+        // stagger tolerances so targets genuinely differ
+        let tols: Vec<f64> = (0..targets.len())
+            .map(|k| 10f64.powi(tol_exp - k as i32))
+            .collect();
+
+        // batched plan: one session, all targets at once
+        let batched = open_backend(&bytes, &path, backend);
+        let mut session = batched.session().unwrap();
+        let mut request = RetrievalRequest::new();
+        for (name, &tol) in targets.iter().zip(&tols) {
+            request = request.qoi(name, tol);
+        }
+        let plan = session.plan(&request).unwrap();
+        prop_assert!(
+            plan.shared_fields().contains(&0),
+            "field 0 must be shared by construction"
+        );
+        let report = session.execute(&request).unwrap();
+        let batched_bytes = session.total_fetched();
+
+        // legacy: every target as an independent request on its own
+        // fresh session (the pre-plan workflow the plan API replaces)
+        let mut legacy_bytes = 0usize;
+        let mut legacy = Vec::new();
+        for (name, &tol) in targets.iter().zip(&tols) {
+            let solo = open_backend(&bytes, &path, backend);
+            let mut s = solo.session().unwrap();
+            let r = s.request(name, tol).unwrap();
+            legacy_bytes += s.total_fetched();
+            legacy.push(r);
+        }
+        std::fs::remove_file(&path).ok();
+
+        // same per-target certification, bounds within the same tolerance
+        prop_assert_eq!(report.targets.len(), legacy.len());
+        for (t, l) in report.targets.iter().zip(&legacy) {
+            prop_assert_eq!(
+                t.satisfied, l.satisfied,
+                "{}: batched and legacy must certify alike", t.name
+            );
+            if t.satisfied {
+                prop_assert!(t.max_est_error <= t.tol_abs);
+                prop_assert!(l.max_est_errors[0] <= t.tol_abs);
+            }
+        }
+        // ...while never reading more than the legacy total
+        prop_assert!(
+            batched_bytes <= legacy_bytes,
+            "{}: batched {batched_bytes} B > legacy {legacy_bytes} B",
+            scheme.name()
+        );
+    }
+}

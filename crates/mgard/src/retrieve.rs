@@ -88,6 +88,49 @@ impl MgardCursor {
         best.map(|(l, _)| (l, self.decoders[l].planes_read() as usize))
     }
 
+    /// The `(level, plane)` pushes the greedy schedule will perform, in
+    /// order, to bring [`MgardCursor::guaranteed_bound`] to at most `eb` —
+    /// computed without consuming anything. The bound model is a function
+    /// of per-level consumed-plane counts only (`truncation_error` over the
+    /// metadata exponents), so the prediction matches the fetch-and-push
+    /// path exactly; batched retrieval plans its fragment schedule from
+    /// this before a single payload byte moves.
+    pub fn plan_to_bound(&self, eb: f64) -> Vec<(usize, usize)> {
+        use crate::bitplane::truncation_error;
+        let basis = self.meta.basis();
+        let dims = self.meta.dims();
+        let levels = self.meta.levels();
+        let mut planes: Vec<u32> = self.planes_read();
+        let mut errs: Vec<f64> = levels
+            .iter()
+            .zip(&planes)
+            .map(|(l, &p)| truncation_error(l.exponent, p))
+            .collect();
+        let mut out = Vec::new();
+        while recon_bound(basis, dims, &errs) > eb {
+            // mirror `next_plane`: the level whose next plane removes the
+            // most modeled error
+            let mut best: Option<(usize, f64)> = None;
+            for (l, lm) in levels.iter().enumerate() {
+                if planes[l] >= lm.num_planes {
+                    continue;
+                }
+                let contribution = level_weight(basis, dims, l) * errs[l];
+                match best {
+                    Some((_, c)) if c >= contribution => {}
+                    _ => best = Some((l, contribution)),
+                }
+            }
+            let Some((l, _)) = best else {
+                break; // exhausted
+            };
+            out.push((l, planes[l] as usize));
+            planes[l] += 1;
+            errs[l] = truncation_error(levels[l].exponent, planes[l]);
+        }
+        out
+    }
+
     /// Consumes the next plane of `level` (planes must arrive in MSB-first
     /// order per level; the plane index is implicit in the decode state).
     pub fn push_plane(&mut self, level: usize, bytes: &[u8]) -> Result<()> {
@@ -530,6 +573,40 @@ mod tests {
         );
         for w in sizes.windows(2) {
             assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn plan_to_bound_predicts_the_exact_push_sequence() {
+        let data = field(600);
+        for basis in [Basis::Hierarchical, Basis::Orthogonal] {
+            let stream = MgardRefactorer::new(basis).refactor(&data, &[600]).unwrap();
+            // flat plane index of (level, plane) in storage order
+            let level_base: Vec<usize> = {
+                let mut bases = Vec::new();
+                let mut base = 0usize;
+                for lm in stream.meta().levels() {
+                    bases.push(base);
+                    base += lm.num_planes as usize;
+                }
+                bases
+            };
+            let mut cursor = MgardCursor::new(stream.meta());
+            for eb in [1.0, 1e-2, 1e-5, 1e-9, 0.0] {
+                let plan = cursor.plan_to_bound(eb);
+                let mut executed = Vec::new();
+                while cursor.guaranteed_bound() > eb {
+                    let Some((l, p)) = cursor.next_plane() else {
+                        break;
+                    };
+                    let bytes = stream.plane(level_base[l] + p).unwrap();
+                    cursor.push_plane(l, bytes).unwrap();
+                    executed.push((l, p));
+                }
+                assert_eq!(plan, executed, "{basis:?} eb={eb}");
+                // planning must not advance the cursor
+                assert!(cursor.plan_to_bound(eb).is_empty(), "{basis:?} eb={eb}");
+            }
         }
     }
 }

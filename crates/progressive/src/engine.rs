@@ -23,6 +23,14 @@
 //! every involved reader is exhausted with tolerances still unmet the
 //! engine returns `satisfied = false` ("full-fidelity representation has
 //! been retrieved", Alg. 2's other exit).
+//!
+//! The refine→estimate→tighten loop itself lives in [`crate::plan`]:
+//! [`RetrievalEngine::retrieve`] resolves its specs into a
+//! [`crate::plan::RetrievalPlan`] and runs the
+//! [`crate::plan::PlanExecutor`], which batches each round's fragment
+//! schedule through [`FragmentSource::read_many`] before the readers
+//! consume it — single-target requests, multi-QoI plans and resumed
+//! sessions share exactly one fetch code path.
 
 // The point-scan loops index several parallel arrays (recons, eps, x) by
 // the same point/field index; iterator zips would obscure the correspondence
@@ -30,11 +38,12 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::field::{Dataset, RefactoredDataset};
-use crate::fragstore::{FragmentSource, Manifest};
+use crate::fragstore::{FragmentId, FragmentSource, FragmentStage, Manifest};
 use crate::refactored::FieldReader;
 use pqr_qoi::{BoundConfig, QoiExpr};
 use pqr_util::error::{PqrError, Result};
 use pqr_util::par::par_chunk_reduce;
+use std::sync::Arc;
 
 /// A requested QoI with its tolerance.
 #[derive(Debug, Clone)]
@@ -135,6 +144,12 @@ pub struct EngineConfig {
     /// parallelises at a coarser granularity (e.g. the per-block transfer
     /// pipeline) — nested thread pools oversubscribe and distort timings.
     pub parallel_scan: bool,
+    /// Batch each refinement round's fragment schedule through
+    /// [`FragmentSource::read_many`] (coalesced ranges on files, one
+    /// round-trip per batch on remote stores) before the readers consume
+    /// it. Disable to force the legacy per-fragment fetch path — useful
+    /// for I/O comparisons; the bytes moved are identical either way.
+    pub batch_io: bool,
 }
 
 impl Default for EngineConfig {
@@ -145,6 +160,7 @@ impl Default for EngineConfig {
             max_tightenings: 512,
             bound_config: BoundConfig::default(),
             parallel_scan: true,
+            batch_io: true,
         }
     }
 }
@@ -178,6 +194,9 @@ pub struct RetrievalEngine<'a> {
     source: &'a dyn FragmentSource,
     manifest: Manifest,
     readers: Vec<FieldReader<'a>>,
+    /// Shared prefetch stage: plan execution parks batched payloads here
+    /// and the readers' per-fragment consume path drains it.
+    stage: Arc<FragmentStage>,
     cfg: EngineConfig,
 }
 
@@ -208,13 +227,18 @@ impl<'a> RetrievalEngine<'a> {
                 )));
             }
         }
-        let readers = (0..manifest.num_fields())
+        let mut readers = (0..manifest.num_fields())
             .map(|i| FieldReader::open(source, &manifest, i))
             .collect::<Result<Vec<_>>>()?;
+        let stage = Arc::new(FragmentStage::new());
+        for r in &mut readers {
+            r.attach_stage(Arc::clone(&stage));
+        }
         Ok(Self {
             source,
             manifest,
             readers,
+            stage,
             cfg,
         })
     }
@@ -244,6 +268,13 @@ impl<'a> RetrievalEngine<'a> {
     }
 
     /// [`RetrievalEngine::resume`] over an arbitrary fragment source.
+    ///
+    /// The replay is itself plan execution: each field's restore schedule
+    /// is derived from its progress marker without fetching, the combined
+    /// schedule rides one source-ordered
+    /// [`FragmentSource::read_many`] batch, and the readers then consume
+    /// the staged payloads — the same single fetch code path a
+    /// [`crate::plan::RetrievalPlan`] drives.
     pub fn resume_from_source(
         source: &'a dyn FragmentSource,
         cfg: EngineConfig,
@@ -261,12 +292,30 @@ impl<'a> RetrievalEngine<'a> {
                 engine.manifest.num_fields()
             )));
         }
+        let mut markers = Vec::with_capacity(nv);
+        let mut ids: Vec<FragmentId> = Vec::new();
         for i in 0..nv {
             let p = crate::refactored::ReaderProgress::read(&mut r)?;
-            engine.readers[i].restore(&p)?;
+            ids.extend(
+                engine.readers[i]
+                    .plan_restore(&p)?
+                    .into_iter()
+                    .map(|index| FragmentId {
+                        field: i as u32,
+                        index,
+                    }),
+            );
+            markers.push(p);
         }
         if r.remaining() != 0 {
             return Err(PqrError::CorruptStream("trailing progress bytes".into()));
+        }
+        if cfg.batch_io {
+            engine.source_order(&mut ids);
+            engine.prefetch(&ids)?;
+        }
+        for (i, p) in markers.iter().enumerate() {
+            engine.readers[i].restore(p)?;
         }
         Ok(engine)
     }
@@ -325,122 +374,59 @@ impl<'a> RetrievalEngine<'a> {
     /// Runs Algorithm 2 until every spec's tolerance is met or the archive
     /// is exhausted. Engines persist across calls, so issuing progressively
     /// tighter requests retrieves incrementally (§III-B).
+    ///
+    /// This is now a thin wrapper over plan execution: the specs resolve
+    /// into a [`crate::plan::RetrievalPlan`] and a
+    /// [`crate::plan::PlanExecutor`] drives the refine→estimate→tighten
+    /// loop with batched fragment I/O (unless
+    /// [`EngineConfig::batch_io`] is off) — there is exactly one fetch
+    /// code path. Use the plan API directly for per-target reporting,
+    /// byte budgets and shared-fragment accounting.
     pub fn retrieve(&mut self, qois: &[QoiSpec]) -> Result<RetrievalReport> {
-        let nv = self.manifest.num_fields();
-        for q in qois {
-            if q.expr.arity() > nv {
-                return Err(PqrError::ShapeMismatch(format!(
-                    "QoI '{}' reads variable {} but archive has {nv} fields",
-                    q.name,
-                    q.expr.arity() - 1
-                )));
-            }
-            // NaN-safe positivity check (NaN fails the comparison)
-            let tol = q.tol_abs();
-            if !(tol.is_finite() && tol > 0.0) {
-                return Err(PqrError::InvalidRequest(format!(
-                    "QoI '{}' has non-positive tolerance",
-                    q.name
-                )));
-            }
-            if let Some((lo, hi)) = q.region {
-                let ne = self.manifest.num_elements();
-                if lo > hi || hi > ne {
-                    return Err(PqrError::InvalidRequest(format!(
-                        "QoI '{}' region {lo}..{hi} out of bounds (0..{ne})",
-                        q.name
-                    )));
-                }
-            }
-        }
-        let fetched_before = self.total_fetched();
-        let involved: Vec<Vec<usize>> = qois
-            .iter()
-            .map(|q| q.expr.variables().into_iter().collect())
-            .collect();
+        let plan = crate::plan::RetrievalPlan::resolve(self, qois.to_vec(), None)?;
+        let report = crate::plan::PlanExecutor::new(self).execute(&plan)?;
+        Ok(report.as_legacy())
+    }
 
-        // Algorithm 3: initial bound assignment.
-        let mut requested: Vec<f64> = (0..nv)
-            .map(|j| {
-                let mut rel = f64::INFINITY;
-                for (q, vars) in qois.iter().zip(&involved) {
-                    if vars.contains(&j) {
-                        rel = rel.min(q.tol_rel.min(1.0));
-                    }
-                }
-                if rel.is_finite() {
-                    rel * self.manifest.fields[j].range
-                } else {
-                    f64::INFINITY // field unused by any QoI: never fetched
-                }
-            })
-            .collect();
-        // never loosen bounds below what previous calls already achieved
-        for j in 0..nv {
-            requested[j] = requested[j].min(self.readers[j].guaranteed_bound());
-        }
+    /// The engine's readers, in field order (crate-internal: the plan
+    /// executor refines through these).
+    pub(crate) fn readers(&self) -> &[FieldReader<'a>] {
+        &self.readers
+    }
 
-        let tol_abs: Vec<f64> = qois.iter().map(|q| q.tol_abs()).collect();
-        let mut iterations = 0usize;
-        let mut max_est = vec![f64::INFINITY; qois.len()];
-        loop {
-            iterations += 1;
-            // Alg. 2 line 10: progressive_construct each involved field.
-            for j in 0..nv {
-                if requested[j].is_finite() {
-                    self.readers[j].refine_to(requested[j])?;
-                }
-            }
-            // Alg. 2 lines 13–24: estimate QoI errors everywhere.
-            let achieved: Vec<f64> = (0..nv)
-                .map(|j| self.readers[j].guaranteed_bound())
-                .collect();
-            let scans = self.scan_qois(qois, &achieved);
-            let mut all_met = true;
-            for (k, &(est, _)) in scans.iter().enumerate() {
-                max_est[k] = est;
-                if est > tol_abs[k] {
-                    all_met = false;
-                }
-            }
-            if all_met || iterations >= self.cfg.max_iterations {
-                return Ok(self.report(all_met, iterations, fetched_before, max_est, achieved));
-            }
+    /// Mutable reader access for the plan executor's consume path.
+    pub(crate) fn readers_mut(&mut self) -> &mut [FieldReader<'a>] {
+        &mut self.readers
+    }
 
-            // Algorithm 4: tighten bounds at the worst point per QoI.
-            let mut progress = false;
-            for (k, &(est, argmax)) in scans.iter().enumerate() {
-                if est <= tol_abs[k] {
-                    continue;
-                }
-                let mut eps_local = achieved.clone();
-                let mut tightenings = 0usize;
-                while self.point_estimate(&qois[k].expr, argmax, &eps_local) > tol_abs[k]
-                    && tightenings < self.cfg.max_tightenings
-                {
-                    for &i in &involved[k] {
-                        eps_local[i] /= self.cfg.reduction_factor;
-                    }
-                    tightenings += 1;
-                }
-                for &i in &involved[k] {
-                    if eps_local[i] < requested[i] {
-                        requested[i] = eps_local[i];
-                        if !self.readers[i].exhausted() {
-                            progress = true;
-                        }
-                    }
-                }
-            }
-            if !progress {
-                // exhausted representations and still unmet — Alg. 2's
-                // "full fidelity retrieved" exit
-                let achieved: Vec<f64> = (0..nv)
-                    .map(|j| self.readers[j].guaranteed_bound())
-                    .collect();
-                return Ok(self.report(false, iterations, fetched_before, max_est, achieved));
-            }
+    /// The engine configuration (crate-internal).
+    pub(crate) fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Sorts fragment ids into storage order (ascending directory offset)
+    /// so a batch presents the backend maximal coalescing opportunities.
+    pub(crate) fn source_order(&self, ids: &mut [FragmentId]) {
+        ids.sort_by_key(|&id| {
+            self.manifest
+                .fragment(id)
+                .map(|f| f.offset)
+                .unwrap_or(u64::MAX)
+        });
+    }
+
+    /// Batches `ids` through the source's [`FragmentSource::read_many`]
+    /// and parks the payloads on the engine's stage, where the readers'
+    /// per-fragment consume path picks them up.
+    pub(crate) fn prefetch(&self, ids: &[FragmentId]) -> Result<()> {
+        if ids.is_empty() {
+            return Ok(());
         }
+        let payloads = self.source.read_many(ids)?;
+        for (&id, payload) in ids.iter().zip(payloads) {
+            self.stage.put(id, payload);
+        }
+        Ok(())
     }
 
     /// Max estimated error and its location for each QoI, under the current
@@ -546,27 +532,6 @@ impl<'a> RetrievalEngine<'a> {
             out.push(expr.eval(&x));
         }
         out
-    }
-
-    fn report(
-        &self,
-        satisfied: bool,
-        iterations: usize,
-        fetched_before: usize,
-        max_est_errors: Vec<f64>,
-        field_bounds: Vec<f64>,
-    ) -> RetrievalReport {
-        let total = self.total_fetched();
-        let elements = self.manifest.num_elements() * self.manifest.num_fields();
-        RetrievalReport {
-            satisfied,
-            iterations,
-            bytes_fetched: total - fetched_before,
-            total_fetched: total,
-            max_est_errors,
-            field_bounds,
-            bitrate: pqr_util::stats::bitrate(total, elements),
-        }
     }
 }
 

@@ -168,6 +168,11 @@ pub struct SourceStats {
     pub cache_hits: u64,
     /// Fetches that had to go to the backend.
     pub cache_misses: u64,
+    /// Backend read operations performed: one per single-fragment fetch,
+    /// one per *coalesced range* in a [`FragmentSource::read_many`] batch
+    /// (adjacent fragments collapse into one seek+read), so batched
+    /// execution is observable as `read_ops < fetches`.
+    pub read_ops: u64,
 }
 
 /// Serves progressive fragments by id — the seam between the retrieval
@@ -184,6 +189,17 @@ pub trait FragmentSource: Send + Sync {
     /// equal the directory-declared length.
     fn fetch(&self, id: FragmentId) -> Result<Arc<Vec<u8>>>;
 
+    /// Fetches a whole batch of fragments in one call, returning payloads
+    /// in request order. This is the batched entry point plan execution
+    /// drives: backends override it to coalesce adjacent byte ranges into
+    /// single reads ([`FileSource`]), consult a cache before batching the
+    /// misses ([`CachedSource`]), or serve the batch in one round-trip
+    /// (`pqr-transfer`'s remote store). The default degrades to a
+    /// per-fragment loop, so every source stays correct.
+    fn read_many(&self, ids: &[FragmentId]) -> Result<Vec<Arc<Vec<u8>>>> {
+        ids.iter().map(|&id| self.fetch(id)).collect()
+    }
+
     /// Cumulative fetch tallies. Sources that do not track (e.g. resident
     /// datasets, where a "fetch" is a memory copy) report zeros.
     fn stats(&self) -> SourceStats {
@@ -198,9 +214,85 @@ impl<S: FragmentSource + ?Sized> FragmentSource for &S {
     fn fetch(&self, id: FragmentId) -> Result<Arc<Vec<u8>>> {
         (**self).fetch(id)
     }
+    fn read_many(&self, ids: &[FragmentId]) -> Result<Vec<Arc<Vec<u8>>>> {
+        (**self).read_many(ids)
+    }
     fn stats(&self) -> SourceStats {
         (**self).stats()
     }
+}
+
+/// A staging area for prefetched fragment payloads: plan execution batches
+/// a round's schedule through [`FragmentSource::read_many`] and parks the
+/// payloads here; the per-fragment reader fetches then consume from the
+/// stage instead of re-reading the backend. Entries are removed on
+/// consumption, so a stage never holds more than one in-flight round.
+#[derive(Debug, Default)]
+pub struct FragmentStage {
+    staged: Mutex<std::collections::HashMap<FragmentId, Arc<Vec<u8>>>>,
+}
+
+impl FragmentStage {
+    /// An empty stage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks a prefetched payload.
+    pub fn put(&self, id: FragmentId, payload: Arc<Vec<u8>>) {
+        self.staged
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, payload);
+    }
+
+    /// Takes a staged payload out (consumed at most once).
+    pub fn take(&self, id: FragmentId) -> Option<Arc<Vec<u8>>> {
+        self.staged
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id)
+    }
+
+    /// Number of payloads currently staged.
+    pub fn len(&self) -> usize {
+        self.staged.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One coalesced read: `(run_offset, run_len, members)` where each member
+/// is `(position_in_request, directory_entry)`.
+type CoalescedRun = (u64, usize, Vec<(usize, FragmentInfo)>);
+
+/// Resolves `ids` against the directory and groups them into maximal runs
+/// of adjacent/overlapping byte ranges, each run carrying the positions of
+/// its fragments in the original request. The directory guarantees
+/// ascending non-overlapping fragment ranges, so a run's length is exactly
+/// the sum of its fragments' lengths — coalescing never over-reads.
+fn coalesce_ranges(manifest: &Manifest, ids: &[FragmentId]) -> Result<Vec<CoalescedRun>> {
+    let mut resolved: Vec<(usize, FragmentInfo)> = ids
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| manifest.fragment(id).map(|info| (k, *info)))
+        .collect::<Result<_>>()?;
+    resolved.sort_by_key(|(_, info)| info.offset);
+    let mut runs: Vec<CoalescedRun> = Vec::new();
+    for (k, info) in resolved {
+        match runs.last_mut() {
+            Some((start, len, members)) if info.offset <= *start + *len as u64 => {
+                let end = (info.offset + info.len).max(*start + *len as u64);
+                *len = (end - *start) as usize;
+                members.push((k, info));
+            }
+            _ => runs.push((info.offset, info.len as usize, vec![(k, info)])),
+        }
+    }
+    Ok(runs)
 }
 
 // ---------------------------------------------------------------------------
@@ -538,6 +630,7 @@ struct AtomicStats {
     fetched_bytes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    read_ops: AtomicU64,
 }
 
 impl AtomicStats {
@@ -552,12 +645,19 @@ impl AtomicStats {
         }
     }
 
+    /// Tallies `ops` backend read operations (seeks/range reads/batch
+    /// round-trips — whatever the backend's unit of real I/O is).
+    fn record_ops(&self, ops: u64) {
+        self.read_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> SourceStats {
         SourceStats {
             fetches: self.fetches.load(Ordering::Relaxed),
             fetched_bytes: self.fetched_bytes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
         }
     }
 }
@@ -610,7 +710,28 @@ impl FragmentSource for InMemorySource {
         // parse-time validation guarantees the range is in bounds
         let payload = self.bytes[info.offset as usize..(info.offset + info.len) as usize].to_vec();
         self.stats.record(payload.len(), false);
+        self.stats.record_ops(1);
         Ok(Arc::new(payload))
+    }
+
+    fn read_many(&self, ids: &[FragmentId]) -> Result<Vec<Arc<Vec<u8>>>> {
+        // memory "reads" are slice copies; coalescing only changes the op
+        // tally, keeping read-op accounting comparable across backends
+        let runs = coalesce_ranges(&self.manifest, ids)?;
+        let mut out: Vec<Option<Arc<Vec<u8>>>> = vec![None; ids.len()];
+        for (_, _, members) in &runs {
+            for &(k, info) in members {
+                let payload =
+                    self.bytes[info.offset as usize..(info.offset + info.len) as usize].to_vec();
+                self.stats.record(payload.len(), false);
+                out[k] = Some(Arc::new(payload));
+            }
+        }
+        self.stats.record_ops(runs.len() as u64);
+        Ok(out
+            .into_iter()
+            .map(|p| p.expect("every id resolved"))
+            .collect())
     }
 
     fn stats(&self) -> SourceStats {
@@ -695,7 +816,37 @@ impl FragmentSource for FileSource {
                 .map_err(|e| io_err(&self.path, "cannot read fragment from", e))?;
         }
         self.stats.record(payload.len(), false);
+        self.stats.record_ops(1);
         Ok(Arc::new(payload))
+    }
+
+    fn read_many(&self, ids: &[FragmentId]) -> Result<Vec<Arc<Vec<u8>>>> {
+        // one seek + read per coalesced run: fragments of one refinement
+        // front sit adjacently in the container, so a batch of n fragments
+        // typically costs far fewer than n read operations
+        let runs = coalesce_ranges(&self.manifest, ids)?;
+        let mut out: Vec<Option<Arc<Vec<u8>>>> = vec![None; ids.len()];
+        for (start, len, members) in &runs {
+            let mut buf = vec![0u8; *len];
+            {
+                let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+                f.seek(SeekFrom::Start(*start))
+                    .map_err(|e| io_err(&self.path, "cannot seek", e))?;
+                f.read_exact(&mut buf)
+                    .map_err(|e| io_err(&self.path, "cannot read fragment run from", e))?;
+            }
+            for &(k, info) in members {
+                let rel = (info.offset - start) as usize;
+                let payload = buf[rel..rel + info.len as usize].to_vec();
+                self.stats.record(payload.len(), false);
+                out[k] = Some(Arc::new(payload));
+            }
+        }
+        self.stats.record_ops(runs.len() as u64);
+        Ok(out
+            .into_iter()
+            .map(|p| p.expect("every id resolved"))
+            .collect())
     }
 
     fn stats(&self) -> SourceStats {
@@ -759,7 +910,40 @@ impl<S: FragmentSource> FragmentSource for CachedSource<S> {
         let payload = self.inner.fetch(id)?;
         self.cache.insert(key, Arc::clone(&payload));
         self.stats.record(payload.len(), false);
+        self.stats.record_ops(1);
         Ok(payload)
+    }
+
+    fn read_many(&self, ids: &[FragmentId]) -> Result<Vec<Arc<Vec<u8>>>> {
+        // consult the LRU first; only the misses ride one batched backend
+        // read (which the inner source may further coalesce)
+        let mut out: Vec<Option<Arc<Vec<u8>>>> = vec![None; ids.len()];
+        let mut miss_ids = Vec::new();
+        let mut miss_pos = Vec::new();
+        for (k, &id) in ids.iter().enumerate() {
+            let key = (self.salt, id.field, id.index);
+            if let Some(hit) = self.cache.get(&key) {
+                self.stats.record(hit.len(), true);
+                out[k] = Some(hit);
+            } else {
+                miss_ids.push(id);
+                miss_pos.push(k);
+            }
+        }
+        if !miss_ids.is_empty() {
+            let payloads = self.inner.read_many(&miss_ids)?;
+            self.stats.record_ops(1);
+            for ((id, payload), k) in miss_ids.iter().zip(payloads).zip(miss_pos) {
+                let key = (self.salt, id.field, id.index);
+                self.cache.insert(key, Arc::clone(&payload));
+                self.stats.record(payload.len(), false);
+                out[k] = Some(payload);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|p| p.expect("every id resolved"))
+            .collect())
     }
 
     fn stats(&self) -> SourceStats {

@@ -24,6 +24,11 @@
 //!   partial retrieval is partial in bytes *read*, not just bytes counted.
 //! * [`engine`] — Algorithms 2–4: iterative QoI-preserved retrieval with a
 //!   primary-data error-bound assigner and a QoI error estimator.
+//! * [`plan`] — the plan/execute pipeline over the engine: multi-QoI
+//!   requests resolve into a deduplicated, source-ordered fragment
+//!   schedule (shared fields scheduled once) that executes through
+//!   [`fragstore::FragmentSource::read_many`] with per-target
+//!   certification, byte budgets and shared-fragment accounting.
 //!
 //! ## Flow (mirrors Fig. 1)
 //!
@@ -60,13 +65,15 @@ pub mod engine;
 pub mod field;
 pub mod fragstore;
 pub mod mask;
+pub mod plan;
 pub mod refactored;
 
 pub use engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
 pub use field::{Dataset, RefactoredDataset};
 pub use fragstore::{
-    CachedSource, FileSource, FragmentCache, FragmentId, FragmentSource, InMemorySource, Manifest,
-    SourceStats,
+    CachedSource, FileSource, FragmentCache, FragmentId, FragmentSource, FragmentStage,
+    InMemorySource, Manifest, SourceStats,
 };
 pub use mask::ZeroMask;
+pub use plan::{PlanExecutor, PlanReport, RetrievalPlan, TargetReport};
 pub use refactored::{FieldReader, ReaderProgress, RefactoredField, Scheme};

@@ -12,7 +12,7 @@
 //! reconstruct from a prefix of fragments under a guaranteed L∞ bound, and
 //! recompose incrementally as more fragments arrive.
 
-use crate::fragstore::{self, FragmentId, FragmentInfo, FragmentSource, Manifest};
+use crate::fragstore::{self, FragmentId, FragmentInfo, FragmentSource, FragmentStage, Manifest};
 use pqr_mgard::{Basis, MgardCursor, MgardMeta, MgardRefactorer, MgardStream};
 use pqr_sz::{SzCompressor, SzConfig};
 use pqr_util::byteio::{ByteReader, ByteWriter};
@@ -410,6 +410,9 @@ pub struct FieldReader<'a> {
     scheme: Scheme,
     /// The field's fragment directory (from the manifest).
     frags: Vec<FragmentInfo>,
+    /// Prefetch stage consulted before the source (plan execution parks
+    /// batched payloads here; `None` = always fetch per fragment).
+    stage: Option<Arc<FragmentStage>>,
     recon: Vec<f64>,
     bound: f64,
     fetched: usize,
@@ -534,6 +537,7 @@ impl<'a> FieldReader<'a> {
             field: fid,
             scheme: entry.scheme,
             frags,
+            stage: None,
             recon,
             bound,
             fetched,
@@ -541,12 +545,27 @@ impl<'a> FieldReader<'a> {
         })
     }
 
+    /// Attaches a prefetch stage: subsequent fragment fetches consume
+    /// staged payloads before falling back to the source. The retrieval
+    /// engine shares one stage across its readers so batched rounds land
+    /// where the per-fragment consume path expects them.
+    pub fn attach_stage(&mut self, stage: Arc<FragmentStage>) {
+        self.stage = Some(stage);
+    }
+
     /// Fetches payload fragment `index` of this field, accounting its bytes.
+    /// Staged (batch-prefetched) payloads are consumed first; anything not
+    /// staged falls back to a per-fragment source fetch, so the consume
+    /// path is correct whether or not a plan prefetched.
     fn fetch(&mut self, index: u32) -> Result<Arc<Vec<u8>>> {
-        let payload = self.source.fetch(FragmentId {
+        let id = FragmentId {
             field: self.field,
             index,
-        })?;
+        };
+        let payload = match self.stage.as_ref().and_then(|s| s.take(id)) {
+            Some(staged) => staged,
+            None => self.source.fetch(id)?,
+        };
         self.fetched += payload.len();
         Ok(payload)
     }
@@ -613,6 +632,115 @@ impl<'a> FieldReader<'a> {
             ReaderState::Zfp(_) => Err(PqrError::Unsupported(
                 "PZFP has no resolution hierarchy".into(),
             )),
+        }
+    }
+
+    /// The fragment indices [`FieldReader::refine_to`]`(eb)` would fetch
+    /// from the current state, in consume order, **without fetching** —
+    /// the per-field refinement front a retrieval plan schedules. Exact by
+    /// construction: every representation's bound model is a function of
+    /// consumed-fragment counts and directory/metadata values only
+    /// (snapshot directory bounds, MGARD truncation exponents, ZFP
+    /// `bound_after`), never of payload contents.
+    pub fn plan_refine_to(&self, eb: f64) -> Vec<u32> {
+        if eb.is_nan() || eb < 0.0 || self.bound <= eb {
+            return Vec::new(); // mirrors refine_to's early exits
+        }
+        match &self.state {
+            ReaderState::Snapshots { next, delta } => {
+                if self.frags.is_empty() {
+                    return Vec::new(); // born exhausted
+                }
+                let target = self
+                    .frags
+                    .iter()
+                    .position(|s| s.eb_abs <= eb)
+                    .unwrap_or(self.frags.len() - 1);
+                if *delta {
+                    (*next..=target).map(|i| i as u32).collect()
+                } else if target >= *next {
+                    vec![target as u32]
+                } else {
+                    Vec::new()
+                }
+            }
+            ReaderState::Mgard { cursor, level_base } => cursor
+                .plan_to_bound(eb)
+                .into_iter()
+                .map(|(l, p)| level_base[l] + p as u32)
+                .collect(),
+            ReaderState::Zfp(cursor) => {
+                let meta = cursor.meta();
+                let mut k = cursor.planes_read();
+                let mut out = Vec::new();
+                while meta.bound_after(k) > eb && k < meta.num_planes() {
+                    out.push(1 + k);
+                    k += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// The fragment indices [`FieldReader::restore`]`(progress)` will fetch
+    /// from a *fresh* reader, in consume order, without fetching — the
+    /// restore schedule a resumed session batches through
+    /// [`FragmentSource::read_many`]. Validates the marker against the
+    /// directory exactly as `restore` does.
+    pub fn plan_restore(&self, progress: &ReaderProgress) -> Result<Vec<u32>> {
+        match (&self.state, progress) {
+            (
+                ReaderState::Snapshots { delta, .. },
+                ReaderProgress::Snapshots { next: want, .. },
+            ) => {
+                let want = *want as usize;
+                if want > self.frags.len() {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "progress wants snapshot {want}, archive has {}",
+                        self.frags.len()
+                    )));
+                }
+                Ok(if *delta {
+                    (0..want as u32).collect()
+                } else if want > 0 {
+                    vec![(want - 1) as u32]
+                } else {
+                    Vec::new()
+                })
+            }
+            (ReaderState::Mgard { cursor, level_base }, ReaderProgress::Mgard { planes }) => {
+                if planes.len() != cursor.meta().num_levels() {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "progress has {} levels, stream has {}",
+                        planes.len(),
+                        cursor.meta().num_levels()
+                    )));
+                }
+                let mut out = Vec::new();
+                for (l, &k) in planes.iter().enumerate() {
+                    if k > cursor.meta().levels()[l].num_planes {
+                        return Err(PqrError::InvalidRequest(format!(
+                            "progress wants {k} planes of level {l}, stream has {}",
+                            cursor.meta().levels()[l].num_planes
+                        )));
+                    }
+                    out.extend((0..k).map(|p| level_base[l] + p));
+                }
+                Ok(out)
+            }
+            (ReaderState::Zfp(cursor), ReaderProgress::Zfp { planes }) => {
+                if *planes > cursor.meta().num_planes() {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "progress wants {planes} planes, archive has {}",
+                        cursor.meta().num_planes()
+                    )));
+                }
+                Ok((0..*planes).map(|p| 1 + p).collect())
+            }
+            _ => Err(PqrError::InvalidRequest(format!(
+                "progress marker does not match scheme {}",
+                self.scheme.name()
+            ))),
         }
     }
 

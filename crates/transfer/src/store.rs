@@ -29,8 +29,12 @@ pub struct RemoteStore {
 pub struct FetchCounters {
     /// Bytes moved over the (simulated) network.
     pub bytes: usize,
-    /// Network fetch requests served by the store.
+    /// Network round-trips served by the store: one per single-fragment
+    /// fetch, one per [`FragmentSource::read_many`] batch — batched
+    /// retrieval is observable as `requests < fragments`.
     pub requests: usize,
+    /// Fragments moved over the network (across all round-trips).
+    pub fragments: usize,
     /// Fetches served from the local fragment cache instead of the network.
     pub hits: usize,
     /// Bytes those cache hits would otherwise have moved.
@@ -43,8 +47,13 @@ impl FetchCounters {
         self.hits
     }
 
-    /// Fetches that went over the network (every request the store served).
+    /// Fragment fetches that went over the network.
     pub fn misses(&self) -> usize {
+        self.fragments
+    }
+
+    /// Network round-trips (single fetches + whole batches).
+    pub fn round_trips(&self) -> usize {
         self.requests
     }
 }
@@ -97,11 +106,21 @@ impl RemoteStore {
         })
     }
 
-    /// Records a network fetch of `bytes` (one request).
+    /// Records a network fetch of `bytes` (one request, one fragment).
     pub fn record_fetch(&self, bytes: usize) {
         let mut c = self.counters.lock();
         c.bytes += bytes;
         c.requests += 1;
+        c.fragments += 1;
+    }
+
+    /// Records a batched fetch: `fragments` fragments totalling `bytes`
+    /// served in **one** network round-trip.
+    pub fn record_batch(&self, bytes: usize, fragments: usize) {
+        let mut c = self.counters.lock();
+        c.bytes += bytes;
+        c.requests += 1;
+        c.fragments += fragments;
     }
 
     /// Records a fetch served by the local cache (`bytes` stayed off the
@@ -170,14 +189,48 @@ impl FragmentSource for RemoteBlockSource<'_> {
         Ok(payload)
     }
 
+    fn read_many(&self, ids: &[FragmentId]) -> Result<Vec<Arc<Vec<u8>>>> {
+        // the whole batch rides one round-trip: cache hits are peeled off
+        // locally, every miss is served from the block and charged as a
+        // single multi-fragment request
+        let mut out: Vec<Option<Arc<Vec<u8>>>> = vec![None; ids.len()];
+        let mut miss_bytes = 0usize;
+        let mut misses = 0usize;
+        for (k, &id) in ids.iter().enumerate() {
+            let key = (self.block as u64, id.field, id.index);
+            if let Some(cache) = &self.store.cache {
+                if let Some(hit) = cache.get(&key) {
+                    self.store.record_hit(hit.len());
+                    out[k] = Some(hit);
+                    continue;
+                }
+            }
+            let payload = self.store.blocks[self.block].fetch(id)?;
+            miss_bytes += payload.len();
+            misses += 1;
+            if let Some(cache) = &self.store.cache {
+                cache.insert(key, Arc::clone(&payload));
+            }
+            out[k] = Some(payload);
+        }
+        if misses > 0 {
+            self.store.record_batch(miss_bytes, misses);
+        }
+        Ok(out
+            .into_iter()
+            .map(|p| p.expect("every id served"))
+            .collect())
+    }
+
     fn stats(&self) -> SourceStats {
         // store-wide view (blocks share the store's tallies)
         let c = self.store.counters();
         SourceStats {
-            fetches: (c.requests + c.hits) as u64,
+            fetches: (c.fragments + c.hits) as u64,
             fetched_bytes: (c.bytes + c.hit_bytes) as u64,
             cache_hits: c.hits as u64,
-            cache_misses: c.requests as u64,
+            cache_misses: c.fragments as u64,
+            read_ops: c.requests as u64,
         }
     }
 }

@@ -130,17 +130,31 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
     /// Inserts (or replaces) an entry, evicting least-recently-used entries
     /// until the byte budget holds. A value larger than the whole budget is
     /// not cached at all — evicting everything for an entry that cannot be
-    /// reused profitably would just thrash.
+    /// reused profitably would just thrash — but it still **displaces** any
+    /// existing entry under the same key: the cache must never keep serving
+    /// a stale payload the caller just replaced, and the displaced bytes
+    /// must leave the resident tally (same-key overwrites, smaller or
+    /// larger, keep `stats().bytes` exact).
     pub fn insert(&self, key: K, value: Arc<Vec<u8>>) {
-        if value.len() > self.cap_bytes {
-            return;
-        }
         let mut g = self.lock();
         g.tick += 1;
         let tick = g.tick;
-        if let Some(old) = g.map.remove(&key) {
+        // drop any previous entry first so replacement accounting cannot
+        // drift, whatever the new value's size
+        let displaced = if let Some(old) = g.map.remove(&key) {
             g.bytes -= old.data.len();
             g.recency.remove(&old.tick);
+            true
+        } else {
+            false
+        };
+        if value.len() > self.cap_bytes {
+            // the stale entry (if any) is gone and counts as evicted; the
+            // oversized value itself is not admitted
+            if displaced {
+                g.evictions += 1;
+            }
+            return;
         }
         g.bytes += value.len();
         g.recency.insert(tick, key.clone());
@@ -236,6 +250,58 @@ mod tests {
         assert_eq!(s.entries, 1);
         assert_eq!(s.bytes, 10);
         assert_eq!(c.get(&1).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn same_key_overwrite_with_larger_payload_keeps_bytes_exact() {
+        let c: LruCache<u32> = LruCache::new(100);
+        c.insert(1, blob(10, 0));
+        c.insert(2, blob(10, 2));
+        c.insert(1, blob(60, 1)); // grow in place, still under budget
+        let s = c.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 70, "resident bytes must track the overwrite");
+        assert_eq!(c.get(&1).unwrap().len(), 60);
+        assert_eq!(c.get(&1).unwrap()[0], 1, "old payload must not survive");
+        // growing past the budget evicts the LRU neighbour, not the tally
+        c.insert(1, blob(95, 3));
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, 95);
+        assert!(c.get(&2).is_none(), "LRU entry evicted to make room");
+        assert_eq!(c.get(&1).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn oversized_overwrite_displaces_the_stale_entry() {
+        let c: LruCache<u32> = LruCache::new(50);
+        c.insert(1, blob(20, 0));
+        assert_eq!(c.stats().bytes, 20);
+        // an over-budget replacement cannot be admitted, but it must not
+        // leave the cache serving the superseded payload either
+        c.insert(1, blob(51, 1));
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0, "displaced bytes must leave the tally");
+        assert_eq!(s.evictions, 1, "the displaced entry counts as evicted");
+        assert!(c.get(&1).is_none(), "stale payload must be gone");
+    }
+
+    #[test]
+    fn stats_track_hits_misses_evictions_and_residency() {
+        let c: LruCache<u32> = LruCache::new(25);
+        c.insert(1, blob(10, 1));
+        c.insert(2, blob(10, 2));
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_none());
+        c.insert(3, blob(10, 3)); // evicts key 2 (LRU)
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hit_bytes, 10);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 20);
     }
 
     #[test]

@@ -64,5 +64,29 @@ fn main() -> Result<()> {
         session.total_fetched(),
         saved
     );
+
+    // Several QoIs deriving from the same field? Batch them in one
+    // request: T is fetched once for both targets, each certified
+    // separately in the per-target report.
+    let archive = ArchiveBuilder::new(&[n])
+        .field("T", temperature)
+        .qoi("invT", QoiExpr::var(0).radical(0.0))
+        .qoi("lnT", QoiExpr::var(0).ln())
+        .scheme(Scheme::PmgardHb)
+        .build()?;
+    let mut session = archive.session()?;
+    let report = session.execute(&RetrievalRequest::new().qoi("invT", 1e-5).qoi("lnT", 1e-4))?;
+    println!("\nbatched multi-QoI request (invT @ 1e-5, lnT @ 1e-4):");
+    for t in &report.targets {
+        println!(
+            "  {:<6} satisfied={} est err {:.3e} (tol {:.3e})",
+            t.name, t.satisfied, t.max_est_error, t.tol_abs
+        );
+    }
+    println!(
+        "  shared-fragment savings: {} B (T scheduled once for both targets)",
+        report.shared_bytes_saved
+    );
+    assert!(report.satisfied);
     Ok(())
 }

@@ -109,5 +109,53 @@ fn main() -> Result<()> {
     println!(
         "\n(wire speedup = simulated transfer vs the raw baseline; hits are\n fragment fetches the LRU cache kept off the wire; the paper's 2.02×\n at τ=1e-5 includes retrieval compute at 4.67 GB scale — run the fig9\n bench for the full Fig. 9 reproduction)"
     );
+
+    // --- batched vs per-fragment wire round-trips ------------------------
+    // Same block, same tolerance, cold uncached store each arm:
+    // per-fragment execution pays one round-trip per fragment, while
+    // batched execution ships each refinement round's whole schedule in
+    // one `read_many` round-trip.
+    let probe = RemoteStore::new(vec![store.block(0)?.clone()]);
+    let probe_spec = vec![QoiSpec::with_range(
+        "VTOT",
+        velocity_magnitude(0, 3),
+        1e-4,
+        ranges[0],
+    )];
+    let run_arm = |batch_io: bool| -> Result<FetchCounters> {
+        probe.reset_counters();
+        let src = probe.block_source(0)?;
+        let mut engine = RetrievalEngine::from_source(
+            &src,
+            EngineConfig {
+                batch_io,
+                parallel_scan: false,
+                ..Default::default()
+            },
+        )?;
+        let report = engine.retrieve(&probe_spec)?;
+        assert!(report.satisfied);
+        Ok(probe.counters())
+    };
+    let per_fragment = run_arm(false)?;
+    let batched = run_arm(true)?;
+    // identical fragments and bytes move either way...
+    assert_eq!(batched.bytes, per_fragment.bytes);
+    assert_eq!(batched.misses(), per_fragment.misses());
+    // ...but the batched arm needs strictly fewer round-trips
+    assert!(
+        batched.round_trips() < per_fragment.round_trips(),
+        "batched {} round-trips !< per-fragment {}",
+        batched.round_trips(),
+        per_fragment.round_trips()
+    );
+    println!(
+        "\nround-trips for one block at τ=1e-4: per-fragment {} vs batched {} \
+         ({} fragments, {} B either way)",
+        per_fragment.round_trips(),
+        batched.round_trips(),
+        batched.misses(),
+        batched.bytes
+    );
     Ok(())
 }

@@ -13,6 +13,9 @@
 //!
 //! # retrieve a QoI at a relative tolerance; writes the derived values
 //! pqr retrieve data.pqr --qoi VTOT --tol 1e-5 --out vtot.f64
+//!
+//! # batched multi-QoI retrieval: targets sharing fields fetch them once
+//! pqr retrieve data.pqr --qoi VTOT=1e-5 --qoi KE=1e-4
 //! ```
 //!
 //! Fields are raw little-endian `f64` streams (the exchange format of most
@@ -58,6 +61,12 @@ USAGE:
   pqr retrieve <archive> --qoi NAME --tol REL [--estimator E]
                [--resume PROGRESS] [--save-progress PROGRESS]
                [--out PATH] [--field NAME --out-field PATH]
+  pqr retrieve <archive> (--qoi NAME=TOL)... [--budget BYTES]
+               [--estimator E] [--resume P] [--save-progress P]
+               [--field NAME --out-field PATH]
+               (batched: QoIs sharing fields fetch them once; prints the
+               per-target report table and shared-fragment savings;
+               --out is single-target only — use --out-field here)
 
 ESTIMATORS: paper (default) | exact-sqrt | interval
 PROGRESS:   a small progress file; --resume continues a previous retrieval
@@ -296,6 +305,10 @@ fn parse_estimator(s: &str) -> Result<BoundConfig> {
 
 fn cmd_retrieve(args: &[String]) -> Result<()> {
     let flags = Flags { args };
+    let qoi_flags = flags.get_all("--qoi");
+    if qoi_flags.iter().any(|s| s.contains('=')) {
+        return cmd_retrieve_multi(&flags, &qoi_flags);
+    }
     let (mut archive, file_size) = load_archive(&flags)?;
     let qoi = flags
         .get("--qoi")
@@ -351,6 +364,108 @@ fn cmd_retrieve(args: &[String]) -> Result<()> {
     if let Some(out) = flags.get("--out") {
         write_float_file(out, &session.qoi_values(qoi)?)?;
         eprintln!("wrote derived QoI values → {out}");
+    }
+    if let (Some(field), Some(path)) = (flags.get("--field"), flags.get("--out-field")) {
+        write_float_file(path, session.reconstruction(field)?)?;
+        eprintln!("wrote reconstructed field '{field}' → {path}");
+    }
+    Ok(())
+}
+
+/// Batched multi-QoI retrieval: repeated `--qoi NAME=TOL` flags resolve
+/// into one `RetrievalRequest`, so targets sharing fields fetch those
+/// fields' fragments once. Prints the per-target report table plus the
+/// shared-fragment savings and read-op lines.
+fn cmd_retrieve_multi(flags: &Flags<'_>, qoi_flags: &[&str]) -> Result<()> {
+    if flags.get("--tol").is_some() || qoi_flags.iter().any(|s| !s.contains('=')) {
+        return Err(PqrError::InvalidRequest(
+            "mixing --qoi NAME=TOL with --qoi NAME/--tol is ambiguous; \
+             use one form"
+                .into(),
+        ));
+    }
+    if flags.get("--out").is_some() {
+        return Err(PqrError::InvalidRequest(
+            "--out is ambiguous with several targets; use \
+             --field NAME --out-field PATH for a reconstruction, or the \
+             single-target form (--qoi NAME --tol REL --out PATH) for \
+             derived QoI values"
+                .into(),
+        ));
+    }
+    let (mut archive, file_size) = load_archive(flags)?;
+    if let Some(est) = flags.get("--estimator") {
+        archive.set_engine_config(EngineConfig {
+            bound_config: parse_estimator(est)?,
+            ..Default::default()
+        });
+    }
+    let mut request = RetrievalRequest::new();
+    for spec in qoi_flags {
+        let (name, tol_text) = spec.split_once('=').expect("filtered above");
+        let tol: f64 = tol_text
+            .parse()
+            .map_err(|_| PqrError::InvalidRequest(format!("bad tolerance in --qoi '{spec}'")))?;
+        request = request.qoi(name, tol);
+    }
+    if let Some(budget) = flags.get("--budget") {
+        request =
+            request.byte_budget(budget.parse().map_err(|_| {
+                PqrError::InvalidRequest("bad --budget (want a byte count)".into())
+            })?);
+    }
+    let mut session = match flags.get("--resume") {
+        Some(path) => {
+            let progress = fs::read(path)
+                .map_err(|e| PqrError::InvalidRequest(format!("cannot read '{path}': {e}")))?;
+            archive.resume_session(&progress)?
+        }
+        None => archive.session()?,
+    };
+    let report = session.execute(&request)?;
+
+    println!(
+        "{:<16} {:>11} {:>12} {:>5} {:>12}",
+        "target", "tol(abs)", "est err", "ok", "bytes"
+    );
+    for t in &report.targets {
+        println!(
+            "{:<16} {:>11.3e} {:>12.3e} {:>5} {:>12}",
+            t.name,
+            t.tol_abs,
+            t.max_est_error,
+            if t.satisfied { "yes" } else { "NO" },
+            t.bytes
+        );
+    }
+    println!(
+        "shared fragments saved {} B across {} targets; fetched {} B total ({} new) in {} rounds",
+        report.shared_bytes_saved,
+        report.targets.len(),
+        report.total_fetched,
+        report.bytes_fetched,
+        report.iterations
+    );
+    let stats = archive.source_stats();
+    eprintln!(
+        "disk: {} read ops for {} fragments, {} B of the {} B archive ({:.1}%)",
+        stats.read_ops,
+        stats.fetches,
+        stats.fetched_bytes,
+        file_size,
+        100.0 * stats.fetched_bytes as f64 / file_size.max(1) as f64
+    );
+    if let Some(path) = flags.get("--save-progress") {
+        fs::write(path, session.save_progress())
+            .map_err(|e| PqrError::InvalidRequest(format!("cannot write '{path}': {e}")))?;
+        eprintln!("saved retrieval progress → {path}");
+    }
+    if !report.satisfied {
+        return Err(PqrError::UnboundableQoi(if report.budget_exhausted {
+            "byte budget exhausted before every target certified".into()
+        } else {
+            "representation exhausted before every target certified".into()
+        }));
     }
     if let (Some(field), Some(path)) = (flags.get("--field"), flags.get("--out-field")) {
         write_float_file(path, session.reconstruction(field)?)?;

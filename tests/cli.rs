@@ -451,3 +451,131 @@ fn help_prints_usage() {
     assert!(text.contains("refactor"));
     assert!(text.contains("retrieve"));
 }
+
+#[test]
+fn multi_qoi_retrieve_prints_per_target_table_and_savings() {
+    let dir = std::env::temp_dir().join(format!("pqr-cli-multi-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let n = 3000;
+    let vx: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.012).sin() * 25.0 + 40.0)
+        .collect();
+    let vy: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.019).cos() * 12.0 + 30.0)
+        .collect();
+    write_f64(&dir.join("vx.f64"), &vx);
+    write_f64(&dir.join("vy.f64"), &vy);
+
+    let archive = dir.join("multi.pqr");
+    let out = pqr()
+        .args([
+            "refactor",
+            "--out",
+            archive.to_str().unwrap(),
+            "--field",
+            &format!("Vx:{}", dir.join("vx.f64").display()),
+            "--field",
+            &format!("Vy:{}", dir.join("vy.f64").display()),
+            "--qoi",
+            "V=sqrt(x0^2 + x1^2)",
+            "--qoi",
+            "KE=0.5 * (x0^2 + x1^2)",
+            "--qoi",
+            "Vx2=x0^2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // batched multi-QoI retrieval over QoIs sharing both fields
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "V=1e-4",
+            "--qoi",
+            "KE=1e-4",
+            "--qoi",
+            "Vx2=1e-3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8_lossy(&out.stdout);
+    for name in ["target", "V", "KE", "Vx2", "shared fragments saved"] {
+        assert!(table.contains(name), "missing '{name}' in:\n{table}");
+    }
+    // every target line certifies
+    assert!(!table.contains(" NO "), "unsatisfied target in:\n{table}");
+    let diag = String::from_utf8_lossy(&out.stderr);
+    assert!(diag.contains("read ops"), "missing read-op line: {diag}");
+
+    // mixing the two --qoi forms is rejected
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "V=1e-4",
+            "--qoi",
+            "KE",
+            "--tol",
+            "1e-4",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // --out is ambiguous across targets and rejected loudly (not dropped)
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "V=1e-4",
+            "--qoi",
+            "KE=1e-4",
+            "--out",
+            dir.join("v.f64").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out-field"));
+
+    // reconstructions are unambiguous (the field is named) and supported
+    let recon = dir.join("vx_recon.f64");
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "V=1e-4",
+            "--qoi",
+            "KE=1e-4",
+            "--field",
+            "Vx",
+            "--out-field",
+            recon.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(read_f64(&recon).len(), n);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,140 @@
+//! Integration test of the plan/execute retrieval API's headline claims:
+//!
+//! 1. A 3-QoI [`RetrievalRequest`] over QoIs sharing a field reads
+//!    **strictly fewer source bytes** than the same three tolerances
+//!    issued as independent legacy `Session::request` calls (the shared
+//!    field's fragments move once instead of three times).
+//! 2. Batched execution over a [`FileSource`] performs **strictly fewer
+//!    read operations** than per-fragment execution for identical bytes
+//!    (adjacent fragments coalesce into single range reads).
+//!
+//! Both are asserted by counters, not by timing.
+
+use pqr::prelude::*;
+
+/// Three QoIs all deriving from field 0 (`Vx`), two of them from more:
+/// V = √(Vx²+Vy²), KE-ish Vx² and the product Vx·Vy.
+const TOLS: [(&str, f64); 3] = [("V", 1e-4), ("Vx2", 1e-4), ("VxVy", 1e-3)];
+
+fn build_archive() -> Archive {
+    let n = 3000;
+    let vx: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.013).sin() * 30.0 + 50.0)
+        .collect();
+    let vy: Vec<f64> = (0..n).map(|i| (i as f64 * 0.021).cos() * 15.0).collect();
+    ArchiveBuilder::new(&[n])
+        .field("Vx", vx)
+        .field("Vy", vy)
+        .qoi("V", velocity_magnitude(0, 2))
+        .qoi("Vx2", QoiExpr::var(0).pow(2))
+        .qoi("VxVy", species_product(0, 1))
+        .build()
+        .unwrap()
+}
+
+fn save_archive(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pqr_plan_execution_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}_{}.pqrx", std::process::id()));
+    build_archive().save(&path).unwrap();
+    path
+}
+
+#[test]
+fn batched_multi_qoi_reads_strictly_fewer_bytes_than_sequential_requests() {
+    let path = save_archive("bytes");
+
+    // batched: one session, one 3-target request
+    let batched = Archive::open(&path).unwrap();
+    let mut session = batched.session().unwrap();
+    let mut request = RetrievalRequest::new();
+    for (name, tol) in TOLS {
+        request = request.qoi(name, tol);
+    }
+    let plan = session.plan(&request).unwrap();
+    assert!(
+        plan.shared_fields().contains(&0),
+        "the three QoIs must share field Vx"
+    );
+    let report = session.execute(&request).unwrap();
+    assert!(report.satisfied);
+    assert!(report.shared_bytes_saved > 0);
+    let batched_bytes = batched.source_stats().fetched_bytes;
+
+    // sequential legacy: the same three tolerances, each as an independent
+    // `Session::request` against its own lazily opened archive — the
+    // pre-plan workflow, where every request re-reads the shared field
+    let mut sequential_bytes = 0u64;
+    for (name, tol) in TOLS {
+        let solo = Archive::open(&path).unwrap();
+        let mut s = solo.session().unwrap();
+        let r = s.request(name, tol).unwrap();
+        assert!(r.satisfied);
+        sequential_bytes += solo.source_stats().fetched_bytes;
+    }
+
+    assert!(
+        batched_bytes < sequential_bytes,
+        "batched plan read {batched_bytes} B, sequential requests {sequential_bytes} B"
+    );
+    // the guarantee still holds per target
+    for t in &report.targets {
+        assert!(t.satisfied && t.max_est_error <= t.tol_abs);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn file_batched_execution_uses_strictly_fewer_read_ops_for_identical_bytes() {
+    let path = save_archive("readops");
+    let run = |batch_io: bool| {
+        let mut archive = Archive::open(&path).unwrap();
+        archive.set_engine_config(EngineConfig {
+            batch_io,
+            ..Default::default()
+        });
+        let mut session = archive.session().unwrap();
+        let mut request = RetrievalRequest::new();
+        for (name, tol) in TOLS {
+            request = request.qoi(name, tol);
+        }
+        let report = session.execute(&request).unwrap();
+        assert!(report.satisfied);
+        let stats = archive.source_stats();
+        (stats.read_ops, stats.fetched_bytes, stats.fetches)
+    };
+    let (ops_batched, bytes_batched, frags_batched) = run(true);
+    let (ops_perfrag, bytes_perfrag, frags_perfrag) = run(false);
+
+    // identical fragments and bytes move either way...
+    assert_eq!(bytes_batched, bytes_perfrag);
+    assert_eq!(frags_batched, frags_perfrag);
+    // ...but coalesced ranges collapse the operation count
+    assert!(
+        ops_batched < ops_perfrag,
+        "batched {ops_batched} read ops !< per-fragment {ops_perfrag}"
+    );
+    // per-fragment execution pays one op per fragment
+    assert_eq!(ops_perfrag, frags_perfrag);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn plan_report_read_ops_reflect_the_backend() {
+    let path = save_archive("report_ops");
+    let archive = Archive::open(&path).unwrap();
+    let mut session = archive.session().unwrap();
+    let report = session
+        .execute(&RetrievalRequest::new().qoi("V", 1e-3).qoi("Vx2", 1e-3))
+        .unwrap();
+    assert!(report.satisfied);
+    assert!(report.fragments_read > 0);
+    assert!(report.read_ops > 0);
+    assert!(
+        report.read_ops < report.fragments_read,
+        "coalescing must collapse ops ({} ops for {} fragments)",
+        report.read_ops,
+        report.fragments_read
+    );
+    std::fs::remove_file(&path).ok();
+}
