@@ -1,0 +1,190 @@
+//! Decode-throughput harness: measures the word-parallel bitplane kernels
+//! against the scalar reference and the end-to-end multi-QoI retrieve at 1
+//! vs N decode threads, then emits `BENCH_decode.json` — the repo's
+//! recorded perf trajectory (CI smoke-checks that the file is well-formed).
+//!
+//! Arms:
+//!
+//! * **kernel** — PMGARD level encode/decode and ZFP plane decode, MB/s of
+//!   raw f64 payload, scalar vs word-parallel (`speedup` = word / scalar).
+//! * **end_to_end** — a 6-field archive on disk, three QoIs sharing
+//!   fields, retrieved through the plan executor: scalar kernels with
+//!   sequential decode (the pre-acceleration baseline), word kernels
+//!   sequential, and word kernels at `threads` decode workers with
+//!   overlapped I/O.
+//!
+//! Sizes scale with `PQR_SCALE`; the output path can be overridden with
+//! `PQR_BENCH_OUT`.
+
+use pqr_bench::scaled;
+use pqr_mgard::bitplane::{encode_level, encode_level_scalar, LevelDecoder};
+use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine};
+use pqr_progressive::field::Dataset;
+use pqr_progressive::fragstore::FileSource;
+use pqr_progressive::refactored::Scheme;
+use pqr_qoi::library::{species_product, velocity_magnitude};
+use pqr_qoi::QoiExpr;
+use pqr_zfp::{ZfpCursor, ZfpRefactorer};
+use std::time::Instant;
+
+/// Decode threads for the parallel arm (the acceptance target is "4+").
+const THREADS: usize = 4;
+/// Timing repetitions per arm; the best (least-noise) run is recorded.
+const RUNS: usize = 3;
+
+fn coeffs(n: usize) -> Vec<f64> {
+    let mut s = 0x1234_5678u64;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s as f64 / u64::MAX as f64) * 2.0 - 1.0) * 3.0
+        })
+        .collect()
+}
+
+/// Best-of-N wall time of `f`, in milliseconds.
+fn best_ms<R>(mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// `(scalar_mb_s, word_mb_s, speedup)` for a kernel over `bytes` of payload.
+fn kernel_pair<A, B, RA, RB>(bytes: usize, scalar: A, word: B) -> (f64, f64, f64)
+where
+    A: FnMut() -> RA,
+    B: FnMut() -> RB,
+{
+    let mb = bytes as f64 / 1e6;
+    let s = mb / (best_ms(scalar) / 1e3);
+    let w = mb / (best_ms(word) / 1e3);
+    (s, w, w / s)
+}
+
+fn json_kernel(name: &str, v: (f64, f64, f64)) -> String {
+    format!(
+        "    \"{name}\": {{\"scalar_mb_s\": {:.2}, \"word_mb_s\": {:.2}, \"speedup\": {:.2}}}",
+        v.0, v.1, v.2
+    )
+}
+
+fn main() {
+    let n_kernel = scaled(100_000);
+    let data = coeffs(n_kernel);
+
+    // --- kernel arms -----------------------------------------------------
+    let enc = encode_level(&data);
+    let mgard_encode = kernel_pair(
+        n_kernel * 8,
+        || encode_level_scalar(&data),
+        || encode_level(&data),
+    );
+    let decode = |scalar: bool| {
+        let mut d = if scalar {
+            LevelDecoder::new_scalar(enc.exponent, enc.count)
+        } else {
+            LevelDecoder::new(enc.exponent, enc.count)
+        };
+        for p in &enc.planes {
+            d.push_plane(p).unwrap();
+        }
+        d.coefficients()
+    };
+    let mgard_decode = kernel_pair(n_kernel * 8, || decode(true), || decode(false));
+    let zstream = ZfpRefactorer::new().refactor(&data, &[n_kernel]).unwrap();
+    let zdecode = |scalar: bool| {
+        let mut cur = if scalar {
+            ZfpCursor::new_scalar(zstream.meta())
+        } else {
+            ZfpCursor::new(zstream.meta())
+        };
+        for p in zstream.plane_payloads() {
+            cur.push_plane(p).unwrap();
+        }
+        cur.reconstruct()
+    };
+    let zfp_decode = kernel_pair(n_kernel * 8, || zdecode(true), || zdecode(false));
+
+    // --- end-to-end arms -------------------------------------------------
+    let n = scaled(120_000);
+    let mut ds = Dataset::new(&[n]);
+    for (f, name) in ["Vx", "Vy", "Vz", "P", "T", "rho"].iter().enumerate() {
+        ds.add_field(
+            name,
+            (0..n)
+                .map(|i| ((i + f * 101) as f64 * (0.007 + f as f64 * 0.003)).sin() * 25.0 + 40.0)
+                .collect(),
+        )
+        .unwrap();
+    }
+    // refactor with the word kernels (archive bytes are identical either way)
+    let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+    let dir = std::env::temp_dir().join("pqr_bench_decode");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("archive_{}.pqrx", std::process::id()));
+    std::fs::write(&path, archive.to_bytes()).expect("write archive");
+
+    let specs = vec![
+        QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-10, &ds).unwrap(),
+        QoiSpec::relative("PT", species_product(3, 4), 1e-10, &ds).unwrap(),
+        QoiSpec::relative("rho2", QoiExpr::var(5).pow(2), 1e-10, &ds).unwrap(),
+    ];
+    let mut overlap_saved = 0u64;
+    let mut retrieve = |scalar_kernels: bool, workers: usize, overlap: bool| -> f64 {
+        if scalar_kernels {
+            std::env::set_var("PQR_SCALAR_KERNELS", "1");
+        } else {
+            std::env::remove_var("PQR_SCALAR_KERNELS");
+        }
+        let ms = best_ms(|| {
+            let src = FileSource::open(&path).expect("open archive");
+            let cfg = EngineConfig {
+                decode_workers: workers,
+                overlap_io: overlap,
+                ..Default::default()
+            };
+            let mut engine = RetrievalEngine::from_source(&src, cfg).expect("engine");
+            let report = engine.retrieve(&specs).expect("retrieve");
+            assert!(report.satisfied, "bench retrieval must certify");
+            overlap_saved = overlap_saved.max(engine.source_stats().overlap_saved_ms);
+            report.total_fetched
+        });
+        std::env::remove_var("PQR_SCALAR_KERNELS");
+        ms
+    };
+    let scalar_seq_ms = retrieve(true, 1, false); // the pre-acceleration path
+    let word_seq_ms = retrieve(false, 1, false); // kernel layer in isolation
+    let word_par_ms = retrieve(false, THREADS, true); // full stack
+    std::fs::remove_file(&path).ok();
+
+    // --- report ----------------------------------------------------------
+    let out_path =
+        std::env::var("PQR_BENCH_OUT").unwrap_or_else(|_| "BENCH_decode.json".to_string());
+    let json = format!(
+        "{{\n  \"schema\": \"pqr-bench-decode/1\",\n  \"scale\": {},\n  \
+         \"kernel_elements\": {n_kernel},\n  \"retrieve_elements_per_field\": {n},\n  \
+         \"fields\": 6,\n  \"threads\": {THREADS},\n  \"kernel\": {{\n{},\n{},\n{}\n  }},\n  \
+         \"end_to_end\": {{\n    \"scalar_seq_ms\": {:.1},\n    \"word_seq_ms\": {:.1},\n    \
+         \"word_par_ms\": {:.1},\n    \"speedup_word_seq\": {:.2},\n    \
+         \"speedup_word_par\": {:.2},\n    \"overlap_saved_ms\": {}\n  }}\n}}\n",
+        pqr_bench::scale(),
+        json_kernel("mgard_encode", mgard_encode),
+        json_kernel("mgard_decode", mgard_decode),
+        json_kernel("zfp_decode", zfp_decode),
+        scalar_seq_ms,
+        word_seq_ms,
+        word_par_ms,
+        scalar_seq_ms / word_seq_ms,
+        scalar_seq_ms / word_par_ms,
+        overlap_saved,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_decode.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -6,6 +6,12 @@
 //! bound within the same tolerance — while reading **no more** than the
 //! legacy total bytes, across the in-memory, file-backed and cached
 //! backends.
+//!
+//! The same cases also pin the parallel decode pipeline: executing the
+//! request with sequential decode and plain prefetch (`decode_workers: 1`,
+//! `overlap_io: false`) versus 8 decode workers with the overlapped
+//! prefetcher must produce byte-identical reconstructions, identical
+//! `PlanReport` bounds/certifications, and identical byte accounting.
 
 use pqr_core::prelude::*;
 use proptest::prelude::*;
@@ -120,6 +126,33 @@ proptest! {
         );
         let report = session.execute(&request).unwrap();
         let batched_bytes = session.total_fetched();
+
+        // parallel decode + overlapped I/O must be invisible in results:
+        // sequential/plain-prefetch vs 8 workers/overlapped, byte for byte
+        let run_parallel_arm = |decode_workers: usize, overlap_io: bool| {
+            let mut archive = open_backend(&bytes, &path, backend);
+            archive.set_engine_config(EngineConfig {
+                decode_workers,
+                overlap_io,
+                ..Default::default()
+            });
+            let mut s = archive.session().unwrap();
+            let r = s.execute(&request).unwrap();
+            let recons: Vec<Vec<f64>> = ["Vx", "Vy"]
+                .iter()
+                .map(|f| s.reconstruction(f).unwrap().to_vec())
+                .collect();
+            let bounds: Vec<u64> = r.field_bounds.iter().map(|b| b.to_bits()).collect();
+            let ests: Vec<u64> = r.targets.iter().map(|t| t.max_est_error.to_bits()).collect();
+            let sats: Vec<bool> = r.targets.iter().map(|t| t.satisfied).collect();
+            (recons, bounds, ests, sats, r.bytes_fetched, s.total_fetched())
+        };
+        let sequential = run_parallel_arm(1, false);
+        let parallel = run_parallel_arm(8, true);
+        prop_assert_eq!(
+            &sequential, &parallel,
+            "{}: parallel decode pipeline changed results", scheme.name()
+        );
 
         // legacy: every target as an independent request on its own
         // fresh session (the pre-plan workflow the plan API replaces)

@@ -38,7 +38,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::field::{Dataset, RefactoredDataset};
-use crate::fragstore::{FragmentId, FragmentSource, FragmentStage, Manifest};
+use crate::fragstore::{FragmentId, FragmentSource, FragmentStage, Manifest, SourceStats};
 use crate::refactored::FieldReader;
 use pqr_qoi::{BoundConfig, QoiExpr};
 use pqr_util::error::{PqrError, Result};
@@ -150,6 +150,21 @@ pub struct EngineConfig {
     /// it. Disable to force the legacy per-fragment fetch path — useful
     /// for I/O comparisons; the bytes moved are identical either way.
     pub batch_io: bool,
+    /// Worker threads for per-field decode during plan execution. Fields
+    /// are independent, so each round's cursor advancement fans out through
+    /// `pqr_util::par::par_dynamic`-style dispatch. `0` (the default)
+    /// resolves to [`pqr_util::par::worker_count`] (the `PQR_THREADS`
+    /// knob); `1` runs the exact sequential field order, bit-identical to
+    /// the pre-parallel executor.
+    pub decode_workers: usize,
+    /// Overlap fragment I/O with decode: a scoped prefetcher thread issues
+    /// the round's [`FragmentSource::read_many`] in chunks while the
+    /// readers decode payloads that have already landed. Reconstructions,
+    /// bounds and byte accounting are identical either way; only backend
+    /// read-op tallies differ (a chunked round is several smaller batches).
+    /// Disable when the caller already parallelises at a coarser
+    /// granularity (e.g. the per-block transfer pipeline).
+    pub overlap_io: bool,
 }
 
 impl Default for EngineConfig {
@@ -161,7 +176,27 @@ impl Default for EngineConfig {
             bound_config: BoundConfig::default(),
             parallel_scan: true,
             batch_io: true,
+            decode_workers: 0,
+            overlap_io: true,
         }
+    }
+}
+
+/// Rounds below this many scheduled fragments skip the overlapped
+/// prefetcher: spawning a thread costs more than the I/O it would hide.
+const OVERLAP_MIN_FRAGMENTS: usize = 8;
+/// Chunks an overlapped round's schedule is split into — the prefetch
+/// pipeline depth (first chunk decodes while the second is in flight).
+const OVERLAP_CHUNKS: usize = 4;
+
+/// Clears the stage's promise set when the prefetcher exits — on success,
+/// failure or panic — so no decode worker can wait on a payload that will
+/// never arrive.
+struct RoundGuard<'a>(&'a FragmentStage);
+
+impl Drop for RoundGuard<'_> {
+    fn drop(&mut self) {
+        self.0.end_round();
     }
 }
 
@@ -389,14 +424,10 @@ impl<'a> RetrievalEngine<'a> {
     }
 
     /// The engine's readers, in field order (crate-internal: the plan
-    /// executor refines through these).
+    /// executor plans and reports through these; consumption goes through
+    /// [`RetrievalEngine::refine_round`]).
     pub(crate) fn readers(&self) -> &[FieldReader<'a>] {
         &self.readers
-    }
-
-    /// Mutable reader access for the plan executor's consume path.
-    pub(crate) fn readers_mut(&mut self) -> &mut [FieldReader<'a>] {
-        &mut self.readers
     }
 
     /// The engine configuration (crate-internal).
@@ -427,6 +458,118 @@ impl<'a> RetrievalEngine<'a> {
             self.stage.put(id, payload);
         }
         Ok(())
+    }
+
+    /// The effective per-field decode worker count.
+    fn decode_workers(&self) -> usize {
+        match self.cfg.decode_workers {
+            0 => pqr_util::par::worker_count(),
+            n => n,
+        }
+    }
+
+    /// Executes one refinement round: stages `schedule` (batched, and
+    /// overlapped with decode when [`EngineConfig::overlap_io`] allows),
+    /// then refines every field with a finite requested bound — in
+    /// parallel across fields, since their cursors are independent.
+    ///
+    /// With `decode_workers = 1` and overlap off this is exactly the
+    /// legacy prefetch-then-refine sequence; the parallel/overlapped
+    /// variants produce bit-identical reconstructions and byte accounting
+    /// (asserted by `prop_plan_equivalence` and the engine tests below).
+    pub(crate) fn refine_round(
+        &mut self,
+        requested: &[f64],
+        schedule: Option<&[FragmentId]>,
+    ) -> Result<()> {
+        let workers = self.decode_workers();
+        match schedule {
+            Some(ids) if self.cfg.overlap_io && ids.len() >= OVERLAP_MIN_FRAGMENTS => {
+                let source = self.source;
+                let stage = Arc::clone(&self.stage);
+                let chunk = ids.len().div_ceil(OVERLAP_CHUNKS).max(1);
+                let (io_before, wait_before) = (stage.io_nanos(), stage.wait_nanos());
+                stage.begin_round(ids);
+                let decoded = std::thread::scope(|s| {
+                    let io = s.spawn({
+                        let stage = Arc::clone(&stage);
+                        move || -> Result<()> {
+                            let _guard = RoundGuard(&stage);
+                            let t0 = std::time::Instant::now();
+                            for chunk_ids in ids.chunks(chunk) {
+                                let payloads = source.read_many(chunk_ids)?;
+                                for (&id, payload) in chunk_ids.iter().zip(payloads) {
+                                    stage.put(id, payload);
+                                }
+                            }
+                            stage.add_io_nanos(t0.elapsed().as_nanos() as u64);
+                            Ok(())
+                        }
+                    });
+                    let decoded = self.refine_fields(requested, workers);
+                    // decode's verdict wins: it fell back to direct fetches
+                    // for anything the prefetcher failed to deliver, so a
+                    // prefetch error with a clean decode is only lost overlap
+                    let _ = io.join().expect("prefetcher panicked");
+                    decoded
+                });
+                // credit this round's hidden I/O (clamped per round, so a
+                // stall-heavy round cannot erase another round's saving)
+                let io = stage.io_nanos() - io_before;
+                let wait = stage.wait_nanos() - wait_before;
+                stage.add_saved_nanos(io.saturating_sub(wait));
+                decoded
+            }
+            Some(ids) => {
+                // mirror the overlapped arm's error contract: a failed
+                // batch degrades to the readers' per-fragment fallback
+                // fetches, and decode's verdict decides the round
+                let _ = self.prefetch(ids);
+                self.refine_fields(requested, workers)
+            }
+            None => self.refine_fields(requested, workers),
+        }
+    }
+
+    /// Refines every field with a finite requested bound, fanning the
+    /// independent per-field cursors across `workers` threads.
+    ///
+    /// A failing field stops further work: sequentially that is the legacy
+    /// short-circuit exactly; in parallel, in-flight fields finish but no
+    /// new field starts once a failure is flagged, and the first error in
+    /// field order is returned.
+    fn refine_fields(&mut self, requested: &[f64], workers: usize) -> Result<()> {
+        if workers <= 1 {
+            for (j, reader) in self.readers.iter_mut().enumerate() {
+                if requested.get(j).is_some_and(|eb| eb.is_finite()) {
+                    reader.refine_to(requested[j])?;
+                }
+            }
+            return Ok(());
+        }
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let results = pqr_util::par::par_dynamic_mut(&mut self.readers, workers, |j, reader| {
+            if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                return Ok(()); // another field already failed: stop fetching
+            }
+            match requested.get(j) {
+                Some(&eb) if eb.is_finite() => reader
+                    .refine_to(eb)
+                    .map(|_| ())
+                    .inspect_err(|_| failed.store(true, std::sync::atomic::Ordering::Relaxed)),
+                _ => Ok(()),
+            }
+        });
+        results.into_iter().collect()
+    }
+
+    /// Cumulative fetch tallies of the engine's source, with the
+    /// executor-side [`SourceStats::overlap_saved_ms`] counter overlaid
+    /// (raw sources always report zero there).
+    pub fn source_stats(&self) -> SourceStats {
+        let mut s = self.source.stats();
+        s.overlap_saved_ms = self.stage.overlap_saved_ms();
+        s
     }
 
     /// Max estimated error and its location for each QoI, under the current
@@ -885,6 +1028,109 @@ mod tests {
         // non-positive tolerance
         let bad2 = QoiSpec::absolute("bad2", QoiExpr::var(0), 0.0);
         assert!(engine.retrieve(&[bad2]).is_err());
+    }
+
+    #[test]
+    fn parallel_decode_is_bit_identical_to_sequential() {
+        // decode_workers = 1 is the legacy sequential field order; more
+        // workers must produce byte-identical reconstructions, bounds and
+        // byte accounting — fields are independent decode units
+        let ds = velocity_dataset(3000, false);
+        for scheme in [Scheme::PmgardHb, Scheme::Pzfp, Scheme::Psz3Delta] {
+            let archive = ds
+                .refactor_with_bounds(scheme, &(1..=8).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
+                .unwrap();
+            let run = |decode_workers: usize| {
+                let cfg = EngineConfig {
+                    decode_workers,
+                    ..Default::default()
+                };
+                let mut engine = RetrievalEngine::new(&archive, cfg).unwrap();
+                let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-5, &ds).unwrap();
+                let r = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
+                let recons: Vec<Vec<f64>> =
+                    (0..3).map(|i| engine.reconstruction(i).to_vec()).collect();
+                let bounds: Vec<u64> = (0..3).map(|i| engine.field_bound(i).to_bits()).collect();
+                (
+                    r.total_fetched,
+                    r.max_est_errors[0].to_bits(),
+                    recons,
+                    bounds,
+                )
+            };
+            let seq = run(1);
+            for workers in [2, 8] {
+                assert_eq!(seq, run(workers), "{} workers={workers}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_io_is_bit_identical_to_plain_prefetch() {
+        // the double-buffered prefetcher changes only *when* payloads land,
+        // never what is decoded: reconstructions, bounds, bytes and
+        // fragment counts must match the single-batch path exactly
+        let ds = velocity_dataset(4000, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let bytes = {
+            let mut a = archive.clone();
+            a.set_mask(ds.zero_mask(&[0, 1, 2])).unwrap();
+            a.to_bytes()
+        };
+        let run = |overlap_io: bool| {
+            let src = crate::fragstore::InMemorySource::new(bytes.clone()).unwrap();
+            let cfg = EngineConfig {
+                overlap_io,
+                ..Default::default()
+            };
+            let mut engine = RetrievalEngine::from_source(&src, cfg).unwrap();
+            let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-6, &ds).unwrap();
+            let r = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
+            let stats = engine.source_stats();
+            (
+                r.total_fetched,
+                r.max_est_errors[0].to_bits(),
+                (0..3)
+                    .map(|i| engine.reconstruction(i).to_vec())
+                    .collect::<Vec<_>>(),
+                stats.fetches,
+                stats.fetched_bytes,
+            )
+        };
+        let (tf_a, est_a, rec_a, frags_a, bytes_a) = run(true);
+        let (tf_b, est_b, rec_b, frags_b, bytes_b) = run(false);
+        assert_eq!(tf_a, tf_b);
+        assert_eq!(est_a, est_b);
+        assert_eq!(rec_a, rec_b);
+        assert_eq!(
+            frags_a, frags_b,
+            "every fragment still fetched exactly once"
+        );
+        assert_eq!(bytes_a, bytes_b);
+    }
+
+    #[test]
+    fn stage_promise_protocol_unblocks_on_round_end() {
+        // a waiter blocked on a promised fragment must fall back (None)
+        // once the round ends, and receive the payload if it arrives first
+        let stage = FragmentStage::new();
+        let id = FragmentId { field: 0, index: 3 };
+        assert_eq!(stage.take_or_wait(id), None, "unpromised: no blocking");
+        std::thread::scope(|s| {
+            stage.begin_round(&[id]);
+            let waiter = s.spawn(|| stage.take_or_wait(id));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            stage.put(id, Arc::new(vec![7u8; 3]));
+            assert_eq!(waiter.join().unwrap().unwrap().as_slice(), &[7u8; 3]);
+
+            let id2 = FragmentId { field: 1, index: 0 };
+            stage.begin_round(&[id2]);
+            let stage_ref = &stage;
+            let waiter = s.spawn(move || stage_ref.take_or_wait(id2));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            stage.end_round(); // prefetcher aborts: waiter must not hang
+            assert_eq!(waiter.join().unwrap(), None);
+        });
     }
 
     #[test]

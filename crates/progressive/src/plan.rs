@@ -258,6 +258,11 @@ pub struct PlanReport {
     pub read_ops: u64,
     /// Fragments served during execution (same source delta).
     pub fragments_read: u64,
+    /// Milliseconds of fragment I/O the overlapped prefetcher hid behind
+    /// concurrent decode during this execution (see
+    /// [`SourceStats::overlap_saved_ms`]). Zero when overlap was off, the
+    /// rounds were too small to overlap, or the source is resident.
+    pub overlap_saved_ms: u64,
 }
 
 impl PlanReport {
@@ -302,7 +307,7 @@ impl<'e, 'a> PlanExecutor<'e, 'a> {
         let fetched_before = engine.total_fetched();
         let per_field_before: Vec<usize> =
             engine.readers().iter().map(|r| r.total_fetched()).collect();
-        let stats_before = engine.source().stats();
+        let stats_before = engine.source_stats();
 
         // the plan's Algorithm-3 bounds, re-clamped in case the engine
         // advanced between resolve and execute
@@ -317,26 +322,28 @@ impl<'e, 'a> PlanExecutor<'e, 'a> {
         let mut budget_exhausted = false;
         let (satisfied, field_bounds) = loop {
             iterations += 1;
-            // batch the round's fragment schedule through read_many before
-            // any reader consumes (coalesced on files, one round-trip on
-            // remote stores); the per-fragment path stays available as the
-            // fallback and as the `batch_io: false` comparison arm
+            // batch the round's fragment schedule through read_many —
+            // overlapping the chunked I/O with decode and fanning the
+            // independent per-field cursors across decode workers (see
+            // `RetrievalEngine::refine_round`); the per-fragment path stays
+            // available as the fallback and the `batch_io: false` arm.
+            // Alg. 2 line 10 (progressive_construct each involved field)
+            // happens inside the round.
             if engine.config().batch_io {
                 // round 1 reuses the schedule resolve() already computed,
                 // unless the engine advanced in between (then some of that
                 // schedule may already be consumed and must be re-planned)
-                if iterations == 1 && fetched_before == plan.resolved_at_fetched {
-                    engine.prefetch(&plan.schedule)?;
-                } else {
-                    let (ids, _) = round_schedule(engine, &requested)?;
-                    engine.prefetch(&ids)?;
-                }
-            }
-            // Alg. 2 line 10: progressive_construct each involved field.
-            for (j, &eb) in requested.iter().enumerate() {
-                if eb.is_finite() {
-                    engine.readers_mut()[j].refine_to(eb)?;
-                }
+                let replanned;
+                let ids: &[FragmentId] =
+                    if iterations == 1 && fetched_before == plan.resolved_at_fetched {
+                        &plan.schedule
+                    } else {
+                        replanned = round_schedule(engine, &requested)?.0;
+                        &replanned
+                    };
+                engine.refine_round(&requested, Some(ids))?;
+            } else {
+                engine.refine_round(&requested, None)?;
             }
             // Alg. 2 lines 13–24: estimate QoI errors everywhere.
             let achieved: Vec<f64> = engine
@@ -416,7 +423,7 @@ impl<'e, 'a> PlanExecutor<'e, 'a> {
             .collect();
         let attributed: usize = targets.iter().map(|t| t.bytes).sum();
         let actual_payload: usize = per_field_delta.iter().sum();
-        let stats_after = engine.source().stats();
+        let stats_after = engine.source_stats();
         let elements = engine.manifest().num_elements() * engine.manifest().num_fields();
         Ok(PlanReport {
             satisfied,
@@ -429,6 +436,7 @@ impl<'e, 'a> PlanExecutor<'e, 'a> {
             budget_exhausted,
             read_ops: delta(stats_after, stats_before, |s| s.read_ops),
             fragments_read: delta(stats_after, stats_before, |s| s.fetches),
+            overlap_saved_ms: delta(stats_after, stats_before, |s| s.overlap_saved_ms),
             targets,
         })
     }

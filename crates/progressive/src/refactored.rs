@@ -554,15 +554,18 @@ impl<'a> FieldReader<'a> {
     }
 
     /// Fetches payload fragment `index` of this field, accounting its bytes.
-    /// Staged (batch-prefetched) payloads are consumed first; anything not
-    /// staged falls back to a per-fragment source fetch, so the consume
-    /// path is correct whether or not a plan prefetched.
+    /// Staged (batch-prefetched) payloads are consumed first — blocking
+    /// briefly when an overlapped prefetch round has promised the fragment
+    /// but not yet delivered it; anything neither staged nor promised falls
+    /// back to a per-fragment source fetch, so the consume path is correct
+    /// whether or not a plan prefetched (and degrades cleanly if a
+    /// prefetcher fails mid-round).
     fn fetch(&mut self, index: u32) -> Result<Arc<Vec<u8>>> {
         let id = FragmentId {
             field: self.field,
             index,
         };
-        let payload = match self.stage.as_ref().and_then(|s| s.take(id)) {
+        let payload = match self.stage.as_ref().and_then(|s| s.take_or_wait(id)) {
             Some(staged) => staged,
             None => self.source.fetch(id)?,
         };

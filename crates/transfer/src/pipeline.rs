@@ -33,9 +33,12 @@ impl Default for PipelineConfig {
             workers: 96,
             network: NetworkModel::globus_mcc_to_anvil(),
             engine: EngineConfig {
-                // blocks are the parallel unit — nested scan threads would
+                // blocks are the parallel unit — nested scan/decode threads
+                // (or a per-round prefetcher thread per block) would
                 // oversubscribe and distort per-block timings
                 parallel_scan: false,
+                decode_workers: 1,
+                overlap_io: false,
                 ..EngineConfig::default()
             },
         }

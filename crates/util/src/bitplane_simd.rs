@@ -1,0 +1,193 @@
+//! Word-parallel bitplane primitives: bit-matrix transpose and packed-word
+//! bit windows.
+//!
+//! The bitplane coders (`pqr-mgard`'s per-level planes, `pqr-zfp`'s
+//! negabinary planes) conceptually manipulate an `N × planes` bit matrix:
+//! refactoring slices it plane-major (one row per bitplane), decoding
+//! accumulates it back coefficient-major. The scalar reference walks that
+//! matrix one bit at a time; the kernels here move 64 bits per word op:
+//!
+//! * [`transpose64`] converts between the two orientations for a 64×64
+//!   tile (~6 shift/mask rounds instead of 4096 bit extracts), which is the
+//!   workhorse of the word-parallel `encode_level`/`LevelDecoder` pair and
+//!   of the ZFP digit regrouping.
+//! * [`extract_bits`]/[`deposit_bits`] move short unaligned windows in and
+//!   out of packed LSB-first word buffers (ZFP block rows are 4/16/64 bits
+//!   wide and rarely word-aligned).
+//!
+//! Bit layout convention shared by every consumer: logical bit `i` of a
+//! packed sequence lives at `words[i / 64] >> (i % 64) & 1` (LSB-first
+//! within a word). [`crate::rle`]'s word codecs translate between this
+//! layout and the MSB-first wire format, so streams stay byte-identical to
+//! the scalar coders.
+
+/// Transposes a 64×64 bit matrix in place: after the call,
+/// `a[r] >> c & 1` equals the former `a[c] >> r & 1`.
+///
+/// Recursive block-swap (Hacker's Delight 7-3) adapted to LSB-first column
+/// labeling: each round swaps the off-diagonal blocks of every 2j×2j tile.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Extracts `n ≤ 64` bits starting at logical bit `pos` from an LSB-first
+/// packed word slice, returning them in the low bits of the result. Bits
+/// past the end of `words` read as zero.
+#[inline]
+pub fn extract_bits(words: &[u64], pos: usize, n: usize) -> u64 {
+    debug_assert!(n <= 64);
+    if n == 0 {
+        return 0;
+    }
+    let w = pos / 64;
+    let off = pos % 64;
+    let lo = words.get(w).copied().unwrap_or(0) >> off;
+    let v = if off != 0 && off + n > 64 {
+        lo | (words.get(w + 1).copied().unwrap_or(0) << (64 - off))
+    } else {
+        lo
+    };
+    if n == 64 {
+        v
+    } else {
+        v & ((1u64 << n) - 1)
+    }
+}
+
+/// ORs the low `n ≤ 64` bits of `v` into an LSB-first packed word slice at
+/// logical bit `pos`. The destination window must currently be zero (the
+/// call ORs, it does not clear) and must lie within `words`.
+#[inline]
+pub fn deposit_bits(words: &mut [u64], pos: usize, v: u64, n: usize) {
+    debug_assert!(n <= 64);
+    if n == 0 {
+        return;
+    }
+    let v = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+    let w = pos / 64;
+    let off = pos % 64;
+    words[w] |= v << off;
+    if off != 0 && off + n > 64 {
+        words[w + 1] |= v >> (64 - off);
+    }
+}
+
+/// Packs bools into the LSB-first word layout (interop/test helper).
+pub fn pack_bits(bits: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; bits.len().div_ceil(64)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Unpacks `n` bits of the LSB-first word layout into bools.
+pub fn unpack_bits(words: &[u64], n: usize) -> Vec<bool> {
+    (0..n)
+        .map(|i| (words[i / 64] >> (i % 64)) & 1 == 1)
+        .collect()
+}
+
+/// True when the `PQR_SCALAR_KERNELS` env var requests the scalar
+/// reference bitplane paths instead of the word-parallel kernels.
+///
+/// Read on every call (not cached): callers consult it at stream/decoder
+/// construction time only, and harnesses flip it between measurement arms.
+/// The decoded values and encoded streams are byte-identical either way —
+/// this knob exists for benchmarking and for cross-checking the kernels in
+/// CI, not for correctness.
+pub fn scalar_kernels() -> bool {
+    std::env::var("PQR_SCALAR_KERNELS").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_words(n: usize, mut s: u64) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (r, c) indexing mirrors the matrix statement
+    fn transpose64_is_exact_bit_transpose() {
+        let src = rng_words(64, 0xdead_beef);
+        let mut a: [u64; 64] = src.clone().try_into().unwrap();
+        transpose64(&mut a);
+        for r in 0..64 {
+            for c in 0..64 {
+                assert_eq!((a[r] >> c) & 1, (src[c] >> r) & 1, "mismatch at ({r}, {c})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose64_is_an_involution() {
+        let src = rng_words(64, 0x1357_9bdf);
+        let mut a: [u64; 64] = src.clone().try_into().unwrap();
+        transpose64(&mut a);
+        transpose64(&mut a);
+        assert_eq!(a.to_vec(), src);
+    }
+
+    #[test]
+    fn extract_deposit_roundtrip_unaligned() {
+        let mut s = 0x0f0f_1234u64;
+        for _ in 0..200 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let pos = (s % 300) as usize;
+            let n = 1 + (s >> 32) as usize % 64;
+            let v = s.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut words = vec![0u64; 6];
+            deposit_bits(&mut words, pos, v, n);
+            let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            assert_eq!(extract_bits(&words, pos, n), masked, "pos={pos} n={n}");
+            // nothing outside the window was touched
+            let mut total = 0u32;
+            for w in &words {
+                total += w.count_ones();
+            }
+            assert_eq!(total, masked.count_ones());
+        }
+    }
+
+    #[test]
+    fn extract_bits_past_end_reads_zero() {
+        let words = vec![u64::MAX];
+        assert_eq!(extract_bits(&words, 60, 4), 0xf);
+        assert_eq!(extract_bits(&words, 60, 8), 0xf); // tail beyond slice = 0
+        assert_eq!(extract_bits(&words, 128, 16), 0);
+        assert_eq!(extract_bits(&words, 0, 0), 0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let bits: Vec<bool> = (0..257).map(|i| (i * 7) % 3 == 0).collect();
+        let words = pack_bits(&bits);
+        assert_eq!(words.len(), 5);
+        assert_eq!(unpack_bits(&words, bits.len()), bits);
+    }
+}

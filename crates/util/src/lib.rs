@@ -5,6 +5,8 @@
 //!
 //! * [`bitio`] — MSB-first bit-level reader/writer used by the bitplane and
 //!   Huffman coders.
+//! * [`bitplane_simd`] — word-parallel bitplane primitives (64×64 bit-matrix
+//!   transpose, packed-word bit windows) behind the fast coder paths.
 //! * [`byteio`] — little-endian byte cursors for segment (de)serialisation.
 //! * [`cache`] — byte-budgeted LRU cache shared by the fragment-storage
 //!   backends (hit/miss accounting for the transfer experiments).
@@ -19,6 +21,7 @@
 //! * [`error`] — the shared error type.
 
 pub mod bitio;
+pub mod bitplane_simd;
 pub mod byteio;
 pub mod cache;
 pub mod error;

@@ -8,19 +8,28 @@
 //! workers only borrow — no `Arc`, no data races (if it compiles, it's safe).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Number of worker threads to use: `PQR_THREADS` env override, else the
 /// available parallelism, else 1.
+///
+/// Resolved once and cached — this sits on the plan executor's per-round
+/// dispatch path, and `std::env::var` takes a process-global lock on every
+/// call. Changing `PQR_THREADS` after the first call has no effect; code
+/// that needs a per-call worker count (tests, benches) should thread an
+/// explicit count instead (e.g. `EngineConfig::decode_workers`).
 pub fn worker_count() -> usize {
-    if let Ok(s) = std::env::var("PQR_THREADS") {
-        if let Ok(n) = s.parse::<usize>() {
-            return n.max(1);
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        if let Ok(s) = std::env::var("PQR_THREADS") {
+            if let Ok(n) = s.parse::<usize>() {
+                return n.max(1);
+            }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Minimum element count below which parallel dispatch is not worth the
@@ -156,6 +165,63 @@ where
     pairs.into_iter().map(|(_, v)| v).collect()
 }
 
+/// Runs `work(i, &mut items[i])` for every item on `workers` threads with
+/// dynamic load balancing; results come back indexed by `i`.
+///
+/// The mutable-element sibling of [`par_dynamic`], for fan-out over
+/// independently owned stateful units (the plan executor advances one
+/// decode cursor per field this way). With `workers <= 1` the items are
+/// processed sequentially in index order — callers relying on
+/// `PQR_THREADS=1` determinism get exactly the serial loop.
+pub fn par_dynamic_mut<T, R, F>(items: &mut [T], workers: usize, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| work(i, t))
+            .collect();
+    }
+    let len = items.len();
+    // one uncontended Mutex per element hands each worker exclusive &mut
+    // access without unsafe slice partitioning
+    let slots: Vec<Mutex<Option<&mut T>>> = items.iter_mut().map(|t| Mutex::new(Some(t))).collect();
+    let dispenser = IndexDispenser::new(len);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let dispenser = &dispenser;
+            let slots = &slots;
+            let collected = &collected;
+            let work = &work;
+            s.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                while let Some(i) = dispenser.claim() {
+                    let item = slots[i]
+                        .lock()
+                        .expect("slot poisoned")
+                        .take()
+                        .expect("each index claimed once");
+                    local.push((i, work(i, item)));
+                }
+                collected
+                    .lock()
+                    .expect("collector poisoned")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("collector poisoned");
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), len);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +290,39 @@ mod tests {
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, i * i);
         }
+    }
+
+    #[test]
+    fn par_dynamic_mut_mutates_every_item_once() {
+        let mut items: Vec<u64> = (0..500).collect();
+        let out = par_dynamic_mut(&mut items, 8, |i, v| {
+            *v += 1;
+            *v * i as u64
+        });
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(v, i as u64 + 1);
+            assert_eq!(out[i], v * i as u64);
+        }
+    }
+
+    #[test]
+    fn par_dynamic_mut_single_worker_matches_parallel() {
+        let run = |workers| {
+            let mut items: Vec<u64> = (0..200).map(|i| i * 3).collect();
+            let out = par_dynamic_mut(&mut items, workers, |i, v| {
+                *v = v.wrapping_mul(0x9e3779b97f4a7c15) ^ i as u64;
+                *v
+            });
+            (items, out)
+        };
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn par_dynamic_mut_empty() {
+        let mut items: Vec<u8> = Vec::new();
+        let out: Vec<()> = par_dynamic_mut(&mut items, 4, |_, _| ());
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -248,6 +248,182 @@ pub fn decode_bits_auto(bytes: &[u8], n: usize) -> Result<Vec<bool>> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Word-parallel bit codecs
+//
+// Same wire formats as `encode_bits_auto`/`decode_bits_auto`, but operating
+// on the LSB-first packed-word layout of `crate::bitplane_simd` instead of
+// `Vec<bool>`: runs are counted 64 bits per `trailing_zeros`, raw planes
+// move byte-at-a-time through `reverse_bits`, and RLE runs fill whole words.
+// Byte-identical streams and identical error behaviour are asserted by the
+// property tests below — these are the fast paths of the bitplane coders,
+// not a new format.
+// ---------------------------------------------------------------------------
+
+/// Calls `f(value, run_length)` for each maximal bit run of the `n`-bit
+/// packed sequence, in order; `f` returns `false` to stop early.
+fn for_each_word_run(words: &[u64], n: usize, mut f: impl FnMut(bool, u64) -> bool) {
+    if n == 0 {
+        return;
+    }
+    let mut val = words[0] & 1 == 1;
+    let mut run = 0u64;
+    let mut pos = 0usize;
+    while pos < n {
+        let off = pos % 64;
+        let avail = (64 - off).min(n - pos);
+        // z bit t is 0 exactly when logical bit pos+t equals `val`
+        let w = words[pos / 64] >> off;
+        let z = if val { !w } else { w };
+        let same = (z.trailing_zeros() as usize).min(avail);
+        run += same as u64;
+        pos += same;
+        if same < avail {
+            if !f(val, run) {
+                return;
+            }
+            val = !val;
+            run = 0;
+        }
+    }
+    f(val, run);
+}
+
+/// Sets bits `[pos, pos + len)` of an LSB-first packed word slice.
+fn fill_ones(words: &mut [u64], pos: usize, len: usize) {
+    let mut w = pos / 64;
+    let mut off = pos % 64;
+    let mut left = len;
+    while left > 0 {
+        let take = (64 - off).min(left);
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << take) - 1) << off
+        };
+        words[w] |= mask;
+        left -= take;
+        w += 1;
+        off = 0;
+    }
+}
+
+/// [`encode_bits_auto`] over the packed-word layout: byte-identical output
+/// for the sequence whose logical bit `i` is `words[i / 64] >> (i % 64) & 1`.
+/// Bits of `words` beyond `n` are ignored.
+pub fn encode_bits_auto_words(words: &[u64], n: usize) -> Vec<u8> {
+    debug_assert!(words.len() >= n.div_ceil(64));
+    let raw_len = n.div_ceil(8);
+    let rle_smaller = if n == 0 {
+        false
+    } else {
+        // exact RLE size (1 bit for the initial value + Σ gamma(run)), with
+        // the same already-worse-than-raw early exit as the scalar coder
+        let mut rle_bits = 1u64;
+        let mut over = false;
+        for_each_word_run(words, n, |_, run| {
+            rle_bits += gamma_bits(run.max(1));
+            if rle_bits > 8 * raw_len as u64 {
+                over = true;
+            }
+            !over
+        });
+        !over && rle_bits.div_ceil(8) < raw_len as u64
+    };
+    if rle_smaller {
+        let mut w = BitWriter::with_capacity_bits(n / 4 + 64);
+        w.put_bit(words[0] & 1 == 1);
+        for_each_word_run(words, n, |_, run| {
+            put_gamma(&mut w, run);
+            true
+        });
+        let rle = w.finish();
+        let mut out = Vec::with_capacity(rle.len() + 1);
+        out.push(MODE_RLE);
+        out.extend_from_slice(&rle);
+        out
+    } else {
+        // MSB-first raw packing: logical bits 8k..8k+8 sit byte-aligned in
+        // the LSB-first words, so each output byte is one reverse_bits
+        let mut out = Vec::with_capacity(raw_len + 1);
+        out.push(MODE_RAW);
+        for k in 0..raw_len {
+            let chunk = (words[k / 8] >> ((k % 8) * 8)) as u8;
+            let rem = n - 8 * k;
+            let masked = if rem >= 8 {
+                chunk
+            } else {
+                chunk & ((1u8 << rem) - 1)
+            };
+            out.push(masked.reverse_bits());
+        }
+        out
+    }
+}
+
+/// [`decode_bits_auto`] into the packed-word layout: identical acceptance
+/// and error behaviour, with bits beyond `n` in the last word left zero.
+pub fn decode_bits_auto_words(bytes: &[u8], n: usize) -> Result<Vec<u64>> {
+    if bytes.is_empty() {
+        return if n == 0 {
+            Ok(Vec::new())
+        } else {
+            Err(PqrError::CorruptStream("empty auto-bit stream".into()))
+        };
+    }
+    match bytes[0] {
+        MODE_RLE => decode_bits_words(&bytes[1..], n),
+        MODE_RAW => {
+            if (bytes.len() - 1) * 8 < n {
+                return Err(PqrError::CorruptStream("raw bit stream truncated".into()));
+            }
+            let mut words = vec![0u64; n.div_ceil(64)];
+            for (k, &b) in bytes[1..1 + n.div_ceil(8)].iter().enumerate() {
+                words[k / 8] |= u64::from(b.reverse_bits()) << ((k % 8) * 8);
+            }
+            mask_tail(&mut words, n);
+            Ok(words)
+        }
+        m => Err(PqrError::CorruptStream(format!("unknown bit mode {m}"))),
+    }
+}
+
+/// Zeroes the bits beyond `n` in the last word (hostile raw padding must
+/// not leak into word-level significance tracking).
+fn mask_tail(words: &mut [u64], n: usize) {
+    if !n.is_multiple_of(64) {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << (n % 64)) - 1;
+        }
+    }
+}
+
+/// [`decode_bits`] into the packed-word layout (same stream, same errors).
+fn decode_bits_words(bytes: &[u8], n: usize) -> Result<Vec<u64>> {
+    let mut words = vec![0u64; n.div_ceil(64)];
+    if n == 0 {
+        return Ok(words);
+    }
+    let mut r = BitReader::new(bytes);
+    let mut val = r.get_bit();
+    let mut pos = 0usize;
+    while pos < n {
+        if r.remaining_bits() == 0 {
+            return Err(PqrError::CorruptStream("bit-run stream truncated".into()));
+        }
+        let run = get_gamma(&mut r)?;
+        if run == 0 || run > (n - pos) as u64 {
+            return Err(PqrError::CorruptStream("bad bit-run length".into()));
+        }
+        if val {
+            fill_ones(&mut words, pos, run as usize);
+        }
+        pos += run as usize;
+        val = !val;
+    }
+    Ok(words)
+}
+
 fn put_gamma(w: &mut BitWriter, v: u64) {
     debug_assert!(v >= 1);
     let nbits = 64 - v.leading_zeros();
@@ -352,6 +528,124 @@ mod tests {
         let bits = vec![true; 100];
         let enc = encode_bits(&bits);
         assert!(decode_bits(&enc, 200).is_err());
+    }
+
+    /// Deterministic bit patterns spanning sparse, dense and run-heavy
+    /// shapes — the regimes where the auto codec picks different modes.
+    fn test_patterns() -> Vec<Vec<bool>> {
+        let mut out = vec![
+            Vec::new(),
+            vec![true],
+            vec![false],
+            vec![true; 64],
+            vec![false; 64],
+            vec![true; 1000],
+            (0..4096).map(|i| i % 2 == 0).collect(),
+            (0..777).map(|i| i % 97 == 0).collect(),
+            (0..513).map(|i| (i / 64) % 2 == 0).collect(),
+        ];
+        let mut s = 0x2468_ace0u64;
+        for density in [2u64, 5, 17, 63] {
+            out.push(
+                (0..2000)
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        s % 64 < density
+                    })
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn word_encode_is_byte_identical_to_scalar() {
+        for bits in test_patterns() {
+            let words = crate::bitplane_simd::pack_bits(&bits);
+            assert_eq!(
+                encode_bits_auto_words(&words, bits.len()),
+                encode_bits_auto(&bits),
+                "pattern len {}",
+                bits.len()
+            );
+        }
+    }
+
+    #[test]
+    fn word_encode_ignores_garbage_past_n() {
+        // callers may hand a buffer whose tail bits are stale; the stream
+        // must depend on the first n bits only
+        let bits: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let mut words = crate::bitplane_simd::pack_bits(&bits);
+        let clean = encode_bits_auto_words(&words, 100);
+        if let Some(w) = words.last_mut() {
+            *w |= !0u64 << 36; // poison bits 100.. of the last word
+        }
+        assert_eq!(encode_bits_auto_words(&words, 100), clean);
+    }
+
+    #[test]
+    fn word_decode_matches_scalar_on_valid_streams() {
+        for bits in test_patterns() {
+            let enc = encode_bits_auto(&bits);
+            let words = decode_bits_auto_words(&enc, bits.len()).unwrap();
+            assert_eq!(crate::bitplane_simd::unpack_bits(&words, bits.len()), bits);
+            // tail bits beyond n stay zero (significance tracking relies
+            // on it)
+            if bits.len() % 64 != 0 {
+                if let Some(last) = words.last() {
+                    assert_eq!(last >> (bits.len() % 64), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_decode_fails_exactly_when_scalar_does() {
+        // truncations, mode corruption and length lies must fail (or
+        // succeed) identically through both decoders
+        for bits in test_patterns() {
+            let enc = encode_bits_auto(&bits);
+            let n = bits.len();
+            let mut hostile: Vec<(Vec<u8>, usize)> = Vec::new();
+            for cut in [0usize, 1, enc.len() / 2, enc.len().saturating_sub(1)] {
+                hostile.push((enc[..cut.min(enc.len())].to_vec(), n));
+            }
+            hostile.push((enc.clone(), n + 1)); // claim one bit too many
+            hostile.push((enc.clone(), n * 2 + 64));
+            if !enc.is_empty() {
+                let mut bad = enc.clone();
+                bad[0] = 9; // unknown mode
+                hostile.push((bad, n));
+            }
+            for (bytes, want) in hostile {
+                let scalar = decode_bits_auto(&bytes, want);
+                let word = decode_bits_auto_words(&bytes, want);
+                assert_eq!(
+                    scalar.is_err(),
+                    word.is_err(),
+                    "divergence for len {} want {want}",
+                    bytes.len()
+                );
+                if let (Ok(s), Ok(w)) = (&scalar, &word) {
+                    assert_eq!(s, &crate::bitplane_simd::unpack_bits(w, want));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_raw_decode_masks_hostile_padding() {
+        // a raw stream's final-byte padding is attacker-controlled; the
+        // word decoder must not leak it past n
+        let bits: Vec<bool> = (0..9).map(|i| i % 2 == 0).collect(); // defeats RLE
+        let mut enc = encode_bits_auto(&bits);
+        assert_eq!(enc[0], MODE_RAW);
+        *enc.last_mut().unwrap() |= 0x7f; // set the padding
+        let words = decode_bits_auto_words(&enc, 9).unwrap();
+        assert_eq!(words[0], 0b1_0101_0101);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 use crate::block::BlockGrid;
 use crate::negabinary;
 use crate::transform::{self, recon_error_factor};
+use pqr_util::bitplane_simd::{deposit_bits, extract_bits, scalar_kernels, transpose64};
 use pqr_util::byteio::{ByteReader, ByteWriter};
 use pqr_util::error::{PqrError, Result};
 use pqr_util::rle;
@@ -169,22 +170,20 @@ impl ZfpRefactorer {
         let p_total = uncapped.min(MAX_TOTAL_PLANES);
         let capped = uncapped > MAX_TOTAL_PLANES;
 
-        // Pass 2: regroup digits into global absolute planes.
-        let mut planes = Vec::with_capacity(p_total as usize);
-        let mut bits: Vec<bool> = Vec::new();
-        for p in 0..p_total {
-            bits.clear();
-            let a_p = a_max - p as i32;
-            for (b, &e) in exponents.iter().enumerate() {
-                let Some(j) = digit_index(a_p, e, coeff_bits) else {
-                    continue;
-                };
-                for &w in &words[b * blen..(b + 1) * blen] {
-                    bits.push((w >> j) & 1 == 1);
-                }
-            }
-            planes.push(rle::encode_bits_auto(&bits));
-        }
+        // Pass 2: regroup digits into global absolute planes. Word-parallel
+        // by default; `PQR_SCALAR_KERNELS=1` pins the scalar reference the
+        // property tests compare against.
+        let geom = PlaneGeometry {
+            blen,
+            coeff_bits,
+            a_max,
+            p_total,
+        };
+        let planes = if scalar_kernels() {
+            encode_planes_scalar(&exponents, &words, &geom)
+        } else {
+            encode_planes_words(&exponents, &words, &geom)
+        };
 
         Ok(ZfpStream {
             dims: dims.to_vec(),
@@ -244,6 +243,132 @@ fn digit_index(a: i32, e: i32, coeff_bits: u32) -> Option<u32> {
     }
     let j = a - (e - Q);
     (0..coeff_bits as i32).contains(&j).then_some(j as u32)
+}
+
+/// The plane-ladder geometry shared by the plane encoders.
+struct PlaneGeometry {
+    /// Coefficients per block (`4^d`).
+    blen: usize,
+    /// Negabinary digits per coefficient.
+    coeff_bits: u32,
+    /// Absolute weight exponent of plane 0.
+    a_max: i32,
+    /// Stored plane count (post-cap).
+    p_total: u32,
+}
+
+/// The scalar reference plane regrouping: one coefficient bit per step.
+/// Kept callable so tests and benches can assert/measure the word-parallel
+/// path against it.
+fn encode_planes_scalar(exponents: &[i32], words: &[u64], geom: &PlaneGeometry) -> Vec<Vec<u8>> {
+    let blen = geom.blen;
+    let mut planes = Vec::with_capacity(geom.p_total as usize);
+    let mut bits: Vec<bool> = Vec::new();
+    for p in 0..geom.p_total {
+        bits.clear();
+        let a_p = geom.a_max - p as i32;
+        for (b, &e) in exponents.iter().enumerate() {
+            let Some(j) = digit_index(a_p, e, geom.coeff_bits) else {
+                continue;
+            };
+            for &w in &words[b * blen..(b + 1) * blen] {
+                bits.push((w >> j) & 1 == 1);
+            }
+        }
+        planes.push(rle::encode_bits_auto(&bits));
+    }
+    planes
+}
+
+/// Word-parallel plane regrouping, byte-identical to
+/// [`encode_planes_scalar`].
+///
+/// Runs block-major instead of plane-major: groups of `64 / blen`
+/// consecutive blocks share one [`transpose64`] tile that yields every
+/// digit row of every block in the group at once, and each row (the
+/// `blen`-bit slice a block contributes to one plane) is deposited at that
+/// plane's running bit cursor. A block's digits occupy a contiguous plane
+/// interval, so per-plane participant counts — and therefore the exact
+/// buffer sizes and deposit order — fall out of a histogram over those
+/// intervals without ever touching payload bits.
+fn encode_planes_words(exponents: &[i32], words: &[u64], geom: &PlaneGeometry) -> Vec<Vec<u8>> {
+    let blen = geom.blen;
+    let coeff_bits = geom.coeff_bits as usize;
+    let p_total = geom.p_total as usize;
+    // per-plane participant counts via the blocks' plane intervals
+    let mut diff = vec![0i64; p_total + 1];
+    for &e in exponents {
+        if e == EMPTY {
+            continue;
+        }
+        let hi = (geom.a_max - (e - Q)).min(p_total as i32 - 1);
+        let lo = (geom.a_max - (e - Q) - (geom.coeff_bits as i32 - 1)).max(0);
+        if lo <= hi {
+            diff[lo as usize] += 1;
+            diff[hi as usize + 1] -= 1;
+        }
+    }
+    let mut participants = vec![0usize; p_total];
+    let mut acc = 0i64;
+    for (p, slot) in participants.iter_mut().enumerate() {
+        acc += diff[p];
+        *slot = acc as usize;
+    }
+    let mut bufs: Vec<Vec<u64>> = participants
+        .iter()
+        .map(|&c| vec![0u64; (c * blen).div_ceil(64)])
+        .collect();
+    let mut cursors = vec![0usize; p_total];
+
+    let group = 64 / blen; // blen ∈ {4, 16, 64}
+    let row_mask = if blen == 64 {
+        u64::MAX
+    } else {
+        (1u64 << blen) - 1
+    };
+    let nblocks = exponents.len();
+    let mut tile = [0u64; 64];
+    let mut b0 = 0usize;
+    while b0 < nblocks {
+        let gend = (b0 + group).min(nblocks);
+        if exponents[b0..gend].iter().all(|&e| e == EMPTY) {
+            b0 = gend; // all-zero region: nothing participates
+            continue;
+        }
+        tile.fill(0);
+        for (g, b) in (b0..gend).enumerate() {
+            tile[g * blen..g * blen + blen].copy_from_slice(&words[b * blen..(b + 1) * blen]);
+        }
+        transpose64(&mut tile);
+        // tile[j] bit (g·blen + s) is digit j of block b0+g, coefficient s
+        for (g, b) in (b0..gend).enumerate() {
+            let e = exponents[b];
+            if e == EMPTY {
+                continue;
+            }
+            let base_p = geom.a_max - (e - Q); // digit j lands in plane base_p − j
+            for (j, &row_word) in tile.iter().enumerate().take(coeff_bits) {
+                let p = base_p - j as i32;
+                if p < 0 || p >= p_total as i32 {
+                    continue; // capped (or never-stored) plane
+                }
+                let p = p as usize;
+                deposit_bits(
+                    &mut bufs[p],
+                    cursors[p],
+                    (row_word >> (g * blen)) & row_mask,
+                    blen,
+                );
+                cursors[p] += blen;
+            }
+        }
+        b0 = gend;
+    }
+    participants
+        .iter()
+        .zip(&bufs)
+        .map(|(&c, buf)| rle::encode_bits_auto_words(buf, c * blen))
+        .collect()
 }
 
 /// Everything a decoder must hold *before* any plane payload arrives:
@@ -573,11 +698,26 @@ pub struct ZfpCursor {
     /// Accumulated negabinary digit words, `num_blocks × block_len`.
     words: Vec<u64>,
     planes_read: u32,
+    /// Pinned to the scalar reference decode path (see
+    /// [`ZfpCursor::new_scalar`]).
+    scalar: bool,
 }
 
 impl ZfpCursor {
-    /// Creates a cursor at zero consumed planes.
+    /// Creates a cursor at zero consumed planes, using the word-parallel
+    /// plane decode (scalar under `PQR_SCALAR_KERNELS=1`).
     pub fn new(meta: ZfpMeta) -> Self {
+        Self::with_mode(meta, scalar_kernels())
+    }
+
+    /// Creates a cursor pinned to the scalar reference decode path — the
+    /// oracle the word-parallel kernel is property-tested against. The
+    /// accumulated state and reconstructions are bit-identical either way.
+    pub fn new_scalar(meta: ZfpMeta) -> Self {
+        Self::with_mode(meta, true)
+    }
+
+    fn with_mode(meta: ZfpMeta, scalar: bool) -> Self {
         let grid = BlockGrid::new(&meta.dims);
         let words = vec![0u64; grid.num_blocks() * grid.block_len()];
         Self {
@@ -585,6 +725,7 @@ impl ZfpCursor {
             grid,
             words,
             planes_read: 0,
+            scalar,
         }
     }
 
@@ -626,12 +767,27 @@ impl ZfpCursor {
                 participants.push((b, j));
             }
         }
-        let bits = rle::decode_bits_auto(bytes, participants.len() * blen)?;
-        for (pi, &(b, j)) in participants.iter().enumerate() {
-            let base = b * blen;
-            for (s, &bit) in bits[pi * blen..(pi + 1) * blen].iter().enumerate() {
-                if bit {
+        if self.scalar {
+            let bits = rle::decode_bits_auto(bytes, participants.len() * blen)?;
+            for (pi, &(b, j)) in participants.iter().enumerate() {
+                let base = b * blen;
+                for (s, &bit) in bits[pi * blen..(pi + 1) * blen].iter().enumerate() {
+                    if bit {
+                        self.words[base + s] |= 1u64 << j;
+                    }
+                }
+            }
+        } else {
+            // word path: decode the plane into packed words, then scatter
+            // each block's row by set bit only (high planes are sparse)
+            let words = rle::decode_bits_auto_words(bytes, participants.len() * blen)?;
+            for (pi, &(b, j)) in participants.iter().enumerate() {
+                let mut row = extract_bits(&words, pi * blen, blen);
+                let base = b * blen;
+                while row != 0 {
+                    let s = row.trailing_zeros() as usize;
                     self.words[base + s] |= 1u64 << j;
+                    row &= row - 1;
                 }
             }
         }
@@ -863,6 +1019,133 @@ mod tests {
                 (x * 11.0).sin() * 2.5 + (x * 41.0).cos() * 0.3 - 1.7 * x
             })
             .collect()
+    }
+
+    /// Rebuilds a stream's planes through the scalar reference encoder.
+    fn scalar_planes(data: &[f64], dims: &[usize]) -> Vec<Vec<u8>> {
+        // re-run pass 1 to recover the intermediate words/exponents
+        let grid = BlockGrid::new(dims);
+        let (nd, blen) = (grid.ndims(), grid.block_len());
+        let coeff_bits =
+            negabinary::digits_for_magnitude_bits(Q as u32 + transform::growth_bits(nd));
+        let mut exponents = vec![EMPTY; grid.num_blocks()];
+        let mut words = vec![0u64; grid.num_blocks() * blen];
+        let mut fblk = vec![0.0f64; blen];
+        let mut iblk = vec![0i64; blen];
+        let (mut max_e, mut min_e) = (i32::MIN, i32::MAX);
+        for b in 0..grid.num_blocks() {
+            grid.gather(data, b, &mut fblk);
+            let m = fblk.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+            if m == 0.0 {
+                continue;
+            }
+            let e = alignment_exponent(m);
+            exponents[b] = e;
+            max_e = max_e.max(e);
+            min_e = min_e.min(e);
+            let scale = exp2(Q - e);
+            for (q, &x) in iblk.iter_mut().zip(fblk.iter()) {
+                *q = (x * scale).round() as i64;
+            }
+            transform::forward(&mut iblk, nd);
+            for (w, &c) in words[b * blen..].iter_mut().zip(iblk.iter()) {
+                *w = negabinary::encode(c);
+            }
+        }
+        let a_max = coeff_bits as i32 - 1 + max_e - Q;
+        let uncapped = coeff_bits + (max_e - min_e) as u32;
+        let geom = PlaneGeometry {
+            blen,
+            coeff_bits,
+            a_max,
+            p_total: uncapped.min(MAX_TOTAL_PLANES),
+        };
+        encode_planes_scalar(&exponents, &words, &geom)
+    }
+
+    #[test]
+    fn word_plane_encoder_is_byte_identical_to_scalar() {
+        // every block width (4, 16, 64), mixed scales, all-zero blocks, and
+        // ragged trailing blocks
+        for dims in [
+            vec![257usize],
+            vec![64],
+            vec![23, 17],
+            vec![40, 25],
+            vec![9, 10, 11],
+        ] {
+            let n: usize = dims.iter().product();
+            let mut data = field(n);
+            for v in data.iter_mut().skip(7).step_by(13) {
+                *v *= 1e-7; // spread block exponents
+            }
+            for v in data.iter_mut().take(n / 5) {
+                *v = 0.0; // all-zero blocks up front
+            }
+            let stream = ZfpRefactorer::new().refactor(&data, &dims).unwrap();
+            let scalar = scalar_planes(&data, &dims);
+            assert_eq!(stream.planes.len(), scalar.len(), "dims {dims:?}");
+            for (p, (w, s)) in stream.planes.iter().zip(&scalar).enumerate() {
+                assert_eq!(w, s, "dims {dims:?} plane {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_cursor_matches_scalar_cursor_bit_for_bit() {
+        for dims in [vec![300usize], vec![23, 17], vec![9, 10, 11]] {
+            let n: usize = dims.iter().product();
+            let data = field(n);
+            let stream = ZfpRefactorer::new().refactor(&data, &dims).unwrap();
+            let mut cw = ZfpCursor::new(stream.meta());
+            let mut cs = ZfpCursor::new_scalar(stream.meta());
+            assert!(!cs.fully_fetched() || stream.num_planes() == 0);
+            for (p, plane) in stream.plane_payloads().enumerate() {
+                cw.push_plane(plane).unwrap();
+                cs.push_plane(plane).unwrap();
+                if p % 7 == 0 || p + 1 == stream.num_planes() {
+                    assert_eq!(cw.words, cs.words, "dims {dims:?} plane {p}");
+                    assert_eq!(
+                        cw.reconstruct(),
+                        cs.reconstruct(),
+                        "dims {dims:?} plane {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_planes_fail_identically_through_both_cursors() {
+        let data = field(400);
+        let stream = ZfpRefactorer::new().refactor(&data, &[400]).unwrap();
+        let seg = stream.plane(5).unwrap();
+        let mut hostile: Vec<Vec<u8>> = Vec::new();
+        for cut in [0usize, 1, seg.len() / 2, seg.len().saturating_sub(1)] {
+            hostile.push(seg[..cut.min(seg.len())].to_vec());
+        }
+        let mut oversized = seg.to_vec();
+        oversized.extend_from_slice(&[0x55; 9]);
+        hostile.push(oversized);
+        let mut bad_mode = seg.to_vec();
+        bad_mode[0] = 0x44;
+        hostile.push(bad_mode);
+
+        for (i, bad) in hostile.iter().enumerate() {
+            let advance = |mut c: ZfpCursor| -> (Result<()>, Vec<u64>) {
+                for p in 0..5 {
+                    c.push_plane(stream.plane(p).unwrap()).unwrap();
+                }
+                let r = c.push_plane(bad);
+                (r, c.words)
+            };
+            let (rw, ww) = advance(ZfpCursor::new(stream.meta()));
+            let (rs, ws) = advance(ZfpCursor::new_scalar(stream.meta()));
+            assert_eq!(rw.is_err(), rs.is_err(), "case {i}: {rw:?} vs {rs:?}");
+            if rw.is_ok() {
+                assert_eq!(ww, ws, "case {i}");
+            }
+        }
     }
 
     #[test]

@@ -455,6 +455,12 @@ fn cmd_retrieve_multi(flags: &Flags<'_>, qoi_flags: &[&str]) -> Result<()> {
         file_size,
         100.0 * stats.fetched_bytes as f64 / file_size.max(1) as f64
     );
+    if report.overlap_saved_ms > 0 {
+        eprintln!(
+            "overlap: {} ms of fragment I/O hidden behind decode",
+            report.overlap_saved_ms
+        );
+    }
     if let Some(path) = flags.get("--save-progress") {
         fs::write(path, session.save_progress())
             .map_err(|e| PqrError::InvalidRequest(format!("cannot write '{path}': {e}")))?;

@@ -120,6 +120,58 @@ fn file_batched_execution_uses_strictly_fewer_read_ops_for_identical_bytes() {
 }
 
 #[test]
+fn decode_workers_and_overlap_do_not_change_results() {
+    // the decode parallelism / overlapped-prefetch matrix over a real
+    // file-backed archive: reconstructions, certified bounds and byte
+    // accounting must be identical in every cell (CI re-runs this whole
+    // file under PQR_THREADS=1 and =4, which covers the env-driven
+    // default worker count as well)
+    let path = save_archive("matrix");
+    let run = |decode_workers: usize, overlap_io: bool| {
+        let mut archive = Archive::open(&path).unwrap();
+        archive.set_engine_config(EngineConfig {
+            decode_workers,
+            overlap_io,
+            ..Default::default()
+        });
+        let mut session = archive.session().unwrap();
+        let mut request = RetrievalRequest::new();
+        for (name, tol) in TOLS {
+            request = request.qoi(name, tol);
+        }
+        let report = session.execute(&request).unwrap();
+        assert!(report.satisfied);
+        let stats = archive.source_stats();
+        (
+            session.reconstruction("Vx").unwrap().to_vec(),
+            session.reconstruction("Vy").unwrap().to_vec(),
+            report
+                .field_bounds
+                .iter()
+                .map(|b| b.to_bits())
+                .collect::<Vec<_>>(),
+            report
+                .targets
+                .iter()
+                .map(|t| (t.satisfied, t.max_est_error.to_bits(), t.bytes))
+                .collect::<Vec<_>>(),
+            report.bytes_fetched,
+            stats.fetches,
+            stats.fetched_bytes,
+        )
+    };
+    let baseline = run(1, false); // the pre-parallel executor, exactly
+    for (workers, overlap) in [(1, true), (4, false), (4, true), (8, true)] {
+        assert_eq!(
+            baseline,
+            run(workers, overlap),
+            "workers={workers} overlap={overlap} changed results"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn plan_report_read_ops_reflect_the_backend() {
     let path = save_archive("report_ops");
     let archive = Archive::open(&path).unwrap();
