@@ -84,7 +84,7 @@ fn bench_plan_decode_workers(c: &mut Criterion) {
         )
         .unwrap();
     }
-    let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+    let archive = std::sync::Arc::new(ds.refactor(Scheme::PmgardHb).unwrap());
     let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-6, &ds).unwrap();
     let mut g = c.benchmark_group("decode_throughput/plan");
     g.throughput(Throughput::Bytes((3 * n * 8) as u64));
@@ -95,7 +95,7 @@ fn bench_plan_decode_workers(c: &mut Criterion) {
                     decode_workers: workers,
                     ..Default::default()
                 };
-                let mut engine = RetrievalEngine::new(&archive, cfg).unwrap();
+                let mut engine = RetrievalEngine::from_source(archive.clone(), cfg).unwrap();
                 engine.retrieve(std::slice::from_ref(&spec)).unwrap()
             })
         });

@@ -28,19 +28,23 @@ fn bench_retrieve(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_retrieve");
     g.sample_size(10);
     for scheme in [Scheme::PmgardHb, Scheme::Psz3Delta] {
-        let archive = ds
-            .refactor_with_bounds(
+        // one shared Arc per scheme: engine construction inside the timed
+        // loop must not re-clone the whole archive
+        let archive = std::sync::Arc::new(
+            ds.refactor_with_bounds(
                 scheme,
                 &(1..=10).map(|i| 10f64.powi(-i)).collect::<Vec<_>>(),
             )
-            .unwrap();
+            .unwrap(),
+        );
         for tol in [1e-2, 1e-5] {
             g.bench_function(
                 BenchmarkId::new(scheme.name(), format!("tol={tol:.0e}")),
                 |b| {
                     b.iter(|| {
                         let mut engine =
-                            RetrievalEngine::new(&archive, EngineConfig::default()).unwrap();
+                            RetrievalEngine::from_source(archive.clone(), EngineConfig::default())
+                                .unwrap();
                         let spec = QoiSpec::with_range("VTOT", expr.clone(), tol, range);
                         engine.retrieve(&[spec]).unwrap()
                     })
@@ -55,7 +59,7 @@ fn bench_reduction_factor_ablation(c: &mut Criterion) {
     let ds = dataset(50_000);
     let expr = velocity_magnitude(0, 3);
     let range = ds.qoi_range(&expr).unwrap();
-    let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+    let archive = std::sync::Arc::new(ds.refactor(Scheme::PmgardHb).unwrap());
     let mut g = c.benchmark_group("reduction_factor");
     g.sample_size(10);
     for factor in [1.25, 1.5, 2.0] {
@@ -65,7 +69,7 @@ fn bench_reduction_factor_ablation(c: &mut Criterion) {
                     reduction_factor: factor,
                     ..Default::default()
                 };
-                let mut engine = RetrievalEngine::new(&archive, cfg).unwrap();
+                let mut engine = RetrievalEngine::from_source(archive.clone(), cfg).unwrap();
                 let spec = QoiSpec::with_range("VTOT", expr.clone(), 1e-4, range);
                 let r = engine.retrieve(&[spec]).unwrap();
                 assert!(r.satisfied);

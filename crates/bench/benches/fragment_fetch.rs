@@ -30,7 +30,7 @@ fn dataset(n: usize) -> Dataset {
 
 /// One full loose-tolerance retrieval through `source` — the unit of work
 /// whose fragment-fetch cost the backends differ in.
-fn retrieve_once(source: &dyn FragmentSource, spec: &QoiSpec) -> usize {
+fn retrieve_once(source: Arc<dyn FragmentSource>, spec: &QoiSpec) -> usize {
     let mut engine = RetrievalEngine::from_source(source, EngineConfig::default()).unwrap();
     let report = engine.retrieve(std::slice::from_ref(spec)).unwrap();
     assert!(report.satisfied);
@@ -50,20 +50,21 @@ fn bench_fragment_fetch(c: &mut Criterion) {
     let path = dir.join(format!("bench_{}.pqrx", std::process::id()));
     std::fs::write(&path, &bytes).unwrap();
 
-    let mem = InMemorySource::new(bytes).unwrap();
-    let file = FileSource::open(&path).unwrap();
-    let store = RemoteStore::new(vec![archive.clone()]).with_cache(64 << 20);
+    let resident = Arc::new(archive.clone());
+    let mem = Arc::new(InMemorySource::new(bytes).unwrap());
+    let file = Arc::new(FileSource::open(&path).unwrap());
+    let store = Arc::new(RemoteStore::new(vec![archive.clone()]).with_cache(64 << 20));
 
     let mut g = c.benchmark_group("fragment_fetch");
     g.sample_size(10);
     g.bench_function(BenchmarkId::new("backend", "resident"), |b| {
-        b.iter(|| retrieve_once(&archive, &spec))
+        b.iter(|| retrieve_once(resident.clone(), &spec))
     });
     g.bench_function(BenchmarkId::new("backend", "in_memory"), |b| {
-        b.iter(|| retrieve_once(&mem, &spec))
+        b.iter(|| retrieve_once(mem.clone(), &spec))
     });
     g.bench_function(BenchmarkId::new("backend", "file"), |b| {
-        b.iter(|| retrieve_once(&file, &spec))
+        b.iter(|| retrieve_once(file.clone(), &spec))
     });
     // cold: a fresh cache per retrieval — every fetch misses
     g.bench_function(BenchmarkId::new("backend", "file_cached_cold"), |b| {
@@ -72,23 +73,23 @@ fn bench_fragment_fetch(c: &mut Criterion) {
                 FileSource::open(&path).unwrap(),
                 Arc::new(FragmentCache::new(64 << 20)),
             );
-            retrieve_once(&cold, &spec)
+            retrieve_once(Arc::new(cold), &spec)
         })
     });
     // warm: one shared cache across retrievals — steady-state all hits
-    let warm = CachedSource::new(
+    let warm = Arc::new(CachedSource::new(
         FileSource::open(&path).unwrap(),
         Arc::new(FragmentCache::new(64 << 20)),
-    );
-    retrieve_once(&warm, &spec);
+    ));
+    retrieve_once(warm.clone(), &spec);
     g.bench_function(BenchmarkId::new("backend", "file_cached_warm"), |b| {
-        b.iter(|| retrieve_once(&warm, &spec))
+        b.iter(|| retrieve_once(warm.clone(), &spec))
     });
     // remote store with its cache warmed by the first pass
-    let remote = store.block_source(0).unwrap();
-    retrieve_once(&remote, &spec);
+    let remote = Arc::new(store.block_source(0).unwrap());
+    retrieve_once(remote.clone(), &spec);
     g.bench_function(BenchmarkId::new("backend", "remote_cached_warm"), |b| {
-        b.iter(|| retrieve_once(&remote, &spec))
+        b.iter(|| retrieve_once(remote.clone(), &spec))
     });
     g.finish();
     std::fs::remove_file(&path).ok();

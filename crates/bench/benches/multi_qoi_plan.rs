@@ -37,7 +37,11 @@ fn specs(ds: &Dataset, many: bool) -> Vec<QoiSpec> {
     v
 }
 
-fn execute_plan(source: &dyn FragmentSource, specs: &[QoiSpec], cfg: EngineConfig) -> usize {
+fn execute_plan(
+    source: std::sync::Arc<dyn FragmentSource>,
+    specs: &[QoiSpec],
+    cfg: EngineConfig,
+) -> usize {
     let mut engine = RetrievalEngine::from_source(source, cfg).unwrap();
     let plan = RetrievalPlan::resolve(&engine, specs.to_vec(), None).unwrap();
     let report = PlanExecutor::new(&mut engine).execute(&plan).unwrap();
@@ -53,26 +57,27 @@ fn bench_multi_qoi_plan(c: &mut Criterion) {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join(format!("bench_{}.pqrx", std::process::id()));
     std::fs::write(&path, &bytes).unwrap();
-    let mem = InMemorySource::new(bytes).unwrap();
-    let file = FileSource::open(&path).unwrap();
+    let resident = std::sync::Arc::new(archive.clone());
+    let mem = std::sync::Arc::new(InMemorySource::new(bytes).unwrap());
+    let file = std::sync::Arc::new(FileSource::open(&path).unwrap());
 
     let mut g = c.benchmark_group("multi_qoi_plan");
     g.sample_size(10);
     for (arm, many) in [("1qoi", false), ("3qoi_shared", true)] {
         let sp = specs(&ds, many);
         g.bench_function(BenchmarkId::new(arm, "resident"), |b| {
-            b.iter(|| execute_plan(&archive, &sp, EngineConfig::default()))
+            b.iter(|| execute_plan(resident.clone(), &sp, EngineConfig::default()))
         });
         g.bench_function(BenchmarkId::new(arm, "in_memory"), |b| {
-            b.iter(|| execute_plan(&mem, &sp, EngineConfig::default()))
+            b.iter(|| execute_plan(mem.clone(), &sp, EngineConfig::default()))
         });
         g.bench_function(BenchmarkId::new(arm, "file_batched"), |b| {
-            b.iter(|| execute_plan(&file, &sp, EngineConfig::default()))
+            b.iter(|| execute_plan(file.clone(), &sp, EngineConfig::default()))
         });
         g.bench_function(BenchmarkId::new(arm, "file_per_fragment"), |b| {
             b.iter(|| {
                 execute_plan(
-                    &file,
+                    file.clone(),
                     &sp,
                     EngineConfig {
                         batch_io: false,

@@ -143,13 +143,13 @@ fn main() {
             std::env::remove_var("PQR_SCALAR_KERNELS");
         }
         let ms = best_ms(|| {
-            let src = FileSource::open(&path).expect("open archive");
+            let src = std::sync::Arc::new(FileSource::open(&path).expect("open archive"));
             let cfg = EngineConfig {
                 decode_workers: workers,
                 overlap_io: overlap,
                 ..Default::default()
             };
-            let mut engine = RetrievalEngine::from_source(&src, cfg).expect("engine");
+            let mut engine = RetrievalEngine::from_source(src, cfg).expect("engine");
             let report = engine.retrieve(&specs).expect("retrieve");
             assert!(report.satisfied, "bench retrieval must certify");
             overlap_saved = overlap_saved.max(engine.source_stats().overlap_saved_ms);

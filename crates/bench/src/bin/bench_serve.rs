@@ -1,0 +1,200 @@
+//! Shared-state service harness: N concurrent mixed-tolerance sessions on
+//! one `DatasetService` (shared decode store) versus N independent cold
+//! engines, then emits `BENCH_serve.json` — the recorded service-layer
+//! trajectory (CI smoke-checks that the file is well-formed).
+//!
+//! Arms (identical request traffic in both):
+//!
+//! * **shared** — one `Archive::open` + one `ProgressStore`; each session
+//!   is a view that adopts shared decode state, so the deepest tolerance
+//!   is decoded once and every looser request is served without touching
+//!   the source.
+//! * **cold** — every session opens its own archive and decodes from
+//!   scratch (the pre-service workflow).
+//!
+//! Reported: aggregate wall time / requests-per-second, total source bytes
+//! read, fragments decoded, plus the derived `speedup`,
+//! `decode_reuse_ratio` (cold decodes ÷ shared decodes) and
+//! `bytes_read_ratio`. Sizes scale with `PQR_SCALE`; the output path can
+//! be overridden with `PQR_BENCH_OUT`.
+
+use pqr_bench::scaled;
+use pqr_core::{Archive, ArchiveBuilder};
+use pqr_qoi::library::velocity_magnitude;
+use pqr_qoi::QoiExpr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Concurrent sessions per arm (the acceptance target is 8 mixed
+/// tolerances).
+const SESSIONS: usize = 8;
+/// Timing repetitions per arm; the best (least-noise) run is recorded.
+const RUNS: usize = 3;
+
+/// The mixed-tolerance request mix: session k issues `TRAFFIC[k %
+/// TRAFFIC.len()]`. Two tight sessions anchor the deepest decode; the
+/// rest ride it.
+const TRAFFIC: [(&str, f64); 8] = [
+    ("V", 1e-7),
+    ("KE", 1e-2),
+    ("Vx2", 1e-4),
+    ("V", 1e-4),
+    ("KE", 1e-7),
+    ("Vx2", 1e-2),
+    ("V", 1e-3),
+    ("KE", 1e-4),
+];
+
+struct Arm {
+    wall_ms: f64,
+    source_bytes: u64,
+    decoded: u64,
+}
+
+fn build_archive(path: &std::path::Path) {
+    let n = scaled(120_000);
+    let mut builder = ArchiveBuilder::new(&[n]);
+    for (f, name) in ["Vx", "Vy", "Vz", "P", "T", "rho"].iter().enumerate() {
+        // smooth flow + deterministic broadband noise: the noise floor is
+        // what makes the deep bitplanes incompressible, like real
+        // turbulence data — a tight tolerance then has real decode work
+        let mut s = 0x9e37_79b9_7f4a_7c15u64 ^ (f as u64);
+        builder = builder.field(
+            name,
+            (0..n)
+                .map(|i| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    let noise = (s as f64 / u64::MAX as f64 - 0.5) * 2.0;
+                    let x = i as f64 / n as f64;
+                    (x * (7.0 + f as f64)).sin() * 20.0 + (x * 31.0).cos() * 3.0 + noise + 40.0
+                })
+                .collect(),
+        );
+    }
+    builder
+        .qoi("V", velocity_magnitude(0, 3))
+        .qoi("KE", velocity_magnitude(0, 3).pow(2).scale(0.5))
+        .qoi("Vx2", QoiExpr::var(0).pow(2))
+        .build()
+        .expect("archive build")
+        .save(path)
+        .expect("archive save");
+}
+
+/// Runs one arm's 8-session burst; `shared` selects service vs cold.
+fn run_arm(path: &std::path::Path, shared: bool) -> Arm {
+    let mut best = Arm {
+        wall_ms: f64::INFINITY,
+        source_bytes: 0,
+        decoded: 0,
+    };
+    for _ in 0..RUNS {
+        let satisfied = AtomicUsize::new(0);
+        let cold_bytes = AtomicU64::new(0);
+        let cold_decoded = AtomicU64::new(0);
+        // the shared arm's one-time archive open + service construction is
+        // timed too, so the comparison charges both arms their full setup
+        // (cold sessions each open their own archive inside their thread)
+        let t0 = Instant::now();
+        let (service, service_archive) = if shared {
+            let archive = Archive::open(path).expect("open archive");
+            (Some(archive.service().expect("service")), Some(archive))
+        } else {
+            (None, None)
+        };
+        std::thread::scope(|s| {
+            for k in 0..SESSIONS {
+                let (name, tol) = TRAFFIC[k % TRAFFIC.len()];
+                let service = service.clone();
+                let (satisfied, cold_bytes, cold_decoded) =
+                    (&satisfied, &cold_bytes, &cold_decoded);
+                s.spawn(move || {
+                    let (mut session, archive) = match service {
+                        Some(svc) => (svc.session().expect("session"), None),
+                        None => {
+                            let archive = Archive::open(path).expect("open archive");
+                            (archive.session().expect("session"), Some(archive))
+                        }
+                    };
+                    if session.request(name, tol).expect("request").satisfied {
+                        satisfied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(archive) = archive {
+                        cold_bytes
+                            .fetch_add(archive.source_stats().fetched_bytes, Ordering::Relaxed);
+                        cold_decoded.fetch_add(session.fragments_decoded(), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            satisfied.load(Ordering::Relaxed),
+            SESSIONS,
+            "every bench session must certify"
+        );
+        let (source_bytes, decoded) = match (&service, &service_archive) {
+            (Some(svc), Some(archive)) => (
+                archive.source_stats().fetched_bytes,
+                svc.store_stats().fragments_decoded,
+            ),
+            _ => (
+                cold_bytes.load(Ordering::Relaxed),
+                cold_decoded.load(Ordering::Relaxed),
+            ),
+        };
+        if wall_ms < best.wall_ms {
+            best = Arm {
+                wall_ms,
+                source_bytes,
+                decoded,
+            };
+        }
+    }
+    best
+}
+
+fn json_arm(a: &Arm) -> String {
+    format!(
+        "{{\"wall_ms\": {:.2}, \"requests_per_s\": {:.2}, \"source_bytes\": {}, \
+         \"fragments_decoded\": {}}}",
+        a.wall_ms,
+        SESSIONS as f64 / (a.wall_ms / 1e3).max(1e-9),
+        a.source_bytes,
+        a.decoded
+    )
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("pqr_bench_serve");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("serve_{}.pqrx", std::process::id()));
+    build_archive(&path);
+
+    // cold first, then shared: any OS page-cache warmth favours neither
+    // arm's decode count and (if anything) biases wall time against shared
+    let cold = run_arm(&path, false);
+    let shared = run_arm(&path, true);
+    std::fs::remove_file(&path).ok();
+
+    let speedup = cold.wall_ms / shared.wall_ms.max(1e-9);
+    let reuse = cold.decoded as f64 / shared.decoded.max(1) as f64;
+    let bytes_ratio = cold.source_bytes as f64 / shared.source_bytes.max(1) as f64;
+    let json = format!(
+        "{{\n  \"schema\": \"pqr-bench-serve/1\",\n  \"sessions\": {SESSIONS},\n  \
+         \"traffic\": \"8 mixed tolerances (1e-2..1e-7) over 3 QoIs sharing velocity fields\",\n  \
+         \"shared\": {},\n  \"cold\": {},\n  \"speedup\": {speedup:.3},\n  \
+         \"decode_reuse_ratio\": {reuse:.3},\n  \"bytes_read_ratio\": {bytes_ratio:.3}\n}}\n",
+        json_arm(&shared),
+        json_arm(&cold),
+    );
+    let out = std::env::var("PQR_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    println!(
+        "# shared {:.1} ms vs cold {:.1} ms → {speedup:.2}x; decode reuse {reuse:.2}x; wrote {out}",
+        shared.wall_ms, cold.wall_ms
+    );
+}

@@ -56,7 +56,7 @@ fn main() {
                 rd
             })
             .collect();
-        let store = RemoteStore::new(refactored);
+        let store = std::sync::Arc::new(RemoteStore::new(refactored));
         let cfg = PipelineConfig {
             workers: 96,
             network,

@@ -67,9 +67,9 @@ fn main() {
         let archive_size = std::fs::metadata(&path).expect("stat").len();
         for i in 1..=5 {
             let tol = 10f64.powi(-i);
-            let source = FileSource::open(&path).expect("open");
-            let mut engine =
-                RetrievalEngine::from_source(&source, EngineConfig::default()).expect("engine");
+            let source = std::sync::Arc::new(FileSource::open(&path).expect("open"));
+            let mut engine = RetrievalEngine::from_source(source.clone(), EngineConfig::default())
+                .expect("engine");
             let spec = QoiSpec::with_range("VTOT", expr.clone(), tol, range);
             let report = engine
                 .retrieve(std::slice::from_ref(&spec))

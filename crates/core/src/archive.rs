@@ -8,6 +8,15 @@
 //!   manifest (shape, directories, QoI registry, mask) is read up front,
 //!   and every session fetches fragment byte ranges on demand. A loose
 //!   tolerance therefore reads only a fraction of the archive from disk.
+//!
+//! [`Session`]s are **owned**: they hold shared (`Arc`) handles to the
+//! archive's fragment source and QoI registry, carry no borrows, and can
+//! move across threads. For concurrent traffic, [`Archive::service`]
+//! builds a [`DatasetService`] — a cheaply-cloneable handle whose sessions
+//! additionally share one
+//! [`ProgressStore`], so the
+//! deepest-decoded prefix of each field is decoded once and serves every
+//! looser request for free.
 
 use crate::request::{RequestTarget, RetrievalRequest, ToleranceMode};
 use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
@@ -17,10 +26,12 @@ use pqr_progressive::fragstore::{
 };
 use pqr_progressive::plan::{PlanExecutor, PlanReport, RetrievalPlan};
 use pqr_progressive::refactored::{default_snapshot_bounds, Scheme};
+use pqr_progressive::store::{ProgressStore, StoreStats};
 use pqr_qoi::QoiExpr;
 use pqr_util::error::{PqrError, Result};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Builder for [`Archive`]: fields + QoIs + representation choices.
 pub struct ArchiveBuilder {
@@ -112,25 +123,29 @@ impl ArchiveBuilder {
             refactored.set_mask(self.dataset.zero_mask(&idx))?;
         }
         Ok(Archive {
-            store: ArchiveStore::Resident(refactored),
-            qois: qoi_meta,
+            store: ArchiveStore::Resident(Arc::new(refactored)),
+            qois: Arc::new(qoi_meta),
             engine: self.engine,
         })
     }
 }
 
-/// Where an archive's fragment bytes live.
+/// Where an archive's fragment bytes live. Both flavours are behind `Arc`
+/// so sessions and services own shared handles instead of borrows.
 enum ArchiveStore {
     /// Fully materialised in memory (builder-built or deserialized).
-    Resident(RefactoredDataset),
+    Resident(Arc<RefactoredDataset>),
     /// Served on demand from a fragment source (lazily opened file).
-    Lazy(Box<dyn FragmentSource>),
+    Lazy(Arc<dyn FragmentSource>),
 }
+
+/// The shared QoI registry: name → (expression, refactor-time range).
+type QoiRegistry = BTreeMap<String, (QoiExpr, f64)>;
 
 /// A refactored archive with its QoI registry (Fig. 1's storage-side box).
 pub struct Archive {
     store: ArchiveStore,
-    qois: BTreeMap<String, (QoiExpr, f64)>,
+    qois: Arc<QoiRegistry>,
     engine: EngineConfig,
 }
 
@@ -138,8 +153,17 @@ impl Archive {
     /// The fragment source every session of this archive fetches through.
     pub fn source(&self) -> &dyn FragmentSource {
         match &self.store {
-            ArchiveStore::Resident(rd) => rd,
+            ArchiveStore::Resident(rd) => rd.as_ref(),
             ArchiveStore::Lazy(src) => src.as_ref(),
+        }
+    }
+
+    /// A shared handle to the archive's fragment source — what owned
+    /// sessions and services fetch through.
+    pub fn shared_source(&self) -> Arc<dyn FragmentSource> {
+        match &self.store {
+            ArchiveStore::Resident(rd) => Arc::clone(rd) as Arc<dyn FragmentSource>,
+            ArchiveStore::Lazy(src) => Arc::clone(src),
         }
     }
 
@@ -164,7 +188,7 @@ impl Archive {
     /// for metadata or a [`Session`] to retrieve data.
     pub fn refactored(&self) -> &RefactoredDataset {
         match &self.store {
-            ArchiveStore::Resident(rd) => rd,
+            ArchiveStore::Resident(rd) => rd.as_ref(),
             ArchiveStore::Lazy(_) => {
                 panic!("lazily opened archive holds no resident dataset; use manifest()/session()")
             }
@@ -193,12 +217,17 @@ impl Archive {
         self.engine = cfg;
     }
 
-    /// Opens a retrieval session (progressive across requests). Sessions on
-    /// lazily opened archives fetch fragment byte ranges on demand.
-    pub fn session(&self) -> Result<Session<'_>> {
+    /// Opens an **owned, independent** retrieval session (progressive
+    /// across requests): a cold engine with its own decode state, sharing
+    /// only the fragment source. Sessions on lazily opened archives fetch
+    /// fragment byte ranges on demand.
+    ///
+    /// Sessions that should *share* decode state (many clients, mixed
+    /// tolerances, decode-once) come from [`Archive::service`] instead.
+    pub fn session(&self) -> Result<Session> {
         Ok(Session {
-            engine: RetrievalEngine::from_source(self.source(), self.engine)?,
-            archive: self,
+            engine: RetrievalEngine::from_source(self.shared_source(), self.engine)?,
+            qois: Arc::clone(&self.qois),
         })
     }
 
@@ -206,10 +235,34 @@ impl Archive {
     /// [`Session::save_progress`]): the replay is deterministic, so the
     /// resumed session continues with identical reconstructions and byte
     /// accounting.
-    pub fn resume_session(&self, progress: &[u8]) -> Result<Session<'_>> {
+    pub fn resume_session(&self, progress: &[u8]) -> Result<Session> {
         Ok(Session {
-            engine: RetrievalEngine::resume_from_source(self.source(), self.engine, progress)?,
-            archive: self,
+            engine: RetrievalEngine::resume_from_source(
+                self.shared_source(),
+                self.engine,
+                progress,
+            )?,
+            qois: Arc::clone(&self.qois),
+        })
+    }
+
+    /// Builds the shared-state retrieval service for this archive: a
+    /// cheaply-cloneable [`DatasetService`] handle whose sessions all read
+    /// through one [`ProgressStore`] (per-field master decode state). The
+    /// store is opened here — one metadata fetch per field — and every
+    /// bitplane decoded by any session is decoded exactly once for all of
+    /// them; a session requesting a tolerance the store already reached
+    /// touches neither the source nor a decoder.
+    pub fn service(&self) -> Result<DatasetService> {
+        let source = self.shared_source();
+        let store = Arc::new(ProgressStore::open(Arc::clone(&source))?);
+        Ok(DatasetService {
+            inner: Arc::new(ServiceInner {
+                source,
+                store,
+                qois: Arc::clone(&self.qois),
+                engine: self.engine,
+            }),
         })
     }
 
@@ -265,8 +318,8 @@ impl Archive {
         let src = InMemorySource::new(bytes.to_vec())?;
         let qois = registry_from_bytes(&src.manifest()?.app_meta)?;
         Ok(Self {
-            store: ArchiveStore::Resident(RefactoredDataset::from_source(&src)?),
-            qois,
+            store: ArchiveStore::Resident(Arc::new(RefactoredDataset::from_source(&src)?)),
+            qois: Arc::new(qois),
             engine: EngineConfig::default(),
         })
     }
@@ -285,10 +338,96 @@ impl Archive {
     pub fn from_fragment_source(source: impl FragmentSource + 'static) -> Result<Self> {
         let qois = registry_from_bytes(&source.manifest()?.app_meta)?;
         Ok(Self {
-            store: ArchiveStore::Lazy(Box::new(source)),
-            qois,
+            store: ArchiveStore::Lazy(Arc::new(source)),
+            qois: Arc::new(qois),
             engine: EngineConfig::default(),
         })
+    }
+}
+
+/// A shared-state retrieval service over one archive: the cheaply-cloneable
+/// handle a server holds per dataset. All sessions spawned from one service
+/// share the fragment source, the QoI registry **and** the
+/// [`ProgressStore`] — per-field decode state that only ever deepens, so
+/// concurrent mixed-tolerance traffic decodes each bitplane once and
+/// requests at or above an already-reached depth are served without
+/// touching the source (see [`DatasetService::store_stats`] /
+/// [`DatasetService::source_stats`] for the counters that prove it).
+///
+/// ```
+/// use pqr_core::prelude::*;
+///
+/// let n = 512;
+/// let archive = ArchiveBuilder::new(&[n])
+///     .field("u", (0..n).map(|i| (i as f64 * 0.02).sin() * 9.0).collect())
+///     .qoi("u2", QoiExpr::var(0).pow(2))
+///     .build()
+///     .unwrap();
+/// let service = archive.service().unwrap();
+/// // handles clone cheaply; sessions are owned and Send
+/// let workers: Vec<_> = (0..4)
+///     .map(|k| {
+///         let svc = service.clone();
+///         std::thread::spawn(move || {
+///             let mut session = svc.session().unwrap();
+///             let tol = if k % 2 == 0 { 1e-2 } else { 1e-5 };
+///             session.request("u2", tol).unwrap().satisfied
+///         })
+///     })
+///     .collect();
+/// assert!(workers.into_iter().all(|w| w.join().unwrap()));
+/// // four sessions, one decode of the deepest prefix
+/// assert!(service.store_stats().fragments_decoded > 0);
+/// ```
+#[derive(Clone)]
+pub struct DatasetService {
+    inner: Arc<ServiceInner>,
+}
+
+struct ServiceInner {
+    source: Arc<dyn FragmentSource>,
+    store: Arc<ProgressStore>,
+    qois: Arc<QoiRegistry>,
+    engine: EngineConfig,
+}
+
+impl DatasetService {
+    /// Spawns an owned session sharing this service's decode store. The
+    /// session adopts the store's current depth at open (a warm service
+    /// serves it instantly) and advances the shared state only past what
+    /// any prior request reached.
+    pub fn session(&self) -> Result<Session> {
+        Ok(Session {
+            engine: RetrievalEngine::with_store(Arc::clone(&self.inner.store), self.inner.engine)?,
+            qois: Arc::clone(&self.inner.qois),
+        })
+    }
+
+    /// The shared per-field decode store.
+    pub fn store(&self) -> &Arc<ProgressStore> {
+        &self.inner.store
+    }
+
+    /// Decode-sharing tallies: fragments decoded (once, for everyone),
+    /// refinements served from existing state, snapshot adoptions.
+    pub fn store_stats(&self) -> StoreStats {
+        self.inner.store.stats()
+    }
+
+    /// Fetch tallies of the shared fragment source — across *all* sessions
+    /// of this service.
+    pub fn source_stats(&self) -> SourceStats {
+        self.inner.source.stats()
+    }
+
+    /// The archive manifest the service retrieves against.
+    pub fn manifest(&self) -> &Manifest {
+        self.inner.store.manifest()
+    }
+
+    /// Registered QoI names.
+    pub fn qoi_names(&self) -> Vec<&str> {
+        self.inner.qois.keys().map(String::as_str).collect()
     }
 }
 
@@ -337,12 +476,33 @@ fn registry_from_bytes(bytes: &[u8]) -> Result<BTreeMap<String, (QoiExpr, f64)>>
 
 /// A progressive retrieval session: requests accumulate, bytes are fetched
 /// incrementally (§III-B's key property).
-pub struct Session<'a> {
-    engine: RetrievalEngine<'a>,
-    archive: &'a Archive,
+///
+/// Sessions are **owned** (no lifetime parameter — the former
+/// `Session<'a>` borrowed its archive): they hold `Arc` handles to the
+/// fragment source and QoI registry, so they are `Send`, can outlive the
+/// `Archive` value that spawned them, and move freely into worker threads.
+/// Sessions from [`DatasetService::session`] additionally read through the
+/// service's shared decode store.
+pub struct Session {
+    engine: RetrievalEngine,
+    qois: Arc<QoiRegistry>,
 }
 
-impl<'a> Session<'a> {
+impl Session {
+    /// Builds the [`QoiSpec`] for a registered QoI at a relative tolerance.
+    fn spec(&self, name: &str, tol_rel: f64) -> Result<QoiSpec> {
+        let (expr, range) = self
+            .qois
+            .get(name)
+            .ok_or_else(|| PqrError::InvalidRequest(format!("unknown QoI '{name}'")))?;
+        Ok(QoiSpec::with_range(name, expr.clone(), tol_rel, *range))
+    }
+
+    /// The expression of a registered QoI.
+    fn qoi_expr(&self, name: &str) -> Option<&QoiExpr> {
+        self.qois.get(name).map(|(e, _)| e)
+    }
+
     /// Requests one registered QoI at a relative tolerance.
     ///
     /// This is the **convenience form** of the plan/execute API: it
@@ -353,7 +513,7 @@ impl<'a> Session<'a> {
     /// request — or when you need per-target reports, absolute tolerances
     /// in a batch, or a byte budget.
     pub fn request(&mut self, name: &str, tol_rel: f64) -> Result<RetrievalReport> {
-        let spec = self.archive.spec(name, tol_rel)?;
+        let spec = self.spec(name, tol_rel)?;
         self.engine.retrieve(&[spec])
     }
 
@@ -396,9 +556,9 @@ impl<'a> Session<'a> {
 
     fn resolve_target(&self, target: &RequestTarget) -> Result<QoiSpec> {
         let mut spec = match target.mode {
-            ToleranceMode::Relative => self.archive.spec(&target.name, target.tolerance)?,
+            ToleranceMode::Relative => self.spec(&target.name, target.tolerance)?,
             ToleranceMode::Absolute => {
-                let expr = self.archive.qoi_expr(&target.name).ok_or_else(|| {
+                let expr = self.qoi_expr(&target.name).ok_or_else(|| {
                     PqrError::InvalidRequest(format!("unknown QoI '{}'", target.name))
                 })?;
                 QoiSpec::absolute(&target.name, expr.clone(), target.tolerance)
@@ -421,7 +581,7 @@ impl<'a> Session<'a> {
         lo: usize,
         hi: usize,
     ) -> Result<RetrievalReport> {
-        let spec = self.archive.spec(name, tol_rel)?.restrict_to(lo, hi);
+        let spec = self.spec(name, tol_rel)?.restrict_to(lo, hi);
         self.engine.retrieve(&[spec])
     }
 
@@ -432,7 +592,7 @@ impl<'a> Session<'a> {
     pub fn request_many(&mut self, requests: &[(&str, f64)]) -> Result<RetrievalReport> {
         let specs = requests
             .iter()
-            .map(|(n, t)| self.archive.spec(n, *t))
+            .map(|(n, t)| self.spec(n, *t))
             .collect::<Result<Vec<_>>>()?;
         self.engine.retrieve(&specs)
     }
@@ -468,7 +628,6 @@ impl<'a> Session<'a> {
     /// Derived values of a registered QoI on the current reconstruction.
     pub fn qoi_values(&self, name: &str) -> Result<Vec<f64>> {
         let expr = self
-            .archive
             .qoi_expr(name)
             .ok_or_else(|| PqrError::InvalidRequest(format!("unknown QoI '{name}'")))?;
         Ok(self.engine.qoi_values(expr))
@@ -490,8 +649,15 @@ impl<'a> Session<'a> {
     }
 
     /// Access to the underlying engine for advanced use.
-    pub fn engine(&mut self) -> &mut RetrievalEngine<'a> {
+    pub fn engine(&mut self) -> &mut RetrievalEngine {
         &mut self.engine
+    }
+
+    /// Payload fragments this session's own readers fetched and decoded.
+    /// Sessions on a [`DatasetService`] report zero — their decodes happen
+    /// once, in the shared store.
+    pub fn fragments_decoded(&self) -> u64 {
+        self.engine.fragments_decoded()
     }
 
     /// Serializes the session's retrieval progress — restore against the

@@ -46,5 +46,5 @@ pub mod archive;
 pub mod prelude;
 pub mod request;
 
-pub use archive::{Archive, ArchiveBuilder, Session};
+pub use archive::{Archive, ArchiveBuilder, DatasetService, Session};
 pub use request::{RequestTarget, RetrievalRequest, ToleranceMode};

@@ -6,7 +6,7 @@
 //! assert_eq!(q.arity(), 3);
 //! ```
 
-pub use crate::archive::{Archive, ArchiveBuilder, Session};
+pub use crate::archive::{Archive, ArchiveBuilder, DatasetService, Session};
 pub use crate::request::{RequestTarget, RetrievalRequest, ToleranceMode};
 
 pub use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
@@ -18,6 +18,7 @@ pub use pqr_progressive::fragstore::{
 pub use pqr_progressive::mask::ZeroMask;
 pub use pqr_progressive::plan::{PlanExecutor, PlanReport, RetrievalPlan, TargetReport};
 pub use pqr_progressive::refactored::{RefactoredField, Scheme};
+pub use pqr_progressive::store::{FieldSnapshot, ProgressStore, StoreStats};
 
 pub use pqr_qoi::ge::{self as ge_qoi};
 pub use pqr_qoi::library::{

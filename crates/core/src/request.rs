@@ -108,6 +108,16 @@ impl RetrievalRequest {
     /// round-granular: execution stops scheduling further refinement
     /// rounds once exceeded and reports the still-unmet targets as
     /// unsatisfied (`budget_exhausted` set on the report).
+    ///
+    /// On a shared-store session
+    /// ([`DatasetService`](crate::archive::DatasetService)), "fetched
+    /// bytes" count the bytes *backing the adopted state*: if a concurrent
+    /// session deepens the store mid-execution, this session's tally jumps
+    /// to the deeper state's cost even though it triggered no reads, and a
+    /// tight budget can report exhausted early. Byte budgets are therefore
+    /// most meaningful on independent sessions (`Archive::session`) or
+    /// sequential service traffic; the service-level source truth lives in
+    /// `DatasetService::source_stats`.
     pub fn byte_budget(mut self, bytes: usize) -> Self {
         self.byte_budget = Some(bytes);
         self

@@ -154,6 +154,86 @@ proptest! {
             "{}: parallel decode pipeline changed results", scheme.name()
         );
 
+        // shared-store arm: the targets issued as K session requests
+        // through one DatasetService, run sequentially, must be
+        // byte-identical — per-request certified bounds, reconstructions
+        // and cumulative byte accounting — to the same request series on
+        // one fresh persistent engine (the service's sharing layer is
+        // invisible in results); and the K sessions run *concurrently*
+        // must certify identically while never decoding a fragment twice
+        {
+            let service_archive = open_backend(&bytes, &path, backend);
+            let service = service_archive.service().unwrap();
+            let legacy_archive = open_backend(&bytes, &path, backend);
+            let mut persistent = legacy_archive.session().unwrap();
+            for (name, &tol) in targets.iter().zip(&tols) {
+                let mut s = service.session().unwrap();
+                let rs = s.request(name, tol).unwrap();
+                let rl = persistent.request(name, tol).unwrap();
+                prop_assert_eq!(rs.satisfied, rl.satisfied, "{}: {}@{}", scheme.name(), name, tol);
+                prop_assert_eq!(
+                    rs.max_est_errors[0].to_bits(),
+                    rl.max_est_errors[0].to_bits(),
+                    "{}: {}@{} certified bound drifted", scheme.name(), name, tol
+                );
+                prop_assert_eq!(rs.total_fetched, rl.total_fetched);
+                prop_assert_eq!(s.fragments_decoded(), 0);
+                for f in ["Vx", "Vy"] {
+                    prop_assert!(
+                        s.reconstruction(f).unwrap() == persistent.reconstruction(f).unwrap(),
+                        "{}: {}@{} field {} drifted", scheme.name(), name, tol, f
+                    );
+                }
+            }
+            prop_assert_eq!(
+                service_archive.source_stats().fetched_bytes,
+                legacy_archive.source_stats().fetched_bytes,
+                "{}: sharing layer changed source traffic", scheme.name()
+            );
+
+            // concurrent arm: same targets, racing sessions
+            let concurrent_archive = open_backend(&bytes, &path, backend);
+            let concurrent = concurrent_archive.service().unwrap();
+            let outcomes: Vec<(bool, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = targets
+                    .iter()
+                    .zip(&tols)
+                    .map(|(name, &tol)| {
+                        let svc = concurrent.clone();
+                        let name = name.to_string();
+                        scope.spawn(move || {
+                            let mut s = svc.session().unwrap();
+                            let r = s.request(&name, tol).unwrap();
+                            (r.satisfied, s.fragments_decoded())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for ((name, &tol), (sat, decoded)) in targets.iter().zip(&tols).zip(&outcomes) {
+                // satisfiability is a property of the archive + request,
+                // not of scheduling: the concurrent run must certify
+                // exactly where the sequential one did
+                let solo = open_backend(&bytes, &path, backend);
+                let mut s = solo.session().unwrap();
+                let expect = s.request(name, tol).unwrap().satisfied;
+                prop_assert_eq!(*sat, expect, "{}: {}@{} concurrent", scheme.name(), name, tol);
+                prop_assert_eq!(*decoded, 0u64);
+            }
+            // racing sessions never read more than independent cold ones
+            let mut cold_sum = 0u64;
+            for (name, &tol) in targets.iter().zip(&tols) {
+                let solo = open_backend(&bytes, &path, backend);
+                let mut s = solo.session().unwrap();
+                s.request(name, tol).unwrap();
+                cold_sum += solo.source_stats().fetched_bytes;
+            }
+            prop_assert!(
+                concurrent_archive.source_stats().fetched_bytes <= cold_sum,
+                "{}: concurrent sharing read more than cold sum", scheme.name()
+            );
+        }
+
         // legacy: every target as an independent request on its own
         // fresh session (the pre-plan workflow the plan API replaces)
         let mut legacy_bytes = 0usize;

@@ -224,35 +224,68 @@ pub struct RetrievalReport {
 /// Every byte the engine moves is pulled through a
 /// [`FragmentSource`] — a resident [`RefactoredDataset`], a serialized
 /// in-memory archive, a lazily opened file, or a (simulated) remote store
-/// all drive the identical refinement code path.
-pub struct RetrievalEngine<'a> {
-    source: &'a dyn FragmentSource,
+/// all drive the identical refinement code path. The engine **owns** a
+/// shared handle to its source (`Arc`), so engines carry no borrows: they
+/// move across threads, outlive the scope that opened them, and many can
+/// share one source concurrently (its [`SourceStats`] tally atomically).
+///
+/// Engines built with [`RetrievalEngine::with_store`] additionally share a
+/// [`ProgressStore`](crate::store::ProgressStore): their readers are views
+/// onto per-field decode state that advances monotonically across *all*
+/// engines on the store, so a request the store already reached performs
+/// zero fetches and zero decodes.
+pub struct RetrievalEngine {
+    source: Arc<dyn FragmentSource>,
     manifest: Manifest,
-    readers: Vec<FieldReader<'a>>,
+    readers: Vec<FieldReader>,
     /// Shared prefetch stage: plan execution parks batched payloads here
     /// and the readers' per-fragment consume path drains it.
     stage: Arc<FragmentStage>,
     cfg: EngineConfig,
 }
 
-impl<'a> RetrievalEngine<'a> {
-    /// Opens readers on every field of a resident archive (sugar for
-    /// [`RetrievalEngine::from_source`] — the dataset serves its own
-    /// fragments).
-    pub fn new(archive: &'a RefactoredDataset, cfg: EngineConfig) -> Result<Self> {
-        Self::from_source(archive, cfg)
+impl RetrievalEngine {
+    /// Opens readers on every field of a resident archive.
+    ///
+    /// Legacy convenience wrapper: the dataset is **cloned** behind an
+    /// `Arc` so the engine owns its source. Prefer
+    /// [`RetrievalEngine::from_source`] with an `Arc` you already hold
+    /// (`Arc<RefactoredDataset>` coerces) to share one copy across
+    /// engines.
+    pub fn new(archive: &RefactoredDataset, cfg: EngineConfig) -> Result<Self> {
+        Self::from_source(Arc::new(archive.clone()), cfg)
     }
 
     /// Opens readers on every field of the archive behind `source`,
     /// fetching only the manifest and the per-field metadata fragments.
-    pub fn from_source(source: &'a dyn FragmentSource, cfg: EngineConfig) -> Result<Self> {
+    pub fn from_source(source: Arc<dyn FragmentSource>, cfg: EngineConfig) -> Result<Self> {
+        let manifest = source.manifest()?;
+        Self::build(source, manifest, cfg, None)
+    }
+
+    /// Opens an engine whose readers are **views onto a shared
+    /// [`ProgressStore`](crate::store::ProgressStore)**: refinement reads
+    /// through (and monotonically advances) the store's per-field decode
+    /// state instead of fetching and decoding locally. All engines on one
+    /// store collectively decode each bitplane exactly once.
+    pub fn with_store(store: Arc<crate::store::ProgressStore>, cfg: EngineConfig) -> Result<Self> {
+        let source = Arc::clone(store.source());
+        let manifest = store.manifest().clone();
+        Self::build(source, manifest, cfg, Some(store))
+    }
+
+    fn build(
+        source: Arc<dyn FragmentSource>,
+        manifest: Manifest,
+        cfg: EngineConfig,
+        store: Option<Arc<crate::store::ProgressStore>>,
+    ) -> Result<Self> {
         if cfg.reduction_factor <= 1.0 {
             return Err(PqrError::InvalidRequest(format!(
                 "reduction factor must exceed 1, got {}",
                 cfg.reduction_factor
             )));
         }
-        let manifest = source.manifest()?;
         if let Some(mask) = &manifest.mask {
             if mask.len() != manifest.num_elements() {
                 return Err(PqrError::ShapeMismatch(format!(
@@ -263,7 +296,10 @@ impl<'a> RetrievalEngine<'a> {
             }
         }
         let mut readers = (0..manifest.num_fields())
-            .map(|i| FieldReader::open(source, &manifest, i))
+            .map(|i| match &store {
+                Some(store) => FieldReader::open_shared(Arc::clone(store), &manifest, i),
+                None => FieldReader::open(Arc::clone(&source), &manifest, i),
+            })
             .collect::<Result<Vec<_>>>()?;
         let stage = Arc::new(FragmentStage::new());
         for r in &mut readers {
@@ -279,8 +315,24 @@ impl<'a> RetrievalEngine<'a> {
     }
 
     /// The fragment source this engine fetches through.
-    pub fn source(&self) -> &'a dyn FragmentSource {
-        self.source
+    pub fn source(&self) -> &dyn FragmentSource {
+        self.source.as_ref()
+    }
+
+    /// A shared handle to the engine's fragment source (for spawning more
+    /// engines or querying stats after the engine is gone).
+    pub fn shared_source(&self) -> Arc<dyn FragmentSource> {
+        Arc::clone(&self.source)
+    }
+
+    /// Payload fragments this engine's own readers fetched and decoded.
+    /// Engines on a shared store report zero — decodes happen once, in the
+    /// store (see [`crate::store::StoreStats`]).
+    pub fn fragments_decoded(&self) -> u64 {
+        self.readers
+            .iter()
+            .map(FieldReader::fragments_decoded)
+            .sum()
     }
 
     /// The archive manifest the engine retrieves against.
@@ -294,12 +346,8 @@ impl<'a> RetrievalEngine<'a> {
     /// where the saved one stopped: same reconstructions, same guaranteed
     /// bounds, same cumulative byte accounting — retrieval sessions survive
     /// process restarts (Fig. 1's long-lived retrieval side).
-    pub fn resume(
-        archive: &'a RefactoredDataset,
-        cfg: EngineConfig,
-        progress: &[u8],
-    ) -> Result<Self> {
-        Self::resume_from_source(archive, cfg, progress)
+    pub fn resume(archive: &RefactoredDataset, cfg: EngineConfig, progress: &[u8]) -> Result<Self> {
+        Self::resume_from_source(Arc::new(archive.clone()), cfg, progress)
     }
 
     /// [`RetrievalEngine::resume`] over an arbitrary fragment source.
@@ -311,7 +359,7 @@ impl<'a> RetrievalEngine<'a> {
     /// the staged payloads — the same single fetch code path a
     /// [`crate::plan::RetrievalPlan`] drives.
     pub fn resume_from_source(
-        source: &'a dyn FragmentSource,
+        source: Arc<dyn FragmentSource>,
         cfg: EngineConfig,
         progress: &[u8],
     ) -> Result<Self> {
@@ -426,7 +474,7 @@ impl<'a> RetrievalEngine<'a> {
     /// The engine's readers, in field order (crate-internal: the plan
     /// executor plans and reports through these; consumption goes through
     /// [`RetrievalEngine::refine_round`]).
-    pub(crate) fn readers(&self) -> &[FieldReader<'a>] {
+    pub(crate) fn readers(&self) -> &[FieldReader] {
         &self.readers
     }
 
@@ -485,7 +533,7 @@ impl<'a> RetrievalEngine<'a> {
         let workers = self.decode_workers();
         match schedule {
             Some(ids) if self.cfg.overlap_io && ids.len() >= OVERLAP_MIN_FRAGMENTS => {
-                let source = self.source;
+                let source = Arc::clone(&self.source);
                 let stage = Arc::clone(&self.stage);
                 let chunk = ids.len().div_ceil(OVERLAP_CHUNKS).max(1);
                 let (io_before, wait_before) = (stage.io_nanos(), stage.wait_nanos());
@@ -703,17 +751,12 @@ mod tests {
         ds
     }
 
-    fn engine_for(archive: &RefactoredDataset) -> RetrievalEngine<'_> {
+    fn engine_for(archive: &RefactoredDataset) -> RetrievalEngine {
         RetrievalEngine::new(archive, EngineConfig::default()).unwrap()
     }
 
     /// The headline guarantee: estimated ≥ actual, estimated ≤ tolerance.
-    fn assert_guarantee(
-        ds: &Dataset,
-        engine: &RetrievalEngine<'_>,
-        spec: &QoiSpec,
-        report_est: f64,
-    ) {
+    fn assert_guarantee(ds: &Dataset, engine: &RetrievalEngine, spec: &QoiSpec, report_est: f64) {
         let truth = ds.qoi_values(&spec.expr);
         let approx = engine.qoi_values(&spec.expr);
         let actual = stats::max_abs_diff(&truth, &approx);
@@ -1078,12 +1121,12 @@ mod tests {
             a.to_bytes()
         };
         let run = |overlap_io: bool| {
-            let src = crate::fragstore::InMemorySource::new(bytes.clone()).unwrap();
+            let src = Arc::new(crate::fragstore::InMemorySource::new(bytes.clone()).unwrap());
             let cfg = EngineConfig {
                 overlap_io,
                 ..Default::default()
             };
-            let mut engine = RetrievalEngine::from_source(&src, cfg).unwrap();
+            let mut engine = RetrievalEngine::from_source(src, cfg).unwrap();
             let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-6, &ds).unwrap();
             let r = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
             let stats = engine.source_stats();

@@ -1223,9 +1223,9 @@ mod tests {
         // a container declaring a snapshot field with an empty directory is
         // legal (ladder-less archive); refinement must degrade to "born
         // exhausted at the zero-vector bound", not index an empty ladder
-        let src = InMemorySource::new(crafted(&[])).unwrap();
+        let src = Arc::new(InMemorySource::new(crafted(&[])).unwrap());
         let manifest = src.manifest().unwrap();
-        let mut reader = crate::refactored::FieldReader::open(&src, &manifest, 0).unwrap();
+        let mut reader = crate::refactored::FieldReader::open(src, &manifest, 0).unwrap();
         assert!(reader.exhausted());
         reader.refine_to(1e-9).unwrap();
         assert_eq!(reader.total_fetched(), 0);
@@ -1259,6 +1259,60 @@ mod tests {
         assert_eq!(s.cache_hits, 1);
         // the inner source was only touched once
         assert_eq!(cached.inner().stats().fetches, 1);
+    }
+
+    #[test]
+    fn concurrent_read_many_tallies_exactly() {
+        // 8 threads hammering one CachedSource with batched reads: the
+        // atomic stats must lose no update — every served payload is
+        // tallied, hits + misses == fetches, and byte counts add up to
+        // the directory-declared sizes exactly
+        let src = InMemorySource::new(archive_bytes(Scheme::PmgardHb)).unwrap();
+        let manifest = src.manifest().unwrap();
+        let cached = CachedSource::new(src, Arc::new(FragmentCache::new(64 << 20)));
+        let ids: Vec<FragmentId> = manifest
+            .fields
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| {
+                (0..f.fragments.len()).map(move |ki| FragmentId {
+                    field: fi as u32,
+                    index: ki as u32,
+                })
+            })
+            .collect();
+        let batch_bytes: u64 = ids
+            .iter()
+            .map(|&id| manifest.fragment(id).unwrap().len)
+            .sum();
+        const THREADS: u64 = 8;
+        const ROUNDS: u64 = 25;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let (cached, ids) = (&cached, &ids);
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let payloads = cached.read_many(ids).unwrap();
+                        for (&id, p) in ids.iter().zip(&payloads) {
+                            assert_eq!(
+                                p.len() as u64,
+                                cached.manifest().unwrap().fragment(id).unwrap().len
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cached.stats();
+        assert_eq!(stats.fetches, THREADS * ROUNDS * ids.len() as u64);
+        assert_eq!(stats.fetched_bytes, THREADS * ROUNDS * batch_bytes);
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.fetches);
+        // the cache is big enough to hold the archive: once everything is
+        // resident, whole batches hit without a backend read — misses stay
+        // a small fraction of the total (racing first-round threads may
+        // each miss, but never lose a tally)
+        assert!(stats.cache_misses >= ids.len() as u64);
+        assert!(stats.cache_misses <= THREADS * ids.len() as u64);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //!   partial retrieval is partial in bytes *read*, not just bytes counted.
 //! * [`engine`] — Algorithms 2–4: iterative QoI-preserved retrieval with a
 //!   primary-data error-bound assigner and a QoI error estimator.
+//! * [`store`] — the shared-state service layer's cross-request decode
+//!   cache: one master reader per field behind a `RwLock`, advanced
+//!   monotonically, so concurrent sessions ([`FieldReader::open_shared`]
+//!   views sharing one [`store::ProgressStore`]) decode every bitplane
+//!   exactly once and serve looser requests without touching the source.
 //! * [`plan`] — the plan/execute pipeline over the engine: multi-QoI
 //!   requests resolve into a deduplicated, source-ordered fragment
 //!   schedule (shared fields scheduled once) that executes through
@@ -67,6 +72,7 @@ pub mod fragstore;
 pub mod mask;
 pub mod plan;
 pub mod refactored;
+pub mod store;
 
 pub use engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
 pub use field::{Dataset, RefactoredDataset};
@@ -77,3 +83,4 @@ pub use fragstore::{
 pub use mask::ZeroMask;
 pub use plan::{PlanExecutor, PlanReport, RetrievalPlan, TargetReport};
 pub use refactored::{FieldReader, ReaderProgress, RefactoredField, Scheme};
+pub use store::{FieldSnapshot, ProgressStore, StoreStats};

@@ -70,7 +70,7 @@ impl RetrievalPlan {
     /// state. Validates every target (arity, tolerance positivity, region
     /// bounds) up front — execution cannot fail validation later.
     pub fn resolve(
-        engine: &RetrievalEngine<'_>,
+        engine: &RetrievalEngine,
         specs: Vec<QoiSpec>,
         byte_budget: Option<usize>,
     ) -> Result<Self> {
@@ -180,10 +180,7 @@ impl RetrievalPlan {
 /// The per-field refinement fronts at the given requested bounds, merged
 /// into one deduplicated schedule sorted by storage offset (with the
 /// directory bytes it will move).
-fn round_schedule(
-    engine: &RetrievalEngine<'_>,
-    requested: &[f64],
-) -> Result<(Vec<FragmentId>, usize)> {
+fn round_schedule(engine: &RetrievalEngine, requested: &[f64]) -> Result<(Vec<FragmentId>, usize)> {
     let mut ids = Vec::new();
     for (j, &eb) in requested.iter().enumerate() {
         if eb.is_finite() {
@@ -286,14 +283,14 @@ impl PlanReport {
 /// round, §IV re-evaluation after every round, per-target certification,
 /// Algorithm-4 tightening for the still-unmet targets, and the optional
 /// byte budget.
-pub struct PlanExecutor<'e, 'a> {
-    engine: &'e mut RetrievalEngine<'a>,
+pub struct PlanExecutor<'e> {
+    engine: &'e mut RetrievalEngine,
 }
 
-impl<'e, 'a> PlanExecutor<'e, 'a> {
+impl<'e> PlanExecutor<'e> {
     /// An executor over `engine` (which persists across executions, so
     /// plans retrieve incrementally like legacy request series).
-    pub fn new(engine: &'e mut RetrievalEngine<'a>) -> Self {
+    pub fn new(engine: &'e mut RetrievalEngine) -> Self {
         Self { engine }
     }
 

@@ -246,11 +246,13 @@ impl RefactoredField {
     }
 
     /// Opens a progressive reader at zero fetched fragments, served from
-    /// this resident field (which is itself a [`FragmentSource`]) — the
-    /// same code path file-backed and remote readers go through.
-    pub fn reader(&self) -> FieldReader<'_> {
+    /// a shared copy of this resident field (which is itself a
+    /// [`FragmentSource`]) — the same code path file-backed and remote
+    /// readers go through. The field is cloned behind an `Arc` so the
+    /// reader owns its source and carries no borrow.
+    pub fn reader(&self) -> FieldReader {
         let manifest = fragstore::build_manifest(&self.dims, &[("", self)], None, &[], 0);
-        FieldReader::open(self, &manifest, 0)
+        FieldReader::open(Arc::new(self.clone()), &manifest, 0)
             .expect("resident field serves its own fragments consistently")
     }
 
@@ -259,7 +261,7 @@ impl RefactoredField {
     /// recorded fetches against this archive. The resumed reader's
     /// reconstruction, guaranteed bound and cumulative byte accounting match
     /// the original reader's state exactly.
-    pub fn reader_resumed(&self, progress: &ReaderProgress) -> Result<FieldReader<'_>> {
+    pub fn reader_resumed(&self, progress: &ReaderProgress) -> Result<FieldReader> {
         let mut reader = self.reader();
         reader.restore(progress)?;
         Ok(reader)
@@ -401,11 +403,20 @@ impl ReaderProgress {
 ///
 /// Maintains the current reconstruction, the guaranteed L∞ bound, and the
 /// cumulative number of fetched bytes. Every byte enters through the
-/// [`FragmentSource`] the reader was opened on — a resident dataset, a
-/// serialized buffer, a file read by ranges, or a (simulated) remote store
-/// all drive this same code path.
-pub struct FieldReader<'a> {
-    source: &'a dyn FragmentSource,
+/// [`FragmentSource`] the reader **owns a shared handle to** — a resident
+/// dataset, a serialized buffer, a file read by ranges, or a (simulated)
+/// remote store all drive this same code path. Readers carry no borrows,
+/// so sessions built on them can move across threads and outlive the scope
+/// that opened them.
+///
+/// A reader opened through [`FieldReader::open_shared`] is a **view onto a
+/// [`ProgressStore`]** instead: it never decodes or fetches itself — every
+/// refinement adopts the store's shared decode state, so concurrent
+/// sessions pay for each bitplane exactly once.
+///
+/// [`ProgressStore`]: crate::store::ProgressStore
+pub struct FieldReader {
+    source: Arc<dyn FragmentSource>,
     field: u32,
     scheme: Scheme,
     /// The field's fragment directory (from the manifest).
@@ -413,13 +424,42 @@ pub struct FieldReader<'a> {
     /// Prefetch stage consulted before the source (plan execution parks
     /// batched payloads here; `None` = always fetch per fragment).
     stage: Option<Arc<FragmentStage>>,
-    recon: Vec<f64>,
+    recon: Recon,
     bound: f64,
     fetched: usize,
+    /// Payload fragments this reader itself fetched and decoded. Shared
+    /// (store-backed) readers never decode, so theirs stays zero — the
+    /// counter the decode-once tests assert on.
+    consumed: u64,
     state: ReaderState,
 }
 
-#[derive(Debug)]
+/// A reader's current reconstruction. Decoding readers own and mutate
+/// their buffer; store-backed views hold the store's published `Arc`, so
+/// adopting a snapshot costs a refcount bump, never an O(n) copy.
+enum Recon {
+    Owned(Vec<f64>),
+    Adopted(Arc<Vec<f64>>),
+}
+
+impl Recon {
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            Recon::Owned(v) => v,
+            Recon::Adopted(a) => a,
+        }
+    }
+
+    /// Mutable access for the decoding states (which only ever hold
+    /// `Owned` buffers — shared views never mutate their reconstruction).
+    fn owned_mut(&mut self) -> &mut Vec<f64> {
+        match self {
+            Recon::Owned(v) => v,
+            Recon::Adopted(_) => unreachable!("shared views never decode into their buffer"),
+        }
+    }
+}
+
 enum ReaderState {
     Snapshots {
         /// Next snapshot index to fetch (all below are fetched).
@@ -434,12 +474,22 @@ enum ReaderState {
         level_base: Vec<u32>,
     },
     Zfp(ZfpCursor),
+    /// A view onto a shared per-field decode state: refinement adopts the
+    /// store's snapshots instead of fetching/decoding locally.
+    Shared {
+        store: Arc<crate::store::ProgressStore>,
+        snap: Arc<crate::store::FieldSnapshot>,
+    },
 }
 
-impl<'a> FieldReader<'a> {
+impl FieldReader {
     /// Opens a reader on field `field` of `manifest`, fetching the field's
     /// metadata fragment (multilevel/transform schemes) through `source`.
-    pub fn open(source: &'a dyn FragmentSource, manifest: &Manifest, field: usize) -> Result<Self> {
+    pub fn open(
+        source: Arc<dyn FragmentSource>,
+        manifest: &Manifest,
+        field: usize,
+    ) -> Result<Self> {
         let entry = manifest.fields.get(field).ok_or_else(|| {
             PqrError::InvalidRequest(format!(
                 "field {field} out of range ({} fields)",
@@ -538,10 +588,46 @@ impl<'a> FieldReader<'a> {
             scheme: entry.scheme,
             frags,
             stage: None,
-            recon,
+            recon: Recon::Owned(recon),
             bound,
             fetched,
+            consumed: 0,
             state,
+        })
+    }
+
+    /// Opens a reader as a **view** onto field `field` of a shared
+    /// [`ProgressStore`]: no metadata fetch, no local cursor — the reader
+    /// adopts the store's current snapshot immediately and every
+    /// [`FieldReader::refine_to`] call reads through (and monotonically
+    /// advances) the shared decode state. A view never touches the source
+    /// itself, so a request the store has already reached costs zero
+    /// fetches and zero decodes.
+    ///
+    /// [`ProgressStore`]: crate::store::ProgressStore
+    pub fn open_shared(
+        store: Arc<crate::store::ProgressStore>,
+        manifest: &Manifest,
+        field: usize,
+    ) -> Result<Self> {
+        let entry = manifest.fields.get(field).ok_or_else(|| {
+            PqrError::InvalidRequest(format!(
+                "field {field} out of range ({} fields)",
+                manifest.num_fields()
+            ))
+        })?;
+        let snap = store.adopt(field)?;
+        Ok(Self {
+            source: Arc::clone(store.source()),
+            field: field as u32,
+            scheme: entry.scheme,
+            frags: entry.fragments.clone(),
+            stage: None,
+            recon: Recon::Adopted(Arc::clone(&snap.recon)),
+            bound: snap.bound,
+            fetched: snap.fetched,
+            consumed: 0,
+            state: ReaderState::Shared { store, snap },
         })
     }
 
@@ -570,12 +656,20 @@ impl<'a> FieldReader<'a> {
             None => self.source.fetch(id)?,
         };
         self.fetched += payload.len();
+        self.consumed += 1;
         Ok(payload)
+    }
+
+    /// Payload fragments this reader fetched **and decoded** itself.
+    /// Store-backed views report zero forever — their decodes happen once,
+    /// in the shared [`ProgressStore`](crate::store::ProgressStore).
+    pub fn fragments_decoded(&self) -> u64 {
+        self.consumed
     }
 
     /// Current reconstruction (zeros before any fetch — Algorithm 2 line 2).
     pub fn data(&self) -> &[f64] {
-        &self.recon
+        self.recon.as_slice()
     }
 
     /// Guaranteed L∞ bound of [`FieldReader::data`] versus the original.
@@ -606,15 +700,21 @@ impl<'a> FieldReader<'a> {
             ReaderState::Zfp(z) => ReaderProgress::Zfp {
                 planes: z.planes_read(),
             },
+            ReaderState::Shared { snap, .. } => snap.progress.clone(),
         }
     }
 
-    /// True when no further refinement is possible.
+    /// True when no further refinement is possible. For store-backed views
+    /// this asks the shared store: the view can still improve while the
+    /// store holds (or can decode) a deeper state than the view adopted.
     pub fn exhausted(&self) -> bool {
         match &self.state {
             ReaderState::Snapshots { next, .. } => *next >= self.frags.len(),
             ReaderState::Mgard { cursor, .. } => cursor.fully_fetched(),
             ReaderState::Zfp(z) => z.fully_fetched(),
+            ReaderState::Shared { store, .. } => {
+                !store.can_improve(self.field as usize, self.bound)
+            }
         }
     }
 
@@ -635,6 +735,12 @@ impl<'a> FieldReader<'a> {
             ReaderState::Zfp(_) => Err(PqrError::Unsupported(
                 "PZFP has no resolution hierarchy".into(),
             )),
+            // the resolution view reads the *shared* cursor — it reflects
+            // the store's (deepest) state, which is at least as refined as
+            // this view's adopted snapshot
+            ReaderState::Shared { store, .. } => {
+                store.reconstruct_at_resolution(self.field as usize, drop_finest)
+            }
         }
     }
 
@@ -682,6 +788,9 @@ impl<'a> FieldReader<'a> {
                 }
                 out
             }
+            // store-backed views schedule nothing themselves: the shared
+            // store fetches (and batches) whatever delta it still needs
+            ReaderState::Shared { .. } => Vec::new(),
         }
     }
 
@@ -740,6 +849,11 @@ impl<'a> FieldReader<'a> {
                 }
                 Ok((0..*planes).map(|p| 1 + p).collect())
             }
+            (ReaderState::Shared { .. }, _) => Err(PqrError::Unsupported(
+                "store-backed session views do not replay progress; \
+                 open a fresh session on the service instead"
+                    .into(),
+            )),
             _ => Err(PqrError::InvalidRequest(format!(
                 "progress marker does not match scheme {}",
                 self.scheme.name()
@@ -755,6 +869,19 @@ impl<'a> FieldReader<'a> {
         }
         if self.bound <= eb {
             return Ok(0);
+        }
+        if let ReaderState::Shared { store, snap } = &mut self.state {
+            // read through the shared decode state: the store advances its
+            // master reader only past what any previous request reached, so
+            // this view pays (at most) the delta — and nothing at all when
+            // a deeper request already decoded this far
+            let next = store.refine_to(self.field as usize, eb)?;
+            let before = self.fetched;
+            self.recon = Recon::Adopted(Arc::clone(&next.recon));
+            self.bound = next.bound;
+            self.fetched = next.fetched;
+            *snap = next;
+            return Ok(self.fetched - before);
         }
         let before = self.fetched;
         // the state is moved out so `self.fetch` can borrow mutably; every
@@ -794,7 +921,7 @@ impl<'a> FieldReader<'a> {
                         let eb_abs = self.frags[*next].eb_abs;
                         let blob = self.fetch(*next as u32)?;
                         let (part, _) = sz.decompress(&blob)?;
-                        for (acc, p) in self.recon.iter_mut().zip(&part) {
+                        for (acc, p) in self.recon.owned_mut().iter_mut().zip(&part) {
                             *acc += p;
                         }
                         self.bound = eb_abs;
@@ -806,7 +933,7 @@ impl<'a> FieldReader<'a> {
                     let eb_abs = self.frags[target].eb_abs;
                     let blob = self.fetch(target as u32)?;
                     let (recon, _) = sz.decompress(&blob)?;
-                    self.recon = recon;
+                    self.recon = Recon::Owned(recon);
                     self.bound = eb_abs;
                     *next = target + 1;
                 }
@@ -822,7 +949,7 @@ impl<'a> FieldReader<'a> {
                     pushed = true;
                 }
                 if pushed {
-                    self.recon = cursor.reconstruct();
+                    self.recon = Recon::Owned(cursor.reconstruct());
                 }
                 self.bound = cursor.guaranteed_bound().min(self.bound);
             }
@@ -838,10 +965,12 @@ impl<'a> FieldReader<'a> {
                 // planes are retained in the cursor either way.
                 let zb = cursor.guaranteed_bound();
                 if zb <= self.bound {
-                    self.recon = cursor.reconstruct();
+                    self.recon = Recon::Owned(cursor.reconstruct());
                     self.bound = zb;
                 }
             }
+            // refine_to short-circuits shared views through the store
+            ReaderState::Shared { .. } => unreachable!("shared views refine through the store"),
         }
         Ok(())
     }
@@ -884,7 +1013,7 @@ impl<'a> FieldReader<'a> {
                         let eb_abs = self.frags[i].eb_abs;
                         let blob = self.fetch(i as u32)?;
                         let (part, _) = sz.decompress(&blob)?;
-                        for (acc, p) in self.recon.iter_mut().zip(&part) {
+                        for (acc, p) in self.recon.owned_mut().iter_mut().zip(&part) {
                             *acc += p;
                         }
                         self.bound = eb_abs;
@@ -893,7 +1022,7 @@ impl<'a> FieldReader<'a> {
                     let eb_abs = self.frags[want - 1].eb_abs;
                     let blob = self.fetch((want - 1) as u32)?;
                     let (recon, _) = sz.decompress(&blob)?;
-                    self.recon = recon;
+                    self.recon = Recon::Owned(recon);
                     self.bound = eb_abs;
                 }
                 *next = want;
@@ -921,7 +1050,7 @@ impl<'a> FieldReader<'a> {
                         cursor.push_plane(l, &bytes)?;
                     }
                 }
-                self.recon = cursor.reconstruct();
+                self.recon = Recon::Owned(cursor.reconstruct());
                 self.bound = cursor.guaranteed_bound();
             }
             (ReaderState::Zfp(cursor), ReaderProgress::Zfp { planes }) => {
@@ -939,9 +1068,16 @@ impl<'a> FieldReader<'a> {
                 // its guarantee beats the zero-vector bound
                 let zb = cursor.guaranteed_bound();
                 if zb <= self.bound {
-                    self.recon = cursor.reconstruct();
+                    self.recon = Recon::Owned(cursor.reconstruct());
                     self.bound = zb;
                 }
+            }
+            (ReaderState::Shared { .. }, _) => {
+                return Err(PqrError::Unsupported(
+                    "store-backed session views do not replay progress; \
+                     open a fresh session on the service instead"
+                        .into(),
+                ))
             }
             _ => {
                 return Err(PqrError::InvalidRequest(format!(

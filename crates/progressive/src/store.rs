@@ -1,0 +1,346 @@
+//! Shared per-field decode state: the cross-request decode cache of the
+//! retrieval **service** layer.
+//!
+//! The paper's Algorithms 1–4 refine *per request*, but the decoded prefix
+//! of a progressive representation is a monotone asset: whatever depth the
+//! tightest request so far reached satisfies every looser request for
+//! free. A [`ProgressStore`] holds, per field, one **master**
+//! [`FieldReader`] (the only place fragments of that field are ever
+//! fetched and decoded) plus its last published [`FieldSnapshot`]. Session
+//! readers opened with [`FieldReader::open_shared`] are views: they adopt
+//! snapshots and, when they need a tighter bound than any previous request
+//! reached, advance the master **once** past the delta — under the field's
+//! write lock, so concurrent sessions racing for the same depth decode it
+//! exactly once.
+//!
+//! The store's counters make decode-once *assertable*: master decodes are
+//! tallied in [`StoreStats::fragments_decoded`], and a refinement served
+//! entirely from existing state bumps [`StoreStats::refine_reuses`]
+//! without touching the source (which tests cross-check against the
+//! source's own [`SourceStats`](crate::fragstore::SourceStats)).
+
+use crate::fragstore::{FragmentId, FragmentSource, FragmentStage, Manifest};
+use crate::refactored::{FieldReader, ReaderProgress};
+use pqr_util::error::{PqrError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A published view of one field's shared decode state: everything a
+/// session needs to serve requests at this depth without decoding.
+#[derive(Debug, Clone)]
+pub struct FieldSnapshot {
+    /// The reconstruction at this depth (shared — adopting is an `Arc`
+    /// clone plus one memcpy into the session's buffer).
+    pub recon: Arc<Vec<f64>>,
+    /// Guaranteed L∞ bound of `recon` versus the original.
+    pub bound: f64,
+    /// Cumulative bytes the master fetched to reach this state — what a
+    /// fresh engine would have fetched to get here, which keeps session
+    /// byte accounting identical to the unshared path.
+    pub fetched: usize,
+    /// True when the representation has no further fragments.
+    pub exhausted: bool,
+    /// The master reader's resumable progress marker at this depth.
+    pub progress: ReaderProgress,
+}
+
+fn snapshot_of(reader: &FieldReader) -> FieldSnapshot {
+    FieldSnapshot {
+        recon: Arc::new(reader.data().to_vec()),
+        bound: reader.guaranteed_bound(),
+        fetched: reader.total_fetched(),
+        exhausted: reader.exhausted(),
+        progress: reader.progress(),
+    }
+}
+
+struct MasterField {
+    /// The only reader that ever fetches/decodes this field's fragments.
+    reader: FieldReader,
+    /// Last published state (replaced wholesale on every advance, so
+    /// sessions holding older `Arc`s stay internally consistent).
+    snap: Arc<FieldSnapshot>,
+}
+
+/// Cumulative tallies of a [`ProgressStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Payload fragments the masters fetched and decoded — each counted
+    /// exactly once no matter how many sessions needed it.
+    pub fragments_decoded: u64,
+    /// Refinement requests that had to advance a master (decode work).
+    pub refine_advances: u64,
+    /// Refinement requests fully served by already-decoded state: zero
+    /// source fetches, zero decodes.
+    pub refine_reuses: u64,
+    /// Snapshots handed to session views (at open and on refinement).
+    pub adoptions: u64,
+}
+
+/// Shared, monotonically-deepening decode state for every field of one
+/// archive. Cheap to share (`Arc`), safe to hit from many sessions: reads
+/// are lock-free apart from a per-field `RwLock` read, and decodes
+/// serialize per field so each bitplane is decoded once.
+pub struct ProgressStore {
+    source: Arc<dyn FragmentSource>,
+    manifest: Manifest,
+    fields: Vec<RwLock<MasterField>>,
+    /// Stage the master readers consume batched prefetches from
+    /// ([`ProgressStore::refine_to`] rides each delta through
+    /// [`FragmentSource::read_many`] before the master decodes it).
+    stage: Arc<FragmentStage>,
+    decoded: AtomicU64,
+    advances: AtomicU64,
+    reuses: AtomicU64,
+    adoptions: AtomicU64,
+}
+
+impl ProgressStore {
+    /// Opens a store over `source`: one master reader per field (this
+    /// fetches each field's metadata fragment, nothing more).
+    pub fn open(source: Arc<dyn FragmentSource>) -> Result<Self> {
+        let manifest = source.manifest()?;
+        let stage = Arc::new(FragmentStage::new());
+        let fields = (0..manifest.num_fields())
+            .map(|i| {
+                let mut reader = FieldReader::open(Arc::clone(&source), &manifest, i)?;
+                reader.attach_stage(Arc::clone(&stage));
+                let snap = Arc::new(snapshot_of(&reader));
+                Ok(RwLock::new(MasterField { reader, snap }))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            source,
+            manifest,
+            fields,
+            stage,
+            decoded: AtomicU64::new(0),
+            advances: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            adoptions: AtomicU64::new(0),
+        })
+    }
+
+    /// The fragment source the masters decode from.
+    pub fn source(&self) -> &Arc<dyn FragmentSource> {
+        &self.source
+    }
+
+    /// The archive manifest the store serves.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    fn read_field(&self, field: usize) -> Result<RwLockReadGuard<'_, MasterField>> {
+        self.fields
+            .get(field)
+            .ok_or_else(|| {
+                PqrError::InvalidRequest(format!(
+                    "field {field} out of range ({} fields)",
+                    self.fields.len()
+                ))
+            })
+            .map(|l| l.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn write_field(&self, field: usize) -> RwLockWriteGuard<'_, MasterField> {
+        self.fields[field]
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The current snapshot of `field` (what a freshly opened session view
+    /// adopts).
+    pub fn adopt(&self, field: usize) -> Result<Arc<FieldSnapshot>> {
+        let snap = Arc::clone(&self.read_field(field)?.snap);
+        self.adoptions.fetch_add(1, Ordering::Relaxed);
+        Ok(snap)
+    }
+
+    /// The store's current guaranteed bound for `field`.
+    pub fn field_bound(&self, field: usize) -> f64 {
+        self.read_field(field)
+            .map_or(f64::INFINITY, |g| g.snap.bound)
+    }
+
+    /// True when a session view at `current_bound` could still improve by
+    /// reading through the store: the store holds a deeper state already,
+    /// or its master is not exhausted.
+    pub fn can_improve(&self, field: usize, current_bound: f64) -> bool {
+        self.read_field(field)
+            .map(|g| !g.snap.exhausted || g.snap.bound < current_bound)
+            .unwrap_or(false)
+    }
+
+    /// Refines `field` to bound `eb`, sharing work across sessions: if the
+    /// store is already at least this deep the call is a lock-free-ish read
+    /// (no fetch, no decode); otherwise the master decodes exactly the
+    /// delta — batched through [`FragmentSource::read_many`] — under the
+    /// field's write lock, and a new snapshot is published.
+    pub fn refine_to(&self, field: usize, eb: f64) -> Result<Arc<FieldSnapshot>> {
+        {
+            let g = self.read_field(field)?;
+            if g.snap.bound <= eb || g.snap.exhausted {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                self.adoptions.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&g.snap));
+            }
+        }
+        let mut g = self.write_field(field);
+        // another session may have decoded this depth while we waited
+        if g.snap.bound <= eb || g.snap.exhausted {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            self.adoptions.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&g.snap));
+        }
+        // batch the delta schedule in storage order; a failed prefetch
+        // degrades to the reader's per-fragment fallback fetches
+        let mut ids: Vec<FragmentId> = g
+            .reader
+            .plan_refine_to(eb)
+            .into_iter()
+            .map(|index| FragmentId {
+                field: field as u32,
+                index,
+            })
+            .collect();
+        if ids.len() > 1 {
+            ids.sort_by_key(|&id| {
+                self.manifest
+                    .fragment(id)
+                    .map(|f| f.offset)
+                    .unwrap_or(u64::MAX)
+            });
+            if let Ok(payloads) = self.source.read_many(&ids) {
+                for (&id, payload) in ids.iter().zip(payloads) {
+                    self.stage.put(id, payload);
+                }
+            }
+        }
+        let before = g.reader.fragments_decoded();
+        g.reader.refine_to(eb)?;
+        self.decoded
+            .fetch_add(g.reader.fragments_decoded() - before, Ordering::Relaxed);
+        self.advances.fetch_add(1, Ordering::Relaxed);
+        self.adoptions.fetch_add(1, Ordering::Relaxed);
+        g.snap = Arc::new(snapshot_of(&g.reader));
+        Ok(Arc::clone(&g.snap))
+    }
+
+    /// Resolution-progressive view of `field` from the store's current
+    /// (deepest) decode state — see
+    /// [`FieldReader::reconstruct_at_resolution`].
+    pub fn reconstruct_at_resolution(
+        &self,
+        field: usize,
+        drop_finest: usize,
+    ) -> Result<(Vec<f64>, Vec<usize>)> {
+        self.read_field(field)?
+            .reader
+            .reconstruct_at_resolution(drop_finest)
+    }
+
+    /// Cumulative store tallies.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            fragments_decoded: self.decoded.load(Ordering::Relaxed),
+            refine_advances: self.advances.load(Ordering::Relaxed),
+            refine_reuses: self.reuses.load(Ordering::Relaxed),
+            adoptions: self.adoptions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Dataset;
+    use crate::fragstore::InMemorySource;
+    use crate::refactored::Scheme;
+
+    fn shared_source(scheme: Scheme) -> Arc<dyn FragmentSource> {
+        let n = 1200;
+        let mut ds = Dataset::new(&[n]);
+        ds.add_field("u", (0..n).map(|i| (i as f64 * 0.01).sin() * 8.0).collect())
+            .unwrap();
+        ds.add_field("v", (0..n).map(|i| (i as f64 * 0.02).cos() * 3.0).collect())
+            .unwrap();
+        let bytes = ds
+            .refactor_with_bounds(scheme, &(1..=8).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
+            .unwrap()
+            .to_bytes();
+        Arc::new(InMemorySource::new(bytes).unwrap())
+    }
+
+    #[test]
+    fn masters_decode_each_depth_once() {
+        for scheme in Scheme::extended() {
+            let source = shared_source(scheme);
+            let store = ProgressStore::open(Arc::clone(&source)).unwrap();
+            let tight = store.refine_to(0, 1e-5).unwrap();
+            let after_tight = store.stats();
+            let fetched_after_tight = source.stats().fetched_bytes;
+            assert!(after_tight.fragments_decoded > 0, "{}", scheme.name());
+            assert!(tight.bound <= 1e-5);
+
+            // a looser request afterwards: pure reuse, no new source bytes
+            let loose = store.refine_to(0, 1e-2).unwrap();
+            let after_loose = store.stats();
+            assert_eq!(
+                after_loose.fragments_decoded,
+                after_tight.fragments_decoded,
+                "{}: looser request must not decode",
+                scheme.name()
+            );
+            assert_eq!(after_loose.refine_reuses, after_tight.refine_reuses + 1);
+            assert_eq!(source.stats().fetched_bytes, fetched_after_tight);
+            // the reuse serves the deepest snapshot (monotone state)
+            assert_eq!(loose.bound, tight.bound);
+            assert!(Arc::ptr_eq(&loose.recon, &tight.recon));
+        }
+    }
+
+    #[test]
+    fn concurrent_refines_share_the_decode() {
+        let source = shared_source(Scheme::PmgardHb);
+        let store = Arc::new(ProgressStore::open(Arc::clone(&source)).unwrap());
+        std::thread::scope(|s| {
+            for k in 0..8 {
+                let store = Arc::clone(&store);
+                let eb = if k % 2 == 0 { 1e-5 } else { 1e-2 };
+                s.spawn(move || {
+                    let snap = store.refine_to(0, eb).unwrap();
+                    assert!(snap.bound <= eb);
+                });
+            }
+        });
+        // sequential oracle: one cold store refined straight to the
+        // tightest bound decodes the same fragments the race did
+        let oracle_src = shared_source(Scheme::PmgardHb);
+        let oracle = ProgressStore::open(oracle_src).unwrap();
+        oracle.refine_to(0, 1e-5).unwrap();
+        // the racing store may pass through the loose depth first (one
+        // extra advance), but never decodes a fragment twice
+        assert_eq!(
+            store.stats().fragments_decoded,
+            oracle.stats().fragments_decoded
+        );
+        assert_eq!(
+            store.field_bound(0).to_bits(),
+            oracle.field_bound(0).to_bits()
+        );
+    }
+
+    #[test]
+    fn out_of_range_field_is_an_error() {
+        let store = ProgressStore::open(shared_source(Scheme::Psz3Delta)).unwrap();
+        assert!(store.adopt(9).is_err());
+        assert!(store.refine_to(9, 1e-3).is_err());
+        assert!(!store.can_improve(9, 0.0));
+    }
+}

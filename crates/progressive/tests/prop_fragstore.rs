@@ -68,7 +68,10 @@ fn temp_archive(bytes: &[u8], tag: &str) -> std::path::PathBuf {
 
 /// Runs a retrieval through `source` and returns
 /// (per-field reconstructions, per-field bounds, total fetched bytes).
-fn retrieve_via(source: &dyn FragmentSource, spec: &QoiSpec) -> (Vec<Vec<f64>>, Vec<f64>, usize) {
+fn retrieve_via(
+    source: std::sync::Arc<dyn FragmentSource>,
+    spec: &QoiSpec,
+) -> (Vec<Vec<f64>>, Vec<f64>, usize) {
     let mut engine = RetrievalEngine::from_source(source, EngineConfig::default()).unwrap();
     engine.retrieve(std::slice::from_ref(spec)).unwrap();
     let nv = engine.manifest().num_fields();
@@ -98,13 +101,14 @@ proptest! {
         let spec = QoiSpec::with_range("q", qoi, 10f64.powi(tol_exp), range);
 
         let bytes = archive.to_bytes();
-        let mem = InMemorySource::new(bytes.clone()).unwrap();
+        let mem = std::sync::Arc::new(InMemorySource::new(bytes.clone()).unwrap());
         let path = temp_archive(&bytes, scheme.name());
-        let file = FileSource::open(&path).unwrap();
+        let file = std::sync::Arc::new(FileSource::open(&path).unwrap());
 
-        let (recon_a, bounds_a, fetched_a) = retrieve_via(&archive, &spec);
-        let (recon_b, bounds_b, fetched_b) = retrieve_via(&mem, &spec);
-        let (recon_c, bounds_c, fetched_c) = retrieve_via(&file, &spec);
+        let (recon_a, bounds_a, fetched_a) =
+            retrieve_via(std::sync::Arc::new(archive.clone()), &spec);
+        let (recon_b, bounds_b, fetched_b) = retrieve_via(mem, &spec);
+        let (recon_c, bounds_c, fetched_c) = retrieve_via(file.clone(), &spec);
         std::fs::remove_file(&path).ok();
 
         // byte-identical reconstructions (bit patterns, not approx)
@@ -164,9 +168,9 @@ proptest! {
         // session 2 resumes *against the file-backed source*
         let bytes = archive.to_bytes();
         let path = temp_archive(&bytes, "resume");
-        let file = FileSource::open(&path).unwrap();
+        let file = std::sync::Arc::new(FileSource::open(&path).unwrap());
         let mut e2 =
-            RetrievalEngine::resume_from_source(&file, EngineConfig::default(), &blob).unwrap();
+            RetrievalEngine::resume_from_source(file, EngineConfig::default(), &blob).unwrap();
         prop_assert_eq!(e1.total_fetched(), e2.total_fetched());
         for i in 0..2 {
             prop_assert!(

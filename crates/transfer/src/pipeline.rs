@@ -122,7 +122,7 @@ impl PipelineResult {
 /// `specs_for_block` produces the QoI requests for a given block index
 /// (ranges differ per block, so specs are per-block).
 pub fn run_pipeline(
-    store: &RemoteStore,
+    store: &std::sync::Arc<RemoteStore>,
     cfg: &PipelineConfig,
     specs_for_block: impl Fn(usize) -> Vec<QoiSpec> + Sync,
 ) -> Result<PipelineResult> {
@@ -140,7 +140,8 @@ pub fn run_pipeline(
         // fetched fragment lands in the store's network/cache tallies
         let source = store.block_source(i).expect("block index in range");
         let specs = specs_for_block(i);
-        let mut engine = match RetrievalEngine::from_source(&source, cfg.engine) {
+        let mut engine = match RetrievalEngine::from_source(std::sync::Arc::new(source), cfg.engine)
+        {
             Ok(e) => e,
             Err(_) => return BlockResult::default(),
         };
@@ -190,8 +191,9 @@ mod tests {
 
     /// Builds a small GE-large-like store: per-block refactored velocity
     /// fields plus per-block VTOT ranges.
-    fn build_store(blocks: usize, scheme: Scheme) -> (RemoteStore, Vec<f64>) {
-        build_store_sized(blocks, scheme, 500)
+    fn build_store(blocks: usize, scheme: Scheme) -> (std::sync::Arc<RemoteStore>, Vec<f64>) {
+        let (store, ranges) = build_store_sized(blocks, scheme, 500);
+        (std::sync::Arc::new(store), ranges)
     }
 
     fn build_store_sized(
@@ -274,8 +276,8 @@ mod tests {
 
     #[test]
     fn cached_store_turns_refetches_into_hits() {
-        let (store, ranges) = build_store(4, Scheme::PmgardHb);
-        let store = store.with_cache(64 << 20);
+        let (store, ranges) = build_store_sized(4, Scheme::PmgardHb, 500);
+        let store = std::sync::Arc::new(store.with_cache(64 << 20));
         let cfg = PipelineConfig {
             workers: 2,
             ..Default::default()
@@ -340,6 +342,7 @@ mod tests {
         // a plain byte/time win (the 2× factor is exercised by the fig9
         // harness at realistic sizes).
         let (store, ranges) = build_store_sized(6, Scheme::PmgardHb, 4000);
+        let store = std::sync::Arc::new(store);
         let cfg = PipelineConfig {
             workers: 4,
             network: crate::NetworkModel::wan_slow(),

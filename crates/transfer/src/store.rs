@@ -9,19 +9,53 @@
 //! ([`RemoteStore::with_cache`]), distinguishes cache hits (served locally,
 //! free on the wire) from network fetches.
 
-use parking_lot::Mutex;
 use pqr_progressive::fragstore::{
     FragmentCache, FragmentId, FragmentSource, Manifest, SourceStats,
 };
 use pqr_progressive::RefactoredDataset;
 use pqr_util::error::{PqrError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A remote store holding refactored blocks (archive side of Fig. 1).
+/// Stores are shared behind an `Arc` — block sources own a handle, so
+/// retrieval engines on them carry no borrows and run from any thread.
 pub struct RemoteStore {
     blocks: Vec<RefactoredDataset>,
-    counters: Mutex<FetchCounters>,
+    counters: AtomicFetchCounters,
     cache: Option<Arc<FragmentCache>>,
+}
+
+/// Lock-free tally cells behind [`FetchCounters`]: concurrent block
+/// retrievals bump these with atomic adds, so no update is ever lost and
+/// no fetch serializes on a counter lock.
+#[derive(Debug, Default)]
+struct AtomicFetchCounters {
+    bytes: AtomicUsize,
+    requests: AtomicUsize,
+    fragments: AtomicUsize,
+    hits: AtomicUsize,
+    hit_bytes: AtomicUsize,
+}
+
+impl AtomicFetchCounters {
+    fn snapshot(&self) -> FetchCounters {
+        FetchCounters {
+            bytes: self.bytes.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            fragments: self.fragments.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            hit_bytes: self.hit_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.bytes.store(0, Ordering::Relaxed);
+        self.requests.store(0, Ordering::Relaxed);
+        self.fragments.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.hit_bytes.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Tallied fetch activity.
@@ -63,7 +97,7 @@ impl RemoteStore {
     pub fn new(blocks: Vec<RefactoredDataset>) -> Self {
         Self {
             blocks,
-            counters: Mutex::new(FetchCounters::default()),
+            counters: AtomicFetchCounters::default(),
             cache: None,
         }
     }
@@ -93,52 +127,52 @@ impl RemoteStore {
             .ok_or_else(|| PqrError::InvalidRequest(format!("block {i} out of range")))
     }
 
-    /// Opens the fragment source for block `i` — the handle a retrieval
-    /// engine refines through. Fetches count against the store's network
-    /// tallies; the attached cache (if any) intercepts repeats.
-    pub fn block_source(&self, i: usize) -> Result<RemoteBlockSource<'_>> {
+    /// Opens the fragment source for block `i` — the **owned** handle a
+    /// retrieval engine refines through (it keeps the store alive via its
+    /// `Arc`). Fetches count against the store's network tallies; the
+    /// attached cache (if any) intercepts repeats.
+    pub fn block_source(self: &Arc<Self>, i: usize) -> Result<RemoteBlockSource> {
         if i >= self.blocks.len() {
             return Err(PqrError::InvalidRequest(format!("block {i} out of range")));
         }
         Ok(RemoteBlockSource {
-            store: self,
+            store: Arc::clone(self),
             block: i,
         })
     }
 
     /// Records a network fetch of `bytes` (one request, one fragment).
     pub fn record_fetch(&self, bytes: usize) {
-        let mut c = self.counters.lock();
-        c.bytes += bytes;
-        c.requests += 1;
-        c.fragments += 1;
+        self.counters.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.fragments.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a batched fetch: `fragments` fragments totalling `bytes`
     /// served in **one** network round-trip.
     pub fn record_batch(&self, bytes: usize, fragments: usize) {
-        let mut c = self.counters.lock();
-        c.bytes += bytes;
-        c.requests += 1;
-        c.fragments += fragments;
+        self.counters.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .fragments
+            .fetch_add(fragments, Ordering::Relaxed);
     }
 
     /// Records a fetch served by the local cache (`bytes` stayed off the
     /// wire).
     pub fn record_hit(&self, bytes: usize) {
-        let mut c = self.counters.lock();
-        c.hits += 1;
-        c.hit_bytes += bytes;
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        self.counters.hit_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Current tallies.
+    /// Current tallies (an atomic snapshot of the lock-free cells).
     pub fn counters(&self) -> FetchCounters {
-        *self.counters.lock()
+        self.counters.snapshot()
     }
 
     /// Resets tallies (between experiment arms).
     pub fn reset_counters(&self) {
-        *self.counters.lock() = FetchCounters::default();
+        self.counters.reset();
     }
 
     /// Total archived bytes across blocks.
@@ -155,20 +189,21 @@ impl RemoteStore {
 /// The [`FragmentSource`] view of one stored block: every fetch either hits
 /// the store's cache (tallied as a hit) or moves bytes over the simulated
 /// network (tallied as a request). Retrieval engines refine through this —
-/// the same code path as local and file-backed archives.
-pub struct RemoteBlockSource<'a> {
-    store: &'a RemoteStore,
+/// the same code path as local and file-backed archives. The view owns an
+/// `Arc` to its store, so it is `'static` and crosses threads freely.
+pub struct RemoteBlockSource {
+    store: Arc<RemoteStore>,
     block: usize,
 }
 
-impl RemoteBlockSource<'_> {
+impl RemoteBlockSource {
     /// The block index this source serves.
     pub fn block_index(&self) -> usize {
         self.block
     }
 }
 
-impl FragmentSource for RemoteBlockSource<'_> {
+impl FragmentSource for RemoteBlockSource {
     fn manifest(&self) -> Result<Manifest> {
         self.store.blocks[self.block].manifest()
     }
@@ -245,7 +280,7 @@ mod tests {
     use pqr_progressive::refactored::Scheme;
     use pqr_qoi::QoiExpr;
 
-    fn store_with_blocks(n: usize) -> RemoteStore {
+    fn store_with_blocks(n: usize) -> Arc<RemoteStore> {
         let blocks = (0..n)
             .map(|b| {
                 let mut ds = Dataset::new(&[128]);
@@ -257,7 +292,7 @@ mod tests {
                 ds.refactor_with_bounds(Scheme::PmgardHb, &[1e-1]).unwrap()
             })
             .collect();
-        RemoteStore::new(blocks)
+        Arc::new(RemoteStore::new(blocks))
     }
 
     #[test]
@@ -303,7 +338,8 @@ mod tests {
     fn uncached_fetches_all_go_to_the_network() {
         let store = store_with_blocks(2);
         let src = store.block_source(0).unwrap();
-        let mut engine = RetrievalEngine::from_source(&src, EngineConfig::default()).unwrap();
+        let mut engine =
+            RetrievalEngine::from_source(Arc::new(src), EngineConfig::default()).unwrap();
         engine
             .retrieve(&[QoiSpec::absolute("f", QoiExpr::var(0), 1e-4)])
             .unwrap();
@@ -318,18 +354,25 @@ mod tests {
 
     #[test]
     fn cached_store_serves_repeats_locally() {
-        let store = store_with_blocks(1).with_cache(1 << 20);
+        let store = {
+            let mut blocks = Vec::new();
+            let mut ds = Dataset::new(&[128]);
+            ds.add_field("f", (0..128).map(|i| (i as f64 * 0.1).sin()).collect())
+                .unwrap();
+            blocks.push(ds.refactor_with_bounds(Scheme::PmgardHb, &[1e-1]).unwrap());
+            Arc::new(RemoteStore::new(blocks).with_cache(1 << 20))
+        };
         let spec = QoiSpec::absolute("f", QoiExpr::var(0), 1e-4);
 
-        let src = store.block_source(0).unwrap();
-        let mut e1 = RetrievalEngine::from_source(&src, EngineConfig::default()).unwrap();
+        let src = Arc::new(store.block_source(0).unwrap());
+        let mut e1 = RetrievalEngine::from_source(src.clone(), EngineConfig::default()).unwrap();
         e1.retrieve(std::slice::from_ref(&spec)).unwrap();
         let after_first = store.counters();
         assert_eq!(after_first.hits(), 0, "cold cache cannot hit");
 
         // a second session over the same block re-fetches the same
         // fragments: all hits, zero new network bytes
-        let mut e2 = RetrievalEngine::from_source(&src, EngineConfig::default()).unwrap();
+        let mut e2 = RetrievalEngine::from_source(src, EngineConfig::default()).unwrap();
         e2.retrieve(std::slice::from_ref(&spec)).unwrap();
         let after_second = store.counters();
         assert_eq!(after_second.bytes, after_first.bytes);

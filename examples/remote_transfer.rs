@@ -49,7 +49,7 @@ fn main() -> Result<()> {
         .collect();
     // retrieval-side fragment cache: progressive request series re-touch
     // the fragments earlier tolerances already moved
-    let store = RemoteStore::new(refactored).with_cache(256 << 20);
+    let store = std::sync::Arc::new(RemoteStore::new(refactored).with_cache(256 << 20));
 
     let cfg = PipelineConfig {
         workers: 96,
@@ -115,7 +115,7 @@ fn main() -> Result<()> {
     // per-fragment execution pays one round-trip per fragment, while
     // batched execution ships each refinement round's whole schedule in
     // one `read_many` round-trip.
-    let probe = RemoteStore::new(vec![store.block(0)?.clone()]);
+    let probe = std::sync::Arc::new(RemoteStore::new(vec![store.block(0)?.clone()]));
     let probe_spec = vec![QoiSpec::with_range(
         "VTOT",
         velocity_magnitude(0, 3),
@@ -126,7 +126,7 @@ fn main() -> Result<()> {
         probe.reset_counters();
         let src = probe.block_source(0)?;
         let mut engine = RetrievalEngine::from_source(
-            &src,
+            std::sync::Arc::new(src),
             EngineConfig {
                 batch_io,
                 parallel_scan: false,

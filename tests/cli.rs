@@ -579,3 +579,186 @@ fn multi_qoi_retrieve_prints_per_target_table_and_savings() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn workers_and_overlap_flags_change_nothing_but_are_validated() {
+    let dir = std::env::temp_dir().join(format!("pqr-cli-workers-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let n = 4000;
+    let u: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.009).sin() * 18.0 + 4.0)
+        .collect();
+    write_f64(&dir.join("u.f64"), &u);
+    let archive = dir.join("u.pqr");
+    let out = pqr()
+        .args([
+            "refactor",
+            "--out",
+            archive.to_str().unwrap(),
+            "--field",
+            &format!("u:{}", dir.join("u.f64").display()),
+            "--qoi",
+            "u2=x0^2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // the decode-parallelism knobs are now CLI flags (no PQR_THREADS env
+    // needed); results must be identical across the worker/overlap matrix
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "u2",
+            "--tol",
+            "1e-5",
+        ];
+        args.extend_from_slice(extra);
+        let out = pqr().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let log = String::from_utf8_lossy(&out.stderr).to_string();
+        // the "satisfied ... fetched ... est err" line is deterministic
+        log.lines()
+            .find(|l| l.starts_with("satisfied"))
+            .unwrap()
+            .to_string()
+    };
+    let baseline = run(&[]);
+    assert_eq!(baseline, run(&["--workers", "1", "--overlap-io", "off"]));
+    assert_eq!(baseline, run(&["--workers", "4", "--overlap-io", "on"]));
+    // multi-target form accepts them too
+    let out = pqr()
+        .args([
+            "retrieve",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "u2=1e-4",
+            "--workers",
+            "2",
+            "--overlap-io",
+            "true",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // bad values fail loudly
+    for bad in [["--workers", "many"], ["--overlap-io", "maybe"]] {
+        let out = pqr()
+            .args([
+                "retrieve",
+                archive.to_str().unwrap(),
+                "--qoi",
+                "u2",
+                "--tol",
+                "1e-3",
+                bad[0],
+                bad[1],
+            ])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{bad:?} should be rejected");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_bench_reports_shared_vs_cold() {
+    let dir = std::env::temp_dir().join(format!("pqr-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let n = 6000;
+    let vx: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.012).sin() * 25.0 + 40.0)
+        .collect();
+    let vy: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.019).cos() * 12.0 + 30.0)
+        .collect();
+    write_f64(&dir.join("vx.f64"), &vx);
+    write_f64(&dir.join("vy.f64"), &vy);
+    let archive = dir.join("serve.pqr");
+    let out = pqr()
+        .args([
+            "refactor",
+            "--out",
+            archive.to_str().unwrap(),
+            "--field",
+            &format!("Vx:{}", dir.join("vx.f64").display()),
+            "--field",
+            &format!("Vy:{}", dir.join("vy.f64").display()),
+            "--qoi",
+            "V=sqrt(x0^2 + x1^2)",
+            "--qoi",
+            "Vx2=x0^2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let report = dir.join("serve.json");
+    let out = pqr()
+        .args([
+            "serve-bench",
+            archive.to_str().unwrap(),
+            "--qoi",
+            "V=1e-5",
+            "--qoi",
+            "Vx2=1e-2",
+            "--sessions",
+            "4",
+            "--out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&report).unwrap();
+    for key in [
+        "pqr-bench-serve/1",
+        "decode_reuse_ratio",
+        "bytes_read_ratio",
+        "\"satisfied\": 4",
+    ] {
+        assert!(json.contains(key), "missing '{key}' in:\n{json}");
+    }
+    // decode-once in numbers: the shared arm must decode strictly fewer
+    // fragments and read strictly fewer source bytes than the cold arm
+    let field = |arm: &str, key: &str| -> f64 {
+        let arm_json = json.split(&format!("\"{arm}\": {{")).nth(1).unwrap();
+        arm_json
+            .split(&format!("\"{key}\": "))
+            .nth(1)
+            .unwrap()
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap()
+    };
+    assert!(field("shared", "fragments_decoded") < field("cold", "fragments_decoded"));
+    assert!(field("shared", "source_bytes") < field("cold", "source_bytes"));
+
+    // targets are mandatory
+    let out = pqr()
+        .args(["serve-bench", archive.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

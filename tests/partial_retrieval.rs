@@ -108,7 +108,7 @@ fn all_backends_share_one_code_path() {
         ds.qoi_range(&QoiExpr::var(0).mul(QoiExpr::var(1))).unwrap(),
     );
 
-    let run = |source: &dyn FragmentSource| {
+    let run = |source: std::sync::Arc<dyn FragmentSource>| {
         let mut engine = RetrievalEngine::from_source(source, EngineConfig::default()).unwrap();
         let report = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
         assert!(report.satisfied);
@@ -129,15 +129,15 @@ fn all_backends_share_one_code_path() {
         FileSource::open(&path).unwrap(),
         std::sync::Arc::new(FragmentCache::new(1 << 20)),
     );
-    let store = RemoteStore::new(vec![resident.clone()]);
+    let store = std::sync::Arc::new(RemoteStore::new(vec![resident.clone()]));
     let remote = store.block_source(0).unwrap();
 
-    let base = run(&resident);
+    let base = run(std::sync::Arc::new(resident.clone()));
     for (label, got) in [
-        ("in-memory", run(&mem)),
-        ("file-backed", run(&file)),
-        ("cached file", run(&cached)),
-        ("remote store", run(&remote)),
+        ("in-memory", run(std::sync::Arc::new(mem))),
+        ("file-backed", run(std::sync::Arc::new(file))),
+        ("cached file", run(std::sync::Arc::new(cached))),
+        ("remote store", run(std::sync::Arc::new(remote))),
     ] {
         assert!(
             base.0 == got.0 && base.1 == got.1,
