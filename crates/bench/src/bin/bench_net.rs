@@ -1,0 +1,249 @@
+//! Network serving harness: N real-socket clients against one in-process
+//! `pqr-serve` server (shared decode store, full wire protocol) versus N
+//! per-client cold engines (each its own in-process archive + decode
+//! state, no wire at all), then emits `BENCH_net.json` — the recorded
+//! serving-layer trajectory (CI smoke-checks that the file is well-formed
+//! and that the deterministic counter ratios hold).
+//!
+//! Arms (identical request traffic in both):
+//!
+//! * **served** — one `Server` over one `DatasetService`; every client
+//!   opens a TCP connection, speaks the length-prefixed protocol, and
+//!   shares the dataset's decode-once store. The timed region includes
+//!   server start-up, connection setup, framing, and shutdown — the wire
+//!   pays its full cost.
+//! * **cold** — every client opens its own archive in-process and decodes
+//!   from scratch: the pre-serve workflow, with zero protocol overhead.
+//!   The comparison is deliberately tilted *against* the served arm; it
+//!   wins anyway because the deepest tolerance is decoded once for
+//!   everyone.
+//!
+//! Reported: aggregate wall time / requests-per-second, total source
+//! bytes, fragments decoded, wire traffic, plus the derived `speedup`,
+//! `decode_reuse_ratio` and `bytes_read_ratio`. Sizes scale with
+//! `PQR_SCALE`; the output path can be overridden with `PQR_BENCH_OUT`.
+
+use pqr_bench::scaled;
+use pqr_core::request::RetrievalRequest;
+use pqr_core::{Archive, ArchiveBuilder};
+use pqr_qoi::library::velocity_magnitude;
+use pqr_qoi::QoiExpr;
+use pqr_serve::{Registry, ServeClient, Server, ServerConfig};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Concurrent clients per arm (the acceptance target is ≥ 16 mixed-QoI
+/// socket clients).
+const CLIENTS: usize = 16;
+/// Timing repetitions per arm; the best (least-noise) run is recorded.
+const RUNS: usize = 3;
+
+/// The mixed-tolerance request mix: client k issues `TRAFFIC[k %
+/// TRAFFIC.len()]`. Two tight clients anchor the deepest decode; the rest
+/// ride it.
+const TRAFFIC: [(&str, f64); 8] = [
+    ("V", 1e-7),
+    ("KE", 1e-2),
+    ("Vx2", 1e-4),
+    ("V", 1e-4),
+    ("KE", 1e-7),
+    ("Vx2", 1e-2),
+    ("V", 1e-3),
+    ("KE", 1e-4),
+];
+
+struct Arm {
+    wall_ms: f64,
+    source_bytes: u64,
+    decoded: u64,
+    wire_out: u64,
+    queue_wait_max_ms: u64,
+}
+
+fn build_archive(path: &std::path::Path) {
+    let n = scaled(120_000);
+    let mut builder = ArchiveBuilder::new(&[n]);
+    for (f, name) in ["Vx", "Vy", "Vz", "P", "T", "rho"].iter().enumerate() {
+        // smooth flow + deterministic broadband noise, as in bench_serve:
+        // the noise floor keeps deep bitplanes incompressible so tight
+        // tolerances have real decode work to share
+        let mut s = 0x9e37_79b9_7f4a_7c15u64 ^ (f as u64);
+        builder = builder.field(
+            name,
+            (0..n)
+                .map(|i| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    let noise = (s as f64 / u64::MAX as f64 - 0.5) * 2.0;
+                    let x = i as f64 / n as f64;
+                    (x * (7.0 + f as f64)).sin() * 20.0 + (x * 31.0).cos() * 3.0 + noise + 40.0
+                })
+                .collect(),
+        );
+    }
+    builder
+        .qoi("V", velocity_magnitude(0, 3))
+        .qoi("KE", velocity_magnitude(0, 3).pow(2).scale(0.5))
+        .qoi("Vx2", QoiExpr::var(0).pow(2))
+        .build()
+        .expect("archive build")
+        .save(path)
+        .expect("archive save");
+}
+
+/// One served-arm run: server start → 16 socket clients → shutdown, all
+/// inside the timed region.
+fn run_served(path: &std::path::Path) -> Arm {
+    let t0 = Instant::now();
+    let mut registry = Registry::new();
+    registry
+        .register("bench", Archive::open(path).expect("open archive"))
+        .expect("register");
+    let config = ServerConfig {
+        workers: CLIENTS,
+        pending_queue: CLIENTS,
+        decode_permits: 8,
+        busy_wait_ms: 600_000, // this bench measures sharing, not shedding
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", registry, config).expect("server start");
+    let addr = server.local_addr();
+
+    let satisfied = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for k in 0..CLIENTS {
+            let (name, tol) = TRAFFIC[k % TRAFFIC.len()];
+            let satisfied = &satisfied;
+            s.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                client.open("bench").expect("open").expect_ok("open reply");
+                let report = client
+                    .retrieve(&RetrievalRequest::new().qoi(name, tol), &[], false)
+                    .expect("retrieve")
+                    .expect_ok("retrieve reply");
+                client.close().expect("close");
+                if report.satisfied {
+                    satisfied.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let snap = server.shutdown();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        satisfied.load(Ordering::Relaxed),
+        CLIENTS,
+        "every served client must certify"
+    );
+    assert_eq!(
+        snap.shed_busy + snap.shed_admission,
+        0,
+        "bench must not shed"
+    );
+    Arm {
+        wall_ms,
+        source_bytes: snap.datasets[0].source.fetched_bytes,
+        decoded: snap.datasets[0].store.fragments_decoded,
+        wire_out: snap.bytes_out,
+        queue_wait_max_ms: snap.queue_wait_ms_max,
+    }
+}
+
+/// One cold-arm run: 16 independent engines, no sockets.
+fn run_cold(path: &std::path::Path) -> Arm {
+    let satisfied = AtomicUsize::new(0);
+    let bytes = AtomicU64::new(0);
+    let decoded = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for k in 0..CLIENTS {
+            let (name, tol) = TRAFFIC[k % TRAFFIC.len()];
+            let (satisfied, bytes, decoded) = (&satisfied, &bytes, &decoded);
+            s.spawn(move || {
+                let archive = Archive::open(path).expect("open archive");
+                let mut session = archive.session().expect("session");
+                if session.request(name, tol).expect("request").satisfied {
+                    satisfied.fetch_add(1, Ordering::Relaxed);
+                }
+                bytes.fetch_add(archive.source_stats().fetched_bytes, Ordering::Relaxed);
+                decoded.fetch_add(session.fragments_decoded(), Ordering::Relaxed);
+            });
+        }
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        satisfied.load(Ordering::Relaxed),
+        CLIENTS,
+        "every cold client must certify"
+    );
+    Arm {
+        wall_ms,
+        source_bytes: bytes.load(Ordering::Relaxed),
+        decoded: decoded.load(Ordering::Relaxed),
+        wire_out: 0,
+        queue_wait_max_ms: 0,
+    }
+}
+
+fn best_of(mut run: impl FnMut() -> Arm) -> Arm {
+    let mut best: Option<Arm> = None;
+    for _ in 0..RUNS {
+        let arm = run();
+        if best.as_ref().is_none_or(|b| arm.wall_ms < b.wall_ms) {
+            best = Some(arm);
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn json_arm(a: &Arm, served: bool) -> String {
+    let base = format!(
+        "\"wall_ms\": {:.2}, \"requests_per_s\": {:.2}, \"source_bytes\": {}, \
+         \"fragments_decoded\": {}",
+        a.wall_ms,
+        CLIENTS as f64 / (a.wall_ms / 1e3).max(1e-9),
+        a.source_bytes,
+        a.decoded
+    );
+    if served {
+        format!(
+            "{{{base}, \"wire_bytes_out\": {}, \"queue_wait_ms_max\": {}}}",
+            a.wire_out, a.queue_wait_max_ms
+        )
+    } else {
+        format!("{{{base}}}")
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("pqr_bench_net");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("net_{}.pqrx", std::process::id()));
+    build_archive(&path);
+
+    // cold first, then served: page-cache warmth, if any, biases wall
+    // time against the served arm
+    let cold = best_of(|| run_cold(&path));
+    let served = best_of(|| run_served(&path));
+    std::fs::remove_file(&path).ok();
+
+    let speedup = cold.wall_ms / served.wall_ms.max(1e-9);
+    let reuse = cold.decoded as f64 / served.decoded.max(1) as f64;
+    let bytes_ratio = cold.source_bytes as f64 / served.source_bytes.max(1) as f64;
+    let json = format!(
+        "{{\n  \"schema\": \"pqr-bench-net/1\",\n  \"clients\": {CLIENTS},\n  \
+         \"traffic\": \"16 socket clients, mixed tolerances (1e-2..1e-7) over 3 QoIs sharing velocity fields\",\n  \
+         \"served\": {},\n  \"cold\": {},\n  \"speedup\": {speedup:.3},\n  \
+         \"decode_reuse_ratio\": {reuse:.3},\n  \"bytes_read_ratio\": {bytes_ratio:.3}\n}}\n",
+        json_arm(&served, true),
+        json_arm(&cold, false),
+    );
+    let out = std::env::var("PQR_BENCH_OUT").unwrap_or_else(|_| "BENCH_net.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_net.json");
+    println!("{json}");
+    println!(
+        "# served {:.1} ms vs cold {:.1} ms → {speedup:.2}x; decode reuse {reuse:.2}x; wrote {out}",
+        served.wall_ms, cold.wall_ms
+    );
+}

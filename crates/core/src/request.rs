@@ -31,6 +31,9 @@
 //! assert_eq!(report.targets.len(), 2);
 //! ```
 
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::error::{PqrError, Result};
+
 /// How a target's tolerance is interpreted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ToleranceMode {
@@ -137,7 +140,109 @@ impl RetrievalRequest {
     pub fn is_empty(&self) -> bool {
         self.targets.is_empty()
     }
+
+    /// Serialises the request into the `PQRQ` wire blob consumed by
+    /// [`RetrievalRequest::from_wire_bytes`]. Tolerances travel as IEEE-754
+    /// bit patterns, so the round trip is byte-identical — the serving
+    /// layer relies on this to keep remote and in-process executions on
+    /// the same refinement trajectory.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(64 + self.targets.len() * 48);
+        w.put_raw(WIRE_REQUEST_MAGIC);
+        w.put_u8(WIRE_REQUEST_VERSION);
+        w.put_u64(self.targets.len() as u64);
+        for t in &self.targets {
+            w.put_bytes(t.name.as_bytes());
+            w.put_f64(t.tolerance);
+            w.put_u8(match t.mode {
+                ToleranceMode::Relative => 0,
+                ToleranceMode::Absolute => 1,
+            });
+            match t.region {
+                Some((lo, hi)) => {
+                    w.put_u8(1);
+                    w.put_u64(lo as u64);
+                    w.put_u64(hi as u64);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        match self.byte_budget {
+            Some(b) => {
+                w.put_u8(1);
+                w.put_u64(b as u64);
+            }
+            None => w.put_u8(0),
+        }
+        w.finish()
+    }
+
+    /// Parses a `PQRQ` wire blob. Hostile inputs (bad magic, truncated
+    /// body, implausible target counts) fail with
+    /// [`PqrError::CorruptStream`] before any large allocation.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_raw(4)? != WIRE_REQUEST_MAGIC {
+            return Err(PqrError::CorruptStream(
+                "bad request magic (want PQRQ)".into(),
+            ));
+        }
+        let version = r.get_u8()?;
+        if version != WIRE_REQUEST_VERSION {
+            return Err(PqrError::CorruptStream(format!(
+                "unsupported request version {version}"
+            )));
+        }
+        // Each target costs at least name-len(8) + tol(8) + mode(1) +
+        // region-tag(1) = 18 bytes on the wire.
+        let raw_n = r.get_u64()? as usize;
+        let n = r.check_count(raw_n, 18)?;
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = String::from_utf8(r.get_bytes()?.to_vec())
+                .map_err(|_| PqrError::CorruptStream("non-UTF-8 target name".into()))?;
+            let tolerance = r.get_f64()?;
+            let mode = match r.get_u8()? {
+                0 => ToleranceMode::Relative,
+                1 => ToleranceMode::Absolute,
+                m => {
+                    return Err(PqrError::CorruptStream(format!(
+                        "unknown tolerance mode {m}"
+                    )))
+                }
+            };
+            let region = match r.get_u8()? {
+                0 => None,
+                1 => {
+                    let lo = r.get_u64()? as usize;
+                    let hi = r.get_u64()? as usize;
+                    Some((lo, hi))
+                }
+                tag => return Err(PqrError::CorruptStream(format!("unknown region tag {tag}"))),
+            };
+            targets.push(RequestTarget {
+                name,
+                tolerance,
+                mode,
+                region,
+            });
+        }
+        let byte_budget = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u64()? as usize),
+            tag => return Err(PqrError::CorruptStream(format!("unknown budget tag {tag}"))),
+        };
+        Ok(Self {
+            targets,
+            byte_budget,
+        })
+    }
 }
+
+/// Magic prefix of a serialised [`RetrievalRequest`].
+pub const WIRE_REQUEST_MAGIC: &[u8; 4] = b"PQRQ";
+/// Current request wire version.
+pub const WIRE_REQUEST_VERSION: u8 = 1;
 
 #[cfg(test)]
 mod tests {
@@ -167,5 +272,52 @@ mod tests {
     fn region_on_empty_request_is_a_noop() {
         let r = RetrievalRequest::new().region(0, 10);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wire_roundtrip_is_byte_identical() {
+        let r = RetrievalRequest::new()
+            .qoi("V", 1e-4)
+            .qoi_abs("T", 0.25)
+            .region(100, 2000)
+            .qoi("p2", f64::from_bits(0x3ff8_0000_0000_0001))
+            .byte_budget(1 << 20);
+        let wire = r.to_wire_bytes();
+        let back = RetrievalRequest::from_wire_bytes(&wire).unwrap();
+        assert_eq!(back.to_wire_bytes(), wire);
+        assert_eq!(back.targets().len(), 3);
+        assert_eq!(back.targets()[1].region, Some((100, 2000)));
+        assert_eq!(back.targets()[2].tolerance.to_bits(), 0x3ff8_0000_0000_0001);
+        assert_eq!(back.budget(), Some(1 << 20));
+    }
+
+    #[test]
+    fn wire_roundtrip_without_budget() {
+        let r = RetrievalRequest::new().qoi("x", 1e-2);
+        let back = RetrievalRequest::from_wire_bytes(&r.to_wire_bytes()).unwrap();
+        assert_eq!(back.budget(), None);
+        assert_eq!(back.targets()[0].mode, ToleranceMode::Relative);
+    }
+
+    #[test]
+    fn hostile_wire_inputs_fail_cleanly() {
+        // Bad magic.
+        assert!(RetrievalRequest::from_wire_bytes(b"NOPE\x01\0\0\0\0\0\0\0\0\0").is_err());
+        // Truncated body.
+        let wire = RetrievalRequest::new().qoi("a", 1e-3).to_wire_bytes();
+        assert!(RetrievalRequest::from_wire_bytes(&wire[..wire.len() - 3]).is_err());
+        // Implausible target count must be rejected before allocation.
+        let mut w = ByteWriter::new();
+        w.put_raw(WIRE_REQUEST_MAGIC);
+        w.put_u8(WIRE_REQUEST_VERSION);
+        w.put_u64(u64::MAX / 2);
+        assert!(RetrievalRequest::from_wire_bytes(&w.finish()).is_err());
+        // Unknown version.
+        let mut w = ByteWriter::new();
+        w.put_raw(WIRE_REQUEST_MAGIC);
+        w.put_u8(99);
+        w.put_u64(0);
+        w.put_u8(0);
+        assert!(RetrievalRequest::from_wire_bytes(&w.finish()).is_err());
     }
 }

@@ -241,6 +241,10 @@ pub struct RetrievalEngine {
     /// Shared prefetch stage: plan execution parks batched payloads here
     /// and the readers' per-fragment consume path drains it.
     stage: Arc<FragmentStage>,
+    /// The shared progress store, when this engine was built with one —
+    /// retained so plan execution can report store-level decode/reuse
+    /// deltas per request.
+    store: Option<Arc<crate::store::ProgressStore>>,
     cfg: EngineConfig,
 }
 
@@ -310,6 +314,7 @@ impl RetrievalEngine {
             manifest,
             readers,
             stage,
+            store,
             cfg,
         })
     }
@@ -323,6 +328,13 @@ impl RetrievalEngine {
     /// engines or querying stats after the engine is gone).
     pub fn shared_source(&self) -> Arc<dyn FragmentSource> {
         Arc::clone(&self.source)
+    }
+
+    /// The shared [`ProgressStore`](crate::store::ProgressStore) this
+    /// engine refines through, if it was built with
+    /// [`RetrievalEngine::with_store`]. Independent engines return `None`.
+    pub fn shared_store(&self) -> Option<&Arc<crate::store::ProgressStore>> {
+        self.store.as_ref()
     }
 
     /// Payload fragments this engine's own readers fetched and decoded.

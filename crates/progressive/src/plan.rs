@@ -260,6 +260,20 @@ pub struct PlanReport {
     /// [`SourceStats::overlap_saved_ms`]). Zero when overlap was off, the
     /// rounds were too small to overlap, or the source is resident.
     pub overlap_saved_ms: u64,
+    /// Milliseconds this request waited for admission before execution
+    /// began. Always zero for in-process execution; the serving layer
+    /// (`pqr-serve`) fills it with the decode-permit queue wait so remote
+    /// clients can see contention separately from retrieval work.
+    pub queue_wait_ms: u64,
+    /// Fragments the shared [`ProgressStore`](crate::store::ProgressStore)
+    /// decoded *during this execution* (store-level delta). Zero for
+    /// engines without a store. Under concurrent sessions the delta
+    /// includes decodes triggered by other sessions in the window.
+    pub store_fragments_decoded: u64,
+    /// Store refinement requests served entirely from already-decoded
+    /// state during this execution (same delta caveat). Zero without a
+    /// store.
+    pub store_refine_reuses: u64,
 }
 
 impl PlanReport {
@@ -305,6 +319,7 @@ impl<'e> PlanExecutor<'e> {
         let per_field_before: Vec<usize> =
             engine.readers().iter().map(|r| r.total_fetched()).collect();
         let stats_before = engine.source_stats();
+        let store_before = engine.shared_store().map(|s| s.stats());
 
         // the plan's Algorithm-3 bounds, re-clamped in case the engine
         // advanced between resolve and execute
@@ -421,6 +436,14 @@ impl<'e> PlanExecutor<'e> {
         let attributed: usize = targets.iter().map(|t| t.bytes).sum();
         let actual_payload: usize = per_field_delta.iter().sum();
         let stats_after = engine.source_stats();
+        let store_after = engine.shared_store().map(|s| s.stats());
+        let (store_decoded, store_reuses) = match (store_before, store_after) {
+            (Some(b), Some(a)) => (
+                a.fragments_decoded.saturating_sub(b.fragments_decoded),
+                a.refine_reuses.saturating_sub(b.refine_reuses),
+            ),
+            _ => (0, 0),
+        };
         let elements = engine.manifest().num_elements() * engine.manifest().num_fields();
         Ok(PlanReport {
             satisfied,
@@ -434,6 +457,9 @@ impl<'e> PlanExecutor<'e> {
             read_ops: delta(stats_after, stats_before, |s| s.read_ops),
             fragments_read: delta(stats_after, stats_before, |s| s.fetches),
             overlap_saved_ms: delta(stats_after, stats_before, |s| s.overlap_saved_ms),
+            queue_wait_ms: 0,
+            store_fragments_decoded: store_decoded,
+            store_refine_reuses: store_reuses,
             targets,
         })
     }

@@ -1,0 +1,47 @@
+//! # pqr-serve — a multi-tenant network serving layer over [`DatasetService`]
+//!
+//! The paper frames progressive retrieval as a client/server workflow:
+//! requesters fetch *just enough* fragments over a real link, and the
+//! storage side answers from refactored state (Fig. 1). Since PR 5 the
+//! repo's sessions are owned, `Send`, and decode-shared through a
+//! [`ProgressStore`](pqr_progressive::store::ProgressStore) — this crate
+//! puts a socket in front of them:
+//!
+//! * a thread-pooled request server on [`std::net::TcpListener`]
+//!   ([`server`]) speaking a hand-rolled length-prefixed binary protocol
+//!   ([`wire`], framing from [`pqr_transfer::wire`]) — versioned frames
+//!   for `open`/`retrieve`/`resume`/`stats`/`close`;
+//! * a multi-dataset **registry** of [`DatasetService`] handles, so one
+//!   server multiplexes archives and all clients of one dataset share its
+//!   decode-once store;
+//! * **admission control + load shedding**: a bounded accept queue and a
+//!   decode-permit gate, both of which answer `Busy` (with a retry-after
+//!   hint) instead of queueing unboundedly;
+//! * **per-client byte/time budgets** riding the existing
+//!   [`RetrievalRequest`] budget field — an exceeded byte budget returns a
+//!   partial result *with its certified bound*, never an error;
+//! * structured **metrics** ([`metrics`]): every request reports queue
+//!   wait, store decode/reuse deltas and wire bytes, and the server
+//!   aggregates shed counts and traffic for the `stats` frame;
+//! * a **fault-injection harness** ([`fault`]) used by the test suite to
+//!   prove that truncated frames, mid-retrieve disconnects and flaky
+//!   sources produce clean error responses and never poison shared state.
+//!
+//! Protocol round-trips map onto the paper's algorithms: one `retrieve`
+//! frame triggers one full Algorithm 1–4 refine→estimate→tighten run on
+//! the server; the *client* never sees fragments, only certified QoI
+//! values and bounds. See `DIVERGENCES.md` for the mapping.
+//!
+//! [`DatasetService`]: pqr_core::archive::DatasetService
+//! [`RetrievalRequest`]: pqr_core::request::RetrievalRequest
+
+pub mod client;
+pub mod fault;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{RemoteReport, RemoteTarget, Reply, ServeClient};
+pub use fault::{FaultSwitch, FaultySource, FaultyStream};
+pub use metrics::{ServeStats, StatsSnapshot};
+pub use server::{Registry, Server, ServerConfig};

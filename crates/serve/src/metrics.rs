@@ -1,0 +1,277 @@
+//! Server-side metrics: lock-free counters updated on every frame, plus
+//! the snapshot type the `stats` frame ships to clients.
+//!
+//! The per-request layer already reports queue wait and store decode/reuse
+//! deltas on each [`PlanReport`](pqr_progressive::plan::PlanReport); this
+//! module aggregates the server view — admission sheds, decode-pool sheds,
+//! wire traffic, mid-request disconnects — and folds in the per-dataset
+//! [`StoreStats`]/[`SourceStats`] so one `stats` round-trip shows both the
+//! contention picture and the decode-sharing picture.
+
+use pqr_progressive::fragstore::SourceStats;
+use pqr_progressive::store::StoreStats;
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::error::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free server counters (one instance per [`Server`](crate::Server),
+/// shared by the accept loop and every worker).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted into the worker pool.
+    pub connections: AtomicU64,
+    /// Frames processed (any kind).
+    pub requests: AtomicU64,
+    /// Retrieve frames executed (admitted past the decode gate).
+    pub retrieves: AtomicU64,
+    /// Error frames sent.
+    pub errors: AtomicU64,
+    /// Connections shed at accept because the pending queue was full.
+    pub shed_admission: AtomicU64,
+    /// Retrieves shed because the decode pool stayed saturated past the
+    /// configured wait.
+    pub shed_busy: AtomicU64,
+    /// Request bytes read off the wire (headers included).
+    pub bytes_in: AtomicU64,
+    /// Response bytes written to the wire (headers included).
+    pub bytes_out: AtomicU64,
+    /// Total milliseconds retrieves waited for a decode permit.
+    pub queue_wait_ms_total: AtomicU64,
+    /// Worst single decode-permit wait observed, in milliseconds.
+    pub queue_wait_ms_max: AtomicU64,
+    /// Connections that died mid-request (the peer vanished between a
+    /// request frame and its reply).
+    pub disconnects_mid_request: AtomicU64,
+}
+
+impl ServeStats {
+    /// Bumps a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to a counter.
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records one decode-permit wait.
+    pub fn record_queue_wait(&self, ms: u64) {
+        self.queue_wait_ms_total.fetch_add(ms, Ordering::Relaxed);
+        self.queue_wait_ms_max.fetch_max(ms, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters (dataset rows added by the
+    /// server, which owns the registry).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            retrieves: self.retrieves.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shed_admission: self.shed_admission.load(Ordering::Relaxed),
+            shed_busy: self.shed_busy.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            queue_wait_ms_total: self.queue_wait_ms_total.load(Ordering::Relaxed),
+            queue_wait_ms_max: self.queue_wait_ms_max.load(Ordering::Relaxed),
+            disconnects_mid_request: self.disconnects_mid_request.load(Ordering::Relaxed),
+            datasets: Vec::new(),
+        }
+    }
+}
+
+/// Per-dataset row of a [`StatsSnapshot`]: the decode-sharing and source
+/// counters of one registered [`DatasetService`](pqr_core::archive::DatasetService).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Registry name.
+    pub name: String,
+    /// Shared-store tallies (decode-once proof).
+    pub store: StoreStats,
+    /// Fragment-source tallies (across all sessions of the service).
+    pub source: SourceStats,
+}
+
+/// What a `stats` frame returns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames processed.
+    pub requests: u64,
+    /// Retrieves executed.
+    pub retrieves: u64,
+    /// Error replies sent.
+    pub errors: u64,
+    /// Connections shed at admission.
+    pub shed_admission: u64,
+    /// Retrieves shed at the decode gate.
+    pub shed_busy: u64,
+    /// Wire bytes in.
+    pub bytes_in: u64,
+    /// Wire bytes out.
+    pub bytes_out: u64,
+    /// Total decode-permit wait.
+    pub queue_wait_ms_total: u64,
+    /// Worst decode-permit wait.
+    pub queue_wait_ms_max: u64,
+    /// Peers that vanished mid-request.
+    pub disconnects_mid_request: u64,
+    /// Per-dataset store/source rows.
+    pub datasets: Vec<DatasetStats>,
+}
+
+impl StatsSnapshot {
+    /// Serialises the snapshot for the `stats` reply frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        for v in [
+            self.connections,
+            self.requests,
+            self.retrieves,
+            self.errors,
+            self.shed_admission,
+            self.shed_busy,
+            self.bytes_in,
+            self.bytes_out,
+            self.queue_wait_ms_total,
+            self.queue_wait_ms_max,
+            self.disconnects_mid_request,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u64(self.datasets.len() as u64);
+        for d in &self.datasets {
+            w.put_bytes(d.name.as_bytes());
+            for v in [
+                d.store.fragments_decoded,
+                d.store.refine_advances,
+                d.store.refine_reuses,
+                d.store.adoptions,
+                d.source.fetches,
+                d.source.fetched_bytes,
+                d.source.cache_hits,
+                d.source.cache_misses,
+                d.source.read_ops,
+                d.source.overlap_saved_ms,
+            ] {
+                w.put_u64(v);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a snapshot (count-checked before allocation).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let mut scalars = [0u64; 11];
+        for s in &mut scalars {
+            *s = r.get_u64()?;
+        }
+        let raw = r.get_u64()? as usize;
+        // each dataset row costs at least a name prefix + 10 counters
+        let n = r.check_count(raw, 8 + 80)?;
+        let mut datasets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = crate::wire::get_name(&mut r)?;
+            let mut c = [0u64; 10];
+            for v in &mut c {
+                *v = r.get_u64()?;
+            }
+            datasets.push(DatasetStats {
+                name,
+                store: StoreStats {
+                    fragments_decoded: c[0],
+                    refine_advances: c[1],
+                    refine_reuses: c[2],
+                    adoptions: c[3],
+                },
+                source: SourceStats {
+                    fetches: c[4],
+                    fetched_bytes: c[5],
+                    cache_hits: c[6],
+                    cache_misses: c[7],
+                    read_ops: c[8],
+                    overlap_saved_ms: c[9],
+                },
+            });
+        }
+        Ok(Self {
+            connections: scalars[0],
+            requests: scalars[1],
+            retrieves: scalars[2],
+            errors: scalars[3],
+            shed_admission: scalars[4],
+            shed_busy: scalars[5],
+            bytes_in: scalars[6],
+            bytes_out: scalars[7],
+            queue_wait_ms_total: scalars[8],
+            queue_wait_ms_max: scalars[9],
+            disconnects_mid_request: scalars[10],
+            datasets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_with_dataset_rows() {
+        let snap = StatsSnapshot {
+            connections: 3,
+            requests: 17,
+            retrieves: 9,
+            errors: 1,
+            shed_admission: 2,
+            shed_busy: 4,
+            bytes_in: 1234,
+            bytes_out: 56789,
+            queue_wait_ms_total: 88,
+            queue_wait_ms_max: 40,
+            disconnects_mid_request: 1,
+            datasets: vec![DatasetStats {
+                name: "ge".into(),
+                store: StoreStats {
+                    fragments_decoded: 10,
+                    refine_advances: 5,
+                    refine_reuses: 20,
+                    adoptions: 7,
+                },
+                source: SourceStats {
+                    fetches: 100,
+                    fetched_bytes: 4096,
+                    cache_hits: 1,
+                    cache_misses: 99,
+                    read_ops: 12,
+                    overlap_saved_ms: 3,
+                },
+            }],
+        };
+        assert_eq!(StatsSnapshot::from_bytes(&snap.to_bytes()).unwrap(), snap);
+    }
+
+    #[test]
+    fn counters_accumulate_and_max_tracks() {
+        let s = ServeStats::default();
+        ServeStats::inc(&s.retrieves);
+        ServeStats::add(&s.bytes_out, 100);
+        s.record_queue_wait(10);
+        s.record_queue_wait(30);
+        s.record_queue_wait(20);
+        let snap = s.snapshot();
+        assert_eq!(snap.retrieves, 1);
+        assert_eq!(snap.bytes_out, 100);
+        assert_eq!(snap.queue_wait_ms_total, 60);
+        assert_eq!(snap.queue_wait_ms_max, 30);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_an_error() {
+        let snap = StatsSnapshot::default();
+        let bytes = snap.to_bytes();
+        assert!(StatsSnapshot::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Protocol messages of the serving layer.
+//!
+//! Framing (header, length prefix, version check, allocation caps) lives
+//! in [`pqr_transfer::wire`]; this module assigns meaning to the frame
+//! kinds and (de)serialises the bodies with the workspace byte cursors.
+//! Every body parser validates counts via
+//! [`ByteReader::check_count`](pqr_util::byteio::ByteReader::check_count)
+//! before preallocating, mirroring the container format's hostile-input
+//! policy.
+//!
+//! ## Frame kinds
+//!
+//! | kind | direction | body |
+//! |---|---|---|
+//! | [`OPEN`] | → server | dataset name |
+//! | [`RETRIEVE`] | → server | [`RetrievalRequest`] wire blob + value names + save-progress flag |
+//! | [`RESUME`] | → server | dataset name + progress blob |
+//! | [`STATS`] | → server | empty |
+//! | [`CLOSE`] | → server | empty |
+//! | [`SHUTDOWN`] | → server | empty (admin: stop accepting, drain, exit) |
+//! | [`OPEN_OK`] | ← server | dims + field names + QoI names |
+//! | [`RETRIEVE_OK`] | ← server | [`RemoteReport`](crate::client::RemoteReport) |
+//! | [`STATS_OK`] | ← server | [`StatsSnapshot`](crate::metrics::StatsSnapshot) |
+//! | [`BUSY`] | ← server | retry-after hint + reason (load shed) |
+//! | [`ERROR`] | ← server | error code + message |
+//! | [`BYE`] | ← server | empty (clean close ack) |
+
+use pqr_core::request::RetrievalRequest;
+use pqr_util::byteio::{ByteReader, ByteWriter};
+use pqr_util::error::{PqrError, Result};
+
+// Client → server.
+/// Open a session on a registered dataset.
+pub const OPEN: u16 = 1;
+/// Execute a retrieval request on the open session.
+pub const RETRIEVE: u16 = 2;
+/// Recreate a session from a saved progress blob.
+pub const RESUME: u16 = 3;
+/// Fetch the server's metrics snapshot.
+pub const STATS: u16 = 4;
+/// Close the connection cleanly.
+pub const CLOSE: u16 = 5;
+/// Ask the server to shut down (drain and exit).
+pub const SHUTDOWN: u16 = 6;
+
+// Server → client.
+/// Session opened; body describes the dataset.
+pub const OPEN_OK: u16 = 100;
+/// Retrieval executed; body carries the report.
+pub const RETRIEVE_OK: u16 = 101;
+/// Metrics snapshot.
+pub const STATS_OK: u16 = 103;
+/// Load shed: try again after the hinted delay.
+pub const BUSY: u16 = 104;
+/// Request failed; body carries the mapped [`PqrError`].
+pub const ERROR: u16 = 105;
+/// Clean close acknowledgement.
+pub const BYE: u16 = 106;
+
+/// What a client learns when it opens (or resumes) a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenInfo {
+    /// Dataset shape.
+    pub dims: Vec<usize>,
+    /// Field names, in manifest order.
+    pub fields: Vec<String>,
+    /// Registered QoI names.
+    pub qois: Vec<String>,
+}
+
+impl OpenInfo {
+    /// Serialises the info block.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64_slice(&self.dims.iter().map(|&d| d as u64).collect::<Vec<_>>());
+        put_names(&mut w, &self.fields);
+        put_names(&mut w, &self.qois);
+        w.finish()
+    }
+
+    /// Parses an info block.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let dims = r.get_u64_vec()?.into_iter().map(|d| d as usize).collect();
+        let fields = get_names(&mut r)?;
+        let qois = get_names(&mut r)?;
+        Ok(Self { dims, fields, qois })
+    }
+}
+
+/// The retrieve request body: the request itself plus which QoIs' derived
+/// values the client wants returned inline and whether it wants a resume
+/// blob back.
+#[derive(Debug, Clone)]
+pub struct RetrieveBody {
+    /// The (multi-target) retrieval request.
+    pub request: RetrievalRequest,
+    /// QoI names whose derived values ride back in the reply (each costs
+    /// 8 B/element on the wire — ask only for what the analysis reads).
+    pub want_values: Vec<String>,
+    /// When set, the reply carries a progress blob that
+    /// [`RESUME`] (or `Archive::resume_session`) accepts.
+    pub save_progress: bool,
+}
+
+impl RetrieveBody {
+    /// Serialises the body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&self.request.to_wire_bytes());
+        put_names(&mut w, &self.want_values);
+        w.put_u8(self.save_progress as u8);
+        w.finish()
+    }
+
+    /// Parses the body; hostile inputs fail before allocation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let request = RetrievalRequest::from_wire_bytes(r.get_bytes()?)?;
+        let want_values = get_names(&mut r)?;
+        let save_progress = r.get_u8()? != 0;
+        Ok(Self {
+            request,
+            want_values,
+            save_progress,
+        })
+    }
+}
+
+/// The resume request body.
+#[derive(Debug, Clone)]
+pub struct ResumeBody {
+    /// Which registered dataset the blob belongs to.
+    pub dataset: String,
+    /// A progress blob from a prior retrieve with `save_progress`.
+    pub progress: Vec<u8>,
+}
+
+impl ResumeBody {
+    /// Serialises the body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(self.dataset.as_bytes());
+        w.put_bytes(&self.progress);
+        w.finish()
+    }
+
+    /// Parses the body.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let dataset = get_name(&mut r)?;
+        let progress = r.get_bytes()?.to_vec();
+        Ok(Self { dataset, progress })
+    }
+}
+
+/// The busy (load-shed) reply body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusyBody {
+    /// Suggested client back-off before retrying, in milliseconds.
+    pub retry_after_ms: u64,
+    /// What saturated ("admission queue full", "decode pool saturated").
+    pub reason: String,
+}
+
+impl BusyBody {
+    /// Serialises the body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.retry_after_ms);
+        w.put_bytes(self.reason.as_bytes());
+        w.finish()
+    }
+
+    /// Parses the body.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let retry_after_ms = r.get_u64()?;
+        let reason = get_name(&mut r)?;
+        Ok(Self {
+            retry_after_ms,
+            reason,
+        })
+    }
+}
+
+/// Encodes a [`PqrError`] as an error-frame body (stable code + message),
+/// so clients get the same error *variant* a local call would return.
+pub fn encode_error(e: &PqrError) -> Vec<u8> {
+    let (code, msg): (u8, &str) = match e {
+        PqrError::CorruptStream(m) => (1, m),
+        PqrError::InvalidRequest(m) => (2, m),
+        PqrError::UnboundableQoi(m) => (3, m),
+        PqrError::ShapeMismatch(m) => (4, m),
+        PqrError::Unsupported(m) => (5, m),
+    };
+    let mut w = ByteWriter::new();
+    w.put_u8(code);
+    w.put_bytes(msg.as_bytes());
+    w.finish()
+}
+
+/// Decodes an error-frame body back into the [`PqrError`] it encoded.
+pub fn decode_error(bytes: &[u8]) -> PqrError {
+    let mut r = ByteReader::new(bytes);
+    let parsed = (|| -> Result<PqrError> {
+        let code = r.get_u8()?;
+        let msg = get_name(&mut r)?;
+        Ok(match code {
+            1 => PqrError::CorruptStream(msg),
+            2 => PqrError::InvalidRequest(msg),
+            3 => PqrError::UnboundableQoi(msg),
+            4 => PqrError::ShapeMismatch(msg),
+            5 => PqrError::Unsupported(msg),
+            c => PqrError::CorruptStream(format!("unknown error code {c}: {msg}")),
+        })
+    })();
+    parsed.unwrap_or_else(|_| PqrError::CorruptStream("malformed error frame".into()))
+}
+
+/// Writes a length-prefixed UTF-8 string list.
+pub(crate) fn put_names(w: &mut ByteWriter, names: &[String]) {
+    w.put_u64(names.len() as u64);
+    for n in names {
+        w.put_bytes(n.as_bytes());
+    }
+}
+
+/// Reads a length-prefixed UTF-8 string list (count-checked: each entry
+/// costs at least its 8-byte length prefix).
+pub(crate) fn get_names(r: &mut ByteReader<'_>) -> Result<Vec<String>> {
+    let raw = r.get_u64()? as usize;
+    let n = r.check_count(raw, 8)?;
+    let mut names = Vec::with_capacity(n);
+    for _ in 0..n {
+        names.push(get_name(r)?);
+    }
+    Ok(names)
+}
+
+/// Reads one length-prefixed UTF-8 string.
+pub(crate) fn get_name(r: &mut ByteReader<'_>) -> Result<String> {
+    String::from_utf8(r.get_bytes()?.to_vec())
+        .map_err(|_| PqrError::CorruptStream("non-UTF-8 string on the wire".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_info_roundtrips() {
+        let info = OpenInfo {
+            dims: vec![64, 32],
+            fields: vec!["Vx".into(), "Vy".into()],
+            qois: vec!["V".into()],
+        };
+        assert_eq!(OpenInfo::from_bytes(&info.to_bytes()).unwrap(), info);
+    }
+
+    #[test]
+    fn retrieve_body_roundtrips() {
+        let body = RetrieveBody {
+            request: RetrievalRequest::new().qoi("V", 1e-4).byte_budget(4096),
+            want_values: vec!["V".into()],
+            save_progress: true,
+        };
+        let back = RetrieveBody::from_bytes(&body.to_bytes()).unwrap();
+        assert_eq!(back.request.to_wire_bytes(), body.request.to_wire_bytes());
+        assert_eq!(back.want_values, body.want_values);
+        assert!(back.save_progress);
+    }
+
+    #[test]
+    fn busy_and_resume_roundtrip() {
+        let b = BusyBody {
+            retry_after_ms: 250,
+            reason: "decode pool saturated".into(),
+        };
+        assert_eq!(BusyBody::from_bytes(&b.to_bytes()).unwrap(), b);
+        let res = ResumeBody {
+            dataset: "hurricane".into(),
+            progress: vec![1, 2, 3],
+        };
+        let back = ResumeBody::from_bytes(&res.to_bytes()).unwrap();
+        assert_eq!(back.dataset, "hurricane");
+        assert_eq!(back.progress, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn errors_cross_the_wire_variant_exact() {
+        for e in [
+            PqrError::CorruptStream("a".into()),
+            PqrError::InvalidRequest("b".into()),
+            PqrError::UnboundableQoi("c".into()),
+            PqrError::ShapeMismatch("d".into()),
+            PqrError::Unsupported("e".into()),
+        ] {
+            assert_eq!(decode_error(&encode_error(&e)), e);
+        }
+    }
+
+    #[test]
+    fn hostile_name_count_is_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX / 2);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert!(get_names(&mut r).is_err());
+    }
+}

@@ -22,6 +22,7 @@
 pub mod network;
 pub mod pipeline;
 pub mod store;
+pub mod wire;
 
 pub use network::NetworkModel;
 pub use pipeline::{run_pipeline, BlockResult, PipelineConfig, PipelineResult};

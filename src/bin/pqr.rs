@@ -34,6 +34,8 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("retrieve") => cmd_retrieve(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -75,6 +77,20 @@ USAGE:
                (drives N concurrent shared-store sessions with the given
                mixed-tolerance targets against N independent cold engines
                and prints the throughput / decode-reuse comparison)
+  pqr serve --listen ADDR (--dataset NAME=ARCHIVE)...
+               [--workers N] [--queue N] [--permits N]
+               [--busy-wait MS] [--retry-after MS]
+               [--byte-budget BYTES] [--time-budget MS]
+               (serves the registered archives over TCP; all clients of a
+               dataset share its decode store; prints the bound address,
+               runs until a client sends `--shutdown`)
+  pqr client ADDR --dataset NAME (--qoi NAME=TOL)...
+               [--budget BYTES] [--values NAME [--out PATH]]
+               [--resume PROGRESS] [--save-progress PROGRESS]
+               [--retries N]
+  pqr client ADDR --stats | --shutdown
+               (one retrieve per invocation; Busy sheds retry per the
+               server's hint up to --retries times)
 
 ESTIMATORS: paper (default) | exact-sqrt | interval
 WORKERS:    decode threads per refinement round (0 = the PQR_THREADS env
@@ -639,6 +655,247 @@ fn cmd_serve_bench(args: &[String]) -> Result<()> {
         fs::write(out, json.as_bytes())
             .map_err(|e| PqrError::InvalidRequest(format!("cannot write '{out}': {e}")))?;
         eprintln!("wrote serve-bench report → {out}");
+    }
+    Ok(())
+}
+
+fn parse_u64_flag(flags: &Flags<'_>, flag: &str) -> Result<Option<u64>> {
+    flags
+        .get(flag)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| PqrError::InvalidRequest(format!("bad {flag} '{v}' (want a number)")))
+        })
+        .transpose()
+}
+
+/// `pqr serve` — a multi-tenant TCP server over the registered archives.
+/// Archives are opened lazily; every client session of one dataset shares
+/// its decode store. Runs until a client sends a `shutdown` frame
+/// (`pqr client ADDR --shutdown`), then prints the final stats summary.
+fn cmd_serve(args: &[String]) -> Result<()> {
+    use pqr::serve::{Registry, Server, ServerConfig};
+    let flags = Flags { args };
+    let listen = flags
+        .get("--listen")
+        .ok_or_else(|| PqrError::InvalidRequest("serve needs --listen ADDR".into()))?;
+    let dataset_specs = flags.get_all("--dataset");
+    if dataset_specs.is_empty() {
+        return Err(PqrError::InvalidRequest(
+            "serve needs at least one --dataset NAME=ARCHIVE".into(),
+        ));
+    }
+    let mut registry = Registry::new();
+    for spec in &dataset_specs {
+        let (name, path) = spec.split_once('=').ok_or_else(|| {
+            PqrError::InvalidRequest(format!("--dataset wants NAME=ARCHIVE, got '{spec}'"))
+        })?;
+        registry.register(name, Archive::open(path)?)?;
+        eprintln!("registered dataset '{name}' ← {path}");
+    }
+
+    let mut config = ServerConfig::default();
+    if let Some(v) = parse_u64_flag(&flags, "--workers")? {
+        config.workers = v as usize;
+    }
+    if let Some(v) = parse_u64_flag(&flags, "--queue")? {
+        config.pending_queue = v as usize;
+    }
+    if let Some(v) = parse_u64_flag(&flags, "--permits")? {
+        config.decode_permits = v as usize;
+    }
+    if let Some(v) = parse_u64_flag(&flags, "--busy-wait")? {
+        config.busy_wait_ms = v;
+    }
+    if let Some(v) = parse_u64_flag(&flags, "--retry-after")? {
+        config.retry_after_ms = v;
+    }
+    if let Some(v) = parse_u64_flag(&flags, "--byte-budget")? {
+        config.client_byte_budget = Some(v as usize);
+    }
+    if let Some(v) = parse_u64_flag(&flags, "--time-budget")? {
+        config.client_time_budget_ms = Some(v);
+    }
+
+    let server = Server::start(listen, registry, config)?;
+    // scripts parse this line to learn the ephemeral port — keep it stable
+    println!("pqr-serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let snap = server.wait();
+    eprintln!(
+        "pqr-serve done: {} connections, {} retrieves, {} errors, \
+         shed {} admission / {} busy, {} B in / {} B out",
+        snap.connections,
+        snap.retrieves,
+        snap.errors,
+        snap.shed_admission,
+        snap.shed_busy,
+        snap.bytes_in,
+        snap.bytes_out
+    );
+    Ok(())
+}
+
+/// `pqr client` — one protocol exchange with a `pqr serve` endpoint:
+/// retrieve (with Busy retries per the server's hint), `--stats`, or
+/// `--shutdown`.
+fn cmd_client(args: &[String]) -> Result<()> {
+    use pqr::serve::{Reply, ServeClient};
+    let flags = Flags { args };
+    let addr = flags
+        .positional()
+        .ok_or_else(|| PqrError::InvalidRequest("client needs the server ADDR".into()))?;
+    let mut client = ServeClient::connect(addr)?;
+    client.set_io_timeout(Some(std::time::Duration::from_secs(120)))?;
+
+    if flags.args.iter().any(|a| a == "--shutdown") {
+        client.shutdown_server()?;
+        eprintln!("server at {addr} acknowledged shutdown");
+        return Ok(());
+    }
+    if flags.args.iter().any(|a| a == "--stats") {
+        let stats = client.stats()?.expect_ok("stats");
+        println!(
+            "connections {}  requests {}  retrieves {}  errors {}",
+            stats.connections, stats.requests, stats.retrieves, stats.errors
+        );
+        println!(
+            "shed: admission {}  busy {}   disconnects mid-request {}",
+            stats.shed_admission, stats.shed_busy, stats.disconnects_mid_request
+        );
+        println!(
+            "wire: {} B in  {} B out   queue wait {} ms total, {} ms max",
+            stats.bytes_in, stats.bytes_out, stats.queue_wait_ms_total, stats.queue_wait_ms_max
+        );
+        for d in &stats.datasets {
+            println!(
+                "dataset {:<16} decoded {}  advances {}  reuses {}  adoptions {}  source {} B",
+                d.name,
+                d.store.fragments_decoded,
+                d.store.refine_advances,
+                d.store.refine_reuses,
+                d.store.adoptions,
+                d.source.fetched_bytes
+            );
+        }
+        client.close()?;
+        return Ok(());
+    }
+
+    let dataset = flags
+        .get("--dataset")
+        .ok_or_else(|| PqrError::InvalidRequest("client needs --dataset NAME".into()))?;
+    let qoi_flags = flags.get_all("--qoi");
+    if qoi_flags.is_empty() || qoi_flags.iter().any(|s| !s.contains('=')) {
+        return Err(PqrError::InvalidRequest(
+            "client wants one or more --qoi NAME=TOL targets".into(),
+        ));
+    }
+    let mut request = RetrievalRequest::new();
+    for spec in &qoi_flags {
+        let (name, tol_text) = spec.split_once('=').expect("checked above");
+        let tol: f64 = tol_text
+            .parse()
+            .map_err(|_| PqrError::InvalidRequest(format!("bad tolerance in --qoi '{spec}'")))?;
+        request = request.qoi(name, tol);
+    }
+    if let Some(budget) = parse_u64_flag(&flags, "--budget")? {
+        request = request.byte_budget(budget as usize);
+    }
+    let retries = parse_u64_flag(&flags, "--retries")?.unwrap_or(5);
+
+    let info = match flags.get("--resume") {
+        Some(path) => {
+            let progress = fs::read(path)
+                .map_err(|e| PqrError::InvalidRequest(format!("cannot read '{path}': {e}")))?;
+            client.resume(dataset, &progress)?
+        }
+        None => client.open(dataset)?,
+    };
+    let info = info.expect_ok("open");
+    eprintln!(
+        "opened '{dataset}': shape {:?}, {} fields, QoIs {:?}",
+        info.dims,
+        info.fields.len(),
+        info.qois
+    );
+
+    let want_values: Vec<&str> = flags.get_all("--values");
+    let save_progress = flags.get("--save-progress").is_some();
+    let mut attempt = 0u64;
+    let report = loop {
+        match client.retrieve(&request, &want_values, save_progress)? {
+            Reply::Ok(report) => break report,
+            Reply::Busy {
+                retry_after_ms,
+                reason,
+            } => {
+                attempt += 1;
+                if attempt > retries {
+                    return Err(PqrError::InvalidRequest(format!(
+                        "server still busy after {retries} retries ({reason})"
+                    )));
+                }
+                eprintln!("server busy ({reason}); retrying in {retry_after_ms} ms");
+                std::thread::sleep(std::time::Duration::from_millis(retry_after_ms));
+            }
+        }
+    };
+
+    println!(
+        "{:<16} {:>11} {:>12} {:>5} {:>12}",
+        "target", "tol(abs)", "est err", "ok", "bytes"
+    );
+    for t in &report.targets {
+        println!(
+            "{:<16} {:>11.3e} {:>12.3e} {:>5} {:>12}",
+            t.name,
+            t.tol_abs,
+            t.max_est_error,
+            if t.satisfied { "yes" } else { "NO" },
+            t.bytes
+        );
+    }
+    println!(
+        "satisfied: {}  fetched {} B ({} new)  {} rounds  queue wait {} ms  \
+         store decoded {} / reused {}",
+        report.satisfied,
+        report.total_fetched,
+        report.bytes_fetched,
+        report.iterations,
+        report.queue_wait_ms,
+        report.store_fragments_decoded,
+        report.store_refine_reuses
+    );
+    if report.budget_exhausted {
+        eprintln!("byte budget exhausted — the bounds above are the achieved partials");
+    }
+    if let Some(path) = flags.get("--save-progress") {
+        let blob = report
+            .progress
+            .as_ref()
+            .ok_or_else(|| PqrError::CorruptStream("server sent no progress blob".into()))?;
+        fs::write(path, blob)
+            .map_err(|e| PqrError::InvalidRequest(format!("cannot write '{path}': {e}")))?;
+        eprintln!("saved retrieval progress → {path}");
+    }
+    if let Some(out) = flags.get("--out") {
+        let name = want_values.first().ok_or_else(|| {
+            PqrError::InvalidRequest("--out needs --values NAME to pick the QoI".into())
+        })?;
+        let values = report.values.get(*name).ok_or_else(|| {
+            PqrError::CorruptStream(format!("server sent no values for '{name}'"))
+        })?;
+        write_float_file(out, values)?;
+        eprintln!("wrote derived QoI values → {out}");
+    }
+    client.close()?;
+    if !report.satisfied && !report.budget_exhausted {
+        return Err(PqrError::UnboundableQoi(
+            "representation exhausted before every target certified".into(),
+        ));
     }
     Ok(())
 }

@@ -13,6 +13,7 @@
 //! | [`datagen`] | synthetic GE / Hurricane / NYX / S3D datasets |
 //! | [`transfer`] | Globus-like WAN simulation + 96-worker pipeline |
 //! | [`core`] | the ergonomic archive/session facade |
+//! | [`serve`] | multi-tenant TCP serving layer over `DatasetService` |
 //!
 //! Start with [`prelude`]:
 //!
@@ -39,6 +40,7 @@ pub use pqr_datagen as datagen;
 pub use pqr_mgard as mgard;
 pub use pqr_progressive as progressive;
 pub use pqr_qoi as qoi;
+pub use pqr_serve as serve;
 pub use pqr_sz as sz;
 pub use pqr_transfer as transfer;
 pub use pqr_util as util;
