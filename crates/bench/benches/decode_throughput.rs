@@ -92,7 +92,7 @@ fn bench_plan_decode_workers(c: &mut Criterion) {
         g.bench_function(format!("retrieve/{workers}t"), |b| {
             b.iter(|| {
                 let cfg = EngineConfig {
-                    decode_workers: workers,
+                    workers,
                     ..Default::default()
                 };
                 let mut engine = RetrievalEngine::from_source(archive.clone(), cfg).unwrap();

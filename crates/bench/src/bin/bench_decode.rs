@@ -5,13 +5,18 @@
 //!
 //! Arms:
 //!
-//! * **kernel** — PMGARD level encode/decode and ZFP plane decode, MB/s of
-//!   raw f64 payload, scalar vs word-parallel (`speedup` = word / scalar).
+//! * **kernel** — PMGARD level encode/decode and ZFP refactor/plane
+//!   decode, MB/s of raw f64 payload, scalar vs word-parallel
+//!   (`speedup` = word / scalar).
 //! * **end_to_end** — a 6-field archive on disk, three QoIs sharing
 //!   fields, retrieved through the plan executor: scalar kernels with
 //!   sequential decode (the pre-acceleration baseline), word kernels
 //!   sequential, and word kernels at `threads` decode workers with
 //!   overlapped I/O.
+//! * **ingest** — the write path end to end: the same 6 fields encoded and
+//!   streamed to disk via `Dataset::refactor_to_path`, scalar kernels
+//!   serial without overlap (the pre-acceleration ingest) vs word kernels
+//!   at `threads` workers with the overlapped archive-write stage.
 //!
 //! Sizes scale with `PQR_SCALE`; the output path can be overridden with
 //! `PQR_BENCH_OUT`.
@@ -110,6 +115,15 @@ fn main() {
         cur.reconstruct()
     };
     let zfp_decode = kernel_pair(n_kernel * 8, || zdecode(true), || zdecode(false));
+    let zfp_encode = kernel_pair(
+        n_kernel * 8,
+        || {
+            ZfpRefactorer::new()
+                .refactor_scalar(&data, &[n_kernel])
+                .unwrap()
+        },
+        || ZfpRefactorer::new().refactor(&data, &[n_kernel]).unwrap(),
+    );
 
     // --- end-to-end arms -------------------------------------------------
     let n = scaled(120_000);
@@ -145,7 +159,7 @@ fn main() {
         let ms = best_ms(|| {
             let src = std::sync::Arc::new(FileSource::open(&path).expect("open archive"));
             let cfg = EngineConfig {
-                decode_workers: workers,
+                workers,
                 overlap_io: overlap,
                 ..Default::default()
             };
@@ -163,19 +177,50 @@ fn main() {
     let word_par_ms = retrieve(false, THREADS, true); // full stack
     std::fs::remove_file(&path).ok();
 
+    // --- ingest arms -----------------------------------------------------
+    let ingest_path = dir.join(format!("ingest_{}.pqrx", std::process::id()));
+    let ingest = |scalar_kernels: bool, workers: usize, overlap: bool| -> f64 {
+        if scalar_kernels {
+            std::env::set_var("PQR_SCALAR_KERNELS", "1");
+        } else {
+            std::env::remove_var("PQR_SCALAR_KERNELS");
+        }
+        let ms = best_ms(|| {
+            ds.refactor_to_path(
+                Scheme::PmgardHb,
+                &pqr_progressive::refactored::default_snapshot_bounds(),
+                None,
+                &[],
+                &ingest_path,
+                workers,
+                overlap,
+            )
+            .expect("ingest")
+        });
+        std::env::remove_var("PQR_SCALAR_KERNELS");
+        ms
+    };
+    let ingest_scalar_seq_ms = ingest(true, 1, false); // pre-acceleration ingest
+    let ingest_word_par_ms = ingest(false, THREADS, true); // full write stack
+    std::fs::remove_file(&ingest_path).ok();
+
     // --- report ----------------------------------------------------------
     let out_path =
         std::env::var("PQR_BENCH_OUT").unwrap_or_else(|_| "BENCH_decode.json".to_string());
     let json = format!(
-        "{{\n  \"schema\": \"pqr-bench-decode/1\",\n  \"scale\": {},\n  \
+        "{{\n  \"schema\": \"pqr-bench-decode/2\",\n  \"scale\": {},\n  \
          \"kernel_elements\": {n_kernel},\n  \"retrieve_elements_per_field\": {n},\n  \
-         \"fields\": 6,\n  \"threads\": {THREADS},\n  \"kernel\": {{\n{},\n{},\n{}\n  }},\n  \
+         \"fields\": 6,\n  \"threads\": {THREADS},\n  \"kernel\": {{\n{},\n{},\n{},\n{}\n  }},\n  \
          \"end_to_end\": {{\n    \"scalar_seq_ms\": {:.1},\n    \"word_seq_ms\": {:.1},\n    \
          \"word_par_ms\": {:.1},\n    \"speedup_word_seq\": {:.2},\n    \
-         \"speedup_word_par\": {:.2},\n    \"overlap_saved_ms\": {}\n  }}\n}}\n",
+         \"speedup_word_par\": {:.2},\n    \"overlap_saved_ms\": {}\n  }},\n  \
+         \"ingest\": {{\n    \"scalar_seq_ms\": {:.1},\n    \"word_par_ms\": {:.1},\n    \
+         \"scalar_seq_fields_per_s\": {:.2},\n    \"word_par_fields_per_s\": {:.2},\n    \
+         \"speedup\": {:.2}\n  }}\n}}\n",
         pqr_bench::scale(),
         json_kernel("mgard_encode", mgard_encode),
         json_kernel("mgard_decode", mgard_decode),
+        json_kernel("zfp_encode", zfp_encode),
         json_kernel("zfp_decode", zfp_decode),
         scalar_seq_ms,
         word_seq_ms,
@@ -183,6 +228,11 @@ fn main() {
         scalar_seq_ms / word_seq_ms,
         scalar_seq_ms / word_par_ms,
         overlap_saved,
+        ingest_scalar_seq_ms,
+        ingest_word_par_ms,
+        6e3 / ingest_scalar_seq_ms,
+        6e3 / ingest_word_par_ms,
+        ingest_scalar_seq_ms / ingest_word_par_ms,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_decode.json");
     print!("{json}");

@@ -128,6 +128,49 @@ impl ArchiveBuilder {
             engine: self.engine,
         })
     }
+
+    /// Refactors and streams the archive straight to `path` — the
+    /// parallel-ingest counterpart of [`ArchiveBuilder::build`] +
+    /// [`Archive::save`]. Fields encode across `workers` threads (`0`
+    /// resolves to the `PQR_THREADS` worker count) and, with `overlap_io`,
+    /// completed fields' fragments hit the disk while later fields are
+    /// still encoding. The container is byte-identical for every
+    /// workers/overlap combination; reopen it with [`Archive::open`].
+    /// Returns the total bytes written.
+    pub fn build_to_path(
+        self,
+        path: impl AsRef<Path>,
+        workers: usize,
+        overlap_io: bool,
+    ) -> Result<u64> {
+        let mut qoi_meta = BTreeMap::new();
+        for (name, expr) in &self.qois {
+            let range = self.dataset.qoi_range(expr)?;
+            qoi_meta.insert(name.clone(), (expr.clone(), range));
+        }
+        let mask_idx = match &self.mask_fields {
+            Some(names) => Some(
+                names
+                    .iter()
+                    .map(|n| {
+                        self.dataset.field_index(n).ok_or_else(|| {
+                            PqrError::InvalidRequest(format!("mask field '{n}' not found"))
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            None => None,
+        };
+        self.dataset.refactor_to_path(
+            self.scheme,
+            &self.rel_bounds,
+            mask_idx.as_deref(),
+            &registry_to_bytes(&qoi_meta),
+            path,
+            workers,
+            overlap_io,
+        )
+    }
 }
 
 /// Where an archive's fragment bytes live. Both flavours are behind `Arc`

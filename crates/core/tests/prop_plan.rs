@@ -8,7 +8,7 @@
 //! backends.
 //!
 //! The same cases also pin the parallel decode pipeline: executing the
-//! request with sequential decode and plain prefetch (`decode_workers: 1`,
+//! request with sequential decode and plain prefetch (`workers: 1`,
 //! `overlap_io: false`) versus 8 decode workers with the overlapped
 //! prefetcher must produce byte-identical reconstructions, identical
 //! `PlanReport` bounds/certifications, and identical byte accounting.
@@ -129,10 +129,10 @@ proptest! {
 
         // parallel decode + overlapped I/O must be invisible in results:
         // sequential/plain-prefetch vs 8 workers/overlapped, byte for byte
-        let run_parallel_arm = |decode_workers: usize, overlap_io: bool| {
+        let run_parallel_arm = |workers: usize, overlap_io: bool| {
             let mut archive = open_backend(&bytes, &path, backend);
             archive.set_engine_config(EngineConfig {
-                decode_workers,
+                workers,
                 overlap_io,
                 ..Default::default()
             });

@@ -1,6 +1,6 @@
 //! Refactoring: decompose → per-level bitplane segments + metadata.
 
-use crate::bitplane::{encode_level, EncodedLevel, PLANES};
+use crate::bitplane::{encode_level, encode_level_scalar, EncodedLevel, PLANES};
 use crate::hierarchy::{level_coefficient_count, level_strides};
 use crate::retrieve::MgardReader;
 use crate::transform::{decompose, gather_level, Basis};
@@ -32,6 +32,38 @@ impl MgardRefactorer {
 
     /// Refactors a row-major array into a progressive multilevel stream.
     pub fn refactor(&self, data: &[f64], dims: &[usize]) -> Result<MgardStream> {
+        self.refactor_with_workers(data, dims, 1)
+    }
+
+    /// [`MgardRefactorer::refactor`] pinned to the scalar reference plane
+    /// encoder regardless of `PQR_SCALAR_KERNELS` — the oracle the
+    /// word-parallel and parallel-worker encodes are property-tested
+    /// against.
+    pub fn refactor_scalar(&self, data: &[f64], dims: &[usize]) -> Result<MgardStream> {
+        self.refactor_impl(data, dims, 1, true)
+    }
+
+    /// [`MgardRefactorer::refactor`] with the per-level bitplane encodes
+    /// fanned out to `workers` threads (1 = exactly the serial loop). The
+    /// decomposition itself stays serial — levels depend on each other —
+    /// but the encode of each level's coefficient set is independent, so
+    /// the stream is byte-identical at any worker count.
+    pub fn refactor_with_workers(
+        &self,
+        data: &[f64],
+        dims: &[usize],
+        workers: usize,
+    ) -> Result<MgardStream> {
+        self.refactor_impl(data, dims, workers, false)
+    }
+
+    fn refactor_impl(
+        &self,
+        data: &[f64],
+        dims: &[usize],
+        workers: usize,
+        scalar: bool,
+    ) -> Result<MgardStream> {
         let n: usize = dims.iter().product();
         if n != data.len() {
             return Err(PqrError::ShapeMismatch(format!(
@@ -56,10 +88,17 @@ impl MgardRefactorer {
         let mut work = data.to_vec();
         decompose(&mut work, dims, self.basis);
         let root = work[0];
-        let levels = level_strides(dims)
-            .iter()
-            .map(|&s| encode_level(&gather_level(&work, dims, s)))
-            .collect();
+        let strides = level_strides(dims);
+        let levels = if scalar {
+            strides
+                .iter()
+                .map(|&s| encode_level_scalar(&gather_level(&work, dims, s)))
+                .collect()
+        } else {
+            pqr_util::par::par_dynamic(strides.len(), workers, |l| {
+                encode_level(&gather_level(&work, dims, strides[l]))
+            })
+        };
         Ok(MgardStream {
             basis: self.basis,
             dims: dims.to_vec(),

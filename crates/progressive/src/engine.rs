@@ -150,13 +150,16 @@ pub struct EngineConfig {
     /// it. Disable to force the legacy per-fragment fetch path — useful
     /// for I/O comparisons; the bytes moved are identical either way.
     pub batch_io: bool,
-    /// Worker threads for per-field decode during plan execution. Fields
-    /// are independent, so each round's cursor advancement fans out through
+    /// Worker-thread budget — the shared knob for per-field decode during
+    /// plan execution here and for the encode fan-out on the write path
+    /// (`Dataset::refactor_with_workers` takes the same value; the CLI
+    /// feeds both from one `--workers` flag). Fields are independent, so
+    /// each round's cursor advancement fans out through
     /// `pqr_util::par::par_dynamic`-style dispatch. `0` (the default)
     /// resolves to [`pqr_util::par::worker_count`] (the `PQR_THREADS`
     /// knob); `1` runs the exact sequential field order, bit-identical to
     /// the pre-parallel executor.
-    pub decode_workers: usize,
+    pub workers: usize,
     /// Overlap fragment I/O with decode: a scoped prefetcher thread issues
     /// the round's [`FragmentSource::read_many`] in chunks while the
     /// readers decode payloads that have already landed. Reconstructions,
@@ -176,7 +179,7 @@ impl Default for EngineConfig {
             bound_config: BoundConfig::default(),
             parallel_scan: true,
             batch_io: true,
-            decode_workers: 0,
+            workers: 0,
             overlap_io: true,
         }
     }
@@ -521,8 +524,8 @@ impl RetrievalEngine {
     }
 
     /// The effective per-field decode worker count.
-    fn decode_workers(&self) -> usize {
-        match self.cfg.decode_workers {
+    fn workers(&self) -> usize {
+        match self.cfg.workers {
             0 => pqr_util::par::worker_count(),
             n => n,
         }
@@ -533,7 +536,7 @@ impl RetrievalEngine {
     /// then refines every field with a finite requested bound — in
     /// parallel across fields, since their cursors are independent.
     ///
-    /// With `decode_workers = 1` and overlap off this is exactly the
+    /// With `workers = 1` and overlap off this is exactly the
     /// legacy prefetch-then-refine sequence; the parallel/overlapped
     /// variants produce bit-identical reconstructions and byte accounting
     /// (asserted by `prop_plan_equivalence` and the engine tests below).
@@ -542,7 +545,7 @@ impl RetrievalEngine {
         requested: &[f64],
         schedule: Option<&[FragmentId]>,
     ) -> Result<()> {
-        let workers = self.decode_workers();
+        let workers = self.workers();
         match schedule {
             Some(ids) if self.cfg.overlap_io && ids.len() >= OVERLAP_MIN_FRAGMENTS => {
                 let source = Arc::clone(&self.source);
@@ -1087,7 +1090,7 @@ mod tests {
 
     #[test]
     fn parallel_decode_is_bit_identical_to_sequential() {
-        // decode_workers = 1 is the legacy sequential field order; more
+        // workers = 1 is the legacy sequential field order; more
         // workers must produce byte-identical reconstructions, bounds and
         // byte accounting — fields are independent decode units
         let ds = velocity_dataset(3000, false);
@@ -1095,9 +1098,9 @@ mod tests {
             let archive = ds
                 .refactor_with_bounds(scheme, &(1..=8).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())
                 .unwrap();
-            let run = |decode_workers: usize| {
+            let run = |workers: usize| {
                 let cfg = EngineConfig {
-                    decode_workers,
+                    workers,
                     ..Default::default()
                 };
                 let mut engine = RetrievalEngine::new(&archive, cfg).unwrap();

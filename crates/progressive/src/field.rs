@@ -165,9 +165,32 @@ impl Dataset {
         scheme: Scheme,
         rel_bounds: &[f64],
     ) -> Result<RefactoredDataset> {
-        let workers = pqr_util::par::worker_count().min(self.fields.len());
-        let fields = pqr_util::par::par_dynamic(self.fields.len(), workers, |i| {
-            RefactoredField::refactor_with_bounds(scheme, &self.fields[i], &self.dims, rel_bounds)
+        self.refactor_with_workers(scheme, rel_bounds, 0)
+    }
+
+    /// [`Dataset::refactor_with_bounds`] with an explicit worker budget
+    /// (`0` resolves to [`pqr_util::par::worker_count`]).
+    ///
+    /// Workers split across fields first; when fields are scarcer than
+    /// workers the surplus moves *inside* each field
+    /// ([`RefactoredField::refactor_with_bounds_workers`]) to parallelise
+    /// snapshot ladders, mgard levels and zfp block rounds. Output is
+    /// byte-identical at every worker count.
+    pub fn refactor_with_workers(
+        &self,
+        scheme: Scheme,
+        rel_bounds: &[f64],
+        workers: usize,
+    ) -> Result<RefactoredDataset> {
+        let (outer, inner) = split_workers(workers, self.fields.len());
+        let fields = pqr_util::par::par_dynamic(self.fields.len(), outer, |i| {
+            RefactoredField::refactor_with_bounds_workers(
+                scheme,
+                &self.fields[i],
+                &self.dims,
+                rel_bounds,
+                inner,
+            )
         })
         .into_iter()
         .collect::<Result<Vec<_>>>()?;
@@ -178,6 +201,67 @@ impl Dataset {
             mask: None,
         })
     }
+
+    /// Refactors and **streams** the archive to `path`: with `overlap_io`,
+    /// finished fields' fragments go to disk while later fields are still
+    /// encoding — the write-side mirror of the retrieval engine's
+    /// overlapped prefetcher. `mask_fields` builds and embeds the
+    /// zero-outlier mask; `app_meta` is stored verbatim. The on-disk
+    /// container is byte-identical for every `workers` / `overlap_io`
+    /// combination. Returns the total bytes written; on error the partial
+    /// file is removed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refactor_to_path(
+        &self,
+        scheme: Scheme,
+        rel_bounds: &[f64],
+        mask_fields: Option<&[usize]>,
+        app_meta: &[u8],
+        path: impl AsRef<std::path::Path>,
+        workers: usize,
+        overlap_io: bool,
+    ) -> Result<u64> {
+        let mask = mask_fields.map(|idx| self.zero_mask(idx));
+        let (outer, inner) = split_workers(workers, self.fields.len());
+        let path = path.as_ref();
+        let res = crate::fragstore::write_container_streaming(
+            path,
+            &self.dims,
+            &self.names,
+            scheme,
+            rel_bounds.len(),
+            mask.as_ref(),
+            app_meta,
+            outer,
+            overlap_io,
+            |i| {
+                RefactoredField::refactor_with_bounds_workers(
+                    scheme,
+                    &self.fields[i],
+                    &self.dims,
+                    rel_bounds,
+                    inner,
+                )
+            },
+        );
+        if res.is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+        res
+    }
+}
+
+/// Splits a worker budget across `nfields` fields: fields first (outer),
+/// remaining depth inside each field (inner). `total == 0` resolves to
+/// [`pqr_util::par::worker_count`].
+fn split_workers(total: usize, nfields: usize) -> (usize, usize) {
+    let total = if total == 0 {
+        pqr_util::par::worker_count()
+    } else {
+        total
+    };
+    let outer = total.clamp(1, nfields.max(1));
+    (outer, (total / outer).max(1))
 }
 
 /// A refactored multi-field archive: what the storage system holds and what
@@ -469,5 +553,61 @@ mod tests {
         assert_eq!(back.total_bytes(), rd.total_bytes());
         assert!(back.mask().is_some());
         assert!(RefactoredDataset::from_bytes(&bytes[..30]).is_err());
+    }
+
+    #[test]
+    fn streaming_refactor_is_schedule_invariant_and_readable() {
+        // every (workers, overlap) schedule must produce the same bytes,
+        // and the padded-directory file must load back identically
+        let ds = small_dataset();
+        let dir = std::env::temp_dir().join("pqr_field_streaming_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for scheme in [Scheme::Psz3, Scheme::PmgardOb, Scheme::Pzfp] {
+            let mut reference: Option<Vec<u8>> = None;
+            for (workers, overlap) in [(1, false), (1, true), (4, false), (4, true)] {
+                let path = dir.join(format!("{}_{workers}_{overlap}.pqr", scheme.name()));
+                ds.refactor_to_path(
+                    scheme,
+                    &[1e-1, 1e-3],
+                    Some(&[0, 1]),
+                    b"meta",
+                    &path,
+                    workers,
+                    overlap,
+                )
+                .unwrap();
+                let bytes = std::fs::read(&path).unwrap();
+                match &reference {
+                    None => reference = Some(bytes),
+                    Some(r) => assert_eq!(
+                        r,
+                        &bytes,
+                        "{} workers={workers} overlap={overlap}",
+                        scheme.name()
+                    ),
+                }
+                std::fs::remove_file(&path).unwrap();
+            }
+            // the streamed container parses and matches the in-memory path
+            let path = dir.join(format!("{}_load.pqr", scheme.name()));
+            ds.refactor_to_path(
+                scheme,
+                &[1e-1, 1e-3],
+                Some(&[0, 1]),
+                b"meta",
+                &path,
+                2,
+                true,
+            )
+            .unwrap();
+            let back = RefactoredDataset::from_bytes(&std::fs::read(&path).unwrap()).unwrap();
+            let mut rd = ds.refactor_with_bounds(scheme, &[1e-1, 1e-3]).unwrap();
+            rd.set_mask(ds.zero_mask(&[0, 1])).unwrap();
+            for i in 0..ds.num_fields() {
+                assert_eq!(back.field(i).to_bytes(), rd.field(i).to_bytes());
+            }
+            assert!(back.mask().is_some());
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 }

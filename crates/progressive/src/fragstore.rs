@@ -46,7 +46,7 @@ use pqr_util::cache::LruCache;
 use pqr_util::error::{PqrError, Result};
 use pqr_zfp::{ZfpMeta, ZfpStream};
 use std::borrow::Cow;
-use std::io::{Read, Seek, SeekFrom};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -631,6 +631,197 @@ pub(crate) fn write_container(
     }
     debug_assert_eq!(w.len(), total);
     w.finish()
+}
+
+/// Upper bound on how many fragments a field of `scheme` over `dims` can
+/// produce from a `num_bounds`-step ladder. The streaming writer sizes its
+/// manifest reservation from this before any field has been encoded.
+fn max_fragments(scheme: Scheme, dims: &[usize], num_bounds: usize) -> usize {
+    match scheme {
+        // one snapshot (or residual) per requested bound
+        Scheme::Psz3 | Scheme::Psz3Delta => num_bounds,
+        // metadata + one fragment per (level, bitplane)
+        Scheme::PmgardHb | Scheme::PmgardOb => {
+            1 + pqr_mgard::hierarchy::level_strides(dims).len()
+                * pqr_mgard::bitplane::PLANES as usize
+        }
+        // metadata + one fragment per digit plane
+        Scheme::Pzfp => 1 + pqr_zfp::MAX_TOTAL_PLANES as usize,
+    }
+}
+
+/// Streams a container to `path` while fields are still being encoded.
+///
+/// `encode(i)` produces field `i`; with `overlap_io` the closure runs on
+/// `workers` encoder threads while this thread writes completed fields'
+/// payloads to disk in field order, so the disk is busy during the bulk of
+/// the encode. Without overlap, all fields are encoded first (still across
+/// `workers` threads) and written afterwards.
+///
+/// The manifest must precede the payloads it addresses, so its space is
+/// reserved up front: fragment directory entries are fixed-width, which
+/// means a manifest carrying every field at its [`max_fragments`] ceiling
+/// upper-bounds the real one byte-for-byte. Payloads start right after the
+/// reservation and the actual manifest is back-patched at the end, with the
+/// slack zero-filled. [`manifest_from_bytes`] only requires fragment offsets
+/// to sit at-or-after the manifest's end, so readers accept the gap.
+///
+/// The resulting file depends only on the encoded content and field order —
+/// every `workers` / `overlap_io` combination yields identical bytes
+/// (though, unlike [`write_container`]'s output, with a padded directory).
+/// Returns the total file size. The file is left behind on error; callers
+/// own cleanup.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn write_container_streaming<F>(
+    path: &Path,
+    dims: &[usize],
+    names: &[String],
+    scheme: Scheme,
+    num_bounds: usize,
+    mask: Option<&ZeroMask>,
+    app_meta: &[u8],
+    workers: usize,
+    overlap_io: bool,
+    encode: F,
+) -> Result<u64>
+where
+    F: Fn(usize) -> Result<RefactoredField> + Sync,
+{
+    let io = |what: &str, e: std::io::Error| io_err(path, what, e);
+    let reserve = {
+        let frags = vec![
+            FragmentInfo {
+                offset: 0,
+                len: 0,
+                eb_abs: 0.0,
+            };
+            max_fragments(scheme, dims, num_bounds)
+        ];
+        let probe = Manifest {
+            dims: dims.to_vec(),
+            fields: names
+                .iter()
+                .map(|name| FieldEntry {
+                    name: name.clone(),
+                    scheme,
+                    range: 0.0,
+                    max_abs: 0.0,
+                    fragments: frags.clone(),
+                })
+                .collect(),
+            mask: mask.cloned(),
+            app_meta: app_meta.to_vec(),
+        };
+        manifest_to_bytes(&probe).len()
+    };
+    let payload_start = (PREAMBLE + reserve) as u64;
+
+    let mut file = std::fs::File::create(path).map_err(|e| io("cannot create", e))?;
+    file.seek(SeekFrom::Start(payload_start))
+        .map_err(|e| io("cannot seek in", e))?;
+
+    let nfields = names.len();
+    let workers = workers.clamp(1, nfields.max(1));
+    let mut offset = payload_start;
+    let mut entries: Vec<FieldEntry> = Vec::with_capacity(nfields);
+    let write_field = |file: &mut std::fs::File,
+                       entries: &mut Vec<FieldEntry>,
+                       offset: &mut u64,
+                       i: usize,
+                       field: &RefactoredField|
+     -> Result<()> {
+        entries.push(entry_for(&names[i], field, offset));
+        for (_, payload) in field_payloads(field) {
+            file.write_all(&payload)
+                .map_err(|e| io("cannot write", e))?;
+        }
+        Ok(())
+    };
+
+    if overlap_io && nfields > 0 {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<RefactoredField>)>();
+        let dispenser = pqr_util::par::IndexDispenser::new(nfields);
+        std::thread::scope(|s| -> Result<()> {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (dispenser, encode) = (&dispenser, &encode);
+                s.spawn(move || {
+                    while let Some(i) = dispenser.claim() {
+                        // a send error means the writer bailed; stop encoding
+                        if tx.send((i, encode(i))).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // Fields finish out of order but the container layout is
+            // field-ordered: park early arrivals, flush whenever the next
+            // expected field lands. On failure, surface the error of the
+            // *earliest* failing field so the outcome doesn't depend on
+            // thread timing.
+            let mut parked = std::collections::BTreeMap::new();
+            let mut next = 0usize;
+            let mut first_err: Option<(usize, PqrError)> = None;
+            for (i, res) in rx {
+                match res {
+                    Ok(field) => {
+                        parked.insert(i, field);
+                    }
+                    Err(e) if first_err.as_ref().is_none_or(|(j, _)| i < *j) => {
+                        first_err = Some((i, e));
+                    }
+                    Err(_) => {}
+                }
+                while first_err.is_none()
+                    && parked.first_key_value().is_some_and(|(&k, _)| k == next)
+                {
+                    let field = parked.remove(&next).unwrap();
+                    write_field(&mut file, &mut entries, &mut offset, next, &field)?;
+                    next += 1;
+                }
+            }
+            match first_err {
+                Some((_, e)) => Err(e),
+                None => Ok(()),
+            }
+        })?;
+    } else {
+        let fields = pqr_util::par::par_dynamic(nfields, workers, &encode)
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
+        for (i, field) in fields.iter().enumerate() {
+            write_field(&mut file, &mut entries, &mut offset, i, field)?;
+        }
+    }
+
+    let manifest = Manifest {
+        dims: dims.to_vec(),
+        fields: entries,
+        mask: mask.cloned(),
+        app_meta: app_meta.to_vec(),
+    };
+    let mbytes = manifest_to_bytes(&manifest);
+    debug_assert!(mbytes.len() <= reserve);
+    if mbytes.len() > reserve {
+        return Err(PqrError::CorruptStream(
+            "manifest outgrew its reservation".into(),
+        ));
+    }
+    file.seek(SeekFrom::Start(0))
+        .map_err(|e| io("cannot seek in", e))?;
+    let mut head = ByteWriter::with_capacity(payload_start as usize);
+    head.put_raw(MAGIC);
+    head.put_u8(VERSION);
+    head.put_u64(mbytes.len() as u64);
+    head.put_raw(&mbytes);
+    let head = head.finish();
+    file.write_all(&head).map_err(|e| io("cannot write", e))?;
+    // zero the slack so the file is fully determined by its content
+    file.write_all(&vec![0u8; payload_start as usize - head.len()])
+        .map_err(|e| io("cannot write", e))?;
+    file.flush().map_err(|e| io("cannot flush", e))?;
+    Ok(offset)
 }
 
 /// Reads the container preamble, returning `(manifest_bytes_range,

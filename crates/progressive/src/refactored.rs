@@ -17,6 +17,7 @@ use pqr_mgard::{Basis, MgardCursor, MgardMeta, MgardRefactorer, MgardStream};
 use pqr_sz::{SzCompressor, SzConfig};
 use pqr_util::byteio::{ByteReader, ByteWriter};
 use pqr_util::error::{PqrError, Result};
+use pqr_util::par::par_dynamic;
 use pqr_util::stats;
 use pqr_zfp::{ZfpCursor, ZfpMeta, ZfpRefactorer, ZfpStream};
 use std::sync::Arc;
@@ -147,6 +148,23 @@ impl RefactoredField {
         dims: &[usize],
         rel_bounds: &[f64],
     ) -> Result<Self> {
+        Self::refactor_with_bounds_workers(scheme, data, dims, rel_bounds, 1)
+    }
+
+    /// [`RefactoredField::refactor_with_bounds`] with round parallelism
+    /// *inside* one field: PSZ3 fans the independent per-bound compressions
+    /// out, the PMGARD variants encode their levels concurrently, and PZFP
+    /// splits its coefficient-block pass. The produced fragments are
+    /// byte-identical at every worker count (`workers ≤ 1` runs the exact
+    /// serial order); PSZ3-delta's residual chain is inherently sequential
+    /// and stays serial regardless of `workers`.
+    pub fn refactor_with_bounds_workers(
+        scheme: Scheme,
+        data: &[f64],
+        dims: &[usize],
+        rel_bounds: &[f64],
+        workers: usize,
+    ) -> Result<Self> {
         let n: usize = dims.iter().product();
         if n != data.len() {
             return Err(PqrError::ShapeMismatch(format!(
@@ -163,18 +181,21 @@ impl RefactoredField {
 
         let body = match scheme {
             Scheme::Psz3 => {
-                let sz = SzCompressor::new(SzConfig::default());
-                let mut snaps = Vec::with_capacity(rel_bounds.len());
-                for &rb in rel_bounds {
-                    let eb = rb * scale;
-                    snaps.push(Snapshot {
-                        eb_abs: eb,
-                        blob: sz.compress(data, dims, eb)?,
-                    });
-                }
+                // independent snapshots: each bound compresses the original
+                // data, so the 18-compression ladder parallelises freely
+                let snaps = par_dynamic(rel_bounds.len(), workers, |k| {
+                    let sz = SzCompressor::new(SzConfig::default());
+                    let eb = rel_bounds[k] * scale;
+                    sz.compress(data, dims, eb)
+                        .map(|blob| Snapshot { eb_abs: eb, blob })
+                })
+                .into_iter()
+                .collect::<Result<Vec<_>>>()?;
                 Body::Snapshots(snaps)
             }
             Scheme::Psz3Delta => {
+                // snapshot i compresses the residual of snapshots 1..i−1:
+                // a sequential chain no worker count can split
                 let sz = SzCompressor::new(SzConfig::default());
                 let mut snaps = Vec::with_capacity(rel_bounds.len());
                 let mut residual = data.to_vec();
@@ -189,13 +210,17 @@ impl RefactoredField {
                 }
                 Body::Snapshots(snaps)
             }
-            Scheme::PmgardHb => {
-                Body::Mgard(MgardRefactorer::new(Basis::Hierarchical).refactor(data, dims)?)
+            Scheme::PmgardHb => Body::Mgard(
+                MgardRefactorer::new(Basis::Hierarchical)
+                    .refactor_with_workers(data, dims, workers)?,
+            ),
+            Scheme::PmgardOb => Body::Mgard(
+                MgardRefactorer::new(Basis::Orthogonal)
+                    .refactor_with_workers(data, dims, workers)?,
+            ),
+            Scheme::Pzfp => {
+                Body::Zfp(ZfpRefactorer::new().refactor_with_workers(data, dims, workers)?)
             }
-            Scheme::PmgardOb => {
-                Body::Mgard(MgardRefactorer::new(Basis::Orthogonal).refactor(data, dims)?)
-            }
-            Scheme::Pzfp => Body::Zfp(ZfpRefactorer::new().refactor(data, dims)?),
         };
         Ok(Self {
             scheme,

@@ -37,7 +37,7 @@ impl Default for PipelineConfig {
                 // (or a per-round prefetcher thread per block) would
                 // oversubscribe and distort per-block timings
                 parallel_scan: false,
-                decode_workers: 1,
+                workers: 1,
                 overlap_io: false,
                 ..EngineConfig::default()
             },

@@ -17,7 +17,7 @@ use std::sync::{Mutex, OnceLock};
 /// dispatch path, and `std::env::var` takes a process-global lock on every
 /// call. Changing `PQR_THREADS` after the first call has no effect; code
 /// that needs a per-call worker count (tests, benches) should thread an
-/// explicit count instead (e.g. `EngineConfig::decode_workers`).
+/// explicit count instead (e.g. `EngineConfig::workers`).
 pub fn worker_count() -> usize {
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| {

@@ -308,28 +308,132 @@ fn fill_ones(words: &mut [u64], pos: usize, len: usize) {
     }
 }
 
+/// Word `i` of the whole bit buffer `src` logically shifted right by `s`
+/// bits (reads past the end as zero).
+#[inline]
+fn shifted_word(src: &[u64], i: usize, s: usize) -> u64 {
+    let (ws, bs) = (s / 64, s % 64);
+    let lo = src.get(i + ws).copied().unwrap_or(0);
+    if bs == 0 {
+        lo
+    } else {
+        let hi = src.get(i + ws + 1).copied().unwrap_or(0);
+        (lo >> bs) | (hi << (64 - bs))
+    }
+}
+
+/// Zeroes every bit at logical index `>= k` of the packed buffer.
+fn zero_bits_from(words: &mut [u64], k: usize) {
+    let (w, b) = (k / 64, k % 64);
+    if w >= words.len() {
+        return;
+    }
+    if b > 0 {
+        words[w] &= (1u64 << b) - 1;
+        for slot in &mut words[w + 1..] {
+            *slot = 0;
+        }
+    } else {
+        for slot in &mut words[w..] {
+            *slot = 0;
+        }
+    }
+}
+
+/// Whether the gamma run-length coding of the `n`-bit packed sequence is
+/// strictly smaller than raw packing — the mode decision of
+/// [`encode_bits_auto`], computed word-parallel.
+///
+/// The exact RLE size is `1 + Σ gamma(runᵢ)` and
+/// `gamma(r) = 2⌊log₂ r⌋ + 1`, so with `R` runs the total is
+/// `1 + R + 2·Σ_{k≥1} #{runs of length ≥ 2^k}`. `R` falls out of one
+/// popcount pass over the pair-equality mask, and each `#{runs ≥ 2^k}`
+/// term is the popcount of `starts & A` for a doubling cascade of
+/// "`2^k − 1` consecutive equal pairs" masks — dense planes (the common
+/// case for low bitplanes) cross the worse-than-raw threshold after two
+/// or three cascade levels, sparse planes exhaust the cascade after a
+/// handful, so the decision costs a few word passes instead of one
+/// `trailing_zeros` step per run. The decision (including the partial-sum
+/// early exit) is identical to the scalar coder's: every partial sum is a
+/// lower bound on the exact size, and the full cascade computes it
+/// exactly.
+fn rle_smaller_words(words: &[u64], n: usize) -> bool {
+    debug_assert!(n > 0);
+    let raw_len = n.div_ceil(8) as u64;
+    let limit = 8 * raw_len;
+    let nw = n.div_ceil(64);
+    // pair-equality mask: bit i set iff logical bits i and i+1 agree
+    // (defined for the n−1 adjacent pairs; tail bits forced to zero so
+    // garbage beyond n and the final run cannot leak in)
+    let mut eq = vec![0u64; nw];
+    for (i, slot) in eq.iter_mut().enumerate() {
+        let x = words[i];
+        let nxt = words.get(i + 1).copied().unwrap_or(0);
+        *slot = !(x ^ ((x >> 1) | (nxt << 63)));
+    }
+    zero_bits_from(&mut eq, n - 1);
+    let equal_pairs: u64 = eq.iter().map(|w| u64::from(w.count_ones())).sum();
+    let runs = 1 + (n as u64 - 1 - equal_pairs);
+    let mut rle_bits = 1 + runs; // 1 initial-value bit + 1 gamma bit per run
+    if rle_bits > limit {
+        return false;
+    }
+    if runs <= (nw as u64).max(64) {
+        // sparse plane: the per-run walk is O(words + runs), cheaper than
+        // the cascade's log(max-run) full passes
+        let mut rle_bits = 1u64;
+        for_each_word_run(words, n, |_, run| {
+            rle_bits += gamma_bits(run.max(1));
+            true
+        });
+        return rle_bits.div_ceil(8) < raw_len;
+    }
+    // run-start mask: bit 0, plus every bit whose preceding pair differs
+    let mut starts = vec![0u64; nw];
+    let mut carry = 1u64;
+    for (i, slot) in starts.iter_mut().enumerate() {
+        let t = !eq[i];
+        *slot = (t << 1) | carry;
+        carry = t >> 63;
+    }
+    zero_bits_from(&mut starts, n);
+    // doubling cascade: `a` holds "j consecutive equal pairs from here",
+    // visiting j = 2^k − 1 so popcount(starts & a) = #{runs ≥ 2^k}
+    let mut a = eq;
+    let mut j = 1usize;
+    loop {
+        let c: u64 = starts
+            .iter()
+            .zip(&a)
+            .map(|(&s, &w)| u64::from((s & w).count_ones()))
+            .sum();
+        if c == 0 {
+            break; // no run reaches 2^k ⇒ the gamma sum is complete
+        }
+        rle_bits += 2 * c;
+        if rle_bits > limit {
+            return false; // partial sum already worse than raw
+        }
+        // A_{2j+1}(i) = A_j(i) ∧ A_j(i+j) ∧ A_j(i+j+1)
+        if 2 * j + 1 >= n {
+            break;
+        }
+        for i in 0..nw {
+            let v = a[i] & shifted_word(&a, i, j) & shifted_word(&a, i, j + 1);
+            a[i] = v;
+        }
+        j = 2 * j + 1;
+    }
+    rle_bits.div_ceil(8) < raw_len
+}
+
 /// [`encode_bits_auto`] over the packed-word layout: byte-identical output
 /// for the sequence whose logical bit `i` is `words[i / 64] >> (i % 64) & 1`.
 /// Bits of `words` beyond `n` are ignored.
 pub fn encode_bits_auto_words(words: &[u64], n: usize) -> Vec<u8> {
     debug_assert!(words.len() >= n.div_ceil(64));
     let raw_len = n.div_ceil(8);
-    let rle_smaller = if n == 0 {
-        false
-    } else {
-        // exact RLE size (1 bit for the initial value + Σ gamma(run)), with
-        // the same already-worse-than-raw early exit as the scalar coder
-        let mut rle_bits = 1u64;
-        let mut over = false;
-        for_each_word_run(words, n, |_, run| {
-            rle_bits += gamma_bits(run.max(1));
-            if rle_bits > 8 * raw_len as u64 {
-                over = true;
-            }
-            !over
-        });
-        !over && rle_bits.div_ceil(8) < raw_len as u64
-    };
+    let rle_smaller = n != 0 && rle_smaller_words(words, n);
     if rle_smaller {
         let mut w = BitWriter::with_capacity_bits(n / 4 + 64);
         w.put_bit(words[0] & 1 == 1);
@@ -543,6 +647,16 @@ mod tests {
             (0..4096).map(|i| i % 2 == 0).collect(),
             (0..777).map(|i| i % 97 == 0).collect(),
             (0..513).map(|i| (i / 64) % 2 == 0).collect(),
+            // one giant run then a dense alternating tail: forces the
+            // cascade decision down many doubling levels before the
+            // alternation pushes the exact size over the raw limit
+            (0..3000).map(|i| i < 1500 || i % 2 == 0).collect(),
+            // run lengths straddling powers of two (gamma-width edges)
+            (0..1024)
+                .map(|i| !matches!(i, 63 | 64 | 127 | 255 | 256 | 511 | 512))
+                .collect(),
+            // many runs of exactly 64 bits (word-aligned transitions)
+            (0..4096).map(|i| (i / 63) % 2 == 0).collect(),
         ];
         let mut s = 0x2468_ace0u64;
         for density in [2u64, 5, 17, 63] {

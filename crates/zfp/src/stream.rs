@@ -37,6 +37,7 @@ use crate::transform::{self, recon_error_factor};
 use pqr_util::bitplane_simd::{deposit_bits, extract_bits, scalar_kernels, transpose64};
 use pqr_util::byteio::{ByteReader, ByteWriter};
 use pqr_util::error::{PqrError, Result};
+use pqr_util::par::{par_dynamic, par_dynamic_mut};
 use pqr_util::rle;
 
 /// Fixed-point fraction bits. 52 keeps `|q| ≤ 2^52 < 2^53`, so the scaled
@@ -99,6 +100,38 @@ impl ZfpRefactorer {
     /// stream. Rejects non-finite values: a NaN/Inf cannot be bounded by any
     /// L∞ ladder and would poison every block statistic downstream.
     pub fn refactor(&self, data: &[f64], dims: &[usize]) -> Result<ZfpStream> {
+        self.refactor_with_workers(data, dims, 1)
+    }
+
+    /// [`ZfpRefactorer::refactor`] pinned to the scalar reference plane
+    /// encoder regardless of `PQR_SCALAR_KERNELS` — the oracle the
+    /// word-parallel and parallel-worker encodes are property-tested
+    /// against.
+    pub fn refactor_scalar(&self, data: &[f64], dims: &[usize]) -> Result<ZfpStream> {
+        self.refactor_impl(data, dims, 1, true)
+    }
+
+    /// [`ZfpRefactorer::refactor`] with the per-block quantize/transform
+    /// pass and the per-plane RLE encodes fanned out to `workers` threads
+    /// (1 = exactly the serial loop). The stream is byte-identical at any
+    /// worker count: block state is written positionally and each plane's
+    /// RLE encode is independent.
+    pub fn refactor_with_workers(
+        &self,
+        data: &[f64],
+        dims: &[usize],
+        workers: usize,
+    ) -> Result<ZfpStream> {
+        self.refactor_impl(data, dims, workers, scalar_kernels())
+    }
+
+    fn refactor_impl(
+        &self,
+        data: &[f64],
+        dims: &[usize],
+        workers: usize,
+        scalar: bool,
+    ) -> Result<ZfpStream> {
         if dims.is_empty() || dims.len() > 3 {
             return Err(PqrError::ShapeMismatch(format!(
                 "zfp supports 1-3 dims, got {dims:?}"
@@ -123,33 +156,66 @@ impl ZfpRefactorer {
         let coeff_bits =
             negabinary::digits_for_magnitude_bits(Q as u32 + transform::growth_bits(nd));
 
-        // Pass 1: per-block fixed point + transform + negabinary.
+        // Pass 1: per-block fixed point + transform + negabinary. Blocks
+        // are independent, so contiguous chunks of the exponent and digit
+        // arrays fan out to workers; writes are positional, keeping the
+        // result identical at any worker count.
         let mut exponents = vec![EMPTY; nblocks];
         let mut words = vec![0u64; nblocks * blen];
-        let mut fblk = vec![0.0f64; blen];
-        let mut iblk = vec![0i64; blen];
+        let workers = workers.max(1).min(nblocks.max(1));
+        let chunk_blocks = nblocks.div_ceil(workers);
+        let mut chunks: Vec<(usize, &mut [i32], &mut [u64])> = Vec::with_capacity(workers);
+        {
+            let mut erest = exponents.as_mut_slice();
+            let mut wrest = words.as_mut_slice();
+            let mut start = 0usize;
+            while start < nblocks {
+                let take = chunk_blocks.min(nblocks - start);
+                let (ehead, etail) = erest.split_at_mut(take);
+                let (whead, wtail) = wrest.split_at_mut(take * blen);
+                chunks.push((start, ehead, whead));
+                erest = etail;
+                wrest = wtail;
+                start += take;
+            }
+        }
+        let extremes = par_dynamic_mut(&mut chunks, workers, |_, chunk| {
+            let (start, exps, wchunk) = chunk;
+            let mut fblk = vec![0.0f64; blen];
+            let mut iblk = vec![0i64; blen];
+            let (mut max_e, mut min_e) = (i32::MIN, i32::MAX);
+            for (off, exp_slot) in exps.iter_mut().enumerate() {
+                grid.gather(data, *start + off, &mut fblk);
+                let m = fblk.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+                if m == 0.0 {
+                    continue;
+                }
+                let e = alignment_exponent(m);
+                *exp_slot = e;
+                max_e = max_e.max(e);
+                min_e = min_e.min(e);
+                let scale = exp2(Q - e);
+                for (q, &x) in iblk.iter_mut().zip(fblk.iter()) {
+                    *q = (x * scale).round() as i64;
+                    debug_assert!(q.unsigned_abs() <= 1u64 << Q);
+                }
+                transform::forward(&mut iblk, nd);
+                for (w, &c) in wchunk[off * blen..(off + 1) * blen]
+                    .iter_mut()
+                    .zip(iblk.iter())
+                {
+                    debug_assert!(c.unsigned_abs() < 1u64 << (coeff_bits - 1));
+                    *w = negabinary::encode(c);
+                }
+            }
+            (max_e, min_e)
+        });
+        drop(chunks);
         let mut max_e = i32::MIN;
         let mut min_e = i32::MAX;
-        for b in 0..nblocks {
-            grid.gather(data, b, &mut fblk);
-            let m = fblk.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
-            if m == 0.0 {
-                continue;
-            }
-            let e = alignment_exponent(m);
-            exponents[b] = e;
-            max_e = max_e.max(e);
-            min_e = min_e.min(e);
-            let scale = exp2(Q - e);
-            for (q, &x) in iblk.iter_mut().zip(fblk.iter()) {
-                *q = (x * scale).round() as i64;
-                debug_assert!(q.unsigned_abs() <= 1u64 << Q);
-            }
-            transform::forward(&mut iblk, nd);
-            for (w, &c) in words[b * blen..].iter_mut().zip(iblk.iter()) {
-                debug_assert!(c.unsigned_abs() < 1u64 << (coeff_bits - 1));
-                *w = negabinary::encode(c);
-            }
+        for (mx, mn) in extremes {
+            max_e = max_e.max(mx);
+            min_e = min_e.min(mn);
         }
 
         if max_e == i32::MIN {
@@ -172,17 +238,21 @@ impl ZfpRefactorer {
 
         // Pass 2: regroup digits into global absolute planes. Word-parallel
         // by default; `PQR_SCALAR_KERNELS=1` pins the scalar reference the
-        // property tests compare against.
+        // property tests compare against. The per-plane RLE encodes are
+        // independent, so they fan out to the same workers.
         let geom = PlaneGeometry {
             blen,
             coeff_bits,
             a_max,
             p_total,
         };
-        let planes = if scalar_kernels() {
+        let planes = if scalar {
             encode_planes_scalar(&exponents, &words, &geom)
         } else {
-            encode_planes_words(&exponents, &words, &geom)
+            let (participants, bufs) = build_plane_bufs(&exponents, &words, &geom);
+            par_dynamic(bufs.len(), workers, |p| {
+                rle::encode_bits_auto_words(&bufs[p], participants[p] * blen)
+            })
         };
 
         Ok(ZfpStream {
@@ -280,8 +350,8 @@ fn encode_planes_scalar(exponents: &[i32], words: &[u64], geom: &PlaneGeometry) 
     planes
 }
 
-/// Word-parallel plane regrouping, byte-identical to
-/// [`encode_planes_scalar`].
+/// Word-parallel plane regrouping — the RLE encode of each returned buffer
+/// is byte-identical to [`encode_planes_scalar`]'s corresponding plane.
 ///
 /// Runs block-major instead of plane-major: groups of `64 / blen`
 /// consecutive blocks share one [`transpose64`] tile that yields every
@@ -291,29 +361,15 @@ fn encode_planes_scalar(exponents: &[i32], words: &[u64], geom: &PlaneGeometry) 
 /// interval, so per-plane participant counts — and therefore the exact
 /// buffer sizes and deposit order — fall out of a histogram over those
 /// intervals without ever touching payload bits.
-fn encode_planes_words(exponents: &[i32], words: &[u64], geom: &PlaneGeometry) -> Vec<Vec<u8>> {
+fn build_plane_bufs(
+    exponents: &[i32],
+    words: &[u64],
+    geom: &PlaneGeometry,
+) -> (Vec<usize>, Vec<Vec<u64>>) {
     let blen = geom.blen;
     let coeff_bits = geom.coeff_bits as usize;
     let p_total = geom.p_total as usize;
-    // per-plane participant counts via the blocks' plane intervals
-    let mut diff = vec![0i64; p_total + 1];
-    for &e in exponents {
-        if e == EMPTY {
-            continue;
-        }
-        let hi = (geom.a_max - (e - Q)).min(p_total as i32 - 1);
-        let lo = (geom.a_max - (e - Q) - (geom.coeff_bits as i32 - 1)).max(0);
-        if lo <= hi {
-            diff[lo as usize] += 1;
-            diff[hi as usize + 1] -= 1;
-        }
-    }
-    let mut participants = vec![0usize; p_total];
-    let mut acc = 0i64;
-    for (p, slot) in participants.iter_mut().enumerate() {
-        acc += diff[p];
-        *slot = acc as usize;
-    }
+    let participants = plane_participants(exponents, geom);
     let mut bufs: Vec<Vec<u64>> = participants
         .iter()
         .map(|&c| vec![0u64; (c * blen).div_ceil(64)])
@@ -364,11 +420,7 @@ fn encode_planes_words(exponents: &[i32], words: &[u64], geom: &PlaneGeometry) -
         }
         b0 = gend;
     }
-    participants
-        .iter()
-        .zip(&bufs)
-        .map(|(&c, buf)| rle::encode_bits_auto_words(buf, c * blen))
-        .collect()
+    (participants, bufs)
 }
 
 /// Everything a decoder must hold *before* any plane payload arrives:
@@ -695,12 +747,60 @@ impl ZfpStream {
 pub struct ZfpCursor {
     meta: ZfpMeta,
     grid: BlockGrid,
-    /// Accumulated negabinary digit words, `num_blocks × block_len`.
-    words: Vec<u64>,
+    state: DecodeState,
     planes_read: u32,
-    /// Pinned to the scalar reference decode path (see
-    /// [`ZfpCursor::new_scalar`]).
-    scalar: bool,
+}
+
+/// How a [`ZfpCursor`] accumulates pushed planes.
+///
+/// The scalar reference scatters every plane straight into block-major
+/// digit words, touching `O(participants × blen)` bits per push. The word
+/// path keeps each decoded plane in its packed plane-major form — a push is
+/// just the RLE word decode, `O(payload)` — and regroups the whole bit
+/// matrix block-major in one [`transpose64`] sweep only when a
+/// reconstruction is requested.
+#[derive(Debug, Clone)]
+enum DecodeState {
+    /// Scalar oracle: digits accumulate straight into block-major words
+    /// (`num_blocks × block_len`).
+    Scalar { words: Vec<u64> },
+    /// Word path: decoded packed plane payloads, plane-major.
+    Words {
+        /// Per-plane participating block counts, from the same interval
+        /// histogram [`build_plane_bufs`] sizes its buffers with.
+        participants: Vec<usize>,
+        /// Packed plane bits (`participants[p] × blen` bits each), in
+        /// push order.
+        planes: Vec<Vec<u64>>,
+    },
+}
+
+/// Per-plane participating-block counts over `0..p_total`: block `b`
+/// contributes one `blen`-bit row to plane `p` iff `p` lies in the block's
+/// digit interval. Shared by the word-parallel encoder (buffer sizing) and
+/// the word-parallel cursor (payload lengths), and provably equal to the
+/// scalar paths' per-plane participant enumeration.
+fn plane_participants(exponents: &[i32], geom: &PlaneGeometry) -> Vec<usize> {
+    let p_total = geom.p_total as usize;
+    let mut diff = vec![0i64; p_total + 1];
+    for &e in exponents {
+        if e == EMPTY {
+            continue;
+        }
+        let hi = (geom.a_max - (e - Q)).min(p_total as i32 - 1);
+        let lo = (geom.a_max - (e - Q) - (geom.coeff_bits as i32 - 1)).max(0);
+        if lo <= hi {
+            diff[lo as usize] += 1;
+            diff[hi as usize + 1] -= 1;
+        }
+    }
+    let mut participants = vec![0usize; p_total];
+    let mut acc = 0i64;
+    for (p, slot) in participants.iter_mut().enumerate() {
+        acc += diff[p];
+        *slot = acc as usize;
+    }
+    participants
 }
 
 impl ZfpCursor {
@@ -719,13 +819,27 @@ impl ZfpCursor {
 
     fn with_mode(meta: ZfpMeta, scalar: bool) -> Self {
         let grid = BlockGrid::new(&meta.dims);
-        let words = vec![0u64; grid.num_blocks() * grid.block_len()];
+        let state = if scalar {
+            DecodeState::Scalar {
+                words: vec![0u64; grid.num_blocks() * grid.block_len()],
+            }
+        } else {
+            let geom = PlaneGeometry {
+                blen: grid.block_len(),
+                coeff_bits: meta.coeff_bits,
+                a_max: meta.a_max,
+                p_total: meta.num_planes,
+            };
+            DecodeState::Words {
+                participants: plane_participants(&meta.exponents, &geom),
+                planes: Vec::with_capacity(meta.num_planes as usize),
+            }
+        };
         Self {
             meta,
             grid,
-            words,
+            state,
             planes_read: 0,
-            scalar,
         }
     }
 
@@ -758,55 +872,151 @@ impl ZfpCursor {
                 "zfp stream already fully fetched".into(),
             ));
         }
-        let a_p = self.meta.a_max - self.planes_read as i32;
         let blen = self.grid.block_len();
-        // which blocks participate, in order, and their digit index
-        let mut participants = Vec::new();
-        for (b, &e) in self.meta.exponents.iter().enumerate() {
-            if let Some(j) = digit_index(a_p, e, self.meta.coeff_bits) {
-                participants.push((b, j));
-            }
-        }
-        if self.scalar {
-            let bits = rle::decode_bits_auto(bytes, participants.len() * blen)?;
-            for (pi, &(b, j)) in participants.iter().enumerate() {
-                let base = b * blen;
-                for (s, &bit) in bits[pi * blen..(pi + 1) * blen].iter().enumerate() {
-                    if bit {
-                        self.words[base + s] |= 1u64 << j;
+        let p = self.planes_read as usize;
+        match &mut self.state {
+            DecodeState::Scalar { words } => {
+                // which blocks participate, in order, and their digit index
+                let a_p = self.meta.a_max - p as i32;
+                let mut participants = Vec::new();
+                for (b, &e) in self.meta.exponents.iter().enumerate() {
+                    if let Some(j) = digit_index(a_p, e, self.meta.coeff_bits) {
+                        participants.push((b, j));
+                    }
+                }
+                let bits = rle::decode_bits_auto(bytes, participants.len() * blen)?;
+                for (pi, &(b, j)) in participants.iter().enumerate() {
+                    let base = b * blen;
+                    for (s, &bit) in bits[pi * blen..(pi + 1) * blen].iter().enumerate() {
+                        if bit {
+                            words[base + s] |= 1u64 << j;
+                        }
                     }
                 }
             }
-        } else {
-            // word path: decode the plane into packed words, then scatter
-            // each block's row by set bit only (high planes are sparse)
-            let words = rle::decode_bits_auto_words(bytes, participants.len() * blen)?;
-            for (pi, &(b, j)) in participants.iter().enumerate() {
-                let mut row = extract_bits(&words, pi * blen, blen);
-                let base = b * blen;
-                while row != 0 {
-                    let s = row.trailing_zeros() as usize;
-                    self.words[base + s] |= 1u64 << j;
-                    row &= row - 1;
-                }
+            DecodeState::Words {
+                participants,
+                planes,
+            } => {
+                // word path: a push is just the RLE word decode — the plane
+                // stays plane-major until a reconstruction regroups the
+                // whole matrix in one transpose sweep
+                let plane = rle::decode_bits_auto_words(bytes, participants[p] * blen)?;
+                planes.push(plane);
             }
         }
         self.planes_read += 1;
         Ok(())
     }
 
+    /// The accumulated negabinary digit words, block-major
+    /// (`num_blocks × block_len`) — identical between the scalar and
+    /// word-parallel cursors at every plane depth, which is exactly what
+    /// the cross-check suites assert.
+    pub fn digit_words(&self) -> Vec<u64> {
+        self.digit_words_cow().into_owned()
+    }
+
+    /// Block-major digit words without cloning the scalar state.
+    fn digit_words_cow(&self) -> std::borrow::Cow<'_, [u64]> {
+        match &self.state {
+            DecodeState::Scalar { words } => std::borrow::Cow::Borrowed(words),
+            DecodeState::Words { planes, .. } => {
+                std::borrow::Cow::Owned(self.regroup_words(planes))
+            }
+        }
+    }
+
+    /// The inverse of the [`build_plane_bufs`] regrouping sweep: walks
+    /// groups of `64 / blen` blocks, rebuilds each group's digit-major
+    /// 64×64 tile by pulling one packed row per (block, digit) from the
+    /// pushed planes' running bit cursors, and transposes the tile back to
+    /// coefficient-major digit words. Planes beyond `planes_read` simply
+    /// contribute zero digits — per-plane cursors make the skip free.
+    ///
+    /// Groups whose blocks all share one exponent (the common case on
+    /// smooth data) collapse to a single 64-bit extract per digit row.
+    fn regroup_words(&self, planes: &[Vec<u64>]) -> Vec<u64> {
+        let blen = self.grid.block_len();
+        let coeff_bits = self.meta.coeff_bits as usize;
+        let p_total = self.meta.num_planes as i32;
+        let k = planes.len();
+        let exponents = &self.meta.exponents;
+        let nblocks = exponents.len();
+        let mut words = vec![0u64; nblocks * blen];
+        let mut cursors = vec![0usize; k];
+        let group = 64 / blen; // blen ∈ {4, 16, 64}
+        let mut tile = [0u64; 64];
+        let mut b0 = 0usize;
+        while b0 < nblocks {
+            let gend = (b0 + group).min(nblocks);
+            if exponents[b0..gend].iter().all(|&e| e == EMPTY) {
+                b0 = gend; // all-zero region: no digits anywhere
+                continue;
+            }
+            tile.fill(0);
+            if gend - b0 == group && exponents[b0 + 1..gend].iter().all(|&e| e == exponents[b0]) {
+                // uniform full group: every block maps digit j to the same
+                // plane, and the group's 64 bits sit contiguously there
+                let base_p = self.meta.a_max - (exponents[b0] - Q);
+                for (j, row) in tile.iter_mut().enumerate().take(coeff_bits) {
+                    let p = base_p - j as i32;
+                    if p < 0 || p >= p_total {
+                        continue;
+                    }
+                    let p = p as usize;
+                    if p >= k {
+                        continue; // plane not pushed yet
+                    }
+                    *row = extract_bits(&planes[p], cursors[p], 64);
+                    cursors[p] += 64;
+                }
+            } else {
+                for (g, b) in (b0..gend).enumerate() {
+                    let e = exponents[b];
+                    if e == EMPTY {
+                        continue;
+                    }
+                    let base_p = self.meta.a_max - (e - Q);
+                    for (j, row) in tile.iter_mut().enumerate().take(coeff_bits) {
+                        let p = base_p - j as i32;
+                        if p < 0 || p >= p_total {
+                            continue;
+                        }
+                        let p = p as usize;
+                        if p >= k {
+                            continue;
+                        }
+                        *row |= extract_bits(&planes[p], cursors[p], blen) << (g * blen);
+                        cursors[p] += blen;
+                    }
+                }
+            }
+            transpose64(&mut tile);
+            // tile[g·blen + s] now holds the digit word of block b0+g,
+            // coefficient s
+            for (g, b) in (b0..gend).enumerate() {
+                words[b * blen..(b + 1) * blen].copy_from_slice(&tile[g * blen..(g + 1) * blen]);
+            }
+            b0 = gend;
+        }
+        words
+    }
+
     /// Reconstructs the data representation from the planes consumed so far.
     pub fn reconstruct(&self) -> Vec<f64> {
+        let words = self.digit_words_cow();
         let mut out = vec![0.0f64; self.grid.num_elements()];
         for b in 0..self.meta.exponents.len() {
-            self.reconstruct_block_into(b, &mut out);
+            self.reconstruct_block_into(&words, b, &mut out);
         }
         out
     }
 
-    /// Decodes one block into `out` (full-array buffer). All-zero blocks
-    /// are skipped — `out` is expected to be zero there already.
-    fn reconstruct_block_into(&self, b: usize, out: &mut [f64]) {
+    /// Decodes one block of the block-major digit `words` into `out`
+    /// (full-array buffer). All-zero blocks are skipped — `out` is expected
+    /// to be zero there already.
+    fn reconstruct_block_into(&self, words: &[u64], b: usize, out: &mut [f64]) {
         let e = self.meta.exponents[b];
         if e == EMPTY {
             return;
@@ -814,7 +1024,7 @@ impl ZfpCursor {
         let blen = self.grid.block_len();
         let nd = self.grid.ndims();
         let mut iblk = vec![0i64; blen];
-        for (c, &w) in iblk.iter_mut().zip(&self.words[b * blen..(b + 1) * blen]) {
+        for (c, &w) in iblk.iter_mut().zip(&words[b * blen..(b + 1) * blen]) {
             *c = negabinary::decode(w);
         }
         transform::inverse(&mut iblk, nd);
@@ -944,8 +1154,11 @@ impl ZfpCursor {
         }
         // Decode the intersecting blocks into a scratch full-array buffer,
         // then copy the window out. The scratch is O(array) in memory but
-        // only the touched blocks cost compute; a production variant would
-        // scatter straight into the window.
+        // only the touched blocks cost transform compute; the word-parallel
+        // cursor additionally pays one O(bit-matrix / 64) regrouping sweep
+        // per call. A production variant would scatter straight into the
+        // window.
+        let words = self.digit_words_cow();
         let mut scratch = vec![0.0f64; self.grid.num_elements()];
         let nd = dims.len();
         let mut bc_lo = vec![0usize; nd];
@@ -962,7 +1175,7 @@ impl ZfpCursor {
             for (&nblocks, &c) in self.grid.blocks.iter().zip(&bc) {
                 b = b * nblocks + c;
             }
-            self.reconstruct_block_into(b, &mut scratch);
+            self.reconstruct_block_into(&words, b, &mut scratch);
             let mut a = nd;
             loop {
                 if a == 0 {
@@ -1104,7 +1317,11 @@ mod tests {
                 cw.push_plane(plane).unwrap();
                 cs.push_plane(plane).unwrap();
                 if p % 7 == 0 || p + 1 == stream.num_planes() {
-                    assert_eq!(cw.words, cs.words, "dims {dims:?} plane {p}");
+                    assert_eq!(
+                        cw.digit_words(),
+                        cs.digit_words(),
+                        "dims {dims:?} plane {p}"
+                    );
                     assert_eq!(
                         cw.reconstruct(),
                         cs.reconstruct(),
@@ -1137,7 +1354,8 @@ mod tests {
                     c.push_plane(stream.plane(p).unwrap()).unwrap();
                 }
                 let r = c.push_plane(bad);
-                (r, c.words)
+                let words = c.digit_words();
+                (r, words)
             };
             let (rw, ww) = advance(ZfpCursor::new(stream.meta()));
             let (rs, ws) = advance(ZfpCursor::new_scalar(stream.meta()));
@@ -1145,6 +1363,104 @@ mod tests {
             if rw.is_ok() {
                 assert_eq!(ww, ws, "case {i}");
             }
+        }
+    }
+
+    #[test]
+    fn truncated_plane_payloads_fail_identically_at_every_depth() {
+        // hostile truncation of *each* plane in turn: the word path's
+        // participant histogram must demand exactly the bit count the
+        // scalar enumeration demands, so both cursors accept/reject the
+        // same prefixes and keep identical digit state afterwards
+        let mut data = field(500);
+        for v in data.iter_mut().skip(3).step_by(11) {
+            *v *= 1e-6; // mixed block exponents → ragged participant ramps
+        }
+        let stream = ZfpRefactorer::new().refactor(&data, &[500]).unwrap();
+        for target in (0..stream.num_planes()).step_by(9) {
+            let seg = stream.plane(target).unwrap();
+            for cut in [0usize, seg.len() / 3, seg.len().saturating_sub(1)] {
+                let bad = &seg[..cut.min(seg.len())];
+                let drive = |mut c: ZfpCursor| {
+                    for p in 0..target {
+                        c.push_plane(stream.plane(p).unwrap()).unwrap();
+                    }
+                    let r = c.push_plane(bad);
+                    let words = c.digit_words();
+                    (r.is_err(), c.planes_read(), words)
+                };
+                let w = drive(ZfpCursor::new(stream.meta()));
+                let s = drive(ZfpCursor::new_scalar(stream.meta()));
+                assert_eq!(w, s, "plane {target} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_exponent_tables_fail_identically_through_both_cursors() {
+        // a corrupt exponent table shifts every block's digit interval, so
+        // the expected per-plane payload sizes change; whatever the
+        // word-parallel cursor then accepts or rejects must match the
+        // scalar oracle exactly, plane by plane
+        let data = field(600);
+        let stream = ZfpRefactorer::new().refactor(&data, &[600]).unwrap();
+        type Tweak = Box<dyn Fn(&mut Vec<i32>)>;
+        let tweaks: Vec<Tweak> = vec![
+            Box::new(|e| e[0] += 13),
+            Box::new(|e| e[7] -= 9),
+            Box::new(|e| e[3] = EMPTY),
+            Box::new(|e| {
+                let n = e.len();
+                e[n - 1] += 40;
+            }),
+            Box::new(|e| {
+                for v in e.iter_mut() {
+                    *v += 2;
+                }
+            }),
+        ];
+        for (i, tweak) in tweaks.iter().enumerate() {
+            let mut meta = stream.meta();
+            tweak(&mut meta.exponents);
+            let drive = |mut c: ZfpCursor| {
+                let mut outcome = Vec::new();
+                for p in 0..stream.num_planes() {
+                    match c.push_plane(stream.plane(p).unwrap()) {
+                        Ok(()) => outcome.push(Ok(())),
+                        Err(e) => {
+                            outcome.push(Err(format!("{e}")));
+                            break;
+                        }
+                    }
+                }
+                let words = c.digit_words();
+                (outcome, c.planes_read(), words)
+            };
+            let w = drive(ZfpCursor::new(meta.clone()));
+            let s = drive(ZfpCursor::new_scalar(meta));
+            assert_eq!(w, s, "tweak {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_refactor_is_byte_identical_to_serial_and_scalar() {
+        for dims in [vec![2048usize], vec![40, 25], vec![9, 10, 11]] {
+            let n: usize = dims.iter().product();
+            let mut data = field(n);
+            for v in data.iter_mut().skip(5).step_by(17) {
+                *v *= 1e-9;
+            }
+            let r = ZfpRefactorer::new();
+            let serial = r.refactor(&data, &dims).unwrap().to_bytes();
+            for workers in [2usize, 8] {
+                let par = r
+                    .refactor_with_workers(&data, &dims, workers)
+                    .unwrap()
+                    .to_bytes();
+                assert_eq!(par, serial, "dims {dims:?} workers {workers}");
+            }
+            let scalar = r.refactor_scalar(&data, &dims).unwrap().to_bytes();
+            assert_eq!(scalar, serial, "dims {dims:?} scalar oracle");
         }
     }
 

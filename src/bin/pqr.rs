@@ -59,7 +59,11 @@ fn print_usage() {
 
 USAGE:
   pqr refactor --out <archive> [--scheme S] [--mask f1,f2,..]
+               [--workers N] [--overlap-io on|off]
                (--field NAME:PATH)... (--qoi 'NAME=EXPR')...
+               (encodes fields across N workers and, with overlap on,
+               streams finished fields to disk while the rest encode;
+               prints an encode-throughput line)
   pqr info <archive>
   pqr retrieve <archive> --qoi NAME --tol REL [--estimator E]
                [--workers N] [--overlap-io on|off]
@@ -93,9 +97,10 @@ USAGE:
                server's hint up to --retries times)
 
 ESTIMATORS: paper (default) | exact-sqrt | interval
-WORKERS:    decode threads per refinement round (0 = the PQR_THREADS env
-            default); --overlap-io toggles the chunked prefetcher that
-            hides fragment I/O behind decode (on by default)
+WORKERS:    worker threads (0 = the PQR_THREADS env default) — decode
+            threads per refinement round on retrieve, encode threads on
+            refactor; --overlap-io overlaps fragment I/O with compute on
+            both paths (on by default)
 PROGRESS:   a small progress file; --resume continues a previous retrieval
             incrementally, --save-progress records where this one stopped
 
@@ -237,17 +242,42 @@ fn cmd_refactor(args: &[String]) -> Result<()> {
         let names: Vec<&str> = mask_fields.split(',').collect();
         builder = builder.mask(&names);
     }
-    let archive = builder.build()?;
-    let bytes = archive.to_bytes();
-    fs::write(out, &bytes)
-        .map_err(|e| PqrError::InvalidRequest(format!("cannot write '{out}': {e}")))?;
+    // encode knobs: worker budget (0 = PQR_THREADS default) and whether
+    // finished fields stream to disk while later fields still encode
+    let workers = match flags.get("--workers") {
+        Some(w) => w
+            .parse()
+            .map_err(|_| PqrError::InvalidRequest(format!("bad --workers '{w}' (want a count)")))?,
+        None => 0,
+    };
+    let overlap_io = match flags.get("--overlap-io") {
+        Some(o) => parse_bool("--overlap-io", o)?,
+        None => true,
+    };
+
+    let raw_bytes = field_specs.len() * n * 8;
+    let start = std::time::Instant::now();
+    let written = builder.build_to_path(out, workers, overlap_io)?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
     eprintln!(
         "archived {} fields × {} points → {} ({} B, raw {} B)",
         field_specs.len(),
         n,
         out,
-        bytes.len(),
-        archive.refactored().raw_bytes()
+        written,
+        raw_bytes
+    );
+    eprintln!(
+        "encode: {:.1} fields/s, {:.1} MB/s raw in {:.1} ms ({} workers, overlap {})",
+        field_specs.len() as f64 / secs,
+        raw_bytes as f64 / 1e6 / secs,
+        secs * 1e3,
+        if workers == 0 {
+            "auto".to_string()
+        } else {
+            workers.to_string()
+        },
+        if overlap_io { "on" } else { "off" },
     );
     Ok(())
 }
@@ -334,7 +364,7 @@ fn engine_config_from_flags(flags: &Flags<'_>) -> Result<EngineConfig> {
         cfg.bound_config = parse_estimator(est)?;
     }
     if let Some(w) = flags.get("--workers") {
-        cfg.decode_workers = w
+        cfg.workers = w
             .parse()
             .map_err(|_| PqrError::InvalidRequest(format!("bad --workers '{w}' (want a count)")))?;
     }

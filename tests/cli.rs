@@ -674,6 +674,119 @@ fn workers_and_overlap_flags_change_nothing_but_are_validated() {
 }
 
 #[test]
+fn refactor_workers_and_overlap_flags_stream_identical_archives() {
+    let dir = std::env::temp_dir().join(format!("pqr-cli-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let n = 4000;
+    let vx: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.011).sin() * 22.0 + 35.0)
+        .collect();
+    let vy: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.017).cos() * 14.0 + 25.0)
+        .collect();
+    write_f64(&dir.join("vx.f64"), &vx);
+    write_f64(&dir.join("vy.f64"), &vy);
+
+    // the encode knobs may only change wall-clock: every (workers,
+    // overlap) schedule must write byte-identical archives, and each run
+    // must report its encode throughput
+    let run = |tag: &str, extra: &[&str]| -> (Vec<u8>, String) {
+        let archive = dir.join(format!("{tag}.pqr"));
+        let mut args = vec![
+            "refactor".to_string(),
+            "--out".into(),
+            archive.to_str().unwrap().into(),
+            "--field".into(),
+            format!("Vx:{}", dir.join("vx.f64").display()),
+            "--field".into(),
+            format!("Vy:{}", dir.join("vy.f64").display()),
+            "--qoi".into(),
+            "V2=x0^2 + x1^2".into(),
+            "--mask".into(),
+            "Vx,Vy".into(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = pqr().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read(&archive).unwrap(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+    let (baseline, log) = run("w1off", &["--workers", "1", "--overlap-io", "off"]);
+    assert!(
+        log.lines()
+            .any(|l| l.starts_with("encode:") && l.contains("fields/s")),
+        "missing encode-throughput line: {log}"
+    );
+    for (tag, extra) in [
+        ("w1on", ["--workers", "1", "--overlap-io", "on"]),
+        ("w4off", ["--workers", "4", "--overlap-io", "off"]),
+        ("w4on", ["--workers", "4", "--overlap-io", "on"]),
+    ] {
+        let (bytes, log) = run(tag, &extra);
+        assert_eq!(baseline, bytes, "{extra:?} changed archive bytes");
+        assert!(log.contains("encode:"), "{extra:?} log: {log}");
+    }
+
+    // the streamed archive retrieves with the guarantee intact
+    let derived = dir.join("v2.f64");
+    let out = pqr()
+        .args([
+            "retrieve",
+            dir.join("w4on.pqr").to_str().unwrap(),
+            "--qoi",
+            "V2",
+            "--tol",
+            "1e-6",
+            "--out",
+            derived.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = read_f64(&derived);
+    let truth: Vec<f64> = vx.iter().zip(&vy).map(|(a, b)| a * a + b * b).collect();
+    let range = truth.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - truth.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst = truth
+        .iter()
+        .zip(&got)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(worst <= 1e-6 * range, "QoI error {worst}");
+
+    // bad values fail loudly, with no archive left behind
+    for bad in [["--workers", "many"], ["--overlap-io", "maybe"]] {
+        let target = dir.join("bad.pqr");
+        let out = pqr()
+            .args([
+                "refactor",
+                "--out",
+                target.to_str().unwrap(),
+                "--field",
+                &format!("Vx:{}", dir.join("vx.f64").display()),
+                bad[0],
+                bad[1],
+            ])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{bad:?} should be rejected");
+        assert!(!target.exists(), "{bad:?} left a partial archive");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_bench_reports_shared_vs_cold() {
     let dir = std::env::temp_dir().join(format!("pqr-cli-serve-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

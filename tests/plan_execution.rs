@@ -127,10 +127,10 @@ fn decode_workers_and_overlap_do_not_change_results() {
     // file under PQR_THREADS=1 and =4, which covers the env-driven
     // default worker count as well)
     let path = save_archive("matrix");
-    let run = |decode_workers: usize, overlap_io: bool| {
+    let run = |workers: usize, overlap_io: bool| {
         let mut archive = Archive::open(&path).unwrap();
         archive.set_engine_config(EngineConfig {
-            decode_workers,
+            workers,
             overlap_io,
             ..Default::default()
         });
