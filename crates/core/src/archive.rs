@@ -24,6 +24,7 @@ use pqr_progressive::field::{Dataset, RefactoredDataset};
 use pqr_progressive::fragstore::{
     FileSource, FragmentSource, InMemorySource, Manifest, SourceStats,
 };
+use pqr_progressive::pager::StoreBudget;
 use pqr_progressive::plan::{PlanExecutor, PlanReport, RetrievalPlan};
 use pqr_progressive::refactored::{default_snapshot_bounds, Scheme};
 use pqr_progressive::store::{ProgressStore, StoreStats};
@@ -296,9 +297,27 @@ impl Archive {
     /// bitplane decoded by any session is decoded exactly once for all of
     /// them; a session requesting a tolerance the store already reached
     /// touches neither the source nor a decoder.
+    ///
+    /// Decoded state is charged against a [`StoreBudget`]: the engine
+    /// config's `store_budget_bytes` if set, otherwise the
+    /// `PQR_STORE_BUDGET` environment variable (unset ⇒ unbounded). Over
+    /// budget, cold fields demote to their progress marker and rehydrate
+    /// bit-identically on demand. To share one budget across several
+    /// datasets (as `pqr serve` does), use [`Archive::service_with_budget`].
     pub fn service(&self) -> Result<DatasetService> {
+        let budget = match self.engine.store_budget_bytes {
+            Some(limit) => Arc::new(StoreBudget::with_limit(limit)),
+            None => Arc::new(StoreBudget::from_env()?),
+        };
+        self.service_with_budget(budget)
+    }
+
+    /// [`Archive::service`] charging decoded state against an explicit
+    /// (possibly shared) [`StoreBudget`] — the serving layer hands one
+    /// budget to every registered dataset so eviction pressure is global.
+    pub fn service_with_budget(&self, budget: Arc<StoreBudget>) -> Result<DatasetService> {
         let source = self.shared_source();
-        let store = Arc::new(ProgressStore::open(Arc::clone(&source))?);
+        let store = Arc::new(ProgressStore::open_with(Arc::clone(&source), budget)?);
         Ok(DatasetService {
             inner: Arc::new(ServiceInner {
                 source,

@@ -16,6 +16,7 @@ pub use pqr_progressive::fragstore::{
     InMemorySource, Manifest, SourceStats,
 };
 pub use pqr_progressive::mask::ZeroMask;
+pub use pqr_progressive::pager::{parse_budget, StoreBudget};
 pub use pqr_progressive::plan::{PlanExecutor, PlanReport, RetrievalPlan, TargetReport};
 pub use pqr_progressive::refactored::{RefactoredField, Scheme};
 pub use pqr_progressive::store::{FieldSnapshot, ProgressStore, StoreStats};

@@ -168,6 +168,14 @@ pub struct EngineConfig {
     /// Disable when the caller already parallelises at a coarser
     /// granularity (e.g. the per-block transfer pipeline).
     pub overlap_io: bool,
+    /// Byte budget for shared decoded state when this config builds a
+    /// [`ProgressStore`](crate::store::ProgressStore)-backed service:
+    /// `Some(0)` = explicitly unbounded, `Some(n)` = cap decoded
+    /// snapshots plus master state at `n` bytes (cold fields demote and
+    /// rehydrate — see [`crate::pager`]), `None` (the default) = defer
+    /// to the `PQR_STORE_BUDGET` environment variable (unset ⇒
+    /// unbounded). Engines opened directly (no store) ignore it.
+    pub store_budget_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -181,6 +189,7 @@ impl Default for EngineConfig {
             batch_io: true,
             workers: 0,
             overlap_io: true,
+            store_budget_bytes: None,
         }
     }
 }

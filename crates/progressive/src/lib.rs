@@ -29,6 +29,11 @@
 //!   monotonically, so concurrent sessions ([`FieldReader::open_shared`]
 //!   views sharing one [`store::ProgressStore`]) decode every bitplane
 //!   exactly once and serve looser requests without touching the source.
+//! * [`pager`] — the bounded-memory tier manager behind the store: decoded
+//!   state is charged against a global [`StoreBudget`]; over budget, cold
+//!   fields demote to their [`ReaderProgress`] marker (backed by a
+//!   compressed-fragment RAM tier, then the source) and rehydrate
+//!   bit-identically on demand by replaying the exact restore plan.
 //! * [`plan`] — the plan/execute pipeline over the engine: multi-QoI
 //!   requests resolve into a deduplicated, source-ordered fragment
 //!   schedule (shared fields scheduled once) that executes through
@@ -70,6 +75,7 @@ pub mod engine;
 pub mod field;
 pub mod fragstore;
 pub mod mask;
+pub mod pager;
 pub mod plan;
 pub mod refactored;
 pub mod store;
@@ -81,6 +87,7 @@ pub use fragstore::{
     InMemorySource, Manifest, SourceStats,
 };
 pub use mask::ZeroMask;
+pub use pager::{parse_budget, StoreBudget};
 pub use plan::{PlanExecutor, PlanReport, RetrievalPlan, TargetReport};
 pub use refactored::{FieldReader, ReaderProgress, RefactoredField, Scheme};
 pub use store::{FieldSnapshot, ProgressStore, StoreStats};

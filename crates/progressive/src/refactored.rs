@@ -707,6 +707,26 @@ impl FieldReader {
         self.fetched
     }
 
+    /// Approximate heap bytes of this reader's decoded state — what the
+    /// shared store charges against its [`StoreBudget`] for a resident
+    /// master. Owned reconstructions count in full; the multilevel /
+    /// block-transform cursors additionally hold coefficient and
+    /// accumulator buffers on the order of two field copies. Store-backed
+    /// views own nothing (their adopted `Arc`s are charged to the store).
+    ///
+    /// [`StoreBudget`]: crate::pager::StoreBudget
+    pub fn resident_bytes(&self) -> usize {
+        let recon = match &self.recon {
+            Recon::Owned(v) => v.len() * 8,
+            Recon::Adopted(_) => 0,
+        };
+        let cursor = match &self.state {
+            ReaderState::Mgard { .. } | ReaderState::Zfp(_) => self.recon.as_slice().len() * 16,
+            _ => 0,
+        };
+        recon + cursor
+    }
+
     /// The representation this reader refines.
     pub fn scheme(&self) -> Scheme {
         self.scheme
@@ -892,10 +912,16 @@ impl FieldReader {
         if eb < 0.0 || eb.is_nan() {
             return Err(PqrError::InvalidRequest(format!("bad error bound {eb}")));
         }
-        if self.bound <= eb {
-            return Ok(0);
-        }
         if let ReaderState::Shared { store, snap } = &mut self.state {
+            // a cold view (adopted from a demoted field) carries the
+            // placeholder bound max|x| over a zero reconstruction — a
+            // sound, if coarse, certified state. Anything satisfied by it
+            // is answered without wiring the field back in; the first
+            // request that needs tighter (eb < max|x|) reads through, and
+            // the store rehydrates and serves the true snapshot
+            if self.bound <= eb {
+                return Ok(0);
+            }
             // read through the shared decode state: the store advances its
             // master reader only past what any previous request reached, so
             // this view pays (at most) the delta — and nothing at all when
@@ -907,6 +933,9 @@ impl FieldReader {
             self.fetched = next.fetched;
             *snap = next;
             return Ok(self.fetched - before);
+        }
+        if self.bound <= eb {
+            return Ok(0);
         }
         let before = self.fetched;
         // the state is moved out so `self.fetch` can borrow mutably; every

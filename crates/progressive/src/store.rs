@@ -18,9 +18,27 @@
 //! entirely from existing state bumps [`StoreStats::refine_reuses`]
 //! without touching the source (which tests cross-check against the
 //! source's own [`SourceStats`](crate::fragstore::SourceStats)).
+//!
+//! ## Bounded memory
+//!
+//! Decoded state is charged against a [`StoreBudget`] (see
+//! [`crate::pager`]). When the budget trips, the store **demotes** cold
+//! fields: the master's state flips from `Resident` (reader + snapshot)
+//! to `Demoted` (just the [`ReaderProgress`] marker plus the published
+//! bound/byte accounting — a few dozen bytes). Because every bound model
+//! is exact and metadata-only, the next request **rehydrates**
+//! transparently: a fresh master replays the exact restore plan for the
+//! demoted depth — compressed-fragment RAM tier first, then the source —
+//! and lands bit-identically on the evicted state. Sessions never observe
+//! the difference; only [`StoreStats::evictions`],
+//! [`StoreStats::rehydration_decodes`]/[`StoreStats::rehydration_bytes`]
+//! and the source tallies move. [`StoreStats::fragments_decoded`] counts
+//! *advance* decodes only, so decode-once accounting degrades exactly by
+//! the explicitly-counted rehydration replays and nothing else.
 
 use crate::fragstore::{FragmentId, FragmentSource, FragmentStage, Manifest};
-use crate::refactored::{FieldReader, ReaderProgress};
+use crate::pager::{plan_evictions, EvictionCandidate, StoreBudget};
+use crate::refactored::{FieldReader, ReaderProgress, Scheme};
 use pqr_util::error::{PqrError, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -42,6 +60,12 @@ pub struct FieldSnapshot {
     pub exhausted: bool,
     /// The master reader's resumable progress marker at this depth.
     pub progress: ReaderProgress,
+    /// True for the placeholder a session adopts from a **demoted** field:
+    /// `recon` is the zero vector and `bound` the always-valid `max|x|`,
+    /// while `fetched`/`progress` still carry the true demoted accounting.
+    /// A cold view's first refinement always reads through the store
+    /// (which rehydrates), so cold state is never served to a request.
+    pub cold: bool,
 }
 
 fn snapshot_of(reader: &FieldReader) -> FieldSnapshot {
@@ -51,22 +75,53 @@ fn snapshot_of(reader: &FieldReader) -> FieldSnapshot {
         fetched: reader.total_fetched(),
         exhausted: reader.exhausted(),
         progress: reader.progress(),
+        cold: false,
     }
 }
 
+/// What survives a demotion: the exact restore marker plus the published
+/// accounting, so rehydration and session adoption both stay
+/// bit-faithful. A few dozen bytes against megabytes of decoded state.
+#[derive(Debug, Clone)]
+struct DemotedField {
+    progress: ReaderProgress,
+    bound: f64,
+    fetched: usize,
+    exhausted: bool,
+}
+
+// one entry per field: a Demoted marker occupying a Resident-sized slot
+// costs nothing at that scale, and boxing the hot variant would put an
+// indirection on every refine
+#[allow(clippy::large_enum_variant)]
+enum MasterState {
+    /// Decoded state in RAM: the only reader that ever fetches/decodes
+    /// this field's fragments, plus the last published snapshot (replaced
+    /// wholesale on every advance, so sessions holding older `Arc`s stay
+    /// internally consistent).
+    Resident {
+        reader: FieldReader,
+        snap: Arc<FieldSnapshot>,
+    },
+    /// Decoded state dropped by the pager; only the marker survives.
+    Demoted(DemotedField),
+}
+
 struct MasterField {
-    /// The only reader that ever fetches/decodes this field's fragments.
-    reader: FieldReader,
-    /// Last published state (replaced wholesale on every advance, so
-    /// sessions holding older `Arc`s stay internally consistent).
-    snap: Arc<FieldSnapshot>,
+    state: MasterState,
+    /// Bytes currently charged against the budget for this field.
+    charged: u64,
+    /// Recency tick of the last request that touched this field (the
+    /// LRU axis of the eviction policy).
+    last_tick: AtomicU64,
 }
 
 /// Cumulative tallies of a [`ProgressStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Payload fragments the masters fetched and decoded — each counted
-    /// exactly once no matter how many sessions needed it.
+    /// Payload fragments the masters fetched and decoded **to advance** —
+    /// each depth counted exactly once no matter how many sessions needed
+    /// it, and never re-counted by rehydration replays.
     pub fragments_decoded: u64,
     /// Refinement requests that had to advance a master (decode work).
     pub refine_advances: u64,
@@ -75,6 +130,19 @@ pub struct StoreStats {
     pub refine_reuses: u64,
     /// Snapshots handed to session views (at open and on refinement).
     pub adoptions: u64,
+    /// Fields demoted by the pager (decoded state dropped to the marker).
+    pub evictions: u64,
+    /// Fragments re-decoded while rehydrating demoted fields — the exact
+    /// price of eviction, kept separate from `fragments_decoded`.
+    pub rehydration_decodes: u64,
+    /// Bytes re-fetched **from the source** during rehydration (metadata +
+    /// fragments the compressed RAM tier could not serve).
+    pub rehydration_bytes: u64,
+    /// Decoded bytes this store currently holds resident (its share of the
+    /// budget's global tally).
+    pub resident_bytes: u64,
+    /// The budget ceiling in bytes; 0 = unbounded.
+    pub budget_bytes: u64,
 }
 
 /// Shared, monotonically-deepening decode state for every field of one
@@ -89,36 +157,76 @@ pub struct ProgressStore {
     /// ([`ProgressStore::refine_to`] rides each delta through
     /// [`FragmentSource::read_many`] before the master decodes it).
     stage: Arc<FragmentStage>,
+    /// The byte budget decoded state is charged against (possibly shared
+    /// with other stores — the serving layer hands one budget to every
+    /// dataset).
+    budget: Arc<StoreBudget>,
+    /// This store's id within the budget's fragment-tier key namespace.
+    store_id: u64,
+    /// Recency clock for the eviction policy.
+    tick: AtomicU64,
+    /// This store's own decoded-resident bytes (the per-dataset view of
+    /// the budget's global tally).
+    resident: AtomicU64,
     decoded: AtomicU64,
     advances: AtomicU64,
     reuses: AtomicU64,
     adoptions: AtomicU64,
+    evictions: AtomicU64,
+    rehydrated: AtomicU64,
+    rehydrated_bytes: AtomicU64,
 }
 
 impl ProgressStore {
-    /// Opens a store over `source`: one master reader per field (this
-    /// fetches each field's metadata fragment, nothing more).
+    /// Opens a store over `source` with the budget taken from the
+    /// `PQR_STORE_BUDGET` environment variable (unset = unbounded). One
+    /// master reader per field — this fetches each field's metadata
+    /// fragment, nothing more.
     pub fn open(source: Arc<dyn FragmentSource>) -> Result<Self> {
+        Self::open_with(source, Arc::new(StoreBudget::from_env()?))
+    }
+
+    /// Opens a store charging its decoded state against an explicit
+    /// (possibly shared) [`StoreBudget`].
+    pub fn open_with(source: Arc<dyn FragmentSource>, budget: Arc<StoreBudget>) -> Result<Self> {
         let manifest = source.manifest()?;
         let stage = Arc::new(FragmentStage::new());
-        let fields = (0..manifest.num_fields())
-            .map(|i| {
-                let mut reader = FieldReader::open(Arc::clone(&source), &manifest, i)?;
-                reader.attach_stage(Arc::clone(&stage));
-                let snap = Arc::new(snapshot_of(&reader));
-                Ok(RwLock::new(MasterField { reader, snap }))
-            })
-            .collect::<Result<Vec<_>>>()?;
-        Ok(Self {
+        let mut store = Self {
             source,
             manifest,
-            fields,
+            fields: Vec::new(),
             stage,
+            store_id: budget.register_store(),
+            budget,
+            tick: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
             decoded: AtomicU64::new(0),
             advances: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             adoptions: AtomicU64::new(0),
-        })
+            evictions: AtomicU64::new(0),
+            rehydrated: AtomicU64::new(0),
+            rehydrated_bytes: AtomicU64::new(0),
+        };
+        // construct, charge and enforce one master at a time: a reader
+        // (recon + decode cursor) costs its full footprint from the moment
+        // it is opened, so charging the whole fleet before enforcing once
+        // would spike a bounded open to the entire working set
+        for i in 0..store.manifest.num_fields() {
+            let mut reader = FieldReader::open(Arc::clone(&store.source), &store.manifest, i)?;
+            reader.attach_stage(Arc::clone(&store.stage));
+            let snap = Arc::new(snapshot_of(&reader));
+            let cost = master_cost(&reader, &snap);
+            store.fields.push(RwLock::new(MasterField {
+                state: MasterState::Resident { reader, snap },
+                charged: cost,
+                last_tick: AtomicU64::new(0),
+            }));
+            store.resident.fetch_add(cost, Ordering::Relaxed);
+            store.budget.charge(cost);
+            store.maybe_enforce(None);
+        }
+        Ok(store)
     }
 
     /// The fragment source the masters decode from.
@@ -134,6 +242,11 @@ impl ProgressStore {
     /// Number of fields.
     pub fn num_fields(&self) -> usize {
         self.fields.len()
+    }
+
+    /// The budget this store charges decoded state against.
+    pub fn budget(&self) -> &Arc<StoreBudget> {
+        &self.budget
     }
 
     fn read_field(&self, field: usize) -> Result<RwLockReadGuard<'_, MasterField>> {
@@ -154,26 +267,65 @@ impl ProgressStore {
             .unwrap_or_else(|e| e.into_inner())
     }
 
+    fn touch(&self, g: &MasterField) {
+        g.last_tick.store(
+            self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+    }
+
     /// The current snapshot of `field` (what a freshly opened session view
-    /// adopts).
+    /// adopts). Demoted fields hand out a **cold** placeholder — true
+    /// `fetched`/`progress` accounting over a zero reconstruction at the
+    /// always-valid `max|x|` bound — instead of rehydrating, so opening a
+    /// session on a large archive never re-materialises evicted fields the
+    /// session may not touch; the first refinement through the store
+    /// rehydrates on demand.
     pub fn adopt(&self, field: usize) -> Result<Arc<FieldSnapshot>> {
-        let snap = Arc::clone(&self.read_field(field)?.snap);
+        let snap = {
+            let g = self.read_field(field)?;
+            self.touch(&g);
+            match &g.state {
+                MasterState::Resident { snap, .. } => Arc::clone(snap),
+                MasterState::Demoted(d) => Arc::new(self.cold_snapshot(field, d)),
+            }
+        };
         self.adoptions.fetch_add(1, Ordering::Relaxed);
         Ok(snap)
     }
 
-    /// The store's current guaranteed bound for `field`.
+    fn cold_snapshot(&self, field: usize, d: &DemotedField) -> FieldSnapshot {
+        let entry = &self.manifest.fields[field];
+        FieldSnapshot {
+            recon: Arc::new(vec![0.0; self.manifest.num_elements()]),
+            bound: entry.max_abs,
+            fetched: d.fetched,
+            exhausted: d.exhausted && d.bound >= entry.max_abs,
+            progress: d.progress.clone(),
+            cold: true,
+        }
+    }
+
+    /// The store's current guaranteed bound for `field` (answered from the
+    /// marker alone when the field is demoted — no rehydration).
     pub fn field_bound(&self, field: usize) -> f64 {
         self.read_field(field)
-            .map_or(f64::INFINITY, |g| g.snap.bound)
+            .map_or(f64::INFINITY, |g| match &g.state {
+                MasterState::Resident { snap, .. } => snap.bound,
+                MasterState::Demoted(d) => d.bound,
+            })
     }
 
     /// True when a session view at `current_bound` could still improve by
-    /// reading through the store: the store holds a deeper state already,
-    /// or its master is not exhausted.
+    /// reading through the store: the store holds (or can re-reach) a
+    /// deeper state already, or its master is not exhausted. Metadata-only
+    /// for demoted fields — asking never rehydrates.
     pub fn can_improve(&self, field: usize, current_bound: f64) -> bool {
         self.read_field(field)
-            .map(|g| !g.snap.exhausted || g.snap.bound < current_bound)
+            .map(|g| match &g.state {
+                MasterState::Resident { snap, .. } => !snap.exhausted || snap.bound < current_bound,
+                MasterState::Demoted(d) => !d.exhausted || d.bound < current_bound,
+            })
             .unwrap_or(false)
     }
 
@@ -181,27 +333,43 @@ impl ProgressStore {
     /// store is already at least this deep the call is a lock-free-ish read
     /// (no fetch, no decode); otherwise the master decodes exactly the
     /// delta — batched through [`FragmentSource::read_many`] — under the
-    /// field's write lock, and a new snapshot is published.
+    /// field's write lock, and a new snapshot is published. A demoted
+    /// field is rehydrated first (compressed RAM tier, then source) and
+    /// the replay tallied in the rehydration counters.
     pub fn refine_to(&self, field: usize, eb: f64) -> Result<Arc<FieldSnapshot>> {
         {
             let g = self.read_field(field)?;
-            if g.snap.bound <= eb || g.snap.exhausted {
-                self.reuses.fetch_add(1, Ordering::Relaxed);
-                self.adoptions.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&g.snap));
+            if let MasterState::Resident { snap, .. } = &g.state {
+                if snap.bound <= eb || snap.exhausted {
+                    self.touch(&g);
+                    self.reuses.fetch_add(1, Ordering::Relaxed);
+                    self.adoptions.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(snap));
+                }
             }
         }
+        let out = self.refine_locked(field, eb);
+        self.maybe_enforce(Some(field));
+        out
+    }
+
+    fn refine_locked(&self, field: usize, eb: f64) -> Result<Arc<FieldSnapshot>> {
         let mut g = self.write_field(field);
-        // another session may have decoded this depth while we waited
-        if g.snap.bound <= eb || g.snap.exhausted {
+        self.touch(&g);
+        self.ensure_resident(&mut g, field)?;
+        let MasterState::Resident { reader, snap } = &mut g.state else {
+            unreachable!("ensure_resident leaves the field resident");
+        };
+        // another session may have decoded this depth while we waited (or
+        // the rehydrated depth already satisfies the request)
+        if snap.bound <= eb || snap.exhausted {
             self.reuses.fetch_add(1, Ordering::Relaxed);
             self.adoptions.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(&g.snap));
+            return Ok(Arc::clone(snap));
         }
         // batch the delta schedule in storage order; a failed prefetch
         // degrades to the reader's per-fragment fallback fetches
-        let mut ids: Vec<FragmentId> = g
-            .reader
+        let mut ids: Vec<FragmentId> = reader
             .plan_refine_to(eb)
             .into_iter()
             .map(|index| FragmentId {
@@ -218,31 +386,241 @@ impl ProgressStore {
             });
             if let Ok(payloads) = self.source.read_many(&ids) {
                 for (&id, payload) in ids.iter().zip(payloads) {
+                    self.budget
+                        .tier_put((self.store_id, id.field, id.index), Arc::clone(&payload));
                     self.stage.put(id, payload);
                 }
             }
         }
-        let before = g.reader.fragments_decoded();
-        g.reader.refine_to(eb)?;
-        self.decoded
-            .fetch_add(g.reader.fragments_decoded() - before, Ordering::Relaxed);
+        let before = reader.fragments_decoded();
+        reader.refine_to(eb)?;
+        let delta = reader.fragments_decoded() - before;
+        if delta == 0 {
+            // nothing decoded ⇒ reader state (and hence the snapshot) is
+            // unchanged: keep the published `Arc` — no republish, no
+            // memcpy — and count the request as a reuse
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            self.adoptions.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(snap));
+        }
+        self.decoded.fetch_add(delta, Ordering::Relaxed);
         self.advances.fetch_add(1, Ordering::Relaxed);
         self.adoptions.fetch_add(1, Ordering::Relaxed);
-        g.snap = Arc::new(snapshot_of(&g.reader));
-        Ok(Arc::clone(&g.snap))
+        *snap = Arc::new(snapshot_of(reader));
+        let published = Arc::clone(snap);
+        let cost = master_cost(reader, &published);
+        self.recharge(&mut g, cost);
+        Ok(published)
+    }
+
+    /// Rebuilds a demoted field's decoded state bit-identically: a fresh
+    /// master replays the exact restore plan for the demoted marker,
+    /// staging payloads from the compressed RAM tier first and batching
+    /// the misses through one [`FragmentSource::read_many`]. Counts the
+    /// replayed fragments and the source bytes the tier could not absorb.
+    fn ensure_resident(&self, g: &mut MasterField, field: usize) -> Result<()> {
+        let d = match &g.state {
+            MasterState::Resident { .. } => return Ok(()),
+            MasterState::Demoted(d) => d.clone(),
+        };
+        let mut reader = FieldReader::open(Arc::clone(&self.source), &self.manifest, field)?;
+        reader.attach_stage(Arc::clone(&self.stage));
+        let plan = reader.plan_restore(&d.progress)?;
+        // multilevel/transform schemes re-fetch their metadata fragment at
+        // open — that is source traffic rehydration caused
+        let mut refetched: u64 = match reader.scheme() {
+            Scheme::PmgardHb | Scheme::PmgardOb | Scheme::Pzfp => {
+                self.manifest.fields[field].fragments[0].len
+            }
+            _ => 0,
+        };
+        let mut missing: Vec<FragmentId> = Vec::new();
+        for &index in &plan {
+            let id = FragmentId {
+                field: field as u32,
+                index,
+            };
+            match self.budget.tier_get(&(self.store_id, id.field, id.index)) {
+                Some(payload) => self.stage.put(id, payload),
+                None => missing.push(id),
+            }
+        }
+        if !missing.is_empty() {
+            missing.sort_by_key(|&id| {
+                self.manifest
+                    .fragment(id)
+                    .map(|f| f.offset)
+                    .unwrap_or(u64::MAX)
+            });
+            match self.source.read_many(&missing) {
+                Ok(payloads) => {
+                    for (&id, payload) in missing.iter().zip(payloads) {
+                        refetched += payload.len() as u64;
+                        self.budget
+                            .tier_put((self.store_id, id.field, id.index), Arc::clone(&payload));
+                        self.stage.put(id, payload);
+                    }
+                }
+                Err(_) => {
+                    // restore() falls back to per-fragment source fetches;
+                    // the directory records the bytes it will move
+                    for &id in &missing {
+                        refetched += self.manifest.fragment(id)?.len;
+                    }
+                }
+            }
+        }
+        reader.restore(&d.progress)?;
+        debug_assert_eq!(
+            reader.guaranteed_bound().to_bits(),
+            d.bound.to_bits(),
+            "rehydration must land on the demoted bound exactly"
+        );
+        debug_assert_eq!(reader.total_fetched(), d.fetched);
+        self.rehydrated
+            .fetch_add(plan.len() as u64, Ordering::Relaxed);
+        self.rehydrated_bytes
+            .fetch_add(refetched, Ordering::Relaxed);
+        let snap = Arc::new(snapshot_of(&reader));
+        let cost = master_cost(&reader, &snap);
+        g.state = MasterState::Resident { reader, snap };
+        self.recharge(g, cost);
+        Ok(())
+    }
+
+    /// Swaps this field's budget charge to `cost`.
+    fn recharge(&self, g: &mut MasterField, cost: u64) {
+        self.budget.discharge(g.charged);
+        self.resident.fetch_sub(g.charged, Ordering::Relaxed);
+        g.charged = cost;
+        self.resident.fetch_add(cost, Ordering::Relaxed);
+        self.budget.charge(cost);
+    }
+
+    /// Demotes `field` if it is resident and not currently locked by a
+    /// refinement: decoded state is dropped (sessions holding its
+    /// snapshots keep them alive — that memory is session-owned), the
+    /// marker survives, and the budget is credited. Returns whether a
+    /// demotion happened. Public so operators and chaos tests can force
+    /// eviction schedules; normal pressure goes through the budget.
+    pub fn demote(&self, field: usize) -> bool {
+        let Some(lock) = self.fields.get(field) else {
+            return false;
+        };
+        let Ok(mut g) = lock.try_write() else {
+            return false;
+        };
+        self.demote_locked(&mut g)
+    }
+
+    fn demote_locked(&self, g: &mut MasterField) -> bool {
+        let MasterState::Resident { snap, .. } = &g.state else {
+            return false;
+        };
+        let d = DemotedField {
+            progress: snap.progress.clone(),
+            bound: snap.bound,
+            fetched: snap.fetched,
+            exhausted: snap.exhausted,
+        };
+        g.state = MasterState::Demoted(d);
+        self.budget.discharge(g.charged);
+        self.resident.fetch_sub(g.charged, Ordering::Relaxed);
+        g.charged = 0;
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Forces a full, unpinned enforcement pass, demoting cold fields
+    /// until the decoded tier is back under its ceiling. Normal pressure
+    /// runs automatically after every refinement with the active field
+    /// pinned (see [`ProgressStore::demote`] for the policy rationale);
+    /// this entry point is for quiesce points — operators, tests, or a
+    /// serving layer between request bursts — where nothing is hot.
+    pub fn enforce(&self) {
+        self.maybe_enforce(None);
+    }
+
+    /// Runs the eviction policy when the budget is over its decoded
+    /// ceiling. Lock-friendly by construction: candidates are gathered
+    /// with `try_read`, demotions use `try_write`, so enforcement can
+    /// never block or deadlock a refinement — a busy field simply is not
+    /// a candidate this round.
+    ///
+    /// `exempt` pins the field whose refinement triggered enforcement: a
+    /// request's engine re-touches its target field across refinement
+    /// rounds, and evicting it mid-request would replay its whole decode
+    /// every round. The pin means the decoded tier can exceed its ceiling
+    /// by at most one field — the slack the budget's accounting (and the
+    /// bench gates) allow for.
+    fn maybe_enforce(&self, exempt: Option<usize>) {
+        if !self.budget.over_decoded_limit() {
+            return;
+        }
+        let need = self.budget.decoded_overage();
+        let mut candidates = Vec::new();
+        for (i, lock) in self.fields.iter().enumerate() {
+            if Some(i) == exempt {
+                continue;
+            }
+            let Ok(g) = lock.try_read() else { continue };
+            if let MasterState::Resident { reader, snap } = &g.state {
+                let cost = reader
+                    .plan_restore(&snap.progress)
+                    .map(|ids| {
+                        ids.iter()
+                            .map(|&ix| self.manifest.fields[i].fragments[ix as usize].len)
+                            .sum()
+                    })
+                    .unwrap_or(u64::MAX);
+                candidates.push(EvictionCandidate {
+                    field: i,
+                    last_tick: g.last_tick.load(Ordering::Relaxed),
+                    rehydration_cost: cost,
+                    resident_bytes: g.charged,
+                });
+            }
+        }
+        for f in plan_evictions(candidates, need) {
+            if let Ok(mut g) = self.fields[f].try_write() {
+                self.demote_locked(&mut g);
+            }
+            if !self.budget.over_decoded_limit() {
+                break;
+            }
+        }
     }
 
     /// Resolution-progressive view of `field` from the store's current
     /// (deepest) decode state — see
-    /// [`FieldReader::reconstruct_at_resolution`].
+    /// [`FieldReader::reconstruct_at_resolution`]. Rehydrates a demoted
+    /// field first.
     pub fn reconstruct_at_resolution(
         &self,
         field: usize,
         drop_finest: usize,
     ) -> Result<(Vec<f64>, Vec<usize>)> {
-        self.read_field(field)?
-            .reader
-            .reconstruct_at_resolution(drop_finest)
+        {
+            let g = self.read_field(field)?;
+            if let MasterState::Resident { reader, .. } = &g.state {
+                return reader.reconstruct_at_resolution(drop_finest);
+            }
+        }
+        let out = {
+            let mut g = self.write_field(field);
+            self.ensure_resident(&mut g, field)?;
+            let MasterState::Resident { reader, .. } = &g.state else {
+                unreachable!("ensure_resident leaves the field resident");
+            };
+            reader.reconstruct_at_resolution(drop_finest)
+        };
+        self.maybe_enforce(Some(field));
+        out
+    }
+
+    /// Decoded bytes this store currently holds resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
     }
 
     /// Cumulative store tallies.
@@ -252,8 +630,19 @@ impl ProgressStore {
             refine_advances: self.advances.load(Ordering::Relaxed),
             refine_reuses: self.reuses.load(Ordering::Relaxed),
             adoptions: self.adoptions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rehydration_decodes: self.rehydrated.load(Ordering::Relaxed),
+            rehydration_bytes: self.rehydrated_bytes.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed),
+            budget_bytes: self.budget.limit_bytes(),
         }
     }
+}
+
+/// Budget cost of one resident field: the published snapshot plus the
+/// master reader's decoded state ([`FieldReader::resident_bytes`]).
+fn master_cost(reader: &FieldReader, snap: &FieldSnapshot) -> u64 {
+    (snap.recon.len() * 8 + std::mem::size_of::<FieldSnapshot>() + reader.resident_bytes()) as u64
 }
 
 #[cfg(test)]
@@ -342,5 +731,103 @@ mod tests {
         assert!(store.adopt(9).is_err());
         assert!(store.refine_to(9, 1e-3).is_err());
         assert!(!store.can_improve(9, 0.0));
+    }
+
+    #[test]
+    fn demotion_and_rehydration_are_bit_exact() {
+        for scheme in Scheme::extended() {
+            let source = shared_source(scheme);
+            let store = ProgressStore::open(Arc::clone(&source)).unwrap();
+            let deep = store.refine_to(0, 1e-5).unwrap();
+            let decoded_before = store.stats().fragments_decoded;
+            let resident_before = store.resident_bytes();
+
+            assert!(
+                store.demote(0),
+                "{}: resident field must demote",
+                scheme.name()
+            );
+            assert!(
+                !store.demote(0),
+                "{}: demoting twice is a no-op",
+                scheme.name()
+            );
+            assert!(
+                store.resident_bytes() < resident_before,
+                "{}: demotion must release budget",
+                scheme.name()
+            );
+            // metadata answers survive demotion without rehydrating
+            assert_eq!(store.field_bound(0).to_bits(), deep.bound.to_bits());
+            let s = store.stats();
+            assert_eq!(s.evictions, 1);
+            assert_eq!(s.rehydration_decodes, 0, "{}", scheme.name());
+
+            // a request at the old depth rehydrates bit-identically
+            let back = store.refine_to(0, 1e-5).unwrap();
+            assert_eq!(back.recon, deep.recon, "{}", scheme.name());
+            assert_eq!(back.bound.to_bits(), deep.bound.to_bits());
+            assert_eq!(back.fetched, deep.fetched);
+            assert_eq!(back.progress, deep.progress);
+            let s = store.stats();
+            assert_eq!(
+                s.fragments_decoded,
+                decoded_before,
+                "{}: rehydration must not count as advance decodes",
+                scheme.name()
+            );
+            assert!(s.rehydration_decodes > 0, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn cold_adoption_never_rehydrates() {
+        let source = shared_source(Scheme::PmgardHb);
+        let store = ProgressStore::open(Arc::clone(&source)).unwrap();
+        let deep = store.refine_to(0, 1e-4).unwrap();
+        store.demote(0);
+        let bytes_before = source.stats().fetched_bytes;
+        let cold = store.adopt(0).unwrap();
+        assert!(cold.cold);
+        assert_eq!(cold.fetched, deep.fetched, "true accounting survives");
+        assert_eq!(cold.progress, deep.progress);
+        assert!(cold.recon.iter().all(|&x| x == 0.0));
+        assert_eq!(
+            source.stats().fetched_bytes,
+            bytes_before,
+            "adopting a demoted field must not touch the source"
+        );
+        assert_eq!(store.stats().rehydration_decodes, 0);
+    }
+
+    #[test]
+    fn tight_budget_evicts_and_stays_bounded() {
+        let source = shared_source(Scheme::PmgardHb);
+        // room for roughly one decoded field (each ≈ 1200·8·4 B here)
+        let budget = Arc::new(StoreBudget::with_limit(48 << 10));
+        let store = ProgressStore::open_with(Arc::clone(&source), Arc::clone(&budget)).unwrap();
+        store.refine_to(0, 1e-6).unwrap();
+        store.refine_to(1, 1e-6).unwrap();
+        let s = store.stats();
+        assert!(s.evictions > 0, "two deep fields cannot both stay resident");
+        // pressure enforcement pins the field being refined, so the tier
+        // may end one field over its ceiling; an unpinned pass at a
+        // quiesce point always recovers it
+        store.enforce();
+        assert!(
+            !budget.over_decoded_limit(),
+            "resident {} over decoded ceiling of {}",
+            budget.resident_bytes(),
+            budget.limit_bytes()
+        );
+        // and the answers still match an unbounded oracle byte-for-byte
+        let oracle = ProgressStore::open(shared_source(Scheme::PmgardHb)).unwrap();
+        for field in 0..2 {
+            let a = store.refine_to(field, 1e-6).unwrap();
+            let b = oracle.refine_to(field, 1e-6).unwrap();
+            assert_eq!(a.recon, b.recon, "field {field}");
+            assert_eq!(a.bound.to_bits(), b.bound.to_bits());
+            assert_eq!(a.fetched, b.fetched);
+        }
     }
 }

@@ -149,6 +149,11 @@ impl StatsSnapshot {
                 d.store.refine_advances,
                 d.store.refine_reuses,
                 d.store.adoptions,
+                d.store.evictions,
+                d.store.rehydration_decodes,
+                d.store.rehydration_bytes,
+                d.store.resident_bytes,
+                d.store.budget_bytes,
                 d.source.fetches,
                 d.source.fetched_bytes,
                 d.source.cache_hits,
@@ -170,12 +175,12 @@ impl StatsSnapshot {
             *s = r.get_u64()?;
         }
         let raw = r.get_u64()? as usize;
-        // each dataset row costs at least a name prefix + 10 counters
-        let n = r.check_count(raw, 8 + 80)?;
+        // each dataset row costs at least a name prefix + 15 counters
+        let n = r.check_count(raw, 8 + 120)?;
         let mut datasets = Vec::with_capacity(n);
         for _ in 0..n {
             let name = crate::wire::get_name(&mut r)?;
-            let mut c = [0u64; 10];
+            let mut c = [0u64; 15];
             for v in &mut c {
                 *v = r.get_u64()?;
             }
@@ -186,14 +191,19 @@ impl StatsSnapshot {
                     refine_advances: c[1],
                     refine_reuses: c[2],
                     adoptions: c[3],
+                    evictions: c[4],
+                    rehydration_decodes: c[5],
+                    rehydration_bytes: c[6],
+                    resident_bytes: c[7],
+                    budget_bytes: c[8],
                 },
                 source: SourceStats {
-                    fetches: c[4],
-                    fetched_bytes: c[5],
-                    cache_hits: c[6],
-                    cache_misses: c[7],
-                    read_ops: c[8],
-                    overlap_saved_ms: c[9],
+                    fetches: c[9],
+                    fetched_bytes: c[10],
+                    cache_hits: c[11],
+                    cache_misses: c[12],
+                    read_ops: c[13],
+                    overlap_saved_ms: c[14],
                 },
             });
         }
@@ -239,6 +249,11 @@ mod tests {
                     refine_advances: 5,
                     refine_reuses: 20,
                     adoptions: 7,
+                    evictions: 2,
+                    rehydration_decodes: 6,
+                    rehydration_bytes: 2048,
+                    resident_bytes: 1 << 20,
+                    budget_bytes: 4 << 20,
                 },
                 source: SourceStats {
                     fetches: 100,

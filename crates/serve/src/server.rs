@@ -29,6 +29,7 @@
 use crate::metrics::{DatasetStats, ServeStats, StatsSnapshot};
 use crate::wire::{self, BusyBody, OpenInfo, ResumeBody, RetrieveBody};
 use pqr_core::archive::{Archive, DatasetService, Session};
+use pqr_core::prelude::StoreBudget;
 use pqr_transfer::wire::{decode_header, io_err, write_frame, HEADER_LEN};
 use pqr_util::error::{PqrError, Result};
 use std::collections::{BTreeMap, VecDeque};
@@ -100,19 +101,37 @@ struct RegEntry {
 #[derive(Default)]
 pub struct Registry {
     entries: BTreeMap<String, Arc<RegEntry>>,
+    /// When set, every registered dataset's decode store charges against
+    /// this one budget, so memory pressure (and eviction) is global across
+    /// datasets rather than per-store.
+    budget: Option<Arc<StoreBudget>>,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry. Each dataset resolves its own store budget
+    /// (engine config, then `PQR_STORE_BUDGET`).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry whose datasets all share `budget` — the
+    /// server-wide decoded-state ceiling behind `pqr serve
+    /// --store-budget`.
+    pub fn with_budget(budget: Arc<StoreBudget>) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            budget: Some(budget),
+        }
     }
 
     /// Registers an archive under `name`, building its shared-store
     /// service (one metadata pass per field). Replaces any previous entry
     /// with the same name.
     pub fn register(&mut self, name: &str, archive: Archive) -> Result<()> {
-        let service = archive.service()?;
+        let service = match &self.budget {
+            Some(budget) => archive.service_with_budget(Arc::clone(budget))?,
+            None => archive.service()?,
+        };
         self.entries
             .insert(name.to_string(), Arc::new(RegEntry { archive, service }));
         Ok(())

@@ -344,6 +344,86 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_inserts_under_pressure_keep_byte_accounting_exact() {
+        // the compressed-fragment RAM tier hammers one cache from many
+        // refinement threads with a budget far below the offered bytes, so
+        // the eviction loop runs constantly; the invariant is that the
+        // resident tally never drifts from the surviving entries and never
+        // exceeds the budget, no matter how inserts interleave
+        let cap = 4 << 10;
+        let c: Arc<LruCache<(u64, u32)>> = Arc::new(LruCache::new(cap));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..400u32 {
+                        // overlapping key ranges force cross-thread
+                        // overwrites, varied sizes force evictions
+                        let k = (t % 4, i % 64);
+                        let len = 64 + ((t as usize * 37 + i as usize * 11) % 512);
+                        c.insert(k, Arc::new(vec![(t as u8) ^ (i as u8); len]));
+                        if i % 3 == 0 {
+                            c.get(&k);
+                        }
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert!(s.bytes <= cap, "resident {} over budget {cap}", s.bytes);
+        // recount what actually survived: stats().bytes must equal the sum
+        // of resident payload lengths (no double-count, no leak)
+        let mut actual = 0usize;
+        let mut entries = 0usize;
+        for a in 0..4u64 {
+            for b in 0..64u32 {
+                if let Some(v) = c.get(&(a, b)) {
+                    actual += v.len();
+                    entries += 1;
+                }
+            }
+        }
+        assert_eq!(s.bytes, actual, "tally must match resident payloads");
+        assert_eq!(s.entries, entries);
+        assert!(s.evictions > 0, "pressure this heavy must evict");
+    }
+
+    #[test]
+    fn concurrent_oversized_overwrites_never_leak_bytes() {
+        // the PR 3 oversized path (displace-but-don't-admit) raced from
+        // many threads against admissible overwrites of the same keys:
+        // whichever insert lands last, the tally must match the survivors
+        let cap = 256;
+        let c: Arc<LruCache<u32>> = Arc::new(LruCache::new(cap));
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..300u32 {
+                        let k = i % 8;
+                        let len = if (t + i) % 3 == 0 {
+                            cap + 1 + (i as usize % 64) // never admissible
+                        } else {
+                            16 + (i as usize % 32)
+                        };
+                        c.insert(k, Arc::new(vec![t as u8; len]));
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert!(s.bytes <= cap);
+        let mut actual = 0usize;
+        for k in 0..8u32 {
+            if let Some(v) = c.get(&k) {
+                assert!(v.len() <= cap, "an oversized payload was admitted");
+                actual += v.len();
+            }
+        }
+        assert_eq!(s.bytes, actual, "tally must match resident payloads");
+    }
+
+    #[test]
     fn zero_capacity_caches_nothing_without_panicking() {
         let c: LruCache<u32> = LruCache::new(0);
         c.insert(1, blob(1, 0));

@@ -85,8 +85,13 @@ USAGE:
                [--workers N] [--queue N] [--permits N]
                [--busy-wait MS] [--retry-after MS]
                [--byte-budget BYTES] [--time-budget MS]
+               [--store-budget BYTES]
                (serves the registered archives over TCP; all clients of a
-               dataset share its decode store; prints the bound address,
+               dataset share its decode store; --store-budget caps decoded
+               store state across ALL datasets — k/m/g suffixes, 0 =
+               unbounded, unset defers to PQR_STORE_BUDGET — evicting cold
+               fields to their progress markers and rehydrating them
+               bit-identically on demand; prints the bound address,
                runs until a client sends `--shutdown`)
   pqr client ADDR --dataset NAME (--qoi NAME=TOL)...
                [--budget BYTES] [--values NAME [--out PATH]]
@@ -715,7 +720,18 @@ fn cmd_serve(args: &[String]) -> Result<()> {
             "serve needs at least one --dataset NAME=ARCHIVE".into(),
         ));
     }
-    let mut registry = Registry::new();
+    // --store-budget BYTES (k/m/g suffixes; 0 = unbounded) caps decoded
+    // store state *across all datasets*: one shared budget, global
+    // eviction pressure. Unset defers to PQR_STORE_BUDGET / unbounded.
+    let mut registry = match flags.get("--store-budget") {
+        Some(text) => {
+            let limit = pqr::progressive::pager::parse_budget(text)?;
+            Registry::with_budget(std::sync::Arc::new(
+                pqr::progressive::pager::StoreBudget::with_limit(limit),
+            ))
+        }
+        None => Registry::new(),
+    };
     for spec in &dataset_specs {
         let (name, path) = spec.split_once('=').ok_or_else(|| {
             PqrError::InvalidRequest(format!("--dataset wants NAME=ARCHIVE, got '{spec}'"))
@@ -808,6 +824,18 @@ fn cmd_client(args: &[String]) -> Result<()> {
                 d.store.refine_reuses,
                 d.store.adoptions,
                 d.source.fetched_bytes
+            );
+            println!(
+                "  memory: resident {} B / budget {}  evictions {}  rehydrated {} frags / {} B",
+                d.store.resident_bytes,
+                if d.store.budget_bytes == 0 {
+                    "unbounded".to_string()
+                } else {
+                    format!("{} B", d.store.budget_bytes)
+                },
+                d.store.evictions,
+                d.store.rehydration_decodes,
+                d.store.rehydration_bytes
             );
         }
         client.close()?;

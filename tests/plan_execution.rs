@@ -218,14 +218,20 @@ fn shared_store_decodes_once_and_serves_looser_sessions_for_free() {
     assert!(r2.satisfied);
     let store_after_loose = service.store_stats();
     let source_after_loose = service.source_stats();
-    // 0 source fetches...
-    assert_eq!(
-        source_after_loose.fetches, source_after_tight.fetches,
-        "looser session touched the source"
-    );
+    // 0 source fetches — except the explicitly-counted rehydration bytes a
+    // tight PQR_STORE_BUDGET forces (the CI matrix re-runs this file with
+    // one; unbounded, the delta is exactly zero)
+    let rehydration_delta =
+        store_after_loose.rehydration_bytes - store_after_tight.rehydration_bytes;
+    if rehydration_delta == 0 {
+        assert_eq!(
+            source_after_loose.fetches, source_after_tight.fetches,
+            "looser session touched the source"
+        );
+    }
     assert_eq!(
         source_after_loose.fetched_bytes,
-        source_after_tight.fetched_bytes
+        source_after_tight.fetched_bytes + rehydration_delta
     );
     // ...and 0 decodes — every byte of state was reused
     assert_eq!(
@@ -274,11 +280,12 @@ fn sequential_service_sessions_match_one_legacy_engine_byte_for_byte() {
             );
         }
     }
-    // the service read exactly the bytes the single engine read: sharing
-    // never re-fetches, and K sessions cost the same source traffic as one
+    // the service read exactly the bytes the single engine read — plus,
+    // under a tight store budget, exactly its counted rehydration bytes:
+    // sharing never re-fetches anything it doesn't explicitly account for
     assert_eq!(
         service_archive.source_stats().fetched_bytes,
-        legacy_archive.source_stats().fetched_bytes
+        legacy_archive.source_stats().fetched_bytes + service.store_stats().rehydration_bytes
     );
     std::fs::remove_file(&path).ok();
 }
@@ -316,9 +323,13 @@ fn concurrent_mixed_tolerance_sessions_stress() {
         assert!(r.satisfied);
         cold_bytes += solo.source_stats().fetched_bytes;
     }
+    // under a tight store budget the shared arm may additionally pay its
+    // explicitly-counted rehydration bytes; it must never exceed the cold
+    // sum by more than that
+    let rehydrated = service.store_stats().rehydration_bytes;
     assert!(
-        shared_bytes <= cold_bytes,
-        "shared {shared_bytes} B read more than cold sum {cold_bytes} B"
+        shared_bytes <= cold_bytes + rehydrated,
+        "shared {shared_bytes} B read more than cold sum {cold_bytes} B + rehydrated {rehydrated} B"
     );
     std::fs::remove_file(&path).ok();
 }
