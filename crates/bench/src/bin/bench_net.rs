@@ -5,23 +5,34 @@
 //! serving-layer trajectory (CI smoke-checks that the file is well-formed
 //! and that the deterministic counter ratios hold).
 //!
-//! Arms (identical request traffic in both):
+//! Arms (identical request traffic in all):
 //!
-//! * **served** — one `Server` over one `DatasetService`; every client
-//!   opens a TCP connection, speaks the length-prefixed protocol, and
-//!   shares the dataset's decode-once store. The timed region includes
-//!   server start-up, connection setup, framing, and shutdown — the wire
-//!   pays its full cost.
+//! * **served_coalesced** — one `Server` over one `DatasetService` with
+//!   cross-client round coalescing on: concurrently arriving retrieves of
+//!   the dataset are grouped into union rounds, the union schedule
+//!   executes once per round under a single decode permit, and every
+//!   member projects its reply from the shared epoch snapshot.
+//! * **served_uncoalesced** — the same server with coalescing off: every
+//!   retrieve acquires its own decode permit and executes individually
+//!   (the pre-coalescing serving path, reproducible from this binary via
+//!   `--coalesce off`).
 //! * **cold** — every client opens its own archive in-process and decodes
 //!   from scratch: the pre-serve workflow, with zero protocol overhead.
-//!   The comparison is deliberately tilted *against* the served arm; it
-//!   wins anyway because the deepest tolerance is decoded once for
+//!   The comparison is deliberately tilted *against* the served arms;
+//!   they win anyway because the deepest tolerance is decoded once for
 //!   everyone.
 //!
-//! Reported: aggregate wall time / requests-per-second, total source
-//! bytes, fragments decoded, wire traffic, plus the derived `speedup`,
-//! `decode_reuse_ratio` and `bytes_read_ratio`. Sizes scale with
-//! `PQR_SCALE`; the output path can be overridden with `PQR_BENCH_OUT`.
+//! Every client issues `--rounds` sequential requests, so later rounds
+//! arrive staggered — the gathering window, not the benchmark, decides
+//! the round boundaries. Reported per arm: wall time, requests-per-second,
+//! per-request latency percentiles (p50/p95/p99), source bytes, fragments
+//! decoded, and for served arms the wire traffic, worst permit wait and
+//! coalescing counters; plus the derived `speedup` (cold vs coalesced),
+//! `coalesce_speedup` (uncoalesced vs coalesced), `decode_reuse_ratio`
+//! and `bytes_read_ratio`. Sizes scale with `PQR_SCALE`; the output path
+//! can be overridden with `PQR_BENCH_OUT`.
+//!
+//! Usage: `bench_net [--clients N] [--rounds N] [--coalesce on|off|both]`
 
 use pqr_bench::scaled;
 use pqr_core::request::RetrievalRequest;
@@ -30,17 +41,15 @@ use pqr_qoi::library::velocity_magnitude;
 use pqr_qoi::QoiExpr;
 use pqr_serve::{Registry, ServeClient, Server, ServerConfig};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-/// Concurrent clients per arm (the acceptance target is ≥ 16 mixed-QoI
-/// socket clients).
-const CLIENTS: usize = 16;
 /// Timing repetitions per arm; the best (least-noise) run is recorded.
 const RUNS: usize = 3;
 
-/// The mixed-tolerance request mix: client k issues `TRAFFIC[k %
-/// TRAFFIC.len()]`. Two tight clients anchor the deepest decode; the rest
-/// ride it.
+/// The mixed-tolerance request mix: client k's round r issues
+/// `TRAFFIC[(k + 3 * r) % TRAFFIC.len()]`. Two tight entries anchor the
+/// deepest decode; the rest ride it.
 const TRAFFIC: [(&str, f64); 8] = [
     ("V", 1e-7),
     ("KE", 1e-2),
@@ -52,12 +61,61 @@ const TRAFFIC: [(&str, f64); 8] = [
     ("KE", 1e-4),
 ];
 
+#[derive(Clone, Copy, PartialEq)]
+enum CoalesceMode {
+    On,
+    Off,
+    Both,
+}
+
+struct Opts {
+    clients: usize,
+    rounds: usize,
+    coalesce: CoalesceMode,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        clients: 32,
+        rounds: 2,
+        coalesce: CoalesceMode::Both,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--clients" => opts.clients = value("--clients").parse().expect("--clients"),
+            "--rounds" => opts.rounds = value("--rounds").parse().expect("--rounds"),
+            "--coalesce" => {
+                opts.coalesce = match value("--coalesce").as_str() {
+                    "on" => CoalesceMode::On,
+                    "off" => CoalesceMode::Off,
+                    "both" => CoalesceMode::Both,
+                    other => panic!("--coalesce takes on|off|both, got '{other}'"),
+                }
+            }
+            other => panic!(
+                "unknown argument '{other}' (usage: bench_net [--clients N] [--rounds N] [--coalesce on|off|both])"
+            ),
+        }
+    }
+    assert!(opts.clients >= 1 && opts.rounds >= 1);
+    opts
+}
+
 struct Arm {
     wall_ms: f64,
+    /// Per-request wall latencies (ms), unordered.
+    latencies_ms: Vec<f64>,
     source_bytes: u64,
     decoded: u64,
     wire_out: u64,
     queue_wait_max_ms: u64,
+    coalesced_rounds: u64,
+    coalesced_requests: u64,
 }
 
 fn build_archive(path: &std::path::Path) {
@@ -92,40 +150,51 @@ fn build_archive(path: &std::path::Path) {
         .expect("archive save");
 }
 
-/// One served-arm run: server start → 16 socket clients → shutdown, all
-/// inside the timed region.
-fn run_served(path: &std::path::Path) -> Arm {
+/// One served-arm run: server start → socket clients (each issuing
+/// `rounds` sequential retrieves) → shutdown, all inside the timed region.
+fn run_served(path: &std::path::Path, opts: &Opts, coalesce: bool) -> Arm {
     let t0 = Instant::now();
     let mut registry = Registry::new();
     registry
         .register("bench", Archive::open(path).expect("open archive"))
         .expect("register");
     let config = ServerConfig {
-        workers: CLIENTS,
-        pending_queue: CLIENTS,
-        decode_permits: 8,
+        workers: opts.clients,
+        pending_queue: opts.clients,
+        decode_permits: 4,
         busy_wait_ms: 600_000, // this bench measures sharing, not shedding
+        coalesce,
+        coalesce_window_ms: 10,
+        coalesce_min_batch: (opts.clients / 2).max(2),
         ..ServerConfig::default()
     };
     let server = Server::start("127.0.0.1:0", registry, config).expect("server start");
     let addr = server.local_addr();
 
     let satisfied = AtomicUsize::new(0);
+    let latencies = Mutex::new(Vec::new());
     std::thread::scope(|s| {
-        for k in 0..CLIENTS {
-            let (name, tol) = TRAFFIC[k % TRAFFIC.len()];
-            let satisfied = &satisfied;
+        for k in 0..opts.clients {
+            let (satisfied, latencies) = (&satisfied, &latencies);
+            let rounds = opts.rounds;
             s.spawn(move || {
                 let mut client = ServeClient::connect(addr).expect("connect");
                 client.open("bench").expect("open").expect_ok("open reply");
-                let report = client
-                    .retrieve(&RetrievalRequest::new().qoi(name, tol), &[], false)
-                    .expect("retrieve")
-                    .expect_ok("retrieve reply");
-                client.close().expect("close");
-                if report.satisfied {
-                    satisfied.fetch_add(1, Ordering::Relaxed);
+                let mut mine = Vec::with_capacity(rounds);
+                for r in 0..rounds {
+                    let (name, tol) = TRAFFIC[(k + 3 * r) % TRAFFIC.len()];
+                    let t = Instant::now();
+                    let report = client
+                        .retrieve(&RetrievalRequest::new().qoi(name, tol), &[], false)
+                        .expect("retrieve")
+                        .expect_ok("retrieve reply");
+                    mine.push(t.elapsed().as_secs_f64() * 1e3);
+                    if report.satisfied {
+                        satisfied.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
+                client.close().expect("close");
+                latencies.lock().unwrap().extend(mine);
             });
         }
     });
@@ -133,56 +202,82 @@ fn run_served(path: &std::path::Path) -> Arm {
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(
         satisfied.load(Ordering::Relaxed),
-        CLIENTS,
-        "every served client must certify"
+        opts.clients * opts.rounds,
+        "every served retrieve must certify"
     );
     assert_eq!(
         snap.shed_busy + snap.shed_admission,
         0,
         "bench must not shed"
     );
+    if coalesce {
+        assert!(
+            snap.coalesced_rounds >= 1 && snap.coalesced_requests >= 2,
+            "the coalesced arm must actually coalesce (rounds {}, requests {})",
+            snap.coalesced_rounds,
+            snap.coalesced_requests
+        );
+    } else {
+        assert_eq!(snap.coalesced_rounds, 0, "coalescing was off");
+    }
     Arm {
         wall_ms,
+        latencies_ms: latencies.into_inner().unwrap(),
         source_bytes: snap.datasets[0].source.fetched_bytes,
         decoded: snap.datasets[0].store.fragments_decoded,
         wire_out: snap.bytes_out,
         queue_wait_max_ms: snap.queue_wait_ms_max,
+        coalesced_rounds: snap.coalesced_rounds,
+        coalesced_requests: snap.coalesced_requests,
     }
 }
 
-/// One cold-arm run: 16 independent engines, no sockets.
-fn run_cold(path: &std::path::Path) -> Arm {
+/// One cold-arm run: independent engines, no sockets; each client keeps
+/// one session across its rounds (progressive refinement, like a served
+/// connection keeps its session).
+fn run_cold(path: &std::path::Path, opts: &Opts) -> Arm {
     let satisfied = AtomicUsize::new(0);
     let bytes = AtomicU64::new(0);
     let decoded = AtomicU64::new(0);
+    let latencies = Mutex::new(Vec::new());
     let t0 = Instant::now();
     std::thread::scope(|s| {
-        for k in 0..CLIENTS {
-            let (name, tol) = TRAFFIC[k % TRAFFIC.len()];
-            let (satisfied, bytes, decoded) = (&satisfied, &bytes, &decoded);
+        for k in 0..opts.clients {
+            let (satisfied, bytes, decoded, latencies) = (&satisfied, &bytes, &decoded, &latencies);
+            let rounds = opts.rounds;
             s.spawn(move || {
                 let archive = Archive::open(path).expect("open archive");
                 let mut session = archive.session().expect("session");
-                if session.request(name, tol).expect("request").satisfied {
-                    satisfied.fetch_add(1, Ordering::Relaxed);
+                let mut mine = Vec::with_capacity(rounds);
+                for r in 0..rounds {
+                    let (name, tol) = TRAFFIC[(k + 3 * r) % TRAFFIC.len()];
+                    let t = Instant::now();
+                    if session.request(name, tol).expect("request").satisfied {
+                        satisfied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    mine.push(t.elapsed().as_secs_f64() * 1e3);
                 }
                 bytes.fetch_add(archive.source_stats().fetched_bytes, Ordering::Relaxed);
                 decoded.fetch_add(session.fragments_decoded(), Ordering::Relaxed);
+                latencies.lock().unwrap().extend(mine);
             });
         }
     });
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(
         satisfied.load(Ordering::Relaxed),
-        CLIENTS,
-        "every cold client must certify"
+        opts.clients * opts.rounds,
+        "every cold request must certify"
     );
     Arm {
         wall_ms,
+        latencies_ms: latencies.into_inner().unwrap(),
         source_bytes: bytes.load(Ordering::Relaxed),
         decoded: decoded.load(Ordering::Relaxed),
         wire_out: 0,
         queue_wait_max_ms: 0,
+        coalesced_rounds: 0,
+        coalesced_requests: 0,
     }
 }
 
@@ -197,19 +292,35 @@ fn best_of(mut run: impl FnMut() -> Arm) -> Arm {
     best.expect("at least one run")
 }
 
-fn json_arm(a: &Arm, served: bool) -> String {
+/// Nearest-rank percentile over the arm's per-request latencies.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn json_arm(a: &Arm, requests: usize, served: bool) -> String {
+    let mut lat = a.latencies_ms.clone();
+    lat.sort_by(|x, y| x.partial_cmp(y).unwrap());
     let base = format!(
-        "\"wall_ms\": {:.2}, \"requests_per_s\": {:.2}, \"source_bytes\": {}, \
-         \"fragments_decoded\": {}",
+        "\"wall_ms\": {:.2}, \"requests_per_s\": {:.2}, \
+         \"latency_ms\": {{\"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}}}, \
+         \"source_bytes\": {}, \"fragments_decoded\": {}",
         a.wall_ms,
-        CLIENTS as f64 / (a.wall_ms / 1e3).max(1e-9),
+        requests as f64 / (a.wall_ms / 1e3).max(1e-9),
+        percentile(&lat, 50.0),
+        percentile(&lat, 95.0),
+        percentile(&lat, 99.0),
         a.source_bytes,
         a.decoded
     );
     if served {
         format!(
-            "{{{base}, \"wire_bytes_out\": {}, \"queue_wait_ms_max\": {}}}",
-            a.wire_out, a.queue_wait_max_ms
+            "{{{base}, \"wire_bytes_out\": {}, \"queue_wait_ms_max\": {}, \
+             \"coalesced_rounds\": {}, \"coalesced_requests\": {}}}",
+            a.wire_out, a.queue_wait_max_ms, a.coalesced_rounds, a.coalesced_requests
         )
     } else {
         format!("{{{base}}}")
@@ -217,33 +328,77 @@ fn json_arm(a: &Arm, served: bool) -> String {
 }
 
 fn main() {
+    let opts = parse_opts();
+    let requests = opts.clients * opts.rounds;
     let dir = std::env::temp_dir().join("pqr_bench_net");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join(format!("net_{}.pqrx", std::process::id()));
     build_archive(&path);
 
     // cold first, then served: page-cache warmth, if any, biases wall
-    // time against the served arm
-    let cold = best_of(|| run_cold(&path));
-    let served = best_of(|| run_served(&path));
+    // time against the served arms
+    let cold = best_of(|| run_cold(&path, &opts));
+    let uncoalesced =
+        (opts.coalesce != CoalesceMode::On).then(|| best_of(|| run_served(&path, &opts, false)));
+    let coalesced =
+        (opts.coalesce != CoalesceMode::Off).then(|| best_of(|| run_served(&path, &opts, true)));
     std::fs::remove_file(&path).ok();
 
+    // derived ratios compare cold against the best served arm present
+    // (coalesced when it ran, otherwise uncoalesced)
+    let served = coalesced.as_ref().or(uncoalesced.as_ref()).expect("an arm");
     let speedup = cold.wall_ms / served.wall_ms.max(1e-9);
     let reuse = cold.decoded as f64 / served.decoded.max(1) as f64;
     let bytes_ratio = cold.source_bytes as f64 / served.source_bytes.max(1) as f64;
-    let json = format!(
-        "{{\n  \"schema\": \"pqr-bench-net/1\",\n  \"clients\": {CLIENTS},\n  \
-         \"traffic\": \"16 socket clients, mixed tolerances (1e-2..1e-7) over 3 QoIs sharing velocity fields\",\n  \
-         \"served\": {},\n  \"cold\": {},\n  \"speedup\": {speedup:.3},\n  \
-         \"decode_reuse_ratio\": {reuse:.3},\n  \"bytes_read_ratio\": {bytes_ratio:.3}\n}}\n",
-        json_arm(&served, true),
-        json_arm(&cold, false),
-    );
+
+    let mut fields = vec![
+        "\"schema\": \"pqr-bench-net/2\"".to_string(),
+        format!("\"clients\": {}", opts.clients),
+        format!("\"rounds\": {}", opts.rounds),
+        format!(
+            "\"traffic\": \"{} socket clients x {} rounds, mixed tolerances (1e-2..1e-7) over 3 QoIs sharing velocity fields\"",
+            opts.clients, opts.rounds
+        ),
+        format!("\"cold\": {}", json_arm(&cold, requests, false)),
+    ];
+    if let Some(a) = &uncoalesced {
+        fields.push(format!(
+            "\"served_uncoalesced\": {}",
+            json_arm(a, requests, true)
+        ));
+    }
+    if let Some(a) = &coalesced {
+        fields.push(format!(
+            "\"served_coalesced\": {}",
+            json_arm(a, requests, true)
+        ));
+    }
+    fields.push(format!("\"speedup\": {speedup:.3}"));
+    if let (Some(un), Some(co)) = (&uncoalesced, &coalesced) {
+        fields.push(format!(
+            "\"coalesce_speedup\": {:.3}",
+            un.wall_ms / co.wall_ms.max(1e-9)
+        ));
+    }
+    fields.push(format!("\"decode_reuse_ratio\": {reuse:.3}"));
+    fields.push(format!("\"bytes_read_ratio\": {bytes_ratio:.3}"));
+    let json = format!("{{\n  {}\n}}\n", fields.join(",\n  "));
+
     let out = std::env::var("PQR_BENCH_OUT").unwrap_or_else(|_| "BENCH_net.json".into());
     std::fs::write(&out, &json).expect("write BENCH_net.json");
     println!("{json}");
-    println!(
-        "# served {:.1} ms vs cold {:.1} ms → {speedup:.2}x; decode reuse {reuse:.2}x; wrote {out}",
-        served.wall_ms, cold.wall_ms
-    );
+    if let (Some(un), Some(co)) = (&uncoalesced, &coalesced) {
+        println!(
+            "# cold {:.1} ms | uncoalesced {:.1} ms | coalesced {:.1} ms → {speedup:.2}x vs cold, {:.2}x vs uncoalesced; decode reuse {reuse:.2}x; wrote {out}",
+            cold.wall_ms,
+            un.wall_ms,
+            co.wall_ms,
+            un.wall_ms / co.wall_ms.max(1e-9)
+        );
+    } else {
+        println!(
+            "# cold {:.1} ms vs served {:.1} ms → {speedup:.2}x; decode reuse {reuse:.2}x; wrote {out}",
+            cold.wall_ms, served.wall_ms
+        );
+    }
 }

@@ -47,4 +47,4 @@ pub mod prelude;
 pub mod request;
 
 pub use archive::{Archive, ArchiveBuilder, DatasetService, Session};
-pub use request::{RequestTarget, RetrievalRequest, ToleranceMode};
+pub use request::{merge_requests, RequestTarget, RetrievalRequest, ToleranceMode};

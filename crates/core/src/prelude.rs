@@ -7,7 +7,7 @@
 //! ```
 
 pub use crate::archive::{Archive, ArchiveBuilder, DatasetService, Session};
-pub use crate::request::{RequestTarget, RetrievalRequest, ToleranceMode};
+pub use crate::request::{merge_requests, RequestTarget, RetrievalRequest, ToleranceMode};
 
 pub use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine, RetrievalReport};
 pub use pqr_progressive::field::{Dataset, RefactoredDataset};

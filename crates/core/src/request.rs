@@ -141,6 +141,12 @@ impl RetrievalRequest {
         self.targets.is_empty()
     }
 
+    /// Adds an already-built target (used by [`merge_requests`]).
+    pub fn target(mut self, target: RequestTarget) -> Self {
+        self.targets.push(target);
+        self
+    }
+
     /// Serialises the request into the `PQRQ` wire blob consumed by
     /// [`RetrievalRequest::from_wire_bytes`]. Tolerances travel as IEEE-754
     /// bit patterns, so the round trip is byte-identical — the serving
@@ -243,6 +249,34 @@ impl RetrievalRequest {
 pub const WIRE_REQUEST_MAGIC: &[u8; 4] = b"PQRQ";
 /// Current request wire version.
 pub const WIRE_REQUEST_VERSION: u8 = 1;
+
+/// The **union** of several requests: every target of every request, in
+/// first-seen order, deduplicated by exact wire identity (name, tolerance
+/// bit pattern, mode, region). Executing the union once drives shared
+/// decode state at least as deep as executing each request separately
+/// would — what the serving layer's cross-client round coalescing runs per
+/// batch before fanning per-client replies from the shared state. Byte
+/// budgets are deliberately dropped: a budget is a per-client contract
+/// that has no union semantics, so the serving layer excludes budgeted
+/// requests from coalescing before calling this.
+pub fn merge_requests(requests: &[RetrievalRequest]) -> RetrievalRequest {
+    let mut seen = std::collections::HashSet::new();
+    let mut union = RetrievalRequest::new();
+    for req in requests {
+        for t in req.targets() {
+            let key = (
+                t.name.clone(),
+                t.tolerance.to_bits(),
+                t.mode == ToleranceMode::Absolute,
+                t.region,
+            );
+            if seen.insert(key) {
+                union = union.target(t.clone());
+            }
+        }
+    }
+    union
+}
 
 #[cfg(test)]
 mod tests {

@@ -96,6 +96,18 @@ impl MgardCursor {
     /// path exactly; batched retrieval plans its fragment schedule from
     /// this before a single payload byte moves.
     pub fn plan_to_bound(&self, eb: f64) -> Vec<(usize, usize)> {
+        self.plan_to_bound_with_bounds(eb)
+            .into_iter()
+            .map(|(l, p, _)| (l, p))
+            .collect()
+    }
+
+    /// [`MgardCursor::plan_to_bound`] annotated with the guaranteed bound
+    /// the model reaches *after* each push. With `eb = 0.0` this is the
+    /// full remaining refinement front down to the representation floor —
+    /// what a plan-front cache stores once and cuts prefixes from, since
+    /// the walk is the same greedy schedule for every target.
+    pub fn plan_to_bound_with_bounds(&self, eb: f64) -> Vec<(usize, usize, f64)> {
         use crate::bitplane::truncation_error;
         let basis = self.meta.basis();
         let dims = self.meta.dims();
@@ -124,9 +136,10 @@ impl MgardCursor {
             let Some((l, _)) = best else {
                 break; // exhausted
             };
-            out.push((l, planes[l] as usize));
+            let plane = planes[l] as usize;
             planes[l] += 1;
             errs[l] = truncation_error(levels[l].exponent, planes[l]);
+            out.push((l, plane, recon_bound(basis, dims, &errs)));
         }
         out
     }

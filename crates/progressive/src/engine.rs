@@ -611,7 +611,24 @@ impl RetrievalEngine {
     /// new field starts once a failure is flagged, and the first error in
     /// field order is returned.
     fn refine_fields(&mut self, requested: &[f64], workers: usize) -> Result<()> {
-        if workers <= 1 {
+        // Lock-free pre-pass: count fields whose certified bound is still
+        // above the request. Coalesced serve rounds mostly arrive here with
+        // every field already published at depth (adoption-only rounds);
+        // spinning up the worker pool to confirm "nothing to do" per field
+        // would serialize on pool dispatch instead. Fewer than two pending
+        // fields never benefits from parallelism, so take the sequential
+        // arm — bit-identical by construction, each reader refines alone.
+        let pending = self
+            .readers
+            .iter()
+            .enumerate()
+            .filter(|(j, reader)| {
+                requested
+                    .get(*j)
+                    .is_some_and(|eb| eb.is_finite() && reader.guaranteed_bound() > *eb)
+            })
+            .count();
+        if workers <= 1 || pending < 2 {
             for (j, reader) in self.readers.iter_mut().enumerate() {
                 if requested.get(j).is_some_and(|eb| eb.is_finite()) {
                     reader.refine_to(requested[j])?;

@@ -100,9 +100,11 @@ impl Dataset {
             |start, end| {
                 let mut lo = f64::INFINITY;
                 let mut hi = f64::NEG_INFINITY;
+                // eval only reads variables below `arity` (checked above),
+                // so gather just those — the tail of `x` stays 0.0 unused
                 let mut x = vec![0.0f64; self.num_fields()];
                 for j in start..end {
-                    for (i, f) in self.fields.iter().enumerate() {
+                    for (i, f) in self.fields.iter().take(arity).enumerate() {
                         x[i] = f[j];
                     }
                     let v = qoi.eval(&x);
@@ -125,10 +127,11 @@ impl Dataset {
     /// used by the harnesses to measure *actual* QoI errors.
     pub fn qoi_values(&self, qoi: &QoiExpr) -> Vec<f64> {
         let ne = self.num_elements();
+        let arity = qoi.arity().min(self.num_fields());
         let mut out = Vec::with_capacity(ne);
         let mut x = vec![0.0f64; self.num_fields()];
         for j in 0..ne {
-            for (i, f) in self.fields.iter().enumerate() {
+            for (i, f) in self.fields.iter().take(arity).enumerate() {
                 x[i] = f[j];
             }
             out.push(qoi.eval(&x));

@@ -147,6 +147,19 @@ impl StoreBudget {
         self.resident.fetch_sub(bytes, Ordering::Relaxed);
     }
 
+    /// Swaps a charge of `old` bytes for one of `new` bytes in a single
+    /// delta-sized operation — how a store retires an epoch: the global
+    /// tally moves by the difference and never transits through zero, so a
+    /// concurrent enforcement pass can't observe the field as momentarily
+    /// free (a discharge+charge pair would allow exactly that window).
+    pub fn swap_charge(&self, old: u64, new: u64) {
+        if new >= old {
+            self.charge(new - old);
+        } else {
+            self.discharge(old - new);
+        }
+    }
+
     /// Bytes currently held across both RAM tiers (decoded + compressed).
     pub fn resident_bytes(&self) -> u64 {
         self.resident.load(Ordering::Relaxed) + self.tier_bytes()

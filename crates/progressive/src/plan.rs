@@ -274,6 +274,13 @@ pub struct PlanReport {
     /// state during this execution (same delta caveat). Zero without a
     /// store.
     pub store_refine_reuses: u64,
+    /// Refinement schedules the store's plan-front cache served as a
+    /// prefix of a cached front during this execution (same store-level
+    /// delta caveat). Zero without a store.
+    pub plan_front_hits: u64,
+    /// Refinement schedules the store recomputed from the bound model
+    /// during this execution (same delta caveat). Zero without a store.
+    pub plan_front_misses: u64,
 }
 
 impl PlanReport {
@@ -437,13 +444,16 @@ impl<'e> PlanExecutor<'e> {
         let actual_payload: usize = per_field_delta.iter().sum();
         let stats_after = engine.source_stats();
         let store_after = engine.shared_store().map(|s| s.stats());
-        let (store_decoded, store_reuses) = match (store_before, store_after) {
-            (Some(b), Some(a)) => (
-                a.fragments_decoded.saturating_sub(b.fragments_decoded),
-                a.refine_reuses.saturating_sub(b.refine_reuses),
-            ),
-            _ => (0, 0),
-        };
+        let (store_decoded, store_reuses, front_hits, front_misses) =
+            match (store_before, store_after) {
+                (Some(b), Some(a)) => (
+                    a.fragments_decoded.saturating_sub(b.fragments_decoded),
+                    a.refine_reuses.saturating_sub(b.refine_reuses),
+                    a.plan_front_hits.saturating_sub(b.plan_front_hits),
+                    a.plan_front_misses.saturating_sub(b.plan_front_misses),
+                ),
+                _ => (0, 0, 0, 0),
+            };
         let elements = engine.manifest().num_elements() * engine.manifest().num_fields();
         Ok(PlanReport {
             satisfied,
@@ -460,6 +470,8 @@ impl<'e> PlanExecutor<'e> {
             queue_wait_ms: 0,
             store_fragments_decoded: store_decoded,
             store_refine_reuses: store_reuses,
+            plan_front_hits: front_hits,
+            plan_front_misses: front_misses,
             targets,
         })
     }

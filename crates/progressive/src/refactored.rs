@@ -461,9 +461,14 @@ pub struct FieldReader {
 
 /// A reader's current reconstruction. Decoding readers own and mutate
 /// their buffer; store-backed views hold the store's published `Arc`, so
-/// adopting a snapshot costs a refcount bump, never an O(n) copy.
+/// adopting a snapshot costs a refcount bump, never an O(n) copy. The
+/// owned buffer is itself `Arc`-wrapped so a shared store can **publish**
+/// its master's reconstruction by sharing the same allocation — mutation
+/// goes through [`Arc::make_mut`], which copies only when a published
+/// epoch still pins the buffer (and only on the accumulate path; the
+/// other schemes replace the reconstruction wholesale).
 enum Recon {
-    Owned(Vec<f64>),
+    Owned(Arc<Vec<f64>>),
     Adopted(Arc<Vec<f64>>),
 }
 
@@ -479,8 +484,16 @@ impl Recon {
     /// `Owned` buffers — shared views never mutate their reconstruction).
     fn owned_mut(&mut self) -> &mut Vec<f64> {
         match self {
-            Recon::Owned(v) => v,
+            Recon::Owned(v) => Arc::make_mut(v),
             Recon::Adopted(_) => unreachable!("shared views never decode into their buffer"),
+        }
+    }
+
+    /// The reconstruction as a shareable `Arc` — a refcount bump, no copy.
+    fn share(&self) -> Arc<Vec<f64>> {
+        match self {
+            Recon::Owned(v) => Arc::clone(v),
+            Recon::Adopted(a) => Arc::clone(a),
         }
     }
 }
@@ -613,7 +626,7 @@ impl FieldReader {
             scheme: entry.scheme,
             frags,
             stage: None,
-            recon: Recon::Owned(recon),
+            recon: Recon::Owned(Arc::new(recon)),
             bound,
             fetched,
             consumed: 0,
@@ -695,6 +708,16 @@ impl FieldReader {
     /// Current reconstruction (zeros before any fetch — Algorithm 2 line 2).
     pub fn data(&self) -> &[f64] {
         self.recon.as_slice()
+    }
+
+    /// The current reconstruction as a shareable `Arc` — a refcount bump,
+    /// never a copy. This is how a
+    /// [`ProgressStore`](crate::store::ProgressStore) publishes its
+    /// master's state: the snapshot and the reader share one allocation,
+    /// and the reader copies-on-write only if it later mutates in place
+    /// while an epoch still pins the buffer.
+    pub fn share_recon(&self) -> Arc<Vec<f64>> {
+        self.recon.share()
     }
 
     /// Guaranteed L∞ bound of [`FieldReader::data`] versus the original.
@@ -839,6 +862,41 @@ impl FieldReader {
         }
     }
 
+    /// The **full remaining refinement front** from the current state down
+    /// to the representation floor, with the guaranteed bound *after* each
+    /// fragment — what the shared store's plan-front cache stores once per
+    /// epoch so every tighter request cuts a prefix instead of re-walking
+    /// the bound model. `None` for representations without a
+    /// prefix-monotone front: plain PSZ3 re-fetches one
+    /// adequate-per-request snapshot (the schedule depends on the target,
+    /// not just the state), and store-backed views schedule nothing.
+    pub fn plan_refine_with_bounds(&self) -> Option<Vec<(u32, f64)>> {
+        match &self.state {
+            ReaderState::Snapshots { next, delta: true } => Some(
+                (*next..self.frags.len())
+                    .map(|i| (i as u32, self.frags[i].eb_abs))
+                    .collect(),
+            ),
+            ReaderState::Snapshots { .. } => None,
+            ReaderState::Mgard { cursor, level_base } => Some(
+                cursor
+                    .plan_to_bound_with_bounds(0.0)
+                    .into_iter()
+                    .map(|(l, p, after)| (level_base[l] + p as u32, after))
+                    .collect(),
+            ),
+            ReaderState::Zfp(cursor) => {
+                let meta = cursor.meta();
+                Some(
+                    (cursor.planes_read()..meta.num_planes())
+                        .map(|k| (1 + k, meta.bound_after(k + 1)))
+                        .collect(),
+                )
+            }
+            ReaderState::Shared { .. } => None,
+        }
+    }
+
     /// The fragment indices [`FieldReader::restore`]`(progress)` will fetch
     /// from a *fresh* reader, in consume order, without fetching — the
     /// restore schedule a resumed session batches through
@@ -925,8 +983,13 @@ impl FieldReader {
             // read through the shared decode state: the store advances its
             // master reader only past what any previous request reached, so
             // this view pays (at most) the delta — and nothing at all when
-            // a deeper request already decoded this far
-            let next = store.refine_to(self.field as usize, eb)?;
+            // a deeper request already decoded this far. The call carries
+            // the adopted snapshot's epoch: `None` back means that snapshot
+            // still is the published state and nothing tighter is decodable,
+            // so the view keeps what it holds — no clone, no adoption
+            let Some(next) = store.refine_from(self.field as usize, eb, snap.epoch)? else {
+                return Ok(0);
+            };
             let before = self.fetched;
             self.recon = Recon::Adopted(Arc::clone(&next.recon));
             self.bound = next.bound;
@@ -987,7 +1050,7 @@ impl FieldReader {
                     let eb_abs = self.frags[target].eb_abs;
                     let blob = self.fetch(target as u32)?;
                     let (recon, _) = sz.decompress(&blob)?;
-                    self.recon = Recon::Owned(recon);
+                    self.recon = Recon::Owned(Arc::new(recon));
                     self.bound = eb_abs;
                     *next = target + 1;
                 }
@@ -1003,7 +1066,7 @@ impl FieldReader {
                     pushed = true;
                 }
                 if pushed {
-                    self.recon = Recon::Owned(cursor.reconstruct());
+                    self.recon = Recon::Owned(Arc::new(cursor.reconstruct()));
                 }
                 self.bound = cursor.guaranteed_bound().min(self.bound);
             }
@@ -1019,7 +1082,7 @@ impl FieldReader {
                 // planes are retained in the cursor either way.
                 let zb = cursor.guaranteed_bound();
                 if zb <= self.bound {
-                    self.recon = Recon::Owned(cursor.reconstruct());
+                    self.recon = Recon::Owned(Arc::new(cursor.reconstruct()));
                     self.bound = zb;
                 }
             }
@@ -1076,7 +1139,7 @@ impl FieldReader {
                     let eb_abs = self.frags[want - 1].eb_abs;
                     let blob = self.fetch((want - 1) as u32)?;
                     let (recon, _) = sz.decompress(&blob)?;
-                    self.recon = Recon::Owned(recon);
+                    self.recon = Recon::Owned(Arc::new(recon));
                     self.bound = eb_abs;
                 }
                 *next = want;
@@ -1104,7 +1167,7 @@ impl FieldReader {
                         cursor.push_plane(l, &bytes)?;
                     }
                 }
-                self.recon = Recon::Owned(cursor.reconstruct());
+                self.recon = Recon::Owned(Arc::new(cursor.reconstruct()));
                 self.bound = cursor.guaranteed_bound();
             }
             (ReaderState::Zfp(cursor), ReaderProgress::Zfp { planes }) => {
@@ -1122,7 +1185,7 @@ impl FieldReader {
                 // its guarantee beats the zero-vector bound
                 let zb = cursor.guaranteed_bound();
                 if zb <= self.bound {
-                    self.recon = Recon::Owned(cursor.reconstruct());
+                    self.recon = Recon::Owned(Arc::new(cursor.reconstruct()));
                     self.bound = zb;
                 }
             }

@@ -41,14 +41,15 @@ use crate::pager::{plan_evictions, EvictionCandidate, StoreBudget};
 use crate::refactored::{FieldReader, ReaderProgress, Scheme};
 use pqr_util::error::{PqrError, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockWriteGuard};
 
 /// A published view of one field's shared decode state: everything a
 /// session needs to serve requests at this depth without decoding.
 #[derive(Debug, Clone)]
 pub struct FieldSnapshot {
     /// The reconstruction at this depth (shared — adopting is an `Arc`
-    /// clone plus one memcpy into the session's buffer).
+    /// clone; the allocation is the master reader's own buffer, so
+    /// publication never copies it either).
     pub recon: Arc<Vec<f64>>,
     /// Guaranteed L∞ bound of `recon` versus the original.
     pub bound: f64,
@@ -66,17 +67,132 @@ pub struct FieldSnapshot {
     /// A cold view's first refinement always reads through the store
     /// (which rehydrates), so cold state is never served to a request.
     pub cold: bool,
+    /// Monotone publication epoch: bumped every time the store publishes a
+    /// new state for this field (advance, rehydration, demotion). A view
+    /// holding the current epoch is holding the published snapshot, so a
+    /// refinement it cannot improve is answered without locking or
+    /// adopting anything (see [`ProgressStore::refine_from`]).
+    pub epoch: u64,
 }
 
-fn snapshot_of(reader: &FieldReader) -> FieldSnapshot {
+fn snapshot_of(reader: &FieldReader, epoch: u64) -> FieldSnapshot {
     FieldSnapshot {
-        recon: Arc::new(reader.data().to_vec()),
+        recon: reader.share_recon(),
         bound: reader.guaranteed_bound(),
         fetched: reader.total_fetched(),
         exhausted: reader.exhausted(),
         progress: reader.progress(),
         cold: false,
+        epoch,
     }
+}
+
+const FLAG_EXHAUSTED: u64 = 1;
+const FLAG_COLD: u64 = 1 << 1;
+
+/// `have_epoch` value that can never match a published epoch (epochs start
+/// at 1 and increment), so [`ProgressStore::refine_from`] always adopts.
+const NO_EPOCH: u64 = u64::MAX;
+
+/// One field's publication cell. Lives **outside** the master field lock,
+/// so sessions adopt, compare bounds and test exhaustion without ever
+/// contending with a decode in progress. `meta` packs the epoch with the
+/// exhausted/cold flags into one word, so the lock-free short-circuit
+/// reads a *consistent* (epoch, flags) pair in a single load; the
+/// snapshot itself sits behind a tiny `RwLock` that is only ever held for
+/// the duration of an `Arc` clone or pointer swap — never across a fetch,
+/// a decode, or a memcpy.
+struct PublishedField {
+    /// `(epoch << 2) | flags` of the published state (epoch is monotone,
+    /// starts at 1 at open; flags are [`FLAG_EXHAUSTED`] | [`FLAG_COLD`]).
+    meta: AtomicU64,
+    /// `to_bits` of the store's **true** bound for the field. For a
+    /// demoted field the published snapshot is the cold placeholder at
+    /// `max|x|`, but the true demoted bound survives here so
+    /// [`ProgressStore::field_bound`] and [`ProgressStore::can_improve`]
+    /// stay metadata-exact without rehydrating. Advisory: stored before
+    /// `meta`, and every decision taken from it alone is re-checked where
+    /// it matters.
+    bound_bits: AtomicU64,
+    /// Recency tick of the last request that touched the field (the LRU
+    /// axis of the eviction policy).
+    last_tick: AtomicU64,
+    snap: RwLock<Arc<FieldSnapshot>>,
+}
+
+fn pack_meta(epoch: u64, exhausted: bool, cold: bool) -> u64 {
+    (epoch << 2) | (exhausted as u64 * FLAG_EXHAUSTED) | (cold as u64 * FLAG_COLD)
+}
+
+impl PublishedField {
+    fn new(snap: Arc<FieldSnapshot>, exhausted: bool) -> Self {
+        Self {
+            meta: AtomicU64::new(pack_meta(snap.epoch, exhausted, false)),
+            bound_bits: AtomicU64::new(snap.bound.to_bits()),
+            last_tick: AtomicU64::new(0),
+            snap: RwLock::new(snap),
+        }
+    }
+
+    /// The published snapshot (an `Arc` clone under the tiny read lock).
+    fn snapshot(&self) -> Arc<FieldSnapshot> {
+        Arc::clone(&self.snap.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Publishes a new epoch: swaps the snapshot `Arc` in, stores the true
+    /// bound, then the packed epoch+flags word last (release) — a reader
+    /// that observes the new epoch also observes the new snapshot.
+    /// Publications are serialized by the master field lock.
+    fn publish(&self, snap: Arc<FieldSnapshot>, true_bound: f64, exhausted: bool, cold: bool) {
+        let epoch = snap.epoch;
+        *self.snap.write().unwrap_or_else(|e| e.into_inner()) = snap;
+        self.bound_bits
+            .store(true_bound.to_bits(), Ordering::Relaxed);
+        self.meta
+            .store(pack_meta(epoch, exhausted, cold), Ordering::Release);
+    }
+
+    /// The store's true bound for the field (survives demotion).
+    fn bound(&self) -> f64 {
+        f64::from_bits(self.bound_bits.load(Ordering::Relaxed))
+    }
+
+    fn epoch(&self) -> u64 {
+        self.meta.load(Ordering::Acquire) >> 2
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.meta.load(Ordering::Acquire) & FLAG_EXHAUSTED != 0
+    }
+
+    fn next_epoch(&self) -> u64 {
+        self.epoch() + 1
+    }
+}
+
+/// A cached refinement front: the master's remaining fragment schedule
+/// (consume order) from the published epoch's state down to the scheme
+/// floor, with the guaranteed bound *after* each fragment. Fronts are
+/// exact and metadata-only, so any tighter request at the same epoch is a
+/// **prefix** of this list, and after an advance the unconsumed suffix
+/// carries over to the new epoch instead of being recomputed.
+struct CachedFront {
+    epoch: u64,
+    steps: Vec<(u32, f64)>,
+}
+
+/// Number of leading `steps` a refinement to `eb` consumes: fragments are
+/// taken while the bound still exceeds `eb`, including the first step that
+/// reaches it — exactly the fetch loop every scheme runs.
+fn cut_front(steps: &[(u32, f64)], eb: f64) -> usize {
+    let mut n = 0;
+    for &(_, after) in steps {
+        n += 1;
+        if after <= eb {
+            break;
+        }
+    }
+    n
 }
 
 /// What survives a demotion: the exact restore marker plus the published
@@ -96,13 +212,9 @@ struct DemotedField {
 #[allow(clippy::large_enum_variant)]
 enum MasterState {
     /// Decoded state in RAM: the only reader that ever fetches/decodes
-    /// this field's fragments, plus the last published snapshot (replaced
-    /// wholesale on every advance, so sessions holding older `Arc`s stay
-    /// internally consistent).
-    Resident {
-        reader: FieldReader,
-        snap: Arc<FieldSnapshot>,
-    },
+    /// this field's fragments. Its published snapshot lives in the
+    /// field's [`PublishedField`] cell, outside this lock.
+    Resident { reader: FieldReader },
     /// Decoded state dropped by the pager; only the marker survives.
     Demoted(DemotedField),
 }
@@ -111,9 +223,6 @@ struct MasterField {
     state: MasterState,
     /// Bytes currently charged against the budget for this field.
     charged: u64,
-    /// Recency tick of the last request that touched this field (the
-    /// LRU axis of the eviction policy).
-    last_tick: AtomicU64,
 }
 
 /// Cumulative tallies of a [`ProgressStore`].
@@ -138,6 +247,23 @@ pub struct StoreStats {
     /// Bytes re-fetched **from the source** during rehydration (metadata +
     /// fragments the compressed RAM tier could not serve).
     pub rehydration_bytes: u64,
+    /// Snapshot publications (epoch bumps): every advance, rehydration and
+    /// demotion publishes exactly one new epoch. A request served entirely
+    /// from published state publishes nothing — the zero-copy assertion of
+    /// the epoch design.
+    pub snapshot_publishes: u64,
+    /// Refinements answered with "your epoch is current" — the caller's
+    /// adopted snapshot already is the published one and nothing tighter
+    /// is decodable, so the store takes no lock, clones no `Arc`, copies
+    /// nothing (see [`ProgressStore::refine_from`]).
+    pub epoch_short_circuits: u64,
+    /// Refinement schedules served from the plan-front cache: the cached
+    /// front for the current epoch covered the request as a prefix.
+    pub plan_front_hits: u64,
+    /// Refinement schedules that recomputed the front from the bound
+    /// model (first request at an epoch, or a scheme without a
+    /// prefix-monotone front).
+    pub plan_front_misses: u64,
     /// Decoded bytes this store currently holds resident (its share of the
     /// budget's global tally).
     pub resident_bytes: u64,
@@ -153,6 +279,16 @@ pub struct ProgressStore {
     source: Arc<dyn FragmentSource>,
     manifest: Manifest,
     fields: Vec<RwLock<MasterField>>,
+    /// One publication cell per field, outside the master locks: the
+    /// epoch-swapped snapshot plus the advisory atomics every lock-free
+    /// read path answers from.
+    published: Vec<PublishedField>,
+    /// One plan-front cache slot per field (see [`CachedFront`]).
+    fronts: Vec<Mutex<Option<CachedFront>>>,
+    /// The zero reconstruction every cold placeholder shares — demoting N
+    /// fields (or adopting a demoted field N times) costs one allocation
+    /// total, not N.
+    zero_recon: OnceLock<Arc<Vec<f64>>>,
     /// Stage the master readers consume batched prefetches from
     /// ([`ProgressStore::refine_to`] rides each delta through
     /// [`FragmentSource::read_many`] before the master decodes it).
@@ -175,6 +311,10 @@ pub struct ProgressStore {
     evictions: AtomicU64,
     rehydrated: AtomicU64,
     rehydrated_bytes: AtomicU64,
+    publishes: AtomicU64,
+    short_circuits: AtomicU64,
+    front_hits: AtomicU64,
+    front_misses: AtomicU64,
 }
 
 impl ProgressStore {
@@ -195,6 +335,9 @@ impl ProgressStore {
             source,
             manifest,
             fields: Vec::new(),
+            published: Vec::new(),
+            fronts: Vec::new(),
+            zero_recon: OnceLock::new(),
             stage,
             store_id: budget.register_store(),
             budget,
@@ -207,6 +350,10 @@ impl ProgressStore {
             evictions: AtomicU64::new(0),
             rehydrated: AtomicU64::new(0),
             rehydrated_bytes: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            short_circuits: AtomicU64::new(0),
+            front_hits: AtomicU64::new(0),
+            front_misses: AtomicU64::new(0),
         };
         // construct, charge and enforce one master at a time: a reader
         // (recon + decode cursor) costs its full footprint from the moment
@@ -215,12 +362,14 @@ impl ProgressStore {
         for i in 0..store.manifest.num_fields() {
             let mut reader = FieldReader::open(Arc::clone(&store.source), &store.manifest, i)?;
             reader.attach_stage(Arc::clone(&store.stage));
-            let snap = Arc::new(snapshot_of(&reader));
-            let cost = master_cost(&reader, &snap);
+            let snap = Arc::new(snapshot_of(&reader, 1));
+            let cost = master_cost(&reader);
+            let exhausted = snap.exhausted;
+            store.published.push(PublishedField::new(snap, exhausted));
+            store.fronts.push(Mutex::new(None));
             store.fields.push(RwLock::new(MasterField {
-                state: MasterState::Resident { reader, snap },
+                state: MasterState::Resident { reader },
                 charged: cost,
-                last_tick: AtomicU64::new(0),
             }));
             store.resident.fetch_add(cost, Ordering::Relaxed);
             store.budget.charge(cost);
@@ -249,128 +398,172 @@ impl ProgressStore {
         &self.budget
     }
 
-    fn read_field(&self, field: usize) -> Result<RwLockReadGuard<'_, MasterField>> {
-        self.fields
-            .get(field)
-            .ok_or_else(|| {
-                PqrError::InvalidRequest(format!(
-                    "field {field} out of range ({} fields)",
-                    self.fields.len()
-                ))
-            })
-            .map(|l| l.read().unwrap_or_else(|e| e.into_inner()))
-    }
-
     fn write_field(&self, field: usize) -> RwLockWriteGuard<'_, MasterField> {
         self.fields[field]
             .write()
             .unwrap_or_else(|e| e.into_inner())
     }
 
-    fn touch(&self, g: &MasterField) {
-        g.last_tick.store(
+    fn cell(&self, field: usize) -> Result<&PublishedField> {
+        self.published.get(field).ok_or_else(|| {
+            PqrError::InvalidRequest(format!(
+                "field {field} out of range ({} fields)",
+                self.fields.len()
+            ))
+        })
+    }
+
+    fn touch_cell(&self, cell: &PublishedField) {
+        cell.last_tick.store(
             self.tick.fetch_add(1, Ordering::Relaxed) + 1,
             Ordering::Relaxed,
         );
     }
 
     /// The current snapshot of `field` (what a freshly opened session view
-    /// adopts). Demoted fields hand out a **cold** placeholder — true
-    /// `fetched`/`progress` accounting over a zero reconstruction at the
-    /// always-valid `max|x|` bound — instead of rehydrating, so opening a
-    /// session on a large archive never re-materialises evicted fields the
-    /// session may not touch; the first refinement through the store
-    /// rehydrates on demand.
+    /// adopts) — a lock-free read of the publication cell, never the
+    /// master lock, so adoption cannot wait behind a decode. Demoted
+    /// fields hand out a **cold** placeholder — true `fetched`/`progress`
+    /// accounting over the shared zero reconstruction at the always-valid
+    /// `max|x|` bound — instead of rehydrating, so opening a session on a
+    /// large archive never re-materialises evicted fields the session may
+    /// not touch; the first refinement through the store rehydrates on
+    /// demand.
     pub fn adopt(&self, field: usize) -> Result<Arc<FieldSnapshot>> {
-        let snap = {
-            let g = self.read_field(field)?;
-            self.touch(&g);
-            match &g.state {
-                MasterState::Resident { snap, .. } => Arc::clone(snap),
-                MasterState::Demoted(d) => Arc::new(self.cold_snapshot(field, d)),
-            }
-        };
+        let cell = self.cell(field)?;
+        self.touch_cell(cell);
         self.adoptions.fetch_add(1, Ordering::Relaxed);
-        Ok(snap)
+        Ok(cell.snapshot())
     }
 
-    fn cold_snapshot(&self, field: usize, d: &DemotedField) -> FieldSnapshot {
+    fn cold_snapshot(&self, field: usize, d: &DemotedField, epoch: u64) -> FieldSnapshot {
         let entry = &self.manifest.fields[field];
         FieldSnapshot {
-            recon: Arc::new(vec![0.0; self.manifest.num_elements()]),
+            recon: self.zero_recon(),
             bound: entry.max_abs,
             fetched: d.fetched,
             exhausted: d.exhausted && d.bound >= entry.max_abs,
             progress: d.progress.clone(),
             cold: true,
+            epoch,
         }
     }
 
-    /// The store's current guaranteed bound for `field` (answered from the
-    /// marker alone when the field is demoted — no rehydration).
+    fn zero_recon(&self) -> Arc<Vec<f64>> {
+        Arc::clone(
+            self.zero_recon
+                .get_or_init(|| Arc::new(vec![0.0; self.manifest.num_elements()])),
+        )
+    }
+
+    /// The publication epoch of `field` (0 for an out-of-range field —
+    /// published epochs start at 1).
+    pub fn published_epoch(&self, field: usize) -> u64 {
+        self.published.get(field).map_or(0, |c| c.epoch())
+    }
+
+    /// The store's current guaranteed bound for `field` — a single atomic
+    /// load, exact even while the field is demoted (the true bound
+    /// survives in the publication cell; no rehydration, no lock).
     pub fn field_bound(&self, field: usize) -> f64 {
-        self.read_field(field)
-            .map_or(f64::INFINITY, |g| match &g.state {
-                MasterState::Resident { snap, .. } => snap.bound,
-                MasterState::Demoted(d) => d.bound,
-            })
+        self.published
+            .get(field)
+            .map_or(f64::INFINITY, |c| c.bound())
     }
 
     /// True when a session view at `current_bound` could still improve by
     /// reading through the store: the store holds (or can re-reach) a
-    /// deeper state already, or its master is not exhausted. Metadata-only
-    /// for demoted fields — asking never rehydrates.
+    /// deeper state already, or its master is not exhausted. Two atomic
+    /// loads — no lock, and asking never rehydrates.
     pub fn can_improve(&self, field: usize, current_bound: f64) -> bool {
-        self.read_field(field)
-            .map(|g| match &g.state {
-                MasterState::Resident { snap, .. } => !snap.exhausted || snap.bound < current_bound,
-                MasterState::Demoted(d) => !d.exhausted || d.bound < current_bound,
-            })
+        self.published
+            .get(field)
+            .map(|c| !c.is_exhausted() || c.bound() < current_bound)
             .unwrap_or(false)
     }
 
     /// Refines `field` to bound `eb`, sharing work across sessions: if the
-    /// store is already at least this deep the call is a lock-free-ish read
-    /// (no fetch, no decode); otherwise the master decodes exactly the
-    /// delta — batched through [`FragmentSource::read_many`] — under the
-    /// field's write lock, and a new snapshot is published. A demoted
-    /// field is rehydrated first (compressed RAM tier, then source) and
-    /// the replay tallied in the rehydration counters.
+    /// store is already at least this deep the call is a lock-free read of
+    /// the publication cell (no fetch, no decode, no master lock);
+    /// otherwise the master decodes exactly the delta — batched through
+    /// [`FragmentSource::read_many`] — under the field's write lock, and a
+    /// new epoch is published by `Arc` swap. A demoted field is rehydrated
+    /// first (compressed RAM tier, then source) and the replay tallied in
+    /// the rehydration counters.
     pub fn refine_to(&self, field: usize, eb: f64) -> Result<Arc<FieldSnapshot>> {
-        {
-            let g = self.read_field(field)?;
-            if let MasterState::Resident { snap, .. } = &g.state {
-                if snap.bound <= eb || snap.exhausted {
-                    self.touch(&g);
-                    self.reuses.fetch_add(1, Ordering::Relaxed);
-                    self.adoptions.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(snap));
-                }
-            }
+        Ok(self
+            .refine_from(field, eb, NO_EPOCH)?
+            .expect("refine_from always adopts for NO_EPOCH"))
+    }
+
+    /// Epoch-aware [`ProgressStore::refine_to`]: `have_epoch` is the epoch
+    /// of the snapshot the caller already holds. Returns `None` when that
+    /// snapshot still **is** the published state and nothing tighter is
+    /// decodable — the caller keeps what it has; no lock was taken, no
+    /// `Arc` cloned, nothing copied. Returns `Some(snapshot)` to adopt
+    /// otherwise.
+    pub fn refine_from(
+        &self,
+        field: usize,
+        eb: f64,
+        have_epoch: u64,
+    ) -> Result<Option<Arc<FieldSnapshot>>> {
+        let cell = self.cell(field)?;
+        // Lock-free epoch short-circuit: one load of the packed
+        // (epoch, flags) word. When the caller's epoch is current and the
+        // published state is exhausted, the caller already holds the
+        // representation floor — the store only ever deepens, so no later
+        // epoch can be tighter and there is nothing to adopt. The packing
+        // makes the pair consistent by construction; a concurrent publish
+        // at worst makes the comparison fail and we fall through.
+        let meta = cell.meta.load(Ordering::Acquire);
+        if meta == pack_meta(have_epoch, true, false) {
+            self.touch_cell(cell);
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            self.short_circuits.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
         }
-        let out = self.refine_locked(field, eb);
+        // Published-snapshot fast path: the tiny snap read-lock for an
+        // `Arc` clone — never the master lock, so a decode in progress on
+        // this field cannot block it. Decisions are taken from the
+        // immutable snapshot itself, so they cannot race.
+        let snap = cell.snapshot();
+        if !snap.cold && (snap.bound <= eb || snap.exhausted) {
+            self.touch_cell(cell);
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            if snap.epoch == have_epoch {
+                self.short_circuits.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+            self.adoptions.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(snap));
+        }
+        let out = self.refine_locked(field, eb).map(Some);
         self.maybe_enforce(Some(field));
         out
     }
 
     fn refine_locked(&self, field: usize, eb: f64) -> Result<Arc<FieldSnapshot>> {
         let mut g = self.write_field(field);
-        self.touch(&g);
+        let cell = &self.published[field];
+        self.touch_cell(cell);
         self.ensure_resident(&mut g, field)?;
-        let MasterState::Resident { reader, snap } = &mut g.state else {
+        let MasterState::Resident { reader } = &mut g.state else {
             unreachable!("ensure_resident leaves the field resident");
         };
         // another session may have decoded this depth while we waited (or
         // the rehydrated depth already satisfies the request)
-        if snap.bound <= eb || snap.exhausted {
+        let published = cell.snapshot();
+        if published.bound <= eb || published.exhausted {
             self.reuses.fetch_add(1, Ordering::Relaxed);
             self.adoptions.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(snap));
+            return Ok(published);
         }
-        // batch the delta schedule in storage order; a failed prefetch
-        // degrades to the reader's per-fragment fallback fetches
-        let mut ids: Vec<FragmentId> = reader
-            .plan_refine_to(eb)
+        // batch the delta schedule — served by the plan-front cache — in
+        // storage order; a failed prefetch degrades to the reader's
+        // per-fragment fallback fetches
+        let mut ids: Vec<FragmentId> = self
+            .front_schedule(field, reader, eb)
             .into_iter()
             .map(|index| FragmentId {
                 field: field as u32,
@@ -397,20 +590,80 @@ impl ProgressStore {
         let delta = reader.fragments_decoded() - before;
         if delta == 0 {
             // nothing decoded ⇒ reader state (and hence the snapshot) is
-            // unchanged: keep the published `Arc` — no republish, no
-            // memcpy — and count the request as a reuse
+            // unchanged: keep the published `Arc` — no republish — and
+            // count the request as a reuse
             self.reuses.fetch_add(1, Ordering::Relaxed);
             self.adoptions.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(snap));
+            return Ok(published);
         }
         self.decoded.fetch_add(delta, Ordering::Relaxed);
         self.advances.fetch_add(1, Ordering::Relaxed);
         self.adoptions.fetch_add(1, Ordering::Relaxed);
-        *snap = Arc::new(snapshot_of(reader));
-        let published = Arc::clone(snap);
-        let cost = master_cost(reader, &published);
+        let epoch = cell.next_epoch();
+        let snap = Arc::new(snapshot_of(reader, epoch));
+        cell.publish(Arc::clone(&snap), snap.bound, snap.exhausted, false);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.retire_front(field, epoch, delta as usize);
+        // epoch retirement: the old epoch's charge is swapped for the new
+        // one's in a single budget operation
+        let cost = master_cost(reader);
         self.recharge(&mut g, cost);
-        Ok(published)
+        Ok(snap)
+    }
+
+    /// The fragment schedule a refinement of `field` to `eb` should batch,
+    /// served by the per-field plan-front cache. Fronts are exact and
+    /// metadata-only, so the full remaining front computed once per epoch
+    /// answers every tighter request at that epoch as a **prefix**; after
+    /// an advance the unconsumed suffix carries over (see
+    /// [`ProgressStore::retire_front`]). Representations without a
+    /// prefix-monotone front (plain PSZ3 re-fetches one adequate snapshot
+    /// per request) bypass the cache. Called under the field's write lock,
+    /// which serializes all mutation.
+    fn front_schedule(&self, field: usize, reader: &FieldReader, eb: f64) -> Vec<u32> {
+        let mut slot = self.fronts[field].lock().unwrap_or_else(|e| e.into_inner());
+        let epoch = self.published[field].epoch();
+        let hit = matches!(&*slot, Some(c) if c.epoch == epoch);
+        if !hit {
+            *slot = reader
+                .plan_refine_with_bounds()
+                .map(|steps| CachedFront { epoch, steps });
+        }
+        let out = match &*slot {
+            Some(front) => {
+                let n = cut_front(&front.steps, eb);
+                front.steps[..n].iter().map(|&(id, _)| id).collect()
+            }
+            None => reader.plan_refine_to(eb),
+        };
+        if hit {
+            self.front_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.front_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        debug_assert_eq!(
+            out,
+            reader.plan_refine_to(eb),
+            "cached front must match the live plan exactly"
+        );
+        out
+    }
+
+    /// Carries the plan-front cache across an epoch publication: the
+    /// `consumed` fragments the advance decoded drop off the front and the
+    /// suffix is re-keyed to the new epoch — a tighter request later
+    /// extends the front instead of recomputing it. Any mismatch (e.g. a
+    /// rehydration changed the state wholesale) just invalidates the slot.
+    fn retire_front(&self, field: usize, new_epoch: u64, consumed: usize) {
+        let mut slot = self.fronts[field].lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *slot {
+            Some(c) if c.epoch + 1 == new_epoch && consumed <= c.steps.len() => {
+                c.steps.drain(..consumed);
+                c.epoch = new_epoch;
+            }
+            Some(_) => *slot = None,
+            None => {}
+        }
     }
 
     /// Rebuilds a demoted field's decoded state bit-identically: a fresh
@@ -481,20 +734,31 @@ impl ProgressStore {
             .fetch_add(plan.len() as u64, Ordering::Relaxed);
         self.rehydrated_bytes
             .fetch_add(refetched, Ordering::Relaxed);
-        let snap = Arc::new(snapshot_of(&reader));
-        let cost = master_cost(&reader, &snap);
-        g.state = MasterState::Resident { reader, snap };
+        // publish the rehydrated state as a new epoch: cold views adopt the
+        // warm snapshot again, and the stale plan-front slot (keyed to a
+        // pre-demotion epoch) simply misses and recomputes
+        let cell = &self.published[field];
+        let snap = Arc::new(snapshot_of(&reader, cell.next_epoch()));
+        cell.publish(Arc::clone(&snap), snap.bound, snap.exhausted, false);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        let cost = master_cost(&reader);
+        g.state = MasterState::Resident { reader };
         self.recharge(g, cost);
         Ok(())
     }
 
-    /// Swaps this field's budget charge to `cost`.
+    /// Swaps this field's budget charge to `cost` at epoch retirement —
+    /// one delta-sized budget operation per publication, so the global
+    /// tally never transits through zero (a discharge+charge pair would
+    /// let a concurrent enforcement pass see the field as free).
     fn recharge(&self, g: &mut MasterField, cost: u64) {
-        self.budget.discharge(g.charged);
-        self.resident.fetch_sub(g.charged, Ordering::Relaxed);
+        self.budget.swap_charge(g.charged, cost);
+        if cost >= g.charged {
+            self.resident.fetch_add(cost - g.charged, Ordering::Relaxed);
+        } else {
+            self.resident.fetch_sub(g.charged - cost, Ordering::Relaxed);
+        }
         g.charged = cost;
-        self.resident.fetch_add(cost, Ordering::Relaxed);
-        self.budget.charge(cost);
     }
 
     /// Demotes `field` if it is resident and not currently locked by a
@@ -510,19 +774,26 @@ impl ProgressStore {
         let Ok(mut g) = lock.try_write() else {
             return false;
         };
-        self.demote_locked(&mut g)
+        self.demote_locked(&mut g, field)
     }
 
-    fn demote_locked(&self, g: &mut MasterField) -> bool {
-        let MasterState::Resident { snap, .. } = &g.state else {
+    fn demote_locked(&self, g: &mut MasterField, field: usize) -> bool {
+        let MasterState::Resident { reader } = &g.state else {
             return false;
         };
         let d = DemotedField {
-            progress: snap.progress.clone(),
-            bound: snap.bound,
-            fetched: snap.fetched,
-            exhausted: snap.exhausted,
+            progress: reader.progress(),
+            bound: reader.guaranteed_bound(),
+            fetched: reader.total_fetched(),
+            exhausted: reader.exhausted(),
         };
+        // publish the cold placeholder as a new epoch; the true demoted
+        // bound and exhaustion survive in the cell's advisory word, so
+        // metadata answers stay exact without rehydrating
+        let cell = &self.published[field];
+        let cold = Arc::new(self.cold_snapshot(field, &d, cell.next_epoch()));
+        cell.publish(cold, d.bound, d.exhausted, true);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
         g.state = MasterState::Demoted(d);
         self.budget.discharge(g.charged);
         self.resident.fetch_sub(g.charged, Ordering::Relaxed);
@@ -564,9 +835,9 @@ impl ProgressStore {
                 continue;
             }
             let Ok(g) = lock.try_read() else { continue };
-            if let MasterState::Resident { reader, snap } = &g.state {
+            if let MasterState::Resident { reader } = &g.state {
                 let cost = reader
-                    .plan_restore(&snap.progress)
+                    .plan_restore(&reader.progress())
                     .map(|ids| {
                         ids.iter()
                             .map(|&ix| self.manifest.fields[i].fragments[ix as usize].len)
@@ -575,7 +846,7 @@ impl ProgressStore {
                     .unwrap_or(u64::MAX);
                 candidates.push(EvictionCandidate {
                     field: i,
-                    last_tick: g.last_tick.load(Ordering::Relaxed),
+                    last_tick: self.published[i].last_tick.load(Ordering::Relaxed),
                     rehydration_cost: cost,
                     resident_bytes: g.charged,
                 });
@@ -583,7 +854,7 @@ impl ProgressStore {
         }
         for f in plan_evictions(candidates, need) {
             if let Ok(mut g) = self.fields[f].try_write() {
-                self.demote_locked(&mut g);
+                self.demote_locked(&mut g, f);
             }
             if !self.budget.over_decoded_limit() {
                 break;
@@ -600,16 +871,17 @@ impl ProgressStore {
         field: usize,
         drop_finest: usize,
     ) -> Result<(Vec<f64>, Vec<usize>)> {
+        self.cell(field)?; // range check
         {
-            let g = self.read_field(field)?;
-            if let MasterState::Resident { reader, .. } = &g.state {
+            let g = self.fields[field].read().unwrap_or_else(|e| e.into_inner());
+            if let MasterState::Resident { reader } = &g.state {
                 return reader.reconstruct_at_resolution(drop_finest);
             }
         }
         let out = {
             let mut g = self.write_field(field);
             self.ensure_resident(&mut g, field)?;
-            let MasterState::Resident { reader, .. } = &g.state else {
+            let MasterState::Resident { reader } = &g.state else {
                 unreachable!("ensure_resident leaves the field resident");
             };
             reader.reconstruct_at_resolution(drop_finest)
@@ -633,16 +905,23 @@ impl ProgressStore {
             evictions: self.evictions.load(Ordering::Relaxed),
             rehydration_decodes: self.rehydrated.load(Ordering::Relaxed),
             rehydration_bytes: self.rehydrated_bytes.load(Ordering::Relaxed),
+            snapshot_publishes: self.publishes.load(Ordering::Relaxed),
+            epoch_short_circuits: self.short_circuits.load(Ordering::Relaxed),
+            plan_front_hits: self.front_hits.load(Ordering::Relaxed),
+            plan_front_misses: self.front_misses.load(Ordering::Relaxed),
             resident_bytes: self.resident.load(Ordering::Relaxed),
             budget_bytes: self.budget.limit_bytes(),
         }
     }
 }
 
-/// Budget cost of one resident field: the published snapshot plus the
-/// master reader's decoded state ([`FieldReader::resident_bytes`]).
-fn master_cost(reader: &FieldReader, snap: &FieldSnapshot) -> u64 {
-    (snap.recon.len() * 8 + std::mem::size_of::<FieldSnapshot>() + reader.resident_bytes()) as u64
+/// Budget cost of one resident field: the master reader's decoded state
+/// ([`FieldReader::resident_bytes`]) plus the snapshot header. The
+/// published reconstruction is the reader's own buffer — publication is an
+/// `Arc` share, never a copy — so that allocation is charged exactly once,
+/// through the reader.
+fn master_cost(reader: &FieldReader) -> u64 {
+    (std::mem::size_of::<FieldSnapshot>() + reader.resident_bytes()) as u64
 }
 
 #[cfg(test)]
@@ -778,6 +1057,42 @@ mod tests {
             );
             assert!(s.rehydration_decodes > 0, "{}", scheme.name());
         }
+    }
+
+    #[test]
+    fn exhausted_views_short_circuit_without_publishing() {
+        let source = shared_source(Scheme::PmgardHb);
+        let store = Arc::new(ProgressStore::open(Arc::clone(&source)).unwrap());
+        let manifest = store.manifest().clone();
+        let mut view =
+            crate::refactored::FieldReader::open_shared(Arc::clone(&store), &manifest, 0).unwrap();
+        // drive the shared state to its representation floor through the view
+        view.refine_to(0.0).unwrap();
+        let base = store.stats();
+        assert!(base.snapshot_publishes > 0);
+        let held = view.share_recon();
+
+        // repeat-tolerance session: every repeat is answered by the packed
+        // epoch word — no adoption, no publish, no recon clone
+        for _ in 0..4 {
+            assert_eq!(view.refine_to(0.0).unwrap(), 0);
+        }
+        let after = store.stats();
+        assert!(
+            after.epoch_short_circuits >= base.epoch_short_circuits + 4,
+            "repeats must hit the epoch short-circuit: {} -> {}",
+            base.epoch_short_circuits,
+            after.epoch_short_circuits
+        );
+        assert_eq!(after.adoptions, base.adoptions, "no adoption on repeats");
+        assert_eq!(
+            after.snapshot_publishes, base.snapshot_publishes,
+            "no publish on repeats"
+        );
+        assert!(
+            Arc::ptr_eq(&held, &view.share_recon()),
+            "the view must keep the very same reconstruction Arc"
+        );
     }
 
     #[test]

@@ -42,6 +42,28 @@ pub struct ServeStats {
     /// Connections that died mid-request (the peer vanished between a
     /// request frame and its reply).
     pub disconnects_mid_request: AtomicU64,
+    /// Coalesced rounds executed: batches of ≥ 2 overlapping retrieves
+    /// whose union plan ran once through the shared store.
+    pub coalesced_rounds: AtomicU64,
+    /// Retrieves served as members of a coalesced round (the union ran on
+    /// their behalf; their own execution was a permit-free reply
+    /// projection from the shared epoch state).
+    pub coalesced_requests: AtomicU64,
+    /// Coalesced rounds that fell back to individual gated execution
+    /// (union error or no decode permit within the wait).
+    pub coalesce_fallbacks: AtomicU64,
+    /// Total milliseconds retrieves spent executing (permit grant →
+    /// reply built) — `service_ms_total / retrieves_completed` is the
+    /// observed per-request service time the dynamic `Busy` retry-after
+    /// hint derives from.
+    pub service_ms_total: AtomicU64,
+    /// Retrieves that completed execution (the denominator of the
+    /// observed service time). Not serialized — server-local.
+    pub retrieves_completed: AtomicU64,
+    /// Retrieves currently waiting for (or holding) a decode permit — the
+    /// live queue-depth gauge behind the dynamic retry-after hint. Not
+    /// serialized — server-local.
+    pub decode_inflight: AtomicU64,
 }
 
 impl ServeStats {
@@ -61,6 +83,26 @@ impl ServeStats {
         self.queue_wait_ms_max.fetch_max(ms, Ordering::Relaxed);
     }
 
+    /// Records one completed retrieve's service time.
+    pub fn record_service(&self, ms: u64) {
+        self.service_ms_total.fetch_add(ms, Ordering::Relaxed);
+        self.retrieves_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The retry-after hint for a `Busy` reply right now: queue depth ×
+    /// observed per-request service time over the pool width (see
+    /// [`busy_hint`]), falling back to `fallback` until a service time has
+    /// been observed.
+    pub fn busy_hint_now(&self, extra_waiting: u64, permits: u64, fallback: u64) -> u64 {
+        busy_hint(
+            self.decode_inflight.load(Ordering::Relaxed) + extra_waiting,
+            self.service_ms_total.load(Ordering::Relaxed),
+            self.retrieves_completed.load(Ordering::Relaxed),
+            permits,
+            fallback,
+        )
+    }
+
     /// A point-in-time copy of the counters (dataset rows added by the
     /// server, which owns the registry).
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -76,9 +118,40 @@ impl ServeStats {
             queue_wait_ms_total: self.queue_wait_ms_total.load(Ordering::Relaxed),
             queue_wait_ms_max: self.queue_wait_ms_max.load(Ordering::Relaxed),
             disconnects_mid_request: self.disconnects_mid_request.load(Ordering::Relaxed),
+            coalesced_rounds: self.coalesced_rounds.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            coalesce_fallbacks: self.coalesce_fallbacks.load(Ordering::Relaxed),
+            service_ms_total: self.service_ms_total.load(Ordering::Relaxed),
             datasets: Vec::new(),
         }
     }
+}
+
+/// The dynamic retry-after hint for a `Busy` reply: how long the queue in
+/// front of the caller should take to drain, given the observed per-request
+/// service time.
+///
+/// `waiting` is the number of retrieves ahead (in flight plus queued),
+/// `service_ms_total / served` the observed mean service time, and
+/// `permits` the decode-pool width draining them. Until the server has
+/// observed at least one completed retrieve (or when the pool width is
+/// zero), there is nothing to derive from and the configured `fallback`
+/// is returned verbatim.
+pub fn busy_hint(
+    waiting: u64,
+    service_ms_total: u64,
+    served: u64,
+    permits: u64,
+    fallback: u64,
+) -> u64 {
+    if served == 0 || service_ms_total == 0 || permits == 0 {
+        return fallback;
+    }
+    let mean_ms = service_ms_total.div_ceil(served);
+    // ceil(waiting / permits) rounds of mean service time, at least one —
+    // the caller always waits out the request currently holding a permit.
+    let rounds = waiting.div_ceil(permits).max(1);
+    rounds.saturating_mul(mean_ms).max(1)
 }
 
 /// Per-dataset row of a [`StatsSnapshot`]: the decode-sharing and source
@@ -118,6 +191,14 @@ pub struct StatsSnapshot {
     pub queue_wait_ms_max: u64,
     /// Peers that vanished mid-request.
     pub disconnects_mid_request: u64,
+    /// Coalesced union rounds executed.
+    pub coalesced_rounds: u64,
+    /// Retrieves served via a coalesced round.
+    pub coalesced_requests: u64,
+    /// Coalesced rounds that fell back to individual execution.
+    pub coalesce_fallbacks: u64,
+    /// Total retrieve execution time (permit grant → reply built).
+    pub service_ms_total: u64,
     /// Per-dataset store/source rows.
     pub datasets: Vec<DatasetStats>,
 }
@@ -138,6 +219,10 @@ impl StatsSnapshot {
             self.queue_wait_ms_total,
             self.queue_wait_ms_max,
             self.disconnects_mid_request,
+            self.coalesced_rounds,
+            self.coalesced_requests,
+            self.coalesce_fallbacks,
+            self.service_ms_total,
         ] {
             w.put_u64(v);
         }
@@ -152,6 +237,10 @@ impl StatsSnapshot {
                 d.store.evictions,
                 d.store.rehydration_decodes,
                 d.store.rehydration_bytes,
+                d.store.snapshot_publishes,
+                d.store.epoch_short_circuits,
+                d.store.plan_front_hits,
+                d.store.plan_front_misses,
                 d.store.resident_bytes,
                 d.store.budget_bytes,
                 d.source.fetches,
@@ -170,17 +259,17 @@ impl StatsSnapshot {
     /// Parses a snapshot (count-checked before allocation).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
-        let mut scalars = [0u64; 11];
+        let mut scalars = [0u64; 15];
         for s in &mut scalars {
             *s = r.get_u64()?;
         }
         let raw = r.get_u64()? as usize;
-        // each dataset row costs at least a name prefix + 15 counters
-        let n = r.check_count(raw, 8 + 120)?;
+        // each dataset row costs at least a name prefix + 19 counters
+        let n = r.check_count(raw, 8 + 152)?;
         let mut datasets = Vec::with_capacity(n);
         for _ in 0..n {
             let name = crate::wire::get_name(&mut r)?;
-            let mut c = [0u64; 15];
+            let mut c = [0u64; 19];
             for v in &mut c {
                 *v = r.get_u64()?;
             }
@@ -194,16 +283,20 @@ impl StatsSnapshot {
                     evictions: c[4],
                     rehydration_decodes: c[5],
                     rehydration_bytes: c[6],
-                    resident_bytes: c[7],
-                    budget_bytes: c[8],
+                    snapshot_publishes: c[7],
+                    epoch_short_circuits: c[8],
+                    plan_front_hits: c[9],
+                    plan_front_misses: c[10],
+                    resident_bytes: c[11],
+                    budget_bytes: c[12],
                 },
                 source: SourceStats {
-                    fetches: c[9],
-                    fetched_bytes: c[10],
-                    cache_hits: c[11],
-                    cache_misses: c[12],
-                    read_ops: c[13],
-                    overlap_saved_ms: c[14],
+                    fetches: c[13],
+                    fetched_bytes: c[14],
+                    cache_hits: c[15],
+                    cache_misses: c[16],
+                    read_ops: c[17],
+                    overlap_saved_ms: c[18],
                 },
             });
         }
@@ -219,6 +312,10 @@ impl StatsSnapshot {
             queue_wait_ms_total: scalars[8],
             queue_wait_ms_max: scalars[9],
             disconnects_mid_request: scalars[10],
+            coalesced_rounds: scalars[11],
+            coalesced_requests: scalars[12],
+            coalesce_fallbacks: scalars[13],
+            service_ms_total: scalars[14],
             datasets,
         })
     }
@@ -242,6 +339,10 @@ mod tests {
             queue_wait_ms_total: 88,
             queue_wait_ms_max: 40,
             disconnects_mid_request: 1,
+            coalesced_rounds: 5,
+            coalesced_requests: 14,
+            coalesce_fallbacks: 1,
+            service_ms_total: 260,
             datasets: vec![DatasetStats {
                 name: "ge".into(),
                 store: StoreStats {
@@ -252,6 +353,10 @@ mod tests {
                     evictions: 2,
                     rehydration_decodes: 6,
                     rehydration_bytes: 2048,
+                    snapshot_publishes: 11,
+                    epoch_short_circuits: 42,
+                    plan_front_hits: 9,
+                    plan_front_misses: 3,
                     resident_bytes: 1 << 20,
                     budget_bytes: 4 << 20,
                 },
@@ -281,6 +386,44 @@ mod tests {
         assert_eq!(snap.bytes_out, 100);
         assert_eq!(snap.queue_wait_ms_total, 60);
         assert_eq!(snap.queue_wait_ms_max, 30);
+    }
+
+    #[test]
+    fn busy_hint_falls_back_without_observations() {
+        // no completed retrieve yet: the configured fallback must come back
+        // verbatim, whatever the queue depth looks like
+        assert_eq!(busy_hint(10, 0, 0, 4, 123), 123);
+        assert_eq!(busy_hint(0, 0, 0, 4, 321), 321);
+        // degenerate pool width also falls back
+        assert_eq!(busy_hint(10, 500, 5, 0, 200), 200);
+    }
+
+    #[test]
+    fn busy_hint_shrinks_as_load_drains() {
+        // mean service time 50 ms, pool of 2 permits; the hint must shrink
+        // monotonically as the queue in front of the caller drains
+        let at = |waiting| busy_hint(waiting, 500, 10, 2, 200);
+        let deep = at(8); // 4 rounds -> 200 ms
+        let mid = at(4); // 2 rounds -> 100 ms
+        let low = at(1); // 1 round  ->  50 ms
+        assert_eq!((deep, mid, low), (200, 100, 50));
+        assert!(deep > mid && mid > low);
+        // never zero: a caller always waits out the current permit holder
+        assert_eq!(busy_hint(0, 500, 10, 2, 200), 50);
+    }
+
+    #[test]
+    fn busy_hint_now_tracks_recorded_service() {
+        let s = ServeStats::default();
+        // nothing observed -> exact fallback
+        assert_eq!(s.busy_hint_now(3, 4, 123), 123);
+        s.record_service(40);
+        s.record_service(60);
+        s.decode_inflight.store(8, Ordering::Relaxed);
+        // mean 50 ms, 8 in flight + 2 extra waiting over 4 permits
+        assert_eq!(s.busy_hint_now(2, 4, 123), 150);
+        s.decode_inflight.store(0, Ordering::Relaxed);
+        assert_eq!(s.busy_hint_now(0, 4, 123), 50);
     }
 
     #[test]

@@ -20,6 +20,26 @@
 //! dataset share that dataset's [`DatasetService`] decode store — the
 //! decode-once property crosses the socket untouched.
 //!
+//! **Round coalescing**: when [`ServerConfig::coalesce`] is on, eligible
+//! retrieves (store-backed session, no byte budget in play, no progress
+//! save) that arrive within one [`ServerConfig::coalesce_window_ms`]
+//! gathering window form a *round*. One leader merges the batch with
+//! [`merge_requests`], executes the union through the shared store under a
+//! **single** decode permit, and every participant (leader included) then
+//! *projects* its reply straight from the round's per-target reports and
+//! the shared round session — no decode gate, no per-client re-execution.
+//! Projection is exact for the certified quantities: the union contains
+//! every member target at its own tolerance (deduplicated by wire
+//! identity), so each member's `satisfied`/`tol_abs`/`max_est_error` are
+//! the union execution's own numbers for that target, and requested value
+//! arrays read the identical reconstruction any member execution would
+//! have adopted. The *accounting* fields of a coalesced reply
+//! (`iterations`, `bytes_fetched`, `total_fetched`, store deltas) are
+//! round-level: they describe the one union execution that served the
+//! whole round, not a per-client share. A round that cannot get a permit,
+//! whose union fails, or whose reply cannot be projected (defensive
+//! fallback) degrades to individual gated execution.
+//!
 //! Failure policy: malformed frames and failed requests get an `Error`
 //! frame (the connection survives request-level errors, dies on framing
 //! desync); a peer that vanishes mid-request is counted and forgotten.
@@ -29,13 +49,15 @@
 use crate::metrics::{DatasetStats, ServeStats, StatsSnapshot};
 use crate::wire::{self, BusyBody, OpenInfo, ResumeBody, RetrieveBody};
 use pqr_core::archive::{Archive, DatasetService, Session};
+use pqr_core::prelude::PlanReport;
 use pqr_core::prelude::StoreBudget;
+use pqr_core::request::{merge_requests, RequestTarget, RetrievalRequest, ToleranceMode};
 use pqr_transfer::wire::{decode_header, io_err, write_frame, HEADER_LEN};
 use pqr_util::error::{PqrError, Result};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -63,13 +85,23 @@ pub struct ServerConfig {
     pub idle_timeout_ms: u64,
     /// Per-connection cap on newly fetched source bytes, across all of
     /// the connection's retrieves. The cap rides the existing
-    /// [`RetrievalRequest`](pqr_core::request::RetrievalRequest) budget
+    /// [`RetrievalRequest`] budget
     /// field, so an exceeded budget returns a partial result with its
     /// certified bound — never an error.
     pub client_byte_budget: Option<usize>,
     /// Per-connection wall-clock budget. Retrieves arriving after it has
     /// elapsed are refused with an `InvalidRequest` error frame.
     pub client_time_budget_ms: Option<u64>,
+    /// Coalesce concurrently arriving retrieves of one dataset into union
+    /// rounds (see the module docs). Budgeted requests, budgeted
+    /// connections, and resumed sessions always bypass coalescing.
+    pub coalesce: bool,
+    /// How long a round leader holds its gathering window open for more
+    /// arrivals before executing.
+    pub coalesce_window_ms: u64,
+    /// Close the gathering window early once this many requests have
+    /// joined the round (clamped to ≥ 2).
+    pub coalesce_min_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -84,15 +116,103 @@ impl Default for ServerConfig {
             idle_timeout_ms: 300_000,
             client_byte_budget: None,
             client_time_budget_ms: None,
+            coalesce: true,
+            coalesce_window_ms: 3,
+            coalesce_min_batch: 2,
         }
     }
 }
 
-/// One registered dataset: the archive (for resume replay) and its
-/// shared-store service (for live sessions).
+/// One registered dataset: the archive (for resume replay), its
+/// shared-store service (for live sessions), and the coalescing state its
+/// concurrent retrieves gather on.
 struct RegEntry {
     archive: Archive,
     service: DatasetService,
+    coalescer: Coalescer,
+}
+
+/// Cross-client round-coalescing state of one dataset (see the module
+/// docs). A round's lifecycle: a leader opens a gathering window
+/// (`gathering = true`), concurrent arrivals push their requests and wait,
+/// the leader closes the window atomically (taking the whole batch),
+/// executes the union once, records the round's outcome, and wakes the
+/// members.
+struct Coalescer {
+    state: Mutex<CoState>,
+    cv: Condvar,
+    /// The session union rounds execute on, created lazily so datasets
+    /// that never coalesce pay nothing. Holding its lock across the union
+    /// also serialises rounds per dataset.
+    round_session: Mutex<Option<Session>>,
+}
+
+struct CoState {
+    /// Id of the round currently (or next) gathering.
+    round: u64,
+    /// True while a leader's gathering window is open.
+    gathering: bool,
+    /// Requests gathered for the current round, leader's own included.
+    requests: Vec<RetrievalRequest>,
+    /// `(round, union result)` of recently executed rounds — `None` marks
+    /// a failed union. Bounded: a member that wakes late must still find
+    /// its round's outcome here.
+    outcomes: VecDeque<(u64, Option<Arc<RoundShare>>)>,
+}
+
+/// What a successful union round publishes to its members: the union
+/// request (target identities, in execution order) and the union
+/// execution's report (per-target outcomes aligned with those targets).
+/// Members project their replies from this instead of re-executing.
+struct RoundShare {
+    union: RetrievalRequest,
+    report: PlanReport,
+    /// When the round's decode permit was granted. A member's reported
+    /// `queue_wait_ms` runs from its own arrival to this instant — once
+    /// the union executes, the member's work *is* being serviced, which
+    /// mirrors uncoalesced semantics (permit wait, not execution).
+    granted: Instant,
+}
+
+/// What role a retrieve played in coalescing, decided by [`join_round`].
+enum CoRole {
+    /// Opened and closed a gathering window with ≥ 2 requests: execute the
+    /// union, then project its own reply from the result.
+    Leader {
+        round: u64,
+        batch: Vec<RetrievalRequest>,
+    },
+    /// Rode a round whose union executed: project the reply.
+    Shared(Arc<RoundShare>),
+    /// No round formed (solo window, failed union, or vanished leader):
+    /// execute individually through the decode gate.
+    Solo,
+}
+
+impl Coalescer {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(CoState {
+                round: 0,
+                gathering: false,
+                requests: Vec::new(),
+                outcomes: VecDeque::new(),
+            }),
+            cv: Condvar::new(),
+            round_session: Mutex::new(None),
+        }
+    }
+
+    /// Publishes a round's outcome and wakes every member waiting on it.
+    fn record_outcome(&self, round: u64, share: Option<Arc<RoundShare>>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.outcomes.len() >= 8 {
+            st.outcomes.pop_front();
+        }
+        st.outcomes.push_back((round, share));
+        drop(st);
+        self.cv.notify_all();
+    }
 }
 
 /// The server's dataset registry: name → [`DatasetService`] (plus the
@@ -132,8 +252,14 @@ impl Registry {
             Some(budget) => archive.service_with_budget(Arc::clone(budget))?,
             None => archive.service()?,
         };
-        self.entries
-            .insert(name.to_string(), Arc::new(RegEntry { archive, service }));
+        self.entries.insert(
+            name.to_string(),
+            Arc::new(RegEntry {
+                archive,
+                service,
+                coalescer: Coalescer::new(),
+            }),
+        );
         Ok(())
     }
 
@@ -258,6 +384,32 @@ impl ConnQueue {
         self.closed.store(true, Ordering::Release);
         self.cv.notify_all();
     }
+
+    /// Connections currently queued (the admission-shed hint's queue-depth
+    /// input).
+    fn len(&self) -> usize {
+        self.q.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// Decrements a gauge on every exit path (the decode-inflight counterpart
+/// of [`Permit`]).
+struct GaugeGuard<'a>(&'a AtomicU64);
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// What a connection's `open`/`resume` frame bound: the session, its
+/// dataset entry, and whether the session rides the dataset's shared
+/// decode store (live `open`) or an independent replay engine (`resume`).
+/// Only shared-store sessions are coalescing-eligible.
+struct ConnSession {
+    session: Session,
+    entry: Arc<RegEntry>,
+    shared_store: bool,
 }
 
 /// State shared by the accept loop and every worker.
@@ -403,7 +555,11 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                             .set_write_timeout(Some(Duration::from_millis(200)))
                             .ok();
                         let body = BusyBody {
-                            retry_after_ms: shared.config.retry_after_ms,
+                            retry_after_ms: shared.stats.busy_hint_now(
+                                shared.queue.len() as u64,
+                                shared.config.decode_permits.max(1) as u64,
+                                shared.config.retry_after_ms,
+                            ),
                             reason: "admission queue full".into(),
                         };
                         if let Ok(n) = write_frame(&mut rejected, wire::BUSY, &body.to_bytes()) {
@@ -484,7 +640,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     stream.set_write_timeout(Some(io_timeout)).ok();
 
     let opened_at = Instant::now();
-    let mut session: Option<(Session, Arc<RegEntry>)> = None;
+    let mut session: Option<ConnSession> = None;
     let mut byte_budget_left = shared.config.client_byte_budget;
 
     loop {
@@ -534,10 +690,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     RetrieveOutcome::Ok(report) => {
                         send_result(&mut stream, shared, wire::RETRIEVE_OK, Ok(report))
                     }
-                    RetrieveOutcome::Busy => {
+                    RetrieveOutcome::Busy(retry_after_ms) => {
                         ServeStats::inc(&shared.stats.shed_busy);
                         let body = BusyBody {
-                            retry_after_ms: shared.config.retry_after_ms,
+                            retry_after_ms,
                             reason: "decode pool saturated".into(),
                         };
                         send_frame(&mut stream, shared, wire::BUSY, &body.to_bytes())
@@ -578,22 +734,36 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn open_session(body: &[u8], shared: &Shared) -> Result<(OpenInfo, (Session, Arc<RegEntry>))> {
+fn open_session(body: &[u8], shared: &Shared) -> Result<(OpenInfo, ConnSession)> {
     let mut r = pqr_util::byteio::ByteReader::new(body);
     let name = wire::get_name(&mut r)?;
     let entry = shared.registry.get(&name)?;
     let session = entry.service.session()?;
-    Ok((open_info(entry), (session, Arc::clone(entry))))
+    Ok((
+        open_info(entry),
+        ConnSession {
+            session,
+            entry: Arc::clone(entry),
+            shared_store: true,
+        },
+    ))
 }
 
-fn resume_session(body: &[u8], shared: &Shared) -> Result<(OpenInfo, (Session, Arc<RegEntry>))> {
+fn resume_session(body: &[u8], shared: &Shared) -> Result<(OpenInfo, ConnSession)> {
     let req = ResumeBody::from_bytes(body)?;
     let entry = shared.registry.get(&req.dataset)?;
     // resumed sessions replay their saved trajectory on an independent
     // engine (deterministic byte accounting); they share the dataset's
     // fragment source but not its decode store — see DIVERGENCES.md
     let session = entry.archive.resume_session(&req.progress)?;
-    Ok((open_info(entry), (session, Arc::clone(entry))))
+    Ok((
+        open_info(entry),
+        ConnSession {
+            session,
+            entry: Arc::clone(entry),
+            shared_store: false,
+        },
+    ))
 }
 
 fn open_info(entry: &RegEntry) -> OpenInfo {
@@ -612,14 +782,206 @@ fn open_info(entry: &RegEntry) -> OpenInfo {
 
 enum RetrieveOutcome {
     Ok(Vec<u8>),
-    Busy,
+    /// Shed at the decode gate; carries the retry-after hint.
+    Busy(u64),
     Err(PqrError),
+}
+
+/// Joins (or opens) the dataset's current coalescing round. Blocks for at
+/// most the gathering window as a leader, or until the round's outcome is
+/// recorded as a member.
+fn join_round(shared: &Shared, co: &Coalescer, request: &RetrievalRequest) -> CoRole {
+    let window = Duration::from_millis(shared.config.coalesce_window_ms);
+    let min_batch = shared.config.coalesce_min_batch.max(2);
+    let mut st = co.state.lock().unwrap_or_else(|e| e.into_inner());
+    if !st.gathering {
+        // leader: open a gathering window, close it early on min_batch
+        st.gathering = true;
+        let round = st.round;
+        st.requests.push(request.clone());
+        let start = Instant::now();
+        while st.requests.len() < min_batch {
+            let elapsed = start.elapsed();
+            if elapsed >= window {
+                break;
+            }
+            st = co
+                .cv
+                .wait_timeout(st, window - elapsed)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        // close the round atomically: every request pushed so far belongs
+        // to it, and nothing can join after this point
+        st.gathering = false;
+        st.round += 1;
+        let batch = std::mem::take(&mut st.requests);
+        drop(st);
+        if batch.len() < 2 {
+            CoRole::Solo
+        } else {
+            CoRole::Leader { round, batch }
+        }
+    } else {
+        // member: ride the open round and wait for its outcome
+        let round = st.round;
+        st.requests.push(request.clone());
+        co.cv.notify_all(); // the leader may be waiting for min_batch
+        let cap = Duration::from_millis(shared.config.io_timeout_ms.max(1_000));
+        let start = Instant::now();
+        loop {
+            if let Some((_, share)) = st.outcomes.iter().find(|(r, _)| *r == round) {
+                return match share {
+                    Some(s) => CoRole::Shared(Arc::clone(s)),
+                    None => CoRole::Solo,
+                };
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= cap {
+                // the leader vanished (panicked mid-round): serve
+                // individually rather than hang
+                return CoRole::Solo;
+            }
+            st = co
+                .cv
+                .wait_timeout(st, cap - elapsed)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+}
+
+/// Executes a round's union request through the shared store under one
+/// decode permit, records the outcome, and wakes the members. Returns the
+/// round's share on success (members project their replies from it).
+fn run_union(
+    shared: &Shared,
+    entry: &RegEntry,
+    round: u64,
+    batch: &[RetrievalRequest],
+) -> Option<Arc<RoundShare>> {
+    ServeStats::inc(&shared.stats.decode_inflight);
+    let share = {
+        let _gauge = GaugeGuard(&shared.stats.decode_inflight);
+        let wait = Duration::from_millis(shared.config.busy_wait_ms);
+        match shared.permits.acquire_timeout(wait) {
+            None => None,
+            Some(_queued) => {
+                let _permit = Permit(&shared.permits);
+                let granted = Instant::now();
+                let union = merge_requests(batch);
+                let mut guard = entry
+                    .coalescer
+                    .round_session
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                if guard.is_none() {
+                    *guard = entry.service.session().ok();
+                }
+                let share = match guard.as_mut() {
+                    Some(s) => s.execute(&union).ok().map(|report| {
+                        Arc::new(RoundShare {
+                            union,
+                            report,
+                            granted,
+                        })
+                    }),
+                    None => None,
+                };
+                // the union execution is the round's real service work;
+                // feed it to the dynamic Busy hint once per round
+                if share.is_some() {
+                    shared
+                        .stats
+                        .record_service(granted.elapsed().as_millis() as u64);
+                }
+                share
+            }
+        }
+    };
+    if share.is_some() {
+        ServeStats::inc(&shared.stats.coalesced_rounds);
+        ServeStats::add(&shared.stats.coalesced_requests, batch.len() as u64);
+    } else {
+        ServeStats::inc(&shared.stats.coalesce_fallbacks);
+    }
+    entry.coalescer.record_outcome(round, share.clone());
+    share
+}
+
+/// Builds a member's reply from its round's [`RoundShare`] — the
+/// "K cheap reply projections" side of coalescing. Every member target is
+/// present in the union at its own tolerance (that is [`merge_requests`]'s
+/// dedup key), so the union's per-target report *is* the member's report
+/// for the certified quantities; requested value arrays read the shared
+/// round session, whose reconstruction is exactly what a member execution
+/// would have adopted. Returns `None` (caller degrades to individual
+/// execution) if a target cannot be matched or the round session is gone.
+fn project_reply(
+    req: &RetrieveBody,
+    share: &RoundShare,
+    entry: &RegEntry,
+) -> Option<crate::client::RemoteReport> {
+    fn key(t: &RequestTarget) -> (&str, u64, bool, Option<(usize, usize)>) {
+        (
+            t.name.as_str(),
+            t.tolerance.to_bits(),
+            t.mode == ToleranceMode::Absolute,
+            t.region,
+        )
+    }
+    let mut targets = Vec::with_capacity(req.request.targets().len());
+    for t in req.request.targets() {
+        let idx = share
+            .union
+            .targets()
+            .iter()
+            .position(|u| key(u) == key(t))?;
+        targets.push(&share.report.targets[idx]);
+    }
+    let mut values = BTreeMap::new();
+    if !req.want_values.is_empty() {
+        let guard = entry
+            .coalescer
+            .round_session
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let session = guard.as_ref()?;
+        for name in &req.want_values {
+            values.insert(name.clone(), session.qoi_values(name).ok()?);
+        }
+    }
+    Some(crate::client::RemoteReport {
+        satisfied: targets.iter().all(|t| t.satisfied),
+        budget_exhausted: false, // budgeted requests never coalesce
+        // round-level accounting: the one union execution that served
+        // this round (see the module docs)
+        iterations: share.report.iterations as u64,
+        bytes_fetched: share.report.bytes_fetched as u64,
+        total_fetched: share.report.total_fetched as u64,
+        shared_bytes_saved: share.report.shared_bytes_saved as u64,
+        queue_wait_ms: 0, // filled by the caller
+        store_fragments_decoded: share.report.store_fragments_decoded,
+        store_refine_reuses: share.report.store_refine_reuses,
+        targets: targets
+            .iter()
+            .map(|t| crate::client::RemoteTarget {
+                name: t.name.clone(),
+                satisfied: t.satisfied,
+                tol_abs: t.tol_abs,
+                max_est_error: t.max_est_error,
+                bytes: t.bytes as u64,
+            })
+            .collect(),
+        values,
+        progress: None, // progress saves never coalesce
+    })
 }
 
 fn run_retrieve(
     body: &[u8],
     shared: &Shared,
-    session: &mut Option<(Session, Arc<RegEntry>)>,
+    session: &mut Option<ConnSession>,
     byte_budget_left: &mut Option<usize>,
     opened_at: Instant,
 ) -> RetrieveOutcome {
@@ -627,7 +989,7 @@ fn run_retrieve(
         Ok(r) => r,
         Err(e) => return RetrieveOutcome::Err(e),
     };
-    let Some((session, _entry)) = session.as_mut() else {
+    let Some(conn) = session.as_mut() else {
         return RetrieveOutcome::Err(PqrError::InvalidRequest(
             "no open session (send an open or resume frame first)".into(),
         ));
@@ -640,15 +1002,66 @@ fn run_retrieve(
         }
     }
 
+    // coalescing eligibility: byte budgets change what a request fetches,
+    // so budgeted requests (and budgeted connections) always run solo, as
+    // do resumed sessions (independent replay engines) and progress saves
+    // (a projected reply would not advance this connection's session)
+    let eligible = shared.config.coalesce
+        && conn.shared_store
+        && req.request.budget().is_none()
+        && byte_budget_left.is_none()
+        && !req.save_progress;
+
+    let gate_start = Instant::now();
+    let mut round_share = None;
+    if eligible {
+        match join_round(shared, &conn.entry.coalescer, &req.request) {
+            CoRole::Leader { round, batch } => {
+                round_share = run_union(shared, &conn.entry, round, &batch);
+            }
+            CoRole::Shared(share) => round_share = Some(share),
+            CoRole::Solo => {}
+        }
+    }
+    // coalesced fast path: project the reply from the round's result —
+    // no decode gate, no per-client execution
+    if let Some(share) = &round_share {
+        if let Some(mut remote) = project_reply(&req, share, &conn.entry) {
+            // admission wait only: gather window + the round's permit
+            // wait; the union execution itself was this request being
+            // serviced (its cost is recorded once per round)
+            let queue_wait_ms = share
+                .granted
+                .saturating_duration_since(gate_start)
+                .as_millis() as u64;
+            shared.stats.record_queue_wait(queue_wait_ms);
+            ServeStats::inc(&shared.stats.retrieves);
+            remote.queue_wait_ms = queue_wait_ms;
+            return RetrieveOutcome::Ok(remote.to_bytes());
+        }
+        // defensive: a target failed to match its round's union — run the
+        // request individually through the gate instead
+    }
     // the decode gate: bounded wait, then an explicit shed
-    let wait = Duration::from_millis(shared.config.busy_wait_ms);
-    let Some(queued_for) = shared.permits.acquire_timeout(wait) else {
-        return RetrieveOutcome::Busy;
+    let _gate = {
+        ServeStats::inc(&shared.stats.decode_inflight);
+        let gauge = GaugeGuard(&shared.stats.decode_inflight);
+        let wait = Duration::from_millis(shared.config.busy_wait_ms);
+        let Some(_queued) = shared.permits.acquire_timeout(wait) else {
+            let hint = shared.stats.busy_hint_now(
+                0,
+                shared.config.decode_permits.max(1) as u64,
+                shared.config.retry_after_ms,
+            );
+            return RetrieveOutcome::Busy(hint);
+        };
+        (Permit(&shared.permits), gauge)
     };
-    let _permit = Permit(&shared.permits);
-    let queue_wait_ms = queued_for.as_millis() as u64;
+    let queue_wait_ms = gate_start.elapsed().as_millis() as u64;
     shared.stats.record_queue_wait(queue_wait_ms);
     ServeStats::inc(&shared.stats.retrieves);
+    let session = &mut conn.session;
+    let exec_start = Instant::now();
 
     // per-client byte budget rides the request's own budget field: the
     // effective cap is the tighter of the two, and exhaustion is a
@@ -682,6 +1095,10 @@ fn run_retrieve(
         }
     }
     let progress = req.save_progress.then(|| session.save_progress());
+    // the observed per-request service time feeds the dynamic Busy hint
+    shared
+        .stats
+        .record_service(exec_start.elapsed().as_millis() as u64);
 
     let remote = crate::client::RemoteReport {
         satisfied: report.satisfied,

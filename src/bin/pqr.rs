@@ -85,13 +85,18 @@ USAGE:
                [--workers N] [--queue N] [--permits N]
                [--busy-wait MS] [--retry-after MS]
                [--byte-budget BYTES] [--time-budget MS]
-               [--store-budget BYTES]
+               [--store-budget BYTES] [--coalesce on|off]
+               [--coalesce-window MS] [--coalesce-batch N]
                (serves the registered archives over TCP; all clients of a
                dataset share its decode store; --store-budget caps decoded
                store state across ALL datasets — k/m/g suffixes, 0 =
                unbounded, unset defers to PQR_STORE_BUDGET — evicting cold
                fields to their progress markers and rehydrating them
-               bit-identically on demand; prints the bound address,
+               bit-identically on demand; --coalesce (default on) groups
+               concurrently arriving retrieves of one dataset into union
+               rounds executed once under a single decode permit, with
+               --coalesce-window ms of gathering and early close at
+               --coalesce-batch requests; prints the bound address,
                runs until a client sends `--shutdown`)
   pqr client ADDR --dataset NAME (--qoi NAME=TOL)...
                [--budget BYTES] [--values NAME [--out PATH]]
@@ -762,6 +767,23 @@ fn cmd_serve(args: &[String]) -> Result<()> {
     if let Some(v) = parse_u64_flag(&flags, "--time-budget")? {
         config.client_time_budget_ms = Some(v);
     }
+    if let Some(v) = flags.get("--coalesce") {
+        config.coalesce = match v {
+            "on" => true,
+            "off" => false,
+            other => {
+                return Err(PqrError::InvalidRequest(format!(
+                    "--coalesce takes on|off, got '{other}'"
+                )))
+            }
+        };
+    }
+    if let Some(v) = parse_u64_flag(&flags, "--coalesce-window")? {
+        config.coalesce_window_ms = v;
+    }
+    if let Some(v) = parse_u64_flag(&flags, "--coalesce-batch")? {
+        config.coalesce_min_batch = v as usize;
+    }
 
     let server = Server::start(listen, registry, config)?;
     // scripts parse this line to learn the ephemeral port — keep it stable
@@ -814,6 +836,13 @@ fn cmd_client(args: &[String]) -> Result<()> {
         println!(
             "wire: {} B in  {} B out   queue wait {} ms total, {} ms max",
             stats.bytes_in, stats.bytes_out, stats.queue_wait_ms_total, stats.queue_wait_ms_max
+        );
+        println!(
+            "coalesce: {} rounds  {} requests  {} fallbacks   service {} ms total",
+            stats.coalesced_rounds,
+            stats.coalesced_requests,
+            stats.coalesce_fallbacks,
+            stats.service_ms_total
         );
         for d in &stats.datasets {
             println!(
