@@ -17,16 +17,22 @@
 //!   streamed to disk via `Dataset::refactor_to_path`, scalar kernels
 //!   serial without overlap (the pre-acceleration ingest) vs word kernels
 //!   at `threads` workers with the overlapped archive-write stage.
+//! * **reconstruct** — the full-field rebuild after a deep 2-D PMGARD
+//!   retrieve: pencil-parallel recompose at `threads` workers vs the
+//!   serial pass (`speedup_par`), plus the memoized repeat round — a
+//!   same-bound refinement served from the cached reconstruction —
+//!   against the cold rebuild (`speedup_memo`).
 //!
 //! Sizes scale with `PQR_SCALE`; the output path can be overridden with
 //! `PQR_BENCH_OUT`.
 
 use pqr_bench::scaled;
 use pqr_mgard::bitplane::{encode_level, encode_level_scalar, LevelDecoder};
+use pqr_mgard::{Basis, MgardRefactorer};
 use pqr_progressive::engine::{EngineConfig, QoiSpec, RetrievalEngine};
 use pqr_progressive::field::Dataset;
 use pqr_progressive::fragstore::FileSource;
-use pqr_progressive::refactored::Scheme;
+use pqr_progressive::refactored::{RefactoredField, Scheme};
 use pqr_qoi::library::{species_product, velocity_magnitude};
 use pqr_qoi::QoiExpr;
 use pqr_zfp::{ZfpCursor, ZfpRefactorer};
@@ -204,11 +210,41 @@ fn main() {
     let ingest_word_par_ms = ingest(false, THREADS, true); // full write stack
     std::fs::remove_file(&ingest_path).ok();
 
+    // --- reconstruct arm -------------------------------------------------
+    // a deep 2-D retrieve is reconstruct-heavy: every refinement round used
+    // to pay one full-field recompose over [side, side]
+    let side = (scaled(262_144) as f64).sqrt().round() as usize;
+    let rdata = coeffs(side * side);
+    let stream = MgardRefactorer::new(Basis::Hierarchical)
+        .refactor(&rdata, &[side, side])
+        .unwrap();
+    let mut mreader = stream.reader();
+    mreader.refine_to(0.0).unwrap(); // fetch every plane: the deepest retrieve
+    let mut rbuf = Vec::new();
+    let recon_serial_ms = best_ms(|| mreader.reconstruct_into(&mut rbuf, 1));
+    let recon_par_ms = best_ms(|| mreader.reconstruct_into(&mut rbuf, THREADS));
+
+    // memoized repeat round: the first refine decodes and rebuilds (cold);
+    // asking for the same bound again must be answered from the cached
+    // reconstruction without touching the recompose pipeline
+    let rf = RefactoredField::refactor(Scheme::PmgardHb, &rdata, &[side, side]).unwrap();
+    let eb = 1e-6 * rf.max_abs();
+    let mut freader = rf.reader();
+    freader.set_workers(THREADS);
+    let t0 = Instant::now();
+    freader.refine_to(eb).unwrap();
+    let recon_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let recon_memo_ms = best_ms(|| freader.refine_to(eb).unwrap()).max(1e-6);
+    assert!(
+        freader.recon_cache_hits() > 0,
+        "repeat rounds must hit the reconstruction cache"
+    );
+
     // --- report ----------------------------------------------------------
     let out_path =
         std::env::var("PQR_BENCH_OUT").unwrap_or_else(|_| "BENCH_decode.json".to_string());
     let json = format!(
-        "{{\n  \"schema\": \"pqr-bench-decode/2\",\n  \"scale\": {},\n  \
+        "{{\n  \"schema\": \"pqr-bench-decode/3\",\n  \"scale\": {},\n  \
          \"kernel_elements\": {n_kernel},\n  \"retrieve_elements_per_field\": {n},\n  \
          \"fields\": 6,\n  \"threads\": {THREADS},\n  \"kernel\": {{\n{},\n{},\n{},\n{}\n  }},\n  \
          \"end_to_end\": {{\n    \"scalar_seq_ms\": {:.1},\n    \"word_seq_ms\": {:.1},\n    \
@@ -216,7 +252,11 @@ fn main() {
          \"speedup_word_par\": {:.2},\n    \"overlap_saved_ms\": {}\n  }},\n  \
          \"ingest\": {{\n    \"scalar_seq_ms\": {:.1},\n    \"word_par_ms\": {:.1},\n    \
          \"scalar_seq_fields_per_s\": {:.2},\n    \"word_par_fields_per_s\": {:.2},\n    \
-         \"speedup\": {:.2}\n  }}\n}}\n",
+         \"speedup\": {:.2}\n  }},\n  \
+         \"reconstruct\": {{\n    \"elements\": {},\n    \"cores\": {},\n    \
+         \"serial_ms\": {:.2},\n    \
+         \"par_ms\": {:.2},\n    \"speedup_par\": {:.2},\n    \"cold_round_ms\": {:.2},\n    \
+         \"memo_round_ms\": {:.4},\n    \"speedup_memo\": {:.1}\n  }}\n}}\n",
         pqr_bench::scale(),
         json_kernel("mgard_encode", mgard_encode),
         json_kernel("mgard_decode", mgard_decode),
@@ -233,6 +273,14 @@ fn main() {
         6e3 / ingest_scalar_seq_ms,
         6e3 / ingest_word_par_ms,
         ingest_scalar_seq_ms / ingest_word_par_ms,
+        side * side,
+        std::thread::available_parallelism().map_or(1, |c| c.get()),
+        recon_serial_ms,
+        recon_par_ms,
+        recon_serial_ms / recon_par_ms,
+        recon_cold_ms,
+        recon_memo_ms,
+        recon_cold_ms / recon_memo_ms,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_decode.json");
     print!("{json}");

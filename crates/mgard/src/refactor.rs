@@ -3,7 +3,7 @@
 use crate::bitplane::{encode_level, encode_level_scalar, EncodedLevel, PLANES};
 use crate::hierarchy::{level_coefficient_count, level_strides};
 use crate::retrieve::MgardReader;
-use crate::transform::{decompose, gather_level, Basis};
+use crate::transform::{decompose_with_workers, gather_level, Basis};
 use pqr_util::byteio::{ByteReader, ByteWriter};
 use pqr_util::error::{PqrError, Result};
 
@@ -43,11 +43,12 @@ impl MgardRefactorer {
         self.refactor_impl(data, dims, 1, true)
     }
 
-    /// [`MgardRefactorer::refactor`] with the per-level bitplane encodes
-    /// fanned out to `workers` threads (1 = exactly the serial loop). The
-    /// decomposition itself stays serial — levels depend on each other —
-    /// but the encode of each level's coefficient set is independent, so
-    /// the stream is byte-identical at any worker count.
+    /// [`MgardRefactorer::refactor`] with both stages fanned out to
+    /// `workers` threads (1 = exactly the serial loop): the decomposition's
+    /// axis passes run pencil-parallel (levels depend on each other, but
+    /// the lines within a pass do not — and the parallel passes are
+    /// bit-identical to serial), and each level's bitplane encode is
+    /// independent, so the stream is byte-identical at any worker count.
     pub fn refactor_with_workers(
         &self,
         data: &[f64],
@@ -86,7 +87,15 @@ impl MgardRefactorer {
             ));
         }
         let mut work = data.to_vec();
-        decompose(&mut work, dims, self.basis);
+        // the pencil-parallel passes are bit-identical to serial, so the
+        // stream stays byte-identical at any worker count; the scalar
+        // cross-check path pins workers to 1 (the serial oracle)
+        decompose_with_workers(
+            &mut work,
+            dims,
+            self.basis,
+            if scalar { 1 } else { workers },
+        );
         let root = work[0];
         let strides = level_strides(dims);
         let levels = if scalar {

@@ -12,7 +12,7 @@ use crate::bitplane::LevelDecoder;
 use crate::error_est::{level_weight, recon_bound};
 use crate::hierarchy::level_strides;
 use crate::refactor::{MgardMeta, MgardStream};
-use crate::transform::{recompose, scatter_level, Basis};
+use crate::transform::{recompose_with_workers, scatter_level, Basis};
 use pqr_util::error::Result;
 
 /// Push-based progressive decoder over [`MgardMeta`].
@@ -163,18 +163,30 @@ impl MgardCursor {
 
     /// Recomposes the data representation from the planes consumed so far.
     pub fn reconstruct(&self) -> Vec<f64> {
+        let mut v = Vec::new();
+        self.reconstruct_into(&mut v, 1);
+        v
+    }
+
+    /// [`MgardCursor::reconstruct`] into a caller-provided (pooled) buffer,
+    /// with the recompose passes fanned across `workers` threads — the
+    /// result is bit-identical at every worker count (see
+    /// [`crate::transform::recompose_with_workers`]). Reusing `out` across
+    /// refinement rounds removes the per-round full-field allocation.
+    /// Returns the number of recompose passes executed.
+    pub fn reconstruct_into(&self, out: &mut Vec<f64>, workers: usize) -> u64 {
         let dims = self.meta.dims();
         let n: usize = dims.iter().product();
+        out.clear();
+        out.resize(n, 0.0);
         if n == 0 {
-            return Vec::new();
+            return 0;
         }
-        let mut v = vec![0.0f64; n];
-        v[0] = self.meta.root();
+        out[0] = self.meta.root();
         for (l, &s) in level_strides(dims).iter().enumerate() {
-            scatter_level(&mut v, dims, s, &self.decoders[l].coefficients());
+            scatter_level(out, dims, s, &self.decoders[l].coefficients());
         }
-        recompose(&mut v, dims, self.meta.basis());
-        v
+        recompose_with_workers(out, dims, self.meta.basis(), workers)
     }
 
     /// Progression in **resolution** (the other PMGARD axis, §II): drops the
@@ -187,50 +199,50 @@ impl MgardCursor {
     /// so a precision-progressive reader can later upgrade the same bytes
     /// to full resolution (the PMGARD "both progressions" property).
     pub fn reconstruct_at_resolution(&self, drop_finest: usize) -> (Vec<f64>, Vec<usize>) {
+        let mut out = Vec::new();
+        let coarse_dims = self.reconstruct_at_resolution_into(drop_finest, &mut out, 1);
+        (out, coarse_dims)
+    }
+
+    /// [`MgardCursor::reconstruct_at_resolution`] into a caller-provided
+    /// buffer with `workers`-way recompose. The multilevel hierarchy is
+    /// self-similar, so the coarse view is recomposed **directly on the
+    /// coarse grid**: the kept levels' strides scale down by `2^drop`, which
+    /// preserves every per-axis grid count (`ceil(d/2^k) = (d-1)/2^k + 1`).
+    /// No full-resolution scratch buffer and no sampling pass — and the
+    /// values are bit-identical to recomposing in full and sampling the
+    /// subgrid, because a dropped level's interpolation pass writes only
+    /// non-subgrid points and its correction solves an all-zero load (an
+    /// exact no-op on the coarse nodes). Returns the coarse dims.
+    pub fn reconstruct_at_resolution_into(
+        &self,
+        drop_finest: usize,
+        out: &mut Vec<f64>,
+        workers: usize,
+    ) -> Vec<usize> {
         let dims = self.meta.dims();
         let n: usize = dims.iter().product();
         if n == 0 {
-            return (Vec::new(), dims.to_vec());
+            out.clear();
+            return dims.to_vec();
         }
         let levels = level_strides(dims);
         let drop = drop_finest.min(levels.len());
-        // full-resolution scatter, but with the dropped levels' coefficients
-        // left at zero (their fine nodes become pure interpolation)
-        let mut v = vec![0.0f64; n];
-        v[0] = self.meta.root();
-        for (l, &s) in levels.iter().enumerate() {
-            if l >= drop {
-                scatter_level(&mut v, dims, s, &self.decoders[l].coefficients());
-            }
-        }
-        recompose(&mut v, dims, self.meta.basis());
-        // sample the coarse subgrid
         let stride = 1usize << drop;
         let coarse_dims: Vec<usize> = dims.iter().map(|&d| d.div_ceil(stride)).collect();
-        let full_strides = crate::hierarchy::strides(dims);
-        let mut out = Vec::with_capacity(coarse_dims.iter().product());
-        let mut coord = vec![0usize; dims.len()];
-        'outer: loop {
-            let idx: usize = coord
-                .iter()
-                .zip(&full_strides)
-                .map(|(c, k)| c * stride * k)
-                .sum();
-            out.push(v[idx]);
-            let mut a = dims.len();
-            loop {
-                if a == 0 {
-                    break 'outer;
-                }
-                a -= 1;
-                coord[a] += 1;
-                if coord[a] < coarse_dims[a] {
-                    break;
-                }
-                coord[a] = 0;
-            }
+        out.clear();
+        out.resize(coarse_dims.iter().product(), 0.0);
+        out[0] = self.meta.root();
+        for (l, &s) in levels.iter().enumerate().skip(drop) {
+            scatter_level(
+                out,
+                &coarse_dims,
+                s >> drop,
+                &self.decoders[l].coefficients(),
+            );
         }
-        (out, coarse_dims)
+        recompose_with_workers(out, &coarse_dims, self.meta.basis(), workers);
+        coarse_dims
     }
 
     /// The basis of the underlying stream.
@@ -359,6 +371,13 @@ impl<'a> MgardReader<'a> {
     /// Recomposes the data representation from the planes fetched so far.
     pub fn reconstruct(&self) -> Vec<f64> {
         self.cursor.reconstruct()
+    }
+
+    /// [`MgardCursor::reconstruct_into`]: pooled-buffer, `workers`-way
+    /// reconstruction (bit-identical to [`MgardReader::reconstruct`]).
+    /// Returns the number of recompose passes executed.
+    pub fn reconstruct_into(&self, out: &mut Vec<f64>, workers: usize) -> u64 {
+        self.cursor.reconstruct_into(out, workers)
     }
 
     /// Progression in **resolution** — see
@@ -552,6 +571,102 @@ mod tests {
         let c = coarse[2 * 7 + 4];
         let f = full[4 * 13 + 8];
         assert!((c - f).abs() < 0.2, "coarse {c} vs full {f}");
+    }
+
+    #[test]
+    fn reconstruct_into_pooled_and_parallel_bit_identical() {
+        let data = field(20_000);
+        let stream = MgardRefactorer::new(Basis::Orthogonal)
+            .refactor(&data, &[20_000])
+            .unwrap();
+        let mut reader = stream.reader();
+        reader.refine_to(1e-6).unwrap();
+        let serial = reader.reconstruct();
+        // dirty pooled buffer of the wrong size must not leak through
+        let mut buf = vec![1.23f64; 7];
+        for workers in [1usize, 2, 4] {
+            let passes = reader.reconstruct_into(&mut buf, workers);
+            assert!(passes > 0);
+            assert_eq!(buf, serial, "workers={workers}");
+        }
+    }
+
+    /// The pre-optimization resolution path: zero the dropped levels,
+    /// recompose at *full* resolution, sample the subgrid. The direct
+    /// coarse-grid recompose must reproduce it bit for bit.
+    fn resolution_oracle(cursor: &MgardCursor, drop_finest: usize) -> (Vec<f64>, Vec<usize>) {
+        let dims = cursor.meta.dims();
+        let n: usize = dims.iter().product();
+        let levels = level_strides(dims);
+        let drop = drop_finest.min(levels.len());
+        let mut v = vec![0.0f64; n];
+        v[0] = cursor.meta.root();
+        for (l, &s) in levels.iter().enumerate() {
+            if l >= drop {
+                scatter_level(&mut v, dims, s, &cursor.decoders[l].coefficients());
+            }
+        }
+        crate::transform::recompose(&mut v, dims, cursor.meta.basis());
+        let stride = 1usize << drop;
+        let coarse_dims: Vec<usize> = dims.iter().map(|&d| d.div_ceil(stride)).collect();
+        let full_strides = crate::hierarchy::strides(dims);
+        let mut out = Vec::with_capacity(coarse_dims.iter().product());
+        let mut coord = vec![0usize; dims.len()];
+        'outer: loop {
+            let idx: usize = coord
+                .iter()
+                .zip(&full_strides)
+                .map(|(c, k)| c * stride * k)
+                .sum();
+            out.push(v[idx]);
+            let mut a = dims.len();
+            loop {
+                if a == 0 {
+                    break 'outer;
+                }
+                a -= 1;
+                coord[a] += 1;
+                if coord[a] < coarse_dims[a] {
+                    break;
+                }
+                coord[a] = 0;
+            }
+        }
+        (out, coarse_dims)
+    }
+
+    #[test]
+    fn coarse_grid_resolution_matches_full_recompose_sampling() {
+        let data = field(257);
+        for basis in [Basis::Hierarchical, Basis::Orthogonal] {
+            let stream = MgardRefactorer::new(basis).refactor(&data, &[257]).unwrap();
+            let mut reader = stream.reader();
+            reader.refine_to(1e-8).unwrap();
+            for drop in [0usize, 1, 3] {
+                let (coarse, dims) = reader.reconstruct_at_resolution(drop);
+                let (want, want_dims) = resolution_oracle(&reader.cursor, drop);
+                assert_eq!(dims, want_dims, "{basis:?} drop={drop}");
+                assert_eq!(coarse, want, "{basis:?} drop={drop}");
+            }
+            // drop=0 equals the plain full reconstruction exactly
+            let (full_view, _) = reader.reconstruct_at_resolution(0);
+            assert_eq!(full_view, reader.reconstruct(), "{basis:?}");
+        }
+        // and in 2-D, where the subgrid strides differ per axis
+        let data2 = field(20 * 13);
+        for basis in [Basis::Hierarchical, Basis::Orthogonal] {
+            let stream2 = MgardRefactorer::new(basis)
+                .refactor(&data2, &[20, 13])
+                .unwrap();
+            let mut r2 = stream2.reader();
+            r2.refine_to(1e-8).unwrap();
+            for drop in [1usize, 2] {
+                let (coarse2, dims2) = r2.reconstruct_at_resolution(drop);
+                let (want2, want_dims2) = resolution_oracle(&r2.cursor, drop);
+                assert_eq!(dims2, want_dims2, "{basis:?} drop={drop}");
+                assert_eq!(coarse2, want2, "{basis:?} drop={drop}");
+            }
+        }
     }
 
     #[test]

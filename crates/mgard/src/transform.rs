@@ -10,6 +10,8 @@
 
 use crate::hierarchy::{for_each_line, for_each_point, level_strides, strides, PointSet};
 use crate::projection::{load_vector, solve_mass_tridiagonal};
+use pqr_util::bitplane_simd::scalar_kernels;
+use pqr_util::par::{par_dynamic, par_dynamic_mut};
 
 /// Decomposition basis (§V-B of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,38 +47,106 @@ impl Basis {
 /// On return, `data[0]` holds the root nodal value and every other entry
 /// holds the multilevel coefficient of its (level, axis) fine set.
 pub fn decompose(data: &mut [f64], dims: &[usize], basis: Basis) {
+    decompose_with_workers(data, dims, basis, 1);
+}
+
+/// In-place recomposition — the exact inverse of [`decompose`].
+pub fn recompose(data: &mut [f64], dims: &[usize], basis: Basis) {
+    recompose_with_workers(data, dims, basis, 1);
+}
+
+/// [`decompose`] with every axis pass fanned across `workers` threads.
+///
+/// Each pass operates on independent 1-D pencils: the interpolation pass
+/// writes only fine nodes from (unwritten) coarse neighbours, and the L2
+/// correction writes only coarse nodes from per-line solves, so the array is
+/// split into disjoint slabs (plus one copied halo row per slab boundary)
+/// and every written value is computed by exactly the serial arithmetic —
+/// bit-identical to `workers == 1` by construction. `workers <= 1`, small
+/// passes, and `PQR_SCALAR_KERNELS=1` take the scalar serial loops verbatim.
+///
+/// Returns the number of axis passes (interpolation + correction) executed.
+pub fn decompose_with_workers(
+    data: &mut [f64],
+    dims: &[usize],
+    basis: Basis,
+    workers: usize,
+) -> u64 {
     let n: usize = dims.iter().product();
     assert_eq!(data.len(), n, "shape mismatch");
     let st = strides(dims);
+    let workers = effective_workers(workers);
+    let mut passes = 0u64;
     for &s in &level_strides(dims) {
         for axis in (0..dims.len()).rev() {
             if s >= dims[axis] {
                 continue;
             }
-            axis_decompose(data, dims, &st, axis, s);
+            interp_pass(data, dims, &st, axis, s, false, workers);
+            passes += 1;
             if basis == Basis::Orthogonal {
-                apply_correction(data, dims, &st, axis, s, 1.0);
+                correction_pass(data, dims, &st, axis, s, 1.0, workers);
+                passes += 1;
             }
         }
     }
+    passes
 }
 
-/// In-place recomposition — the exact inverse of [`decompose`].
-pub fn recompose(data: &mut [f64], dims: &[usize], basis: Basis) {
+/// [`recompose`] with every axis pass fanned across `workers` threads —
+/// same slab/halo scheme (and the same bit-identical guarantee) as
+/// [`decompose_with_workers`]. Returns the number of axis passes executed.
+pub fn recompose_with_workers(
+    data: &mut [f64],
+    dims: &[usize],
+    basis: Basis,
+    workers: usize,
+) -> u64 {
     let n: usize = dims.iter().product();
     assert_eq!(data.len(), n, "shape mismatch");
     let st = strides(dims);
+    let workers = effective_workers(workers);
+    let mut passes = 0u64;
     for &s in level_strides(dims).iter().rev() {
         for axis in 0..dims.len() {
             if s >= dims[axis] {
                 continue;
             }
             if basis == Basis::Orthogonal {
-                apply_correction(data, dims, &st, axis, s, -1.0);
+                correction_pass(data, dims, &st, axis, s, -1.0, workers);
+                passes += 1;
             }
-            axis_recompose(data, dims, &st, axis, s);
+            interp_pass(data, dims, &st, axis, s, true, workers);
+            passes += 1;
         }
     }
+    passes
+}
+
+/// Worker count after the global scalar-kernel override: `PQR_SCALAR_KERNELS`
+/// pins every pass to the serial oracle (the cross-check harness flips it).
+fn effective_workers(workers: usize) -> usize {
+    if scalar_kernels() {
+        1
+    } else {
+        workers.max(1)
+    }
+}
+
+/// Points a parallel pass must touch before thread fan-out pays for itself.
+const PAR_PASS_MIN: usize = 4096;
+
+/// Fine-node count of the `(axis, s)` pass — the parallel-dispatch guard.
+fn pass_points(dims: &[usize], axis: usize, s: usize) -> usize {
+    let mut p = (dims[axis] - 1 - s) / (2 * s) + 1;
+    for (a, &d) in dims.iter().enumerate() {
+        if a == axis {
+            continue;
+        }
+        let step = if a < axis { s } else { 2 * s };
+        p *= (d - 1) / step + 1;
+    }
+    p
 }
 
 /// Fine-node residual pass: `coef = value − interp(coarse neighbours)`.
@@ -141,6 +211,182 @@ fn apply_correction(
             data[base + 2 * s * j * stride] += sign * wj;
         }
     });
+}
+
+/// One interpolation pass, parallel when it pays: `add == false` is the
+/// decompose residual (`value -= interp`), `add == true` the recompose
+/// inverse (`value += interp`).
+fn interp_pass(
+    data: &mut [f64],
+    dims: &[usize],
+    st: &[usize],
+    axis: usize,
+    s: usize,
+    add: bool,
+    workers: usize,
+) {
+    if workers <= 1 || pass_points(dims, axis, s) < PAR_PASS_MIN {
+        if add {
+            axis_recompose(data, dims, st, axis, s);
+        } else {
+            axis_decompose(data, dims, st, axis, s);
+        }
+        return;
+    }
+    par_interp_pass(data, dims, st, axis, s, add, workers);
+}
+
+/// One slab of a parallel pass: its disjoint slice, first row index along
+/// the active axis, and the copied halo row (the next slab's first row).
+type SlabJob<'a> = (&'a mut [f64], usize, Option<Vec<f64>>);
+
+/// Pencil-parallel interpolation pass.
+///
+/// The pass's index space factors as `prefix + f·stride + suffix`: prefixes
+/// enumerate the (already refined, step `s`) axes before `axis`, suffixes
+/// the (step `2s`) axes after it, and `f` walks the active axis. Each prefix
+/// owns the contiguous block `[P, P + dim·stride)`, which is cut into slabs
+/// at coarse-row boundaries (`f ≡ 0 mod 2s`). A fine row `f` reads only the
+/// coarse rows `f ± s` — never another fine row — so the single cross-slab
+/// read (`f + s` landing on the next slab's first row) is satisfied by a
+/// halo copy taken before any write. Every written value therefore sees
+/// exactly the operands the serial pass sees: bit-identical by construction.
+/// Slabs double as cache blocking for non-contiguous axes — each job walks
+/// a bounded contiguous window instead of striding across the whole field.
+fn par_interp_pass(
+    data: &mut [f64],
+    dims: &[usize],
+    st: &[usize],
+    axis: usize,
+    s: usize,
+    add: bool,
+    workers: usize,
+) {
+    let dim = dims[axis];
+    let stride = st[axis];
+    let prefixes = grid_offsets(dims, st, 0, axis, s);
+    let suffixes = grid_offsets(dims, st, axis + 1, dims.len(), 2 * s);
+    // slab height in rows along the axis: a multiple of 2s sized for a few
+    // slabs per worker across all blocks
+    let coarse_rows = (dim - 1) / (2 * s) + 1;
+    let target = (workers * 4).div_ceil(prefixes.len()).max(1);
+    let span = coarse_rows.div_ceil(target).max(1) * 2 * s;
+
+    // (start, len, first_row) of every slab, ascending by start
+    let mut spec: Vec<(usize, usize, usize)> = Vec::new();
+    for &p in &prefixes {
+        let mut f0 = 0usize;
+        while f0 < dim {
+            let f1 = (f0 + span).min(dim);
+            spec.push((p + f0 * stride, (f1 - f0) * stride, f0));
+            f0 = f1;
+        }
+    }
+    // halo: the first (coarse) row of the next slab, copied before any write
+    let halos: Vec<Option<Vec<f64>>> = spec
+        .iter()
+        .map(|&(start, len, f0)| {
+            let f1 = f0 + len / stride;
+            (f1 < dim).then(|| data[start + len..start + len + stride].to_vec())
+        })
+        .collect();
+    // carve the disjoint slab slices (skipping inter-block gaps when s > 1)
+    let mut jobs: Vec<SlabJob> = Vec::with_capacity(spec.len());
+    let mut rest: &mut [f64] = data;
+    let mut pos = 0usize;
+    for (&(start, len, f0), halo) in spec.iter().zip(halos) {
+        let r = std::mem::take(&mut rest);
+        let (_gap, r) = r.split_at_mut(start - pos);
+        let (slab, tail) = r.split_at_mut(len);
+        jobs.push((slab, f0, halo));
+        rest = tail;
+        pos = start + len;
+    }
+    par_dynamic_mut(&mut jobs, workers, |_, job| {
+        let (slab, f0, halo) = job;
+        let f1 = *f0 + slab.len() / stride;
+        let mut f = *f0 + s;
+        while f < f1 {
+            let row = (f - *f0) * stride;
+            for &u in &suffixes {
+                let i = row + u;
+                let left = slab[i - s * stride];
+                let pred = if f + s < dim {
+                    let right = if f + s < f1 {
+                        slab[i + s * stride]
+                    } else {
+                        halo.as_ref().expect("slab boundary halo")[u]
+                    };
+                    0.5 * (left + right)
+                } else {
+                    left
+                };
+                if add {
+                    slab[i] += pred;
+                } else {
+                    slab[i] -= pred;
+                }
+            }
+            f += 2 * s;
+        }
+    });
+}
+
+/// One L2-correction pass, parallel when it pays: the per-line gather +
+/// tridiagonal solve fans across workers over a read-only borrow (fine
+/// coefficients are never written by this pass), then a serial scatter adds
+/// each line's solved correction to its disjoint coarse nodes — the same
+/// per-line arithmetic, in the same within-line order, as the serial pass.
+fn correction_pass(
+    data: &mut [f64],
+    dims: &[usize],
+    st: &[usize],
+    axis: usize,
+    s: usize,
+    sign: f64,
+    workers: usize,
+) {
+    if workers <= 1 || pass_points(dims, axis, s) < PAR_PASS_MIN {
+        apply_correction(data, dims, st, axis, s, sign);
+        return;
+    }
+    let dim = dims[axis];
+    let stride = st[axis];
+    let n_coarse = (dim - 1) / (2 * s) + 1;
+    let n_fine = (dim - 1 - s) / (2 * s) + 1;
+    let mut bases = Vec::new();
+    for_each_line(dims, axis, s, |base| bases.push(base));
+    let shared: &[f64] = data;
+    let solved = par_dynamic(bases.len(), workers, |i| {
+        let base = bases[i];
+        let mut w = load_vector(n_coarse, n_fine, |k| {
+            shared[base + (s + 2 * s * k) * stride]
+        });
+        solve_mass_tridiagonal(&mut w);
+        w
+    });
+    for (&base, w) in bases.iter().zip(&solved) {
+        for (j, wj) in w.iter().enumerate() {
+            data[base + 2 * s * j * stride] += sign * wj;
+        }
+    }
+}
+
+/// Ascending flat offsets of the odometer over axes `lo..hi`, stepping by
+/// `step` coordinates per axis (an empty range yields the single offset 0).
+fn grid_offsets(dims: &[usize], st: &[usize], lo: usize, hi: usize, step: usize) -> Vec<usize> {
+    let mut out = vec![0usize];
+    for a in lo..hi {
+        let count = (dims[a] - 1) / step + 1;
+        let mut next = Vec::with_capacity(out.len() * count);
+        for &o in &out {
+            for k in 0..count {
+                next.push(o + k * step * st[a]);
+            }
+        }
+        out = next;
+    }
+    out
 }
 
 /// Gathers the coefficients of the level with stride `s` into a vector, in

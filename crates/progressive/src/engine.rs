@@ -42,7 +42,7 @@ use crate::fragstore::{FragmentId, FragmentSource, FragmentStage, Manifest, Sour
 use crate::refactored::FieldReader;
 use pqr_qoi::{BoundConfig, QoiExpr};
 use pqr_util::error::{PqrError, Result};
-use pqr_util::par::par_chunk_reduce;
+use pqr_util::par::{par_chunk_fill, par_chunk_reduce};
 use std::sync::Arc;
 
 /// A requested QoI with its tolerance.
@@ -318,8 +318,13 @@ impl RetrievalEngine {
             })
             .collect::<Result<Vec<_>>>()?;
         let stage = Arc::new(FragmentStage::new());
+        let workers = match cfg.workers {
+            0 => pqr_util::par::worker_count(),
+            n => n,
+        };
         for r in &mut readers {
             r.attach_stage(Arc::clone(&stage));
+            r.set_workers(workers);
         }
         Ok(Self {
             source,
@@ -356,6 +361,29 @@ impl RetrievalEngine {
         self.readers
             .iter()
             .map(FieldReader::fragments_decoded)
+            .sum()
+    }
+
+    /// Multilevel recompose axis passes this engine's readers performed
+    /// rebuilding reconstructions. Store-backed engines report zero — the
+    /// rebuilds happen once, in the store (see
+    /// [`crate::store::StoreStats::recompose_passes`]).
+    pub fn recompose_passes(&self) -> u64 {
+        self.readers.iter().map(FieldReader::recompose_passes).sum()
+    }
+
+    /// Refinement rounds the readers answered from their memoized
+    /// reconstruction — zero decodes, zero recompose passes.
+    pub fn recon_cache_hits(&self) -> u64 {
+        self.readers.iter().map(FieldReader::recon_cache_hits).sum()
+    }
+
+    /// Wall-clock nanoseconds the readers spent rebuilding
+    /// reconstructions.
+    pub fn reconstruct_nanos(&self) -> u64 {
+        self.readers
+            .iter()
+            .map(FieldReader::reconstruct_nanos)
             .sum()
     }
 
@@ -727,9 +755,26 @@ impl RetrievalEngine {
     pub fn point_estimate(&self, expr: &QoiExpr, j: usize, eps: &[f64]) -> f64 {
         let nv = self.manifest.num_fields();
         let mut x = vec![0.0f64; nv];
-        let mut eps_pt = eps.to_vec();
+        let mut eps_pt = vec![0.0f64; nv];
+        self.point_estimate_scratch(expr, j, eps, &mut x, &mut eps_pt)
+    }
+
+    /// [`RetrievalEngine::point_estimate`] with caller-provided scratch
+    /// (`x`, `eps_pt`, both `num_fields` long) — the Algorithm-4
+    /// tightening loop calls this once per candidate bound vector, so the
+    /// per-call temporaries are hoisted out of the loop.
+    pub(crate) fn point_estimate_scratch(
+        &self,
+        expr: &QoiExpr,
+        j: usize,
+        eps: &[f64],
+        x: &mut [f64],
+        eps_pt: &mut [f64],
+    ) -> f64 {
+        let nv = self.manifest.num_fields();
         for i in 0..nv {
             x[i] = self.readers[i].data()[j];
+            eps_pt[i] = eps[i];
         }
         if let Some(m) = self.manifest.mask.as_ref() {
             if m.is_masked(j) {
@@ -739,30 +784,43 @@ impl RetrievalEngine {
                 }
             }
         }
-        expr.eval_bounded(&x, &eps_pt, &self.cfg.bound_config).bound
+        expr.eval_bounded(x, eps_pt, &self.cfg.bound_config).bound
     }
 
     /// Evaluates a QoI on the current reconstruction (what the analysis
-    /// task would consume), with the mask overlay applied.
+    /// task would consume), with the mask overlay applied. The per-point
+    /// evaluation fans across the engine's worker budget (unless
+    /// [`EngineConfig::parallel_scan`] is off); each worker hoists its
+    /// input scratch out of its chunk loop and the chunks write disjoint
+    /// output ranges, so the result is identical at every worker count.
     pub fn qoi_values(&self, expr: &QoiExpr) -> Vec<f64> {
         let ne = self.manifest.num_elements();
         let nv = self.manifest.num_fields();
+        let recons: Vec<&[f64]> = self.readers.iter().map(|r| r.data()).collect();
         let mask = self.manifest.mask.as_ref();
-        let mut out = Vec::with_capacity(ne);
-        let mut x = vec![0.0f64; nv];
-        for j in 0..ne {
-            for i in 0..nv {
-                x[i] = self.readers[i].data()[j];
-            }
-            if let Some(m) = mask {
-                if m.is_masked(j) {
-                    for &i in m.fields() {
-                        x[i] = 0.0;
+        let mut out = vec![0.0f64; ne];
+        let workers = if self.cfg.parallel_scan {
+            self.workers()
+        } else {
+            1
+        };
+        par_chunk_fill(&mut out, workers, |start, chunk| {
+            let mut x = vec![0.0f64; nv];
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let j = start + off;
+                for i in 0..nv {
+                    x[i] = recons[i][j];
+                }
+                if let Some(m) = mask {
+                    if m.is_masked(j) {
+                        for &i in m.fields() {
+                            x[i] = 0.0;
+                        }
                     }
                 }
+                *slot = expr.eval(&x);
             }
-            out.push(expr.eval(&x));
-        }
+        });
         out
     }
 }
@@ -1215,6 +1273,42 @@ mod tests {
             stage.end_round(); // prefetcher aborts: waiter must not hang
             assert_eq!(waiter.join().unwrap(), None);
         });
+    }
+
+    #[test]
+    fn zero_decode_round_performs_zero_recompose() {
+        // the epoch-memoization contract: a retrieval round that decodes
+        // nothing must also rebuild nothing — repeated (or looser)
+        // requests are answered from the cached reconstruction
+        let ds = velocity_dataset(3000, false);
+        let archive = ds.refactor(Scheme::PmgardHb).unwrap();
+        let mut engine = engine_for(&archive);
+        let spec = QoiSpec::relative("VTOT", velocity_magnitude(0, 3), 1e-4, &ds).unwrap();
+        let r1 = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
+        assert!(r1.satisfied);
+        let passes = engine.recompose_passes();
+        assert!(passes > 0, "the deep retrieve must have run recompose");
+        let hits = engine.recon_cache_hits();
+        let recon_before: Vec<Vec<f64>> =
+            (0..3).map(|i| engine.reconstruction(i).to_vec()).collect();
+
+        // identical request: zero new bytes, zero recompose passes
+        let r2 = engine.retrieve(std::slice::from_ref(&spec)).unwrap();
+        assert!(r2.satisfied);
+        assert_eq!(r2.bytes_fetched, 0);
+        assert_eq!(
+            engine.recompose_passes(),
+            passes,
+            "zero-decode round must perform zero recompose passes"
+        );
+        assert!(engine.recon_cache_hits() > hits);
+        // and a looser request is equally free
+        let loose = spec.at_tolerance(1e-2);
+        engine.retrieve(&[loose]).unwrap();
+        assert_eq!(engine.recompose_passes(), passes);
+        for i in 0..3 {
+            assert_eq!(recon_before[i], engine.reconstruction(i), "field {i}");
+        }
     }
 
     #[test]

@@ -128,14 +128,17 @@ impl Dataset {
     pub fn qoi_values(&self, qoi: &QoiExpr) -> Vec<f64> {
         let ne = self.num_elements();
         let arity = qoi.arity().min(self.num_fields());
-        let mut out = Vec::with_capacity(ne);
-        let mut x = vec![0.0f64; self.num_fields()];
-        for j in 0..ne {
-            for (i, f) in self.fields.iter().take(arity).enumerate() {
-                x[i] = f[j];
+        let mut out = vec![0.0f64; ne];
+        pqr_util::par::par_chunk_fill(&mut out, pqr_util::par::worker_count(), |start, chunk| {
+            let mut x = vec![0.0f64; self.num_fields()];
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let j = start + off;
+                for (i, f) in self.fields.iter().take(arity).enumerate() {
+                    x[i] = f[j];
+                }
+                *slot = qoi.eval(&x);
             }
-            out.push(qoi.eval(&x));
-        }
+        });
         out
     }
 

@@ -281,6 +281,17 @@ pub struct PlanReport {
     /// Refinement schedules the store recomputed from the bound model
     /// during this execution (same delta caveat). Zero without a store.
     pub plan_front_misses: u64,
+    /// Multilevel recompose axis passes run rebuilding reconstructions
+    /// during this execution — the engine's own readers plus the shared
+    /// store's masters (store-level delta, same caveat).
+    pub recompose_passes: u64,
+    /// Refinement rounds answered from a memoized reconstruction during
+    /// this execution (engine readers + store masters): zero decodes,
+    /// zero recompose passes.
+    pub recon_cache_hits: u64,
+    /// Milliseconds spent rebuilding reconstructions during this
+    /// execution (engine readers + store masters).
+    pub reconstruct_ms: u64,
 }
 
 impl PlanReport {
@@ -327,6 +338,9 @@ impl<'e> PlanExecutor<'e> {
             engine.readers().iter().map(|r| r.total_fetched()).collect();
         let stats_before = engine.source_stats();
         let store_before = engine.shared_store().map(|s| s.stats());
+        let recompose_before = engine.recompose_passes();
+        let recon_hits_before = engine.recon_cache_hits();
+        let recon_nanos_before = engine.reconstruct_nanos();
 
         // the plan's Algorithm-3 bounds, re-clamped in case the engine
         // advanced between resolve and execute
@@ -390,14 +404,24 @@ impl<'e> PlanExecutor<'e> {
 
             // Algorithm 4: tighten bounds at the worst point of each target
             // that has not certified yet — certified targets stop here.
+            // The estimator scratch is hoisted out of the tightening loop:
+            // one allocation pair per round, not per candidate bound vector.
             let mut progress = false;
+            let nv = engine.manifest().num_fields();
+            let (mut x_scratch, mut eps_scratch) = (vec![0.0f64; nv], vec![0.0f64; nv]);
             for (k, &(est, argmax)) in scans.iter().enumerate() {
                 if est <= tol_abs[k] {
                     continue;
                 }
                 let mut eps_local = achieved.clone();
                 let mut tightenings = 0usize;
-                while engine.point_estimate(&qois[k].expr, argmax, &eps_local) > tol_abs[k]
+                while engine.point_estimate_scratch(
+                    &qois[k].expr,
+                    argmax,
+                    &eps_local,
+                    &mut x_scratch,
+                    &mut eps_scratch,
+                ) > tol_abs[k]
                     && tightenings < engine.config().max_tightenings
                 {
                     for &i in &involved[k] {
@@ -454,6 +478,21 @@ impl<'e> PlanExecutor<'e> {
                 ),
                 _ => (0, 0, 0, 0),
             };
+        // reconstruction work: the engine's own readers plus the shared
+        // store's masters (store-level delta — concurrent sessions in the
+        // window contribute, same caveat as the decode counters)
+        let (store_passes, store_hits, store_nanos) = match (store_before, store_after) {
+            (Some(b), Some(a)) => (
+                a.recompose_passes.saturating_sub(b.recompose_passes),
+                a.recon_cache_hits.saturating_sub(b.recon_cache_hits),
+                a.reconstruct_nanos.saturating_sub(b.reconstruct_nanos),
+            ),
+            _ => (0, 0, 0),
+        };
+        let recompose_passes = engine.recompose_passes() - recompose_before + store_passes;
+        let recon_cache_hits = engine.recon_cache_hits() - recon_hits_before + store_hits;
+        let reconstruct_ms =
+            (engine.reconstruct_nanos() - recon_nanos_before + store_nanos) / 1_000_000;
         let elements = engine.manifest().num_elements() * engine.manifest().num_fields();
         Ok(PlanReport {
             satisfied,
@@ -472,6 +511,9 @@ impl<'e> PlanExecutor<'e> {
             store_refine_reuses: store_reuses,
             plan_front_hits: front_hits,
             plan_front_misses: front_misses,
+            recompose_passes,
+            recon_cache_hits,
+            reconstruct_ms,
             targets,
         })
     }

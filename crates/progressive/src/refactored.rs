@@ -456,6 +456,18 @@ pub struct FieldReader {
     /// (store-backed) readers never decode, so theirs stays zero — the
     /// counter the decode-once tests assert on.
     consumed: u64,
+    /// Worker budget for reconstruction fan-out (multilevel recompose /
+    /// block decode). `1` until the owner configures it; every worker
+    /// count reconstructs bit-identically.
+    workers: usize,
+    /// Multilevel recompose axis passes performed rebuilding this reader's
+    /// reconstruction (zero for non-multilevel schemes).
+    recompose_passes: u64,
+    /// Refinement rounds answered from the memoized reconstruction —
+    /// zero-decode rounds that performed zero recompose work.
+    recon_cache_hits: u64,
+    /// Wall-clock nanoseconds spent rebuilding reconstructions.
+    reconstruct_nanos: u64,
     state: ReaderState,
 }
 
@@ -549,6 +561,7 @@ impl FieldReader {
                 index: 0,
             })
         };
+        let (mut open_passes, mut open_nanos) = (0u64, 0u64);
         let (state, recon, bound, fetched) = match entry.scheme {
             Scheme::Psz3 | Scheme::Psz3Delta => (
                 ReaderState::Snapshots {
@@ -586,7 +599,10 @@ impl FieldReader {
                 let bound = cursor.guaranteed_bound();
                 // the metadata (always fetched) carries the root value, so
                 // the zero-plane reconstruction is already meaningful
-                let recon = cursor.reconstruct();
+                let t0 = std::time::Instant::now();
+                let mut recon = Vec::new();
+                open_passes = cursor.reconstruct_into(&mut recon, 1);
+                open_nanos = t0.elapsed().as_nanos() as u64;
                 let fetched = meta_bytes.len();
                 (
                     ReaderState::Mgard { cursor, level_base },
@@ -630,6 +646,10 @@ impl FieldReader {
             bound,
             fetched,
             consumed: 0,
+            workers: 1,
+            recompose_passes: open_passes,
+            recon_cache_hits: 0,
+            reconstruct_nanos: open_nanos,
             state,
         })
     }
@@ -665,8 +685,48 @@ impl FieldReader {
             bound: snap.bound,
             fetched: snap.fetched,
             consumed: 0,
+            workers: 1,
+            recompose_passes: 0,
+            recon_cache_hits: 0,
+            reconstruct_nanos: 0,
             state: ReaderState::Shared { store, snap },
         })
+    }
+
+    /// Sets the worker budget for reconstruction fan-out. Reconstructions
+    /// are bit-identical at every worker count, so this only affects wall
+    /// clock, never results.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Multilevel recompose axis passes performed rebuilding this reader's
+    /// reconstruction (interp and correction passes each count one).
+    pub fn recompose_passes(&self) -> u64 {
+        self.recompose_passes
+    }
+
+    /// Refinement rounds answered from the memoized reconstruction:
+    /// zero-decode rounds perform zero recompose work and land here.
+    pub fn recon_cache_hits(&self) -> u64 {
+        self.recon_cache_hits
+    }
+
+    /// Wall-clock nanoseconds spent rebuilding reconstructions.
+    pub fn reconstruct_nanos(&self) -> u64 {
+        self.reconstruct_nanos
+    }
+
+    /// Takes the current reconstruction's allocation for an in-place
+    /// rebuild: a uniquely owned buffer is reused; one pinned by a
+    /// published snapshot (or adopted from a store) is left to its owners
+    /// and a fresh allocation starts instead — never an O(n) copy, since
+    /// the rebuild overwrites every element anyway.
+    fn take_recon_buf(&mut self) -> Vec<f64> {
+        match std::mem::replace(&mut self.recon, Recon::Owned(Arc::new(Vec::new()))) {
+            Recon::Owned(arc) => Arc::try_unwrap(arc).unwrap_or_default(),
+            Recon::Adopted(_) => Vec::new(),
+        }
     }
 
     /// Attaches a prefetch stage: subsequent fragment fetches consume
@@ -795,7 +855,12 @@ impl FieldReader {
     /// [`PqrError::Unsupported`].
     pub fn reconstruct_at_resolution(&self, drop_finest: usize) -> Result<(Vec<f64>, Vec<usize>)> {
         match &self.state {
-            ReaderState::Mgard { cursor, .. } => Ok(cursor.reconstruct_at_resolution(drop_finest)),
+            ReaderState::Mgard { cursor, .. } => {
+                let mut out = Vec::new();
+                let dims =
+                    cursor.reconstruct_at_resolution_into(drop_finest, &mut out, self.workers);
+                Ok((out, dims))
+            }
             ReaderState::Snapshots { .. } => Err(PqrError::Unsupported(format!(
                 "{} has no resolution hierarchy",
                 self.scheme.name()
@@ -978,6 +1043,7 @@ impl FieldReader {
             // request that needs tighter (eb < max|x|) reads through, and
             // the store rehydrates and serves the true snapshot
             if self.bound <= eb {
+                self.recon_cache_hits += 1;
                 return Ok(0);
             }
             // read through the shared decode state: the store advances its
@@ -988,6 +1054,7 @@ impl FieldReader {
             // still is the published state and nothing tighter is decodable,
             // so the view keeps what it holds — no clone, no adoption
             let Some(next) = store.refine_from(self.field as usize, eb, snap.epoch)? else {
+                self.recon_cache_hits += 1;
                 return Ok(0);
             };
             let before = self.fetched;
@@ -998,6 +1065,7 @@ impl FieldReader {
             return Ok(self.fetched - before);
         }
         if self.bound <= eb {
+            self.recon_cache_hits += 1;
             return Ok(0);
         }
         let before = self.fetched;
@@ -1066,24 +1134,42 @@ impl FieldReader {
                     pushed = true;
                 }
                 if pushed {
-                    self.recon = Recon::Owned(Arc::new(cursor.reconstruct()));
+                    let t0 = std::time::Instant::now();
+                    let mut buf = self.take_recon_buf();
+                    self.recompose_passes += cursor.reconstruct_into(&mut buf, self.workers);
+                    self.reconstruct_nanos += t0.elapsed().as_nanos() as u64;
+                    self.recon = Recon::Owned(Arc::new(buf));
+                } else {
+                    // zero-decode round: the memoized reconstruction stands,
+                    // zero recompose passes run
+                    self.recon_cache_hits += 1;
                 }
                 self.bound = cursor.guaranteed_bound().min(self.bound);
             }
             ReaderState::Zfp(cursor) => {
+                let mut pushed = false;
                 while cursor.guaranteed_bound() > eb && !cursor.fully_fetched() {
                     let bytes = self.fetch(1 + cursor.planes_read())?;
                     cursor.push_plane(&bytes)?;
+                    pushed = true;
                 }
                 // The zfp bound model is conservative: for the first few
                 // planes it can exceed the zero-vector bound max|x| this
                 // reader starts from. Only adopt the zfp reconstruction
                 // once its guarantee beats the current one; the fetched
-                // planes are retained in the cursor either way.
+                // planes are retained in the cursor either way. A
+                // zero-decode round leaves the cursor (and hence the
+                // reconstruction) unchanged, so the memoized buffer stands.
                 let zb = cursor.guaranteed_bound();
-                if zb <= self.bound {
-                    self.recon = Recon::Owned(Arc::new(cursor.reconstruct()));
+                if pushed && zb <= self.bound {
+                    let t0 = std::time::Instant::now();
+                    let mut buf = self.take_recon_buf();
+                    cursor.reconstruct_into(&mut buf, self.workers);
+                    self.reconstruct_nanos += t0.elapsed().as_nanos() as u64;
+                    self.recon = Recon::Owned(Arc::new(buf));
                     self.bound = zb;
+                } else if !pushed {
+                    self.recon_cache_hits += 1;
                 }
             }
             // refine_to short-circuits shared views through the store
@@ -1167,7 +1253,11 @@ impl FieldReader {
                         cursor.push_plane(l, &bytes)?;
                     }
                 }
-                self.recon = Recon::Owned(Arc::new(cursor.reconstruct()));
+                let t0 = std::time::Instant::now();
+                let mut buf = self.take_recon_buf();
+                self.recompose_passes += cursor.reconstruct_into(&mut buf, self.workers);
+                self.reconstruct_nanos += t0.elapsed().as_nanos() as u64;
+                self.recon = Recon::Owned(Arc::new(buf));
                 self.bound = cursor.guaranteed_bound();
             }
             (ReaderState::Zfp(cursor), ReaderProgress::Zfp { planes }) => {
@@ -1185,7 +1275,11 @@ impl FieldReader {
                 // its guarantee beats the zero-vector bound
                 let zb = cursor.guaranteed_bound();
                 if zb <= self.bound {
-                    self.recon = Recon::Owned(Arc::new(cursor.reconstruct()));
+                    let t0 = std::time::Instant::now();
+                    let mut buf = self.take_recon_buf();
+                    cursor.reconstruct_into(&mut buf, self.workers);
+                    self.reconstruct_nanos += t0.elapsed().as_nanos() as u64;
+                    self.recon = Recon::Owned(Arc::new(buf));
                     self.bound = zb;
                 }
             }
@@ -1485,5 +1579,48 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         assert!(RefactoredField::refactor(Scheme::Psz3, &[1.0], &[2]).is_err());
+    }
+
+    #[test]
+    fn repeat_refinement_is_memoized_with_zero_recompose() {
+        let data = field_data(20_000);
+        let range = stats::value_range(&data);
+        let rf = RefactoredField::refactor(Scheme::PmgardHb, &data, &[20_000]).unwrap();
+        let mut reader = rf.reader();
+        reader.refine_to(1e-4 * range).unwrap();
+        let passes = reader.recompose_passes();
+        assert!(passes > 0, "a deep refine must run recompose passes");
+        let held = reader.share_recon();
+        // identical request again: zero fetched bytes, zero recompose
+        // passes, and the very same reconstruction allocation
+        let hits = reader.recon_cache_hits();
+        assert_eq!(reader.refine_to(1e-4 * range).unwrap(), 0);
+        assert_eq!(reader.recompose_passes(), passes);
+        assert!(reader.recon_cache_hits() > hits);
+        assert!(Arc::ptr_eq(&held, &reader.share_recon()));
+        // a looser request is also served from the memo
+        assert_eq!(reader.refine_to(1e-2 * range).unwrap(), 0);
+        assert_eq!(reader.recompose_passes(), passes);
+    }
+
+    #[test]
+    fn parallel_reader_reconstruction_bit_identical() {
+        let data = field_data(20_000);
+        let range = stats::value_range(&data);
+        for scheme in [Scheme::PmgardHb, Scheme::PmgardOb, Scheme::Pzfp] {
+            let rf = RefactoredField::refactor(scheme, &data, &[20_000]).unwrap();
+            let run = |workers: usize| {
+                let mut reader = rf.reader();
+                reader.set_workers(workers);
+                for rel in [1e-2, 1e-4, 1e-6] {
+                    reader.refine_to(rel * range).unwrap();
+                }
+                (reader.data().to_vec(), reader.guaranteed_bound().to_bits())
+            };
+            let serial = run(1);
+            for workers in [2usize, 4] {
+                assert_eq!(serial, run(workers), "{} w={workers}", scheme.name());
+            }
+        }
     }
 }

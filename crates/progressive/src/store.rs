@@ -269,6 +269,15 @@ pub struct StoreStats {
     pub resident_bytes: u64,
     /// The budget ceiling in bytes; 0 = unbounded.
     pub budget_bytes: u64,
+    /// Multilevel recompose axis passes the masters performed rebuilding
+    /// reconstructions (open + advance + rehydration).
+    pub recompose_passes: u64,
+    /// Master refinement rounds answered from the memoized reconstruction
+    /// — zero decodes, zero recompose passes.
+    pub recon_cache_hits: u64,
+    /// Wall-clock nanoseconds the masters spent rebuilding
+    /// reconstructions.
+    pub reconstruct_nanos: u64,
 }
 
 /// Shared, monotonically-deepening decode state for every field of one
@@ -315,6 +324,22 @@ pub struct ProgressStore {
     short_circuits: AtomicU64,
     front_hits: AtomicU64,
     front_misses: AtomicU64,
+    recompose_passes: AtomicU64,
+    recon_cache_hits: AtomicU64,
+    reconstruct_nanos: AtomicU64,
+}
+
+/// Snapshot of one reader's reconstruction counters, for delta capture
+/// around every master operation (readers are dropped on demotion, so the
+/// store absorbs their counters incrementally).
+struct ReconCounters(u64, u64, u64);
+
+fn recon_counters(reader: &FieldReader) -> ReconCounters {
+    ReconCounters(
+        reader.recompose_passes(),
+        reader.recon_cache_hits(),
+        reader.reconstruct_nanos(),
+    )
 }
 
 impl ProgressStore {
@@ -354,6 +379,9 @@ impl ProgressStore {
             short_circuits: AtomicU64::new(0),
             front_hits: AtomicU64::new(0),
             front_misses: AtomicU64::new(0),
+            recompose_passes: AtomicU64::new(0),
+            recon_cache_hits: AtomicU64::new(0),
+            reconstruct_nanos: AtomicU64::new(0),
         };
         // construct, charge and enforce one master at a time: a reader
         // (recon + decode cursor) costs its full footprint from the moment
@@ -362,6 +390,8 @@ impl ProgressStore {
         for i in 0..store.manifest.num_fields() {
             let mut reader = FieldReader::open(Arc::clone(&store.source), &store.manifest, i)?;
             reader.attach_stage(Arc::clone(&store.stage));
+            reader.set_workers(pqr_util::par::worker_count());
+            store.absorb_recon_counters(&reader, ReconCounters(0, 0, 0));
             let snap = Arc::new(snapshot_of(&reader, 1));
             let cost = master_cost(&reader);
             let exhausted = snap.exhausted;
@@ -411,6 +441,19 @@ impl ProgressStore {
                 self.fields.len()
             ))
         })
+    }
+
+    /// Folds a master reader's reconstruction counters (above `base`) into
+    /// the store tallies. Called after every operation that can rebuild —
+    /// readers are dropped on demotion, so counters are absorbed
+    /// incrementally, never at teardown.
+    fn absorb_recon_counters(&self, reader: &FieldReader, base: ReconCounters) {
+        self.recompose_passes
+            .fetch_add(reader.recompose_passes() - base.0, Ordering::Relaxed);
+        self.recon_cache_hits
+            .fetch_add(reader.recon_cache_hits() - base.1, Ordering::Relaxed);
+        self.reconstruct_nanos
+            .fetch_add(reader.reconstruct_nanos() - base.2, Ordering::Relaxed);
     }
 
     fn touch_cell(&self, cell: &PublishedField) {
@@ -586,7 +629,10 @@ impl ProgressStore {
             }
         }
         let before = reader.fragments_decoded();
-        reader.refine_to(eb)?;
+        let recon_base = recon_counters(reader);
+        let refined = reader.refine_to(eb);
+        self.absorb_recon_counters(reader, recon_base);
+        refined?;
         let delta = reader.fragments_decoded() - before;
         if delta == 0 {
             // nothing decoded ⇒ reader state (and hence the snapshot) is
@@ -678,6 +724,7 @@ impl ProgressStore {
         };
         let mut reader = FieldReader::open(Arc::clone(&self.source), &self.manifest, field)?;
         reader.attach_stage(Arc::clone(&self.stage));
+        reader.set_workers(pqr_util::par::worker_count());
         let plan = reader.plan_restore(&d.progress)?;
         // multilevel/transform schemes re-fetch their metadata fragment at
         // open — that is source traffic rehydration caused
@@ -724,6 +771,7 @@ impl ProgressStore {
             }
         }
         reader.restore(&d.progress)?;
+        self.absorb_recon_counters(&reader, ReconCounters(0, 0, 0));
         debug_assert_eq!(
             reader.guaranteed_bound().to_bits(),
             d.bound.to_bits(),
@@ -911,6 +959,9 @@ impl ProgressStore {
             plan_front_misses: self.front_misses.load(Ordering::Relaxed),
             resident_bytes: self.resident.load(Ordering::Relaxed),
             budget_bytes: self.budget.limit_bytes(),
+            recompose_passes: self.recompose_passes.load(Ordering::Relaxed),
+            recon_cache_hits: self.recon_cache_hits.load(Ordering::Relaxed),
+            reconstruct_nanos: self.reconstruct_nanos.load(Ordering::Relaxed),
         }
     }
 }

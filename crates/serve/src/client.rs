@@ -86,6 +86,13 @@ pub struct RemoteReport {
     pub store_fragments_decoded: u64,
     /// Store-level refinements served from already-decoded state.
     pub store_refine_reuses: u64,
+    /// Full-field recompose/interp passes run while rebuilding
+    /// reconstructions for this execution.
+    pub recompose_passes: u64,
+    /// Zero-decode rounds answered from a memoized reconstruction.
+    pub recon_cache_hits: u64,
+    /// Milliseconds spent rebuilding reconstructions.
+    pub reconstruct_ms: u64,
     /// Per-target outcomes, in request order.
     pub targets: Vec<RemoteTarget>,
     /// Derived QoI values for each name the request asked for.
@@ -108,6 +115,9 @@ impl RemoteReport {
             self.queue_wait_ms,
             self.store_fragments_decoded,
             self.store_refine_reuses,
+            self.recompose_passes,
+            self.recon_cache_hits,
+            self.reconstruct_ms,
         ] {
             w.put_u64(v);
         }
@@ -139,7 +149,7 @@ impl RemoteReport {
         let mut r = ByteReader::new(bytes);
         let satisfied = r.get_u8()? != 0;
         let budget_exhausted = r.get_u8()? != 0;
-        let mut scalars = [0u64; 7];
+        let mut scalars = [0u64; 10];
         for s in &mut scalars {
             *s = r.get_u64()?;
         }
@@ -182,6 +192,9 @@ impl RemoteReport {
             queue_wait_ms: scalars[4],
             store_fragments_decoded: scalars[5],
             store_refine_reuses: scalars[6],
+            recompose_passes: scalars[7],
+            recon_cache_hits: scalars[8],
+            reconstruct_ms: scalars[9],
             targets,
             values,
             progress,
@@ -339,6 +352,9 @@ mod tests {
             queue_wait_ms: 7,
             store_fragments_decoded: 11,
             store_refine_reuses: 2,
+            recompose_passes: 24,
+            recon_cache_hits: 3,
+            reconstruct_ms: 5,
             targets: vec![RemoteTarget {
                 name: "V".into(),
                 satisfied: true,
@@ -369,7 +385,7 @@ mod tests {
         let mut w = ByteWriter::new();
         w.put_u8(1);
         w.put_u8(0);
-        for _ in 0..7 {
+        for _ in 0..10 {
             w.put_u64(0);
         }
         w.put_u64(u64::MAX / 8); // absurd target count

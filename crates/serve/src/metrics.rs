@@ -243,6 +243,9 @@ impl StatsSnapshot {
                 d.store.plan_front_misses,
                 d.store.resident_bytes,
                 d.store.budget_bytes,
+                d.store.recompose_passes,
+                d.store.recon_cache_hits,
+                d.store.reconstruct_nanos,
                 d.source.fetches,
                 d.source.fetched_bytes,
                 d.source.cache_hits,
@@ -264,12 +267,12 @@ impl StatsSnapshot {
             *s = r.get_u64()?;
         }
         let raw = r.get_u64()? as usize;
-        // each dataset row costs at least a name prefix + 19 counters
-        let n = r.check_count(raw, 8 + 152)?;
+        // each dataset row costs at least a name prefix + 22 counters
+        let n = r.check_count(raw, 8 + 176)?;
         let mut datasets = Vec::with_capacity(n);
         for _ in 0..n {
             let name = crate::wire::get_name(&mut r)?;
-            let mut c = [0u64; 19];
+            let mut c = [0u64; 22];
             for v in &mut c {
                 *v = r.get_u64()?;
             }
@@ -289,14 +292,17 @@ impl StatsSnapshot {
                     plan_front_misses: c[10],
                     resident_bytes: c[11],
                     budget_bytes: c[12],
+                    recompose_passes: c[13],
+                    recon_cache_hits: c[14],
+                    reconstruct_nanos: c[15],
                 },
                 source: SourceStats {
-                    fetches: c[13],
-                    fetched_bytes: c[14],
-                    cache_hits: c[15],
-                    cache_misses: c[16],
-                    read_ops: c[17],
-                    overlap_saved_ms: c[18],
+                    fetches: c[16],
+                    fetched_bytes: c[17],
+                    cache_hits: c[18],
+                    cache_misses: c[19],
+                    read_ops: c[20],
+                    overlap_saved_ms: c[21],
                 },
             });
         }
@@ -359,6 +365,9 @@ mod tests {
                     plan_front_misses: 3,
                     resident_bytes: 1 << 20,
                     budget_bytes: 4 << 20,
+                    recompose_passes: 64,
+                    recon_cache_hits: 13,
+                    reconstruct_nanos: 1_500_000,
                 },
                 source: SourceStats {
                     fetches: 100,

@@ -963,6 +963,9 @@ fn project_reply(
         queue_wait_ms: 0, // filled by the caller
         store_fragments_decoded: share.report.store_fragments_decoded,
         store_refine_reuses: share.report.store_refine_reuses,
+        recompose_passes: share.report.recompose_passes,
+        recon_cache_hits: share.report.recon_cache_hits,
+        reconstruct_ms: share.report.reconstruct_ms,
         targets: targets
             .iter()
             .map(|t| crate::client::RemoteTarget {
@@ -1110,6 +1113,9 @@ fn run_retrieve(
         queue_wait_ms,
         store_fragments_decoded: report.store_fragments_decoded,
         store_refine_reuses: report.store_refine_reuses,
+        recompose_passes: report.recompose_passes,
+        recon_cache_hits: report.recon_cache_hits,
+        reconstruct_ms: report.reconstruct_ms,
         targets: report
             .targets
             .iter()

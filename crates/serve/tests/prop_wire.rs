@@ -150,6 +150,9 @@ proptest! {
             queue_wait_ms: xorshift(&mut s) % 10_000,
             store_fragments_decoded: xorshift(&mut s) % 1000,
             store_refine_reuses: xorshift(&mut s) % 1000,
+            recompose_passes: xorshift(&mut s) % 10_000,
+            recon_cache_hits: xorshift(&mut s) % 1000,
+            reconstruct_ms: xorshift(&mut s) % 100_000,
             targets: (0..n_targets)
                 .map(|k| RemoteTarget {
                     name: NAMES[k].to_string(),

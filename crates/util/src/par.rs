@@ -106,6 +106,41 @@ where
     });
 }
 
+/// Fills contiguous chunks of `out` on `workers` threads: `f(start, chunk)`
+/// writes the values for indices `start..start + chunk.len()` into `chunk`.
+///
+/// The chunk split is a deterministic function of `out.len()` and `workers`
+/// only, and each chunk is written by exactly one closure call — so any
+/// per-element pure fill is bit-identical at every worker count. With
+/// `workers <= 1` (or a small `out`) the whole slice is filled in one call
+/// on the calling thread — the exact serial loop callers compare against.
+pub fn par_chunk_fill<T, F>(out: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = out.len();
+    let workers = workers.max(1).min(len.max(1));
+    if workers <= 1 || len < PAR_THRESHOLD {
+        f(0, out);
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut base = 0usize;
+        let f = &f;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let start = base;
+            s.spawn(move || f(start, head));
+            rest = tail;
+            base += take;
+        }
+    });
+}
+
 /// A dynamic index dispenser for irregular per-item costs (used by the
 /// 96-block transfer pipeline where block sizes vary).
 pub struct IndexDispenser {
@@ -263,6 +298,23 @@ mod tests {
         par_map_into(&mut par, |i| (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
         for (i, &v) in par.iter().enumerate() {
             assert_eq!(v, (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        }
+    }
+
+    #[test]
+    fn chunk_fill_matches_serial_any_worker_count() {
+        let fill = |workers| {
+            let mut out = vec![0.0f64; 10_000];
+            par_chunk_fill(&mut out, workers, |start, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = ((start + k) as f64).sqrt().sin();
+                }
+            });
+            out
+        };
+        let serial = fill(1);
+        for w in [2, 4, 7] {
+            assert_eq!(fill(w), serial);
         }
     }
 

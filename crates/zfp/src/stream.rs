@@ -1005,32 +1005,97 @@ impl ZfpCursor {
 
     /// Reconstructs the data representation from the planes consumed so far.
     pub fn reconstruct(&self) -> Vec<f64> {
-        let words = self.digit_words_cow();
-        let mut out = vec![0.0f64; self.grid.num_elements()];
-        for b in 0..self.meta.exponents.len() {
-            self.reconstruct_block_into(&words, b, &mut out);
-        }
+        let mut out = Vec::new();
+        self.reconstruct_into(&mut out, 1);
         out
+    }
+
+    /// [`ZfpCursor::reconstruct`] into a caller-provided (pooled) buffer
+    /// with the per-block decode + inverse transform fanned across
+    /// `workers` threads. Blocks are independent and scatter to disjoint
+    /// array regions, and each block's arithmetic is unchanged, so the
+    /// result is bit-identical at every worker count (`workers <= 1` and
+    /// `PQR_SCALAR_KERNELS=1` run the exact serial loop).
+    pub fn reconstruct_into(&self, out: &mut Vec<f64>, workers: usize) {
+        let words = self.digit_words_cow();
+        let n = self.grid.num_elements();
+        out.clear();
+        out.resize(n, 0.0);
+        let nblocks = self.meta.exponents.len();
+        let blen = self.grid.block_len();
+        let workers = if scalar_kernels() { 1 } else { workers.max(1) };
+        if workers <= 1 || n < 4096 {
+            // serial path with per-block scratch hoisted out of the loop
+            let mut iblk = vec![0i64; blen];
+            let mut fblk = vec![0.0f64; blen];
+            for b in 0..nblocks {
+                if self.decode_block(&words, b, &mut iblk, &mut fblk) {
+                    self.grid.scatter(out, b, &fblk);
+                }
+            }
+            return;
+        }
+        // fan out chunks of consecutive blocks; scatter serially (block
+        // regions are disjoint, so the write order is immaterial)
+        let chunk = nblocks.div_ceil(workers * 4).max(1);
+        let nchunks = nblocks.div_ceil(chunk);
+        let words_ref: &[u64] = &words;
+        let decoded = par_dynamic(nchunks, workers, |ci| {
+            let b0 = ci * chunk;
+            let b1 = ((ci + 1) * chunk).min(nblocks);
+            let mut buf = vec![0.0f64; (b1 - b0) * blen];
+            let mut iblk = vec![0i64; blen];
+            let mut any = false;
+            for b in b0..b1 {
+                let fblk = &mut buf[(b - b0) * blen..(b - b0 + 1) * blen];
+                any |= self.decode_block(words_ref, b, &mut iblk, fblk);
+            }
+            any.then_some(buf)
+        });
+        for (ci, buf) in decoded.iter().enumerate() {
+            let Some(buf) = buf else { continue };
+            let b0 = ci * chunk;
+            let b1 = ((ci + 1) * chunk).min(nblocks);
+            for b in b0..b1 {
+                if self.meta.exponents[b] != EMPTY {
+                    self.grid
+                        .scatter(out, b, &buf[(b - b0) * blen..(b - b0 + 1) * blen]);
+                }
+            }
+        }
+    }
+
+    /// Decodes one block of the block-major digit `words` into `fblk`
+    /// (length `block_len`), using `iblk` as integer scratch. Returns
+    /// `false` (leaving `fblk` untouched) for all-zero blocks.
+    fn decode_block(&self, words: &[u64], b: usize, iblk: &mut [i64], fblk: &mut [f64]) -> bool {
+        let e = self.meta.exponents[b];
+        if e == EMPTY {
+            return false;
+        }
+        let blen = self.grid.block_len();
+        let nd = self.grid.ndims();
+        for (c, &w) in iblk.iter_mut().zip(&words[b * blen..(b + 1) * blen]) {
+            *c = negabinary::decode(w);
+        }
+        transform::inverse(iblk, nd);
+        let scale = exp2(e - Q);
+        for (f, &q) in fblk.iter_mut().zip(iblk.iter()) {
+            *f = q as f64 * scale;
+        }
+        true
     }
 
     /// Decodes one block of the block-major digit `words` into `out`
     /// (full-array buffer). All-zero blocks are skipped — `out` is expected
     /// to be zero there already.
     fn reconstruct_block_into(&self, words: &[u64], b: usize, out: &mut [f64]) {
-        let e = self.meta.exponents[b];
-        if e == EMPTY {
-            return;
-        }
         let blen = self.grid.block_len();
-        let nd = self.grid.ndims();
         let mut iblk = vec![0i64; blen];
-        for (c, &w) in iblk.iter_mut().zip(&words[b * blen..(b + 1) * blen]) {
-            *c = negabinary::decode(w);
+        let mut fblk = vec![0.0f64; blen];
+        if self.decode_block(words, b, &mut iblk, &mut fblk) {
+            self.grid.scatter(out, b, &fblk);
         }
-        transform::inverse(&mut iblk, nd);
-        let scale = exp2(e - Q);
-        let fblk: Vec<f64> = iblk.iter().map(|&q| q as f64 * scale).collect();
-        self.grid.scatter(out, b, &fblk);
     }
 }
 
@@ -1300,6 +1365,31 @@ mod tests {
             assert_eq!(stream.planes.len(), scalar.len(), "dims {dims:?}");
             for (p, (w, s)) in stream.planes.iter().zip(&scalar).enumerate() {
                 assert_eq!(w, s, "dims {dims:?} plane {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_into_pooled_and_parallel_bit_identical() {
+        // shapes above the parallel-dispatch threshold so the chunked
+        // fan-out (not just the serial fallback) is what's compared
+        for dims in [vec![6000usize], vec![80, 70], vec![20, 18, 16]] {
+            let n: usize = dims.iter().product();
+            let data = field(n);
+            let stream = ZfpRefactorer::new().refactor(&data, &dims).unwrap();
+            let mut cursor = ZfpCursor::new(stream.meta());
+            for (p, plane) in stream.plane_payloads().enumerate() {
+                cursor.push_plane(plane).unwrap();
+                if p % 9 != 0 && p + 1 != stream.num_planes() {
+                    continue;
+                }
+                let serial = cursor.reconstruct();
+                for workers in [1usize, 2, 4] {
+                    // dirty pooled buffer: reconstruct_into must fully reset it
+                    let mut out = vec![f64::NAN; 7];
+                    cursor.reconstruct_into(&mut out, workers);
+                    assert_eq!(serial, out, "dims {dims:?} plane {p} w={workers}");
+                }
             }
         }
     }

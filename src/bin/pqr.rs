@@ -866,6 +866,12 @@ fn cmd_client(args: &[String]) -> Result<()> {
                 d.store.rehydration_decodes,
                 d.store.rehydration_bytes
             );
+            println!(
+                "  reconstruct: {} recompose passes  {} cache hits  {} ms rebuilding",
+                d.store.recompose_passes,
+                d.store.recon_cache_hits,
+                d.store.reconstruct_nanos / 1_000_000
+            );
         }
         client.close()?;
         return Ok(());
@@ -955,6 +961,10 @@ fn cmd_client(args: &[String]) -> Result<()> {
         report.queue_wait_ms,
         report.store_fragments_decoded,
         report.store_refine_reuses
+    );
+    println!(
+        "reconstruct: {} recompose passes  {} cache hits  {} ms rebuilding",
+        report.recompose_passes, report.recon_cache_hits, report.reconstruct_ms
     );
     if report.budget_exhausted {
         eprintln!("byte budget exhausted — the bounds above are the achieved partials");
